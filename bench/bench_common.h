@@ -1,0 +1,89 @@
+// Shared harness pieces for the paper-reproduction benches.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "core/resilient_db.h"
+#include "tpcc/loader.h"
+#include "tpcc/workload.h"
+#include "util/stopwatch.h"
+
+namespace irdb::bench {
+
+// Paper §5.2 workloads.
+//  read-intensive: 100 Stock Level transactions.
+//  read/write:     200 New Order + 200 Payment + 100 Delivery, interleaved
+//                  in 2:2:1 rounds.
+enum class Mix { kReadIntensive, kReadWrite };
+
+inline const char* MixName(Mix m) {
+  return m == Mix::kReadIntensive ? "read-intensive" : "read/write";
+}
+
+struct WorkloadResult {
+  int64_t transactions = 0;
+  double wall_seconds = 0;
+  double simulated_seconds = 0;
+
+  double TotalSeconds() const { return wall_seconds + simulated_seconds; }
+  double Throughput() const {
+    return static_cast<double>(transactions) / TotalSeconds();
+  }
+};
+
+inline Status RunMix(tpcc::TpccDriver* driver, Mix mix, int scale,
+                     WorkloadResult* out) {
+  auto run = [&](Result<tpcc::TxnResult> r) -> Status {
+    if (!r.ok()) return r.status();
+    ++out->transactions;
+    return Status::Ok();
+  };
+  if (mix == Mix::kReadIntensive) {
+    for (int i = 0; i < 100 * scale; ++i) {
+      IRDB_RETURN_IF_ERROR(run(driver->StockLevel()));
+    }
+    return Status::Ok();
+  }
+  for (int round = 0; round < 100 * scale; ++round) {
+    IRDB_RETURN_IF_ERROR(run(driver->NewOrder()));
+    IRDB_RETURN_IF_ERROR(run(driver->NewOrder()));
+    IRDB_RETURN_IF_ERROR(run(driver->Payment()));
+    IRDB_RETURN_IF_ERROR(run(driver->Payment()));
+    IRDB_RETURN_IF_ERROR(run(driver->Delivery()));
+  }
+  return Status::Ok();
+}
+
+// Builds a deployment, loads TPC-C, runs the mix, returns throughput.
+// The I/O + network virtual clock is reset after load so only the measured
+// workload is charged.
+inline Result<WorkloadResult> MeasureDeployment(FlavorTraits traits,
+                                                ProxyArch arch,
+                                                LatencyParams latency,
+                                                IoCostParams io,
+                                                tpcc::TpccConfig config,
+                                                Mix mix, int scale) {
+  DeploymentOptions opts;
+  opts.traits = std::move(traits);
+  opts.arch = arch;
+  opts.latency = latency;
+  opts.io = io;
+  ResilientDb rdb(opts);
+  IRDB_RETURN_IF_ERROR(rdb.Bootstrap());
+  IRDB_ASSIGN_OR_RETURN(auto conn, rdb.Connect());
+  auto load = tpcc::LoadDatabase(conn.get(), config);
+  if (!load.ok()) return load.status();
+
+  rdb.db().io_model().ResetStats();
+  tpcc::TpccDriver driver(conn.get(), config, config.seed + 1);
+  driver.set_annotations(false);  // labels are a repair-path feature
+  WorkloadResult result;
+  Stopwatch watch;
+  IRDB_RETURN_IF_ERROR(RunMix(&driver, mix, scale, &result));
+  result.wall_seconds = watch.ElapsedSeconds();
+  result.simulated_seconds = rdb.db().io_model().clock().seconds();
+  return result;
+}
+
+}  // namespace irdb::bench

@@ -1,0 +1,71 @@
+// Ablation: intrusion-detection quality (the §6 end-to-end loop).
+//
+// Measures, over a TPC-C run with periodic Payment-masquerade attacks, the
+// detector's recall (attacks flagged) and false-positive rate (legitimate
+// transactions flagged) as a function of the warm-up window.
+#include "bench_common.h"
+#include "detect/anomaly_detector.h"
+
+namespace irdb::bench {
+namespace {
+
+int Main() {
+  std::printf("Ablation: anomaly-detector quality vs warm-up window\n\n");
+  std::printf("%8s %10s %10s %12s %12s\n", "warmup", "attacks", "flagged",
+              "recall", "false-pos%");
+  for (int warmup : {20, 50, 100, 200}) {
+    DeploymentOptions opts;
+    opts.traits = FlavorTraits::Postgres();
+    opts.arch = ProxyArch::kSingleProxy;
+    ResilientDb rdb(opts);
+    if (!rdb.Bootstrap().ok()) return 1;
+    auto tracked = rdb.Connect();
+    if (!tracked.ok()) return 1;
+
+    detect::AnomalyDetector::Options dopts;
+    dopts.warmup_transactions = warmup;
+    detect::AnomalyDetector detector(dopts);
+    detect::DetectingConnection conn(tracked->get(), &detector);
+
+    tpcc::TpccConfig config = tpcc::TpccConfig::Scaled(2);
+    if (!tpcc::LoadDatabase(&conn, config).ok()) return 1;
+    tpcc::TpccDriver driver(&conn, config, 1000 + warmup);
+
+    // warm-up + 400 measured transactions with an attack every 80.
+    for (int i = 0; i < warmup; ++i) {
+      if (!driver.RunMixed().ok()) return 1;
+    }
+    int attacks = 0, attacks_flagged = 0, benign = 0, benign_flagged = 0;
+    for (int i = 0; i < 400; ++i) {
+      size_t before = detector.flagged().size();
+      if (i % 80 == 40) {
+        ++attacks;
+        if (!driver
+                 .AttackInflateBalance(
+                     1, 1 + attacks % config.districts_per_warehouse,
+                     1 + attacks, 1e5)
+                 .ok()) {
+          return 1;
+        }
+        if (detector.flagged().size() > before) ++attacks_flagged;
+      } else {
+        ++benign;
+        if (!driver.RunMixed().ok()) return 1;
+        if (detector.flagged().size() > before) ++benign_flagged;
+      }
+    }
+    std::printf("%8d %10d %10d %11.0f%% %11.2f%%\n", warmup, attacks,
+                attacks_flagged,
+                100.0 * attacks_flagged / attacks,
+                100.0 * benign_flagged / benign);
+  }
+  std::printf(
+      "\nShape-novel attacks are caught regardless of warm-up; longer warm-up\n"
+      "drives the false-positive rate (rare-but-legit shapes) toward zero.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace irdb::bench
+
+int main() { return irdb::bench::Main(); }

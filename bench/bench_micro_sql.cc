@@ -1,0 +1,141 @@
+// Micro-benchmarks for the SQL pipeline the intercepting proxy sits on:
+// lex+parse, Table-1 rewriting, printing, and the full proxy round trip.
+// These are the per-statement CPU components of the Fig. 4 overhead.
+#include <benchmark/benchmark.h>
+
+#include "engine/database.h"
+#include "proxy/rewriter.h"
+#include "proxy/tracking_proxy.h"
+#include "sql/parser.h"
+#include "sql/printer.h"
+#include "wire/connection.h"
+
+namespace irdb {
+namespace {
+
+const char* kSelect =
+    "SELECT c_discount, c_last, c_credit FROM customer "
+    "WHERE c_w_id = 4 AND c_d_id = 7 AND c_id = 1291";
+const char* kJoin =
+    "SELECT COUNT(DISTINCT s_i_id) FROM order_line, stock WHERE ol_w_id = 1 "
+    "AND ol_d_id = 2 AND ol_o_id >= 3000 AND ol_o_id < 3020 AND "
+    "s_w_id = ol_supply_w_id AND s_i_id = ol_i_id AND s_quantity < 15";
+const char* kUpdate =
+    "UPDATE stock SET s_quantity = 37, s_ytd = s_ytd + 5, "
+    "s_order_cnt = s_order_cnt + 1 WHERE s_i_id = 831 AND s_w_id = 4";
+const char* kInsert =
+    "INSERT INTO order_line(ol_o_id, ol_d_id, ol_w_id, ol_number, ol_i_id, "
+    "ol_supply_w_id, ol_delivery_d, ol_quantity, ol_amount, ol_dist_info) "
+    "VALUES (3001, 2, 1, 4, 831, 1, NULL, 5, 123.45, 'abcdefghijklmnopqrstuvwx')";
+
+void BM_ParseSelect(benchmark::State& state) {
+  for (auto _ : state) {
+    auto stmt = sql::Parse(kSelect);
+    benchmark::DoNotOptimize(stmt);
+  }
+}
+BENCHMARK(BM_ParseSelect);
+
+void BM_ParseJoinAggregate(benchmark::State& state) {
+  for (auto _ : state) {
+    auto stmt = sql::Parse(kJoin);
+    benchmark::DoNotOptimize(stmt);
+  }
+}
+BENCHMARK(BM_ParseJoinAggregate);
+
+void BM_PrintRoundTrip(benchmark::State& state) {
+  auto stmt = sql::Parse(kJoin);
+  IRDB_CHECK(stmt.ok());
+  for (auto _ : state) {
+    std::string text = sql::PrintStatement(**stmt);
+    benchmark::DoNotOptimize(text);
+  }
+}
+BENCHMARK(BM_PrintRoundTrip);
+
+void BM_RewriteSelect(benchmark::State& state) {
+  proxy::SqlRewriter rewriter(FlavorTraits::Postgres());
+  auto stmt = sql::Parse(kSelect);
+  IRDB_CHECK(stmt.ok());
+  for (auto _ : state) {
+    auto rw = rewriter.RewriteSelect(**stmt);
+    benchmark::DoNotOptimize(rw);
+  }
+}
+BENCHMARK(BM_RewriteSelect);
+
+void BM_RewriteAggregate(benchmark::State& state) {
+  proxy::SqlRewriter rewriter(FlavorTraits::Postgres());
+  auto stmt = sql::Parse(kJoin);
+  IRDB_CHECK(stmt.ok());
+  for (auto _ : state) {
+    auto rw = rewriter.RewriteSelect(**stmt);
+    benchmark::DoNotOptimize(rw);
+  }
+}
+BENCHMARK(BM_RewriteAggregate);
+
+void BM_RewriteUpdate(benchmark::State& state) {
+  proxy::SqlRewriter rewriter(FlavorTraits::Postgres());
+  auto stmt = sql::Parse(kUpdate);
+  IRDB_CHECK(stmt.ok());
+  for (auto _ : state) {
+    auto rw = rewriter.RewriteUpdate(**stmt, 12345);
+    benchmark::DoNotOptimize(rw);
+  }
+}
+BENCHMARK(BM_RewriteUpdate);
+
+void BM_RewriteInsert(benchmark::State& state) {
+  proxy::SqlRewriter rewriter(FlavorTraits::Sybase());
+  auto stmt = sql::Parse(kInsert);
+  IRDB_CHECK(stmt.ok());
+  for (auto _ : state) {
+    auto rw = rewriter.RewriteInsert(**stmt, 12345);
+    benchmark::DoNotOptimize(rw);
+  }
+}
+BENCHMARK(BM_RewriteInsert);
+
+// Full tracked statement execution against a small live table: the complete
+// parse -> rewrite -> print -> engine-parse -> execute -> collect-deps path.
+void BM_TrackedSelectEndToEnd(benchmark::State& state) {
+  Database db(FlavorTraits::Postgres());
+  DirectConnection direct(&db);
+  proxy::TxnIdAllocator alloc;
+  proxy::TrackingProxy proxy(&direct, &alloc, FlavorTraits::Postgres());
+  IRDB_CHECK(proxy.EnsureTrackingTables().ok());
+  IRDB_CHECK(proxy.Execute("CREATE TABLE t (a INTEGER, b VARCHAR(16), "
+                           "PRIMARY KEY (a))").ok());
+  for (int i = 0; i < 100; ++i) {
+    IRDB_CHECK(proxy.Execute("INSERT INTO t(a, b) VALUES (" +
+                             std::to_string(i) + ", 'v')").ok());
+  }
+  for (auto _ : state) {
+    auto rs = proxy.Execute("SELECT b FROM t WHERE a = 42");
+    benchmark::DoNotOptimize(rs);
+  }
+}
+BENCHMARK(BM_TrackedSelectEndToEnd);
+
+void BM_UntrackedSelectEndToEnd(benchmark::State& state) {
+  Database db(FlavorTraits::Postgres());
+  DirectConnection direct(&db);
+  IRDB_CHECK(direct.Execute("CREATE TABLE t (a INTEGER, b VARCHAR(16), "
+                            "PRIMARY KEY (a))").ok());
+  for (int i = 0; i < 100; ++i) {
+    IRDB_CHECK(direct.Execute("INSERT INTO t(a, b) VALUES (" +
+                              std::to_string(i) + ", 'v')").ok());
+  }
+  for (auto _ : state) {
+    auto rs = direct.Execute("SELECT b FROM t WHERE a = 42");
+    benchmark::DoNotOptimize(rs);
+  }
+}
+BENCHMARK(BM_UntrackedSelectEndToEnd);
+
+}  // namespace
+}  // namespace irdb
+
+BENCHMARK_MAIN();

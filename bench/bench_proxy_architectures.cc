@@ -1,0 +1,54 @@
+// Ablation: single-proxy (Fig. 1) vs dual-proxy (Fig. 2) architectures.
+//
+// The paper runs all measurements with the single-proxy setup (§5.1); the
+// dual-proxy variant closes the bypass hole at the price of an extra hop on
+// the server machine. This bench quantifies that price for both link types
+// — the dual proxy sends the *original* (smaller) SQL across the wire but
+// pays local rewriting/tracking round trips on the server side.
+#include "bench_common.h"
+
+namespace irdb::bench {
+namespace {
+
+int Main() {
+  tpcc::TpccConfig config = tpcc::TpccConfig::Scaled(2);
+  IoCostParams io;
+  io.enabled = true;
+  io.cache_pages = 240;
+
+  std::printf("Ablation: proxy architecture throughput (TPC-C mixed)\n\n");
+  std::printf("%-14s %-10s %12s %14s\n", "architecture", "link", "tps",
+              "vs baseline");
+  for (auto latency : {LatencyParams::Local(), LatencyParams::Lan100Mbps()}) {
+    const char* link =
+        latency.rtt_seconds < 1e-4 ? "local" : "100Mbps";
+    double base_tps = 0;
+    for (auto arch : {ProxyArch::kNone, ProxyArch::kSingleProxy,
+                      ProxyArch::kDualProxy}) {
+      auto r = MeasureDeployment(FlavorTraits::Postgres(), arch, latency, io,
+                                 config, Mix::kReadWrite, 1);
+      if (!r.ok()) {
+        std::fprintf(stderr, "failed: %s\n", r.status().ToString().c_str());
+        return 1;
+      }
+      const char* name = arch == ProxyArch::kNone          ? "baseline"
+                         : arch == ProxyArch::kSingleProxy ? "single-proxy"
+                                                           : "dual-proxy";
+      double tps = r->Throughput();
+      if (arch == ProxyArch::kNone) {
+        base_tps = tps;
+        std::printf("%-14s %-10s %12.1f %13s\n", name, link, tps, "—");
+      } else {
+        std::printf("%-14s %-10s %12.1f %12.1f%%\n", name, link, tps,
+                    100.0 * (base_tps - tps) / base_tps);
+      }
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace irdb::bench
+
+int main() { return irdb::bench::Main(); }

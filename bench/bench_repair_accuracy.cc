@@ -1,0 +1,172 @@
+// Figure 5 reproduction: database damage repair accuracy.
+//
+// A malicious transaction is injected into a TPC-C run; T_detect more
+// transactions commit before the DBA notices. For each T_detect we report:
+//   - the number of transactions that must be rolled back (the dependency
+//     closure of the attack), and
+//   - the percentage of benign post-attack transactions that survive repair,
+// under two policies: tracking all dependencies, and discarding false
+// dependencies (Payment writes to warehouse/district rows touch only
+// derivable ytd attributes — the paper's w_ytd example, §5.3).
+//
+// Expected shape (paper): rolled-back count grows with T_detect; saved%
+// stays flat except at small T_detect; discarding false dependencies cuts
+// the rolled-back count (up to ~5x) and lifts saved% by ~20-30 points, with
+// the gap narrowing as W grows (less false sharing).
+//
+// Flags: --flavor postgres|oracle|sybase, --tmax N, --w "2,5"
+#include <cstring>
+#include <set>
+#include <vector>
+
+#include "bench_common.h"
+#include "repair/repair_engine.h"
+
+namespace irdb::bench {
+namespace {
+
+struct Point {
+  int tdetect;
+  size_t rolled_all;
+  double saved_all;
+  size_t rolled_nofalse;
+  double saved_nofalse;
+};
+
+Result<std::vector<Point>> RunExperiment(const FlavorTraits& traits, int w,
+                                         int tmax,
+                                         const std::vector<int>& tdetects) {
+  DeploymentOptions opts;
+  opts.traits = traits;
+  opts.arch = ProxyArch::kSingleProxy;
+  ResilientDb rdb(opts);
+  IRDB_RETURN_IF_ERROR(rdb.Bootstrap());
+  IRDB_ASSIGN_OR_RETURN(auto conn, rdb.Connect());
+  tpcc::TpccConfig config = tpcc::TpccConfig::Scaled(w);
+  auto load = tpcc::LoadDatabase(conn.get(), config);
+  if (!load.ok()) return load.status();
+
+  tpcc::TpccDriver driver(conn.get(), config, 97 + w);
+  // By-id payments only: the by-name variant reads every same-named customer
+  // row, saturating the "all dependencies" closure long before T_detect=700
+  // (see tpcc/workload.h) — the paper's curves are in the by-id regime.
+  driver.set_payment_variants(false);
+  for (int i = 0; i < 20; ++i) {
+    auto r = driver.RunMixed();
+    if (!r.ok()) return r.status();
+  }
+  auto attack = driver.AttackInflateBalance(1, 1, 3, 5.0e5);
+  if (!attack.ok()) return attack.status();
+  for (int i = 0; i < tmax; ++i) {
+    auto r = driver.RunMixed();
+    if (!r.ok()) return r.status();
+  }
+
+  IRDB_ASSIGN_OR_RETURN(repair::DependencyAnalysis analysis,
+                        rdb.repair().Analyze());
+
+  // Committed tracked transactions in commit order (the connection is
+  // serial, so proxy IDs are monotone in commit order).
+  std::vector<int64_t> order;
+  for (const auto& [proxy_id, _] : analysis.proxy_to_internal) {
+    order.push_back(proxy_id);
+  }
+  std::sort(order.begin(), order.end());
+  int64_t attack_id = -1;
+  size_t attack_pos = 0;
+  for (size_t i = 0; i < order.size(); ++i) {
+    if (StartsWith(analysis.graph.Label(order[i]), "Attack_")) {
+      attack_id = order[i];
+      attack_pos = i;
+    }
+  }
+  if (attack_id < 0) return Status::Internal("attack transaction not found");
+
+  auto policy_all = repair::DbaPolicy::TrackEverything();
+  // DBA domain knowledge: Payment-shaped writers (including the captured
+  // attack, which masquerades as one) touch only the derivable ytd columns
+  // of warehouse/district rows — dependencies through those rows are false
+  // sharing (§5.3's w_ytd example).
+  auto policy_nofalse = repair::DbaPolicy::TrackEverything();
+  policy_nofalse.IgnoreDerivedAttribute("warehouse", "Payment", &analysis.graph)
+      .IgnoreDerivedAttribute("district", "Payment", &analysis.graph)
+      .IgnoreDerivedAttribute("warehouse", "Attack", &analysis.graph)
+      .IgnoreDerivedAttribute("district", "Attack", &analysis.graph);
+
+  std::vector<Point> points;
+  for (int td : tdetects) {
+    if (attack_pos + static_cast<size_t>(td) >= order.size()) break;
+    const int64_t last_id = order[attack_pos + static_cast<size_t>(td)];
+    auto windowed = [&](const repair::DbaPolicy& policy) {
+      return analysis.graph.Affected(
+          {attack_id}, [&](const repair::DepEdge& e) {
+            return e.reader <= last_id && e.writer <= last_id &&
+                   policy.Keep(e);
+          });
+    };
+    std::set<int64_t> undo_all = windowed(policy_all);
+    std::set<int64_t> undo_nofalse = windowed(policy_nofalse);
+    Point p;
+    p.tdetect = td;
+    p.rolled_all = undo_all.size();
+    p.rolled_nofalse = undo_nofalse.size();
+    // Benign transactions in the detection window vs those rolled back
+    // (the attack itself is not "saved" material).
+    p.saved_all = 100.0 * (td - static_cast<int>(undo_all.size() - 1)) / td;
+    p.saved_nofalse =
+        100.0 * (td - static_cast<int>(undo_nofalse.size() - 1)) / td;
+    points.push_back(p);
+  }
+  return points;
+}
+
+int Main(int argc, char** argv) {
+  FlavorTraits traits = FlavorTraits::Postgres();
+  int tmax = 700;
+  std::vector<int> warehouses = {2, 5};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--flavor=", 9) == 0) {
+      std::string f = argv[i] + 9;
+      traits = f == "oracle"   ? FlavorTraits::Oracle()
+               : f == "sybase" ? FlavorTraits::Sybase()
+                               : FlavorTraits::Postgres();
+    } else if (std::strncmp(argv[i], "--tmax=", 7) == 0) {
+      tmax = std::atoi(argv[i] + 7);
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return 1;
+    }
+  }
+  const std::vector<int> tdetects = {25, 50, 100, 200, 300, 400, 500, 600, 700};
+
+  std::printf("Figure 5: repair accuracy vs T_detect (flavor=%s)\n\n",
+              traits.name.c_str());
+  for (int w : warehouses) {
+    auto points = RunExperiment(traits, w, tmax, tdetects);
+    if (!points.ok()) {
+      std::fprintf(stderr, "experiment failed: %s\n",
+                   points.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("== W=%d ==\n", w);
+    std::printf("%8s  %22s  %22s\n", "", "tracking all deps",
+                "discarding false deps");
+    std::printf("%8s  %10s  %10s  %10s  %10s\n", "T_detect", "rolled", "saved%",
+                "rolled", "saved%");
+    for (const Point& p : *points) {
+      std::printf("%8d  %10zu  %9.1f%%  %10zu  %9.1f%%\n", p.tdetect,
+                  p.rolled_all, p.saved_all, p.rolled_nofalse, p.saved_nofalse);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "Paper reference: rolled-back count grows with T_detect; saved%% flat\n"
+      "except at small T_detect; discarding false deps cuts rolled-back by up\n"
+      "to ~5x and lifts saved%% by 20-30 points, less so at larger W.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace irdb::bench
+
+int main(int argc, char** argv) { return irdb::bench::Main(argc, argv); }

@@ -1,0 +1,106 @@
+// Ablation: mean time to repair (MTTR).
+//
+// The paper's motivation is availability: selective undo beats the
+// conventional restore-backup-and-replay procedure because it only touches
+// the corrupted transactions. This bench measures, for growing T_detect:
+//   - selective repair: dependency analysis + compensation wall time and
+//     compensating-statement count;
+//   - the conventional baseline: restoring to the pre-attack state and
+//     re-executing every benign transaction (estimated as the wall time of
+//     replaying that many transactions).
+// Expected shape: selective repair cost scales with the *damage* size,
+// the baseline with the *history* size — selective wins whenever the damage
+// perimeter is a minority of post-attack work, with a crossover when most
+// transactions are polluted.
+#include <cstring>
+
+#include "bench_common.h"
+#include "repair/repair_engine.h"
+
+namespace irdb::bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  FlavorTraits traits = FlavorTraits::Postgres();
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--flavor=", 9) == 0) {
+      std::string f = argv[i] + 9;
+      traits = f == "oracle"   ? FlavorTraits::Oracle()
+               : f == "sybase" ? FlavorTraits::Sybase()
+                               : FlavorTraits::Postgres();
+    }
+  }
+  std::printf("Ablation: repair time vs detection latency (flavor=%s)\n\n",
+              traits.name.c_str());
+  std::printf("%8s %8s %10s %12s %12s %14s\n", "T_detect", "undone",
+              "comp.stmts", "analyze(ms)", "repair(ms)", "replay-est(ms)");
+
+  for (int tdetect : {50, 100, 200, 400}) {
+    DeploymentOptions opts;
+    opts.traits = traits;
+    opts.arch = ProxyArch::kSingleProxy;
+    ResilientDb rdb(opts);
+    if (!rdb.Bootstrap().ok()) return 1;
+    auto conn = rdb.Connect();
+    if (!conn.ok()) return 1;
+    tpcc::TpccConfig config = tpcc::TpccConfig::Scaled(2);
+    if (!tpcc::LoadDatabase(conn->get(), config).ok()) return 1;
+
+    tpcc::TpccDriver driver(conn->get(), config, 7);
+    for (int i = 0; i < 10; ++i) {
+      if (!driver.RunMixed().ok()) return 1;
+    }
+    if (!driver.AttackInflateBalance(1, 1, 1, 1e6).ok()) return 1;
+    // Measure the replay cost while generating the post-attack history: the
+    // conventional procedure re-executes exactly these transactions.
+    Stopwatch replay_watch;
+    for (int i = 0; i < tdetect; ++i) {
+      if (!driver.RunMixed().ok()) return 1;
+    }
+    const double replay_ms = replay_watch.ElapsedMillis();
+
+    Stopwatch analyze_watch;
+    auto analysis = rdb.repair().Analyze();
+    if (!analysis.ok()) return 1;
+    const double analyze_ms = analyze_watch.ElapsedMillis();
+
+    int64_t attack_id = -1;
+    for (int64_t node : analysis->graph.nodes()) {
+      if (StartsWith(analysis->graph.Label(node), "Attack_")) attack_id = node;
+    }
+    if (attack_id < 0) return 1;
+
+    auto policy = repair::DbaPolicy::TrackEverything();
+    policy.IgnoreDerivedAttribute("warehouse", "Payment", &analysis->graph)
+        .IgnoreDerivedAttribute("district", "Payment", &analysis->graph)
+        .IgnoreDerivedAttribute("warehouse", "Attack", &analysis->graph)
+        .IgnoreDerivedAttribute("district", "Attack", &analysis->graph);
+    std::set<int64_t> undo =
+        rdb.repair().ComputeUndoSet(*analysis, {attack_id}, policy);
+
+    Stopwatch repair_watch;
+    repair::RepairReport report;
+    auto st = repair::Compensate(*analysis, undo, rdb.repair().admin(),
+                                 rdb.db().traits(), &report);
+    if (!st.ok()) {
+      std::fprintf(stderr, "repair failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    const double repair_ms = repair_watch.ElapsedMillis();
+
+    std::printf("%8d %8zu %10lld %12.1f %12.1f %14.1f\n", tdetect,
+                report.undo_set.size(),
+                static_cast<long long>(report.ops_compensated), analyze_ms,
+                repair_ms, replay_ms);
+  }
+  std::printf(
+      "\nSelective repair scales with damage size; restore+replay with\n"
+      "history size. The paper's claim: selective undo keeps MTTR low when\n"
+      "the damage perimeter is small.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace irdb::bench
+
+int main(int argc, char** argv) { return irdb::bench::Main(argc, argv); }

@@ -1,0 +1,91 @@
+// Table 2 reproduction: test database parameters and resulting cardinalities.
+//
+// Prints the paper's scaling parameters next to the configured run's, then
+// loads the database through the tracking proxy and reports per-table row
+// and page counts plus load throughput.
+//
+// Flags: --flavor postgres|oracle|sybase, --warehouses N, --paper-scale
+#include <cstring>
+
+#include "bench_common.h"
+#include "tpcc/schema.h"
+
+namespace irdb::bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  FlavorTraits traits = FlavorTraits::Postgres();
+  tpcc::TpccConfig config = tpcc::TpccConfig::Scaled(10);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--flavor=", 9) == 0) {
+      std::string f = argv[i] + 9;
+      traits = f == "oracle"   ? FlavorTraits::Oracle()
+               : f == "sybase" ? FlavorTraits::Sybase()
+                               : FlavorTraits::Postgres();
+    } else if (std::strncmp(argv[i], "--warehouses=", 13) == 0) {
+      config.warehouses = std::atoi(argv[i] + 13);
+    } else if (std::strcmp(argv[i], "--paper-scale") == 0) {
+      config = tpcc::TpccConfig::Paper();
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return 1;
+    }
+  }
+
+  const tpcc::TpccConfig paper = tpcc::TpccConfig::Paper();
+  std::printf("Table 2: test database parameters (paper vs this run)\n");
+  std::printf("%-28s %10s %10s\n", "parameter", "paper", "this run");
+  std::printf("%-28s %10d %10d\n", "Number of warehouses", paper.warehouses,
+              config.warehouses);
+  std::printf("%-28s %10d %10d\n", "Districts per warehouse",
+              paper.districts_per_warehouse, config.districts_per_warehouse);
+  std::printf("%-28s %10d %10d\n", "Clients per district",
+              paper.customers_per_district, config.customers_per_district);
+  std::printf("%-28s %10d %10d\n", "Items per warehouse", paper.items,
+              config.items);
+  std::printf("%-28s %10d %10d\n\n", "Orders per district",
+              paper.orders_per_district, config.orders_per_district);
+
+  DeploymentOptions opts;
+  opts.traits = traits;
+  opts.arch = ProxyArch::kSingleProxy;
+  ResilientDb rdb(opts);
+  if (!rdb.Bootstrap().ok()) return 1;
+  auto conn = rdb.Connect();
+  if (!conn.ok()) return 1;
+
+  Stopwatch watch;
+  auto stats = tpcc::LoadDatabase(conn->get(), config);
+  if (!stats.ok()) {
+    std::fprintf(stderr, "load failed: %s\n", stats.status().ToString().c_str());
+    return 1;
+  }
+  const double secs = watch.ElapsedSeconds();
+
+  std::printf("Loaded (flavor=%s, via tracking proxy) in %.2fs\n\n",
+              traits.name.c_str(), secs);
+  std::printf("%-12s %12s %10s %14s\n", "table", "rows", "pages", "bytes");
+  int64_t total_rows = 0, total_bytes = 0;
+  for (const std::string& name : tpcc::TableNames()) {
+    const HeapTable* table = rdb.db().catalog().Find(name);
+    if (table == nullptr) continue;
+    int64_t bytes =
+        static_cast<int64_t>(table->page_count()) * table->page_size();
+    std::printf("%-12s %12lld %10d %14lld\n", name.c_str(),
+                static_cast<long long>(table->row_count()),
+                table->page_count(), static_cast<long long>(bytes));
+    total_rows += table->row_count();
+    total_bytes += bytes;
+  }
+  std::printf("%-12s %12lld %10s %14lld\n", "total",
+              static_cast<long long>(total_rows), "",
+              static_cast<long long>(total_bytes));
+  std::printf("\nWAL: %lld records\n",
+              static_cast<long long>(rdb.db().wal().size()));
+  return 0;
+}
+
+}  // namespace
+}  // namespace irdb::bench
+
+int main(int argc, char** argv) { return irdb::bench::Main(argc, argv); }

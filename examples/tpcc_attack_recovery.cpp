@@ -1,0 +1,101 @@
+// End-to-end scenario on the paper's own workload: a TPC-C system is
+// compromised mid-run by a transaction masquerading as a Payment; the DBA
+// detects it later, explores the damage perimeter under two policies, and
+// repairs selectively. Demonstrates the full operator workflow.
+//
+// Usage: ./build/examples/tpcc_attack_recovery [postgres|oracle|sybase]
+#include <cstdio>
+#include <cstring>
+
+#include "core/resilient_db.h"
+#include "tpcc/loader.h"
+#include "tpcc/schema.h"
+#include "tpcc/workload.h"
+
+using namespace irdb;
+
+int main(int argc, char** argv) {
+  FlavorTraits traits = FlavorTraits::Postgres();
+  if (argc > 1) {
+    if (std::strcmp(argv[1], "oracle") == 0) traits = FlavorTraits::Oracle();
+    if (std::strcmp(argv[1], "sybase") == 0) traits = FlavorTraits::Sybase();
+  }
+  std::printf("=== TPC-C attack & recovery (flavor: %s) ===\n\n",
+              traits.name.c_str());
+
+  DeploymentOptions opts;
+  opts.traits = traits;
+  opts.arch = ProxyArch::kSingleProxy;
+  ResilientDb rdb(opts);
+  IRDB_CHECK(rdb.Bootstrap().ok());
+  auto conn = rdb.Connect().value();
+
+  tpcc::TpccConfig config = tpcc::TpccConfig::Scaled(2);
+  auto load = tpcc::LoadDatabase(conn.get(), config);
+  IRDB_CHECK_MSG(load.ok(), load.status().ToString());
+  std::printf("loaded TPC-C: %lld customers, %lld orders, %lld order lines\n",
+              (long long)load->customers, (long long)load->orders,
+              (long long)load->order_lines);
+
+  tpcc::TpccDriver driver(conn.get(), config, 2024);
+  for (int i = 0; i < 30; ++i) IRDB_CHECK(driver.RunMixed().ok());
+
+  std::printf("injecting attack: fraudulent credit to customer (1,1,5)...\n");
+  IRDB_CHECK(driver.AttackInflateBalance(1, 1, 5, 250000.0).ok());
+
+  std::printf("85 more transactions commit before detection...\n\n");
+  for (int i = 0; i < 85; ++i) IRDB_CHECK(driver.RunMixed().ok());
+
+  auto analysis = rdb.repair().Analyze().value();
+  int64_t attack_id = -1;
+  for (int64_t node : analysis.graph.nodes()) {
+    if (StartsWith(analysis.graph.Label(node), "Attack_")) attack_id = node;
+  }
+  IRDB_CHECK(attack_id > 0);
+  std::printf("dependency graph: %zu transactions, %zu edges; attack = %s\n",
+              analysis.graph.nodes().size(), analysis.graph.edges().size(),
+              analysis.graph.Label(attack_id).c_str());
+
+  // What-if analysis: damage perimeter under both policies.
+  auto all = repair::DbaPolicy::TrackEverything();
+  auto undo_all = rdb.repair().ComputeUndoSet(analysis, {attack_id}, all);
+  auto pruned = repair::DbaPolicy::TrackEverything();
+  pruned.IgnoreDerivedAttribute("warehouse", "Payment", &analysis.graph)
+      .IgnoreDerivedAttribute("district", "Payment", &analysis.graph)
+      .IgnoreDerivedAttribute("warehouse", "Attack", &analysis.graph)
+      .IgnoreDerivedAttribute("district", "Attack", &analysis.graph);
+  auto undo_pruned = rdb.repair().ComputeUndoSet(analysis, {attack_id}, pruned);
+  std::printf("damage perimeter: %zu txns (all deps) vs %zu txns (false deps "
+              "discarded)\n", undo_all.size(), undo_pruned.size());
+  std::printf("transactions to undo:");
+  for (int64_t id : undo_pruned) {
+    std::printf(" %s", analysis.graph.Label(id).c_str());
+  }
+  std::printf("\n\n");
+
+  const uint64_t before = rdb.db().StateHash(tpcc::TableNames());
+  auto report = rdb.repair().Repair({attack_id}, pruned);
+  IRDB_CHECK_MSG(report.ok(), report.status().ToString());
+  std::printf("repair: undid %zu txns — %lld inserts, %lld deletes, %lld "
+              "updates compensated, %lld rows remapped\n",
+              report->undo_set.size(),
+              (long long)report->compensating_inserts,
+              (long long)report->compensating_deletes,
+              (long long)report->compensating_updates,
+              (long long)report->rows_remapped);
+  IRDB_CHECK(rdb.db().StateHash(tpcc::TableNames()) != before);
+
+  auto victim = rdb.Admin()
+                    ->Execute("SELECT c_balance FROM customer WHERE "
+                              "c_w_id = 1 AND c_d_id = 1 AND c_id = 5")
+                    .value();
+  std::printf("attacked customer's balance after repair: %.2f "
+              "(the fraudulent 250000.00 credit is gone)\n",
+              victim.rows[0][0].as_double());
+  IRDB_CHECK(victim.rows[0][0].as_double() < 200000.0);
+
+  // Service continues on the repaired database.
+  for (int i = 0; i < 10; ++i) IRDB_CHECK(driver.RunMixed().ok());
+  std::printf("post-repair workload ran cleanly — system recovered.\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+#include "core/resilient_db.h"
+
+namespace irdb {
+
+ResilientDb::ResilientDb(DeploymentOptions opts)
+    : opts_(opts),
+      db_(opts.traits, opts.io),
+      server_(&db_),
+      proxy_host_(&db_, &alloc_, opts.traits),
+      server_channel_(
+          [this](std::string_view req) { return server_.Handle(req); },
+          opts.latency, &db_.io_model().clock()),
+      proxy_channel_(
+          [this](std::string_view req) { return proxy_host_.Handle(req); },
+          opts.latency, &db_.io_model().clock()),
+      admin_(&db_),
+      repair_(&db_) {}
+
+Status ResilientDb::Bootstrap() {
+  if (opts_.arch == ProxyArch::kNone) return Status::Ok();
+  // Create trans_dep/annot through a throwaway tracking proxy so they carry
+  // the injected columns and are themselves repairable.
+  DirectConnection direct(&db_);
+  proxy::TrackingProxy proxy(&direct, &alloc_, opts_.traits);
+  return proxy.EnsureTrackingTables();
+}
+
+Result<std::unique_ptr<DbConnection>> ResilientDb::Connect() {
+  std::vector<std::unique_ptr<DbConnection>> layers;
+  switch (opts_.arch) {
+    case ProxyArch::kNone: {
+      IRDB_ASSIGN_OR_RETURN(auto remote, RemoteConnection::Connect(&server_channel_));
+      layers.push_back(std::move(remote));
+      break;
+    }
+    case ProxyArch::kSingleProxy: {
+      // The proxy JDBC driver runs on the client machine: rewritten SQL (and
+      // the extra tracking statements) cross the client-server link.
+      IRDB_ASSIGN_OR_RETURN(auto remote, RemoteConnection::Connect(&server_channel_));
+      auto proxy = std::make_unique<proxy::TrackingProxy>(remote.get(), &alloc_,
+                                                          opts_.traits);
+      layers.push_back(std::move(remote));
+      layers.push_back(std::move(proxy));
+      break;
+    }
+    case ProxyArch::kDualProxy: {
+      // The client-side forwarder ships plain SQL text; tracking happens on
+      // the server machine behind the link.
+      IRDB_ASSIGN_OR_RETURN(auto remote, RemoteConnection::Connect(&proxy_channel_));
+      layers.push_back(std::move(remote));
+      break;
+    }
+  }
+  return std::unique_ptr<DbConnection>(new StackedConnection(std::move(layers)));
+}
+
+}  // namespace irdb

@@ -1,0 +1,95 @@
+// ResilientDb — the framework's one-stop deployment facade.
+//
+// Owns the DBMS engine (one of the three flavors), the wire server, the
+// transaction-ID allocator, and — depending on the chosen architecture — the
+// single- or dual-proxy stack. Hands out client connections (tracked or raw
+// baseline), an admin connection, and the repair engine.
+//
+//   DeploymentOptions opts;
+//   opts.traits = FlavorTraits::Postgres();
+//   opts.arch = ProxyArch::kSingleProxy;               // paper Fig. 1
+//   opts.latency = LatencyParams::Lan100Mbps();        // "networked"
+//   ResilientDb rdb(opts);
+//   auto conn = rdb.Connect();                         // tracked client
+//   ... run transactions ...
+//   auto report = rdb.repair().Repair({attack_id}, policy);
+#pragma once
+
+#include <memory>
+
+#include "engine/database.h"
+#include "proxy/dual_proxy.h"
+#include "proxy/tracking_proxy.h"
+#include "repair/repair_engine.h"
+#include "wire/channel.h"
+#include "wire/client.h"
+#include "wire/server.h"
+
+namespace irdb {
+
+enum class ProxyArch {
+  kNone,         // baseline: no tracking, client -> server
+  kSingleProxy,  // paper Fig. 1: client-side proxy -> wire -> server
+  kDualProxy,    // paper Fig. 2: forwarder -> wire -> server proxy -> server
+};
+
+struct DeploymentOptions {
+  FlavorTraits traits = FlavorTraits::Postgres();
+  ProxyArch arch = ProxyArch::kSingleProxy;
+  LatencyParams latency = LatencyParams::Local();
+  IoCostParams io;
+};
+
+class ResilientDb {
+ public:
+  explicit ResilientDb(DeploymentOptions opts);
+
+  // Creates the tracking side tables; required before tracked work when
+  // arch != kNone.
+  Status Bootstrap();
+
+  // A client connection through the configured architecture.
+  Result<std::unique_ptr<DbConnection>> Connect();
+
+  // Untracked in-process connection (the DBA's seat).
+  DbConnection* Admin() { return &admin_; }
+
+  Database& db() { return db_; }
+  repair::RepairEngine& repair() { return repair_; }
+  proxy::TxnIdAllocator& allocator() { return alloc_; }
+
+  // Wall-clock plus simulated I/O + network time (see engine/io_model.h).
+  double TotalSeconds(double wall_seconds) const {
+    return wall_seconds + db_.io_model().clock().seconds();
+  }
+
+ private:
+  // A connection stack that owns its layers (top of the stack executes).
+  class StackedConnection : public DbConnection {
+   public:
+    StackedConnection(std::vector<std::unique_ptr<DbConnection>> layers)
+        : layers_(std::move(layers)) {}
+    Result<ResultSet> Execute(std::string_view sql) override {
+      return layers_.back()->Execute(sql);
+    }
+    void SetAnnotation(std::string_view label) override {
+      layers_.back()->SetAnnotation(label);
+    }
+    std::string Describe() const override { return layers_.back()->Describe(); }
+
+   private:
+    std::vector<std::unique_ptr<DbConnection>> layers_;
+  };
+
+  DeploymentOptions opts_;
+  Database db_;
+  DbServer server_;
+  proxy::TxnIdAllocator alloc_;
+  proxy::ServerProxyHost proxy_host_;
+  LoopbackChannel server_channel_;  // client machine -> DBMS server
+  LoopbackChannel proxy_channel_;   // client machine -> server-side proxy
+  DirectConnection admin_;
+  repair::RepairEngine repair_;
+};
+
+}  // namespace irdb

@@ -1,0 +1,114 @@
+#include "detect/anomaly_detector.h"
+
+#include "sql/parser.h"
+#include "util/string_utils.h"
+
+namespace irdb::detect {
+
+std::string CanonicalShape(const std::set<std::string>& elements) {
+  std::string out;
+  for (const std::string& e : elements) {
+    if (!out.empty()) out.push_back(' ');
+    out += e;
+  }
+  return out;
+}
+
+bool AnomalyDetector::Observe(const std::set<std::string>& shape_elements,
+                              const std::string& annotation) {
+  const std::string shape = CanonicalShape(shape_elements);
+  ++observed_;
+  const int64_t count = ++shape_counts_[shape];
+  if (observed_ <= options_.warmup_transactions) return false;
+  const double freq =
+      static_cast<double>(count) / static_cast<double>(observed_);
+  // A shape is normal once it is both frequent enough and has an absolute
+  // track record; anything else stays suspicious (brand-new shapes score
+  // 1/observed, far below any sane threshold).
+  if (freq > options_.rarity_threshold && count > options_.min_normal_count) {
+    return false;
+  }
+  FlaggedTxn f;
+  f.sequence = observed_;
+  f.shape = shape;
+  f.annotation = annotation;
+  f.frequency = freq;
+  flagged_.push_back(std::move(f));
+  return true;
+}
+
+double AnomalyDetector::ShapeFrequency(const std::string& shape) const {
+  auto it = shape_counts_.find(shape);
+  if (it == shape_counts_.end() || observed_ == 0) return 0;
+  return static_cast<double>(it->second) / static_cast<double>(observed_);
+}
+
+Result<ResultSet> DetectingConnection::Execute(std::string_view sql) {
+  // Shape extraction must not disturb traffic: parse failures and exotic
+  // statements pass through unobserved.
+  auto parsed = sql::Parse(sql);
+  bool txn_boundary = false;
+  if (parsed.ok()) {
+    const sql::Statement& stmt = **parsed;
+    switch (stmt.kind) {
+      case sql::StatementKind::kBegin:
+        in_txn_ = true;
+        shape_.clear();
+        annotation_.clear();
+        break;
+      case sql::StatementKind::kCommit:
+        txn_boundary = true;
+        break;
+      case sql::StatementKind::kRollback:
+        // Aborted work never commits damage; discard.
+        in_txn_ = false;
+        shape_.clear();
+        annotation_.clear();
+        break;
+      case sql::StatementKind::kSelect: {
+        for (const sql::TableRef& ref : stmt.from) {
+          shape_.insert("SELECT:" + ToLowerAscii(ref.name));
+        }
+        break;
+      }
+      case sql::StatementKind::kInsert:
+        shape_.insert("INSERT:" + ToLowerAscii(stmt.table));
+        break;
+      case sql::StatementKind::kUpdate:
+        shape_.insert("UPDATE:" + ToLowerAscii(stmt.table));
+        break;
+      case sql::StatementKind::kDelete:
+        shape_.insert("DELETE:" + ToLowerAscii(stmt.table));
+        break;
+      default:
+        break;
+    }
+  }
+
+  auto result = wrapped_->Execute(sql);
+
+  if (txn_boundary && result.ok()) FinishTxn();
+  if (!in_txn_ && parsed.ok() && !txn_boundary) {
+    // Autocommit statement: it formed a one-statement transaction.
+    const auto kind = (*parsed)->kind;
+    if ((kind == sql::StatementKind::kSelect ||
+         kind == sql::StatementKind::kInsert ||
+         kind == sql::StatementKind::kUpdate ||
+         kind == sql::StatementKind::kDelete) &&
+        result.ok()) {
+      FinishTxn();
+    } else {
+      shape_.clear();
+    }
+  }
+  return result;
+}
+
+void DetectingConnection::FinishTxn() {
+  if (!shape_.empty()) detector_->Observe(shape_, annotation_);
+  in_txn_ = false;
+  shape_.clear();
+  annotation_.clear();
+}
+
+}  // namespace irdb::detect

@@ -1,0 +1,103 @@
+// Transaction-shape anomaly detection (paper §6 future work: "develop a
+// DBMS-specific intrusion detection tool and integrate it with the proposed
+// intrusion resilience mechanism to form an end-to-end database security
+// solution").
+//
+// The detector learns the statement *shape* of each transaction — the set of
+// (statement kind, table) pairs it issues — from a trusted warm-up window.
+// OLTP workloads have a tiny, stable shape vocabulary (each TPC-C type maps
+// to one or two shapes regardless of parameters), so a transaction whose
+// shape was never seen during warm-up (or stays rare afterwards) is flagged.
+// Flagged proxy transaction IDs seed the repair engine's dependency closure,
+// closing the detect -> analyze -> repair loop.
+//
+// DetectingConnection is a DbConnection decorator: statements pass through
+// to the wrapped (typically tracking-proxy) connection while the detector
+// observes their shapes. It never blocks traffic — detection informs repair,
+// it does not prevent (matching the paper's repair-centric design).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "wire/connection.h"
+
+namespace irdb::detect {
+
+// Canonical shape of one transaction: sorted unique (kind, table) pairs,
+// e.g. "INSERT:history SELECT:customer UPDATE:customer ...".
+std::string CanonicalShape(const std::set<std::string>& elements);
+
+struct FlaggedTxn {
+  int64_t sequence = 0;       // detector-assigned transaction sequence no.
+  std::string shape;
+  std::string annotation;     // client label if any
+  double frequency = 0;       // fraction of observed txns with this shape
+};
+
+class AnomalyDetector {
+ public:
+  struct Options {
+    // Transactions observed before scoring starts (profile learning).
+    int64_t warmup_transactions = 100;
+    // Shapes rarer than this fraction after warm-up are flagged.
+    double rarity_threshold = 0.02;
+    // A shape must also have been seen more than this many times before it
+    // can count as normal traffic (stops repeated identical attacks from
+    // "graduating" into the profile).
+    int64_t min_normal_count = 3;
+  };
+
+  AnomalyDetector() = default;
+  explicit AnomalyDetector(Options options) : options_(options) {}
+
+  // Observes one completed transaction; returns true if it was flagged.
+  bool Observe(const std::set<std::string>& shape_elements,
+               const std::string& annotation);
+
+  const std::vector<FlaggedTxn>& flagged() const { return flagged_; }
+  int64_t observed() const { return observed_; }
+  int64_t distinct_shapes() const { return static_cast<int64_t>(shape_counts_.size()); }
+
+  // Frequency of a shape among everything observed so far.
+  double ShapeFrequency(const std::string& shape) const;
+
+ private:
+  Options options_{};
+  int64_t observed_ = 0;
+  std::map<std::string, int64_t> shape_counts_;
+  std::vector<FlaggedTxn> flagged_;
+};
+
+// DbConnection decorator feeding the detector.
+class DetectingConnection : public DbConnection {
+ public:
+  DetectingConnection(DbConnection* wrapped, AnomalyDetector* detector)
+      : wrapped_(wrapped), detector_(detector) {}
+
+  Result<ResultSet> Execute(std::string_view sql) override;
+
+  void SetAnnotation(std::string_view label) override {
+    annotation_ = std::string(label);
+    wrapped_->SetAnnotation(label);
+  }
+
+  std::string Describe() const override {
+    return "detector(" + wrapped_->Describe() + ")";
+  }
+
+ private:
+  void FinishTxn();
+
+  DbConnection* wrapped_;
+  AnomalyDetector* detector_;
+  bool in_txn_ = false;
+  std::set<std::string> shape_;
+  std::string annotation_;
+};
+
+}  // namespace irdb::detect

@@ -1,0 +1,538 @@
+#include "engine/database.h"
+
+#include <algorithm>
+
+#include "sql/parser.h"
+#include "sql/printer.h"
+#include "util/string_utils.h"
+
+namespace irdb {
+
+Database::Database(FlavorTraits traits, IoCostParams io_params)
+    : traits_(std::move(traits)), io_model_(io_params) {
+  sessions_[0] = Session{};  // convenience session
+}
+
+Database::~Database() = default;
+
+int64_t Database::OpenSession() {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t id = next_session_id_++;
+  sessions_[id] = Session{};
+  return id;
+}
+
+void Database::CloseSession(int64_t session_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(session_id);
+  if (it == sessions_.end()) return;
+  if (it->second.in_txn) RollbackTxn(it->second);  // abandon open work
+  sessions_.erase(it);
+}
+
+Result<ResultSet> Database::Execute(int64_t session_id, std::string_view sql_text) {
+  auto parsed = sql::Parse(sql_text);
+  if (!parsed.ok()) return parsed.status();
+  return ExecuteParsed(session_id, **parsed);
+}
+
+Result<ResultSet> Database::ExecuteParsed(int64_t session_id,
+                                          const sql::Statement& stmt) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(session_id);
+  if (it == sessions_.end()) {
+    return Status::InvalidArgument("unknown session " + std::to_string(session_id));
+  }
+  Session& s = it->second;
+  ++stats_.statements;
+  io_model_.AccountStatement();
+
+  switch (stmt.kind) {
+    case sql::StatementKind::kBegin:
+      if (s.in_txn) return Status::FailedPrecondition("transaction already open");
+      BeginTxn(s);
+      return ResultSet{};
+    case sql::StatementKind::kCommit: {
+      if (!s.in_txn) return Status::FailedPrecondition("no open transaction");
+      CommitTxn(s);
+      return ResultSet{};
+    }
+    case sql::StatementKind::kRollback: {
+      if (!s.in_txn) return Status::FailedPrecondition("no open transaction");
+      IRDB_RETURN_IF_ERROR(RollbackTxn(s));
+      return ResultSet{};
+    }
+    case sql::StatementKind::kCreateTable:
+      return ExecCreateTable(stmt);
+    case sql::StatementKind::kDropTable:
+      return ExecDropTable(stmt);
+    default:
+      break;
+  }
+
+  // DML / SELECT: autocommit when no transaction is open.
+  const bool autocommit = !s.in_txn;
+  if (autocommit) BeginTxn(s);
+  Result<ResultSet> result = Dispatch(s, stmt);
+  if (result.ok()) {
+    if (autocommit) CommitTxn(s);
+    return result;
+  }
+  // A failed statement aborts the enclosing transaction (statement-level
+  // atomicity is not implemented; the whole transaction is undone instead,
+  // like PostgreSQL's abort-until-rollback behaviour collapsed into one step).
+  RollbackTxn(s);
+  return result;
+}
+
+Result<ResultSet> Database::Dispatch(Session& s, const sql::Statement& stmt) {
+  switch (stmt.kind) {
+    case sql::StatementKind::kSelect:
+      ++stats_.selects;
+      return ExecSelect(s, stmt);
+    case sql::StatementKind::kInsert:
+      ++stats_.inserts;
+      return ExecInsert(s, stmt);
+    case sql::StatementKind::kUpdate:
+      ++stats_.updates;
+      return ExecUpdate(s, stmt);
+    case sql::StatementKind::kDelete:
+      ++stats_.deletes;
+      return ExecDelete(s, stmt);
+    default:
+      return Status::Internal("Dispatch: unexpected statement kind");
+  }
+}
+
+Result<HeapTable*> Database::RequireTable(const std::string& name) {
+  HeapTable* t = catalog_.Find(name);
+  if (t == nullptr) return Status::NotFound("no table named " + name);
+  return t;
+}
+
+// ------------------------------------------------------------------ txn ctl
+
+void Database::BeginTxn(Session& s) {
+  s.in_txn = true;
+  s.txn_id = next_txn_id_++;
+  s.undo.clear();
+  s.txn_log_bytes = 0;
+  LogRecord rec;
+  rec.txn_id = s.txn_id;
+  rec.op = LogOp::kBegin;
+  wal_.Append(std::move(rec));
+}
+
+void Database::CommitTxn(Session& s) {
+  LogRecord rec;
+  rec.txn_id = s.txn_id;
+  rec.op = LogOp::kCommit;
+  s.txn_log_bytes += rec.ByteSize();
+  wal_.Append(std::move(rec));
+  // Read-only transactions have nothing to make durable — no flush.
+  if (!s.undo.empty()) {
+    io_model_.AccountLogFlush(s.txn_log_bytes);
+    wal_.AccountBytes(s.txn_log_bytes);
+  }
+  s.in_txn = false;
+  s.undo.clear();
+  ++stats_.commits;
+}
+
+namespace {
+
+// Locates a row by exact byte equality, preferring `page_hint`.
+// Returns {-1,-1} when absent.
+RowLoc FindRowByBytes(const HeapTable& table, int32_t page_hint,
+                      std::string_view bytes) {
+  auto search_page = [&](int p) -> int {
+    const Page* page = table.GetPage(p);
+    if (page == nullptr) return -1;
+    for (int s = 0; s < page->row_count(); ++s) {
+      if (page->RowAt(s) == bytes) return s;
+    }
+    return -1;
+  };
+  if (page_hint >= 0) {
+    int slot = search_page(page_hint);
+    if (slot >= 0) return RowLoc{page_hint, slot};
+  }
+  for (int p = 0; p < table.page_count(); ++p) {
+    if (p == page_hint) continue;
+    int slot = search_page(p);
+    if (slot >= 0) return RowLoc{p, slot};
+  }
+  return RowLoc{-1, -1};
+}
+
+}  // namespace
+
+Status Database::RollbackTxn(Session& s) {
+  // Physically revert this transaction's changes, newest first. Rows are
+  // relocated by byte equality (they only move within their page, and only
+  // on DELETE compaction).
+  for (auto it = s.undo.rbegin(); it != s.undo.rend(); ++it) {
+    HeapTable* table = catalog_.FindById(it->table_id);
+    if (table == nullptr) {
+      return Status::Internal("rollback: table vanished");
+    }
+    // Each physical undo step writes a compensation record (CLR) so that
+    // replaying the full WAL at recovery reproduces the page layout exactly.
+    LogRecord clr;
+    clr.txn_id = s.txn_id;
+    clr.table_id = it->table_id;
+    clr.len = table->schema().row_size();
+    clr.is_clr = true;
+    switch (it->op) {
+      case LogOp::kInsert: {
+        RowLoc loc = FindRowByBytes(*table, it->page_hint, it->after);
+        if (loc.page < 0) return Status::Internal("rollback: inserted row missing");
+        clr.op = LogOp::kDelete;
+        clr.page = loc.page;
+        clr.offset = table->OffsetOf(loc);
+        clr.before_image = it->after;
+        table->DeleteAt(loc);
+        break;
+      }
+      case LogOp::kDelete: {
+        RowLoc loc = table->Insert(it->before);
+        clr.op = LogOp::kInsert;
+        clr.page = loc.page;
+        clr.offset = table->OffsetOf(loc);
+        clr.after_image = it->before;
+        break;
+      }
+      case LogOp::kUpdate: {
+        RowLoc loc = FindRowByBytes(*table, it->page_hint, it->after);
+        if (loc.page < 0) return Status::Internal("rollback: updated row missing");
+        clr.op = LogOp::kUpdate;
+        clr.page = loc.page;
+        clr.offset = table->OffsetOf(loc);
+        clr.before_image = it->after;
+        clr.after_image = it->before;
+        table->UpdateAt(loc, it->before);
+        break;
+      }
+      default:
+        return Status::Internal("rollback: bad undo op");
+    }
+    wal_.Append(std::move(clr));
+  }
+  LogRecord rec;
+  rec.txn_id = s.txn_id;
+  rec.op = LogOp::kAbort;
+  wal_.Append(std::move(rec));
+  s.in_txn = false;
+  s.undo.clear();
+  ++stats_.rollbacks;
+  return Status::Ok();
+}
+
+void Database::LogRowOp(Session& s, LogOp op, int32_t table_id,
+                        const HeapTable& table, RowLoc loc, std::string before,
+                        std::string after) {
+  LogRecord rec;
+  rec.txn_id = s.txn_id;
+  rec.op = op;
+  rec.table_id = table_id;
+  rec.page = loc.page;
+  rec.offset = table.OffsetOf(loc);
+  rec.len = table.schema().row_size();
+
+  UndoEntry undo;
+  undo.op = op;
+  undo.table_id = table_id;
+  undo.page_hint = loc.page;
+  undo.before = before;
+  undo.after = after;
+  s.undo.push_back(std::move(undo));
+
+  if (op == LogOp::kUpdate && traits_.diff_update_log) {
+    // Sybase MODIFY: log only the changed column slots.
+    const Schema& schema = table.schema();
+    for (size_t i = 0; i < schema.num_columns(); ++i) {
+      const size_t off = static_cast<size_t>(schema.ColumnOffset(i));
+      const size_t sz = static_cast<size_t>(schema.column(i).EncodedSize());
+      std::string_view b = std::string_view(before).substr(off, sz);
+      std::string_view a = std::string_view(after).substr(off, sz);
+      if (b != a) {
+        rec.diff.push_back(ColumnDiff{static_cast<int32_t>(i),
+                                      std::string(b), std::string(a)});
+      }
+    }
+  } else {
+    if (op != LogOp::kInsert) rec.before_image = std::move(before);
+    if (op != LogOp::kDelete) rec.after_image = std::move(after);
+  }
+  s.txn_log_bytes += rec.ByteSize();
+  wal_.Append(std::move(rec));
+}
+
+// --------------------------------------------------------------------- DDL
+
+Result<ResultSet> Database::ExecCreateTable(const sql::Statement& stmt) {
+  std::vector<Column> cols;
+  cols.reserve(stmt.columns.size());
+  for (const sql::ColumnDef& def : stmt.columns) {
+    if (traits_.has_rowid && EqualsIgnoreCase(def.name, traits_.rowid_name)) {
+      return Status::InvalidArgument("column name " + def.name +
+                                     " collides with the rowid pseudo-column");
+    }
+    for (const Column& existing : cols) {
+      if (EqualsIgnoreCase(existing.name, def.name)) {
+        return Status::InvalidArgument("duplicate column " + def.name);
+      }
+    }
+    Column c;
+    c.name = def.name;
+    switch (def.type) {
+      case sql::ColumnTypeKind::kInt: c.type = ValueType::kInt; break;
+      case sql::ColumnTypeKind::kDouble: c.type = ValueType::kDouble; break;
+      case sql::ColumnTypeKind::kVarchar:
+      case sql::ColumnTypeKind::kChar:
+        c.type = ValueType::kString;
+        c.length = def.length;
+        break;
+    }
+    c.not_null = def.not_null;
+    c.identity = def.identity;
+    if (c.identity && c.type != ValueType::kInt) {
+      return Status::InvalidArgument("IDENTITY column must be INTEGER");
+    }
+    cols.push_back(std::move(c));
+  }
+  if (cols.empty()) return Status::InvalidArgument("table needs columns");
+  Schema schema(std::move(cols), traits_.has_rowid);
+
+  // PRIMARY KEY installs an equality-prefix index (uniqueness itself is not
+  // enforced — the framework's workloads are key-disciplined, and neither
+  // were the paper's TPC-C kits relying on engine-side checks).
+  std::vector<int> key_columns;
+  for (const std::string& pk : stmt.primary_key) {
+    int idx = schema.FindColumn(pk);
+    if (idx < 0) {
+      return Status::InvalidArgument("PRIMARY KEY column " + pk + " undefined");
+    }
+    key_columns.push_back(idx);
+  }
+
+  auto created = catalog_.CreateTable(stmt.table, std::move(schema));
+  if (!created.ok()) return created.status();
+  if (!key_columns.empty()) (*created)->SetPrimaryIndex(std::move(key_columns));
+
+  LogRecord rec;
+  rec.op = LogOp::kDdl;
+  rec.ddl_text = sql::PrintStatement(stmt);
+  wal_.Append(std::move(rec));
+  return ResultSet{};
+}
+
+Result<ResultSet> Database::ExecDropTable(const sql::Statement& stmt) {
+  IRDB_RETURN_IF_ERROR(catalog_.DropTable(stmt.table));
+  LogRecord rec;
+  rec.op = LogOp::kDdl;
+  rec.ddl_text = sql::PrintStatement(stmt);
+  wal_.Append(std::move(rec));
+  return ResultSet{};
+}
+
+// --------------------------------------------------------------------- DML
+
+Result<ResultSet> Database::ExecInsert(Session& s, const sql::Statement& stmt) {
+  IRDB_ASSIGN_OR_RETURN(HeapTable* table, RequireTable(stmt.table));
+  IRDB_ASSIGN_OR_RETURN(int32_t table_id, catalog_.TableId(stmt.table));
+  const Schema& schema = table->schema();
+  const size_t ncols = schema.num_columns();
+
+  // Map provided values to column indices.
+  std::vector<int> target_cols;
+  if (stmt.insert_columns.empty()) {
+    for (size_t i = 0; i < ncols; ++i) target_cols.push_back(static_cast<int>(i));
+  } else {
+    for (const std::string& name : stmt.insert_columns) {
+      int idx = schema.FindColumn(name);
+      if (idx < 0) {
+        return Status::InvalidArgument("INSERT: no column " + name + " in " +
+                                       stmt.table);
+      }
+      target_cols.push_back(idx);
+    }
+  }
+
+  ResultSet rs;
+  RowBinding empty_binding;
+  empty_binding.traits = &traits_;
+  for (const auto& value_exprs : stmt.insert_rows) {
+    if (value_exprs.size() != target_cols.size()) {
+      return Status::InvalidArgument(
+          "INSERT: " + std::to_string(value_exprs.size()) + " values for " +
+          std::to_string(target_cols.size()) + " columns");
+    }
+    Row row;
+    row.values.assign(ncols, Value::Null());
+    for (size_t i = 0; i < value_exprs.size(); ++i) {
+      IRDB_ASSIGN_OR_RETURN(Value v, Eval(*value_exprs[i], empty_binding));
+      row.values[static_cast<size_t>(target_cols[i])] = std::move(v);
+    }
+    // IDENTITY auto-assignment (explicit non-NULL values are honoured, which
+    // is how the repair engine restores deleted Sybase rows with their
+    // original identity — the equivalent of SET IDENTITY_INSERT ON).
+    for (size_t i = 0; i < ncols; ++i) {
+      if (schema.column(i).identity && row.values[i].is_null()) {
+        row.values[i] = Value::Int(table->NextIdentity());
+      }
+      if (schema.column(i).identity) rs.last_identity = row.values[i].as_int();
+    }
+    for (size_t i = 0; i < ncols; ++i) {
+      IRDB_ASSIGN_OR_RETURN(row.values[i], schema.CoerceForColumn(i, row.values[i]));
+    }
+    if (schema.has_hidden_rowid()) {
+      row.rowid = table->NextRowId();
+      rs.last_rowid = row.rowid;
+    }
+    IRDB_ASSIGN_OR_RETURN(std::string bytes, table->codec().Encode(row));
+    RowLoc loc = table->Insert(bytes);
+    io_model_.TouchPageWrite(table_id, loc.page);
+    LogRowOp(s, LogOp::kInsert, table_id, *table, loc, "", std::move(bytes));
+    ++rs.affected;
+  }
+  return rs;
+}
+
+Result<ResultSet> Database::ExecUpdate(Session& s, const sql::Statement& stmt) {
+  IRDB_ASSIGN_OR_RETURN(HeapTable* table, RequireTable(stmt.table));
+  IRDB_ASSIGN_OR_RETURN(int32_t table_id, catalog_.TableId(stmt.table));
+  const Schema& schema = table->schema();
+  const RowCodec& codec = table->codec();
+
+  // Resolve assignment targets once.
+  std::vector<int> assign_cols;
+  for (const auto& [name, expr] : stmt.assignments) {
+    (void)expr;
+    if (traits_.has_rowid && EqualsIgnoreCase(name, traits_.rowid_name)) {
+      return Status::InvalidArgument("cannot assign to rowid");
+    }
+    int idx = schema.FindColumn(name);
+    if (idx < 0) {
+      return Status::InvalidArgument("UPDATE: no column " + name + " in " +
+                                     stmt.table);
+    }
+    assign_cols.push_back(idx);
+  }
+
+  std::vector<std::pair<const Schema*, std::string>> scope{
+      {&schema, stmt.table}};
+  if (stmt.where) {
+    IRDB_RETURN_IF_ERROR(ValidateColumnRefs(*stmt.where, scope, traits_));
+  }
+  for (const auto& [name, expr] : stmt.assignments) {
+    (void)name;
+    IRDB_RETURN_IF_ERROR(ValidateColumnRefs(*expr, scope, traits_));
+  }
+
+  // Phase 1: collect matching rows (updates do not move rows, so locations
+  // collected here stay valid through phase 2).
+  IRDB_ASSIGN_OR_RETURN(auto matches,
+                        CollectMatching(table, table_id, stmt.table,
+                                        stmt.where.get()));
+
+  // Phase 2: evaluate assignments against the OLD row, patch, write, log.
+  for (auto& [loc, old_bytes] : matches) {
+    LazyRow lazy(&codec, old_bytes);
+    RowBinding binding;
+    binding.traits = &traits_;
+    binding.tables.push_back(TableBinding{stmt.table, &lazy, nullptr, nullptr});
+    std::vector<Value> new_values;
+    new_values.reserve(stmt.assignments.size());
+    for (const auto& [name, expr] : stmt.assignments) {
+      (void)name;
+      IRDB_ASSIGN_OR_RETURN(Value v, Eval(*expr, binding));
+      new_values.push_back(std::move(v));
+    }
+    std::string new_bytes = old_bytes;
+    for (size_t i = 0; i < assign_cols.size(); ++i) {
+      const size_t col = static_cast<size_t>(assign_cols[i]);
+      IRDB_ASSIGN_OR_RETURN(Value v, schema.CoerceForColumn(col, new_values[i]));
+      IRDB_RETURN_IF_ERROR(codec.EncodeColumnInPlace(&new_bytes, col, v));
+    }
+    if (new_bytes == old_bytes) {
+      // No-op update: still counts as affected, but nothing to log.
+      continue;
+    }
+    table->UpdateAt(loc, new_bytes);
+    LogRowOp(s, LogOp::kUpdate, table_id, *table, loc, std::move(old_bytes),
+             std::move(new_bytes));
+  }
+  ResultSet rs;
+  rs.affected = static_cast<int64_t>(matches.size());
+  return rs;
+}
+
+Result<ResultSet> Database::ExecDelete(Session& s, const sql::Statement& stmt) {
+  IRDB_ASSIGN_OR_RETURN(HeapTable* table, RequireTable(stmt.table));
+  IRDB_ASSIGN_OR_RETURN(int32_t table_id, catalog_.TableId(stmt.table));
+  const RowCodec& codec = table->codec();
+
+  if (stmt.where) {
+    std::vector<std::pair<const Schema*, std::string>> scope{
+        {&table->schema(), stmt.table}};
+    IRDB_RETURN_IF_ERROR(ValidateColumnRefs(*stmt.where, scope, traits_));
+  }
+
+  IRDB_ASSIGN_OR_RETURN(auto matches,
+                        CollectMatching(table, table_id, stmt.table,
+                                        stmt.where.get()));
+
+  // Delete highest slots first so pending locations stay valid (in-page
+  // compaction only shifts rows at higher slots).
+  std::sort(matches.begin(), matches.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first.page != b.first.page) return a.first.page < b.first.page;
+              return a.first.slot > b.first.slot;
+            });
+  for (auto& [loc, bytes] : matches) {
+    // Log with the offset as of this operation.
+    LogRowOp(s, LogOp::kDelete, table_id, *table, loc, std::move(bytes), "");
+    table->DeleteAt(loc);
+  }
+  ResultSet rs;
+  rs.affected = static_cast<int64_t>(matches.size());
+  return rs;
+}
+
+// --------------------------------------------------------------- state hash
+
+uint64_t Database::StateHash(const std::vector<std::string>& tables,
+                             const std::vector<std::string>& exclude_columns) const {
+  uint64_t h = 1469598103934665603ull;
+  std::vector<std::string> names = tables;
+  std::sort(names.begin(), names.end());
+  for (const std::string& name : names) {
+    const HeapTable* table = catalog_.Find(name);
+    if (table == nullptr) continue;
+    const Schema& schema = table->schema();
+    std::vector<bool> keep(schema.num_columns(), true);
+    for (size_t i = 0; i < schema.num_columns(); ++i) {
+      for (const std::string& ex : exclude_columns) {
+        if (EqualsIgnoreCase(schema.column(i).name, ex)) keep[i] = false;
+      }
+    }
+    std::vector<std::string> rows;
+    table->Scan([&](RowLoc, std::string_view bytes) {
+      std::string repr;
+      for (size_t i = 0; i < schema.num_columns(); ++i) {
+        if (!keep[i]) continue;
+        auto v = table->codec().DecodeColumn(bytes, i);
+        IRDB_CHECK(v.ok());
+        v->AppendTo(&repr);
+      }
+      rows.push_back(std::move(repr));
+    });
+    std::sort(rows.begin(), rows.end());
+    h = Fnv1a(name, h);
+    for (const std::string& r : rows) h = Fnv1a(r, h);
+  }
+  return h;
+}
+
+}  // namespace irdb

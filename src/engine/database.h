@@ -1,0 +1,140 @@
+// The minidb engine: executes SQL text against the catalog/storage layers,
+// writes per-row WAL records in the active flavor's style, and supports
+// sessions with BEGIN/COMMIT/ROLLBACK (plus autocommit).
+//
+// Concurrency model: statements execute serially under a global mutex.
+// Multiple sessions may hold open transactions, but no isolation between
+// them is enforced — the framework's workloads run transactions to
+// completion one at a time, matching the paper's single-client-driver setup.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/expr_eval.h"
+#include "engine/io_model.h"
+#include "engine/result_set.h"
+#include "flavor/flavor_traits.h"
+#include "sql/ast.h"
+#include "storage/catalog.h"
+#include "txn/wal_log.h"
+#include "util/status.h"
+
+namespace irdb {
+
+struct DbStats {
+  int64_t statements = 0;
+  int64_t selects = 0;
+  int64_t inserts = 0;
+  int64_t updates = 0;
+  int64_t deletes = 0;
+  int64_t commits = 0;
+  int64_t rollbacks = 0;
+};
+
+class Database {
+ public:
+  explicit Database(FlavorTraits traits, IoCostParams io_params = {});
+  ~Database();
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  // Session lifecycle. Session 0 is pre-opened for convenience.
+  int64_t OpenSession();
+  void CloseSession(int64_t session_id);
+
+  // Parses and executes one statement.
+  Result<ResultSet> Execute(int64_t session_id, std::string_view sql_text);
+
+  // Executes an already-parsed statement (used by tests; the wire path always
+  // carries text, as the paper's portability argument requires).
+  Result<ResultSet> ExecuteParsed(int64_t session_id, const sql::Statement& stmt);
+
+  const FlavorTraits& traits() const { return traits_; }
+  Catalog& catalog() { return catalog_; }
+  const Catalog& catalog() const { return catalog_; }
+  WalLog& wal() { return wal_; }
+  const WalLog& wal() const { return wal_; }
+  IoModel& io_model() { return io_model_; }
+  const IoModel& io_model() const { return io_model_; }
+  const DbStats& stats() const { return stats_; }
+
+  // Canonical fingerprint of user-visible table contents: rows of each listed
+  // table, decoded, sorted, hashed. Hidden rowids and (optionally) named
+  // columns are excluded. Used by repair-soundness tests and benches.
+  uint64_t StateHash(const std::vector<std::string>& tables,
+                     const std::vector<std::string>& exclude_columns = {}) const;
+
+ private:
+  struct UndoEntry {
+    LogOp op;
+    int32_t table_id;
+    int32_t page_hint;
+    std::string before;  // encoded row (delete/update)
+    std::string after;   // encoded row (insert/update)
+  };
+
+  struct Session {
+    bool in_txn = false;
+    int64_t txn_id = 0;
+    std::vector<UndoEntry> undo;
+    int64_t txn_log_bytes = 0;
+  };
+
+  Result<ResultSet> Dispatch(Session& s, const sql::Statement& stmt);
+
+  Result<ResultSet> ExecSelect(Session& s, const sql::Statement& stmt);
+  Result<ResultSet> ExecInsert(Session& s, const sql::Statement& stmt);
+  Result<ResultSet> ExecUpdate(Session& s, const sql::Statement& stmt);
+  Result<ResultSet> ExecDelete(Session& s, const sql::Statement& stmt);
+  Result<ResultSet> ExecCreateTable(const sql::Statement& stmt);
+  Result<ResultSet> ExecDropTable(const sql::Statement& stmt);
+
+  void BeginTxn(Session& s);
+  void CommitTxn(Session& s);
+  Status RollbackTxn(Session& s);
+
+  // Appends a row-op WAL record in the flavor's style and tracks undo info.
+  void LogRowOp(Session& s, LogOp op, int32_t table_id, const HeapTable& table,
+                RowLoc loc, std::string before, std::string after);
+
+  Result<HeapTable*> RequireTable(const std::string& name);
+
+  // Aggregate-path SELECT executor (GROUP BY / aggregate functions).
+  Result<ResultSet> ExecAggregateSelect(
+      const sql::Statement& stmt,
+      const std::vector<std::pair<HeapTable*, std::string>>& tables);
+
+  // Recursively enumerates the (filtered) cross product of `tables`,
+  // invoking `fn` with a complete RowBinding for each surviving tuple.
+  // Uses primary-key index prefixes (index nested-loop join) where the WHERE
+  // clause provides equality bindings; falls back to page scans.
+  Status JoinScan(
+      const sql::Statement& stmt,
+      const std::vector<std::pair<HeapTable*, std::string>>& tables,
+      const std::function<Status(const RowBinding&)>& fn);
+
+  // Single-table row collection for UPDATE/DELETE: locations plus a copy of
+  // the row bytes for every row satisfying `where` (index-accelerated).
+  Result<std::vector<std::pair<RowLoc, std::string>>> CollectMatching(
+      HeapTable* table, int32_t table_id, const std::string& effective_name,
+      const sql::Expr* where);
+
+  FlavorTraits traits_;
+  Catalog catalog_;
+  WalLog wal_;
+  IoModel io_model_;
+  DbStats stats_;
+
+  std::mutex mu_;
+  std::unordered_map<int64_t, Session> sessions_;
+  int64_t next_session_id_ = 1;
+  int64_t next_txn_id_ = 1;
+};
+
+}  // namespace irdb

@@ -1,0 +1,94 @@
+// Expression evaluation over (possibly joined) rows.
+//
+// LazyRow decodes columns on demand so WHERE predicates over wide TPC-C rows
+// only pay for the columns they touch.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "flavor/flavor_traits.h"
+#include "sql/ast.h"
+#include "storage/row_codec.h"
+#include "util/status.h"
+
+namespace irdb {
+
+// A row whose columns are decoded lazily from the page bytes.
+// Does not own `bytes`; valid only while the underlying page is unchanged.
+class LazyRow {
+ public:
+  LazyRow() = default;
+  LazyRow(const RowCodec* codec, std::string_view bytes)
+      : codec_(codec), bytes_(bytes),
+        cache_(codec->schema().num_columns()) {}
+
+  Result<Value> Get(size_t col) const {
+    if (!cache_[col]) {
+      auto v = codec_->DecodeColumn(bytes_, col);
+      if (!v.ok()) return v;
+      cache_[col] = std::move(v).value();
+    }
+    return *cache_[col];
+  }
+
+  int64_t rowid() const { return codec_->DecodeRowId(bytes_); }
+  const RowCodec& codec() const { return *codec_; }
+  std::string_view bytes() const { return bytes_; }
+
+ private:
+  const RowCodec* codec_ = nullptr;
+  std::string_view bytes_;
+  mutable std::vector<std::optional<Value>> cache_;
+};
+
+// One FROM-table's contribution to the evaluation scope. Exactly one of
+// `row` (lazy, page-backed) or `mat` (materialized) is set; `schema` is
+// required with `mat`.
+struct TableBinding {
+  std::string effective_name;  // alias if present, else table name
+  const LazyRow* row = nullptr;
+  const Row* mat = nullptr;
+  const Schema* schema = nullptr;
+
+  const Schema& GetSchema() const {
+    return schema != nullptr ? *schema : row->codec().schema();
+  }
+};
+
+// Name-resolution + row scope for one (joined) tuple.
+struct RowBinding {
+  std::vector<TableBinding> tables;
+  const FlavorTraits* traits = nullptr;
+
+  // Aggregate results keyed by the FuncCall node, supplied by the aggregate
+  // executor; nullptr in row-level contexts (aggregates then error out).
+  const std::unordered_map<const sql::Expr*, Value>* aggregates = nullptr;
+
+  Result<Value> ResolveColumn(const std::string& table,
+                              const std::string& column) const;
+};
+
+// Evaluates `e` in the given scope.
+Result<Value> Eval(const sql::Expr& e, const RowBinding& binding);
+
+// Collects every column reference in the subtree.
+void CollectColumnRefs(const sql::Expr& e, std::vector<const sql::Expr*>* out);
+
+// Plan-time name resolution: every column reference must resolve to exactly
+// one of the scope's (schema, effective-name) entries — or the rowid
+// pseudo-column — even when the tables hold no rows.
+Status ValidateColumnRefs(
+    const sql::Expr& e,
+    const std::vector<std::pair<const Schema*, std::string>>& scope,
+    const FlavorTraits& traits);
+
+// SQL truthiness: NULL -> false; numeric nonzero -> true; strings invalid.
+Result<bool> IsTruthy(const Value& v);
+
+// SQL LIKE with % and _ wildcards.
+bool SqlLike(std::string_view text, std::string_view pattern);
+
+}  // namespace irdb

@@ -1,0 +1,45 @@
+// Result of executing one SQL statement.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/row_codec.h"
+#include "storage/value.h"
+
+namespace irdb {
+
+struct ResultSet {
+  std::vector<std::string> columns;
+  std::vector<std::vector<Value>> rows;
+
+  // DML row count (INSERT/UPDATE/DELETE).
+  int64_t affected = 0;
+
+  // Generated keys of the last INSERT (JDBC getGeneratedKeys equivalent);
+  // kNoRowId when not applicable. `last_rowid` is the engine-assigned hidden
+  // row ID (Postgres/Oracle flavors); `last_identity` is the value assigned
+  // to an IDENTITY column (Sybase flavor).
+  int64_t last_rowid = kNoRowId;
+  int64_t last_identity = kNoRowId;
+
+  // Approximate wire size, used by the simulated network cost model.
+  int64_t ByteSize() const {
+    int64_t n = 16;
+    for (const auto& c : columns) n += 1 + static_cast<int64_t>(c.size());
+    for (const auto& row : rows) {
+      for (const Value& v : row) {
+        n += 2;
+        if (v.is_string()) {
+          n += static_cast<int64_t>(v.as_string().size());
+        } else if (!v.is_null()) {
+          n += 8;
+        }
+      }
+    }
+    return n;
+  }
+};
+
+}  // namespace irdb

@@ -1,0 +1,631 @@
+// SELECT execution: join scan with single-table predicate pushdown,
+// projection, aggregation with GROUP BY, ORDER BY and LIMIT.
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "engine/database.h"
+#include "util/string_utils.h"
+
+namespace irdb {
+
+namespace {
+
+using sql::Expr;
+using sql::ExprKind;
+
+void SplitConjuncts(const Expr* e, std::vector<const Expr*>* out) {
+  if (e == nullptr) return;
+  if (e->kind == ExprKind::kBinary && e->bin_op == sql::BinaryOp::kAnd) {
+    SplitConjuncts(e->lhs.get(), out);
+    SplitConjuncts(e->rhs.get(), out);
+    return;
+  }
+  out->push_back(e);
+}
+
+void CollectAggregates(const Expr& e, std::vector<const Expr*>* out) {
+  if (e.kind == ExprKind::kFuncCall) {
+    out->push_back(&e);
+    return;  // no nested aggregates
+  }
+  if (e.lhs) CollectAggregates(*e.lhs, out);
+  if (e.rhs) CollectAggregates(*e.rhs, out);
+  if (e.low) CollectAggregates(*e.low, out);
+  if (e.high) CollectAggregates(*e.high, out);
+  for (const auto& item : e.list) CollectAggregates(*item, out);
+}
+
+// Index of the single table a conjunct references, or -1 when it spans
+// several tables (or none — constants evaluate at the join level, cheaply).
+Result<int> ConjunctTable(
+    const Expr& conjunct,
+    const std::vector<std::pair<HeapTable*, std::string>>& tables,
+    const FlavorTraits& traits) {
+  std::vector<const Expr*> refs;
+  CollectColumnRefs(conjunct, &refs);
+  int which = -2;  // -2 = none yet
+  for (const Expr* ref : refs) {
+    int idx = -1;
+    if (!ref->table.empty()) {
+      for (size_t i = 0; i < tables.size(); ++i) {
+        if (EqualsIgnoreCase(tables[i].second, ref->table)) {
+          idx = static_cast<int>(i);
+          break;
+        }
+      }
+      if (idx < 0) {
+        return Status::InvalidArgument("unknown table qualifier " + ref->table);
+      }
+    } else {
+      int hits = 0;
+      for (size_t i = 0; i < tables.size(); ++i) {
+        bool has = tables[i].first->schema().FindColumn(ref->column) >= 0;
+        if (!has && traits.has_rowid &&
+            EqualsIgnoreCase(ref->column, traits.rowid_name)) {
+          has = true;
+        }
+        if (has) {
+          idx = static_cast<int>(i);
+          ++hits;
+        }
+      }
+      if (hits != 1) return -1;  // unknown or ambiguous: defer to join level
+    }
+    if (which == -2) {
+      which = idx;
+    } else if (which != idx) {
+      return -1;
+    }
+  }
+  return which == -2 ? -1 : which;
+}
+
+struct SortableRow {
+  std::vector<Value> out;
+  std::vector<Value> keys;
+};
+
+void SortAndLimit(std::vector<SortableRow>* rows,
+                  const std::vector<sql::OrderItem>& order_by,
+                  const std::optional<int64_t>& limit,
+                  std::vector<std::vector<Value>>* out) {
+  if (!order_by.empty()) {
+    std::stable_sort(rows->begin(), rows->end(),
+                     [&](const SortableRow& a, const SortableRow& b) {
+                       for (size_t i = 0; i < order_by.size(); ++i) {
+                         int c = a.keys[i].Compare(b.keys[i]);
+                         if (c != 0) return order_by[i].desc ? c > 0 : c < 0;
+                       }
+                       return false;
+                     });
+  }
+  size_t n = rows->size();
+  if (limit && static_cast<size_t>(*limit) < n) n = static_cast<size_t>(*limit);
+  out->reserve(n);
+  for (size_t i = 0; i < n; ++i) out->push_back(std::move((*rows)[i].out));
+}
+
+// Aggregate accumulator for one (group, aggregate-call) pair.
+struct AggAccum {
+  int64_t count = 0;       // non-null inputs (or all rows for COUNT(*))
+  bool any = false;
+  bool is_double = false;
+  int64_t isum = 0;
+  double dsum = 0;
+  Value min, max;
+  std::set<Value> distinct;
+
+  void Add(const Value& v, bool use_distinct) {
+    if (use_distinct) {
+      distinct.insert(v);
+      return;
+    }
+    AddRaw(v);
+  }
+
+  void AddRaw(const Value& v) {
+    ++count;
+    if (v.is_numeric()) {
+      if (v.is_double()) is_double = true;
+      if (v.is_int() && !is_double) {
+        isum += v.as_int();
+      } else {
+        dsum = (is_double && !any ? 0 : dsum);  // keep dsum coherent
+        dsum += v.as_double();
+      }
+    }
+    if (!any || v.Compare(min) < 0) min = v;
+    if (!any || v.Compare(max) > 0) max = v;
+    any = true;
+  }
+
+  Value Finalize(const std::string& func, bool use_distinct) {
+    if (use_distinct) {
+      AggAccum flat;
+      for (const Value& v : distinct) flat.AddRaw(v);
+      return flat.Finalize(func, false);
+    }
+    if (func == "COUNT") return Value::Int(count);
+    if (!any) return Value::Null();
+    double total = is_double ? dsum + static_cast<double>(isum)
+                             : static_cast<double>(isum);
+    if (func == "SUM") {
+      return is_double ? Value::Double(total) : Value::Int(isum);
+    }
+    if (func == "AVG") return Value::Double(total / static_cast<double>(count));
+    if (func == "MIN") return min;
+    if (func == "MAX") return max;
+    return Value::Null();
+  }
+};
+
+}  // namespace
+
+namespace {
+
+// Table indices referenced by `e`, as a bitmask over up to 64 FROM tables;
+// returns nullopt when some reference does not resolve to a unique table.
+std::optional<uint64_t> ReferencedTables(
+    const Expr& e, const std::vector<std::pair<HeapTable*, std::string>>& tables,
+    const FlavorTraits& traits) {
+  std::vector<const Expr*> refs;
+  CollectColumnRefs(e, &refs);
+  uint64_t mask = 0;
+  for (const Expr* ref : refs) {
+    int idx = -1, hits = 0;
+    for (size_t i = 0; i < tables.size(); ++i) {
+      if (!ref->table.empty() &&
+          !EqualsIgnoreCase(tables[i].second, ref->table)) {
+        continue;
+      }
+      bool has = tables[i].first->schema().FindColumn(ref->column) >= 0 ||
+                 (traits.has_rowid &&
+                  EqualsIgnoreCase(ref->column, traits.rowid_name));
+      if (has) {
+        idx = static_cast<int>(i);
+        ++hits;
+      }
+    }
+    if (hits != 1) return std::nullopt;
+    mask |= uint64_t{1} << idx;
+  }
+  return mask;
+}
+
+// A conjunct of the form <column of table d> = <expr over tables < d>,
+// usable as an index bound when joining table d.
+struct EqBinding {
+  int column = -1;            // column index within table d's schema
+  const Expr* value = nullptr;
+};
+
+// Per-depth access path: either a primary-index prefix or a full scan.
+struct AccessPath {
+  std::vector<const Expr*> prefix_exprs;  // empty -> full scan
+};
+
+std::vector<AccessPath> PlanAccessPaths(
+    const std::vector<const Expr*>& conjuncts,
+    const std::vector<std::pair<HeapTable*, std::string>>& tables,
+    const FlavorTraits& traits) {
+  const size_t n = tables.size();
+  // Equality bindings available at each depth.
+  std::vector<std::vector<EqBinding>> eq(n);
+  for (const Expr* c : conjuncts) {
+    if (c->kind != ExprKind::kBinary || c->bin_op != sql::BinaryOp::kEq) {
+      continue;
+    }
+    for (int side = 0; side < 2; ++side) {
+      const Expr* col_side = side == 0 ? c->lhs.get() : c->rhs.get();
+      const Expr* val_side = side == 0 ? c->rhs.get() : c->lhs.get();
+      if (col_side->kind != ExprKind::kColumnRef) continue;
+      auto col_mask = ReferencedTables(*col_side, tables, traits);
+      auto val_mask = ReferencedTables(*val_side, tables, traits);
+      if (!col_mask || !val_mask || *col_mask == 0) continue;
+      const int d = __builtin_ctzll(*col_mask);
+      // Every table the value expression touches must be bound earlier.
+      if ((*val_mask >> d) != 0) continue;
+      int col = tables[d].first->schema().FindColumn(col_side->column);
+      if (col < 0) continue;  // rowid pseudo-column: not indexed
+      eq[static_cast<size_t>(d)].push_back(EqBinding{col, val_side});
+    }
+  }
+  std::vector<AccessPath> paths(n);
+  for (size_t d = 0; d < n; ++d) {
+    const TableIndex* index = tables[d].first->index();
+    if (index == nullptr) continue;
+    for (int key_col : index->key_columns()) {
+      const Expr* bound = nullptr;
+      for (const EqBinding& b : eq[d]) {
+        if (b.column == key_col) {
+          bound = b.value;
+          break;
+        }
+      }
+      if (bound == nullptr) break;  // prefix ends
+      paths[d].prefix_exprs.push_back(bound);
+    }
+  }
+  return paths;
+}
+
+}  // namespace
+
+Status Database::JoinScan(
+    const sql::Statement& stmt,
+    const std::vector<std::pair<HeapTable*, std::string>>& tables,
+    const std::function<Status(const RowBinding&)>& fn) {
+  IRDB_CHECK_MSG(tables.size() <= 64, "too many FROM tables");
+  // Classify WHERE conjuncts: per-table filters run during that table's scan.
+  std::vector<const Expr*> conjuncts;
+  SplitConjuncts(stmt.where.get(), &conjuncts);
+  std::vector<std::vector<const Expr*>> table_filters(tables.size());
+  std::vector<const Expr*> join_filters;
+  for (const Expr* c : conjuncts) {
+    IRDB_ASSIGN_OR_RETURN(int idx, ConjunctTable(*c, tables, traits_));
+    if (idx >= 0) {
+      table_filters[static_cast<size_t>(idx)].push_back(c);
+    } else {
+      join_filters.push_back(c);
+    }
+  }
+  std::vector<AccessPath> paths = PlanAccessPaths(conjuncts, tables, traits_);
+
+  const size_t n = tables.size();
+  std::vector<LazyRow> rows(n);
+  RowBinding full;
+  full.traits = &traits_;
+  full.tables.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    // Include the schema so name resolution works before a depth is bound
+    // (index-prefix expressions only read already-bound depths).
+    full.tables[i] = TableBinding{tables[i].second, &rows[i], nullptr,
+                                  &tables[i].first->schema()};
+  }
+
+  std::vector<int32_t> table_ids(n);
+  for (size_t i = 0; i < n; ++i) {
+    IRDB_ASSIGN_OR_RETURN(table_ids[i], catalog_.TableId(tables[i].first->name()));
+  }
+
+  std::function<Status(size_t)> recurse = [&](size_t depth) -> Status {
+    if (depth == n) {
+      for (const Expr* c : join_filters) {
+        IRDB_ASSIGN_OR_RETURN(Value v, Eval(*c, full));
+        IRDB_ASSIGN_OR_RETURN(bool ok, IsTruthy(v));
+        if (!ok) return Status::Ok();
+      }
+      return fn(full);
+    }
+    HeapTable* table = tables[depth].first;
+    const RowCodec& codec = table->codec();
+    RowBinding single;
+    single.traits = &traits_;
+    single.tables.push_back(TableBinding{tables[depth].second, &rows[depth],
+                                         nullptr, &table->schema()});
+
+    auto visit = [&](std::string_view row_bytes) -> Status {
+      io_model_.AccountRowsExamined(1);
+      rows[depth] = LazyRow(&codec, row_bytes);
+      bool pass = true;
+      for (const Expr* c : table_filters[depth]) {
+        IRDB_ASSIGN_OR_RETURN(Value v, Eval(*c, single));
+        IRDB_ASSIGN_OR_RETURN(pass, IsTruthy(v));
+        if (!pass) break;
+      }
+      if (!pass) return Status::Ok();
+      return recurse(depth + 1);
+    };
+
+    if (!paths[depth].prefix_exprs.empty() && table->index() != nullptr) {
+      // Index nested-loop: bind the key prefix from the outer tuple.
+      std::vector<Value> prefix;
+      prefix.reserve(paths[depth].prefix_exprs.size());
+      for (const Expr* e : paths[depth].prefix_exprs) {
+        IRDB_ASSIGN_OR_RETURN(Value v, Eval(*e, full));
+        if (v.is_null()) return Status::Ok();  // NULL never equals anything
+        prefix.push_back(std::move(v));
+      }
+      std::vector<RowLoc> locs;
+      table->index()->LookupPrefix(prefix, &locs);
+      for (RowLoc loc : locs) {
+        io_model_.TouchPage(table_ids[depth], loc.page);
+        IRDB_RETURN_IF_ERROR(visit(table->ReadAt(loc)));
+      }
+      return Status::Ok();
+    }
+
+    for (int p = 0; p < table->page_count(); ++p) {
+      io_model_.TouchPage(table_ids[depth], p);
+      const Page* page = table->GetPage(p);
+      for (int slot = 0; slot < page->row_count(); ++slot) {
+        IRDB_RETURN_IF_ERROR(visit(page->RowAt(slot)));
+      }
+    }
+    return Status::Ok();
+  };
+  return recurse(0);
+}
+
+Result<std::vector<std::pair<RowLoc, std::string>>> Database::CollectMatching(
+    HeapTable* table, int32_t table_id, const std::string& effective_name,
+    const sql::Expr* where) {
+  const RowCodec& codec = table->codec();
+  std::vector<std::pair<HeapTable*, std::string>> tables{{table, effective_name}};
+
+  std::vector<const Expr*> conjuncts;
+  SplitConjuncts(where, &conjuncts);
+  std::vector<AccessPath> paths = PlanAccessPaths(conjuncts, tables, traits_);
+
+  std::vector<std::pair<RowLoc, std::string>> matches;
+  LazyRow lazy;
+  RowBinding binding;
+  binding.traits = &traits_;
+  binding.tables.push_back(
+      TableBinding{effective_name, &lazy, nullptr, &table->schema()});
+
+  auto visit = [&](RowLoc loc, std::string_view bytes) -> Status {
+    io_model_.AccountRowsExamined(1);
+    lazy = LazyRow(&codec, bytes);
+    bool match = true;
+    if (where != nullptr) {
+      IRDB_ASSIGN_OR_RETURN(Value v, Eval(*where, binding));
+      IRDB_ASSIGN_OR_RETURN(match, IsTruthy(v));
+    }
+    if (match) matches.emplace_back(loc, std::string(bytes));
+    return Status::Ok();
+  };
+
+  if (!paths[0].prefix_exprs.empty() && table->index() != nullptr) {
+    std::vector<Value> prefix;
+    for (const Expr* e : paths[0].prefix_exprs) {
+      IRDB_ASSIGN_OR_RETURN(Value v, Eval(*e, binding));
+      if (v.is_null()) return matches;  // NULL equality: no rows
+      prefix.push_back(std::move(v));
+    }
+    std::vector<RowLoc> locs;
+    table->index()->LookupPrefix(prefix, &locs);
+    for (RowLoc loc : locs) {
+      io_model_.TouchPage(table_id, loc.page);
+      IRDB_RETURN_IF_ERROR(visit(loc, table->ReadAt(loc)));
+    }
+    return matches;
+  }
+
+  for (int p = 0; p < table->page_count(); ++p) {
+    io_model_.TouchPage(table_id, p);
+    const Page* page = table->GetPage(p);
+    for (int slot = 0; slot < page->row_count(); ++slot) {
+      IRDB_RETURN_IF_ERROR(visit(RowLoc{p, slot}, page->RowAt(slot)));
+    }
+  }
+  return matches;
+}
+
+Result<ResultSet> Database::ExecSelect(Session& s, const sql::Statement& stmt) {
+  (void)s;
+  std::vector<std::pair<HeapTable*, std::string>> tables;
+  for (const sql::TableRef& ref : stmt.from) {
+    IRDB_ASSIGN_OR_RETURN(HeapTable* t, RequireTable(ref.name));
+    for (const auto& [_, name] : tables) {
+      if (EqualsIgnoreCase(name, ref.effective_name())) {
+        return Status::InvalidArgument("duplicate table name " +
+                                       ref.effective_name() + " in FROM");
+      }
+    }
+    tables.emplace_back(t, ref.effective_name());
+  }
+  if (tables.empty()) return Status::InvalidArgument("SELECT without FROM");
+
+  // Resolve every referenced name up front (empty tables still type-check).
+  std::vector<std::pair<const Schema*, std::string>> scope;
+  scope.reserve(tables.size());
+  for (const auto& [table, name] : tables) {
+    scope.emplace_back(&table->schema(), name);
+  }
+  for (const sql::SelectItem& item : stmt.select_items) {
+    if (item.star) continue;
+    IRDB_RETURN_IF_ERROR(ValidateColumnRefs(*item.expr, scope, traits_));
+  }
+  if (stmt.where) {
+    IRDB_RETURN_IF_ERROR(ValidateColumnRefs(*stmt.where, scope, traits_));
+  }
+  for (const auto& ge : stmt.group_by) {
+    IRDB_RETURN_IF_ERROR(ValidateColumnRefs(*ge, scope, traits_));
+  }
+  for (const auto& oi : stmt.order_by) {
+    IRDB_RETURN_IF_ERROR(ValidateColumnRefs(*oi.expr, scope, traits_));
+  }
+
+  bool aggregate = !stmt.group_by.empty();
+  for (const sql::SelectItem& item : stmt.select_items) {
+    if (!item.star && item.expr->ContainsAggregate()) aggregate = true;
+  }
+  if (aggregate) return ExecAggregateSelect(stmt, tables);
+
+  // Expand the projection list.
+  struct OutCol {
+    int table_idx = -1;  // >=0: direct column fetch
+    int col_idx = -1;
+    const Expr* expr = nullptr;
+    std::string name;
+  };
+  std::vector<OutCol> out_cols;
+  for (const sql::SelectItem& item : stmt.select_items) {
+    if (item.star) {
+      for (size_t t = 0; t < tables.size(); ++t) {
+        if (!item.star_table.empty() &&
+            !EqualsIgnoreCase(tables[t].second, item.star_table)) {
+          continue;
+        }
+        const Schema& schema = tables[t].first->schema();
+        for (size_t c = 0; c < schema.num_columns(); ++c) {
+          out_cols.push_back(OutCol{static_cast<int>(t), static_cast<int>(c),
+                                    nullptr, schema.column(c).name});
+        }
+      }
+    } else {
+      OutCol oc;
+      oc.expr = item.expr.get();
+      if (!item.alias.empty()) {
+        oc.name = item.alias;
+      } else if (item.expr->kind == ExprKind::kColumnRef) {
+        oc.name = item.expr->column;
+      } else {
+        oc.name = "expr";
+      }
+      out_cols.push_back(std::move(oc));
+    }
+  }
+
+  std::vector<SortableRow> rows;
+  IRDB_RETURN_IF_ERROR(JoinScan(stmt, tables, [&](const RowBinding& binding) -> Status {
+    SortableRow row;
+    row.out.reserve(out_cols.size());
+    for (const OutCol& oc : out_cols) {
+      if (oc.expr != nullptr) {
+        IRDB_ASSIGN_OR_RETURN(Value v, Eval(*oc.expr, binding));
+        row.out.push_back(std::move(v));
+      } else {
+        IRDB_ASSIGN_OR_RETURN(
+            Value v, binding.tables[static_cast<size_t>(oc.table_idx)].row->Get(
+                         static_cast<size_t>(oc.col_idx)));
+        row.out.push_back(std::move(v));
+      }
+    }
+    row.keys.reserve(stmt.order_by.size());
+    for (const sql::OrderItem& oi : stmt.order_by) {
+      IRDB_ASSIGN_OR_RETURN(Value v, Eval(*oi.expr, binding));
+      row.keys.push_back(std::move(v));
+    }
+    rows.push_back(std::move(row));
+    return Status::Ok();
+  }));
+
+  ResultSet rs;
+  for (const OutCol& oc : out_cols) rs.columns.push_back(oc.name);
+  SortAndLimit(&rows, stmt.order_by, stmt.limit, &rs.rows);
+  return rs;
+}
+
+Result<ResultSet> Database::ExecAggregateSelect(
+    const sql::Statement& stmt,
+    const std::vector<std::pair<HeapTable*, std::string>>& tables) {
+  // Gather the aggregate call sites.
+  std::vector<const Expr*> agg_nodes;
+  for (const sql::SelectItem& item : stmt.select_items) {
+    if (item.star) {
+      return Status::InvalidArgument("* not allowed with aggregates");
+    }
+    CollectAggregates(*item.expr, &agg_nodes);
+  }
+  for (const sql::OrderItem& oi : stmt.order_by) {
+    CollectAggregates(*oi.expr, &agg_nodes);
+  }
+  for (const Expr* agg : agg_nodes) {
+    const std::string& f = agg->func_name;
+    if (f != "SUM" && f != "COUNT" && f != "MIN" && f != "MAX" && f != "AVG") {
+      return Status::Unimplemented("aggregate function " + f);
+    }
+  }
+
+  struct Group {
+    std::vector<Value> keys;
+    std::vector<Row> rep_rows;  // materialized first tuple, for key columns
+    std::vector<AggAccum> accums;
+  };
+  std::map<std::string, Group> groups;
+
+  IRDB_RETURN_IF_ERROR(JoinScan(stmt, tables, [&](const RowBinding& binding) -> Status {
+    std::vector<Value> keys;
+    keys.reserve(stmt.group_by.size());
+    std::string key_repr;
+    for (const auto& ge : stmt.group_by) {
+      IRDB_ASSIGN_OR_RETURN(Value v, Eval(*ge, binding));
+      v.AppendTo(&key_repr);
+      keys.push_back(std::move(v));
+    }
+    auto [it, inserted] = groups.try_emplace(key_repr);
+    Group& g = it->second;
+    if (inserted) {
+      g.keys = std::move(keys);
+      g.accums.resize(agg_nodes.size());
+      g.rep_rows.reserve(binding.tables.size());
+      for (const TableBinding& tb : binding.tables) {
+        auto mat = tb.row->codec().Decode(tb.row->bytes());
+        if (!mat.ok()) return mat.status();
+        g.rep_rows.push_back(std::move(mat).value());
+      }
+    }
+    for (size_t a = 0; a < agg_nodes.size(); ++a) {
+      const Expr* agg = agg_nodes[a];
+      if (agg->star_arg) {
+        ++g.accums[a].count;
+        g.accums[a].any = true;
+        continue;
+      }
+      IRDB_ASSIGN_OR_RETURN(Value v, Eval(*agg->list[0], binding));
+      if (v.is_null()) continue;
+      g.accums[a].Add(v, agg->distinct);
+    }
+    return Status::Ok();
+  }));
+
+  // A global aggregate over an empty input still yields one row.
+  if (groups.empty() && stmt.group_by.empty()) {
+    Group g;
+    g.accums.resize(agg_nodes.size());
+    for (const auto& [table, _] : tables) {
+      Row blank;
+      blank.values.assign(table->schema().num_columns(), Value::Null());
+      g.rep_rows.push_back(std::move(blank));
+    }
+    groups.emplace("", std::move(g));
+  }
+
+  ResultSet rs;
+  for (const sql::SelectItem& item : stmt.select_items) {
+    if (!item.alias.empty()) {
+      rs.columns.push_back(item.alias);
+    } else if (item.expr->kind == ExprKind::kColumnRef) {
+      rs.columns.push_back(item.expr->column);
+    } else if (item.expr->kind == ExprKind::kFuncCall) {
+      rs.columns.push_back(ToLowerAscii(item.expr->func_name));
+    } else {
+      rs.columns.push_back("expr");
+    }
+  }
+
+  std::vector<SortableRow> rows;
+  for (auto& [_, g] : groups) {
+    std::unordered_map<const Expr*, Value> agg_values;
+    for (size_t a = 0; a < agg_nodes.size(); ++a) {
+      agg_values[agg_nodes[a]] =
+          g.accums[a].Finalize(agg_nodes[a]->func_name, agg_nodes[a]->distinct);
+    }
+    RowBinding binding;
+    binding.traits = &traits_;
+    binding.aggregates = &agg_values;
+    binding.tables.reserve(tables.size());
+    for (size_t t = 0; t < tables.size(); ++t) {
+      binding.tables.push_back(TableBinding{tables[t].second, nullptr,
+                                            &g.rep_rows[t],
+                                            &tables[t].first->schema()});
+    }
+    SortableRow row;
+    for (const sql::SelectItem& item : stmt.select_items) {
+      IRDB_ASSIGN_OR_RETURN(Value v, Eval(*item.expr, binding));
+      row.out.push_back(std::move(v));
+    }
+    for (const sql::OrderItem& oi : stmt.order_by) {
+      IRDB_ASSIGN_OR_RETURN(Value v, Eval(*oi.expr, binding));
+      row.keys.push_back(std::move(v));
+    }
+    rows.push_back(std::move(row));
+  }
+  SortAndLimit(&rows, stmt.order_by, stmt.limit, &rs.rows);
+  return rs;
+}
+
+}  // namespace irdb

@@ -1,0 +1,54 @@
+// Vendor-flavor traits.
+//
+// The paper's framework is portable across DBMSs that differ in exactly the
+// observable properties captured here (§4): whether a read-only row-ID
+// pseudo-column exists, and how much of an updated row the transaction log
+// retains.
+#pragma once
+
+#include <string>
+
+namespace irdb {
+
+enum class FlavorKind { kPostgres, kOracle, kSybase };
+
+struct FlavorTraits {
+  FlavorKind kind = FlavorKind::kPostgres;
+  std::string name;
+
+  // Engine maintains a hidden row ID exposed as a read-only pseudo-column
+  // (`rowid`). Sybase has none — the proxy must inject an identity column
+  // into every CREATE TABLE (§4.3).
+  bool has_rowid = true;
+  std::string rowid_name = "rowid";
+
+  // UPDATE log records carry only the changed column slots (Sybase MODIFY)
+  // instead of complete before/after images (Postgres/Oracle).
+  bool diff_update_log = false;
+
+  static FlavorTraits Postgres() {
+    FlavorTraits t;
+    t.kind = FlavorKind::kPostgres;
+    t.name = "postgres";
+    return t;
+  }
+
+  static FlavorTraits Oracle() {
+    FlavorTraits t;
+    t.kind = FlavorKind::kOracle;
+    t.name = "oracle";
+    return t;
+  }
+
+  static FlavorTraits Sybase() {
+    FlavorTraits t;
+    t.kind = FlavorKind::kSybase;
+    t.name = "sybase";
+    t.has_rowid = false;
+    t.rowid_name.clear();
+    t.diff_update_log = true;
+    return t;
+  }
+};
+
+}  // namespace irdb

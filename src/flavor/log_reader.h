@@ -1,0 +1,41 @@
+// FlavorLogReader: vendor-specific transaction-log access (§4).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/database.h"
+#include "flavor/repair_op.h"
+#include "util/status.h"
+
+namespace irdb {
+
+class FlavorLogReader {
+ public:
+  virtual ~FlavorLogReader() = default;
+
+  // Reconstructs every row operation of every *committed* transaction, in
+  // log order. Must be called before any compensating statement runs (the
+  // Sybase path reads live pages).
+  virtual Result<std::vector<RepairOp>> ReadCommitted() = 0;
+
+  virtual std::string name() const = 0;
+};
+
+// Creates the reader matching `db`'s flavor.
+std::unique_ptr<FlavorLogReader> MakeLogReader(Database* db);
+
+// Shared helpers for readers --------------------------------------------
+
+// Internal txn ids that have a kCommit record in the WAL.
+std::vector<int64_t> CommittedTxnIds(const WalLog& wal);
+
+// Decodes an encoded full row into (column name, value) pairs and pulls out
+// the row address / before_trid / trans_dep fields shared by all flavors.
+// `image_is_before` selects which image the address is read from.
+Status PopulateFromFullImages(const Database& db, const HeapTable& table,
+                              const std::string& before_image,
+                              const std::string& after_image, RepairOp* op);
+
+}  // namespace irdb

@@ -1,0 +1,20 @@
+#include "flavor/log_reader.h"
+#include "flavor/oracle_logminer.h"
+#include "flavor/postgres_reader.h"
+#include "flavor/sybase_reader.h"
+
+namespace irdb {
+
+std::unique_ptr<FlavorLogReader> MakeLogReader(Database* db) {
+  switch (db->traits().kind) {
+    case FlavorKind::kPostgres:
+      return std::make_unique<PostgresLogReader>(db);
+    case FlavorKind::kOracle:
+      return std::make_unique<OracleLogReader>(db);
+    case FlavorKind::kSybase:
+      return std::make_unique<SybaseLogReader>(db);
+  }
+  return nullptr;
+}
+
+}  // namespace irdb

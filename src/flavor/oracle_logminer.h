@@ -1,0 +1,42 @@
+// Oracle-flavor log access (§4.1).
+//
+// Oracle exposes the binary redo log through LogMiner: a relational view
+// v$logmnr_contents with one row per log entry, carrying ready-made
+// `sql_redo` / `sql_undo` statements addressed by ROWID. We reproduce both
+// halves faithfully:
+//   1. BuildLogMinerView() converts the raw log into LogMinerRow entries,
+//      synthesizing redo/undo SQL text exactly as LogMiner renders it;
+//   2. OracleLogReader parses those SQL strings back (with the framework's
+//      own parser) into normalized RepairOps — the repair tool never touches
+//      the binary log, only the view, matching the paper's prototype.
+#pragma once
+
+#include "flavor/log_reader.h"
+
+namespace irdb {
+
+struct LogMinerRow {
+  int64_t scn = 0;           // system change number (our LSN)
+  int64_t xid = 0;           // internal transaction id
+  std::string operation;     // "INSERT" / "DELETE" / "UPDATE"
+  std::string table_name;
+  std::string sql_redo;
+  std::string sql_undo;
+};
+
+// Emulates DBMS_LOGMNR: committed transactions only, log order.
+Result<std::vector<LogMinerRow>> BuildLogMinerView(Database* db);
+
+class OracleLogReader : public FlavorLogReader {
+ public:
+  explicit OracleLogReader(Database* db) : db_(db) {}
+
+  Result<std::vector<RepairOp>> ReadCommitted() override;
+
+  std::string name() const override { return "oracle-logminer"; }
+
+ private:
+  Database* db_;
+};
+
+}  // namespace irdb

@@ -1,0 +1,29 @@
+#include "flavor/postgres_reader.h"
+
+#include <set>
+
+namespace irdb {
+
+Result<std::vector<RepairOp>> PostgresLogReader::ReadCommitted() {
+  const WalLog& wal = db_->wal();
+  std::vector<int64_t> committed_list = CommittedTxnIds(wal);
+  std::set<int64_t> committed(committed_list.begin(), committed_list.end());
+
+  std::vector<RepairOp> out;
+  for (const LogRecord& rec : wal.records()) {
+    if (!rec.IsRowOp() || !committed.count(rec.txn_id)) continue;
+    HeapTable* table = db_->catalog().FindById(rec.table_id);
+    if (table == nullptr) continue;  // table dropped since
+    RepairOp op;
+    op.lsn = rec.lsn;
+    op.internal_txn_id = rec.txn_id;
+    op.op = rec.op;
+    op.table = table->name();
+    IRDB_RETURN_IF_ERROR(PopulateFromFullImages(*db_, *table, rec.before_image,
+                                                rec.after_image, &op));
+    out.push_back(std::move(op));
+  }
+  return out;
+}
+
+}  // namespace irdb

@@ -1,0 +1,51 @@
+// RepairOp: one fully-reconstructed row operation from the transaction log.
+//
+// Each flavor's log reader produces these through its own vendor mechanism
+// (§4 of the paper): Postgres decodes complete WAL images, Oracle goes
+// through a synthesized LogMiner view's redo/undo SQL, Sybase reconstructs
+// full rows from changed-bytes-only MODIFY records via the dbcc page /
+// offset-adjustment algorithm of §4.3. The repair engine consumes the
+// normalized stream for dependency reconstruction and compensation.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "storage/value.h"
+#include "txn/log_record.h"
+
+namespace irdb {
+
+struct RepairOp {
+  int64_t lsn = 0;
+  int64_t internal_txn_id = 0;
+  LogOp op = LogOp::kInsert;
+  std::string table;  // catalog name
+
+  // Row address for compensation targeting: the hidden rowid (Postgres /
+  // Oracle flavors) or the injected `rid` identity value (Sybase).
+  int64_t row_address = -1;
+
+  // Proxy txn id that last wrote the row, recovered from the before image's
+  // trid column. Present for UPDATE/DELETE of tracked tables (§3.3:
+  // "transaction dependencies due to UPDATE and DELETE statements are
+  // generated at repair time").
+  std::optional<int64_t> before_trid;
+
+  // Column values needed to compensate the operation:
+  //  - kUpdate: the changed columns' before values (a reverse UPDATE);
+  //  - kDelete: every column's value (a re-INSERT);
+  //  - kInsert: every column's value (for trans_dep correlation and for
+  //    re-deletion targeting; Sybase keeps `rid` here too).
+  std::vector<std::pair<std::string, Value>> values;
+
+  // trans_dep correlation (set on kInsert into trans_dep).
+  bool is_trans_dep_insert = false;
+  std::optional<int64_t> inserted_tr_id;
+  std::string inserted_dep_payload;
+};
+
+}  // namespace irdb

@@ -1,0 +1,102 @@
+// Dual-proxy architecture (paper Fig. 2).
+//
+// The client-side JDBC proxy is just a forwarder: it ships SQL text over the
+// proxy protocol (our wire protocol) to the server machine. The server-side
+// proxy performs all tracking and talks to the DBMS through a local
+// connection — so an attacker bypassing the client proxy with a raw driver
+// would still have to get past the server-side one.
+//
+// In-process composition:
+//   RemoteConnection -> Channel(latency) -> ServerProxyHost
+//     -> TrackingProxy -> DirectConnection -> Database
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "proxy/tracking_proxy.h"
+#include "wire/protocol.h"
+
+namespace irdb::proxy {
+
+class ServerProxyHost {
+ public:
+  ServerProxyHost(Database* db, TxnIdAllocator* alloc, FlavorTraits traits)
+      : db_(db), alloc_(alloc), traits_(std::move(traits)) {}
+
+  // Byte-level handler, pluggable into a LoopbackChannel.
+  std::string Handle(std::string_view request_bytes) {
+    WireResponse resp;
+    auto req = DecodeRequest(request_bytes);
+    if (!req.ok()) {
+      resp.ok = false;
+      resp.error_code = req.status().code();
+      resp.error_message = req.status().message();
+      return EncodeResponse(resp);
+    }
+    switch (req->kind) {
+      case WireRequest::Kind::kConnect: {
+        int64_t id = next_session_++;
+        auto conn = std::make_unique<DirectConnection>(db_);
+        auto proxy = std::make_unique<TrackingProxy>(conn.get(), alloc_, traits_);
+        sessions_[id] = Sess{std::move(conn), std::move(proxy)};
+        resp.ok = true;
+        resp.session = id;
+        break;
+      }
+      case WireRequest::Kind::kDisconnect:
+        sessions_.erase(req->session);
+        resp.ok = true;
+        resp.session = req->session;
+        break;
+      case WireRequest::Kind::kAnnotate: {
+        auto it = sessions_.find(req->session);
+        if (it == sessions_.end()) {
+          resp.ok = false;
+          resp.error_code = StatusCode::kInvalidArgument;
+          resp.error_message = "unknown proxy session";
+          break;
+        }
+        it->second.proxy->SetAnnotation(req->sql);
+        resp.ok = true;
+        resp.session = req->session;
+        break;
+      }
+      case WireRequest::Kind::kExec: {
+        auto it = sessions_.find(req->session);
+        if (it == sessions_.end()) {
+          resp.ok = false;
+          resp.error_code = StatusCode::kInvalidArgument;
+          resp.error_message = "unknown proxy session";
+          break;
+        }
+        auto result = it->second.proxy->Execute(req->sql);
+        if (result.ok()) {
+          resp.ok = true;
+          resp.session = req->session;
+          resp.result = std::move(result).value();
+        } else {
+          resp.ok = false;
+          resp.error_code = result.status().code();
+          resp.error_message = result.status().message();
+        }
+        break;
+      }
+    }
+    return EncodeResponse(resp);
+  }
+
+ private:
+  struct Sess {
+    std::unique_ptr<DirectConnection> conn;
+    std::unique_ptr<TrackingProxy> proxy;
+  };
+
+  Database* db_;
+  TxnIdAllocator* alloc_;
+  FlavorTraits traits_;
+  std::map<int64_t, Sess> sessions_;
+  int64_t next_session_ = 1;
+};
+
+}  // namespace irdb::proxy

@@ -1,0 +1,121 @@
+#include "proxy/rewriter.h"
+
+#include "util/string_utils.h"
+
+namespace irdb::proxy {
+
+using sql::Statement;
+using sql::StatementKind;
+using sql::StatementPtr;
+
+Result<RewrittenSelect> SqlRewriter::RewriteSelect(const Statement& stmt) const {
+  IRDB_CHECK(stmt.kind == StatementKind::kSelect);
+  RewrittenSelect out;
+
+  bool aggregate = !stmt.group_by.empty();
+  for (const sql::SelectItem& item : stmt.select_items) {
+    if (!item.star && item.expr->ContainsAggregate()) aggregate = true;
+  }
+
+  for (const sql::TableRef& ref : stmt.from) {
+    out.trid_source_tables.push_back(ref.name);
+  }
+
+  if (aggregate) {
+    // Table 1, aggregate row: issue a separate read-set fetch
+    //   SELECT t1.trid, ..., tk.trid FROM t1..tk WHERE c
+    // then forward the aggregate query unchanged. (No GROUP BY on the fetch:
+    // the read set is every row satisfying c.)
+    auto fetch = sql::MakeStatement(StatementKind::kSelect);
+    fetch->from = stmt.from;
+    if (stmt.where) fetch->where = stmt.where->Clone();
+    for (const sql::TableRef& ref : stmt.from) {
+      sql::SelectItem item;
+      item.expr = sql::MakeColumnRef(ref.effective_name(), kTridColumn);
+      fetch->select_items.push_back(std::move(item));
+    }
+    out.dep_fetch = std::move(fetch);
+    out.main = stmt.Clone();
+    out.appended = 0;
+    return out;
+  }
+
+  // Table 1, plain row: append t.trid for every FROM table.
+  out.main = stmt.Clone();
+  for (const sql::TableRef& ref : stmt.from) {
+    sql::SelectItem item;
+    item.expr = sql::MakeColumnRef(ref.effective_name(), kTridColumn);
+    out.main->select_items.push_back(std::move(item));
+    ++out.appended;
+  }
+  return out;
+}
+
+Result<StatementPtr> SqlRewriter::RewriteUpdate(const Statement& stmt,
+                                                int64_t cur_trid) const {
+  IRDB_CHECK(stmt.kind == StatementKind::kUpdate);
+  for (const auto& [col, _] : stmt.assignments) {
+    if (EqualsIgnoreCase(col, kTridColumn)) {
+      return Status::InvalidArgument(
+          "client statements may not assign the reserved trid column");
+    }
+  }
+  StatementPtr out = stmt.Clone();
+  out->assignments.emplace_back(kTridColumn,
+                                sql::MakeLiteral(Value::Int(cur_trid)));
+  return out;
+}
+
+Result<StatementPtr> SqlRewriter::RewriteInsert(const Statement& stmt,
+                                                int64_t cur_trid) const {
+  IRDB_CHECK(stmt.kind == StatementKind::kInsert);
+  StatementPtr out = stmt.Clone();
+  if (out->insert_columns.empty()) {
+    if (NeedsIdentityInjection()) {
+      return Status::InvalidArgument(
+          "positional INSERT not supported under the " + traits_.name +
+          " flavor: the injected identity column requires named columns");
+    }
+    // Positional values line up with the user columns; trid was appended as
+    // the last column at CREATE time, so appending the value suffices.
+  } else {
+    for (const std::string& col : out->insert_columns) {
+      if (EqualsIgnoreCase(col, kTridColumn)) {
+        return Status::InvalidArgument(
+            "client statements may not insert into the reserved trid column");
+      }
+    }
+    out->insert_columns.push_back(kTridColumn);
+  }
+  for (auto& row : out->insert_rows) {
+    row.push_back(sql::MakeLiteral(Value::Int(cur_trid)));
+  }
+  return out;
+}
+
+Result<StatementPtr> SqlRewriter::RewriteCreateTable(const Statement& stmt) const {
+  IRDB_CHECK(stmt.kind == StatementKind::kCreateTable);
+  for (const sql::ColumnDef& def : stmt.columns) {
+    if (EqualsIgnoreCase(def.name, kTridColumn) ||
+        (NeedsIdentityInjection() &&
+         EqualsIgnoreCase(def.name, kSybaseRowIdColumn))) {
+      return Status::InvalidArgument("column name " + def.name +
+                                     " is reserved by the tracking proxy");
+    }
+  }
+  StatementPtr out = stmt.Clone();
+  sql::ColumnDef trid;
+  trid.name = kTridColumn;
+  trid.type = sql::ColumnTypeKind::kInt;
+  out->columns.push_back(trid);
+  if (NeedsIdentityInjection()) {
+    sql::ColumnDef rid;
+    rid.name = kSybaseRowIdColumn;
+    rid.type = sql::ColumnTypeKind::kInt;
+    rid.identity = true;
+    out->columns.push_back(rid);
+  }
+  return out;
+}
+
+}  // namespace irdb::proxy

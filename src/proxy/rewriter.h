@@ -1,0 +1,77 @@
+// SqlRewriter — the statement transformations of Table 1 in the paper.
+//
+//   SELECT a1..an FROM t1..tk WHERE c
+//     -> SELECT a1..an, t1.trid, ..., tk.trid FROM t1..tk WHERE c
+//   SELECT SUM(t.a) FROM t WHERE c GROUP BY t.b       (aggregate query)
+//     -> SELECT t1.trid, ..., tk.trid FROM t1..tk WHERE c   (dep fetch)
+//        SELECT SUM(t.a) FROM t WHERE c GROUP BY t.b        (unchanged)
+//   UPDATE t SET a1=v1.. WHERE c
+//     -> UPDATE t SET a1=v1.., trid = curTrID WHERE c
+//   INSERT INTO t(a1..an) VALUES (v1..vn)
+//     -> INSERT INTO t(a1..an, trid) VALUES (v1..vn, curTrID)
+//   CREATE TABLE t (...)
+//     -> CREATE TABLE t (..., trid INTEGER [, rid INTEGER IDENTITY])
+//        (the identity column is injected for the Sybase flavor, §4.3)
+//   DELETE / COMMIT handling lives in the TrackingProxy (COMMIT additionally
+//   inserts into trans_dep; DELETE passes through — its dependencies are
+//   reconstructed from the log at repair time).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "flavor/flavor_traits.h"
+#include "sql/ast.h"
+#include "util/status.h"
+
+namespace irdb::proxy {
+
+inline constexpr char kTridColumn[] = "trid";
+inline constexpr char kSybaseRowIdColumn[] = "rid";
+inline constexpr char kTransDepTable[] = "trans_dep";
+inline constexpr char kAnnotTable[] = "annot";
+
+struct RewrittenSelect {
+  // Optional dependency-fetch statement to run before `main` (aggregate
+  // queries only): SELECT t1.trid, ..., tk.trid FROM ... WHERE c.
+  sql::StatementPtr dep_fetch;
+  // The statement whose results go back to the client. For non-aggregate
+  // selects this carries `appended` extra trid columns at the end, which the
+  // proxy reads for dependency tracking and then strips.
+  sql::StatementPtr main;
+  // Real (catalog) table name per appended trid column / dep-fetch column,
+  // in output order — provenance for table-aware DBA false-dependency
+  // filtering (DESIGN.md §2).
+  std::vector<std::string> trid_source_tables;
+  size_t appended = 0;
+};
+
+class SqlRewriter {
+ public:
+  explicit SqlRewriter(FlavorTraits traits) : traits_(std::move(traits)) {}
+
+  // `stmt` must be a SELECT. curTrID is not needed for reads.
+  Result<RewrittenSelect> RewriteSelect(const sql::Statement& stmt) const;
+
+  // Appends `trid = curTrID` to the SET list.
+  Result<sql::StatementPtr> RewriteUpdate(const sql::Statement& stmt,
+                                          int64_t cur_trid) const;
+
+  // Appends the trid column/value. Positional (column-list-free) inserts are
+  // supported only for flavors without an injected identity column.
+  Result<sql::StatementPtr> RewriteInsert(const sql::Statement& stmt,
+                                          int64_t cur_trid) const;
+
+  // Appends trid INTEGER and, for flavors lacking a rowid pseudo-column,
+  // a rid INTEGER IDENTITY column.
+  Result<sql::StatementPtr> RewriteCreateTable(const sql::Statement& stmt) const;
+
+  const FlavorTraits& traits() const { return traits_; }
+
+ private:
+  bool NeedsIdentityInjection() const { return !traits_.has_rowid; }
+
+  FlavorTraits traits_;
+};
+
+}  // namespace irdb::proxy

@@ -1,0 +1,251 @@
+#include "proxy/tracking_proxy.h"
+
+#include "sql/parser.h"
+#include "sql/printer.h"
+#include "util/string_utils.h"
+
+namespace irdb::proxy {
+
+using sql::Statement;
+using sql::StatementKind;
+
+namespace {
+
+// trans_dep.dep_tr_ids capacity; longer dependency sets span multiple rows.
+// Kept modest: the engine's fixed-width row layout reserves the full
+// capacity per row, and trans_dep is the hottest insert in the system.
+constexpr size_t kDepVarcharCapacity = 480;
+
+}  // namespace
+
+std::string EncodeDepTokens(const std::set<DepEntry>& deps) {
+  std::string out;
+  for (const auto& [table, id] : deps) {
+    if (!out.empty()) out.push_back(' ');
+    out.append(table).push_back(':');
+    out.append(std::to_string(id));
+  }
+  return out;
+}
+
+Result<std::vector<DepEntry>> ParseDepTokens(std::string_view payload) {
+  std::vector<DepEntry> out;
+  for (const std::string& token : SplitNonEmpty(payload, ' ')) {
+    size_t colon = token.rfind(':');
+    if (colon == std::string::npos) {
+      return Status::InvalidArgument("bad dep token: " + token);
+    }
+    int64_t id = 0;
+    if (!ParseInt64(std::string_view(token).substr(colon + 1), &id)) {
+      return Status::InvalidArgument("bad dep token id: " + token);
+    }
+    out.emplace_back(token.substr(0, colon), id);
+  }
+  return out;
+}
+
+Result<ResultSet> TrackingProxy::Forward(const Statement& stmt) {
+  ++stats_.backend_statements;
+  return backend_->Execute(sql::PrintStatement(stmt));
+}
+
+Result<ResultSet> TrackingProxy::Execute(std::string_view sql_text) {
+  ++stats_.client_statements;
+  auto parsed = sql::Parse(sql_text);
+  if (!parsed.ok()) return parsed.status();
+  const Statement& stmt = **parsed;
+
+  switch (stmt.kind) {
+    case StatementKind::kBegin: {
+      if (in_txn_) return Status::FailedPrecondition("transaction already open");
+      IRDB_RETURN_IF_ERROR(HandleBegin());
+      return ResultSet{};
+    }
+    case StatementKind::kCommit:
+      if (!in_txn_) return Status::FailedPrecondition("no open transaction");
+      return HandleCommit();
+    case StatementKind::kRollback: {
+      if (!in_txn_) return Status::FailedPrecondition("no open transaction");
+      in_txn_ = false;
+      deps_.clear();
+      annotation_.clear();
+      return Forward(stmt);
+    }
+    case StatementKind::kCreateTable: {
+      auto rewritten = rewriter_.RewriteCreateTable(stmt);
+      if (!rewritten.ok()) return rewritten.status();
+      return Forward(**rewritten);
+    }
+    case StatementKind::kDropTable:
+      return Forward(stmt);
+    default:
+      break;
+  }
+
+  // Tracked DML / SELECT. Wrap autocommit statements in an explicit
+  // transaction so the trans_dep record lands atomically with the statement.
+  if (in_txn_) return ExecuteTracked(stmt);
+
+  IRDB_RETURN_IF_ERROR(HandleBegin());
+  Result<ResultSet> result = ExecuteTracked(stmt);
+  if (!result.ok()) {
+    in_txn_ = false;
+    deps_.clear();
+    annotation_.clear();
+    auto rollback = sql::MakeStatement(StatementKind::kRollback);
+    (void)Forward(*rollback);  // best effort
+    return result;
+  }
+  auto commit = HandleCommit();
+  if (!commit.ok()) return commit.status();
+  return result;
+}
+
+Status TrackingProxy::HandleBegin() {
+  auto begin = sql::MakeStatement(StatementKind::kBegin);
+  auto r = Forward(*begin);
+  if (!r.ok()) return r.status();
+  in_txn_ = true;
+  cur_trid_ = alloc_->Next();
+  deps_.clear();
+  annotation_.clear();
+  return Status::Ok();
+}
+
+Result<ResultSet> TrackingProxy::ExecuteTracked(const Statement& stmt) {
+  switch (stmt.kind) {
+    case StatementKind::kSelect:
+      return HandleSelect(stmt);
+    case StatementKind::kUpdate: {
+      auto rewritten = rewriter_.RewriteUpdate(stmt, cur_trid_);
+      if (!rewritten.ok()) return rewritten.status();
+      return Forward(**rewritten);
+    }
+    case StatementKind::kInsert: {
+      auto rewritten = rewriter_.RewriteInsert(stmt, cur_trid_);
+      if (!rewritten.ok()) return rewritten.status();
+      return Forward(**rewritten);
+    }
+    case StatementKind::kDelete:
+      // Passed through unchanged; the dependencies a DELETE implies are
+      // reconstructed from before-images in the log at repair time (§3.2).
+      return Forward(stmt);
+    default:
+      return Status::Internal("ExecuteTracked: unexpected statement kind");
+  }
+}
+
+Result<ResultSet> TrackingProxy::HandleSelect(const Statement& stmt) {
+  auto rewritten = rewriter_.RewriteSelect(stmt);
+  if (!rewritten.ok()) return rewritten.status();
+  RewrittenSelect& rw = *rewritten;
+
+  if (rw.dep_fetch) {
+    ++stats_.dep_fetches;
+    auto fetch = Forward(*rw.dep_fetch);
+    if (!fetch.ok()) return fetch.status();
+    CollectDeps(*fetch, 0, rw.trid_source_tables.size(), rw.trid_source_tables);
+    return Forward(*rw.main);
+  }
+
+  auto result = Forward(*rw.main);
+  if (!result.ok()) return result;
+  ResultSet& rs = *result;
+  IRDB_CHECK(rs.columns.size() >= rw.appended);
+  const size_t first = rs.columns.size() - rw.appended;
+  CollectDeps(rs, first, rw.appended, rw.trid_source_tables);
+  // Strip the proxy's appended trid columns before the client sees the rows.
+  rs.columns.resize(first);
+  for (auto& row : rs.rows) row.resize(first);
+  return result;
+}
+
+void TrackingProxy::CollectDeps(const ResultSet& rs, size_t first_col,
+                                size_t count,
+                                const std::vector<std::string>& source_tables) {
+  for (const auto& row : rs.rows) {
+    for (size_t i = 0; i < count; ++i) {
+      const Value& v = row[first_col + i];
+      // NULL = bootstrap data predating tracking; 0 is reserved; own writes
+      // are not dependencies.
+      if (!v.is_int()) continue;
+      int64_t id = v.as_int();
+      if (id <= 0 || id == cur_trid_) continue;
+      if (deps_.emplace(ToLowerAscii(source_tables[i]), id).second) {
+        ++stats_.deps_recorded;
+      }
+    }
+  }
+}
+
+Status TrackingProxy::EmitCommitMetadata() {
+  // Annotation first: the trans_dep insert must be the last row operation
+  // before COMMIT (the repair engine's ID-correlation anchor, §3.3).
+  if (!annotation_.empty()) {
+    auto ins = sql::MakeStatement(StatementKind::kInsert);
+    ins->table = kAnnotTable;
+    ins->insert_columns = {"tr_id", "descr", kTridColumn};
+    std::vector<sql::ExprPtr> row;
+    row.push_back(sql::MakeLiteral(Value::Int(cur_trid_)));
+    row.push_back(sql::MakeLiteral(Value::Str(annotation_)));
+    row.push_back(sql::MakeLiteral(Value::Int(cur_trid_)));
+    ins->insert_rows.push_back(std::move(row));
+    auto r = Forward(*ins);
+    if (!r.ok()) return r.status();
+  }
+
+  // Chunk the dependency payload across rows if it overflows the VARCHAR.
+  std::string tokens = EncodeDepTokens(deps_);
+  std::vector<std::string> chunks;
+  while (tokens.size() > kDepVarcharCapacity) {
+    size_t cut = tokens.rfind(' ', kDepVarcharCapacity);
+    IRDB_CHECK(cut != std::string::npos);
+    chunks.push_back(tokens.substr(0, cut));
+    tokens.erase(0, cut + 1);
+  }
+  chunks.push_back(std::move(tokens));
+  for (const std::string& chunk : chunks) {
+    auto ins = sql::MakeStatement(StatementKind::kInsert);
+    ins->table = kTransDepTable;
+    ins->insert_columns = {"tr_id", "dep_tr_ids", kTridColumn};
+    std::vector<sql::ExprPtr> row;
+    row.push_back(sql::MakeLiteral(Value::Int(cur_trid_)));
+    row.push_back(sql::MakeLiteral(Value::Str(chunk)));
+    row.push_back(sql::MakeLiteral(Value::Int(cur_trid_)));
+    ins->insert_rows.push_back(std::move(row));
+    ++stats_.trans_dep_inserts;
+    auto r = Forward(*ins);
+    if (!r.ok()) return r.status();
+  }
+  return Status::Ok();
+}
+
+Result<ResultSet> TrackingProxy::HandleCommit() {
+  IRDB_RETURN_IF_ERROR(EmitCommitMetadata());
+  auto commit = sql::MakeStatement(StatementKind::kCommit);
+  auto r = Forward(*commit);
+  if (!r.ok()) return r;
+  in_txn_ = false;
+  deps_.clear();
+  annotation_.clear();
+  return r;
+}
+
+Status TrackingProxy::EnsureTrackingTables() {
+  // CREATE TABLE goes through our own Execute so the rewriter appends the
+  // trid (and, under Sybase, rid identity) columns.
+  auto r1 = Execute(
+      "CREATE TABLE trans_dep (tr_id INTEGER NOT NULL, dep_tr_ids "
+      "VARCHAR(512))");
+  if (!r1.ok() && r1.status().code() != StatusCode::kAlreadyExists) {
+    return r1.status();
+  }
+  auto r2 = Execute(
+      "CREATE TABLE annot (tr_id INTEGER NOT NULL, descr VARCHAR(255))");
+  if (!r2.ok() && r2.status().code() != StatusCode::kAlreadyExists) {
+    return r2.status();
+  }
+  return Status::Ok();
+}
+
+}  // namespace irdb::proxy

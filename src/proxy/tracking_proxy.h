@@ -1,0 +1,104 @@
+// TrackingProxy — the intercepting proxy of §3.2.
+//
+// Wraps a backend DbConnection (direct or remote), rewrites every client
+// statement per Table 1, harvests read-set trid values from SELECT results,
+// and records the accumulated dependency set into trans_dep at COMMIT
+// (followed by an annot row when the client labelled the transaction).
+//
+// Proxy transaction IDs are allocated by the proxy itself (the DBMS's
+// internal IDs are not portable); the repair engine correlates the two via
+// the trans_dep insert that immediately precedes each commit in the log.
+//
+// Statements issued outside an explicit transaction are wrapped in
+// BEGIN ... trans_dep-insert ... COMMIT so autocommit clients are tracked too.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "proxy/rewriter.h"
+#include "wire/connection.h"
+
+namespace irdb::proxy {
+
+class TxnIdAllocator {
+ public:
+  explicit TxnIdAllocator(int64_t first = 1) : next_(first) {}
+  int64_t Next() { return next_.fetch_add(1, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> next_;
+};
+
+struct ProxyStats {
+  int64_t client_statements = 0;
+  int64_t backend_statements = 0;  // includes dep fetches, trans_dep inserts
+  int64_t dep_fetches = 0;
+  int64_t trans_dep_inserts = 0;
+  int64_t deps_recorded = 0;
+};
+
+// A dependency observed at run time: this transaction read a row of `table`
+// last written by proxy transaction `writer_trid`.
+using DepEntry = std::pair<std::string, int64_t>;  // (lower-cased table, trid)
+
+class TrackingProxy : public DbConnection {
+ public:
+  TrackingProxy(DbConnection* backend, TxnIdAllocator* alloc,
+                FlavorTraits traits)
+      : backend_(backend), alloc_(alloc), rewriter_(std::move(traits)) {}
+
+  Result<ResultSet> Execute(std::string_view sql) override;
+
+  void SetAnnotation(std::string_view label) override {
+    annotation_ = std::string(label);
+  }
+
+  std::string Describe() const override {
+    return "tracking-proxy(" + backend_->Describe() + ")";
+  }
+
+  // Proxy transaction ID of the open transaction (0 when none).
+  int64_t current_txn_id() const { return in_txn_ ? cur_trid_ : 0; }
+
+  const ProxyStats& stats() const { return stats_; }
+  const std::set<DepEntry>& pending_deps() const { return deps_; }
+
+  // Creates the tracking side tables (trans_dep, annot) if absent. Run once
+  // per database, through any proxy connection so they too get trid/rid
+  // columns and are repairable like ordinary tables.
+  Status EnsureTrackingTables();
+
+ private:
+  Result<ResultSet> Forward(const sql::Statement& stmt);
+  Result<ResultSet> ExecuteTracked(const sql::Statement& stmt);
+  Result<ResultSet> HandleSelect(const sql::Statement& stmt);
+  Status HandleBegin();
+  Result<ResultSet> HandleCommit();
+
+  // Writes the dependency set and annotation rows, then leaves txn state.
+  Status EmitCommitMetadata();
+
+  void CollectDeps(const ResultSet& rs, size_t first_col, size_t count,
+                   const std::vector<std::string>& source_tables);
+
+  DbConnection* backend_;
+  TxnIdAllocator* alloc_;
+  SqlRewriter rewriter_;
+
+  bool in_txn_ = false;
+  int64_t cur_trid_ = 0;
+  std::set<DepEntry> deps_;
+  std::string annotation_;
+  ProxyStats stats_;
+};
+
+// Renders / parses the dep_tr_ids payload ("table:id table:id ...").
+std::string EncodeDepTokens(const std::set<DepEntry>& deps);
+Result<std::vector<DepEntry>> ParseDepTokens(std::string_view payload);
+
+}  // namespace irdb::proxy

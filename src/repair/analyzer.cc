@@ -1,0 +1,75 @@
+#include "repair/analyzer.h"
+
+#include "proxy/tracking_proxy.h"
+#include "util/string_utils.h"
+
+namespace irdb::repair {
+
+Result<DependencyAnalysis> Analyze(FlavorLogReader* reader, DbConnection* admin) {
+  DependencyAnalysis out;
+  IRDB_ASSIGN_OR_RETURN(out.ops, reader->ReadCommitted());
+
+  // Pass 1 — ID correlation: each tracked transaction ends with insert(s)
+  // into trans_dep carrying its proxy ID; collect those plus the dependency
+  // payloads (which may span several rows when chunked).
+  std::map<int64_t, std::string> payload_by_proxy;
+  for (const RepairOp& op : out.ops) {
+    if (!op.is_trans_dep_insert || !op.inserted_tr_id) continue;
+    const int64_t proxy_id = *op.inserted_tr_id;
+    auto it = out.internal_to_proxy.find(op.internal_txn_id);
+    if (it != out.internal_to_proxy.end() && it->second != proxy_id) {
+      return Status::Internal(
+          "transaction " + std::to_string(op.internal_txn_id) +
+          " carries two distinct proxy IDs (" + std::to_string(it->second) +
+          ", " + std::to_string(proxy_id) + ")");
+    }
+    out.internal_to_proxy[op.internal_txn_id] = proxy_id;
+    out.proxy_to_internal[proxy_id] = op.internal_txn_id;
+    std::string& payload = payload_by_proxy[proxy_id];
+    if (!payload.empty() && !op.inserted_dep_payload.empty()) {
+      payload.push_back(' ');
+    }
+    payload.append(op.inserted_dep_payload);
+    out.graph.AddNode(proxy_id);
+  }
+
+  // Pass 2 — explicit (run-time) dependencies from the payloads.
+  for (const auto& [proxy_id, payload] : payload_by_proxy) {
+    IRDB_ASSIGN_OR_RETURN(std::vector<proxy::DepEntry> deps,
+                          proxy::ParseDepTokens(payload));
+    for (const auto& [table, writer] : deps) {
+      if (writer == proxy_id) continue;
+      out.graph.AddEdge(DepEdge{proxy_id, writer, table, DepKind::kRuntime});
+    }
+  }
+
+  // Pass 3 — reconstructed dependencies: every UPDATE/DELETE before-image
+  // names the previous writer in its trid column (§3.3: these were skipped at
+  // run time to keep tracking cheap).
+  for (const RepairOp& op : out.ops) {
+    if (op.op != LogOp::kUpdate && op.op != LogOp::kDelete) continue;
+    if (!op.before_trid) continue;
+    auto it = out.internal_to_proxy.find(op.internal_txn_id);
+    if (it == out.internal_to_proxy.end()) continue;  // untracked txn
+    const int64_t reader_proxy = it->second;
+    const int64_t writer_proxy = *op.before_trid;
+    if (writer_proxy == reader_proxy) continue;
+    out.graph.AddEdge(DepEdge{reader_proxy, writer_proxy,
+                              ToLowerAscii(op.table), DepKind::kReconstructed});
+  }
+
+  // Labels from the annot table, when reachable.
+  if (admin != nullptr) {
+    auto rs = admin->Execute("SELECT tr_id, descr FROM annot");
+    if (rs.ok()) {
+      for (const auto& row : rs->rows) {
+        if (row.size() == 2 && row[0].is_int() && row[1].is_string()) {
+          out.graph.SetLabel(row[0].as_int(), row[1].as_string());
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace irdb::repair

@@ -1,0 +1,33 @@
+// Dependency analysis (§3.3): correlates internal and proxy transaction IDs
+// and assembles the full dependency graph from trans_dep rows (run-time
+// SELECT dependencies) plus before-image trids (UPDATE/DELETE dependencies
+// reconstructed from the log).
+#pragma once
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "flavor/log_reader.h"
+#include "repair/dependency_graph.h"
+#include "wire/connection.h"
+
+namespace irdb::repair {
+
+struct DependencyAnalysis {
+  // Every committed row operation, in log order, fully reconstructed.
+  std::vector<RepairOp> ops;
+
+  // Transaction-ID correlation, established from the trans_dep insert that
+  // precedes each commit.
+  std::map<int64_t, int64_t> internal_to_proxy;
+  std::map<int64_t, int64_t> proxy_to_internal;
+
+  DependencyGraph graph;
+};
+
+// Reads the whole log through `reader` and builds the analysis. When `admin`
+// is non-null the annot table is consulted for node labels (Fig. 3).
+Result<DependencyAnalysis> Analyze(FlavorLogReader* reader, DbConnection* admin);
+
+}  // namespace irdb::repair

@@ -1,0 +1,154 @@
+#include "repair/compensator.h"
+
+#include "proxy/rewriter.h"
+#include "sql/ast.h"
+#include "sql/printer.h"
+#include "util/string_utils.h"
+
+namespace irdb::repair {
+
+namespace {
+
+// Per-table old→new row-ID remapping with chain chasing (a repaired row can
+// be re-inserted more than once if several of its writers are undone).
+class RowIdRemap {
+ public:
+  int64_t Resolve(const std::string& table, int64_t address) const {
+    auto t = maps_.find(table);
+    if (t == maps_.end()) return address;
+    int64_t cur = address;
+    // Chase the chain; cycles are impossible because new row IDs are fresh.
+    while (true) {
+      auto it = t->second.find(cur);
+      if (it == t->second.end()) return cur;
+      cur = it->second;
+    }
+  }
+
+  void Add(const std::string& table, int64_t old_address, int64_t new_address) {
+    maps_[table][old_address] = new_address;
+  }
+
+  void Discard(const std::string& table, int64_t old_address) {
+    auto t = maps_.find(table);
+    if (t != maps_.end()) t->second.erase(old_address);
+  }
+
+ private:
+  std::map<std::string, std::map<int64_t, int64_t>> maps_;
+};
+
+sql::ExprPtr AddressPredicate(const std::string& column, int64_t address) {
+  return sql::MakeBinary(sql::BinaryOp::kEq, sql::MakeColumnRef("", column),
+                         sql::MakeLiteral(Value::Int(address)));
+}
+
+}  // namespace
+
+Status Compensate(const DependencyAnalysis& analysis,
+                  const std::set<int64_t>& undo_proxy_ids, DbConnection* admin,
+                  const FlavorTraits& traits, RepairReport* report) {
+  report->undo_set = undo_proxy_ids;
+
+  // Internal IDs of the transactions to undo.
+  std::set<int64_t> undo_internal;
+  for (int64_t proxy_id : undo_proxy_ids) {
+    auto it = analysis.proxy_to_internal.find(proxy_id);
+    if (it == analysis.proxy_to_internal.end()) {
+      return Status::NotFound("proxy transaction " + std::to_string(proxy_id) +
+                              " not found in the log");
+    }
+    undo_internal.insert(it->second);
+  }
+
+  const std::string address_column =
+      traits.has_rowid ? traits.rowid_name : proxy::kSybaseRowIdColumn;
+  RowIdRemap remap;
+
+  {
+    auto r = admin->Execute("BEGIN");
+    if (!r.ok()) return r.status();
+  }
+  auto run = [&](const sql::Statement& stmt,
+                 int64_t expect_affected) -> Status {
+    auto r = admin->Execute(sql::PrintStatement(stmt));
+    if (!r.ok()) return r.status();
+    if (expect_affected >= 0 && r->affected != expect_affected) {
+      return Status::Internal("compensating statement touched " +
+                              std::to_string(r->affected) + " rows, expected " +
+                              std::to_string(expect_affected) + ": " +
+                              sql::PrintStatement(stmt));
+    }
+    ++report->ops_compensated;
+    return Status::Ok();
+  };
+
+  for (auto it = analysis.ops.rbegin(); it != analysis.ops.rend(); ++it) {
+    const RepairOp& op = *it;
+    if (!undo_internal.count(op.internal_txn_id)) continue;
+    const std::string table_key = ToLowerAscii(op.table);
+    switch (op.op) {
+      case LogOp::kInsert: {
+        // Undo an insert: delete the row (at its possibly-remapped address).
+        auto stmt = sql::MakeStatement(sql::StatementKind::kDelete);
+        stmt->table = op.table;
+        stmt->where = AddressPredicate(address_column,
+                                       remap.Resolve(table_key, op.row_address));
+        IRDB_RETURN_IF_ERROR(run(*stmt, 1));
+        ++report->compensating_deletes;
+        // The row's lifetime starts here; any mapping for it is now obsolete.
+        remap.Discard(table_key, op.row_address);
+        break;
+      }
+      case LogOp::kDelete: {
+        // Undo a delete: put the row back. Flavors with a hidden rowid
+        // cannot force the old one — record the fresh ID in the remap table.
+        // The Sybase flavor's rid is an ordinary (identity) column carried in
+        // op.values, so the original address is restored exactly.
+        auto stmt = sql::MakeStatement(sql::StatementKind::kInsert);
+        stmt->table = op.table;
+        std::vector<sql::ExprPtr> row;
+        for (const auto& [col, v] : op.values) {
+          stmt->insert_columns.push_back(col);
+          row.push_back(sql::MakeLiteral(v));
+        }
+        stmt->insert_rows.push_back(std::move(row));
+        auto r = admin->Execute(sql::PrintStatement(*stmt));
+        if (!r.ok()) return r.status();
+        ++report->ops_compensated;
+        ++report->compensating_inserts;
+        if (traits.has_rowid) {
+          IRDB_CHECK(r->last_rowid != kNoRowId);
+          if (r->last_rowid != op.row_address) {
+            remap.Add(table_key, op.row_address, r->last_rowid);
+            ++report->rows_remapped;
+          }
+        }
+        break;
+      }
+      case LogOp::kUpdate: {
+        // Undo an update: restore the changed columns' before values.
+        auto stmt = sql::MakeStatement(sql::StatementKind::kUpdate);
+        stmt->table = op.table;
+        for (const auto& [col, v] : op.values) {
+          stmt->assignments.emplace_back(col, sql::MakeLiteral(v));
+        }
+        stmt->where = AddressPredicate(address_column,
+                                       remap.Resolve(table_key, op.row_address));
+        IRDB_RETURN_IF_ERROR(run(*stmt, 1));
+        ++report->compensating_updates;
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  {
+    auto r = admin->Execute("COMMIT");
+    if (!r.ok()) return r.status();
+  }
+  return Status::Ok();
+}
+
+}  // namespace irdb::repair

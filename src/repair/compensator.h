@@ -1,0 +1,39 @@
+// Compensator — selective undo of committed transactions (§3.3).
+//
+// Walks the reconstructed log backwards; for every row operation belonging
+// to a transaction in the undo set it executes the compensating statement
+// immediately: DELETE→INSERT, INSERT→DELETE, UPDATE→reverse UPDATE, each
+// addressed by row ID. Rows re-inserted during repair receive fresh row IDs,
+// so an old→new row-ID mapping is maintained per table and consulted by all
+// subsequent compensating statements; the mapping is discarded when the
+// row's original INSERT log entry is reached.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+
+#include "flavor/flavor_traits.h"
+#include "repair/analyzer.h"
+#include "wire/connection.h"
+
+namespace irdb::repair {
+
+struct RepairReport {
+  std::set<int64_t> undo_set;  // proxy txn ids rolled back
+  int64_t ops_compensated = 0;
+  int64_t compensating_inserts = 0;
+  int64_t compensating_deletes = 0;
+  int64_t compensating_updates = 0;
+  int64_t rows_remapped = 0;
+};
+
+// Executes the compensation through `admin` (an untracked connection),
+// wrapped in a single repair transaction. `undo_proxy_ids` must be closed
+// under the chosen dependency semantics — Compensate does not re-derive it.
+Status Compensate(const DependencyAnalysis& analysis,
+                  const std::set<int64_t>& undo_proxy_ids, DbConnection* admin,
+                  const FlavorTraits& traits, RepairReport* report);
+
+}  // namespace irdb::repair

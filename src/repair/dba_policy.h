@@ -1,0 +1,81 @@
+// DbaPolicy — site-specific domain knowledge about false dependencies.
+//
+// §5.3: "One way to minimize the number of legitimate transactions that are
+// incorrectly flagged as corruptive is to allow the DBA to specify
+// transaction dependencies that should be ignored." The canonical example is
+// a derivable attribute (TPC-C's w_ytd is the sum of payments): transactions
+// sharing only that attribute's row are not truly dependent.
+#pragma once
+
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "repair/dependency_graph.h"
+#include "util/string_utils.h"
+
+namespace irdb::repair {
+
+class DbaPolicy {
+ public:
+  // Keep every dependency (the paper's "tracking all dependencies" mode).
+  static DbaPolicy TrackEverything() { return DbaPolicy(); }
+
+  // Ignore all dependencies that arose through `table` (e.g. a temporary
+  // table with no semantic significance, §3.3).
+  DbaPolicy& IgnoreTable(const std::string& table) {
+    ignored_tables_.insert(ToLowerAscii(table));
+    return *this;
+  }
+
+  // Ignore one specific edge (interactive "what-if" pruning).
+  DbaPolicy& IgnoreEdge(int64_t reader, int64_t writer) {
+    ignored_edges_.insert({reader, writer});
+    return *this;
+  }
+
+  // Ignore dependencies through `table` whose *writer* transaction carries a
+  // label starting with `writer_label_prefix` — expresses "writes of this
+  // transaction type to this table only touch derivable attributes" (the
+  // w_ytd example: Payment writes to warehouse/district rows are false
+  // sharing for readers of the same rows).
+  DbaPolicy& IgnoreDerivedAttribute(const std::string& table,
+                                    const std::string& writer_label_prefix,
+                                    const DependencyGraph* graph) {
+    std::string t = ToLowerAscii(table);
+    std::string prefix = writer_label_prefix;
+    custom_.push_back([t, prefix, graph](const DepEdge& e) {
+      return e.table == t && StartsWith(graph->Label(e.writer), prefix);
+    });
+    return *this;
+  }
+
+  // Fully custom predicate; return true to IGNORE the edge.
+  DbaPolicy& IgnoreIf(std::function<bool(const DepEdge&)> pred) {
+    custom_.push_back(std::move(pred));
+    return *this;
+  }
+
+  // True when the edge participates in damage-perimeter computation.
+  bool Keep(const DepEdge& e) const {
+    if (ignored_tables_.count(e.table)) return false;
+    if (ignored_edges_.count({e.reader, e.writer})) return false;
+    for (const auto& pred : custom_) {
+      if (pred(e)) return false;
+    }
+    return true;
+  }
+
+  // Adapter for DependencyGraph::Affected.
+  std::function<bool(const DepEdge&)> AsFilter() const {
+    return [this](const DepEdge& e) { return Keep(e); };
+  }
+
+ private:
+  std::set<std::string> ignored_tables_;
+  std::set<std::pair<int64_t, int64_t>> ignored_edges_;
+  std::vector<std::function<bool(const DepEdge&)>> custom_;
+};
+
+}  // namespace irdb::repair

@@ -1,0 +1,60 @@
+#include "repair/dependency_graph.h"
+
+#include <deque>
+
+namespace irdb::repair {
+
+std::string DependencyGraph::Label(int64_t id) const {
+  auto it = labels_.find(id);
+  if (it != labels_.end()) return it->second;
+  return "T" + std::to_string(id);
+}
+
+std::set<int64_t> DependencyGraph::Affected(
+    const std::vector<int64_t>& seeds,
+    const std::function<bool(const DepEdge&)>& keep_edge) const {
+  // writer -> readers adjacency over kept edges.
+  std::map<int64_t, std::vector<int64_t>> dependents;
+  for (const DepEdge& e : edges_) {
+    if (keep_edge && !keep_edge(e)) continue;
+    dependents[e.writer].push_back(e.reader);
+  }
+  std::set<int64_t> out;
+  std::deque<int64_t> frontier;
+  for (int64_t s : seeds) {
+    if (out.insert(s).second) frontier.push_back(s);
+  }
+  while (!frontier.empty()) {
+    int64_t cur = frontier.front();
+    frontier.pop_front();
+    auto it = dependents.find(cur);
+    if (it == dependents.end()) continue;
+    for (int64_t r : it->second) {
+      if (out.insert(r).second) frontier.push_back(r);
+    }
+  }
+  return out;
+}
+
+std::string DependencyGraph::ToDot(const std::set<int64_t>& highlight) const {
+  std::string out = "digraph trans_dep {\n  rankdir=TB;\n  node [shape=ellipse];\n";
+  for (int64_t id : nodes_) {
+    out += "  n" + std::to_string(id) + " [label=\"" + Label(id) + "\"";
+    if (highlight.count(id)) out += ", style=filled, fillcolor=lightcoral";
+    out += "];\n";
+  }
+  // Draw edges writer -> reader (the direction damage propagates) and
+  // deduplicate parallel edges from different tables into one line each.
+  std::set<std::string> seen;
+  for (const DepEdge& e : edges_) {
+    std::string line = "  n" + std::to_string(e.writer) + " -> n" +
+                       std::to_string(e.reader);
+    if (e.kind == DepKind::kReconstructed) line += " [style=dashed]";
+    line += ";\n";
+    if (seen.insert(line).second) out += line;
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace irdb::repair

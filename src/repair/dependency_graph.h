@@ -1,0 +1,62 @@
+// Inter-transaction dependency graph (nodes = proxy transaction IDs).
+//
+// Edges carry provenance — the table through which the dependency arose and
+// whether it was observed at run time (SELECT read-set tracking) or
+// reconstructed at repair time from UPDATE/DELETE before-images — so the DBA
+// policy can discard *false dependencies* (§5.3) selectively.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace irdb::repair {
+
+enum class DepKind { kRuntime, kReconstructed };
+
+struct DepEdge {
+  int64_t reader = 0;  // depends on ...
+  int64_t writer = 0;  // ... this transaction
+  std::string table;   // lower-cased provenance table
+  DepKind kind = DepKind::kRuntime;
+};
+
+class DependencyGraph {
+ public:
+  void AddNode(int64_t id) { nodes_.insert(id); }
+
+  void AddEdge(DepEdge edge) {
+    nodes_.insert(edge.reader);
+    nodes_.insert(edge.writer);
+    edges_.push_back(std::move(edge));
+  }
+
+  const std::set<int64_t>& nodes() const { return nodes_; }
+  const std::vector<DepEdge>& edges() const { return edges_; }
+
+  void SetLabel(int64_t id, std::string label) {
+    labels_[id] = std::move(label);
+  }
+  // Falls back to "T<id>" when unlabelled.
+  std::string Label(int64_t id) const;
+
+  // Every transaction transitively affected by `seeds` (the damage
+  // perimeter): seeds plus all transactions with a dependency path back to a
+  // seed, considering only edges the filter keeps.
+  std::set<int64_t> Affected(
+      const std::vector<int64_t>& seeds,
+      const std::function<bool(const DepEdge&)>& keep_edge) const;
+
+  // GraphViz rendering (paper Fig. 3). Nodes in `highlight` are drawn filled.
+  std::string ToDot(const std::set<int64_t>& highlight = {}) const;
+
+ private:
+  std::set<int64_t> nodes_;
+  std::vector<DepEdge> edges_;
+  std::map<int64_t, std::string> labels_;
+};
+
+}  // namespace irdb::repair

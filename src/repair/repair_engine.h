@@ -1,0 +1,64 @@
+// RepairEngine — one-stop post-intrusion repair facade.
+//
+// Typical flow (mirrors the paper's repair procedure):
+//   RepairEngine eng(&db);
+//   auto analysis = eng.Analyze();                   // read + correlate log
+//   std::string dot = RepairEngine::ExportDot(...);  // show the DBA (Fig. 3)
+//   auto undo = eng.ComputeUndoSet(*analysis, seeds, policy);
+//   auto report = eng.Repair(seeds, policy);         // selective rollback
+#pragma once
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "flavor/log_reader.h"
+#include "repair/analyzer.h"
+#include "repair/compensator.h"
+#include "repair/dba_policy.h"
+
+namespace irdb::repair {
+
+class RepairEngine {
+ public:
+  explicit RepairEngine(Database* db)
+      : db_(db), admin_(db), reader_(MakeLogReader(db)) {}
+
+  Result<DependencyAnalysis> Analyze() {
+    return repair::Analyze(reader_.get(), &admin_);
+  }
+
+  // Damage perimeter: seeds plus everything transitively dependent on them,
+  // honouring the DBA's false-dependency policy.
+  std::set<int64_t> ComputeUndoSet(const DependencyAnalysis& analysis,
+                                   const std::vector<int64_t>& seed_proxy_ids,
+                                   const DbaPolicy& policy) const {
+    return analysis.graph.Affected(seed_proxy_ids, policy.AsFilter());
+  }
+
+  // Full repair: analyze, close over dependencies, compensate.
+  Result<RepairReport> Repair(const std::vector<int64_t>& seed_proxy_ids,
+                              const DbaPolicy& policy) {
+    IRDB_ASSIGN_OR_RETURN(DependencyAnalysis analysis, Analyze());
+    std::set<int64_t> undo = ComputeUndoSet(analysis, seed_proxy_ids, policy);
+    RepairReport report;
+    IRDB_RETURN_IF_ERROR(
+        Compensate(analysis, undo, &admin_, db_->traits(), &report));
+    return report;
+  }
+
+  static std::string ExportDot(const DependencyAnalysis& analysis,
+                               const std::set<int64_t>& highlight = {}) {
+    return analysis.graph.ToDot(highlight);
+  }
+
+  FlavorLogReader* reader() { return reader_.get(); }
+  DbConnection* admin() { return &admin_; }
+
+ private:
+  Database* db_;
+  DirectConnection admin_;
+  std::unique_ptr<FlavorLogReader> reader_;
+};
+
+}  // namespace irdb::repair

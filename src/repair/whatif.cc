@@ -1,0 +1,102 @@
+#include "repair/whatif.h"
+
+#include <algorithm>
+
+#include "util/string_utils.h"
+
+namespace irdb::repair {
+
+bool WhatIfSession::AddSeed(int64_t proxy_id) {
+  if (!analysis_.graph.nodes().count(proxy_id)) return false;
+  seeds_.insert(proxy_id);
+  return true;
+}
+
+int WhatIfSession::AddSeedsByLabelPrefix(const std::string& prefix) {
+  int matched = 0;
+  for (int64_t node : analysis_.graph.nodes()) {
+    if (StartsWith(analysis_.graph.Label(node), prefix)) {
+      seeds_.insert(node);
+      ++matched;
+    }
+  }
+  return matched;
+}
+
+void WhatIfSession::ClearSeeds() { seeds_.clear(); }
+
+std::set<int64_t> WhatIfSession::Perimeter() const {
+  std::vector<int64_t> seeds(seeds_.begin(), seeds_.end());
+  return analysis_.graph.Affected(seeds, policy_.AsFilter());
+}
+
+PerimeterDelta WhatIfSession::ApplyAndDiff(const std::function<void()>& mutate) {
+  std::set<int64_t> before = Perimeter();
+  mutate();
+  std::set<int64_t> after = Perimeter();
+  PerimeterDelta delta;
+  std::set_difference(after.begin(), after.end(), before.begin(), before.end(),
+                      std::back_inserter(delta.added));
+  std::set_difference(before.begin(), before.end(), after.begin(), after.end(),
+                      std::back_inserter(delta.removed));
+  return delta;
+}
+
+PerimeterDelta WhatIfSession::IgnoreTable(const std::string& table) {
+  return ApplyAndDiff([&] { policy_.IgnoreTable(table); });
+}
+
+PerimeterDelta WhatIfSession::IgnoreEdge(int64_t reader, int64_t writer) {
+  return ApplyAndDiff([&] { policy_.IgnoreEdge(reader, writer); });
+}
+
+PerimeterDelta WhatIfSession::IgnoreDerived(const std::string& table,
+                                            const std::string& writer_prefix) {
+  return ApplyAndDiff([&] {
+    policy_.IgnoreDerivedAttribute(table, writer_prefix, &analysis_.graph);
+  });
+}
+
+PerimeterDelta WhatIfSession::Reset() {
+  return ApplyAndDiff([&] { policy_ = DbaPolicy::TrackEverything(); });
+}
+
+std::string WhatIfSession::Explain() const {
+  std::set<int64_t> perimeter = Perimeter();
+  std::string out;
+  for (int64_t node : perimeter) {
+    out += analysis_.graph.Label(node);
+    if (seeds_.count(node)) {
+      out += "  [seed]\n";
+      continue;
+    }
+    out += "  <-";
+    // Inbound condemning edges from other perimeter members.
+    std::set<std::string> sources;
+    for (const DepEdge& e : analysis_.graph.edges()) {
+      if (e.reader != node || !perimeter.count(e.writer)) continue;
+      if (!policy_.Keep(e)) continue;
+      sources.insert(" " + analysis_.graph.Label(e.writer) + "(" + e.table +
+                     (e.kind == DepKind::kRuntime ? "" : ",log") + ")");
+    }
+    for (const std::string& s : sources) out += s;
+    out += "\n";
+  }
+  return out;
+}
+
+std::string WhatIfSession::Dot() const { return analysis_.graph.ToDot(Perimeter()); }
+
+std::string WhatIfSession::Summary() const {
+  int64_t kept = 0, ignored = 0;
+  for (const DepEdge& e : analysis_.graph.edges()) {
+    (policy_.Keep(e) ? kept : ignored) += 1;
+  }
+  return "transactions: " + std::to_string(analysis_.graph.nodes().size()) +
+         ", edges kept: " + std::to_string(kept) +
+         ", edges ignored: " + std::to_string(ignored) +
+         ", seeds: " + std::to_string(seeds_.size()) +
+         ", perimeter: " + std::to_string(Perimeter().size());
+}
+
+}  // namespace irdb::repair

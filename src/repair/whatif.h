@@ -1,0 +1,73 @@
+// Interactive "what-if" damage-perimeter exploration (paper §6 future work:
+// "a full-scale interactive database damage repair tool that allows a DBA to
+// interact with the transaction dependency graph ... and explore the damage
+// perimeter by conducting what-if analysis").
+//
+// A WhatIfSession wraps one DependencyAnalysis with a mutable DbaPolicy.
+// Every mutation (ignore a table, prune an edge, change seeds) recomputes
+// the perimeter and reports the delta, so the DBA sees exactly which
+// transactions each assumption saves or condemns.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "repair/analyzer.h"
+#include "repair/dba_policy.h"
+
+namespace irdb::repair {
+
+struct PerimeterDelta {
+  std::vector<int64_t> added;    // now considered corrupted
+  std::vector<int64_t> removed;  // saved by the latest assumption
+};
+
+class WhatIfSession {
+ public:
+  explicit WhatIfSession(DependencyAnalysis analysis)
+      : analysis_(std::move(analysis)) {}
+
+  const DependencyAnalysis& analysis() const { return analysis_; }
+  const DbaPolicy& policy() const { return policy_; }
+  const std::set<int64_t>& seeds() const { return seeds_; }
+
+  // --- seeds ---------------------------------------------------------
+  bool AddSeed(int64_t proxy_id);
+  // Seeds every transaction whose label starts with `prefix`; returns how
+  // many matched.
+  int AddSeedsByLabelPrefix(const std::string& prefix);
+  void ClearSeeds();
+
+  // --- policy mutations (each returns the perimeter delta) ------------
+  PerimeterDelta IgnoreTable(const std::string& table);
+  PerimeterDelta IgnoreEdge(int64_t reader, int64_t writer);
+  // "Writes of transactions labelled `writer_prefix`* to `table` touch only
+  // derivable attributes" — the w_ytd-style false-dependency rule.
+  PerimeterDelta IgnoreDerived(const std::string& table,
+                               const std::string& writer_prefix);
+  // Drops all accumulated assumptions.
+  PerimeterDelta Reset();
+
+  // --- inspection ------------------------------------------------------
+  std::set<int64_t> Perimeter() const;
+
+  // One line per perimeter transaction: label plus the inbound edges that
+  // condemn it under the current policy.
+  std::string Explain() const;
+
+  // GraphViz rendering with the current perimeter highlighted.
+  std::string Dot() const;
+
+  // Summary counts: nodes, edges kept/ignored, perimeter size.
+  std::string Summary() const;
+
+ private:
+  PerimeterDelta ApplyAndDiff(const std::function<void()>& mutate);
+
+  DependencyAnalysis analysis_;
+  DbaPolicy policy_;
+  std::set<int64_t> seeds_;
+};
+
+}  // namespace irdb::repair

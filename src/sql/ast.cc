@@ -1,0 +1,156 @@
+#include "sql/ast.h"
+
+namespace irdb::sql {
+
+const char* BinaryOpSymbol(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAnd: return "AND";
+    case BinaryOp::kOr: return "OR";
+    case BinaryOp::kEq: return "=";
+    case BinaryOp::kNeq: return "<>";
+    case BinaryOp::kLt: return "<";
+    case BinaryOp::kLe: return "<=";
+    case BinaryOp::kGt: return ">";
+    case BinaryOp::kGe: return ">=";
+    case BinaryOp::kAdd: return "+";
+    case BinaryOp::kSub: return "-";
+    case BinaryOp::kMul: return "*";
+    case BinaryOp::kDiv: return "/";
+    case BinaryOp::kMod: return "%";
+    case BinaryOp::kLike: return "LIKE";
+  }
+  return "?";
+}
+
+ExprPtr Expr::Clone() const {
+  auto out = std::make_unique<Expr>();
+  out->kind = kind;
+  out->literal = literal;
+  out->table = table;
+  out->column = column;
+  out->bin_op = bin_op;
+  out->un_op = un_op;
+  if (lhs) out->lhs = lhs->Clone();
+  if (rhs) out->rhs = rhs->Clone();
+  if (low) out->low = low->Clone();
+  if (high) out->high = high->Clone();
+  out->list.reserve(list.size());
+  for (const auto& e : list) out->list.push_back(e->Clone());
+  out->func_name = func_name;
+  out->distinct = distinct;
+  out->star_arg = star_arg;
+  return out;
+}
+
+bool Expr::ContainsAggregate() const {
+  if (kind == ExprKind::kFuncCall) return true;
+  if (lhs && lhs->ContainsAggregate()) return true;
+  if (rhs && rhs->ContainsAggregate()) return true;
+  if (low && low->ContainsAggregate()) return true;
+  if (high && high->ContainsAggregate()) return true;
+  for (const auto& e : list) {
+    if (e->ContainsAggregate()) return true;
+  }
+  return false;
+}
+
+ExprPtr MakeLiteral(Value v) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kLiteral;
+  e->literal = std::move(v);
+  return e;
+}
+
+ExprPtr MakeColumnRef(std::string table, std::string column) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kColumnRef;
+  e->table = std::move(table);
+  e->column = std::move(column);
+  return e;
+}
+
+ExprPtr MakeBinary(BinaryOp op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kBinary;
+  e->bin_op = op;
+  e->lhs = std::move(lhs);
+  e->rhs = std::move(rhs);
+  return e;
+}
+
+ExprPtr MakeUnary(UnaryOp op, ExprPtr operand) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kUnary;
+  e->un_op = op;
+  e->lhs = std::move(operand);
+  return e;
+}
+
+ExprPtr MakeFuncCall(std::string name, ExprPtr arg, bool distinct) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kFuncCall;
+  e->func_name = std::move(name);
+  e->distinct = distinct;
+  if (arg) e->list.push_back(std::move(arg));
+  return e;
+}
+
+ExprPtr MakeCountStar() {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kFuncCall;
+  e->func_name = "COUNT";
+  e->star_arg = true;
+  return e;
+}
+
+SelectItem SelectItem::Clone() const {
+  SelectItem out;
+  out.star = star;
+  out.star_table = star_table;
+  if (expr) out.expr = expr->Clone();
+  out.alias = alias;
+  return out;
+}
+
+StatementPtr Statement::Clone() const {
+  auto out = std::make_unique<Statement>();
+  out->kind = kind;
+  out->select_items.reserve(select_items.size());
+  for (const auto& it : select_items) out->select_items.push_back(it.Clone());
+  out->from = from;
+  if (where) out->where = where->Clone();
+  out->group_by.reserve(group_by.size());
+  for (const auto& e : group_by) out->group_by.push_back(e->Clone());
+  out->order_by.reserve(order_by.size());
+  for (const auto& o : order_by) {
+    OrderItem oi;
+    oi.expr = o.expr->Clone();
+    oi.desc = o.desc;
+    out->order_by.push_back(std::move(oi));
+  }
+  out->limit = limit;
+  out->table = table;
+  out->insert_columns = insert_columns;
+  out->insert_rows.reserve(insert_rows.size());
+  for (const auto& row : insert_rows) {
+    std::vector<ExprPtr> r;
+    r.reserve(row.size());
+    for (const auto& e : row) r.push_back(e->Clone());
+    out->insert_rows.push_back(std::move(r));
+  }
+  out->assignments.reserve(assignments.size());
+  for (const auto& [col, e] : assignments) {
+    out->assignments.emplace_back(col, e->Clone());
+  }
+  out->columns = columns;
+  out->primary_key = primary_key;
+  return out;
+}
+
+StatementPtr MakeStatement(StatementKind k) {
+  auto s = std::make_unique<Statement>();
+  s->kind = k;
+  return s;
+}
+
+}  // namespace irdb::sql

@@ -1,0 +1,156 @@
+// SQL abstract syntax tree.
+//
+// The AST is the interchange format of the whole framework: the intercepting
+// proxy parses client SQL, rewrites the tree (Table 1 of the paper), prints
+// it back to text, and forwards it to the DBMS engine, which parses it again.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "storage/value.h"
+
+namespace irdb::sql {
+
+// ---------------------------------------------------------------- Expressions
+
+enum class ExprKind {
+  kLiteral,
+  kColumnRef,
+  kBinary,
+  kUnary,
+  kFuncCall,
+  kBetween,
+  kInList,
+};
+
+enum class BinaryOp {
+  kAnd, kOr,
+  kEq, kNeq, kLt, kLe, kGt, kGe,
+  kAdd, kSub, kMul, kDiv, kMod,
+  kLike,
+};
+
+enum class UnaryOp { kNot, kNeg, kIsNull, kIsNotNull };
+
+const char* BinaryOpSymbol(BinaryOp op);
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+  ExprKind kind;
+
+  // kLiteral
+  Value literal;
+
+  // kColumnRef
+  std::string table;   // optional qualifier (empty = unqualified)
+  std::string column;
+
+  // kBinary / kUnary / kBetween / kInList
+  BinaryOp bin_op = BinaryOp::kAnd;
+  UnaryOp un_op = UnaryOp::kNot;
+  ExprPtr lhs;                 // binary lhs / unary operand / between subject
+  ExprPtr rhs;                 // binary rhs
+  ExprPtr low, high;           // between bounds
+  std::vector<ExprPtr> list;   // IN list elements / function args
+
+  // kFuncCall
+  std::string func_name;  // upper-cased: SUM COUNT MIN MAX AVG
+  bool distinct = false;  // COUNT(DISTINCT x)
+  bool star_arg = false;  // COUNT(*)
+
+  ExprPtr Clone() const;
+
+  // True if this subtree contains an aggregate function call.
+  bool ContainsAggregate() const;
+};
+
+ExprPtr MakeLiteral(Value v);
+ExprPtr MakeColumnRef(std::string table, std::string column);
+ExprPtr MakeBinary(BinaryOp op, ExprPtr lhs, ExprPtr rhs);
+ExprPtr MakeUnary(UnaryOp op, ExprPtr operand);
+ExprPtr MakeFuncCall(std::string name, ExprPtr arg, bool distinct = false);
+ExprPtr MakeCountStar();
+
+// ---------------------------------------------------------------- Statements
+
+enum class StatementKind {
+  kSelect,
+  kInsert,
+  kUpdate,
+  kDelete,
+  kCreateTable,
+  kDropTable,
+  kBegin,
+  kCommit,
+  kRollback,
+};
+
+struct SelectItem {
+  bool star = false;        // `*` or `t.*`
+  std::string star_table;   // qualifier for `t.*` (empty for bare `*`)
+  ExprPtr expr;             // when !star
+  std::string alias;        // optional AS alias
+
+  SelectItem Clone() const;
+};
+
+struct TableRef {
+  std::string name;
+  std::string alias;  // optional
+
+  // Name clients use to qualify columns of this table.
+  const std::string& effective_name() const { return alias.empty() ? name : alias; }
+};
+
+struct OrderItem {
+  ExprPtr expr;
+  bool desc = false;
+};
+
+enum class ColumnTypeKind { kInt, kDouble, kVarchar, kChar };
+
+struct ColumnDef {
+  std::string name;
+  ColumnTypeKind type = ColumnTypeKind::kInt;
+  int length = 0;          // VARCHAR(n)/CHAR(n)
+  bool not_null = false;
+  bool identity = false;   // Sybase-style NUMERIC IDENTITY column
+};
+
+struct Statement;
+using StatementPtr = std::unique_ptr<Statement>;
+
+struct Statement {
+  StatementKind kind;
+
+  // SELECT
+  std::vector<SelectItem> select_items;
+  std::vector<TableRef> from;
+  ExprPtr where;                  // nullable
+  std::vector<ExprPtr> group_by;
+  std::vector<OrderItem> order_by;
+  std::optional<int64_t> limit;
+
+  // INSERT
+  std::string table;                       // also UPDATE/DELETE/CREATE/DROP target
+  std::vector<std::string> insert_columns; // empty = positional
+  std::vector<std::vector<ExprPtr>> insert_rows;
+
+  // UPDATE
+  std::vector<std::pair<std::string, ExprPtr>> assignments;
+
+  // CREATE TABLE
+  std::vector<ColumnDef> columns;
+  std::vector<std::string> primary_key;
+
+  StatementPtr Clone() const;
+};
+
+StatementPtr MakeStatement(StatementKind k);
+
+}  // namespace irdb::sql

@@ -1,0 +1,175 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <unordered_set>
+
+#include "util/string_utils.h"
+
+namespace irdb::sql {
+
+namespace {
+
+const std::unordered_set<std::string>& KeywordSet() {
+  static const auto* kSet = new std::unordered_set<std::string>{
+      "SELECT", "FROM",   "WHERE",  "GROUP",  "BY",     "ORDER",  "ASC",
+      "DESC",   "LIMIT",  "INSERT", "INTO",   "VALUES", "UPDATE", "SET",
+      "DELETE", "CREATE", "TABLE",  "DROP",   "PRIMARY", "KEY",   "NOT",
+      "NULL",   "AND",    "OR",     "BETWEEN", "IN",     "AS",    "DISTINCT",
+      "BEGIN",  "COMMIT", "ROLLBACK", "INTEGER", "INT",  "BIGINT", "DOUBLE",
+      "FLOAT",  "NUMERIC", "DECIMAL", "VARCHAR", "CHAR", "TEXT",  "IDENTITY",
+      "SUM",    "COUNT",  "MIN",    "MAX",    "AVG",    "LIKE",   "IS",
+      "FOR",    "TRANSACTION", "WORK",
+  };
+  return *kSet;
+}
+
+}  // namespace
+
+bool IsReservedKeyword(std::string_view upper) {
+  return KeywordSet().count(std::string(upper)) > 0;
+}
+
+const char* TokenKindName(TokenKind k) {
+  switch (k) {
+    case TokenKind::kEof: return "<eof>";
+    case TokenKind::kIdentifier: return "identifier";
+    case TokenKind::kKeyword: return "keyword";
+    case TokenKind::kIntLiteral: return "int literal";
+    case TokenKind::kDoubleLiteral: return "double literal";
+    case TokenKind::kStringLiteral: return "string literal";
+    case TokenKind::kComma: return ",";
+    case TokenKind::kLParen: return "(";
+    case TokenKind::kRParen: return ")";
+    case TokenKind::kDot: return ".";
+    case TokenKind::kSemicolon: return ";";
+    case TokenKind::kStar: return "*";
+    case TokenKind::kEq: return "=";
+    case TokenKind::kNeq: return "<>";
+    case TokenKind::kLt: return "<";
+    case TokenKind::kLe: return "<=";
+    case TokenKind::kGt: return ">";
+    case TokenKind::kGe: return ">=";
+    case TokenKind::kPlus: return "+";
+    case TokenKind::kMinus: return "-";
+    case TokenKind::kSlash: return "/";
+    case TokenKind::kPercent: return "%";
+  }
+  return "?";
+}
+
+Result<std::vector<Token>> Lex(std::string_view input) {
+  std::vector<Token> out;
+  size_t i = 0;
+  const size_t n = input.size();
+  auto push = [&](TokenKind k, std::string text, size_t off) {
+    out.push_back(Token{k, std::move(text), off});
+  };
+  while (i < n) {
+    const char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    const size_t start = i;
+    if (c == '-' && i + 1 < n && input[i + 1] == '-') {  // line comment
+      while (i < n && input[i] != '\n') ++i;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t j = i;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(input[j])) ||
+                       input[j] == '_' || input[j] == '$')) {
+        ++j;
+      }
+      std::string word(input.substr(i, j - i));
+      std::string upper = ToUpperAscii(word);
+      if (IsReservedKeyword(upper)) {
+        push(TokenKind::kKeyword, std::move(upper), start);
+      } else {
+        push(TokenKind::kIdentifier, std::move(word), start);
+      }
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t j = i;
+      bool is_double = false;
+      while (j < n && std::isdigit(static_cast<unsigned char>(input[j]))) ++j;
+      if (j < n && input[j] == '.' && j + 1 < n &&
+          std::isdigit(static_cast<unsigned char>(input[j + 1]))) {
+        is_double = true;
+        ++j;
+        while (j < n && std::isdigit(static_cast<unsigned char>(input[j]))) ++j;
+      }
+      if (j < n && (input[j] == 'e' || input[j] == 'E')) {
+        size_t k = j + 1;
+        if (k < n && (input[k] == '+' || input[k] == '-')) ++k;
+        if (k < n && std::isdigit(static_cast<unsigned char>(input[k]))) {
+          is_double = true;
+          j = k;
+          while (j < n && std::isdigit(static_cast<unsigned char>(input[j]))) ++j;
+        }
+      }
+      push(is_double ? TokenKind::kDoubleLiteral : TokenKind::kIntLiteral,
+           std::string(input.substr(i, j - i)), start);
+      i = j;
+      continue;
+    }
+    if (c == '\'') {
+      std::string text;
+      size_t j = i + 1;
+      bool closed = false;
+      while (j < n) {
+        if (input[j] == '\'') {
+          if (j + 1 < n && input[j + 1] == '\'') {  // escaped quote
+            text.push_back('\'');
+            j += 2;
+            continue;
+          }
+          closed = true;
+          ++j;
+          break;
+        }
+        text.push_back(input[j]);
+        ++j;
+      }
+      if (!closed) {
+        return Status::ParseError("unterminated string literal at offset " +
+                                  std::to_string(start));
+      }
+      push(TokenKind::kStringLiteral, std::move(text), start);
+      i = j;
+      continue;
+    }
+    auto two = [&](char a, char b) {
+      return c == a && i + 1 < n && input[i + 1] == b;
+    };
+    if (two('<', '=')) { push(TokenKind::kLe, "<=", start); i += 2; continue; }
+    if (two('>', '=')) { push(TokenKind::kGe, ">=", start); i += 2; continue; }
+    if (two('<', '>')) { push(TokenKind::kNeq, "<>", start); i += 2; continue; }
+    if (two('!', '=')) { push(TokenKind::kNeq, "<>", start); i += 2; continue; }
+    switch (c) {
+      case ',': push(TokenKind::kComma, ",", start); break;
+      case '(': push(TokenKind::kLParen, "(", start); break;
+      case ')': push(TokenKind::kRParen, ")", start); break;
+      case '.': push(TokenKind::kDot, ".", start); break;
+      case ';': push(TokenKind::kSemicolon, ";", start); break;
+      case '*': push(TokenKind::kStar, "*", start); break;
+      case '=': push(TokenKind::kEq, "=", start); break;
+      case '<': push(TokenKind::kLt, "<", start); break;
+      case '>': push(TokenKind::kGt, ">", start); break;
+      case '+': push(TokenKind::kPlus, "+", start); break;
+      case '-': push(TokenKind::kMinus, "-", start); break;
+      case '/': push(TokenKind::kSlash, "/", start); break;
+      case '%': push(TokenKind::kPercent, "%", start); break;
+      default:
+        return Status::ParseError(std::string("unexpected character '") + c +
+                                  "' at offset " + std::to_string(start));
+    }
+    ++i;
+  }
+  out.push_back(Token{TokenKind::kEof, "", n});
+  return out;
+}
+
+}  // namespace irdb::sql

@@ -1,0 +1,19 @@
+// Hand-written SQL lexer.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sql/token.h"
+#include "util/status.h"
+
+namespace irdb::sql {
+
+// Tokenizes `input`; on success the final token is kEof.
+Result<std::vector<Token>> Lex(std::string_view input);
+
+// True if `word` (upper-cased) is a reserved SQL keyword of our dialect.
+bool IsReservedKeyword(std::string_view upper);
+
+}  // namespace irdb::sql

@@ -1,0 +1,515 @@
+#include "sql/parser.h"
+
+#include <utility>
+
+#include "sql/lexer.h"
+#include "util/string_utils.h"
+
+namespace irdb::sql {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<StatementPtr> ParseStatement() {
+    const Token& t = Peek();
+    Result<StatementPtr> result = [&]() -> Result<StatementPtr> {
+      if (t.IsKeyword("SELECT")) return ParseSelect();
+      if (t.IsKeyword("INSERT")) return ParseInsert();
+      if (t.IsKeyword("UPDATE")) return ParseUpdate();
+      if (t.IsKeyword("DELETE")) return ParseDelete();
+      if (t.IsKeyword("CREATE")) return ParseCreateTable();
+      if (t.IsKeyword("DROP")) return ParseDropTable();
+      if (t.IsKeyword("BEGIN")) return ParseTxnControl(StatementKind::kBegin);
+      if (t.IsKeyword("COMMIT")) return ParseTxnControl(StatementKind::kCommit);
+      if (t.IsKeyword("ROLLBACK")) return ParseTxnControl(StatementKind::kRollback);
+      return Err("expected a statement keyword, got '" + t.text + "'");
+    }();
+    if (!result.ok()) return result;
+    // Optional trailing semicolon, then EOF.
+    if (Peek().kind == TokenKind::kSemicolon) Advance();
+    if (Peek().kind != TokenKind::kEof) {
+      return Err("unexpected trailing input starting with '" + Peek().text + "'");
+    }
+    return result;
+  }
+
+  Result<ExprPtr> ParseLoneExpression() {
+    auto e = ParseExpr();
+    if (!e.ok()) return e;
+    if (Peek().kind != TokenKind::kEof) {
+      return Status::ParseError("unexpected trailing input in expression");
+    }
+    return e;
+  }
+
+ private:
+  const Token& Peek(int ahead = 0) const {
+    size_t i = pos_ + ahead;
+    if (i >= tokens_.size()) i = tokens_.size() - 1;
+    return tokens_[i];
+  }
+  const Token& Advance() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
+
+  bool AcceptKeyword(const char* kw) {
+    if (Peek().IsKeyword(kw)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  bool Accept(TokenKind k) {
+    if (Peek().kind == k) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  Status Expect(TokenKind k, const char* what) {
+    if (!Accept(k)) {
+      return Status::ParseError(std::string("expected ") + what + ", got '" +
+                                Peek().text + "' at offset " +
+                                std::to_string(Peek().offset));
+    }
+    return Status::Ok();
+  }
+
+  Status ExpectKeyword(const char* kw) {
+    if (!AcceptKeyword(kw)) {
+      return Status::ParseError(std::string("expected ") + kw + ", got '" +
+                                Peek().text + "' at offset " +
+                                std::to_string(Peek().offset));
+    }
+    return Status::Ok();
+  }
+
+  static Status Err(std::string m) { return Status::ParseError(std::move(m)); }
+
+  Result<std::string> ExpectIdentifier(const char* what) {
+    if (Peek().kind != TokenKind::kIdentifier) {
+      return Err(std::string("expected ") + what + ", got '" + Peek().text + "'");
+    }
+    return Advance().text;
+  }
+
+  // ---- expressions -------------------------------------------------------
+
+  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+
+  Result<ExprPtr> ParseOr() {
+    IRDB_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
+    while (AcceptKeyword("OR")) {
+      IRDB_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd());
+      lhs = MakeBinary(BinaryOp::kOr, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    IRDB_ASSIGN_OR_RETURN(ExprPtr lhs, ParseNot());
+    while (AcceptKeyword("AND")) {
+      IRDB_ASSIGN_OR_RETURN(ExprPtr rhs, ParseNot());
+      lhs = MakeBinary(BinaryOp::kAnd, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseNot() {
+    if (AcceptKeyword("NOT")) {
+      IRDB_ASSIGN_OR_RETURN(ExprPtr operand, ParseNot());
+      return MakeUnary(UnaryOp::kNot, std::move(operand));
+    }
+    return ParseComparison();
+  }
+
+  Result<ExprPtr> ParseComparison() {
+    IRDB_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAdditive());
+    const Token& t = Peek();
+    auto cmp = [&](BinaryOp op) -> Result<ExprPtr> {
+      Advance();
+      IRDB_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdditive());
+      return MakeBinary(op, std::move(lhs), std::move(rhs));
+    };
+    switch (t.kind) {
+      case TokenKind::kEq: return cmp(BinaryOp::kEq);
+      case TokenKind::kNeq: return cmp(BinaryOp::kNeq);
+      case TokenKind::kLt: return cmp(BinaryOp::kLt);
+      case TokenKind::kLe: return cmp(BinaryOp::kLe);
+      case TokenKind::kGt: return cmp(BinaryOp::kGt);
+      case TokenKind::kGe: return cmp(BinaryOp::kGe);
+      default: break;
+    }
+    if (t.IsKeyword("LIKE")) return cmp(BinaryOp::kLike);
+    if (t.IsKeyword("BETWEEN")) {
+      Advance();
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kBetween;
+      e->lhs = std::move(lhs);
+      IRDB_ASSIGN_OR_RETURN(e->low, ParseAdditive());
+      IRDB_RETURN_IF_ERROR(ExpectKeyword("AND"));
+      IRDB_ASSIGN_OR_RETURN(e->high, ParseAdditive());
+      return ExprPtr(std::move(e));
+    }
+    if (t.IsKeyword("IN")) {
+      Advance();
+      IRDB_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "("));
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kInList;
+      e->lhs = std::move(lhs);
+      do {
+        IRDB_ASSIGN_OR_RETURN(ExprPtr item, ParseExpr());
+        e->list.push_back(std::move(item));
+      } while (Accept(TokenKind::kComma));
+      IRDB_RETURN_IF_ERROR(Expect(TokenKind::kRParen, ")"));
+      return ExprPtr(std::move(e));
+    }
+    if (t.IsKeyword("IS")) {
+      Advance();
+      bool negated = AcceptKeyword("NOT");
+      IRDB_RETURN_IF_ERROR(ExpectKeyword("NULL"));
+      return MakeUnary(negated ? UnaryOp::kIsNotNull : UnaryOp::kIsNull,
+                       std::move(lhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAdditive() {
+    IRDB_ASSIGN_OR_RETURN(ExprPtr lhs, ParseMultiplicative());
+    while (true) {
+      if (Accept(TokenKind::kPlus)) {
+        IRDB_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicative());
+        lhs = MakeBinary(BinaryOp::kAdd, std::move(lhs), std::move(rhs));
+      } else if (Accept(TokenKind::kMinus)) {
+        IRDB_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicative());
+        lhs = MakeBinary(BinaryOp::kSub, std::move(lhs), std::move(rhs));
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  Result<ExprPtr> ParseMultiplicative() {
+    IRDB_ASSIGN_OR_RETURN(ExprPtr lhs, ParseUnary());
+    while (true) {
+      if (Accept(TokenKind::kStar)) {
+        IRDB_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
+        lhs = MakeBinary(BinaryOp::kMul, std::move(lhs), std::move(rhs));
+      } else if (Accept(TokenKind::kSlash)) {
+        IRDB_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
+        lhs = MakeBinary(BinaryOp::kDiv, std::move(lhs), std::move(rhs));
+      } else if (Accept(TokenKind::kPercent)) {
+        IRDB_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
+        lhs = MakeBinary(BinaryOp::kMod, std::move(lhs), std::move(rhs));
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    if (Accept(TokenKind::kMinus)) {
+      IRDB_ASSIGN_OR_RETURN(ExprPtr operand, ParseUnary());
+      return MakeUnary(UnaryOp::kNeg, std::move(operand));
+    }
+    return ParsePrimary();
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    const Token& t = Peek();
+    if (t.kind == TokenKind::kIntLiteral) {
+      int64_t v = 0;
+      if (!ParseInt64(t.text, &v)) return Err("bad integer literal " + t.text);
+      Advance();
+      return MakeLiteral(Value::Int(v));
+    }
+    if (t.kind == TokenKind::kDoubleLiteral) {
+      double v = 0;
+      if (!ParseDouble(t.text, &v)) return Err("bad double literal " + t.text);
+      Advance();
+      return MakeLiteral(Value::Double(v));
+    }
+    if (t.kind == TokenKind::kStringLiteral) {
+      std::string s = t.text;
+      Advance();
+      return MakeLiteral(Value::Str(std::move(s)));
+    }
+    if (t.IsKeyword("NULL")) {
+      Advance();
+      return MakeLiteral(Value::Null());
+    }
+    if (t.IsKeyword("SUM") || t.IsKeyword("COUNT") || t.IsKeyword("MIN") ||
+        t.IsKeyword("MAX") || t.IsKeyword("AVG")) {
+      std::string name = Advance().text;
+      IRDB_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "("));
+      if (Accept(TokenKind::kStar)) {
+        IRDB_RETURN_IF_ERROR(Expect(TokenKind::kRParen, ")"));
+        if (name != "COUNT") return Err(name + "(*) is not valid");
+        return MakeCountStar();
+      }
+      bool distinct = AcceptKeyword("DISTINCT");
+      // Tolerate COUNT(DISTINCT(x)) spelling used in TPC-C kits.
+      bool extra_paren = distinct && Accept(TokenKind::kLParen);
+      IRDB_ASSIGN_OR_RETURN(ExprPtr arg, ParseExpr());
+      if (extra_paren) IRDB_RETURN_IF_ERROR(Expect(TokenKind::kRParen, ")"));
+      IRDB_RETURN_IF_ERROR(Expect(TokenKind::kRParen, ")"));
+      return MakeFuncCall(std::move(name), std::move(arg), distinct);
+    }
+    if (t.kind == TokenKind::kLParen) {
+      Advance();
+      IRDB_ASSIGN_OR_RETURN(ExprPtr inner, ParseExpr());
+      IRDB_RETURN_IF_ERROR(Expect(TokenKind::kRParen, ")"));
+      return inner;
+    }
+    if (t.kind == TokenKind::kIdentifier) {
+      std::string first = Advance().text;
+      if (Accept(TokenKind::kDot)) {
+        IRDB_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier("column name"));
+        return MakeColumnRef(std::move(first), std::move(col));
+      }
+      return MakeColumnRef("", std::move(first));
+    }
+    return Err("expected expression, got '" + t.text + "' at offset " +
+               std::to_string(t.offset));
+  }
+
+  // ---- statements --------------------------------------------------------
+
+  Result<StatementPtr> ParseSelect() {
+    IRDB_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+    auto stmt = MakeStatement(StatementKind::kSelect);
+    do {
+      SelectItem item;
+      if (Accept(TokenKind::kStar)) {
+        item.star = true;
+      } else if (Peek().kind == TokenKind::kIdentifier &&
+                 Peek(1).kind == TokenKind::kDot &&
+                 Peek(2).kind == TokenKind::kStar) {
+        item.star = true;
+        item.star_table = Advance().text;
+        Advance();  // dot
+        Advance();  // star
+      } else {
+        IRDB_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (AcceptKeyword("AS")) {
+          IRDB_ASSIGN_OR_RETURN(item.alias, ExpectIdentifier("alias"));
+        } else if (Peek().kind == TokenKind::kIdentifier) {
+          item.alias = Advance().text;
+        }
+      }
+      stmt->select_items.push_back(std::move(item));
+    } while (Accept(TokenKind::kComma));
+
+    IRDB_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    do {
+      TableRef ref;
+      IRDB_ASSIGN_OR_RETURN(ref.name, ExpectIdentifier("table name"));
+      if (AcceptKeyword("AS")) {
+        IRDB_ASSIGN_OR_RETURN(ref.alias, ExpectIdentifier("table alias"));
+      } else if (Peek().kind == TokenKind::kIdentifier) {
+        ref.alias = Advance().text;
+      }
+      stmt->from.push_back(std::move(ref));
+    } while (Accept(TokenKind::kComma));
+
+    if (AcceptKeyword("WHERE")) {
+      IRDB_ASSIGN_OR_RETURN(stmt->where, ParseExpr());
+    }
+    if (AcceptKeyword("GROUP")) {
+      IRDB_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      do {
+        IRDB_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+        stmt->group_by.push_back(std::move(e));
+      } while (Accept(TokenKind::kComma));
+    }
+    if (AcceptKeyword("ORDER")) {
+      IRDB_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      do {
+        OrderItem oi;
+        IRDB_ASSIGN_OR_RETURN(oi.expr, ParseExpr());
+        if (AcceptKeyword("DESC")) {
+          oi.desc = true;
+        } else {
+          AcceptKeyword("ASC");
+        }
+        stmt->order_by.push_back(std::move(oi));
+      } while (Accept(TokenKind::kComma));
+    }
+    if (AcceptKeyword("LIMIT")) {
+      if (Peek().kind != TokenKind::kIntLiteral) return Err("expected LIMIT count");
+      int64_t v = 0;
+      ParseInt64(Advance().text, &v);
+      stmt->limit = v;
+    }
+    return stmt;
+  }
+
+  Result<StatementPtr> ParseInsert() {
+    IRDB_RETURN_IF_ERROR(ExpectKeyword("INSERT"));
+    IRDB_RETURN_IF_ERROR(ExpectKeyword("INTO"));
+    auto stmt = MakeStatement(StatementKind::kInsert);
+    IRDB_ASSIGN_OR_RETURN(stmt->table, ExpectIdentifier("table name"));
+    if (Accept(TokenKind::kLParen)) {
+      do {
+        IRDB_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier("column name"));
+        stmt->insert_columns.push_back(std::move(col));
+      } while (Accept(TokenKind::kComma));
+      IRDB_RETURN_IF_ERROR(Expect(TokenKind::kRParen, ")"));
+    }
+    IRDB_RETURN_IF_ERROR(ExpectKeyword("VALUES"));
+    do {
+      IRDB_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "("));
+      std::vector<ExprPtr> row;
+      do {
+        IRDB_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+        row.push_back(std::move(e));
+      } while (Accept(TokenKind::kComma));
+      IRDB_RETURN_IF_ERROR(Expect(TokenKind::kRParen, ")"));
+      stmt->insert_rows.push_back(std::move(row));
+    } while (Accept(TokenKind::kComma));
+    return stmt;
+  }
+
+  Result<StatementPtr> ParseUpdate() {
+    IRDB_RETURN_IF_ERROR(ExpectKeyword("UPDATE"));
+    auto stmt = MakeStatement(StatementKind::kUpdate);
+    IRDB_ASSIGN_OR_RETURN(stmt->table, ExpectIdentifier("table name"));
+    IRDB_RETURN_IF_ERROR(ExpectKeyword("SET"));
+    do {
+      IRDB_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier("column name"));
+      IRDB_RETURN_IF_ERROR(Expect(TokenKind::kEq, "="));
+      IRDB_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+      stmt->assignments.emplace_back(std::move(col), std::move(e));
+    } while (Accept(TokenKind::kComma));
+    if (AcceptKeyword("WHERE")) {
+      IRDB_ASSIGN_OR_RETURN(stmt->where, ParseExpr());
+    }
+    return stmt;
+  }
+
+  Result<StatementPtr> ParseDelete() {
+    IRDB_RETURN_IF_ERROR(ExpectKeyword("DELETE"));
+    IRDB_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    auto stmt = MakeStatement(StatementKind::kDelete);
+    IRDB_ASSIGN_OR_RETURN(stmt->table, ExpectIdentifier("table name"));
+    if (AcceptKeyword("WHERE")) {
+      IRDB_ASSIGN_OR_RETURN(stmt->where, ParseExpr());
+    }
+    return stmt;
+  }
+
+  Result<StatementPtr> ParseCreateTable() {
+    IRDB_RETURN_IF_ERROR(ExpectKeyword("CREATE"));
+    IRDB_RETURN_IF_ERROR(ExpectKeyword("TABLE"));
+    auto stmt = MakeStatement(StatementKind::kCreateTable);
+    IRDB_ASSIGN_OR_RETURN(stmt->table, ExpectIdentifier("table name"));
+    IRDB_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "("));
+    do {
+      if (AcceptKeyword("PRIMARY")) {
+        IRDB_RETURN_IF_ERROR(ExpectKeyword("KEY"));
+        IRDB_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "("));
+        do {
+          IRDB_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier("pk column"));
+          stmt->primary_key.push_back(std::move(col));
+        } while (Accept(TokenKind::kComma));
+        IRDB_RETURN_IF_ERROR(Expect(TokenKind::kRParen, ")"));
+        continue;
+      }
+      ColumnDef def;
+      IRDB_ASSIGN_OR_RETURN(def.name, ExpectIdentifier("column name"));
+      const Token& ty = Peek();
+      if (ty.IsKeyword("INTEGER") || ty.IsKeyword("INT") || ty.IsKeyword("BIGINT")) {
+        def.type = ColumnTypeKind::kInt;
+        Advance();
+      } else if (ty.IsKeyword("DOUBLE") || ty.IsKeyword("FLOAT")) {
+        def.type = ColumnTypeKind::kDouble;
+        Advance();
+      } else if (ty.IsKeyword("NUMERIC") || ty.IsKeyword("DECIMAL")) {
+        // NUMERIC(p[,s]) — scale 0 maps to int, otherwise double.
+        Advance();
+        int precision = 0, scale = 0;
+        if (Accept(TokenKind::kLParen)) {
+          if (Peek().kind != TokenKind::kIntLiteral) return Err("expected precision");
+          int64_t p = 0;
+          ParseInt64(Advance().text, &p);
+          precision = static_cast<int>(p);
+          if (Accept(TokenKind::kComma)) {
+            if (Peek().kind != TokenKind::kIntLiteral) return Err("expected scale");
+            int64_t s = 0;
+            ParseInt64(Advance().text, &s);
+            scale = static_cast<int>(s);
+          }
+          IRDB_RETURN_IF_ERROR(Expect(TokenKind::kRParen, ")"));
+        }
+        (void)precision;
+        def.type = scale > 0 ? ColumnTypeKind::kDouble : ColumnTypeKind::kInt;
+      } else if (ty.IsKeyword("VARCHAR") || ty.IsKeyword("CHAR") || ty.IsKeyword("TEXT")) {
+        def.type = ty.IsKeyword("CHAR") ? ColumnTypeKind::kChar : ColumnTypeKind::kVarchar;
+        bool is_text = ty.IsKeyword("TEXT");
+        Advance();
+        def.length = 255;
+        if (!is_text && Accept(TokenKind::kLParen)) {
+          if (Peek().kind != TokenKind::kIntLiteral) return Err("expected length");
+          int64_t len = 0;
+          ParseInt64(Advance().text, &len);
+          def.length = static_cast<int>(len);
+          IRDB_RETURN_IF_ERROR(Expect(TokenKind::kRParen, ")"));
+        }
+      } else {
+        return Err("unknown column type '" + ty.text + "'");
+      }
+      while (true) {
+        if (AcceptKeyword("NOT")) {
+          IRDB_RETURN_IF_ERROR(ExpectKeyword("NULL"));
+          def.not_null = true;
+        } else if (AcceptKeyword("IDENTITY")) {
+          def.identity = true;
+        } else {
+          break;
+        }
+      }
+      stmt->columns.push_back(std::move(def));
+    } while (Accept(TokenKind::kComma));
+    IRDB_RETURN_IF_ERROR(Expect(TokenKind::kRParen, ")"));
+    return stmt;
+  }
+
+  Result<StatementPtr> ParseDropTable() {
+    IRDB_RETURN_IF_ERROR(ExpectKeyword("DROP"));
+    IRDB_RETURN_IF_ERROR(ExpectKeyword("TABLE"));
+    auto stmt = MakeStatement(StatementKind::kDropTable);
+    IRDB_ASSIGN_OR_RETURN(stmt->table, ExpectIdentifier("table name"));
+    return stmt;
+  }
+
+  Result<StatementPtr> ParseTxnControl(StatementKind kind) {
+    Advance();  // BEGIN/COMMIT/ROLLBACK
+    AcceptKeyword("TRANSACTION");
+    AcceptKeyword("WORK");
+    return MakeStatement(kind);
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<StatementPtr> Parse(std::string_view input) {
+  auto tokens = Lex(input);
+  if (!tokens.ok()) return tokens.status();
+  Parser p(std::move(tokens).value());
+  return p.ParseStatement();
+}
+
+Result<ExprPtr> ParseExpression(std::string_view input) {
+  auto tokens = Lex(input);
+  if (!tokens.ok()) return tokens.status();
+  Parser p(std::move(tokens).value());
+  return p.ParseLoneExpression();
+}
+
+}  // namespace irdb::sql

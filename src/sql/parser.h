@@ -1,0 +1,22 @@
+// Recursive-descent SQL parser for the minidb dialect.
+//
+// Supported statements: SELECT (joins via comma FROM list, WHERE, GROUP BY,
+// ORDER BY, LIMIT, aggregates incl. COUNT(DISTINCT x)), INSERT (multi-row),
+// UPDATE, DELETE, CREATE TABLE (with PRIMARY KEY and Sybase-style IDENTITY),
+// DROP TABLE, BEGIN/COMMIT/ROLLBACK.
+#pragma once
+
+#include <string_view>
+
+#include "sql/ast.h"
+#include "util/status.h"
+
+namespace irdb::sql {
+
+// Parses a single SQL statement (trailing semicolon optional).
+Result<StatementPtr> Parse(std::string_view input);
+
+// Parses an expression in isolation (used by tests and the repair engine).
+Result<ExprPtr> ParseExpression(std::string_view input);
+
+}  // namespace irdb::sql

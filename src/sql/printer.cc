@@ -1,0 +1,252 @@
+#include "sql/printer.h"
+
+#include "util/status.h"
+
+namespace irdb::sql {
+
+namespace {
+
+// Operator precedence for minimal parenthesization.
+int Precedence(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::kBinary:
+      switch (e.bin_op) {
+        case BinaryOp::kOr: return 1;
+        case BinaryOp::kAnd: return 2;
+        case BinaryOp::kEq: case BinaryOp::kNeq: case BinaryOp::kLt:
+        case BinaryOp::kLe: case BinaryOp::kGt: case BinaryOp::kGe:
+        case BinaryOp::kLike:
+          return 4;
+        case BinaryOp::kAdd: case BinaryOp::kSub: return 5;
+        case BinaryOp::kMul: case BinaryOp::kDiv: case BinaryOp::kMod: return 6;
+      }
+      return 0;
+    case ExprKind::kUnary:
+      return e.un_op == UnaryOp::kNot ? 3 : 7;
+    case ExprKind::kBetween:
+    case ExprKind::kInList:
+      return 4;
+    default:
+      return 100;  // atoms never need parens
+  }
+}
+
+void PrintChild(const Expr& child, int parent_prec, std::string* out) {
+  bool parens = Precedence(child) < parent_prec;
+  if (parens) out->push_back('(');
+  out->append(PrintExpr(child));
+  if (parens) out->push_back(')');
+}
+
+}  // namespace
+
+std::string PrintExpr(const Expr& e) {
+  std::string out;
+  switch (e.kind) {
+    case ExprKind::kLiteral:
+      out = e.literal.ToSqlLiteral();
+      break;
+    case ExprKind::kColumnRef:
+      if (!e.table.empty()) {
+        out = e.table + "." + e.column;
+      } else {
+        out = e.column;
+      }
+      break;
+    case ExprKind::kBinary: {
+      int prec = Precedence(e);
+      PrintChild(*e.lhs, prec, &out);
+      out.push_back(' ');
+      out.append(BinaryOpSymbol(e.bin_op));
+      out.push_back(' ');
+      // Right operand needs parens at equal precedence for non-associative
+      // rendering correctness (a - (b - c)).
+      PrintChild(*e.rhs, prec + 1, &out);
+      break;
+    }
+    case ExprKind::kUnary:
+      switch (e.un_op) {
+        case UnaryOp::kNot:
+          out = "NOT ";
+          PrintChild(*e.lhs, Precedence(e) + 1, &out);
+          break;
+        case UnaryOp::kNeg:
+          out = "-";
+          PrintChild(*e.lhs, Precedence(e), &out);
+          break;
+        case UnaryOp::kIsNull:
+          PrintChild(*e.lhs, Precedence(e), &out);
+          out.append(" IS NULL");
+          break;
+        case UnaryOp::kIsNotNull:
+          PrintChild(*e.lhs, Precedence(e), &out);
+          out.append(" IS NOT NULL");
+          break;
+      }
+      break;
+    case ExprKind::kFuncCall:
+      out = e.func_name + "(";
+      if (e.star_arg) {
+        out.append("*");
+      } else {
+        if (e.distinct) out.append("DISTINCT ");
+        IRDB_CHECK(!e.list.empty());
+        out.append(PrintExpr(*e.list[0]));
+      }
+      out.push_back(')');
+      break;
+    case ExprKind::kBetween: {
+      int prec = Precedence(e);
+      PrintChild(*e.lhs, prec + 1, &out);
+      out.append(" BETWEEN ");
+      PrintChild(*e.low, prec + 1, &out);
+      out.append(" AND ");
+      PrintChild(*e.high, prec + 1, &out);
+      break;
+    }
+    case ExprKind::kInList: {
+      int prec = Precedence(e);
+      PrintChild(*e.lhs, prec + 1, &out);
+      out.append(" IN (");
+      for (size_t i = 0; i < e.list.size(); ++i) {
+        if (i) out.append(", ");
+        out.append(PrintExpr(*e.list[i]));
+      }
+      out.push_back(')');
+      break;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+std::string PrintSelect(const Statement& s) {
+  std::string out = "SELECT ";
+  for (size_t i = 0; i < s.select_items.size(); ++i) {
+    if (i) out.append(", ");
+    const SelectItem& item = s.select_items[i];
+    if (item.star) {
+      if (!item.star_table.empty()) out.append(item.star_table).append(".");
+      out.append("*");
+    } else {
+      out.append(PrintExpr(*item.expr));
+      if (!item.alias.empty()) out.append(" AS ").append(item.alias);
+    }
+  }
+  out.append(" FROM ");
+  for (size_t i = 0; i < s.from.size(); ++i) {
+    if (i) out.append(", ");
+    out.append(s.from[i].name);
+    if (!s.from[i].alias.empty()) out.append(" ").append(s.from[i].alias);
+  }
+  if (s.where) out.append(" WHERE ").append(PrintExpr(*s.where));
+  if (!s.group_by.empty()) {
+    out.append(" GROUP BY ");
+    for (size_t i = 0; i < s.group_by.size(); ++i) {
+      if (i) out.append(", ");
+      out.append(PrintExpr(*s.group_by[i]));
+    }
+  }
+  if (!s.order_by.empty()) {
+    out.append(" ORDER BY ");
+    for (size_t i = 0; i < s.order_by.size(); ++i) {
+      if (i) out.append(", ");
+      out.append(PrintExpr(*s.order_by[i].expr));
+      if (s.order_by[i].desc) out.append(" DESC");
+    }
+  }
+  if (s.limit) out.append(" LIMIT ").append(std::to_string(*s.limit));
+  return out;
+}
+
+std::string PrintInsert(const Statement& s) {
+  std::string out = "INSERT INTO " + s.table;
+  if (!s.insert_columns.empty()) {
+    out.append("(");
+    for (size_t i = 0; i < s.insert_columns.size(); ++i) {
+      if (i) out.append(", ");
+      out.append(s.insert_columns[i]);
+    }
+    out.append(")");
+  }
+  out.append(" VALUES ");
+  for (size_t r = 0; r < s.insert_rows.size(); ++r) {
+    if (r) out.append(", ");
+    out.append("(");
+    const auto& row = s.insert_rows[r];
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i) out.append(", ");
+      out.append(PrintExpr(*row[i]));
+    }
+    out.append(")");
+  }
+  return out;
+}
+
+std::string PrintUpdate(const Statement& s) {
+  std::string out = "UPDATE " + s.table + " SET ";
+  for (size_t i = 0; i < s.assignments.size(); ++i) {
+    if (i) out.append(", ");
+    out.append(s.assignments[i].first).append(" = ");
+    out.append(PrintExpr(*s.assignments[i].second));
+  }
+  if (s.where) out.append(" WHERE ").append(PrintExpr(*s.where));
+  return out;
+}
+
+std::string PrintDelete(const Statement& s) {
+  std::string out = "DELETE FROM " + s.table;
+  if (s.where) out.append(" WHERE ").append(PrintExpr(*s.where));
+  return out;
+}
+
+std::string PrintCreateTable(const Statement& s) {
+  std::string out = "CREATE TABLE " + s.table + " (";
+  for (size_t i = 0; i < s.columns.size(); ++i) {
+    if (i) out.append(", ");
+    const ColumnDef& c = s.columns[i];
+    out.append(c.name).append(" ");
+    switch (c.type) {
+      case ColumnTypeKind::kInt: out.append("INTEGER"); break;
+      case ColumnTypeKind::kDouble: out.append("DOUBLE"); break;
+      case ColumnTypeKind::kVarchar:
+        out.append("VARCHAR(").append(std::to_string(c.length)).append(")");
+        break;
+      case ColumnTypeKind::kChar:
+        out.append("CHAR(").append(std::to_string(c.length)).append(")");
+        break;
+    }
+    if (c.identity) out.append(" IDENTITY");
+    if (c.not_null) out.append(" NOT NULL");
+  }
+  if (!s.primary_key.empty()) {
+    out.append(", PRIMARY KEY (");
+    for (size_t i = 0; i < s.primary_key.size(); ++i) {
+      if (i) out.append(", ");
+      out.append(s.primary_key[i]);
+    }
+    out.append(")");
+  }
+  out.append(")");
+  return out;
+}
+
+}  // namespace
+
+std::string PrintStatement(const Statement& s) {
+  switch (s.kind) {
+    case StatementKind::kSelect: return PrintSelect(s);
+    case StatementKind::kInsert: return PrintInsert(s);
+    case StatementKind::kUpdate: return PrintUpdate(s);
+    case StatementKind::kDelete: return PrintDelete(s);
+    case StatementKind::kCreateTable: return PrintCreateTable(s);
+    case StatementKind::kDropTable: return "DROP TABLE " + s.table;
+    case StatementKind::kBegin: return "BEGIN";
+    case StatementKind::kCommit: return "COMMIT";
+    case StatementKind::kRollback: return "ROLLBACK";
+  }
+  return "";
+}
+
+}  // namespace irdb::sql

@@ -1,0 +1,17 @@
+// Renders an AST back to SQL text.
+//
+// Parse(Print(ast)) is the identity on everything the parser accepts — the
+// intercepting proxy relies on this to forward rewritten statements to the
+// DBMS engine as plain text (the only portable interface, per the paper).
+#pragma once
+
+#include <string>
+
+#include "sql/ast.h"
+
+namespace irdb::sql {
+
+std::string PrintExpr(const Expr& e);
+std::string PrintStatement(const Statement& s);
+
+}  // namespace irdb::sql

@@ -1,0 +1,33 @@
+// SQL token definitions.
+#pragma once
+
+#include <string>
+
+namespace irdb::sql {
+
+enum class TokenKind {
+  kEof,
+  kIdentifier,   // table/column names (case preserved, matched case-insensitively)
+  kKeyword,      // normalized to upper case in `text`
+  kIntLiteral,
+  kDoubleLiteral,
+  kStringLiteral,  // text holds the unescaped contents
+  // punctuation / operators
+  kComma, kLParen, kRParen, kDot, kSemicolon, kStar,
+  kEq, kNeq, kLt, kLe, kGt, kGe,
+  kPlus, kMinus, kSlash, kPercent,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;   // identifier/keyword/literal payload
+  size_t offset = 0;  // byte offset in the source, for error messages
+
+  bool IsKeyword(const char* kw) const {
+    return kind == TokenKind::kKeyword && text == kw;
+  }
+};
+
+const char* TokenKindName(TokenKind k);
+
+}  // namespace irdb::sql

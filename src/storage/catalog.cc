@@ -1,0 +1,59 @@
+#include "storage/catalog.h"
+
+#include "util/string_utils.h"
+
+namespace irdb {
+
+Result<HeapTable*> Catalog::CreateTable(const std::string& name, Schema schema,
+                                        int page_size) {
+  std::string key = ToLowerAscii(name);
+  if (tables_.count(key)) {
+    return Status::AlreadyExists("table " + name + " already exists");
+  }
+  TableEntry entry;
+  entry.table_id = next_table_id_++;
+  entry.table = std::make_unique<HeapTable>(name, std::move(schema), page_size);
+  HeapTable* ptr = entry.table.get();
+  tables_.emplace(std::move(key), std::move(entry));
+  return ptr;
+}
+
+Status Catalog::DropTable(const std::string& name) {
+  std::string key = ToLowerAscii(name);
+  auto it = tables_.find(key);
+  if (it == tables_.end()) return Status::NotFound("no table " + name);
+  tables_.erase(it);
+  return Status::Ok();
+}
+
+HeapTable* Catalog::Find(const std::string& name) {
+  auto it = tables_.find(ToLowerAscii(name));
+  return it == tables_.end() ? nullptr : it->second.table.get();
+}
+
+const HeapTable* Catalog::Find(const std::string& name) const {
+  auto it = tables_.find(ToLowerAscii(name));
+  return it == tables_.end() ? nullptr : it->second.table.get();
+}
+
+HeapTable* Catalog::FindById(int32_t table_id) {
+  for (auto& [_, entry] : tables_) {
+    if (entry.table_id == table_id) return entry.table.get();
+  }
+  return nullptr;
+}
+
+Result<int32_t> Catalog::TableId(const std::string& name) const {
+  auto it = tables_.find(ToLowerAscii(name));
+  if (it == tables_.end()) return Status::NotFound("no table " + name);
+  return it->second.table_id;
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> out;
+  out.reserve(tables_.size());
+  for (const auto& [_, entry] : tables_) out.push_back(entry.table->name());
+  return out;
+}
+
+}  // namespace irdb

@@ -1,0 +1,45 @@
+// Catalog: name → table mapping plus table-id allocation.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/heap_table.h"
+#include "util/status.h"
+
+namespace irdb {
+
+struct TableEntry {
+  int32_t table_id = 0;
+  std::unique_ptr<HeapTable> table;
+};
+
+class Catalog {
+ public:
+  // Creates a table; fails if a table with the (case-insensitive) name exists.
+  Result<HeapTable*> CreateTable(const std::string& name, Schema schema,
+                                 int page_size = kDefaultPageSize);
+
+  Status DropTable(const std::string& name);
+
+  // nullptr when absent.
+  HeapTable* Find(const std::string& name);
+  const HeapTable* Find(const std::string& name) const;
+
+  // Lookup by the id recorded in WAL records; nullptr when absent.
+  HeapTable* FindById(int32_t table_id);
+
+  Result<int32_t> TableId(const std::string& name) const;
+
+  std::vector<std::string> TableNames() const;
+
+ private:
+  // key: lower-cased name
+  std::map<std::string, TableEntry> tables_;
+  int32_t next_table_id_ = 1;
+};
+
+}  // namespace irdb

@@ -1,0 +1,96 @@
+#include "storage/heap_table.h"
+
+namespace irdb {
+
+HeapTable::HeapTable(std::string name, Schema schema, int page_size)
+    : name_(std::move(name)),
+      schema_(std::move(schema)),
+      codec_(&schema_),
+      page_size_(page_size) {
+  IRDB_CHECK_MSG(schema_.row_size() <= page_size_,
+                 "row too large for page in table " + name_);
+}
+
+std::vector<Value> HeapTable::IndexKeyOf(std::string_view row_bytes) const {
+  std::vector<Value> key;
+  key.reserve(index_->key_columns().size());
+  for (int col : index_->key_columns()) {
+    auto v = codec_.DecodeColumn(row_bytes, static_cast<size_t>(col));
+    IRDB_CHECK(v.ok());
+    key.push_back(std::move(v).value());
+  }
+  return key;
+}
+
+RowLoc HeapTable::Insert(std::string_view row_bytes) {
+  auto place = [&]() -> RowLoc {
+    // Reuse the first page with space (vacated by deletes), else append.
+    while (!free_pages_.empty()) {
+      int p = free_pages_.back();
+      if (pages_[p]->HasSpace()) {
+        int off = pages_[p]->Append(row_bytes);
+        if (!pages_[p]->HasSpace()) free_pages_.pop_back();
+        return RowLoc{p, off / schema_.row_size()};
+      }
+      free_pages_.pop_back();
+    }
+    pages_.push_back(std::make_unique<Page>(page_size_, schema_.row_size()));
+    int p = static_cast<int>(pages_.size()) - 1;
+    int off = pages_[p]->Append(row_bytes);
+    if (pages_[p]->HasSpace()) free_pages_.push_back(p);
+    return RowLoc{p, off / schema_.row_size()};
+  };
+  RowLoc loc = place();
+  ++row_count_;
+  if (index_) index_->Insert(IndexKeyOf(row_bytes), loc);
+  return loc;
+}
+
+std::string_view HeapTable::ReadAt(RowLoc loc) const {
+  IRDB_CHECK(loc.page >= 0 && loc.page < page_count());
+  return pages_[loc.page]->RowAt(loc.slot);
+}
+
+void HeapTable::UpdateAt(RowLoc loc, std::string_view row_bytes) {
+  IRDB_CHECK(loc.page >= 0 && loc.page < page_count());
+  if (index_) {
+    std::vector<Value> old_key = IndexKeyOf(pages_[loc.page]->RowAt(loc.slot));
+    std::vector<Value> new_key = IndexKeyOf(row_bytes);
+    const ValueVectorLess less;
+    if (less(old_key, new_key) || less(new_key, old_key)) {
+      index_->Erase(old_key, loc);
+      index_->Insert(new_key, loc);
+    }
+  }
+  pages_[loc.page]->UpdateAt(loc.slot, row_bytes);
+}
+
+void HeapTable::DeleteAt(RowLoc loc) {
+  IRDB_CHECK(loc.page >= 0 && loc.page < page_count());
+  Page& page = *pages_[loc.page];
+  if (index_) {
+    index_->Erase(IndexKeyOf(page.RowAt(loc.slot)), loc);
+  }
+  bool had_space = page.HasSpace();
+  page.DeleteAt(loc.slot);
+  --row_count_;
+  if (index_) index_->ShiftAfterDelete(loc.page, loc.slot);
+  if (!had_space) free_pages_.push_back(loc.page);
+}
+
+void HeapTable::Scan(
+    const std::function<void(RowLoc, std::string_view)>& fn) const {
+  for (int p = 0; p < page_count(); ++p) {
+    const Page& page = *pages_[p];
+    for (int s = 0; s < page.row_count(); ++s) {
+      fn(RowLoc{p, s}, page.RowAt(s));
+    }
+  }
+}
+
+const Page* HeapTable::GetPage(int page_no) const {
+  if (page_no < 0 || page_no >= page_count()) return nullptr;
+  return pages_[page_no].get();
+}
+
+}  // namespace irdb

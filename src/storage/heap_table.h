@@ -1,0 +1,91 @@
+// HeapTable: a table's rows stored across fixed-size pages.
+//
+// Provides physical addressing (page number, slot index / byte offset) used
+// by the WAL and the per-flavor log readers, plus scan/update/delete
+// primitives for the executor.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/page.h"
+#include "storage/row_codec.h"
+#include "storage/schema.h"
+#include "storage/table_index.h"
+#include "util/status.h"
+
+namespace irdb {
+
+class HeapTable {
+ public:
+  HeapTable(std::string name, Schema schema, int page_size = kDefaultPageSize);
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  const RowCodec& codec() const { return codec_; }
+  int page_size() const { return page_size_; }
+
+  int64_t row_count() const { return row_count_; }
+  int page_count() const { return static_cast<int>(pages_.size()); }
+
+  // Inserts an encoded row; returns where it landed.
+  RowLoc Insert(std::string_view row_bytes);
+
+  // Reads the encoded row at `loc`.
+  std::string_view ReadAt(RowLoc loc) const;
+
+  // Overwrites the row at `loc` in place.
+  void UpdateAt(RowLoc loc, std::string_view row_bytes);
+
+  // Deletes the row at `loc` (rows after it in the page shift down a slot).
+  void DeleteAt(RowLoc loc);
+
+  // Byte offset of a slot within its page.
+  int OffsetOf(RowLoc loc) const { return loc.slot * schema_.row_size(); }
+
+  // Visits every row; the callback may not mutate the table.
+  void Scan(const std::function<void(RowLoc, std::string_view)>& fn) const;
+
+  // Raw page access for the `dbcc page` emulation. Returns nullptr when the
+  // page number is out of range.
+  const Page* GetPage(int page_no) const;
+
+  // Monotonic counters owned by the table.
+  int64_t NextRowId() { return next_rowid_++; }
+  int64_t NextIdentity() { return next_identity_++; }
+  int64_t PeekNextRowId() const { return next_rowid_; }
+
+  // Raises the counters to at least the given values (WAL recovery replays
+  // rows whose ids were assigned by the pre-crash instance).
+  void BumpCounters(int64_t rowid_floor, int64_t identity_floor) {
+    if (rowid_floor > next_rowid_) next_rowid_ = rowid_floor;
+    if (identity_floor > next_identity_) next_identity_ = identity_floor;
+  }
+
+  // Installs the primary-key index (call before any rows are inserted).
+  void SetPrimaryIndex(std::vector<int> key_columns) {
+    IRDB_CHECK_MSG(row_count_ == 0, "index must be installed on empty table");
+    index_ = std::make_unique<TableIndex>(std::move(key_columns));
+  }
+  const TableIndex* index() const { return index_.get(); }
+
+ private:
+  // Key column values of an encoded row, in index order.
+  std::vector<Value> IndexKeyOf(std::string_view row_bytes) const;
+  std::string name_;
+  Schema schema_;
+  RowCodec codec_;
+  int page_size_;
+  int64_t row_count_ = 0;
+  int64_t next_rowid_ = 1;
+  int64_t next_identity_ = 1;
+  std::vector<std::unique_ptr<Page>> pages_;
+  // Pages that still have room (kept sorted-ish; lazily cleaned).
+  std::vector<int> free_pages_;
+  std::unique_ptr<TableIndex> index_;
+};
+
+}  // namespace irdb

@@ -1,0 +1,85 @@
+// A heap page holding fixed-size rows contiguously.
+//
+// Row-migration semantics copied from Sybase (paper §4.3): when a row is
+// deleted from the middle of a page, all rows after it move toward the
+// beginning so that no gap ever exists; rows never migrate across pages.
+// Inserts always append at the current end of the page's used region.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace irdb {
+
+inline constexpr int kDefaultPageSize = 8192;
+
+class Page {
+ public:
+  Page(int capacity, int row_size)
+      : capacity_(capacity), row_size_(row_size),
+        data_(static_cast<size_t>(capacity), '\0') {
+    IRDB_CHECK(row_size > 0 && row_size <= capacity);
+  }
+
+  int capacity() const { return capacity_; }
+  int row_size() const { return row_size_; }
+  int used_bytes() const { return row_count_ * row_size_; }
+  int row_count() const { return row_count_; }
+  bool HasSpace() const { return used_bytes() + row_size_ <= capacity_; }
+
+  // Appends a row; returns its byte offset within the page.
+  int Append(std::string_view row_bytes) {
+    IRDB_CHECK(static_cast<int>(row_bytes.size()) == row_size_);
+    IRDB_CHECK(HasSpace());
+    const int off = used_bytes();
+    data_.replace(static_cast<size_t>(off), row_bytes.size(), row_bytes);
+    ++row_count_;
+    return off;
+  }
+
+  // Deletes the row at slot `idx`, compacting the page (rows after it shift
+  // down by one slot). This is the only operation that moves rows.
+  void DeleteAt(int idx) {
+    IRDB_CHECK(idx >= 0 && idx < row_count_);
+    const int off = idx * row_size_;
+    const int tail = used_bytes() - (off + row_size_);
+    if (tail > 0) {
+      data_.replace(static_cast<size_t>(off), static_cast<size_t>(tail),
+                    data_, static_cast<size_t>(off + row_size_),
+                    static_cast<size_t>(tail));
+    }
+    --row_count_;
+    // Scrub the vacated slot so page dumps are deterministic.
+    data_.replace(static_cast<size_t>(used_bytes()),
+                  static_cast<size_t>(row_size_),
+                  static_cast<size_t>(row_size_), '\0');
+  }
+
+  // Overwrites the row at slot `idx` in place (no movement).
+  void UpdateAt(int idx, std::string_view row_bytes) {
+    IRDB_CHECK(idx >= 0 && idx < row_count_);
+    IRDB_CHECK(static_cast<int>(row_bytes.size()) == row_size_);
+    data_.replace(static_cast<size_t>(idx * row_size_), row_bytes.size(),
+                  row_bytes);
+  }
+
+  std::string_view RowAt(int idx) const {
+    IRDB_CHECK(idx >= 0 && idx < row_count_);
+    return std::string_view(data_).substr(static_cast<size_t>(idx * row_size_),
+                                          static_cast<size_t>(row_size_));
+  }
+
+  // Raw page image — this is what the Sybase flavor's `dbcc page` returns.
+  std::string_view RawBytes() const { return data_; }
+
+ private:
+  int capacity_;
+  int row_size_;
+  int row_count_ = 0;
+  std::string data_;
+};
+
+}  // namespace irdb

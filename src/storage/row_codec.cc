@@ -1,0 +1,147 @@
+#include "storage/row_codec.h"
+
+#include <cstring>
+
+namespace irdb {
+
+void PutU64(std::string* out, size_t pos, uint64_t v) {
+  IRDB_CHECK(pos + 8 <= out->size());
+  for (int i = 0; i < 8; ++i) {
+    (*out)[pos + i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  }
+}
+
+uint64_t GetU64(std::string_view in, size_t pos) {
+  IRDB_CHECK(pos + 8 <= in.size());
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<unsigned char>(in[pos + i])) << (8 * i);
+  }
+  return v;
+}
+
+void PutU16(std::string* out, size_t pos, uint16_t v) {
+  IRDB_CHECK(pos + 2 <= out->size());
+  (*out)[pos] = static_cast<char>(v & 0xff);
+  (*out)[pos + 1] = static_cast<char>((v >> 8) & 0xff);
+}
+
+uint16_t GetU16(std::string_view in, size_t pos) {
+  IRDB_CHECK(pos + 2 <= in.size());
+  return static_cast<uint16_t>(static_cast<unsigned char>(in[pos])) |
+         (static_cast<uint16_t>(static_cast<unsigned char>(in[pos + 1])) << 8);
+}
+
+Result<std::string> RowCodec::Encode(const Row& row) const {
+  const Schema& s = *schema_;
+  if (row.values.size() != s.num_columns()) {
+    return Status::Internal("RowCodec::Encode: value count mismatch");
+  }
+  std::string out(static_cast<size_t>(s.row_size()), '\0');
+  for (size_t i = 0; i < s.num_columns(); ++i) {
+    IRDB_RETURN_IF_ERROR(EncodeColumnInPlace(&out, i, row.values[i]));
+  }
+  if (s.has_hidden_rowid()) {
+    PutU64(&out, static_cast<size_t>(s.rowid_offset()),
+           static_cast<uint64_t>(row.rowid));
+  }
+  return out;
+}
+
+Status RowCodec::EncodeColumnInPlace(std::string* bytes, size_t col,
+                                     const Value& v) const {
+  const Schema& s = *schema_;
+  IRDB_CHECK(bytes->size() == static_cast<size_t>(s.row_size()));
+  const Column& c = s.column(col);
+  const size_t off = static_cast<size_t>(s.ColumnOffset(col));
+  if (v.is_null()) {
+    (*bytes)[off] = 1;
+    // Zero the payload so encodings are canonical (byte-comparable).
+    std::memset(bytes->data() + off + 1, 0, c.EncodedSize() - 1);
+    return Status::Ok();
+  }
+  (*bytes)[off] = 0;
+  switch (c.type) {
+    case ValueType::kInt: {
+      if (!v.is_int()) return Status::Internal("encode: expected int for " + c.name);
+      PutU64(bytes, off + 1, static_cast<uint64_t>(v.as_int()));
+      return Status::Ok();
+    }
+    case ValueType::kDouble: {
+      if (!v.is_numeric()) return Status::Internal("encode: expected double for " + c.name);
+      double d = v.as_double();
+      uint64_t bits;
+      std::memcpy(&bits, &d, 8);
+      PutU64(bytes, off + 1, bits);
+      return Status::Ok();
+    }
+    case ValueType::kString: {
+      if (!v.is_string()) return Status::Internal("encode: expected string for " + c.name);
+      const std::string& str = v.as_string();
+      if (static_cast<int>(str.size()) > c.length) {
+        return Status::Constraint("encode: string too long for " + c.name);
+      }
+      PutU16(bytes, off + 1, static_cast<uint16_t>(str.size()));
+      std::memcpy(bytes->data() + off + 3, str.data(), str.size());
+      std::memset(bytes->data() + off + 3 + str.size(), 0, c.length - str.size());
+      return Status::Ok();
+    }
+    default:
+      return Status::Internal("encode: bad column type");
+  }
+}
+
+Result<Value> RowCodec::DecodeColumn(std::string_view bytes, size_t col) const {
+  const Schema& s = *schema_;
+  if (bytes.size() != static_cast<size_t>(s.row_size())) {
+    return Status::Internal("DecodeColumn: bad row length " +
+                            std::to_string(bytes.size()));
+  }
+  const Column& c = s.column(col);
+  const size_t off = static_cast<size_t>(s.ColumnOffset(col));
+  if (bytes[off] != 0) return Value::Null();
+  switch (c.type) {
+    case ValueType::kInt:
+      return Value::Int(static_cast<int64_t>(GetU64(bytes, off + 1)));
+    case ValueType::kDouble: {
+      uint64_t bits = GetU64(bytes, off + 1);
+      double d;
+      std::memcpy(&d, &bits, 8);
+      return Value::Double(d);
+    }
+    case ValueType::kString: {
+      uint16_t len = GetU16(bytes, off + 1);
+      if (len > c.length) return Status::Internal("DecodeColumn: corrupt length");
+      return Value::Str(std::string(bytes.substr(off + 3, len)));
+    }
+    default:
+      return Status::Internal("DecodeColumn: bad column type");
+  }
+}
+
+Result<Row> RowCodec::Decode(std::string_view bytes) const {
+  const Schema& s = *schema_;
+  Row row;
+  row.values.reserve(s.num_columns());
+  for (size_t i = 0; i < s.num_columns(); ++i) {
+    IRDB_ASSIGN_OR_RETURN(Value v, DecodeColumn(bytes, i));
+    row.values.push_back(std::move(v));
+  }
+  if (s.has_hidden_rowid()) row.rowid = DecodeRowId(bytes);
+  return row;
+}
+
+int64_t RowCodec::DecodeRowId(std::string_view bytes) const {
+  const Schema& s = *schema_;
+  IRDB_CHECK(s.has_hidden_rowid());
+  IRDB_CHECK(bytes.size() == static_cast<size_t>(s.row_size()));
+  return static_cast<int64_t>(GetU64(bytes, static_cast<size_t>(s.rowid_offset())));
+}
+
+void RowCodec::EncodeRowId(std::string* bytes, int64_t rowid) const {
+  const Schema& s = *schema_;
+  IRDB_CHECK(s.has_hidden_rowid());
+  PutU64(bytes, static_cast<size_t>(s.rowid_offset()), static_cast<uint64_t>(rowid));
+}
+
+}  // namespace irdb

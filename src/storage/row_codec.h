@@ -1,0 +1,72 @@
+// Fixed-width row encoding.
+//
+// Per column: 1 null byte, then the payload —
+//   INT/DOUBLE: 8 bytes little-endian
+//   STRING:     2-byte actual length + capacity bytes (zero padded)
+// The hidden rowid (when the schema has one) occupies the trailing 8 bytes.
+//
+// This byte-level format is what the WAL stores as before/after images and
+// what the Sybase-flavor `dbcc page` emulation exposes, so the repair tools
+// genuinely parse raw bytes like the paper's prototype did.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/schema.h"
+#include "storage/value.h"
+#include "util/status.h"
+
+namespace irdb {
+
+// Physical location of a row at a point in time. Slots shift on DELETE
+// (in-page compaction), so a RowLoc is only stable while no delete runs.
+struct RowLoc {
+  int32_t page = -1;
+  int32_t slot = -1;
+
+  bool operator==(const RowLoc& o) const { return page == o.page && slot == o.slot; }
+};
+
+// A decoded row: user column values plus the hidden rowid (kNoRowId if none).
+inline constexpr int64_t kNoRowId = -1;
+
+struct Row {
+  std::vector<Value> values;
+  int64_t rowid = kNoRowId;
+};
+
+class RowCodec {
+ public:
+  explicit RowCodec(const Schema* schema) : schema_(schema) {}
+
+  // Encodes a row. Values must already be coerced to the column types.
+  Result<std::string> Encode(const Row& row) const;
+
+  // Decodes a full row from `bytes` (must be exactly row_size()).
+  Result<Row> Decode(std::string_view bytes) const;
+
+  // Decodes a single column out of an encoded row.
+  Result<Value> DecodeColumn(std::string_view bytes, size_t col) const;
+
+  // Encodes a single value into its column slot inside `bytes` (in place).
+  Status EncodeColumnInPlace(std::string* bytes, size_t col, const Value& v) const;
+
+  // Reads/writes the hidden rowid field.
+  int64_t DecodeRowId(std::string_view bytes) const;
+  void EncodeRowId(std::string* bytes, int64_t rowid) const;
+
+  const Schema& schema() const { return *schema_; }
+
+ private:
+  const Schema* schema_;
+};
+
+// Little-endian scalar helpers (shared with the WAL and dbcc-page parsing).
+void PutU64(std::string* out, size_t pos, uint64_t v);
+uint64_t GetU64(std::string_view in, size_t pos);
+void PutU16(std::string* out, size_t pos, uint16_t v);
+uint16_t GetU16(std::string_view in, size_t pos);
+
+}  // namespace irdb

@@ -1,0 +1,92 @@
+// Ordered primary-key index supporting equality-prefix lookups.
+//
+// Keys are vectors of column Values; lookups by a prefix of the key columns
+// return every matching row location. RowLocs shift when a DELETE compacts a
+// page, so HeapTable notifies the index of slot shifts.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "storage/row_codec.h"
+#include "storage/value.h"
+#include "util/status.h"
+
+namespace irdb {
+
+struct ValueVectorLess {
+  bool operator()(const std::vector<Value>& a,
+                  const std::vector<Value>& b) const {
+    const size_t n = std::min(a.size(), b.size());
+    for (size_t i = 0; i < n; ++i) {
+      int c = a[i].Compare(b[i]);
+      if (c != 0) return c < 0;
+    }
+    return a.size() < b.size();
+  }
+};
+
+class TableIndex {
+ public:
+  explicit TableIndex(std::vector<int> key_columns)
+      : key_columns_(std::move(key_columns)) {}
+
+  const std::vector<int>& key_columns() const { return key_columns_; }
+
+  void Insert(const std::vector<Value>& key, RowLoc loc) {
+    map_[key].push_back(loc);
+  }
+
+  void Erase(const std::vector<Value>& key, RowLoc loc) {
+    auto it = map_.find(key);
+    IRDB_CHECK_MSG(it != map_.end(), "index erase: key missing");
+    auto& locs = it->second;
+    for (size_t i = 0; i < locs.size(); ++i) {
+      if (locs[i] == loc) {
+        locs[i] = locs.back();
+        locs.pop_back();
+        if (locs.empty()) map_.erase(it);
+        return;
+      }
+    }
+    IRDB_CHECK_MSG(false, "index erase: loc missing");
+  }
+
+  // A DELETE at (page, slot) shifted every row of that page at slot > `slot`
+  // down by one.
+  void ShiftAfterDelete(int32_t page, int32_t slot) {
+    for (auto& [_, locs] : map_) {
+      for (RowLoc& loc : locs) {
+        if (loc.page == page && loc.slot > slot) --loc.slot;
+      }
+    }
+  }
+
+  // Collects row locations whose key starts with `prefix` (may be the full
+  // key). The result is unordered.
+  void LookupPrefix(const std::vector<Value>& prefix,
+                    std::vector<RowLoc>* out) const {
+    auto it = map_.lower_bound(prefix);
+    for (; it != map_.end(); ++it) {
+      const std::vector<Value>& key = it->first;
+      if (key.size() < prefix.size()) break;
+      bool match = true;
+      for (size_t i = 0; i < prefix.size(); ++i) {
+        if (key[i].Compare(prefix[i]) != 0) {
+          match = false;
+          break;
+        }
+      }
+      if (!match) break;
+      out->insert(out->end(), it->second.begin(), it->second.end());
+    }
+  }
+
+  size_t entry_count() const { return map_.size(); }
+
+ private:
+  std::vector<int> key_columns_;
+  std::map<std::vector<Value>, std::vector<RowLoc>, ValueVectorLess> map_;
+};
+
+}  // namespace irdb

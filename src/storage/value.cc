@@ -1,0 +1,80 @@
+#include "storage/value.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/string_utils.h"
+
+namespace irdb {
+
+const char* ValueTypeName(ValueType t) {
+  switch (t) {
+    case ValueType::kNull: return "NULL";
+    case ValueType::kInt: return "INT";
+    case ValueType::kDouble: return "DOUBLE";
+    case ValueType::kString: return "STRING";
+  }
+  return "?";
+}
+
+int Value::Compare(const Value& o) const {
+  const bool a_null = is_null(), b_null = o.is_null();
+  if (a_null || b_null) {
+    if (a_null && b_null) return 0;
+    return a_null ? -1 : 1;
+  }
+  const bool a_num = is_numeric(), b_num = o.is_numeric();
+  if (a_num != b_num) return a_num ? -1 : 1;
+  if (a_num) {
+    if (is_int() && o.is_int()) {
+      int64_t a = as_int(), b = o.as_int();
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    double a = as_double(), b = o.as_double();
+    return a < b ? -1 : (a > b ? 1 : 0);
+  }
+  int c = as_string().compare(o.as_string());
+  return c < 0 ? -1 : (c > 0 ? 1 : 0);
+}
+
+std::string Value::ToSqlLiteral() const {
+  switch (type()) {
+    case ValueType::kNull: return "NULL";
+    case ValueType::kInt: return std::to_string(as_int());
+    case ValueType::kDouble: {
+      // %.17g round-trips every finite double exactly — LogMiner-style
+      // undo/redo SQL must restore bit-identical values.
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "%.17g", as_double());
+      return buf;
+    }
+    case ValueType::kString: return SqlQuote(as_string());
+  }
+  return "NULL";
+}
+
+std::string Value::ToString() const {
+  if (is_string()) return as_string();
+  return ToSqlLiteral();
+}
+
+void Value::AppendTo(std::string* out) const {
+  switch (type()) {
+    case ValueType::kNull: out->append("N|"); break;
+    case ValueType::kInt:
+      out->append("I").append(std::to_string(as_int())).append("|");
+      break;
+    case ValueType::kDouble: {
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "D%.17g|", as_double());
+      out->append(buf);
+      break;
+    }
+    case ValueType::kString:
+      out->append("S").append(std::to_string(as_string().size())).append(":");
+      out->append(as_string()).append("|");
+      break;
+  }
+}
+
+}  // namespace irdb

@@ -1,0 +1,82 @@
+// Runtime value type for the minidb engine.
+//
+// SQL NULL, 64-bit integers, doubles and strings cover the TPC-C schema and
+// everything the intrusion-resilience proxy needs (trid columns are INTEGER,
+// trans_dep.dep_tr_ids is VARCHAR).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "util/status.h"
+
+namespace irdb {
+
+enum class ValueType { kNull, kInt, kDouble, kString };
+
+const char* ValueTypeName(ValueType t);
+
+class Value {
+ public:
+  Value() : v_(std::monostate{}) {}
+  static Value Null() { return Value(); }
+  static Value Int(int64_t i) { return Value(i); }
+  static Value Double(double d) { return Value(d); }
+  static Value Str(std::string s) { return Value(std::move(s)); }
+
+  explicit Value(int64_t i) : v_(i) {}
+  explicit Value(double d) : v_(d) {}
+  explicit Value(std::string s) : v_(std::move(s)) {}
+
+  ValueType type() const {
+    switch (v_.index()) {
+      case 0: return ValueType::kNull;
+      case 1: return ValueType::kInt;
+      case 2: return ValueType::kDouble;
+      default: return ValueType::kString;
+    }
+  }
+
+  bool is_null() const { return type() == ValueType::kNull; }
+  bool is_int() const { return type() == ValueType::kInt; }
+  bool is_double() const { return type() == ValueType::kDouble; }
+  bool is_string() const { return type() == ValueType::kString; }
+  bool is_numeric() const { return is_int() || is_double(); }
+
+  int64_t as_int() const {
+    IRDB_CHECK_MSG(is_int(), "Value::as_int on " + std::string(ValueTypeName(type())));
+    return std::get<int64_t>(v_);
+  }
+  double as_double() const {
+    if (is_int()) return static_cast<double>(std::get<int64_t>(v_));
+    IRDB_CHECK_MSG(is_double(), "Value::as_double on non-numeric");
+    return std::get<double>(v_);
+  }
+  const std::string& as_string() const {
+    IRDB_CHECK_MSG(is_string(), "Value::as_string on " + std::string(ValueTypeName(type())));
+    return std::get<std::string>(v_);
+  }
+
+  // Total order with SQL-ish semantics for sorting/grouping:
+  // NULL < numbers < strings; int/double compare numerically.
+  // Returns -1/0/+1.
+  int Compare(const Value& o) const;
+
+  bool operator==(const Value& o) const { return Compare(o) == 0; }
+  bool operator!=(const Value& o) const { return Compare(o) != 0; }
+  bool operator<(const Value& o) const { return Compare(o) < 0; }
+
+  // Rendering as a SQL literal (strings quoted+escaped, NULL keyword).
+  std::string ToSqlLiteral() const;
+  // Raw rendering for debugging/CSV (no quotes).
+  std::string ToString() const;
+
+  // Stable serialization used by row codecs and state fingerprints.
+  void AppendTo(std::string* out) const;
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string> v_;
+};
+
+}  // namespace irdb

@@ -1,0 +1,47 @@
+// TPC-C database scaling parameters (paper Table 2).
+#pragma once
+
+#include <cstdint>
+
+namespace irdb::tpcc {
+
+struct TpccConfig {
+  int warehouses = 1;              // W
+  int districts_per_warehouse = 10;
+  int customers_per_district = 30;
+  int items = 100;
+  int orders_per_district = 30;
+
+  // Fraction of initial orders already delivered (the rest sit in new_order).
+  double delivered_fraction = 0.7;
+
+  uint64_t seed = 42;
+
+  // The paper's test database (Table 2): 10 warehouses, 30 districts per
+  // warehouse, 5000 clients per district, 100000 items, 5000 orders per
+  // district (~4.5 GB). Running this in-memory is possible but slow; benches
+  // default to Scaled() and accept flags to raise the scale.
+  static TpccConfig Paper() {
+    TpccConfig c;
+    c.warehouses = 10;
+    c.districts_per_warehouse = 30;
+    c.customers_per_district = 5000;
+    c.items = 100000;
+    c.orders_per_district = 5000;
+    return c;
+  }
+
+  // A proportionally scaled-down database that keeps the same shape
+  // (many more stock/item rows than warehouse/district rows).
+  static TpccConfig Scaled(int warehouses) {
+    TpccConfig c;
+    c.warehouses = warehouses;
+    c.districts_per_warehouse = 5;
+    c.customers_per_district = 20;
+    c.items = 200;
+    c.orders_per_district = 20;
+    return c;
+  }
+};
+
+}  // namespace irdb::tpcc

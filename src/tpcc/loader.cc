@@ -1,0 +1,234 @@
+#include "tpcc/loader.h"
+
+#include <cstdio>
+
+#include "tpcc/schema.h"
+#include "util/string_utils.h"
+
+namespace irdb::tpcc {
+
+namespace {
+
+constexpr const char* kNow = "2004-06-28 12:00:00";
+
+// Accumulates rows into multi-row INSERT statements.
+class InsertBatcher {
+ public:
+  InsertBatcher(DbConnection* conn, std::string table, std::string columns,
+                size_t batch = 40)
+      : conn_(conn), table_(std::move(table)), columns_(std::move(columns)),
+        batch_(batch) {}
+
+  Status Add(const std::string& tuple) {
+    tuples_.push_back(tuple);
+    if (tuples_.size() >= batch_) return Flush();
+    return Status::Ok();
+  }
+
+  Status Flush() {
+    if (tuples_.empty()) return Status::Ok();
+    std::string sql = "INSERT INTO " + table_ + "(" + columns_ + ") VALUES ";
+    for (size_t i = 0; i < tuples_.size(); ++i) {
+      if (i) sql.append(", ");
+      sql.append("(").append(tuples_[i]).append(")");
+    }
+    tuples_.clear();
+    auto r = conn_->Execute(sql);
+    if (!r.ok()) return r.status();
+    return Status::Ok();
+  }
+
+ private:
+  DbConnection* conn_;
+  std::string table_;
+  std::string columns_;
+  size_t batch_;
+  std::vector<std::string> tuples_;
+};
+
+std::string D(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.2f", v);
+  return buf;
+}
+
+std::string S(const std::string& s) { return SqlQuote(s); }
+
+// TPC-C last-name syllable generator (clause 4.3.2.3).
+std::string LastName(int64_t num) {
+  static const char* kSyllables[] = {"BAR",  "OUGHT", "ABLE", "PRI", "PRES",
+                                     "ESE",  "ANTI",  "CALLY", "ATION", "EING"};
+  return std::string(kSyllables[(num / 100) % 10]) +
+         kSyllables[(num / 10) % 10] + kSyllables[num % 10];
+}
+
+}  // namespace
+
+Result<LoadStats> LoadDatabase(DbConnection* conn, const TpccConfig& config) {
+  IRDB_RETURN_IF_ERROR(CreateSchema(conn));
+  Rng rng(config.seed);
+  LoadStats stats;
+
+  auto begin = [&](const std::string& label) -> Status {
+    auto r = conn->Execute("BEGIN");
+    if (!r.ok()) return r.status();
+    conn->SetAnnotation(label);
+    return Status::Ok();
+  };
+  auto commit = [&]() -> Status {
+    auto r = conn->Execute("COMMIT");
+    if (!r.ok()) return r.status();
+    return Status::Ok();
+  };
+
+  // Items -------------------------------------------------------------
+  IRDB_RETURN_IF_ERROR(begin("Load_items"));
+  {
+    InsertBatcher items(conn, "item", "i_id, i_im_id, i_name, i_price, i_data");
+    for (int i = 1; i <= config.items; ++i) {
+      std::string data = rng.AlnumString(26, 50);
+      if (rng.Uniform(1, 10) == 1) data.replace(data.size() / 2, 8, "ORIGINAL");
+      IRDB_RETURN_IF_ERROR(items.Add(
+          std::to_string(i) + ", " + std::to_string(rng.Uniform(1, 10000)) +
+          ", " + S("item-" + rng.AlnumString(8, 18)) + ", " +
+          D(rng.UniformReal(1.0, 100.0)) + ", " + S(data)));
+      ++stats.items;
+    }
+    IRDB_RETURN_IF_ERROR(items.Flush());
+  }
+  IRDB_RETURN_IF_ERROR(commit());
+
+  for (int w = 1; w <= config.warehouses; ++w) {
+    // Warehouse + stock ------------------------------------------------
+    IRDB_RETURN_IF_ERROR(begin("Load_warehouse_" + std::to_string(w)));
+    {
+      auto r = conn->Execute(
+          "INSERT INTO warehouse(w_id, w_name, w_street_1, w_street_2, w_city,"
+          " w_state, w_zip, w_tax, w_ytd) VALUES (" +
+          std::to_string(w) + ", " + S("wh-" + std::to_string(w)) + ", " +
+          S(rng.AlnumString(10, 20)) + ", " + S(rng.AlnumString(10, 20)) +
+          ", " + S(rng.AlnumString(10, 20)) + ", " + S("NY") + ", " +
+          S("123456789") + ", " + D(rng.UniformReal(0.0, 0.2)) + ", 300000.00)");
+      if (!r.ok()) return r.status();
+      ++stats.warehouses;
+
+      InsertBatcher stock(conn, "stock",
+                          "s_i_id, s_w_id, s_quantity, s_dist_01, s_dist_02,"
+                          " s_dist_03, s_dist_04, s_dist_05, s_dist_06,"
+                          " s_dist_07, s_dist_08, s_dist_09, s_dist_10,"
+                          " s_ytd, s_order_cnt, s_remote_cnt, s_data");
+      for (int i = 1; i <= config.items; ++i) {
+        std::string tuple = std::to_string(i) + ", " + std::to_string(w) +
+                            ", " + std::to_string(rng.Uniform(10, 100));
+        for (int d = 0; d < 10; ++d) tuple += ", " + S(rng.AlnumString(24, 24));
+        tuple += ", 0.00, 0, 0, " + S(rng.AlnumString(26, 50));
+        IRDB_RETURN_IF_ERROR(stock.Add(tuple));
+        ++stats.stock;
+      }
+      IRDB_RETURN_IF_ERROR(stock.Flush());
+    }
+    IRDB_RETURN_IF_ERROR(commit());
+
+    for (int d = 1; d <= config.districts_per_warehouse; ++d) {
+      IRDB_RETURN_IF_ERROR(begin("Load_district_" + std::to_string(w) + "_" +
+                                 std::to_string(d)));
+      {
+        auto r = conn->Execute(
+            "INSERT INTO district(d_id, d_w_id, d_name, d_street_1,"
+            " d_street_2, d_city, d_state, d_zip, d_tax, d_ytd, d_next_o_id)"
+            " VALUES (" +
+            std::to_string(d) + ", " + std::to_string(w) + ", " +
+            S("dist-" + std::to_string(d)) + ", " + S(rng.AlnumString(10, 20)) +
+            ", " + S(rng.AlnumString(10, 20)) + ", " +
+            S(rng.AlnumString(10, 20)) + ", " + S("NY") + ", " +
+            S("123456789") + ", " + D(rng.UniformReal(0.0, 0.2)) +
+            ", 30000.00, " + std::to_string(config.orders_per_district + 1) +
+            ")");
+        if (!r.ok()) return r.status();
+        ++stats.districts;
+
+        // Customers + history.
+        InsertBatcher customers(
+            conn, "customer",
+            "c_id, c_d_id, c_w_id, c_first, c_middle, c_last, c_street_1,"
+            " c_street_2, c_city, c_state, c_zip, c_phone, c_since, c_credit,"
+            " c_credit_lim, c_discount, c_balance, c_ytd_payment,"
+            " c_payment_cnt, c_delivery_cnt, c_data");
+        InsertBatcher history(
+            conn, "history",
+            "h_c_id, h_c_d_id, h_c_w_id, h_d_id, h_w_id, h_date, h_amount,"
+            " h_data");
+        for (int c = 1; c <= config.customers_per_district; ++c) {
+          int64_t name_num = c <= 1000 ? c - 1 : rng.NuRand(255, 0, 999, 173);
+          IRDB_RETURN_IF_ERROR(customers.Add(
+              std::to_string(c) + ", " + std::to_string(d) + ", " +
+              std::to_string(w) + ", " + S(rng.AlnumString(8, 16)) + ", " +
+              S("OE") + ", " + S(LastName(name_num)) + ", " +
+              S(rng.AlnumString(10, 20)) + ", " + S(rng.AlnumString(10, 20)) +
+              ", " + S(rng.AlnumString(10, 20)) + ", " + S("NY") + ", " +
+              S("123456789") + ", " + S("0123456789012345") + ", " + S(kNow) +
+              ", " + S(rng.Uniform(1, 10) == 1 ? "BC" : "GC") +
+              ", 50000.00, " + D(rng.UniformReal(0.0, 0.5)) +
+              ", -10.00, 10.00, 1, 0, " + S(rng.AlnumString(100, 250))));
+          ++stats.customers;
+          IRDB_RETURN_IF_ERROR(history.Add(
+              std::to_string(c) + ", " + std::to_string(d) + ", " +
+              std::to_string(w) + ", " + std::to_string(d) + ", " +
+              std::to_string(w) + ", " + S(kNow) + ", 10.00, " +
+              S(rng.AlnumString(12, 24))));
+          ++stats.history;
+        }
+        IRDB_RETURN_IF_ERROR(customers.Flush());
+        IRDB_RETURN_IF_ERROR(history.Flush());
+
+        // Orders, order lines, new_order backlog.
+        InsertBatcher orders(conn, "orders",
+                             "o_id, o_d_id, o_w_id, o_c_id, o_entry_d,"
+                             " o_carrier_id, o_ol_cnt, o_all_local");
+        InsertBatcher lines(conn, "order_line",
+                            "ol_o_id, ol_d_id, ol_w_id, ol_number, ol_i_id,"
+                            " ol_supply_w_id, ol_delivery_d, ol_quantity,"
+                            " ol_amount, ol_dist_info");
+        InsertBatcher new_orders(conn, "new_order", "no_o_id, no_d_id, no_w_id");
+        const int delivered_upto = static_cast<int>(
+            config.orders_per_district * config.delivered_fraction);
+        for (int o = 1; o <= config.orders_per_district; ++o) {
+          const bool delivered = o <= delivered_upto;
+          const int ol_cnt = static_cast<int>(rng.Uniform(5, 15));
+          const int64_t cust = rng.Uniform(1, config.customers_per_district);
+          IRDB_RETURN_IF_ERROR(orders.Add(
+              std::to_string(o) + ", " + std::to_string(d) + ", " +
+              std::to_string(w) + ", " + std::to_string(cust) + ", " + S(kNow) +
+              ", " + (delivered ? std::to_string(rng.Uniform(1, 10)) : "NULL") +
+              ", " + std::to_string(ol_cnt) + ", 1"));
+          ++stats.orders;
+          for (int l = 1; l <= ol_cnt; ++l) {
+            IRDB_RETURN_IF_ERROR(lines.Add(
+                std::to_string(o) + ", " + std::to_string(d) + ", " +
+                std::to_string(w) + ", " + std::to_string(l) + ", " +
+                std::to_string(rng.Uniform(1, config.items)) + ", " +
+                std::to_string(w) + ", " + (delivered ? S(kNow) : "NULL") +
+                ", 5, " +
+                (delivered ? std::string("0.00")
+                           : D(rng.UniformReal(0.01, 9999.99))) +
+                ", " + S(rng.AlnumString(24, 24))));
+            ++stats.order_lines;
+          }
+          if (!delivered) {
+            IRDB_RETURN_IF_ERROR(new_orders.Add(std::to_string(o) + ", " +
+                                                std::to_string(d) + ", " +
+                                                std::to_string(w)));
+            ++stats.new_orders;
+          }
+        }
+        IRDB_RETURN_IF_ERROR(orders.Flush());
+        IRDB_RETURN_IF_ERROR(lines.Flush());
+        IRDB_RETURN_IF_ERROR(new_orders.Flush());
+      }
+      IRDB_RETURN_IF_ERROR(commit());
+    }
+  }
+  return stats;
+}
+
+}  // namespace irdb::tpcc

@@ -1,0 +1,28 @@
+// TPC-C initial database population.
+#pragma once
+
+#include "tpcc/config.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "wire/connection.h"
+
+namespace irdb::tpcc {
+
+struct LoadStats {
+  int64_t warehouses = 0;
+  int64_t districts = 0;
+  int64_t customers = 0;
+  int64_t items = 0;
+  int64_t stock = 0;
+  int64_t orders = 0;
+  int64_t order_lines = 0;
+  int64_t new_orders = 0;
+  int64_t history = 0;
+};
+
+// Creates the schema and populates it per `config`. Runs through `conn`
+// (tracked or raw); population transactions are annotated "Load_*" so the
+// repair experiments can treat them as trusted bootstrap.
+Result<LoadStats> LoadDatabase(DbConnection* conn, const TpccConfig& config);
+
+}  // namespace irdb::tpcc

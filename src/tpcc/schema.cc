@@ -1,0 +1,140 @@
+#include "tpcc/schema.h"
+
+namespace irdb::tpcc {
+
+std::vector<std::string> SchemaDdl() {
+  return {
+      "CREATE TABLE warehouse ("
+      " w_id INTEGER NOT NULL,"
+      " w_name VARCHAR(10),"
+      " w_street_1 VARCHAR(20),"
+      " w_street_2 VARCHAR(20),"
+      " w_city VARCHAR(20),"
+      " w_state CHAR(2),"
+      " w_zip CHAR(9),"
+      " w_tax DOUBLE,"
+      " w_ytd DOUBLE,"
+      " PRIMARY KEY (w_id))",
+
+      "CREATE TABLE district ("
+      " d_id INTEGER NOT NULL,"
+      " d_w_id INTEGER NOT NULL,"
+      " d_name VARCHAR(10),"
+      " d_street_1 VARCHAR(20),"
+      " d_street_2 VARCHAR(20),"
+      " d_city VARCHAR(20),"
+      " d_state CHAR(2),"
+      " d_zip CHAR(9),"
+      " d_tax DOUBLE,"
+      " d_ytd DOUBLE,"
+      " d_next_o_id INTEGER,"
+      " PRIMARY KEY (d_w_id, d_id))",
+
+      "CREATE TABLE customer ("
+      " c_id INTEGER NOT NULL,"
+      " c_d_id INTEGER NOT NULL,"
+      " c_w_id INTEGER NOT NULL,"
+      " c_first VARCHAR(16),"
+      " c_middle CHAR(2),"
+      " c_last VARCHAR(16),"
+      " c_street_1 VARCHAR(20),"
+      " c_street_2 VARCHAR(20),"
+      " c_city VARCHAR(20),"
+      " c_state CHAR(2),"
+      " c_zip CHAR(9),"
+      " c_phone CHAR(16),"
+      " c_since VARCHAR(19),"
+      " c_credit CHAR(2),"
+      " c_credit_lim DOUBLE,"
+      " c_discount DOUBLE,"
+      " c_balance DOUBLE,"
+      " c_ytd_payment DOUBLE,"
+      " c_payment_cnt INTEGER,"
+      " c_delivery_cnt INTEGER,"
+      " c_data VARCHAR(250),"
+      " PRIMARY KEY (c_w_id, c_d_id, c_id))",
+
+      "CREATE TABLE history ("
+      " h_c_id INTEGER,"
+      " h_c_d_id INTEGER,"
+      " h_c_w_id INTEGER,"
+      " h_d_id INTEGER,"
+      " h_w_id INTEGER,"
+      " h_date VARCHAR(19),"
+      " h_amount DOUBLE,"
+      " h_data VARCHAR(24))",
+
+      "CREATE TABLE new_order ("
+      " no_o_id INTEGER NOT NULL,"
+      " no_d_id INTEGER NOT NULL,"
+      " no_w_id INTEGER NOT NULL,"
+      " PRIMARY KEY (no_w_id, no_d_id, no_o_id))",
+
+      "CREATE TABLE orders ("
+      " o_id INTEGER NOT NULL,"
+      " o_d_id INTEGER NOT NULL,"
+      " o_w_id INTEGER NOT NULL,"
+      " o_c_id INTEGER,"
+      " o_entry_d VARCHAR(19),"
+      " o_carrier_id INTEGER,"
+      " o_ol_cnt INTEGER,"
+      " o_all_local INTEGER,"
+      " PRIMARY KEY (o_w_id, o_d_id, o_id))",
+
+      "CREATE TABLE order_line ("
+      " ol_o_id INTEGER NOT NULL,"
+      " ol_d_id INTEGER NOT NULL,"
+      " ol_w_id INTEGER NOT NULL,"
+      " ol_number INTEGER NOT NULL,"
+      " ol_i_id INTEGER,"
+      " ol_supply_w_id INTEGER,"
+      " ol_delivery_d VARCHAR(19),"
+      " ol_quantity INTEGER,"
+      " ol_amount DOUBLE,"
+      " ol_dist_info CHAR(24),"
+      " PRIMARY KEY (ol_w_id, ol_d_id, ol_o_id, ol_number))",
+
+      "CREATE TABLE item ("
+      " i_id INTEGER NOT NULL,"
+      " i_im_id INTEGER,"
+      " i_name VARCHAR(24),"
+      " i_price DOUBLE,"
+      " i_data VARCHAR(50),"
+      " PRIMARY KEY (i_id))",
+
+      "CREATE TABLE stock ("
+      " s_i_id INTEGER NOT NULL,"
+      " s_w_id INTEGER NOT NULL,"
+      " s_quantity INTEGER,"
+      " s_dist_01 CHAR(24),"
+      " s_dist_02 CHAR(24),"
+      " s_dist_03 CHAR(24),"
+      " s_dist_04 CHAR(24),"
+      " s_dist_05 CHAR(24),"
+      " s_dist_06 CHAR(24),"
+      " s_dist_07 CHAR(24),"
+      " s_dist_08 CHAR(24),"
+      " s_dist_09 CHAR(24),"
+      " s_dist_10 CHAR(24),"
+      " s_ytd DOUBLE,"
+      " s_order_cnt INTEGER,"
+      " s_remote_cnt INTEGER,"
+      " s_data VARCHAR(50),"
+      " PRIMARY KEY (s_w_id, s_i_id))",
+  };
+}
+
+std::vector<std::string> TableNames() {
+  return {"warehouse", "district", "customer",   "history", "new_order",
+          "orders",    "order_line", "item",     "stock"};
+}
+
+Status CreateSchema(DbConnection* conn) {
+  for (const std::string& ddl : SchemaDdl()) {
+    auto r = conn->Execute(ddl);
+    if (!r.ok()) return r.status();
+  }
+  return Status::Ok();
+}
+
+}  // namespace irdb::tpcc

@@ -1,0 +1,22 @@
+// TPC-C schema DDL (nine tables, TPC-C clause 1.3).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+#include "wire/connection.h"
+
+namespace irdb::tpcc {
+
+// The nine CREATE TABLE statements, in creation order.
+std::vector<std::string> SchemaDdl();
+
+// Names of all TPC-C tables (for state hashing / repair scoping).
+std::vector<std::string> TableNames();
+
+// Executes the DDL over `conn` (typically a tracking proxy, so the trid —
+// and, under Sybase, rid — columns are injected).
+Status CreateSchema(DbConnection* conn);
+
+}  // namespace irdb::tpcc

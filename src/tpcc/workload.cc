@@ -1,0 +1,341 @@
+#include "tpcc/workload.h"
+
+#include <cstdio>
+
+#include "util/string_utils.h"
+
+namespace irdb::tpcc {
+
+namespace {
+
+constexpr const char* kNow = "2004-06-28 13:00:00";
+
+std::string D(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.2f", v);
+  return buf;
+}
+
+std::string N(int64_t v) { return std::to_string(v); }
+
+}  // namespace
+
+const char* TxnTypeName(TxnType t) {
+  switch (t) {
+    case TxnType::kNewOrder: return "Order";
+    case TxnType::kPayment: return "Payment";
+    case TxnType::kDelivery: return "Deliv";
+    case TxnType::kOrderStatus: return "Status";
+    case TxnType::kStockLevel: return "Stock";
+  }
+  return "?";
+}
+
+Result<ResultSet> TpccDriver::Exec(const std::string& sql) {
+  return conn_->Execute(sql);
+}
+
+Status TpccDriver::Begin() {
+  auto r = Exec("BEGIN");
+  if (!r.ok()) return r.status();
+  return Status::Ok();
+}
+
+Status TpccDriver::CommitWithLabel(const std::string& label) {
+  if (annotate_) conn_->SetAnnotation(label);
+  auto r = Exec("COMMIT");
+  if (!r.ok()) return r.status();
+  return Status::Ok();
+}
+
+Status TpccDriver::Abort() {
+  auto r = Exec("ROLLBACK");
+  if (!r.ok()) return r.status();
+  return Status::Ok();
+}
+
+#define TPCC_EXEC(var, sql_expr)                    \
+  auto var = Exec(sql_expr);                        \
+  if (!var.ok()) {                                  \
+    (void)Abort();                                  \
+    return var.status();                            \
+  }
+
+Result<TxnResult> TpccDriver::NewOrder() {
+  const int w = static_cast<int>(rng_.Uniform(1, config_.warehouses));
+  const int d = static_cast<int>(rng_.Uniform(1, config_.districts_per_warehouse));
+  const int c = static_cast<int>(rng_.NuRand(1023, 1, config_.customers_per_district, 259));
+  const int ol_cnt = static_cast<int>(rng_.Uniform(5, 15));
+
+  IRDB_RETURN_IF_ERROR(Begin());
+  TPCC_EXEC(cust, "SELECT c_discount, c_last, c_credit FROM customer WHERE "
+                  "c_w_id = " + N(w) + " AND c_d_id = " + N(d) +
+                  " AND c_id = " + N(c));
+  TPCC_EXEC(wh, "SELECT w_tax FROM warehouse WHERE w_id = " + N(w));
+  TPCC_EXEC(dist, "SELECT d_next_o_id, d_tax FROM district WHERE d_w_id = " +
+                  N(w) + " AND d_id = " + N(d));
+  if (dist->rows.empty() || cust->rows.empty() || wh->rows.empty()) {
+    (void)Abort();
+    return Status::NotFound("NewOrder: missing warehouse/district/customer");
+  }
+  const int64_t o_id = dist->rows[0][0].as_int();
+  TPCC_EXEC(upd, "UPDATE district SET d_next_o_id = " + N(o_id + 1) +
+                 " WHERE d_w_id = " + N(w) + " AND d_id = " + N(d));
+  TPCC_EXEC(ord,
+            "INSERT INTO orders(o_id, o_d_id, o_w_id, o_c_id, o_entry_d,"
+            " o_carrier_id, o_ol_cnt, o_all_local) VALUES (" +
+            N(o_id) + ", " + N(d) + ", " + N(w) + ", " + N(c) + ", '" + kNow +
+            "', NULL, " + N(ol_cnt) + ", 1)");
+  TPCC_EXEC(no, "INSERT INTO new_order(no_o_id, no_d_id, no_w_id) VALUES (" +
+                N(o_id) + ", " + N(d) + ", " + N(w) + ")");
+  for (int l = 1; l <= ol_cnt; ++l) {
+    const int item = static_cast<int>(rng_.NuRand(8191, 1, config_.items, 7911));
+    const int qty = static_cast<int>(rng_.Uniform(1, 10));
+    TPCC_EXEC(it, "SELECT i_price, i_name, i_data FROM item WHERE i_id = " + N(item));
+    if (it->rows.empty()) {
+      (void)Abort();
+      return Status::NotFound("NewOrder: unused item");
+    }
+    const double price = it->rows[0][0].as_double();
+    char dist_col[16];
+    std::snprintf(dist_col, sizeof dist_col, "s_dist_%02d", d <= 10 ? d : 10);
+    TPCC_EXEC(st, std::string("SELECT s_quantity, s_data, ") + dist_col +
+                  " FROM stock WHERE s_i_id = " + N(item) +
+                  " AND s_w_id = " + N(w));
+    if (st->rows.empty()) {
+      (void)Abort();
+      return Status::NotFound("NewOrder: missing stock row");
+    }
+    const int64_t s_qty = st->rows[0][0].as_int();
+    const int64_t new_qty = s_qty >= qty + 10 ? s_qty - qty : s_qty - qty + 91;
+    TPCC_EXEC(stu, "UPDATE stock SET s_quantity = " + N(new_qty) +
+                   ", s_ytd = s_ytd + " + N(qty) +
+                   ", s_order_cnt = s_order_cnt + 1 WHERE s_i_id = " + N(item) +
+                   " AND s_w_id = " + N(w));
+    const double amount = qty * price;
+    TPCC_EXEC(oli,
+              "INSERT INTO order_line(ol_o_id, ol_d_id, ol_w_id, ol_number,"
+              " ol_i_id, ol_supply_w_id, ol_delivery_d, ol_quantity,"
+              " ol_amount, ol_dist_info) VALUES (" +
+              N(o_id) + ", " + N(d) + ", " + N(w) + ", " + N(l) + ", " +
+              N(item) + ", " + N(w) + ", NULL, " + N(qty) + ", " + D(amount) +
+              ", " + SqlQuote(st->rows[0][2].as_string()) + ")");
+  }
+  TxnResult out;
+  out.type = TxnType::kNewOrder;
+  out.label = "Order_" + N(w) + "_" + N(d) + "_" + N(c) + "_" + N(o_id);
+  IRDB_RETURN_IF_ERROR(CommitWithLabel(out.label));
+  return out;
+}
+
+Result<TxnResult> TpccDriver::Payment() {
+  const int w = static_cast<int>(rng_.Uniform(1, config_.warehouses));
+  const int d = static_cast<int>(rng_.Uniform(1, config_.districts_per_warehouse));
+  const double amount = rng_.UniformReal(1.0, 5000.0);
+
+  // TPC-C clause 2.5.1.2: 15% of payments are for a customer of a *remote*
+  // warehouse (creates cross-warehouse dependency chains), and 60% select
+  // the customer by last name rather than by id.
+  int c_w = w, c_d = d;
+  if (payment_variants_ && config_.warehouses > 1 && rng_.Uniform(1, 100) <= 15) {
+    do {
+      c_w = static_cast<int>(rng_.Uniform(1, config_.warehouses));
+    } while (c_w == w);
+    c_d = static_cast<int>(rng_.Uniform(1, config_.districts_per_warehouse));
+  }
+  const bool by_name = payment_variants_ && rng_.Uniform(1, 100) <= 60;
+
+  IRDB_RETURN_IF_ERROR(Begin());
+  TPCC_EXEC(wu, "UPDATE warehouse SET w_ytd = w_ytd + " + D(amount) +
+                " WHERE w_id = " + N(w));
+  TPCC_EXEC(wsel, "SELECT w_name, w_street_1, w_city, w_state, w_zip FROM "
+                  "warehouse WHERE w_id = " + N(w));
+  TPCC_EXEC(du, "UPDATE district SET d_ytd = d_ytd + " + D(amount) +
+                " WHERE d_w_id = " + N(w) + " AND d_id = " + N(d));
+  TPCC_EXEC(dsel, "SELECT d_name, d_street_1, d_city, d_state, d_zip FROM "
+                  "district WHERE d_w_id = " + N(w) + " AND d_id = " + N(d));
+
+  int64_t c = rng_.NuRand(1023, 1, config_.customers_per_district, 259);
+  if (by_name) {
+    // Clause 2.5.2.2: pick the middle row of all customers with a last name,
+    // ordered by first name.
+    TPCC_EXEC(name, "SELECT c_last FROM customer WHERE c_w_id = " + N(c_w) +
+                    " AND c_d_id = " + N(c_d) + " AND c_id = " + N(c));
+    if (name->rows.empty()) {
+      (void)Abort();
+      return Status::NotFound("Payment: missing customer");
+    }
+    const std::string last = name->rows[0][0].as_string();
+    TPCC_EXEC(matches, "SELECT c_id FROM customer WHERE c_w_id = " + N(c_w) +
+                       " AND c_d_id = " + N(c_d) + " AND c_last = " +
+                       SqlQuote(last) + " ORDER BY c_first");
+    if (matches->rows.empty()) {
+      (void)Abort();
+      return Status::NotFound("Payment: no customer with last name");
+    }
+    c = matches->rows[matches->rows.size() / 2][0].as_int();
+  }
+
+  TPCC_EXEC(csel, "SELECT c_balance, c_ytd_payment, c_payment_cnt, c_credit "
+                  "FROM customer WHERE c_w_id = " + N(c_w) + " AND c_d_id = " +
+                  N(c_d) + " AND c_id = " + N(c));
+  if (csel->rows.empty()) {
+    (void)Abort();
+    return Status::NotFound("Payment: missing customer");
+  }
+  TPCC_EXEC(cu, "UPDATE customer SET c_balance = c_balance - " + D(amount) +
+                ", c_ytd_payment = c_ytd_payment + " + D(amount) +
+                ", c_payment_cnt = c_payment_cnt + 1 WHERE c_w_id = " + N(c_w) +
+                " AND c_d_id = " + N(c_d) + " AND c_id = " + N(c));
+  TPCC_EXEC(hi, "INSERT INTO history(h_c_id, h_c_d_id, h_c_w_id, h_d_id,"
+                " h_w_id, h_date, h_amount, h_data) VALUES (" +
+                N(c) + ", " + N(c_d) + ", " + N(c_w) + ", " + N(d) + ", " +
+                N(w) + ", '" + kNow + "', " + D(amount) + ", 'payment')");
+  TxnResult out;
+  out.type = TxnType::kPayment;
+  out.label = "Payment_" + N(c_w) + "_" + N(c_d) + "_" + N(c);
+  IRDB_RETURN_IF_ERROR(CommitWithLabel(out.label));
+  return out;
+}
+
+Result<TxnResult> TpccDriver::Delivery() {
+  const int w = static_cast<int>(rng_.Uniform(1, config_.warehouses));
+  const int carrier = static_cast<int>(rng_.Uniform(1, 10));
+
+  IRDB_RETURN_IF_ERROR(Begin());
+  for (int d = 1; d <= config_.districts_per_warehouse; ++d) {
+    TPCC_EXEC(no, "SELECT no_o_id FROM new_order WHERE no_d_id = " + N(d) +
+                  " AND no_w_id = " + N(w) + " ORDER BY no_o_id LIMIT 1");
+    if (no->rows.empty()) continue;  // nothing pending in this district
+    const int64_t o_id = no->rows[0][0].as_int();
+    TPCC_EXEC(del, "DELETE FROM new_order WHERE no_o_id = " + N(o_id) +
+                   " AND no_d_id = " + N(d) + " AND no_w_id = " + N(w));
+    TPCC_EXEC(oc, "SELECT o_c_id FROM orders WHERE o_id = " + N(o_id) +
+                  " AND o_d_id = " + N(d) + " AND o_w_id = " + N(w));
+    if (oc->rows.empty()) {
+      (void)Abort();
+      return Status::Internal("Delivery: new_order without orders row");
+    }
+    const int64_t c = oc->rows[0][0].as_int();
+    TPCC_EXEC(ou, "UPDATE orders SET o_carrier_id = " + N(carrier) +
+                  " WHERE o_id = " + N(o_id) + " AND o_d_id = " + N(d) +
+                  " AND o_w_id = " + N(w));
+    TPCC_EXEC(olu, "UPDATE order_line SET ol_delivery_d = '" +
+                   std::string(kNow) + "' WHERE ol_o_id = " + N(o_id) +
+                   " AND ol_d_id = " + N(d) + " AND ol_w_id = " + N(w));
+    TPCC_EXEC(amt, "SELECT SUM(ol_amount) FROM order_line WHERE ol_o_id = " +
+                   N(o_id) + " AND ol_d_id = " + N(d) + " AND ol_w_id = " + N(w));
+    const double total =
+        amt->rows.empty() || amt->rows[0][0].is_null()
+            ? 0.0
+            : amt->rows[0][0].as_double();
+    TPCC_EXEC(cu, "UPDATE customer SET c_balance = c_balance + " + D(total) +
+                  ", c_delivery_cnt = c_delivery_cnt + 1 WHERE c_id = " + N(c) +
+                  " AND c_d_id = " + N(d) + " AND c_w_id = " + N(w));
+  }
+  TxnResult out;
+  out.type = TxnType::kDelivery;
+  out.label = "Deliv_" + N(w) + "_" + N(carrier);
+  IRDB_RETURN_IF_ERROR(CommitWithLabel(out.label));
+  return out;
+}
+
+Result<TxnResult> TpccDriver::OrderStatus() {
+  const int w = static_cast<int>(rng_.Uniform(1, config_.warehouses));
+  const int d = static_cast<int>(rng_.Uniform(1, config_.districts_per_warehouse));
+  const int c = static_cast<int>(rng_.NuRand(1023, 1, config_.customers_per_district, 259));
+
+  IRDB_RETURN_IF_ERROR(Begin());
+  TPCC_EXEC(cust, "SELECT c_balance, c_first, c_middle, c_last FROM customer "
+                  "WHERE c_w_id = " + N(w) + " AND c_d_id = " + N(d) +
+                  " AND c_id = " + N(c));
+  TPCC_EXEC(ord, "SELECT o_id, o_entry_d, o_carrier_id FROM orders WHERE "
+                 "o_w_id = " + N(w) + " AND o_d_id = " + N(d) +
+                 " AND o_c_id = " + N(c) + " ORDER BY o_id DESC LIMIT 1");
+  if (!ord->rows.empty()) {
+    const int64_t o_id = ord->rows[0][0].as_int();
+    TPCC_EXEC(lines, "SELECT ol_i_id, ol_supply_w_id, ol_quantity, ol_amount,"
+                     " ol_delivery_d FROM order_line WHERE ol_o_id = " +
+                     N(o_id) + " AND ol_d_id = " + N(d) + " AND ol_w_id = " + N(w));
+  }
+  TxnResult out;
+  out.type = TxnType::kOrderStatus;
+  out.label = "Status_" + N(w) + "_" + N(d) + "_" + N(c);
+  IRDB_RETURN_IF_ERROR(CommitWithLabel(out.label));
+  return out;
+}
+
+Result<TxnResult> TpccDriver::StockLevel() {
+  const int w = static_cast<int>(rng_.Uniform(1, config_.warehouses));
+  const int d = static_cast<int>(rng_.Uniform(1, config_.districts_per_warehouse));
+  const int threshold = static_cast<int>(rng_.Uniform(10, 20));
+
+  IRDB_RETURN_IF_ERROR(Begin());
+  TPCC_EXEC(dist, "SELECT d_next_o_id FROM district WHERE d_w_id = " + N(w) +
+                  " AND d_id = " + N(d));
+  if (dist->rows.empty()) {
+    (void)Abort();
+    return Status::NotFound("StockLevel: missing district");
+  }
+  const int64_t next_o = dist->rows[0][0].as_int();
+  TPCC_EXEC(level,
+            "SELECT COUNT(DISTINCT s_i_id) FROM order_line, stock WHERE "
+            "ol_w_id = " + N(w) + " AND ol_d_id = " + N(d) +
+            " AND ol_o_id >= " + N(next_o - 20) + " AND ol_o_id < " + N(next_o) +
+            " AND s_w_id = ol_supply_w_id AND s_i_id = ol_i_id"
+            " AND s_quantity < " + N(threshold));
+  TxnResult out;
+  out.type = TxnType::kStockLevel;
+  out.label = "Stock_" + N(w) + "_" + N(d);
+  IRDB_RETURN_IF_ERROR(CommitWithLabel(out.label));
+  return out;
+}
+
+Result<TxnResult> TpccDriver::AttackInflateBalance(int w, int d, int c,
+                                                   double amount) {
+  // The attack is shaped like a Payment (it touches the warehouse and
+  // district ytd attributes too) but credits instead of debits the customer.
+  // The warehouse/district writes create exactly the row-level false sharing
+  // of §5.3: later transactions reading those rows' w_tax / d_next_o_id
+  // attributes appear dependent even though only derivable ytd columns were
+  // touched.
+  IRDB_RETURN_IF_ERROR(Begin());
+  TPCC_EXEC(wu, "UPDATE warehouse SET w_ytd = w_ytd + " + D(amount) +
+                " WHERE w_id = " + N(w));
+  TPCC_EXEC(du, "UPDATE district SET d_ytd = d_ytd + " + D(amount) +
+                " WHERE d_w_id = " + N(w) + " AND d_id = " + N(d));
+  TPCC_EXEC(sel, "SELECT c_balance FROM customer WHERE c_w_id = " + N(w) +
+                 " AND c_d_id = " + N(d) + " AND c_id = " + N(c));
+  TPCC_EXEC(upd, "UPDATE customer SET c_balance = c_balance + " + D(amount) +
+                 " WHERE c_w_id = " + N(w) + " AND c_d_id = " + N(d) +
+                 " AND c_id = " + N(c));
+  TxnResult out;
+  out.type = TxnType::kPayment;  // masquerades as a payment
+  out.label = "Attack_" + N(w) + "_" + N(d) + "_" + N(c);
+  IRDB_RETURN_IF_ERROR(CommitWithLabel(out.label));
+  return out;
+}
+
+Result<TxnResult> TpccDriver::Run(TxnType type) {
+  switch (type) {
+    case TxnType::kNewOrder: return NewOrder();
+    case TxnType::kPayment: return Payment();
+    case TxnType::kDelivery: return Delivery();
+    case TxnType::kOrderStatus: return OrderStatus();
+    case TxnType::kStockLevel: return StockLevel();
+  }
+  return Status::Internal("bad txn type");
+}
+
+Result<TxnResult> TpccDriver::RunMixed() {
+  const int64_t roll = rng_.Uniform(1, 100);
+  if (roll <= 45) return NewOrder();
+  if (roll <= 88) return Payment();
+  if (roll <= 92) return Delivery();
+  if (roll <= 96) return OrderStatus();
+  return StockLevel();
+}
+
+#undef TPCC_EXEC
+
+}  // namespace irdb::tpcc

@@ -1,0 +1,75 @@
+// The five TPC-C transaction types, issued as SQL over a DbConnection,
+// plus mix drivers for the paper's two workloads (§5.2):
+//   read-intensive  = Stock Level transactions;
+//   read/write      = New Order + Payment + Delivery.
+#pragma once
+
+#include <string>
+
+#include "tpcc/config.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "wire/connection.h"
+
+namespace irdb::tpcc {
+
+enum class TxnType { kNewOrder, kPayment, kDelivery, kOrderStatus, kStockLevel };
+
+const char* TxnTypeName(TxnType t);
+
+struct TxnResult {
+  TxnType type;
+  std::string label;  // annotation recorded in annot (paper Fig. 3 style)
+};
+
+class TpccDriver {
+ public:
+  TpccDriver(DbConnection* conn, TpccConfig config, uint64_t seed)
+      : conn_(conn), config_(config), rng_(seed) {}
+
+  // Disables per-transaction annot labels (used by throughput benches;
+  // repair experiments need the labels for Fig. 3/Fig. 5 style analysis).
+  void set_annotations(bool on) { annotate_ = on; }
+
+  // Enables/disables the Payment by-last-name and remote-warehouse variants
+  // (TPC-C clauses 2.5.1.2/2.5.2.2). On by default. The by-name lookup reads
+  // every same-named customer row, which densifies the dependency graph far
+  // beyond the paper's Fig. 5 regime — the repair-accuracy bench turns the
+  // variants off to stay comparable.
+  void set_payment_variants(bool on) { payment_variants_ = on; }
+
+  // Random-parameter transactions.
+  Result<TxnResult> NewOrder();
+  Result<TxnResult> Payment();
+  Result<TxnResult> Delivery();
+  Result<TxnResult> OrderStatus();
+  Result<TxnResult> StockLevel();
+
+  Result<TxnResult> Run(TxnType type);
+
+  // TPC-C clause 5.2.3 weighted mix (~45/43/4/4/4).
+  Result<TxnResult> RunMixed();
+
+  // A malicious transaction: inflates one customer's balance (the classic
+  // "attacker credits an account" scenario from §3.1). Its annot label is
+  // "Attack_<w>_<d>_<c>" and it both reads and writes the customer row, so
+  // legitimate transactions touching that row afterwards become dependent.
+  Result<TxnResult> AttackInflateBalance(int w, int d, int c, double amount);
+
+  Rng& rng() { return rng_; }
+
+ private:
+  // Executes one statement, converting failure into early return.
+  Result<ResultSet> Exec(const std::string& sql);
+  Status Begin();
+  Status CommitWithLabel(const std::string& label);
+  Status Abort();
+
+  DbConnection* conn_;
+  TpccConfig config_;
+  Rng rng_;
+  bool annotate_ = true;
+  bool payment_variants_ = true;
+};
+
+}  // namespace irdb::tpcc

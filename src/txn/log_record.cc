@@ -1,0 +1,30 @@
+#include "txn/log_record.h"
+
+namespace irdb {
+
+const char* LogOpName(LogOp op) {
+  switch (op) {
+    case LogOp::kBegin: return "BEGIN";
+    case LogOp::kInsert: return "INSERT";
+    case LogOp::kDelete: return "DELETE";
+    case LogOp::kUpdate: return "UPDATE";
+    case LogOp::kCommit: return "COMMIT";
+    case LogOp::kAbort: return "ABORT";
+    case LogOp::kDdl: return "DDL";
+  }
+  return "?";
+}
+
+int64_t LogRecord::ByteSize() const {
+  // Fixed header: lsn, txn id, op, table, page, offset, len.
+  int64_t n = 8 + 8 + 1 + 4 + 4 + 4 + 4;
+  n += static_cast<int64_t>(before_image.size());
+  n += static_cast<int64_t>(after_image.size());
+  n += static_cast<int64_t>(ddl_text.size());
+  for (const ColumnDiff& d : diff) {
+    n += 4 + static_cast<int64_t>(d.before.size() + d.after.size());
+  }
+  return n;
+}
+
+}  // namespace irdb

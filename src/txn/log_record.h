@@ -1,0 +1,65 @@
+// WAL record format.
+//
+// Mirrors what the paper relies on (§3.3): per-row log entries carrying the
+// operation type, the internal transaction ID, the table, the row's physical
+// position (logical page number + byte offset within the page) at the time of
+// the operation, and before/after images whose completeness is
+// flavor-dependent:
+//   - Postgres/Oracle flavors log complete before+after row images;
+//   - the Sybase flavor logs only the changed column slots for UPDATE
+//     ("MODIFY") records — full images for INSERT/DELETE.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace irdb {
+
+enum class LogOp { kBegin, kInsert, kDelete, kUpdate, kCommit, kAbort, kDdl };
+
+const char* LogOpName(LogOp op);
+
+// One changed column slot of a diff-style (Sybase MODIFY) update record:
+// the column's full encoded slot (null byte + payload) before and after.
+struct ColumnDiff {
+  int32_t column = -1;
+  std::string before;
+  std::string after;
+};
+
+struct LogRecord {
+  int64_t lsn = 0;
+  int64_t txn_id = 0;  // internal DBMS transaction id
+  LogOp op = LogOp::kBegin;
+
+  // Row operations only:
+  int32_t table_id = -1;
+  int32_t page = -1;
+  int32_t offset = -1;  // byte offset of the row within the page at log time
+  int32_t len = 0;      // encoded row length in bytes
+
+  std::string before_image;  // full encoded row (empty in diff-style updates)
+  std::string after_image;   // full encoded row (empty in diff-style updates)
+  std::vector<ColumnDiff> diff;  // diff-style updates only
+
+  // Compensation log record: written while physically undoing an aborted
+  // transaction (invisible in the vendor log views — aborted transactions do
+  // not appear there — but required for byte-exact WAL replay at recovery).
+  bool is_clr = false;
+
+  // kDdl records carry the statement text so recovery can rebuild the
+  // catalog before replaying row operations.
+  std::string ddl_text;
+
+  bool IsRowOp() const {
+    return op == LogOp::kInsert || op == LogOp::kDelete || op == LogOp::kUpdate;
+  }
+
+  // Approximate serialized size, used by the I/O cost model for the log-write
+  // penalty (tracking inflates rows and adds trans_dep records, which is the
+  // dominant overhead source in the paper's small-footprint experiments).
+  int64_t ByteSize() const;
+};
+
+}  // namespace irdb

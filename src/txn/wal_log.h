@@ -1,0 +1,38 @@
+// Append-only write-ahead log.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "txn/log_record.h"
+#include "util/status.h"
+
+namespace irdb {
+
+class WalLog {
+ public:
+  // Appends a record, assigning its LSN. Returns the LSN.
+  int64_t Append(LogRecord rec) {
+    rec.lsn = static_cast<int64_t>(records_.size());
+    records_.push_back(std::move(rec));
+    return records_.back().lsn;
+  }
+
+  const std::vector<LogRecord>& records() const { return records_; }
+  int64_t size() const { return static_cast<int64_t>(records_.size()); }
+
+  const LogRecord& at(int64_t lsn) const {
+    IRDB_CHECK(lsn >= 0 && lsn < size());
+    return records_[static_cast<size_t>(lsn)];
+  }
+
+  // Total byte volume appended (for the I/O cost model).
+  int64_t bytes_appended() const { return bytes_appended_; }
+  void AccountBytes(int64_t n) { bytes_appended_ += n; }
+
+ private:
+  std::vector<LogRecord> records_;
+  int64_t bytes_appended_ = 0;
+};
+
+}  // namespace irdb

@@ -1,0 +1,60 @@
+// Deterministic PRNG used by workload generators and property tests.
+//
+// splitmix64 core: fast, reproducible across platforms, no libstdc++
+// distribution-implementation dependence (std::uniform_int_distribution is
+// not portable across standard libraries).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace irdb {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform in [lo, hi] inclusive.
+  int64_t Uniform(int64_t lo, int64_t hi) {
+    IRDB_CHECK(lo <= hi);
+    uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    return lo + static_cast<int64_t>(Next() % span);
+  }
+
+  double UniformReal(double lo, double hi) {
+    double u = static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+    return lo + u * (hi - lo);
+  }
+
+  bool Bernoulli(double p) { return UniformReal(0.0, 1.0) < p; }
+
+  // TPC-C NURand non-uniform distribution (clause 2.1.6).
+  int64_t NuRand(int64_t a, int64_t x, int64_t y, int64_t c) {
+    return (((Uniform(0, a) | Uniform(x, y)) + c) % (y - x + 1)) + x;
+  }
+
+  // Random alphanumeric string of length in [min_len, max_len].
+  std::string AlnumString(int min_len, int max_len) {
+    static const char kChars[] =
+        "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789";
+    int len = static_cast<int>(Uniform(min_len, max_len));
+    std::string out;
+    out.reserve(len);
+    for (int i = 0; i < len; ++i) out.push_back(kChars[Next() % 62]);
+    return out;
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace irdb

@@ -1,0 +1,145 @@
+// Lightweight Status / Result types used throughout the library.
+//
+// The engine is exception-free on hot paths: recoverable errors (bad SQL,
+// constraint violations, repair conflicts) flow through Status / Result<T>.
+// Programming errors use IRDB_CHECK which aborts with a diagnostic.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace irdb {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+  kAborted,          // transaction aborted (conflict / explicit rollback)
+  kParseError,       // SQL syntax error
+  kConstraint,       // schema or integrity constraint violation
+};
+
+const char* StatusCodeName(StatusCode code);
+
+// A success-or-error value. Cheap to copy on the OK path (no allocation).
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string m) {
+    return {StatusCode::kInvalidArgument, std::move(m)};
+  }
+  static Status NotFound(std::string m) {
+    return {StatusCode::kNotFound, std::move(m)};
+  }
+  static Status AlreadyExists(std::string m) {
+    return {StatusCode::kAlreadyExists, std::move(m)};
+  }
+  static Status FailedPrecondition(std::string m) {
+    return {StatusCode::kFailedPrecondition, std::move(m)};
+  }
+  static Status OutOfRange(std::string m) {
+    return {StatusCode::kOutOfRange, std::move(m)};
+  }
+  static Status Unimplemented(std::string m) {
+    return {StatusCode::kUnimplemented, std::move(m)};
+  }
+  static Status Internal(std::string m) {
+    return {StatusCode::kInternal, std::move(m)};
+  }
+  static Status Aborted(std::string m) {
+    return {StatusCode::kAborted, std::move(m)};
+  }
+  static Status ParseError(std::string m) {
+    return {StatusCode::kParseError, std::move(m)};
+  }
+  static Status Constraint(std::string m) {
+    return {StatusCode::kConstraint, std::move(m)};
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return std::string(StatusCodeName(code_)) + ": " + message_;
+  }
+
+  bool operator==(const Status& o) const { return code_ == o.code_; }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+// Result<T>: either a value or an error Status.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  T& value() & { return *value_; }
+  const T& value() const& { return *value_; }
+  T&& value() && { return std::move(*value_); }
+
+  T& operator*() & { return *value_; }
+  const T& operator*() const& { return *value_; }
+  T* operator->() { return &*value_; }
+  const T* operator->() const { return &*value_; }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& extra);
+
+#define IRDB_CHECK(expr)                                        \
+  do {                                                          \
+    if (!(expr)) ::irdb::CheckFailed(__FILE__, __LINE__, #expr, ""); \
+  } while (0)
+
+#define IRDB_CHECK_MSG(expr, msg)                                   \
+  do {                                                              \
+    if (!(expr)) ::irdb::CheckFailed(__FILE__, __LINE__, #expr, (msg)); \
+  } while (0)
+
+// Propagate a non-OK Status out of the current function.
+#define IRDB_RETURN_IF_ERROR(expr)           \
+  do {                                       \
+    ::irdb::Status _st = (expr);             \
+    if (!_st.ok()) return _st;               \
+  } while (0)
+
+// Assign an rvalue Result<T>'s value or propagate its Status.
+#define IRDB_ASSIGN_OR_RETURN(lhs, rexpr)    \
+  auto IRDB_CONCAT_(_res_, __LINE__) = (rexpr);              \
+  if (!IRDB_CONCAT_(_res_, __LINE__).ok())                   \
+    return IRDB_CONCAT_(_res_, __LINE__).status();           \
+  lhs = std::move(IRDB_CONCAT_(_res_, __LINE__)).value()
+
+#define IRDB_CONCAT_INNER_(a, b) a##b
+#define IRDB_CONCAT_(a, b) IRDB_CONCAT_INNER_(a, b)
+
+}  // namespace irdb

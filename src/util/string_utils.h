@@ -1,0 +1,41 @@
+// Small string helpers shared across modules.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace irdb {
+
+// Splits `s` on `sep`, omitting empty pieces.
+std::vector<std::string> SplitNonEmpty(std::string_view s, char sep);
+
+// Splits `s` on `sep`, keeping empty pieces.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+// Joins pieces with `sep`.
+std::string Join(const std::vector<std::string>& pieces, std::string_view sep);
+
+// ASCII case helpers (SQL keywords are case-insensitive).
+std::string ToUpperAscii(std::string_view s);
+std::string ToLowerAscii(std::string_view s);
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+// Trims ASCII whitespace from both ends.
+std::string_view StripWhitespace(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+// Escapes a string for inclusion in a single-quoted SQL literal
+// (doubles embedded quotes).
+std::string SqlQuote(std::string_view s);
+
+// Parses a signed 64-bit integer; returns false on malformed input.
+bool ParseInt64(std::string_view s, int64_t* out);
+bool ParseDouble(std::string_view s, double* out);
+
+// FNV-1a 64-bit hash, used for state fingerprints in tests/benches.
+uint64_t Fnv1a(std::string_view s, uint64_t seed = 1469598103934665603ull);
+
+}  // namespace irdb

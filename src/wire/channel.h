@@ -1,0 +1,84 @@
+// Channel: a synchronous request/response byte pipe with a simulated
+// network cost model.
+//
+// The paper's "local" vs "networked" configurations (Fig. 4) become two
+// LatencyParams presets; each round trip advances the shared virtual clock
+// by RTT plus transfer time for the actual serialized payload bytes.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "engine/io_model.h"
+
+namespace irdb {
+
+struct LatencyParams {
+  double rtt_seconds = 0;          // per round trip
+  double bytes_per_second = 0;     // 0 = infinite bandwidth
+
+  // Same-machine IPC (paper's "local connection").
+  static LatencyParams Local() {
+    LatencyParams p;
+    p.rtt_seconds = 15e-6;
+    p.bytes_per_second = 2e9;
+    return p;
+  }
+
+  // 100 Mbps switched LAN (paper's "network connection").
+  static LatencyParams Lan100Mbps() {
+    LatencyParams p;
+    p.rtt_seconds = 200e-6;
+    p.bytes_per_second = 100e6 / 8;
+    return p;
+  }
+};
+
+class Channel {
+ public:
+  virtual ~Channel() = default;
+
+  // Sends `request` and returns the peer's response.
+  virtual std::string RoundTrip(std::string_view request) = 0;
+};
+
+// Delivers requests to an in-process handler, charging the cost model.
+class LoopbackChannel : public Channel {
+ public:
+  using Handler = std::function<std::string(std::string_view)>;
+
+  LoopbackChannel(Handler handler, LatencyParams params, VirtualClock* clock)
+      : handler_(std::move(handler)), params_(params), clock_(clock) {}
+
+  std::string RoundTrip(std::string_view request) override {
+    std::string response = handler_(request);
+    if (clock_ != nullptr) {
+      double cost = params_.rtt_seconds;
+      if (params_.bytes_per_second > 0) {
+        cost += static_cast<double>(request.size() + response.size()) /
+                params_.bytes_per_second;
+      }
+      clock_->Advance(cost);
+    }
+    bytes_sent_ += static_cast<int64_t>(request.size());
+    bytes_received_ += static_cast<int64_t>(response.size());
+    ++round_trips_;
+    return response;
+  }
+
+  int64_t bytes_sent() const { return bytes_sent_; }
+  int64_t bytes_received() const { return bytes_received_; }
+  int64_t round_trips() const { return round_trips_; }
+
+ private:
+  Handler handler_;
+  LatencyParams params_;
+  VirtualClock* clock_;
+  int64_t bytes_sent_ = 0;
+  int64_t bytes_received_ = 0;
+  int64_t round_trips_ = 0;
+};
+
+}  // namespace irdb

@@ -1,0 +1,62 @@
+// RemoteConnection: DbConnection over a Channel (client side of the wire).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "wire/channel.h"
+#include "wire/connection.h"
+#include "wire/protocol.h"
+
+namespace irdb {
+
+class RemoteConnection : public DbConnection {
+ public:
+  // Establishes a session over `channel` (which it does not own).
+  static Result<std::unique_ptr<RemoteConnection>> Connect(Channel* channel) {
+    WireRequest req;
+    req.kind = WireRequest::Kind::kConnect;
+    auto resp = DecodeResponse(channel->RoundTrip(EncodeRequest(req)));
+    if (!resp.ok()) return resp.status();
+    if (!resp->ok) return Status(resp->error_code, resp->error_message);
+    return std::unique_ptr<RemoteConnection>(
+        new RemoteConnection(channel, resp->session));
+  }
+
+  ~RemoteConnection() override {
+    WireRequest req;
+    req.kind = WireRequest::Kind::kDisconnect;
+    req.session = session_;
+    channel_->RoundTrip(EncodeRequest(req));
+  }
+
+  Result<ResultSet> Execute(std::string_view sql) override {
+    WireRequest req;
+    req.kind = WireRequest::Kind::kExec;
+    req.session = session_;
+    req.sql = std::string(sql);
+    auto resp = DecodeResponse(channel_->RoundTrip(EncodeRequest(req)));
+    if (!resp.ok()) return resp.status();
+    if (!resp->ok) return Status(resp->error_code, resp->error_message);
+    return std::move(resp->result);
+  }
+
+  void SetAnnotation(std::string_view label) override {
+    WireRequest req;
+    req.kind = WireRequest::Kind::kAnnotate;
+    req.session = session_;
+    req.sql = std::string(label);
+    channel_->RoundTrip(EncodeRequest(req));
+  }
+
+  std::string Describe() const override { return "remote"; }
+
+ private:
+  RemoteConnection(Channel* channel, int64_t session)
+      : channel_(channel), session_(session) {}
+
+  Channel* channel_;
+  int64_t session_;
+};
+
+}  // namespace irdb

@@ -1,0 +1,54 @@
+// DbConnection: the statement-level interface every component programs
+// against — the TPC-C driver, the intercepting proxy, and the repair engine
+// all speak SQL text through it, mirroring the paper's JDBC-driver boundary.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "engine/database.h"
+#include "engine/result_set.h"
+#include "util/status.h"
+
+namespace irdb {
+
+class DbConnection {
+ public:
+  virtual ~DbConnection() = default;
+
+  // Executes one SQL statement.
+  virtual Result<ResultSet> Execute(std::string_view sql) = 0;
+
+  // Labels the current transaction for the `annot` table / dependency-graph
+  // display (paper Fig. 3). No-op on untracked connections.
+  virtual void SetAnnotation(std::string_view label) { (void)label; }
+
+  // Human-readable description of the connection stack (for diagnostics).
+  virtual std::string Describe() const = 0;
+};
+
+// In-process connection straight into the engine (the "real JDBC driver"
+// sitting next to the DBMS server).
+class DirectConnection : public DbConnection {
+ public:
+  explicit DirectConnection(Database* db)
+      : db_(db), session_(db->OpenSession()) {}
+  ~DirectConnection() override { db_->CloseSession(session_); }
+
+  DirectConnection(const DirectConnection&) = delete;
+  DirectConnection& operator=(const DirectConnection&) = delete;
+
+  Result<ResultSet> Execute(std::string_view sql) override {
+    return db_->Execute(session_, sql);
+  }
+
+  std::string Describe() const override { return "direct"; }
+
+  Database* database() { return db_; }
+
+ private:
+  Database* db_;
+  int64_t session_;
+};
+
+}  // namespace irdb

@@ -1,0 +1,232 @@
+#include "wire/protocol.h"
+
+#include <cstdio>
+
+#include "util/string_utils.h"
+
+namespace irdb {
+
+namespace {
+
+// Escapes newlines and backslashes so any string fits on one line.
+std::string EscapeLine(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\': out.append("\\\\"); break;
+      case '\n': out.append("\\n"); break;
+      case '\r': out.append("\\r"); break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string UnescapeLine(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '\\' && i + 1 < s.size()) {
+      ++i;
+      switch (s[i]) {
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        default: out.push_back(s[i]);
+      }
+    } else {
+      out.push_back(s[i]);
+    }
+  }
+  return out;
+}
+
+// Pulls the next line (without '\n') off `rest`.
+bool NextLine(std::string_view* rest, std::string_view* line) {
+  if (rest->empty()) return false;
+  size_t nl = rest->find('\n');
+  if (nl == std::string_view::npos) {
+    *line = *rest;
+    *rest = std::string_view();
+  } else {
+    *line = rest->substr(0, nl);
+    *rest = rest->substr(nl + 1);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string EncodeValue(const Value& v) {
+  switch (v.type()) {
+    case ValueType::kNull: return "N";
+    case ValueType::kInt: return "I" + std::to_string(v.as_int());
+    case ValueType::kDouble: {
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "D%.17g", v.as_double());
+      return buf;
+    }
+    case ValueType::kString: return "S" + EscapeLine(v.as_string());
+  }
+  return "N";
+}
+
+Result<Value> DecodeValue(std::string_view token) {
+  if (token.empty()) return Status::InvalidArgument("empty value token");
+  std::string_view payload = token.substr(1);
+  switch (token[0]) {
+    case 'N': return Value::Null();
+    case 'I': {
+      int64_t i = 0;
+      if (!ParseInt64(payload, &i)) {
+        return Status::InvalidArgument("bad int token");
+      }
+      return Value::Int(i);
+    }
+    case 'D': {
+      double d = 0;
+      if (!ParseDouble(payload, &d)) {
+        return Status::InvalidArgument("bad double token");
+      }
+      return Value::Double(d);
+    }
+    case 'S': return Value::Str(UnescapeLine(payload));
+    default: return Status::InvalidArgument("bad value tag");
+  }
+}
+
+std::string EncodeRequest(const WireRequest& req) {
+  switch (req.kind) {
+    case WireRequest::Kind::kConnect:
+      return "CONNECT\n";
+    case WireRequest::Kind::kDisconnect:
+      return "BYE " + std::to_string(req.session) + "\n";
+    case WireRequest::Kind::kExec:
+      return "EXEC " + std::to_string(req.session) + "\n" + req.sql;
+    case WireRequest::Kind::kAnnotate:
+      return "ANNOT " + std::to_string(req.session) + "\n" + req.sql;
+  }
+  return "";
+}
+
+Result<WireRequest> DecodeRequest(std::string_view bytes) {
+  std::string_view rest = bytes;
+  std::string_view header;
+  if (!NextLine(&rest, &header)) {
+    return Status::InvalidArgument("empty request");
+  }
+  WireRequest req;
+  if (header == "CONNECT") {
+    req.kind = WireRequest::Kind::kConnect;
+    return req;
+  }
+  if (StartsWith(header, "BYE ")) {
+    req.kind = WireRequest::Kind::kDisconnect;
+    if (!ParseInt64(header.substr(4), &req.session)) {
+      return Status::InvalidArgument("bad BYE session");
+    }
+    return req;
+  }
+  if (StartsWith(header, "EXEC ")) {
+    req.kind = WireRequest::Kind::kExec;
+    if (!ParseInt64(header.substr(5), &req.session)) {
+      return Status::InvalidArgument("bad EXEC session");
+    }
+    req.sql = std::string(rest);
+    return req;
+  }
+  if (StartsWith(header, "ANNOT ")) {
+    req.kind = WireRequest::Kind::kAnnotate;
+    if (!ParseInt64(header.substr(6), &req.session)) {
+      return Status::InvalidArgument("bad ANNOT session");
+    }
+    req.sql = std::string(rest);
+    return req;
+  }
+  return Status::InvalidArgument("bad request header");
+}
+
+std::string EncodeResponse(const WireResponse& resp) {
+  if (!resp.ok) {
+    return "ERR " + std::string(StatusCodeName(resp.error_code)) + "\n" +
+           EscapeLine(resp.error_message) + "\n";
+  }
+  const ResultSet& rs = resp.result;
+  std::string out = "OK " + std::to_string(resp.session) + " " +
+                    std::to_string(rs.affected) + " " +
+                    std::to_string(rs.last_rowid) + " " +
+                    std::to_string(rs.last_identity) + " " +
+                    std::to_string(rs.columns.size()) + " " +
+                    std::to_string(rs.rows.size()) + "\n";
+  for (const std::string& c : rs.columns) {
+    out.append(EscapeLine(c)).push_back('\n');
+  }
+  for (const auto& row : rs.rows) {
+    for (const Value& v : row) {
+      out.append(EncodeValue(v)).push_back('\n');
+    }
+  }
+  return out;
+}
+
+Result<WireResponse> DecodeResponse(std::string_view bytes) {
+  std::string_view rest = bytes;
+  std::string_view header;
+  if (!NextLine(&rest, &header)) {
+    return Status::InvalidArgument("empty response");
+  }
+  WireResponse resp;
+  if (StartsWith(header, "ERR ")) {
+    resp.ok = false;
+    std::string code(header.substr(4));
+    resp.error_code = StatusCode::kInternal;
+    for (int c = 0; c <= static_cast<int>(StatusCode::kConstraint); ++c) {
+      if (code == StatusCodeName(static_cast<StatusCode>(c))) {
+        resp.error_code = static_cast<StatusCode>(c);
+        break;
+      }
+    }
+    std::string_view msg;
+    NextLine(&rest, &msg);
+    resp.error_message = UnescapeLine(msg);
+    return resp;
+  }
+  if (!StartsWith(header, "OK ")) {
+    return Status::InvalidArgument("bad response header");
+  }
+  resp.ok = true;
+  auto fields = SplitNonEmpty(header.substr(3), ' ');
+  if (fields.size() != 6) return Status::InvalidArgument("bad OK header");
+  int64_t ncols = 0, nrows = 0;
+  if (!ParseInt64(fields[0], &resp.session) ||
+      !ParseInt64(fields[1], &resp.result.affected) ||
+      !ParseInt64(fields[2], &resp.result.last_rowid) ||
+      !ParseInt64(fields[3], &resp.result.last_identity) ||
+      !ParseInt64(fields[4], &ncols) || !ParseInt64(fields[5], &nrows)) {
+    return Status::InvalidArgument("bad OK header fields");
+  }
+  for (int64_t i = 0; i < ncols; ++i) {
+    std::string_view line;
+    if (!NextLine(&rest, &line)) {
+      return Status::InvalidArgument("truncated column list");
+    }
+    resp.result.columns.push_back(UnescapeLine(line));
+  }
+  resp.result.rows.reserve(static_cast<size_t>(nrows));
+  for (int64_t r = 0; r < nrows; ++r) {
+    std::vector<Value> row;
+    row.reserve(static_cast<size_t>(ncols));
+    for (int64_t c = 0; c < ncols; ++c) {
+      std::string_view line;
+      if (!NextLine(&rest, &line)) {
+        return Status::InvalidArgument("truncated row data");
+      }
+      IRDB_ASSIGN_OR_RETURN(Value v, DecodeValue(line));
+      row.push_back(std::move(v));
+    }
+    resp.result.rows.push_back(std::move(row));
+  }
+  return resp;
+}
+
+}  // namespace irdb

@@ -1,0 +1,43 @@
+// Text wire protocol.
+//
+// The paper's dual-proxy design hinges on SQL crossing the wire "in text
+// format" (Figures 1 and 2); this codec is that format. Requests and
+// responses are fully serialized to bytes so the simulated network can
+// charge for the real payload sizes (the tracking proxy's extra columns and
+// statements inflate them, which is part of the measured overhead).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "engine/result_set.h"
+#include "util/status.h"
+
+namespace irdb {
+
+struct WireRequest {
+  enum class Kind { kConnect, kExec, kDisconnect, kAnnotate };
+  Kind kind = Kind::kExec;
+  int64_t session = -1;
+  std::string sql;  // SQL text (kExec) or annotation label (kAnnotate)
+};
+
+struct WireResponse {
+  bool ok = false;
+  StatusCode error_code = StatusCode::kOk;
+  std::string error_message;
+  int64_t session = -1;  // for kConnect
+  ResultSet result;
+};
+
+std::string EncodeRequest(const WireRequest& req);
+Result<WireRequest> DecodeRequest(std::string_view bytes);
+
+std::string EncodeResponse(const WireResponse& resp);
+Result<WireResponse> DecodeResponse(std::string_view bytes);
+
+// Single-value codecs (exposed for tests).
+std::string EncodeValue(const Value& v);
+Result<Value> DecodeValue(std::string_view token);
+
+}  // namespace irdb

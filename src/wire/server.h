@@ -1,0 +1,65 @@
+// DbServer: decodes wire requests, runs them on the engine, encodes replies.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "engine/database.h"
+#include "wire/protocol.h"
+
+namespace irdb {
+
+class DbServer {
+ public:
+  explicit DbServer(Database* db) : db_(db) {}
+
+  // Byte-level request handler, pluggable into a LoopbackChannel.
+  std::string Handle(std::string_view request_bytes) {
+    WireResponse resp;
+    auto req = DecodeRequest(request_bytes);
+    if (!req.ok()) {
+      resp.ok = false;
+      resp.error_code = req.status().code();
+      resp.error_message = req.status().message();
+      return EncodeResponse(resp);
+    }
+    switch (req->kind) {
+      case WireRequest::Kind::kConnect:
+        resp.ok = true;
+        resp.session = db_->OpenSession();
+        break;
+      case WireRequest::Kind::kDisconnect:
+        db_->CloseSession(req->session);
+        resp.ok = true;
+        resp.session = req->session;
+        break;
+      case WireRequest::Kind::kAnnotate:
+        // A plain DBMS server has no tracking state; annotations only have
+        // meaning at a proxy. Accept and ignore.
+        resp.ok = true;
+        resp.session = req->session;
+        break;
+      case WireRequest::Kind::kExec: {
+        auto result = db_->Execute(req->session, req->sql);
+        if (result.ok()) {
+          resp.ok = true;
+          resp.session = req->session;
+          resp.result = std::move(result).value();
+        } else {
+          resp.ok = false;
+          resp.error_code = result.status().code();
+          resp.error_message = result.status().message();
+        }
+        break;
+      }
+    }
+    return EncodeResponse(resp);
+  }
+
+  Database* database() { return db_; }
+
+ private:
+  Database* db_;
+};
+
+}  // namespace irdb

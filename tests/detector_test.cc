@@ -1,0 +1,104 @@
+// Anomaly-detector tests: shape learning, flagging, pass-through semantics.
+#include <gtest/gtest.h>
+
+#include "detect/anomaly_detector.h"
+#include "engine/database.h"
+#include "proxy/tracking_proxy.h"
+#include "tpcc/loader.h"
+#include "tpcc/workload.h"
+#include "core/resilient_db.h"
+
+namespace irdb::detect {
+namespace {
+
+TEST(AnomalyDetectorTest, WarmupNeverFlags) {
+  AnomalyDetector::Options opts;
+  opts.warmup_transactions = 10;
+  AnomalyDetector detector(opts);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(detector.Observe({"SELECT:t"}, "warm"));
+  }
+  EXPECT_TRUE(detector.flagged().empty());
+}
+
+TEST(AnomalyDetectorTest, NovelShapeFlaggedKnownShapeNot) {
+  AnomalyDetector::Options opts;
+  opts.warmup_transactions = 5;
+  AnomalyDetector detector(opts);
+  for (int i = 0; i < 20; ++i) detector.Observe({"SELECT:t"}, "normal");
+  EXPECT_TRUE(detector.flagged().empty());
+  EXPECT_TRUE(detector.Observe({"DELETE:t", "UPDATE:u"}, "evil"));
+  ASSERT_EQ(detector.flagged().size(), 1u);
+  EXPECT_EQ(detector.flagged()[0].annotation, "evil");
+  // The established shape keeps passing.
+  EXPECT_FALSE(detector.Observe({"SELECT:t"}, "normal"));
+}
+
+TEST(AnomalyDetectorTest, ShapeIsOrderInsensitive) {
+  EXPECT_EQ(CanonicalShape({"B:x", "A:y"}), CanonicalShape({"A:y", "B:x"}));
+}
+
+TEST(DetectingConnectionTest, ObservesTransactionsAndAutocommit) {
+  Database db(FlavorTraits::Postgres());
+  DirectConnection direct(&db);
+  AnomalyDetector::Options opts;
+  opts.warmup_transactions = 0;
+  AnomalyDetector detector(opts);
+  DetectingConnection conn(&direct, &detector);
+
+  ASSERT_TRUE(conn.Execute("CREATE TABLE t (a INTEGER)").ok());
+  // Explicit txn = one observation.
+  ASSERT_TRUE(conn.Execute("BEGIN").ok());
+  ASSERT_TRUE(conn.Execute("INSERT INTO t(a) VALUES (1)").ok());
+  ASSERT_TRUE(conn.Execute("SELECT a FROM t").ok());
+  ASSERT_TRUE(conn.Execute("COMMIT").ok());
+  EXPECT_EQ(detector.observed(), 1);
+  EXPECT_GT(detector.ShapeFrequency("INSERT:t SELECT:t"), 0.0);
+
+  // Autocommit statement = one observation.
+  ASSERT_TRUE(conn.Execute("UPDATE t SET a = 2").ok());
+  EXPECT_EQ(detector.observed(), 2);
+
+  // Rolled-back work is not observed.
+  ASSERT_TRUE(conn.Execute("BEGIN").ok());
+  ASSERT_TRUE(conn.Execute("DELETE FROM t").ok());
+  ASSERT_TRUE(conn.Execute("ROLLBACK").ok());
+  EXPECT_EQ(detector.observed(), 2);
+
+  // Failed statements do not contribute shapes.
+  EXPECT_FALSE(conn.Execute("SELECT bogus FROM t").ok());
+  EXPECT_EQ(detector.observed(), 2);
+}
+
+TEST(DetectorEndToEndTest, FlagsPaymentMasqueradeInTpcc) {
+  DeploymentOptions dopts;
+  dopts.traits = FlavorTraits::Postgres();
+  dopts.arch = ProxyArch::kSingleProxy;
+  ResilientDb rdb(dopts);
+  ASSERT_TRUE(rdb.Bootstrap().ok());
+  auto tracked = rdb.Connect().value();
+
+  AnomalyDetector::Options opts;
+  opts.warmup_transactions = 50;
+  AnomalyDetector detector(opts);
+  DetectingConnection conn(tracked.get(), &detector);
+
+  tpcc::TpccConfig config = tpcc::TpccConfig::Scaled(1);
+  ASSERT_TRUE(tpcc::LoadDatabase(&conn, config).ok());
+  tpcc::TpccDriver driver(&conn, config, 5);
+  for (int i = 0; i < 70; ++i) ASSERT_TRUE(driver.RunMixed().ok());
+  const size_t before = detector.flagged().size();
+
+  ASSERT_TRUE(driver.AttackInflateBalance(1, 1, 1, 9e5).ok());
+  ASSERT_GT(detector.flagged().size(), before);
+  bool attack_flagged = false;
+  for (size_t i = before; i < detector.flagged().size(); ++i) {
+    if (detector.flagged()[i].annotation.rfind("Attack_", 0) == 0) {
+      attack_flagged = true;
+    }
+  }
+  EXPECT_TRUE(attack_flagged);
+}
+
+}  // namespace
+}  // namespace irdb::detect

@@ -1,0 +1,146 @@
+// Expression-evaluation edge cases, driven through SQL against a one-row
+// table (the engine's only public surface).
+#include <gtest/gtest.h>
+
+#include "engine/database.h"
+
+namespace irdb {
+namespace {
+
+class ExprTest : public ::testing::Test {
+ protected:
+  ExprTest() : db_(FlavorTraits::Postgres()) {
+    IRDB_CHECK(db_.Execute(0, "CREATE TABLE t (i INTEGER, j INTEGER, "
+                              "d DOUBLE, s VARCHAR(16), n INTEGER)").ok());
+    IRDB_CHECK(db_.Execute(0, "INSERT INTO t(i, j, d, s, n) VALUES "
+                              "(7, -3, 2.5, 'hello', NULL)").ok());
+  }
+
+  // Evaluates one scalar expression against the single row.
+  Result<Value> Eval1(const std::string& expr) {
+    auto r = db_.Execute(0, "SELECT " + expr + " FROM t");
+    if (!r.ok()) return r.status();
+    IRDB_CHECK(r->rows.size() == 1);
+    return r->rows[0][0];
+  }
+
+  void ExpectInt(const std::string& expr, int64_t want) {
+    auto v = Eval1(expr);
+    ASSERT_TRUE(v.ok()) << expr << " -> " << v.status().ToString();
+    ASSERT_TRUE(v->is_int()) << expr;
+    EXPECT_EQ(v->as_int(), want) << expr;
+  }
+
+  void ExpectDouble(const std::string& expr, double want) {
+    auto v = Eval1(expr);
+    ASSERT_TRUE(v.ok()) << expr;
+    ASSERT_TRUE(v->is_double()) << expr;
+    EXPECT_DOUBLE_EQ(v->as_double(), want) << expr;
+  }
+
+  void ExpectNull(const std::string& expr) {
+    auto v = Eval1(expr);
+    ASSERT_TRUE(v.ok()) << expr;
+    EXPECT_TRUE(v->is_null()) << expr;
+  }
+
+  Database db_;
+};
+
+TEST_F(ExprTest, IntegerArithmetic) {
+  ExpectInt("i + j", 4);
+  ExpectInt("i * j", -21);
+  ExpectInt("i - j", 10);
+  ExpectInt("i / 2", 3);    // integer division
+  ExpectInt("i % 2", 1);
+  ExpectInt("-j", 3);
+  ExpectInt("-(i + j)", -4);
+}
+
+TEST_F(ExprTest, MixedArithmeticWidensToDouble) {
+  ExpectDouble("i + d", 9.5);
+  ExpectDouble("d * 2", 5.0);
+  ExpectDouble("i / d", 2.8);
+}
+
+TEST_F(ExprTest, DivisionByZeroIsAnError) {
+  EXPECT_FALSE(Eval1("i / 0").ok());
+  EXPECT_FALSE(Eval1("i % 0").ok());
+  EXPECT_FALSE(Eval1("d / 0.0").ok());
+}
+
+TEST_F(ExprTest, NullPropagation) {
+  ExpectNull("n + 1");
+  ExpectNull("n * i");
+  ExpectNull("-n");
+  ExpectNull("n = 1");
+  ExpectNull("n <> 1");
+  ExpectNull("n BETWEEN 1 AND 2");
+  ExpectNull("n IN (1, 2)");
+  ExpectNull("NOT n");
+}
+
+TEST_F(ExprTest, KleeneLogic) {
+  // false AND null = false; true OR null = true; true AND null = null.
+  ExpectInt("1 = 2 AND n = 1", 0);
+  ExpectInt("1 = 1 OR n = 1", 1);
+  ExpectNull("1 = 1 AND n = 1");
+  ExpectNull("1 = 2 OR n = 1");
+}
+
+TEST_F(ExprTest, IsNullOperators) {
+  ExpectInt("n IS NULL", 1);
+  ExpectInt("n IS NOT NULL", 0);
+  ExpectInt("i IS NULL", 0);
+  ExpectInt("i IS NOT NULL", 1);
+}
+
+TEST_F(ExprTest, ComparisonsAndTypeErrors) {
+  ExpectInt("i > j", 1);
+  ExpectInt("s = 'hello'", 1);
+  ExpectInt("s < 'world'", 1);
+  // Cross-type comparison (string vs number) is a type error, not false.
+  EXPECT_FALSE(Eval1("s = 1").ok());
+  EXPECT_FALSE(Eval1("s + 1").ok());
+  // Strings in boolean context are rejected.
+  EXPECT_FALSE(db_.Execute(0, "SELECT i FROM t WHERE s").ok());
+}
+
+TEST_F(ExprTest, BetweenAndInSemantics) {
+  ExpectInt("i BETWEEN 7 AND 7", 1);
+  ExpectInt("i BETWEEN 8 AND 6", 0);  // empty range
+  ExpectInt("j BETWEEN -5 AND 0", 1);
+  ExpectInt("i IN (1, 7, 9)", 1);
+  ExpectInt("i IN (1, 2)", 0);
+  // x IN (..., NULL) is NULL when not found, true when found.
+  ExpectNull("i IN (1, n)");
+  ExpectInt("i IN (7, n)", 1);
+}
+
+TEST_F(ExprTest, LikePatterns) {
+  ExpectInt("s LIKE 'hello'", 1);
+  ExpectInt("s LIKE 'h%'", 1);
+  ExpectInt("s LIKE '%llo'", 1);
+  ExpectInt("s LIKE 'h_llo'", 1);
+  ExpectInt("s LIKE 'h_'", 0);
+  ExpectInt("s LIKE '%%%'", 1);
+  ExpectInt("'' LIKE '%'", 1);
+  ExpectNull("n IN (1)");
+}
+
+TEST_F(ExprTest, AggregatesRejectedOutsideAggregateContext) {
+  // Aggregate in WHERE is not valid.
+  EXPECT_FALSE(db_.Execute(0, "SELECT i FROM t WHERE SUM(i) > 1").ok());
+}
+
+TEST_F(ExprTest, MinMaxOverStrings) {
+  ASSERT_TRUE(db_.Execute(0, "INSERT INTO t(i, j, d, s, n) VALUES "
+                             "(1, 1, 1.0, 'apple', 1)").ok());
+  auto rs = db_.Execute(0, "SELECT MIN(s), MAX(s) FROM t");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->rows[0][0].as_string(), "apple");
+  EXPECT_EQ(rs->rows[0][1].as_string(), "hello");
+}
+
+}  // namespace
+}  // namespace irdb

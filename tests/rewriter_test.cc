@@ -1,0 +1,196 @@
+// SqlRewriter tests: every row of the paper's Table 1, exactly.
+#include <gtest/gtest.h>
+
+#include "proxy/rewriter.h"
+#include "proxy/tracking_proxy.h"
+#include "sql/parser.h"
+#include "sql/printer.h"
+
+namespace irdb::proxy {
+namespace {
+
+using sql::Parse;
+using sql::PrintStatement;
+
+sql::StatementPtr MustParse(const std::string& text) {
+  auto stmt = Parse(text);
+  EXPECT_TRUE(stmt.ok()) << text;
+  return std::move(stmt).value();
+}
+
+class RewriterTest : public ::testing::Test {
+ protected:
+  SqlRewriter pg_{FlavorTraits::Postgres()};
+  SqlRewriter syb_{FlavorTraits::Sybase()};
+};
+
+// Table 1, row 1:
+//   SELECT t1.a1, ..., tk.ank FROM t1, ..., tk WHERE c
+//   -> SELECT t1.a1, ..., tk.ank, t1.trid, ..., tk.trid FROM t1..tk WHERE c
+TEST_F(RewriterTest, Table1_PlainSelect) {
+  auto stmt = MustParse(
+      "SELECT t1.a1, t1.a2, t2.b1 FROM t1, t2 WHERE t1.x = t2.y");
+  auto rw = pg_.RewriteSelect(*stmt);
+  ASSERT_TRUE(rw.ok());
+  EXPECT_EQ(rw->dep_fetch, nullptr);
+  EXPECT_EQ(rw->appended, 2u);
+  EXPECT_EQ(PrintStatement(*rw->main),
+            "SELECT t1.a1, t1.a2, t2.b1, t1.trid, t2.trid FROM t1, t2 "
+            "WHERE t1.x = t2.y");
+  EXPECT_EQ(rw->trid_source_tables, (std::vector<std::string>{"t1", "t2"}));
+}
+
+// Table 1, row 2:
+//   SELECT t.trid FROM t WHERE c   (single-table, no aggregates)
+TEST_F(RewriterTest, Table1_SingleTableSelect) {
+  auto stmt = MustParse("SELECT a FROM t WHERE c = 1");
+  auto rw = pg_.RewriteSelect(*stmt);
+  ASSERT_TRUE(rw.ok());
+  EXPECT_EQ(PrintStatement(*rw->main),
+            "SELECT a, t.trid FROM t WHERE c = 1");
+}
+
+// Table 1, row 3 (aggregate):
+//   SELECT SUM(t.a) FROM t WHERE c GROUP BY t.b
+//   -> SELECT t.trid FROM t WHERE c        (read-set fetch)
+//      SELECT SUM(t.a) FROM t WHERE c GROUP BY t.b   (unchanged)
+TEST_F(RewriterTest, Table1_AggregateSelect) {
+  const std::string original = "SELECT SUM(t.a) FROM t WHERE c = 1 GROUP BY t.b";
+  auto stmt = MustParse(original);
+  auto rw = pg_.RewriteSelect(*stmt);
+  ASSERT_TRUE(rw.ok());
+  ASSERT_NE(rw->dep_fetch, nullptr);
+  EXPECT_EQ(PrintStatement(*rw->dep_fetch),
+            "SELECT t.trid FROM t WHERE c = 1");
+  EXPECT_EQ(PrintStatement(*rw->main), original);  // forwarded unchanged
+  EXPECT_EQ(rw->appended, 0u);
+}
+
+TEST_F(RewriterTest, AggregateOverJoinFetchesEveryTable) {
+  auto stmt = MustParse(
+      "SELECT COUNT(DISTINCT s.i) FROM ol, s WHERE ol.w = 1 AND s.i = ol.i");
+  auto rw = pg_.RewriteSelect(*stmt);
+  ASSERT_TRUE(rw.ok());
+  ASSERT_NE(rw->dep_fetch, nullptr);
+  EXPECT_EQ(PrintStatement(*rw->dep_fetch),
+            "SELECT ol.trid, s.trid FROM ol, s WHERE ol.w = 1 AND s.i = ol.i");
+}
+
+// Aggregate detection must catch aggregates nested in expressions and a bare
+// GROUP BY without aggregate functions.
+TEST_F(RewriterTest, AggregateDetectionEdgeCases) {
+  auto nested = MustParse("SELECT 1 + SUM(a) FROM t");
+  ASSERT_NE(pg_.RewriteSelect(*nested)->dep_fetch, nullptr);
+  auto group_only = MustParse("SELECT b FROM t GROUP BY b");
+  ASSERT_NE(pg_.RewriteSelect(*group_only)->dep_fetch, nullptr);
+}
+
+// Aliased tables must have their trid refs qualified by the alias.
+TEST_F(RewriterTest, AliasQualification) {
+  auto stmt = MustParse("SELECT w.a FROM warehouse w WHERE w.id = 3");
+  auto rw = pg_.RewriteSelect(*stmt);
+  ASSERT_TRUE(rw.ok());
+  EXPECT_EQ(PrintStatement(*rw->main),
+            "SELECT w.a, w.trid FROM warehouse w WHERE w.id = 3");
+  // Provenance still records the real table name.
+  EXPECT_EQ(rw->trid_source_tables[0], "warehouse");
+}
+
+// Table 1, row 4:
+//   UPDATE t SET a1 = v1, ..., an = vn WHERE c
+//   -> UPDATE t SET a1 = v1, ..., an = vn, trid = curTrID WHERE c
+TEST_F(RewriterTest, Table1_Update) {
+  auto stmt = MustParse("UPDATE t SET a1 = 5, a2 = a2 + 1 WHERE c = 1");
+  auto rw = pg_.RewriteUpdate(*stmt, 731);
+  ASSERT_TRUE(rw.ok());
+  EXPECT_EQ(PrintStatement(**rw),
+            "UPDATE t SET a1 = 5, a2 = a2 + 1, trid = 731 WHERE c = 1");
+}
+
+// Table 1, row 5:
+//   INSERT INTO t(a1..an) VALUES (v1..vn)
+//   -> INSERT INTO t(a1..an, trid) VALUES (v1..vn, curTrID)
+TEST_F(RewriterTest, Table1_Insert) {
+  auto stmt = MustParse("INSERT INTO t(a1, a2) VALUES (1, 'x'), (2, 'y')");
+  auto rw = pg_.RewriteInsert(*stmt, 88);
+  ASSERT_TRUE(rw.ok());
+  EXPECT_EQ(PrintStatement(**rw),
+            "INSERT INTO t(a1, a2, trid) VALUES (1, 'x', 88), (2, 'y', 88)");
+}
+
+TEST_F(RewriterTest, PositionalInsert) {
+  auto stmt = MustParse("INSERT INTO t VALUES (1, 'x')");
+  // Postgres flavor: trid is the last column, appending the value works.
+  auto rw = pg_.RewriteInsert(*stmt, 9);
+  ASSERT_TRUE(rw.ok());
+  EXPECT_EQ(PrintStatement(**rw), "INSERT INTO t VALUES (1, 'x', 9)");
+  // Sybase flavor: the injected identity column makes positional inserts
+  // ambiguous — rejected.
+  EXPECT_FALSE(syb_.RewriteInsert(*stmt, 9).ok());
+}
+
+// §4.3: CREATE TABLE under Sybase also injects the rid identity column.
+TEST_F(RewriterTest, CreateTableInjection) {
+  auto stmt = MustParse("CREATE TABLE t (a INTEGER NOT NULL, b VARCHAR(8))");
+  auto pg = pg_.RewriteCreateTable(*stmt);
+  ASSERT_TRUE(pg.ok());
+  EXPECT_EQ(PrintStatement(**pg),
+            "CREATE TABLE t (a INTEGER NOT NULL, b VARCHAR(8), trid INTEGER)");
+  auto syb = syb_.RewriteCreateTable(*stmt);
+  ASSERT_TRUE(syb.ok());
+  EXPECT_EQ(PrintStatement(**syb),
+            "CREATE TABLE t (a INTEGER NOT NULL, b VARCHAR(8), trid INTEGER, "
+            "rid INTEGER IDENTITY)");
+}
+
+TEST_F(RewriterTest, CreateTablePreservesPrimaryKey) {
+  auto stmt = MustParse("CREATE TABLE t (a INTEGER, PRIMARY KEY (a))");
+  auto rw = pg_.RewriteCreateTable(*stmt);
+  ASSERT_TRUE(rw.ok());
+  EXPECT_EQ((*rw)->primary_key, (std::vector<std::string>{"a"}));
+}
+
+// Reserved column names are fenced off from clients.
+TEST_F(RewriterTest, ReservedColumnsRejected) {
+  EXPECT_FALSE(
+      pg_.RewriteCreateTable(*MustParse("CREATE TABLE t (trid INTEGER)")).ok());
+  EXPECT_FALSE(
+      syb_.RewriteCreateTable(*MustParse("CREATE TABLE t (rid INTEGER)")).ok());
+  // Postgres flavor has no rid column reservation.
+  EXPECT_TRUE(
+      pg_.RewriteCreateTable(*MustParse("CREATE TABLE t (rid INTEGER)")).ok());
+  EXPECT_FALSE(
+      pg_.RewriteUpdate(*MustParse("UPDATE t SET trid = 5"), 1).ok());
+  EXPECT_FALSE(
+      pg_.RewriteInsert(*MustParse("INSERT INTO t(a, trid) VALUES (1, 2)"), 1)
+          .ok());
+  // Case-insensitive.
+  EXPECT_FALSE(
+      pg_.RewriteUpdate(*MustParse("UPDATE t SET TRID = 5"), 1).ok());
+}
+
+// The rewrite must not disturb ORDER BY / LIMIT clauses.
+TEST_F(RewriterTest, PreservesOrderByAndLimit) {
+  auto stmt = MustParse("SELECT a FROM t WHERE b = 1 ORDER BY a DESC LIMIT 3");
+  auto rw = pg_.RewriteSelect(*stmt);
+  ASSERT_TRUE(rw.ok());
+  EXPECT_EQ(PrintStatement(*rw->main),
+            "SELECT a, t.trid FROM t WHERE b = 1 ORDER BY a DESC LIMIT 3");
+}
+
+// Dep-token payload codec used in trans_dep rows.
+TEST(DepTokenTest, RoundTrip) {
+  std::set<DepEntry> deps = {{"warehouse", 12}, {"order_line", 9000},
+                             {"t", 1}};
+  std::string payload = EncodeDepTokens(deps);
+  EXPECT_EQ(payload, "order_line:9000 t:1 warehouse:12");
+  auto back = ParseDepTokens(payload);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(std::set<DepEntry>(back->begin(), back->end()), deps);
+  EXPECT_TRUE(ParseDepTokens("").value().empty());
+  EXPECT_FALSE(ParseDepTokens("garbage").ok());
+  EXPECT_FALSE(ParseDepTokens("t:abc").ok());
+}
+
+}  // namespace
+}  // namespace irdb::proxy

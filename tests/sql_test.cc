@@ -1,0 +1,203 @@
+// SQL front-end tests: lexer, parser, printer, and the parse→print→parse
+// fixpoint the proxy's rewrite pipeline depends on.
+#include <gtest/gtest.h>
+
+#include "sql/lexer.h"
+#include "sql/parser.h"
+#include "sql/printer.h"
+
+namespace irdb::sql {
+namespace {
+
+std::string Reprint(const std::string& text) {
+  auto stmt = Parse(text);
+  EXPECT_TRUE(stmt.ok()) << text << " -> " << stmt.status().ToString();
+  if (!stmt.ok()) return "<parse error>";
+  return PrintStatement(**stmt);
+}
+
+TEST(LexerTest, TokenizesOperatorsAndLiterals) {
+  auto tokens = Lex("a <= 5 AND b <> 'it''s' OR c >= 1.5e3");
+  ASSERT_TRUE(tokens.ok());
+  std::vector<TokenKind> kinds;
+  for (const Token& t : *tokens) kinds.push_back(t.kind);
+  EXPECT_EQ(kinds[1], TokenKind::kLe);
+  EXPECT_EQ(kinds[2], TokenKind::kIntLiteral);
+  EXPECT_EQ(kinds[5], TokenKind::kNeq);
+  EXPECT_EQ((*tokens)[6].text, "it's");  // escaped quote unescaped
+  EXPECT_EQ((*tokens)[10].kind, TokenKind::kDoubleLiteral);
+}
+
+TEST(LexerTest, KeywordsAreCaseInsensitive) {
+  auto tokens = Lex("select SeLeCt SELECT");
+  ASSERT_TRUE(tokens.ok());
+  for (size_t i = 0; i + 1 < tokens->size(); ++i) {
+    EXPECT_EQ((*tokens)[i].kind, TokenKind::kKeyword);
+    EXPECT_EQ((*tokens)[i].text, "SELECT");
+  }
+}
+
+TEST(LexerTest, LineCommentsIgnored) {
+  auto tokens = Lex("SELECT -- comment here\n a FROM t");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[1].text, "a");
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  EXPECT_FALSE(Lex("SELECT 'oops").ok());
+}
+
+TEST(ParserTest, RejectsGarbage) {
+  EXPECT_FALSE(Parse("").ok());
+  EXPECT_FALSE(Parse("SELECT").ok());
+  EXPECT_FALSE(Parse("SELECT a").ok());               // missing FROM
+  EXPECT_FALSE(Parse("FROB the database").ok());
+  EXPECT_FALSE(Parse("SELECT a FROM t WHERE").ok());
+  EXPECT_FALSE(Parse("INSERT INTO t VALUES").ok());
+  EXPECT_FALSE(Parse("UPDATE t SET").ok());
+  EXPECT_FALSE(Parse("SELECT a FROM t; SELECT b FROM t").ok());  // two stmts
+  EXPECT_FALSE(Parse("CREATE TABLE t ()").ok());
+  EXPECT_FALSE(Parse("SELECT MAX(*) FROM t").ok());
+}
+
+TEST(ParserTest, ExpressionPrecedence) {
+  // a OR b AND c  ==  a OR (b AND c)
+  auto e = ParseExpression("a OR b AND c");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)->bin_op, BinaryOp::kOr);
+  EXPECT_EQ((*e)->rhs->bin_op, BinaryOp::kAnd);
+  // 1 + 2 * 3  ==  1 + (2 * 3)
+  auto a = ParseExpression("1 + 2 * 3");
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ((*a)->bin_op, BinaryOp::kAdd);
+  EXPECT_EQ((*a)->rhs->bin_op, BinaryOp::kMul);
+  // NOT binds looser than comparison: NOT a = b == NOT (a = b)
+  auto n = ParseExpression("NOT a = b");
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ((*n)->kind, ExprKind::kUnary);
+  EXPECT_EQ((*n)->lhs->bin_op, BinaryOp::kEq);
+}
+
+TEST(ParserTest, SubtractionIsLeftAssociative) {
+  auto e = ParseExpression("10 - 4 - 3");
+  ASSERT_TRUE(e.ok());
+  // (10 - 4) - 3
+  EXPECT_EQ((*e)->bin_op, BinaryOp::kSub);
+  EXPECT_EQ((*e)->lhs->bin_op, BinaryOp::kSub);
+}
+
+TEST(ParserTest, CreateTableColumnTypes) {
+  auto stmt = Parse(
+      "CREATE TABLE t (a INTEGER NOT NULL, b VARCHAR(12), c CHAR(2), "
+      "d DOUBLE, e NUMERIC(12, 2), f NUMERIC(8), g INTEGER IDENTITY, "
+      "PRIMARY KEY (a, b))");
+  ASSERT_TRUE(stmt.ok());
+  const Statement& s = **stmt;
+  ASSERT_EQ(s.columns.size(), 7u);
+  EXPECT_TRUE(s.columns[0].not_null);
+  EXPECT_EQ(s.columns[1].type, ColumnTypeKind::kVarchar);
+  EXPECT_EQ(s.columns[1].length, 12);
+  EXPECT_EQ(s.columns[2].type, ColumnTypeKind::kChar);
+  EXPECT_EQ(s.columns[3].type, ColumnTypeKind::kDouble);
+  EXPECT_EQ(s.columns[4].type, ColumnTypeKind::kDouble);  // scale > 0
+  EXPECT_EQ(s.columns[5].type, ColumnTypeKind::kInt);     // scale 0
+  EXPECT_TRUE(s.columns[6].identity);
+  EXPECT_EQ(s.primary_key, (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(ParserTest, CountDistinctBothSpellings) {
+  for (const char* sql :
+       {"SELECT COUNT(DISTINCT s_i_id) FROM stock",
+        "SELECT COUNT(DISTINCT(s_i_id)) FROM stock"}) {
+    auto stmt = Parse(sql);
+    ASSERT_TRUE(stmt.ok()) << sql;
+    EXPECT_TRUE((*stmt)->select_items[0].expr->distinct);
+  }
+}
+
+TEST(ParserTest, TransactionControlVariants) {
+  for (const char* sql : {"BEGIN", "BEGIN TRANSACTION", "BEGIN WORK",
+                          "COMMIT", "COMMIT WORK", "ROLLBACK", "commit;"}) {
+    EXPECT_TRUE(Parse(sql).ok()) << sql;
+  }
+}
+
+// Parse -> Print -> Parse -> Print must be a fixpoint: the proxy prints
+// rewritten statements which the engine re-parses.
+class RoundTripTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RoundTripTest, PrintParseFixpoint) {
+  std::string once = Reprint(GetParam());
+  std::string twice = Reprint(once);
+  EXPECT_EQ(once, twice) << "input: " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Statements, RoundTripTest,
+    ::testing::Values(
+        "SELECT a, b FROM t",
+        "SELECT * FROM t",
+        "SELECT t.* FROM t, u",
+        "SELECT a AS x, b y FROM t ORDER BY a DESC, b LIMIT 10",
+        "SELECT SUM(a), COUNT(*), AVG(b) FROM t WHERE c = 1 GROUP BY d",
+        "SELECT COUNT(DISTINCT a) FROM t",
+        "SELECT a FROM t WHERE a BETWEEN 1 AND 10 AND b IN (1, 2, 3)",
+        "SELECT a FROM t WHERE NOT (a = 1 OR b = 2)",
+        "SELECT a FROM t WHERE s LIKE 'ab%' AND x IS NOT NULL",
+        "SELECT a FROM t WHERE -a < 5 AND a % 2 = 1",
+        "SELECT a + b * c - d / e FROM t",
+        "SELECT a FROM t WHERE b = 'it''s quoted'",
+        "SELECT w.a, d.b FROM warehouse w, district AS d WHERE w.id = d.wid",
+        "INSERT INTO t(a, b) VALUES (1, 'x'), (2, NULL)",
+        "INSERT INTO t VALUES (1, 2.5, 'z')",
+        "UPDATE t SET a = a + 1, b = 'q' WHERE c < 3",
+        "UPDATE t SET a = 1",
+        "DELETE FROM t WHERE a = 1 AND b <> 2",
+        "DELETE FROM t",
+        "CREATE TABLE t (a INTEGER NOT NULL, b VARCHAR(8), c DOUBLE, "
+        "rid INTEGER IDENTITY, PRIMARY KEY (a))",
+        "DROP TABLE t",
+        "BEGIN",
+        "COMMIT",
+        "ROLLBACK",
+        "SELECT a FROM t WHERE x = 1.5e10",
+        "SELECT a FROM t WHERE x = -42"));
+
+TEST(PrinterTest, ParenthesizationPreservesSemantics) {
+  // (a OR b) AND c must not print as a OR b AND c.
+  auto e = ParseExpression("(a OR b) AND c");
+  ASSERT_TRUE(e.ok());
+  std::string printed = PrintExpr(**e);
+  auto reparsed = ParseExpression(printed);
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ((*reparsed)->bin_op, BinaryOp::kAnd);
+  // a - (b - c) keeps its parens.
+  auto s = ParseExpression("10 - (4 - 3)");
+  ASSERT_TRUE(s.ok());
+  auto rs = ParseExpression(PrintExpr(**s));
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ((*rs)->lhs->literal.as_int(), 10);
+  EXPECT_EQ((*rs)->rhs->bin_op, BinaryOp::kSub);
+}
+
+TEST(AstTest, CloneIsDeep) {
+  auto stmt = Parse("UPDATE t SET a = b + 1 WHERE c IN (1, 2)");
+  ASSERT_TRUE(stmt.ok());
+  StatementPtr clone = (*stmt)->Clone();
+  EXPECT_EQ(PrintStatement(**stmt), PrintStatement(*clone));
+  // Mutating the clone leaves the original untouched.
+  clone->assignments[0].first = "z";
+  EXPECT_NE(PrintStatement(**stmt), PrintStatement(*clone));
+}
+
+TEST(AstTest, ContainsAggregate) {
+  auto agg = Parse("SELECT 1 + SUM(a) FROM t");
+  ASSERT_TRUE(agg.ok());
+  EXPECT_TRUE((*agg)->select_items[0].expr->ContainsAggregate());
+  auto plain = Parse("SELECT a + 1 FROM t");
+  ASSERT_TRUE(plain.ok());
+  EXPECT_FALSE((*plain)->select_items[0].expr->ContainsAggregate());
+}
+
+}  // namespace
+}  // namespace irdb::sql

@@ -1,0 +1,283 @@
+// Storage-layer tests: values, row codec, page compaction semantics,
+// heap tables with the primary index, and the catalog.
+#include <gtest/gtest.h>
+
+#include "storage/catalog.h"
+#include "storage/heap_table.h"
+#include "storage/page.h"
+#include "storage/row_codec.h"
+#include "storage/schema.h"
+#include "util/rng.h"
+
+namespace irdb {
+namespace {
+
+Schema TestSchema(bool rowid = true) {
+  std::vector<Column> cols;
+  cols.push_back({"k", ValueType::kInt, 0, true, false});
+  cols.push_back({"s", ValueType::kString, 8, false, false});
+  cols.push_back({"d", ValueType::kDouble, 0, false, false});
+  return Schema(std::move(cols), rowid);
+}
+
+TEST(ValueTest, TotalOrder) {
+  EXPECT_LT(Value::Null(), Value::Int(0));
+  EXPECT_LT(Value::Int(1), Value::Int(2));
+  EXPECT_EQ(Value::Int(2), Value::Double(2.0));  // numeric cross-compare
+  EXPECT_LT(Value::Double(1.5), Value::Int(2));
+  EXPECT_LT(Value::Int(5), Value::Str("a"));  // numbers before strings
+  EXPECT_LT(Value::Str("a"), Value::Str("b"));
+}
+
+TEST(ValueTest, SqlLiteralRoundTripsDoubles) {
+  // %.17g must reproduce awkward doubles exactly.
+  for (double d : {0.1, 1.0 / 3.0, 123456.789, -2.5e-17, 1e300}) {
+    Value v = Value::Double(d);
+    std::string lit = v.ToSqlLiteral();
+    double back = std::stod(lit);
+    EXPECT_EQ(back, d) << lit;
+  }
+}
+
+TEST(RowCodecTest, EncodeDecodeRoundTrip) {
+  Schema schema = TestSchema();
+  RowCodec codec(&schema);
+  Row row;
+  row.values = {Value::Int(42), Value::Str("hi"), Value::Double(2.75)};
+  row.rowid = 7;
+  auto bytes = codec.Encode(row);
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_EQ(bytes->size(), static_cast<size_t>(schema.row_size()));
+  auto back = codec.Decode(*bytes);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->values[0], row.values[0]);
+  EXPECT_EQ(back->values[1], row.values[1]);
+  EXPECT_EQ(back->values[2], row.values[2]);
+  EXPECT_EQ(back->rowid, 7);
+}
+
+TEST(RowCodecTest, NullsAndCanonicalEncoding) {
+  Schema schema = TestSchema();
+  RowCodec codec(&schema);
+  Row a, b;
+  a.values = {Value::Int(1), Value::Null(), Value::Null()};
+  a.rowid = 1;
+  b = a;
+  auto ea = codec.Encode(a);
+  auto eb = codec.Encode(b);
+  ASSERT_TRUE(ea.ok() && eb.ok());
+  EXPECT_EQ(*ea, *eb);  // byte-identical (payloads zeroed under null flag)
+  auto back = codec.Decode(*ea);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->values[1].is_null());
+}
+
+TEST(RowCodecTest, PropertyRandomRoundTrip) {
+  Schema schema = TestSchema();
+  RowCodec codec(&schema);
+  Rng rng(99);
+  for (int i = 0; i < 500; ++i) {
+    Row row;
+    row.values = {
+        rng.Bernoulli(0.1) ? Value::Null() : Value::Int(rng.Uniform(-1000, 1000)),
+        rng.Bernoulli(0.1) ? Value::Null() : Value::Str(rng.AlnumString(0, 8)),
+        rng.Bernoulli(0.1) ? Value::Null()
+                           : Value::Double(rng.UniformReal(-1e6, 1e6))};
+    row.rowid = static_cast<int64_t>(rng.Next() % 100000);
+    auto bytes = codec.Encode(row);
+    ASSERT_TRUE(bytes.ok());
+    auto back = codec.Decode(*bytes);
+    ASSERT_TRUE(back.ok());
+    for (int c = 0; c < 3; ++c) EXPECT_EQ(back->values[c], row.values[c]);
+    EXPECT_EQ(back->rowid, row.rowid);
+  }
+}
+
+TEST(RowCodecTest, InPlaceColumnPatch) {
+  Schema schema = TestSchema();
+  RowCodec codec(&schema);
+  Row row;
+  row.values = {Value::Int(1), Value::Str("abc"), Value::Double(1.0)};
+  row.rowid = 3;
+  auto bytes = codec.Encode(row).value();
+  ASSERT_TRUE(codec.EncodeColumnInPlace(&bytes, 1, Value::Str("xy")).ok());
+  auto back = codec.Decode(bytes).value();
+  EXPECT_EQ(back.values[1].as_string(), "xy");
+  EXPECT_EQ(back.values[0].as_int(), 1);  // neighbours untouched
+  EXPECT_EQ(back.rowid, 3);
+}
+
+TEST(SchemaTest, CoercionRules) {
+  Schema schema = TestSchema();
+  EXPECT_TRUE(schema.CoerceForColumn(0, Value::Int(1)).ok());
+  // double -> int truncates
+  EXPECT_EQ(schema.CoerceForColumn(0, Value::Double(2.9))->as_int(), 2);
+  // int -> double widens
+  EXPECT_TRUE(schema.CoerceForColumn(2, Value::Int(5))->is_double());
+  // NOT NULL enforced
+  EXPECT_FALSE(schema.CoerceForColumn(0, Value::Null()).ok());
+  // string length enforced
+  EXPECT_FALSE(schema.CoerceForColumn(1, Value::Str("way too long")).ok());
+  // type mismatch
+  EXPECT_FALSE(schema.CoerceForColumn(0, Value::Str("x")).ok());
+}
+
+// --- Page: the Sybase §4.3 movement rules -------------------------------
+
+TEST(PageTest, CompactionNeverLeavesGaps) {
+  Page page(256, 16);
+  std::vector<std::string> rows;
+  for (int i = 0; i < 8; ++i) {
+    rows.push_back(std::string(16, static_cast<char>('a' + i)));
+    page.Append(rows.back());
+  }
+  // Delete from the middle: rows after it slide toward the page start.
+  page.DeleteAt(2);
+  EXPECT_EQ(page.row_count(), 7);
+  EXPECT_EQ(page.RowAt(2), rows[3]);
+  EXPECT_EQ(page.RowAt(6), rows[7]);
+  // Deleting the first row shifts everything.
+  page.DeleteAt(0);
+  EXPECT_EQ(page.RowAt(0), rows[1]);
+  // Raw bytes beyond the used region are scrubbed.
+  std::string_view raw = page.RawBytes();
+  for (int i = page.used_bytes(); i < page.capacity(); ++i) {
+    EXPECT_EQ(raw[i], '\0');
+  }
+}
+
+TEST(PageTest, UpdateInPlaceDoesNotMoveRows) {
+  Page page(128, 16);
+  page.Append(std::string(16, 'a'));
+  page.Append(std::string(16, 'b'));
+  page.UpdateAt(0, std::string(16, 'z'));
+  EXPECT_EQ(page.RowAt(0), std::string(16, 'z'));
+  EXPECT_EQ(page.RowAt(1), std::string(16, 'b'));
+}
+
+TEST(PageTest, SpaceAccounting) {
+  Page page(64, 16);
+  EXPECT_TRUE(page.HasSpace());
+  for (int i = 0; i < 4; ++i) page.Append(std::string(16, 'x'));
+  EXPECT_FALSE(page.HasSpace());
+  page.DeleteAt(1);
+  EXPECT_TRUE(page.HasSpace());
+}
+
+// --- HeapTable + index ---------------------------------------------------
+
+TEST(HeapTableTest, RowsNeverMigrateAcrossPages) {
+  Schema schema = TestSchema();
+  HeapTable table("t", schema, /*page_size=*/schema.row_size() * 3);
+  RowCodec codec(&schema);
+  std::vector<RowLoc> locs;
+  for (int i = 0; i < 10; ++i) {
+    Row row;
+    row.values = {Value::Int(i), Value::Str("r"), Value::Double(0)};
+    row.rowid = i + 1;
+    locs.push_back(table.Insert(codec.Encode(row).value()));
+  }
+  EXPECT_EQ(table.page_count(), 4);
+  // Delete everything on page 0; pages 1..3 must be untouched.
+  table.DeleteAt(RowLoc{0, 2});
+  table.DeleteAt(RowLoc{0, 1});
+  table.DeleteAt(RowLoc{0, 0});
+  EXPECT_EQ(table.GetPage(0)->row_count(), 0);
+  EXPECT_EQ(table.GetPage(1)->row_count(), 3);
+  // A new insert reuses the vacated space (no cross-page motion of others).
+  Row row;
+  row.values = {Value::Int(99), Value::Str("n"), Value::Double(0)};
+  row.rowid = 99;
+  RowLoc loc = table.Insert(codec.Encode(row).value());
+  EXPECT_EQ(loc.page, 0);
+}
+
+TEST(HeapTableTest, IndexTracksDeletesAndShifts) {
+  Schema schema = TestSchema();
+  HeapTable table("t", schema, schema.row_size() * 8);
+  table.SetPrimaryIndex({0});
+  RowCodec codec(&schema);
+  for (int i = 0; i < 8; ++i) {
+    Row row;
+    row.values = {Value::Int(i), Value::Str("x"), Value::Double(0)};
+    row.rowid = i + 1;
+    table.Insert(codec.Encode(row).value());
+  }
+  // Delete k=2 (slot 2); slots of k=3..7 shift down. Lookups must still hit.
+  table.DeleteAt(RowLoc{0, 2});
+  for (int k = 0; k < 8; ++k) {
+    std::vector<RowLoc> locs;
+    table.index()->LookupPrefix({Value::Int(k)}, &locs);
+    if (k == 2) {
+      EXPECT_TRUE(locs.empty());
+      continue;
+    }
+    ASSERT_EQ(locs.size(), 1u) << "k=" << k;
+    auto v = codec.DecodeColumn(table.ReadAt(locs[0]), 0);
+    ASSERT_TRUE(v.ok());
+    EXPECT_EQ(v->as_int(), k);
+  }
+}
+
+TEST(HeapTableTest, IndexFollowsKeyUpdates) {
+  Schema schema = TestSchema();
+  HeapTable table("t", schema, kDefaultPageSize);
+  table.SetPrimaryIndex({0});
+  RowCodec codec(&schema);
+  Row row;
+  row.values = {Value::Int(1), Value::Str("x"), Value::Double(0)};
+  row.rowid = 1;
+  RowLoc loc = table.Insert(codec.Encode(row).value());
+  row.values[0] = Value::Int(2);
+  table.UpdateAt(loc, codec.Encode(row).value());
+  std::vector<RowLoc> locs;
+  table.index()->LookupPrefix({Value::Int(1)}, &locs);
+  EXPECT_TRUE(locs.empty());
+  table.index()->LookupPrefix({Value::Int(2)}, &locs);
+  EXPECT_EQ(locs.size(), 1u);
+}
+
+TEST(HeapTableTest, PrefixLookupMultiColumn) {
+  std::vector<Column> cols;
+  cols.push_back({"a", ValueType::kInt, 0, false, false});
+  cols.push_back({"b", ValueType::kInt, 0, false, false});
+  Schema schema(std::move(cols), true);
+  HeapTable table("t", schema, kDefaultPageSize);
+  table.SetPrimaryIndex({0, 1});
+  RowCodec codec(&schema);
+  for (int a = 0; a < 3; ++a) {
+    for (int b = 0; b < 4; ++b) {
+      Row row;
+      row.values = {Value::Int(a), Value::Int(b)};
+      row.rowid = a * 4 + b + 1;
+      table.Insert(codec.Encode(row).value());
+    }
+  }
+  std::vector<RowLoc> locs;
+  table.index()->LookupPrefix({Value::Int(1)}, &locs);
+  EXPECT_EQ(locs.size(), 4u);
+  locs.clear();
+  table.index()->LookupPrefix({Value::Int(1), Value::Int(2)}, &locs);
+  EXPECT_EQ(locs.size(), 1u);
+  locs.clear();
+  table.index()->LookupPrefix({Value::Int(9)}, &locs);
+  EXPECT_TRUE(locs.empty());
+}
+
+TEST(CatalogTest, LifecycleAndCaseInsensitivity) {
+  Catalog catalog;
+  auto t = catalog.CreateTable("Orders", TestSchema());
+  ASSERT_TRUE(t.ok());
+  EXPECT_NE(catalog.Find("ORDERS"), nullptr);
+  EXPECT_NE(catalog.Find("orders"), nullptr);
+  EXPECT_FALSE(catalog.CreateTable("ORDERS", TestSchema()).ok());
+  auto id = catalog.TableId("orders");
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(catalog.FindById(*id), *t);
+  ASSERT_TRUE(catalog.DropTable("Orders").ok());
+  EXPECT_EQ(catalog.Find("orders"), nullptr);
+  EXPECT_FALSE(catalog.DropTable("orders").ok());
+}
+
+}  // namespace
+}  // namespace irdb

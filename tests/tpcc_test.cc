@@ -1,0 +1,155 @@
+// TPC-C loader and transaction tests over a tracked deployment, plus the
+// full paper scenario: attack during a TPC-C run, selective repair, and the
+// false-dependency policy effect (§5.3).
+#include <gtest/gtest.h>
+
+#include "core/resilient_db.h"
+#include "tpcc/loader.h"
+#include "tpcc/schema.h"
+#include "tpcc/workload.h"
+
+namespace irdb {
+namespace {
+
+using tpcc::TpccConfig;
+
+class TpccTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  static FlavorTraits TraitsFor(const std::string& name) {
+    if (name == "postgres") return FlavorTraits::Postgres();
+    if (name == "oracle") return FlavorTraits::Oracle();
+    return FlavorTraits::Sybase();
+  }
+};
+
+TEST_P(TpccTest, LoaderPopulatesExpectedCardinalities) {
+  DeploymentOptions opts;
+  opts.traits = TraitsFor(GetParam());
+  ResilientDb rdb(opts);
+  ASSERT_TRUE(rdb.Bootstrap().ok());
+  auto conn = rdb.Connect();
+  ASSERT_TRUE(conn.ok());
+
+  TpccConfig config = TpccConfig::Scaled(2);
+  auto stats = tpcc::LoadDatabase(conn->get(), config);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->warehouses, 2);
+  EXPECT_EQ(stats->districts, 2 * config.districts_per_warehouse);
+  EXPECT_EQ(stats->customers,
+            2 * config.districts_per_warehouse * config.customers_per_district);
+  EXPECT_EQ(stats->items, config.items);
+  EXPECT_EQ(stats->stock, 2 * config.items);
+  EXPECT_EQ(stats->orders,
+            2 * config.districts_per_warehouse * config.orders_per_district);
+
+  // Spot-check via SQL (through the proxy).
+  auto count = conn->get()->Execute("SELECT COUNT(*) FROM customer");
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count->rows[0][0].as_int(), stats->customers);
+
+  // Every loaded row carries the loader's trid stamp.
+  auto untracked = rdb.Admin()->Execute(
+      "SELECT COUNT(*) FROM customer WHERE trid IS NULL");
+  ASSERT_TRUE(untracked.ok());
+  EXPECT_EQ(untracked->rows[0][0].as_int(), 0);
+}
+
+TEST_P(TpccTest, AllFiveTransactionTypesRun) {
+  DeploymentOptions opts;
+  opts.traits = TraitsFor(GetParam());
+  ResilientDb rdb(opts);
+  ASSERT_TRUE(rdb.Bootstrap().ok());
+  auto conn = rdb.Connect();
+  ASSERT_TRUE(conn.ok());
+
+  TpccConfig config = TpccConfig::Scaled(1);
+  ASSERT_TRUE(tpcc::LoadDatabase(conn->get(), config).ok());
+
+  tpcc::TpccDriver driver(conn->get(), config, /*seed=*/7);
+  for (tpcc::TxnType type :
+       {tpcc::TxnType::kNewOrder, tpcc::TxnType::kPayment,
+        tpcc::TxnType::kDelivery, tpcc::TxnType::kOrderStatus,
+        tpcc::TxnType::kStockLevel}) {
+    auto r = driver.Run(type);
+    ASSERT_TRUE(r.ok()) << tpcc::TxnTypeName(type) << ": "
+                        << r.status().ToString();
+    EXPECT_FALSE(r->label.empty());
+  }
+  // A longer mixed run exercises interleavings.
+  for (int i = 0; i < 40; ++i) {
+    auto r = driver.RunMixed();
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+  }
+}
+
+TEST_P(TpccTest, NewOrderAdvancesDistrictCounterAndInsertsLines) {
+  DeploymentOptions opts;
+  opts.traits = TraitsFor(GetParam());
+  ResilientDb rdb(opts);
+  ASSERT_TRUE(rdb.Bootstrap().ok());
+  auto conn = rdb.Connect();
+  ASSERT_TRUE(conn.ok());
+  TpccConfig config = TpccConfig::Scaled(1);
+  ASSERT_TRUE(tpcc::LoadDatabase(conn->get(), config).ok());
+
+  auto before = rdb.Admin()->Execute("SELECT SUM(d_next_o_id) FROM district");
+  ASSERT_TRUE(before.ok());
+  auto ol_before = rdb.Admin()->Execute("SELECT COUNT(*) FROM order_line");
+  ASSERT_TRUE(ol_before.ok());
+
+  tpcc::TpccDriver driver(conn->get(), config, 11);
+  auto r = driver.NewOrder();
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+
+  auto after = rdb.Admin()->Execute("SELECT SUM(d_next_o_id) FROM district");
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->rows[0][0].as_int(), before->rows[0][0].as_int() + 1);
+  auto ol_after = rdb.Admin()->Execute("SELECT COUNT(*) FROM order_line");
+  ASSERT_TRUE(ol_after.ok());
+  EXPECT_GT(ol_after->rows[0][0].as_int(), ol_before->rows[0][0].as_int());
+}
+
+// The paper's repair-accuracy scenario in miniature: an attack mid-workload,
+// Tdetect transactions later the DBA repairs. Every saved transaction's
+// effects must survive; the attack and its dependents must be gone.
+TEST_P(TpccTest, MidWorkloadAttackRepair) {
+  DeploymentOptions opts;
+  opts.traits = TraitsFor(GetParam());
+  ResilientDb rdb(opts);
+  ASSERT_TRUE(rdb.Bootstrap().ok());
+  auto conn = rdb.Connect();
+  ASSERT_TRUE(conn.ok());
+  TpccConfig config = TpccConfig::Scaled(1);
+  ASSERT_TRUE(tpcc::LoadDatabase(conn->get(), config).ok());
+
+  tpcc::TpccDriver driver(conn->get(), config, 23);
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(driver.RunMixed().ok());
+  ASSERT_TRUE(driver.AttackInflateBalance(1, 1, 1, 1e6).ok());
+  for (int i = 0; i < 25; ++i) ASSERT_TRUE(driver.RunMixed().ok());
+
+  auto analysis = rdb.repair().Analyze();
+  ASSERT_TRUE(analysis.ok()) << analysis.status().ToString();
+  int64_t attack_id = -1;
+  for (int64_t node : analysis->graph.nodes()) {
+    if (analysis->graph.Label(node).rfind("Attack_", 0) == 0) attack_id = node;
+  }
+  ASSERT_GT(attack_id, 0);
+
+  auto report =
+      rdb.repair().Repair({attack_id}, repair::DbaPolicy::TrackEverything());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_GE(report->undo_set.size(), 1u);
+
+  // The inflated balance is gone: no customer holds anything near 1e6.
+  auto rich = rdb.Admin()->Execute(
+      "SELECT COUNT(*) FROM customer WHERE c_balance > 500000");
+  ASSERT_TRUE(rich.ok());
+  EXPECT_EQ(rich->rows[0][0].as_int(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFlavors, TpccTest,
+                         ::testing::Values("postgres", "oracle", "sybase"),
+                         [](const auto& info) { return info.param; });
+
+}  // namespace
+}  // namespace irdb

@@ -1,0 +1,247 @@
+// TrackingProxy behavioural tests: dependency harvesting, result stripping,
+// commit metadata, autocommit wrapping, chunked payloads.
+#include <gtest/gtest.h>
+
+#include "engine/database.h"
+#include "proxy/tracking_proxy.h"
+#include "wire/connection.h"
+
+namespace irdb::proxy {
+namespace {
+
+class TrackingProxyTest : public ::testing::Test {
+ protected:
+  TrackingProxyTest()
+      : db_(FlavorTraits::Postgres()),
+        direct_(&db_),
+        proxy_(&direct_, &alloc_, FlavorTraits::Postgres()) {
+    IRDB_CHECK(proxy_.EnsureTrackingTables().ok());
+  }
+
+  ResultSet Must(const std::string& sql) {
+    auto r = proxy_.Execute(sql);
+    EXPECT_TRUE(r.ok()) << sql << " -> " << r.status().ToString();
+    return r.ok() ? std::move(r).value() : ResultSet{};
+  }
+
+  // Reads trans_dep rows as (tr_id, payload) via an untracked connection.
+  std::vector<std::pair<int64_t, std::string>> TransDepRows() {
+    auto rs = direct_.Execute("SELECT tr_id, dep_tr_ids FROM trans_dep");
+    IRDB_CHECK(rs.ok());
+    std::vector<std::pair<int64_t, std::string>> out;
+    for (const auto& row : rs->rows) {
+      out.emplace_back(row[0].as_int(), row[1].as_string());
+    }
+    return out;
+  }
+
+  Database db_;
+  DirectConnection direct_;
+  TxnIdAllocator alloc_;
+  TrackingProxy proxy_;
+};
+
+TEST_F(TrackingProxyTest, StripsAppendedTridColumns) {
+  Must("CREATE TABLE t (a INTEGER, b INTEGER)");
+  Must("INSERT INTO t(a, b) VALUES (1, 2)");
+  ResultSet rs = Must("SELECT a, b FROM t");
+  // Client sees exactly what it asked for — no trid columns.
+  EXPECT_EQ(rs.columns, (std::vector<std::string>{"a", "b"}));
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.rows[0].size(), 2u);
+}
+
+TEST_F(TrackingProxyTest, RecordsReadDependenciesWithProvenance) {
+  Must("CREATE TABLE t (a INTEGER)");
+  Must("BEGIN");
+  Must("INSERT INTO t(a) VALUES (1)");
+  int64_t writer = proxy_.current_txn_id();
+  Must("COMMIT");
+
+  Must("BEGIN");
+  Must("SELECT a FROM t");
+  EXPECT_EQ(proxy_.pending_deps().size(), 1u);
+  EXPECT_EQ(*proxy_.pending_deps().begin(), DepEntry("t", writer));
+  int64_t reader = proxy_.current_txn_id();
+  Must("COMMIT");
+
+  // trans_dep has the dependency durably recorded.
+  bool found = false;
+  for (const auto& [tr_id, payload] : TransDepRows()) {
+    if (tr_id == reader) {
+      EXPECT_EQ(payload, "t:" + std::to_string(writer));
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(TrackingProxyTest, OwnWritesAreNotDependencies) {
+  Must("CREATE TABLE t (a INTEGER)");
+  Must("BEGIN");
+  Must("INSERT INTO t(a) VALUES (1)");
+  Must("SELECT a FROM t");  // reads its own write
+  EXPECT_TRUE(proxy_.pending_deps().empty());
+  Must("COMMIT");
+}
+
+TEST_F(TrackingProxyTest, AggregateQueriesUseDepFetch) {
+  Must("CREATE TABLE t (g INTEGER, v INTEGER)");
+  Must("BEGIN");
+  Must("INSERT INTO t(g, v) VALUES (1, 10), (1, 20), (2, 30)");
+  int64_t writer = proxy_.current_txn_id();
+  Must("COMMIT");
+
+  const int64_t fetches_before = proxy_.stats().dep_fetches;
+  Must("BEGIN");
+  ResultSet rs = Must("SELECT g, SUM(v) FROM t WHERE v > 5 GROUP BY g");
+  EXPECT_EQ(rs.columns.size(), 2u);  // aggregate result untouched
+  EXPECT_EQ(rs.rows.size(), 2u);
+  EXPECT_EQ(proxy_.stats().dep_fetches, fetches_before + 1);
+  EXPECT_EQ(proxy_.pending_deps().count(DepEntry("t", writer)), 1u);
+  Must("COMMIT");
+}
+
+TEST_F(TrackingProxyTest, AutocommitStatementsAreTracked) {
+  Must("CREATE TABLE t (a INTEGER)");
+  // No BEGIN: the proxy wraps the statement in its own transaction and still
+  // emits a trans_dep record.
+  size_t before = TransDepRows().size();
+  Must("INSERT INTO t(a) VALUES (5)");
+  EXPECT_EQ(TransDepRows().size(), before + 1);
+  // The stamped trid is a valid proxy id.
+  auto rs = direct_.Execute("SELECT trid FROM t");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_GT(rs->rows[0][0].as_int(), 0);
+}
+
+TEST_F(TrackingProxyTest, TridStampingOnWrites) {
+  Must("CREATE TABLE t (a INTEGER)");
+  Must("BEGIN");
+  Must("INSERT INTO t(a) VALUES (1)");
+  int64_t t1 = proxy_.current_txn_id();
+  Must("COMMIT");
+  auto rs = direct_.Execute("SELECT trid FROM t");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->rows[0][0].as_int(), t1);
+
+  Must("BEGIN");
+  Must("UPDATE t SET a = 2");
+  int64_t t2 = proxy_.current_txn_id();
+  Must("COMMIT");
+  rs = direct_.Execute("SELECT trid FROM t");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->rows[0][0].as_int(), t2);
+  EXPECT_NE(t1, t2);
+}
+
+TEST_F(TrackingProxyTest, TransDepInsertIsLastBeforeCommit) {
+  // §3.3's correlation anchor: the final row operation of a tracked
+  // transaction must be the trans_dep insert.
+  Must("CREATE TABLE t (a INTEGER)");
+  Must("BEGIN");
+  proxy_.SetAnnotation("Labelled");
+  Must("INSERT INTO t(a) VALUES (1)");
+  Must("COMMIT");
+  const auto& records = db_.wal().records();
+  // Find the last commit; walk back to the last row op before it.
+  int last_commit = -1;
+  for (size_t i = 0; i < records.size(); ++i) {
+    if (records[i].op == LogOp::kCommit) last_commit = static_cast<int>(i);
+  }
+  ASSERT_GE(last_commit, 0);
+  int i = last_commit - 1;
+  while (i >= 0 && !records[i].IsRowOp()) --i;
+  ASSERT_GE(i, 0);
+  HeapTable* table = db_.catalog().FindById(records[i].table_id);
+  ASSERT_NE(table, nullptr);
+  EXPECT_EQ(table->name(), "trans_dep");
+}
+
+TEST_F(TrackingProxyTest, LongDependencyListsAreChunked) {
+  Must("CREATE TABLE t (a INTEGER)");
+  // 400 distinct writers.
+  for (int i = 0; i < 400; ++i) {
+    Must("INSERT INTO t(a) VALUES (" + std::to_string(i) + ")");
+  }
+  Must("BEGIN");
+  Must("SELECT a FROM t");
+  int64_t reader = proxy_.current_txn_id();
+  EXPECT_EQ(proxy_.pending_deps().size(), 400u);
+  Must("COMMIT");
+  int chunks = 0;
+  size_t total_tokens = 0;
+  for (const auto& [tr_id, payload] : TransDepRows()) {
+    if (tr_id != reader) continue;
+    ++chunks;
+    total_tokens += ParseDepTokens(payload)->size();
+    EXPECT_LE(payload.size(), 512u);
+  }
+  EXPECT_GT(chunks, 1);
+  EXPECT_EQ(total_tokens, 400u);
+}
+
+TEST_F(TrackingProxyTest, RollbackDiscardsState) {
+  Must("CREATE TABLE t (a INTEGER)");
+  Must("INSERT INTO t(a) VALUES (1)");
+  size_t transdep_before = TransDepRows().size();
+  Must("BEGIN");
+  Must("SELECT a FROM t");
+  EXPECT_FALSE(proxy_.pending_deps().empty());
+  Must("ROLLBACK");
+  EXPECT_TRUE(proxy_.pending_deps().empty());
+  // No trans_dep record for the aborted transaction.
+  EXPECT_EQ(TransDepRows().size(), transdep_before);
+}
+
+TEST_F(TrackingProxyTest, FailedStatementRollsBackAutocommitWrapper) {
+  Must("CREATE TABLE t (a INTEGER NOT NULL)");
+  size_t before = TransDepRows().size();
+  auto r = proxy_.Execute("INSERT INTO t(a) VALUES (NULL)");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(TransDepRows().size(), before);
+  // Proxy is usable again immediately.
+  Must("INSERT INTO t(a) VALUES (1)");
+}
+
+TEST_F(TrackingProxyTest, AnnotationRecorded) {
+  Must("CREATE TABLE t (a INTEGER)");
+  Must("BEGIN");
+  proxy_.SetAnnotation("Payment_1_2_3");
+  Must("INSERT INTO t(a) VALUES (1)");
+  int64_t id = proxy_.current_txn_id();
+  Must("COMMIT");
+  auto rs = direct_.Execute("SELECT descr FROM annot WHERE tr_id = " +
+                            std::to_string(id));
+  ASSERT_TRUE(rs.ok());
+  ASSERT_EQ(rs->rows.size(), 1u);
+  EXPECT_EQ(rs->rows[0][0].as_string(), "Payment_1_2_3");
+}
+
+TEST_F(TrackingProxyTest, NestedBeginRejected) {
+  Must("BEGIN");
+  EXPECT_FALSE(proxy_.Execute("BEGIN").ok());
+  Must("COMMIT");
+  EXPECT_FALSE(proxy_.Execute("COMMIT").ok());
+  EXPECT_FALSE(proxy_.Execute("ROLLBACK").ok());
+}
+
+// The Sybase flavor must see injected rid values counting up per table.
+TEST(TrackingProxySybaseTest, IdentityInjectionEndToEnd) {
+  Database db(FlavorTraits::Sybase());
+  DirectConnection direct(&db);
+  TxnIdAllocator alloc;
+  TrackingProxy proxy(&direct, &alloc, FlavorTraits::Sybase());
+  ASSERT_TRUE(proxy.EnsureTrackingTables().ok());
+  ASSERT_TRUE(proxy.Execute("CREATE TABLE t (a INTEGER)").ok());
+  ASSERT_TRUE(proxy.Execute("INSERT INTO t(a) VALUES (10), (20)").ok());
+  auto rs = direct.Execute("SELECT a, rid, trid FROM t");
+  ASSERT_TRUE(rs.ok());
+  ASSERT_EQ(rs->rows.size(), 2u);
+  EXPECT_EQ(rs->rows[0][1].as_int(), 1);
+  EXPECT_EQ(rs->rows[1][1].as_int(), 2);
+  EXPECT_GT(rs->rows[0][2].as_int(), 0);  // trid stamped
+}
+
+}  // namespace
+}  // namespace irdb::proxy

@@ -1,0 +1,148 @@
+// Utility and cost-model tests.
+#include <gtest/gtest.h>
+
+#include "engine/io_model.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/string_utils.h"
+
+namespace irdb {
+namespace {
+
+TEST(StringUtilsTest, SplitAndJoin) {
+  EXPECT_EQ(SplitNonEmpty("a b  c", ' '),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(SplitNonEmpty("", ' '), std::vector<std::string>{});
+  EXPECT_EQ(Split("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(Join({"x", "y"}, ", "), "x, y");
+}
+
+TEST(StringUtilsTest, CaseHelpers) {
+  EXPECT_EQ(ToUpperAscii("SeLeCt"), "SELECT");
+  EXPECT_EQ(ToLowerAscii("WareHouse"), "warehouse");
+  EXPECT_TRUE(EqualsIgnoreCase("trid", "TRID"));
+  EXPECT_FALSE(EqualsIgnoreCase("trid", "trid2"));
+  EXPECT_TRUE(StartsWith("Payment_1_2", "Payment"));
+  EXPECT_FALSE(StartsWith("Pay", "Payment"));
+}
+
+TEST(StringUtilsTest, SqlQuoteEscapes) {
+  EXPECT_EQ(SqlQuote("plain"), "'plain'");
+  EXPECT_EQ(SqlQuote("it's"), "'it''s'");
+  EXPECT_EQ(SqlQuote(""), "''");
+}
+
+TEST(StringUtilsTest, NumberParsing) {
+  int64_t i = 0;
+  EXPECT_TRUE(ParseInt64("-42", &i));
+  EXPECT_EQ(i, -42);
+  EXPECT_FALSE(ParseInt64("", &i));
+  EXPECT_FALSE(ParseInt64("12x", &i));
+  double d = 0;
+  EXPECT_TRUE(ParseDouble("2.5e3", &d));
+  EXPECT_DOUBLE_EQ(d, 2500.0);
+  EXPECT_FALSE(ParseDouble("abc", &d));
+}
+
+TEST(StatusTest, CodesAndMacros) {
+  Status ok = Status::Ok();
+  EXPECT_TRUE(ok.ok());
+  Status bad = Status::Constraint("nope");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.ToString(), "CONSTRAINT: nope");
+
+  auto fn = []() -> Status {
+    IRDB_RETURN_IF_ERROR(Status::Ok());
+    IRDB_RETURN_IF_ERROR(Status::NotFound("x"));
+    return Status::Internal("unreachable");
+  };
+  EXPECT_EQ(fn().code(), StatusCode::kNotFound);
+
+  auto gn = []() -> Result<int> {
+    IRDB_ASSIGN_OR_RETURN(int v, Result<int>(41));
+    return v + 1;
+  };
+  EXPECT_EQ(gn().value(), 42);
+}
+
+TEST(RngTest, DeterministicAndBounded) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) {
+    int64_t va = a.Uniform(5, 15), vb = b.Uniform(5, 15);
+    EXPECT_EQ(va, vb);
+    EXPECT_GE(va, 5);
+    EXPECT_LE(va, 15);
+  }
+  Rng c(7);
+  for (int i = 0; i < 100; ++i) {
+    int64_t v = c.NuRand(255, 1, 1000, 42);
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 1000);
+  }
+  std::string s = c.AlnumString(4, 4);
+  EXPECT_EQ(s.size(), 4u);
+}
+
+TEST(PageCacheTest, LruEviction) {
+  PageCache cache(2);
+  EXPECT_FALSE(cache.Touch(1, 1));
+  EXPECT_FALSE(cache.Touch(1, 2));
+  EXPECT_TRUE(cache.Touch(1, 1));   // hit refreshes recency
+  EXPECT_FALSE(cache.Touch(1, 3));  // evicts (1,2)
+  EXPECT_TRUE(cache.Touch(1, 1));
+  EXPECT_FALSE(cache.Touch(1, 2));  // was evicted
+  // Same page number in a different table is a distinct entry.
+  EXPECT_FALSE(cache.Touch(2, 1));
+}
+
+TEST(IoModelTest, ChargesMissesFlushesAndCpu) {
+  IoCostParams params;
+  params.enabled = true;
+  params.cache_pages = 4;
+  params.read_miss_seconds = 1.0;
+  params.log_flush_seconds = 10.0;
+  params.log_write_seconds_per_byte = 0.5;
+  params.statement_cpu_seconds = 100.0;
+  params.row_cpu_seconds = 1000.0;
+  IoModel model(params);
+
+  model.TouchPage(1, 1);  // miss: +1
+  model.TouchPage(1, 1);  // hit
+  EXPECT_DOUBLE_EQ(model.clock().seconds(), 1.0);
+  EXPECT_EQ(model.page_misses(), 1);
+  EXPECT_EQ(model.page_touches(), 2);
+
+  model.TouchPageWrite(1, 2);  // write touch: cached, no charge
+  EXPECT_DOUBLE_EQ(model.clock().seconds(), 1.0);
+  EXPECT_TRUE(model.cache().Touch(1, 2));
+
+  model.AccountLogFlush(4);  // 10 + 4*0.5
+  EXPECT_DOUBLE_EQ(model.clock().seconds(), 13.0);
+  model.AccountStatement();
+  EXPECT_DOUBLE_EQ(model.clock().seconds(), 113.0);
+  model.AccountRowsExamined(2);
+  EXPECT_DOUBLE_EQ(model.clock().seconds(), 2113.0);
+  EXPECT_EQ(model.rows_examined(), 2);
+
+  model.ResetStats();
+  EXPECT_DOUBLE_EQ(model.clock().seconds(), 0.0);
+  EXPECT_EQ(model.page_misses(), 0);
+}
+
+TEST(IoModelTest, DisabledModelIsFree) {
+  IoModel model;  // default params: disabled
+  model.TouchPage(1, 1);
+  model.AccountLogFlush(1000);
+  model.AccountStatement();
+  model.AccountRowsExamined(100);
+  EXPECT_DOUBLE_EQ(model.clock().seconds(), 0.0);
+}
+
+TEST(FnvTest, StableAndSensitive) {
+  EXPECT_EQ(Fnv1a("abc"), Fnv1a("abc"));
+  EXPECT_NE(Fnv1a("abc"), Fnv1a("abd"));
+  EXPECT_NE(Fnv1a("abc", 1), Fnv1a("abc", 2));
+}
+
+}  // namespace
+}  // namespace irdb

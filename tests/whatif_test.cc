@@ -1,0 +1,127 @@
+// WhatIfSession and DependencyGraph/DbaPolicy unit tests.
+#include <gtest/gtest.h>
+
+#include "repair/whatif.h"
+
+namespace irdb::repair {
+namespace {
+
+// A small hand-built graph:
+//   1(Attack) -> 2(Payment via warehouse) -> 4(Order via stock)
+//   1(Attack) -> 3(Order via customer)
+//   5(Status) independent
+DependencyAnalysis MakeAnalysis() {
+  DependencyAnalysis a;
+  a.graph.AddNode(1);
+  a.graph.AddNode(5);
+  a.graph.AddEdge(DepEdge{2, 1, "warehouse", DepKind::kRuntime});
+  a.graph.AddEdge(DepEdge{4, 2, "stock", DepKind::kReconstructed});
+  a.graph.AddEdge(DepEdge{3, 1, "customer", DepKind::kRuntime});
+  a.graph.SetLabel(1, "Attack_1");
+  a.graph.SetLabel(2, "Payment_1_1_5");
+  a.graph.SetLabel(3, "Order_1_1_3_9");
+  a.graph.SetLabel(4, "Order_1_2_4_9");
+  a.graph.SetLabel(5, "Status_1_1_2");
+  return a;
+}
+
+TEST(DependencyGraphTest, AffectedClosure) {
+  DependencyAnalysis a = MakeAnalysis();
+  auto keep_all = [](const DepEdge&) { return true; };
+  std::set<int64_t> closure = a.graph.Affected({1}, keep_all);
+  EXPECT_EQ(closure, (std::set<int64_t>{1, 2, 3, 4}));
+  // From a mid-chain seed.
+  EXPECT_EQ(a.graph.Affected({2}, keep_all), (std::set<int64_t>{2, 4}));
+  // Unknown seeds still appear (the DBA may seed untracked ids).
+  EXPECT_EQ(a.graph.Affected({99}, keep_all), (std::set<int64_t>{99}));
+}
+
+TEST(DependencyGraphTest, DotContainsLabelsAndHighlights) {
+  DependencyAnalysis a = MakeAnalysis();
+  std::string dot = a.graph.ToDot({1});
+  EXPECT_NE(dot.find("Attack_1"), std::string::npos);
+  EXPECT_NE(dot.find("lightcoral"), std::string::npos);
+  EXPECT_NE(dot.find("n1 -> n2"), std::string::npos);  // writer -> reader
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);  // reconstructed
+}
+
+TEST(DbaPolicyTest, Filters) {
+  DependencyAnalysis a = MakeAnalysis();
+  DepEdge wh{2, 1, "warehouse", DepKind::kRuntime};
+  DepEdge cust{3, 1, "customer", DepKind::kRuntime};
+
+  DbaPolicy table_policy = DbaPolicy::TrackEverything();
+  table_policy.IgnoreTable("WAREHOUSE");  // case-insensitive
+  EXPECT_FALSE(table_policy.Keep(wh));
+  EXPECT_TRUE(table_policy.Keep(cust));
+
+  DbaPolicy edge_policy = DbaPolicy::TrackEverything();
+  edge_policy.IgnoreEdge(2, 1);
+  EXPECT_FALSE(edge_policy.Keep(wh));
+  EXPECT_TRUE(edge_policy.Keep(cust));
+
+  DbaPolicy derived = DbaPolicy::TrackEverything();
+  derived.IgnoreDerivedAttribute("warehouse", "Attack", &a.graph);
+  EXPECT_FALSE(derived.Keep(wh));   // writer 1 labelled Attack_1
+  EXPECT_TRUE(derived.Keep(cust));  // different table
+  DepEdge wh_other_writer{4, 2, "warehouse", DepKind::kRuntime};
+  EXPECT_TRUE(derived.Keep(wh_other_writer));  // writer 2 is Payment
+}
+
+TEST(WhatIfTest, SeedsByLabelPrefix) {
+  WhatIfSession session(MakeAnalysis());
+  EXPECT_EQ(session.AddSeedsByLabelPrefix("Attack"), 1);
+  EXPECT_EQ(session.AddSeedsByLabelPrefix("Order"), 2);
+  EXPECT_EQ(session.AddSeedsByLabelPrefix("Nope"), 0);
+  EXPECT_FALSE(session.AddSeed(1234));
+  EXPECT_TRUE(session.AddSeed(5));
+}
+
+TEST(WhatIfTest, DeltasTrackPerimeterChanges) {
+  WhatIfSession session(MakeAnalysis());
+  session.AddSeedsByLabelPrefix("Attack");
+  EXPECT_EQ(session.Perimeter().size(), 4u);
+
+  // Discarding warehouse deps saves 2 and (transitively) 4.
+  PerimeterDelta d = session.IgnoreTable("warehouse");
+  EXPECT_TRUE(d.added.empty());
+  EXPECT_EQ(d.removed, (std::vector<int64_t>{2, 4}));
+  EXPECT_EQ(session.Perimeter(), (std::set<int64_t>{1, 3}));
+
+  // Reset restores the full perimeter.
+  PerimeterDelta back = session.Reset();
+  EXPECT_EQ(back.added, (std::vector<int64_t>{2, 4}));
+  EXPECT_TRUE(back.removed.empty());
+}
+
+TEST(WhatIfTest, EdgeLevelPruning) {
+  WhatIfSession session(MakeAnalysis());
+  session.AddSeedsByLabelPrefix("Attack");
+  PerimeterDelta d = session.IgnoreEdge(3, 1);
+  EXPECT_EQ(d.removed, (std::vector<int64_t>{3}));
+  EXPECT_EQ(session.Perimeter(), (std::set<int64_t>{1, 2, 4}));
+}
+
+TEST(WhatIfTest, ExplainNamesCondemningEdges) {
+  WhatIfSession session(MakeAnalysis());
+  session.AddSeedsByLabelPrefix("Attack");
+  std::string text = session.Explain();
+  EXPECT_NE(text.find("Attack_1  [seed]"), std::string::npos);
+  EXPECT_NE(text.find("Payment_1_1_5  <- Attack_1(warehouse)"),
+            std::string::npos);
+  EXPECT_NE(text.find("Order_1_2_4_9  <- Payment_1_1_5(stock,log)"),
+            std::string::npos);
+}
+
+TEST(WhatIfTest, SummaryCountsIgnoredEdges) {
+  WhatIfSession session(MakeAnalysis());
+  session.AddSeedsByLabelPrefix("Attack");
+  session.IgnoreTable("warehouse");
+  std::string s = session.Summary();
+  EXPECT_NE(s.find("edges kept: 2"), std::string::npos);
+  EXPECT_NE(s.find("edges ignored: 1"), std::string::npos);
+  EXPECT_NE(s.find("perimeter: 2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace irdb::repair
