@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_sql.dir/bench_micro_sql.cc.o"
+  "CMakeFiles/bench_micro_sql.dir/bench_micro_sql.cc.o.d"
+  "bench_micro_sql"
+  "bench_micro_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

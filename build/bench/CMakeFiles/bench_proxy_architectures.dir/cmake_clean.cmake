@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_proxy_architectures.dir/bench_proxy_architectures.cc.o"
+  "CMakeFiles/bench_proxy_architectures.dir/bench_proxy_architectures.cc.o.d"
+  "bench_proxy_architectures"
+  "bench_proxy_architectures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_proxy_architectures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_repair_speed.dir/bench_repair_speed.cc.o"
+  "CMakeFiles/bench_repair_speed.dir/bench_repair_speed.cc.o.d"
+  "bench_repair_speed"
+  "bench_repair_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_repair_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sybase_reconstruct.dir/bench_sybase_reconstruct.cc.o"
+  "CMakeFiles/bench_sybase_reconstruct.dir/bench_sybase_reconstruct.cc.o.d"
+  "bench_sybase_reconstruct"
+  "bench_sybase_reconstruct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sybase_reconstruct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tpcc_load.dir/bench_tpcc_load.cc.o"
+  "CMakeFiles/bench_tpcc_load.dir/bench_tpcc_load.cc.o.d"
+  "bench_tpcc_load"
+  "bench_tpcc_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tpcc_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tracking_overhead.dir/bench_tracking_overhead.cc.o"
+  "CMakeFiles/bench_tracking_overhead.dir/bench_tracking_overhead.cc.o.d"
+  "bench_tracking_overhead"
+  "bench_tracking_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tracking_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

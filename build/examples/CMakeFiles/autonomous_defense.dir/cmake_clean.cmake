@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autonomous_defense.dir/autonomous_defense.cpp.o"
+  "CMakeFiles/autonomous_defense.dir/autonomous_defense.cpp.o.d"
+  "autonomous_defense"
+  "autonomous_defense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autonomous_defense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dependency_graph_demo.dir/dependency_graph_demo.cpp.o"
+  "CMakeFiles/dependency_graph_demo.dir/dependency_graph_demo.cpp.o.d"
+  "dependency_graph_demo"
+  "dependency_graph_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dependency_graph_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repair_console.dir/repair_console.cpp.o"
+  "CMakeFiles/repair_console.dir/repair_console.cpp.o.d"
+  "repair_console"
+  "repair_console.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repair_console.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpcc_attack_recovery.dir/tpcc_attack_recovery.cpp.o"
+  "CMakeFiles/tpcc_attack_recovery.dir/tpcc_attack_recovery.cpp.o.d"
+  "tpcc_attack_recovery"
+  "tpcc_attack_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpcc_attack_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

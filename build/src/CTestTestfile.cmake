@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("sql")
+subdirs("storage")
+subdirs("txn")
+subdirs("engine")
+subdirs("flavor")
+subdirs("wire")
+subdirs("proxy")
+subdirs("repair")
+subdirs("detect")
+subdirs("tpcc")
+subdirs("core")

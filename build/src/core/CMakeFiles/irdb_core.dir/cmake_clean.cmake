@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/irdb_core.dir/resilient_db.cc.o"
+  "CMakeFiles/irdb_core.dir/resilient_db.cc.o.d"
+  "libirdb_core.a"
+  "libirdb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/irdb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

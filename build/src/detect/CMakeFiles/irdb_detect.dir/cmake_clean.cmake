@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/irdb_detect.dir/anomaly_detector.cc.o"
+  "CMakeFiles/irdb_detect.dir/anomaly_detector.cc.o.d"
+  "libirdb_detect.a"
+  "libirdb_detect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/irdb_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/irdb_engine.dir/database.cc.o"
+  "CMakeFiles/irdb_engine.dir/database.cc.o.d"
+  "CMakeFiles/irdb_engine.dir/expr_eval.cc.o"
+  "CMakeFiles/irdb_engine.dir/expr_eval.cc.o.d"
+  "CMakeFiles/irdb_engine.dir/recovery.cc.o"
+  "CMakeFiles/irdb_engine.dir/recovery.cc.o.d"
+  "CMakeFiles/irdb_engine.dir/select_exec.cc.o"
+  "CMakeFiles/irdb_engine.dir/select_exec.cc.o.d"
+  "libirdb_engine.a"
+  "libirdb_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/irdb_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/irdb_flavor.dir/log_reader.cc.o"
+  "CMakeFiles/irdb_flavor.dir/log_reader.cc.o.d"
+  "CMakeFiles/irdb_flavor.dir/make_reader.cc.o"
+  "CMakeFiles/irdb_flavor.dir/make_reader.cc.o.d"
+  "CMakeFiles/irdb_flavor.dir/oracle_logminer.cc.o"
+  "CMakeFiles/irdb_flavor.dir/oracle_logminer.cc.o.d"
+  "CMakeFiles/irdb_flavor.dir/postgres_reader.cc.o"
+  "CMakeFiles/irdb_flavor.dir/postgres_reader.cc.o.d"
+  "CMakeFiles/irdb_flavor.dir/sybase_reader.cc.o"
+  "CMakeFiles/irdb_flavor.dir/sybase_reader.cc.o.d"
+  "libirdb_flavor.a"
+  "libirdb_flavor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/irdb_flavor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

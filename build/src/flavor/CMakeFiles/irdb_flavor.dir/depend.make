@@ -1,0 +1,2 @@
+# Empty dependencies file for irdb_flavor.
+# This may be replaced when dependencies are built.

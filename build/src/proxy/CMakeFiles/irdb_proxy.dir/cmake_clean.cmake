@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/irdb_proxy.dir/rewriter.cc.o"
+  "CMakeFiles/irdb_proxy.dir/rewriter.cc.o.d"
+  "CMakeFiles/irdb_proxy.dir/tracking_proxy.cc.o"
+  "CMakeFiles/irdb_proxy.dir/tracking_proxy.cc.o.d"
+  "libirdb_proxy.a"
+  "libirdb_proxy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/irdb_proxy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

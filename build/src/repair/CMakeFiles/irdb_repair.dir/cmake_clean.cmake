@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/irdb_repair.dir/analyzer.cc.o"
+  "CMakeFiles/irdb_repair.dir/analyzer.cc.o.d"
+  "CMakeFiles/irdb_repair.dir/compensator.cc.o"
+  "CMakeFiles/irdb_repair.dir/compensator.cc.o.d"
+  "CMakeFiles/irdb_repair.dir/dependency_graph.cc.o"
+  "CMakeFiles/irdb_repair.dir/dependency_graph.cc.o.d"
+  "CMakeFiles/irdb_repair.dir/whatif.cc.o"
+  "CMakeFiles/irdb_repair.dir/whatif.cc.o.d"
+  "libirdb_repair.a"
+  "libirdb_repair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/irdb_repair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

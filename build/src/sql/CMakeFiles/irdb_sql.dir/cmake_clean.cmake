@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/irdb_sql.dir/ast.cc.o"
+  "CMakeFiles/irdb_sql.dir/ast.cc.o.d"
+  "CMakeFiles/irdb_sql.dir/lexer.cc.o"
+  "CMakeFiles/irdb_sql.dir/lexer.cc.o.d"
+  "CMakeFiles/irdb_sql.dir/parser.cc.o"
+  "CMakeFiles/irdb_sql.dir/parser.cc.o.d"
+  "CMakeFiles/irdb_sql.dir/printer.cc.o"
+  "CMakeFiles/irdb_sql.dir/printer.cc.o.d"
+  "libirdb_sql.a"
+  "libirdb_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/irdb_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

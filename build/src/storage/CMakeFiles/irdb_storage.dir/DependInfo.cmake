@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/catalog.cc" "src/storage/CMakeFiles/irdb_storage.dir/catalog.cc.o" "gcc" "src/storage/CMakeFiles/irdb_storage.dir/catalog.cc.o.d"
+  "/root/repo/src/storage/heap_table.cc" "src/storage/CMakeFiles/irdb_storage.dir/heap_table.cc.o" "gcc" "src/storage/CMakeFiles/irdb_storage.dir/heap_table.cc.o.d"
+  "/root/repo/src/storage/row_codec.cc" "src/storage/CMakeFiles/irdb_storage.dir/row_codec.cc.o" "gcc" "src/storage/CMakeFiles/irdb_storage.dir/row_codec.cc.o.d"
+  "/root/repo/src/storage/schema.cc" "src/storage/CMakeFiles/irdb_storage.dir/schema.cc.o" "gcc" "src/storage/CMakeFiles/irdb_storage.dir/schema.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/irdb_storage_value.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/irdb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

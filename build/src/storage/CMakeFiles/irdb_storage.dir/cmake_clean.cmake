@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/irdb_storage.dir/catalog.cc.o"
+  "CMakeFiles/irdb_storage.dir/catalog.cc.o.d"
+  "CMakeFiles/irdb_storage.dir/heap_table.cc.o"
+  "CMakeFiles/irdb_storage.dir/heap_table.cc.o.d"
+  "CMakeFiles/irdb_storage.dir/row_codec.cc.o"
+  "CMakeFiles/irdb_storage.dir/row_codec.cc.o.d"
+  "CMakeFiles/irdb_storage.dir/schema.cc.o"
+  "CMakeFiles/irdb_storage.dir/schema.cc.o.d"
+  "libirdb_storage.a"
+  "libirdb_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/irdb_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

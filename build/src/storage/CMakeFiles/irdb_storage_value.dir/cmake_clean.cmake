@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/irdb_storage_value.dir/value.cc.o"
+  "CMakeFiles/irdb_storage_value.dir/value.cc.o.d"
+  "libirdb_storage_value.a"
+  "libirdb_storage_value.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/irdb_storage_value.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

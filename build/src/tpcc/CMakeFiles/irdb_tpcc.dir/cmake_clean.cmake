@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/irdb_tpcc.dir/loader.cc.o"
+  "CMakeFiles/irdb_tpcc.dir/loader.cc.o.d"
+  "CMakeFiles/irdb_tpcc.dir/schema.cc.o"
+  "CMakeFiles/irdb_tpcc.dir/schema.cc.o.d"
+  "CMakeFiles/irdb_tpcc.dir/workload.cc.o"
+  "CMakeFiles/irdb_tpcc.dir/workload.cc.o.d"
+  "libirdb_tpcc.a"
+  "libirdb_tpcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/irdb_tpcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

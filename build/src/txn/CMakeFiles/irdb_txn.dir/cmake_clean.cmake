@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/irdb_txn.dir/log_record.cc.o"
+  "CMakeFiles/irdb_txn.dir/log_record.cc.o.d"
+  "libirdb_txn.a"
+  "libirdb_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/irdb_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

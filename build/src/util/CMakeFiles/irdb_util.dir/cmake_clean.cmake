@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/irdb_util.dir/status.cc.o"
+  "CMakeFiles/irdb_util.dir/status.cc.o.d"
+  "CMakeFiles/irdb_util.dir/string_utils.cc.o"
+  "CMakeFiles/irdb_util.dir/string_utils.cc.o.d"
+  "libirdb_util.a"
+  "libirdb_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/irdb_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/irdb_wire.dir/protocol.cc.o"
+  "CMakeFiles/irdb_wire.dir/protocol.cc.o.d"
+  "libirdb_wire.a"
+  "libirdb_wire.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/irdb_wire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logreader_test.dir/logreader_test.cc.o"
+  "CMakeFiles/logreader_test.dir/logreader_test.cc.o.d"
+  "logreader_test"
+  "logreader_test.pdb"
+  "logreader_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logreader_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

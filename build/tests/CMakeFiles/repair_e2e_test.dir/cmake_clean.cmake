@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repair_e2e_test.dir/repair_e2e_test.cc.o"
+  "CMakeFiles/repair_e2e_test.dir/repair_e2e_test.cc.o.d"
+  "repair_e2e_test"
+  "repair_e2e_test.pdb"
+  "repair_e2e_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repair_e2e_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repair_property_test.dir/repair_property_test.cc.o"
+  "CMakeFiles/repair_property_test.dir/repair_property_test.cc.o.d"
+  "repair_property_test"
+  "repair_property_test.pdb"
+  "repair_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repair_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sybase_43_test.dir/sybase_43_test.cc.o"
+  "CMakeFiles/sybase_43_test.dir/sybase_43_test.cc.o.d"
+  "sybase_43_test"
+  "sybase_43_test.pdb"
+  "sybase_43_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sybase_43_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

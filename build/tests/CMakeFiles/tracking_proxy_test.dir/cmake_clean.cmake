@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tracking_proxy_test.dir/tracking_proxy_test.cc.o"
+  "CMakeFiles/tracking_proxy_test.dir/tracking_proxy_test.cc.o.d"
+  "tracking_proxy_test"
+  "tracking_proxy_test.pdb"
+  "tracking_proxy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tracking_proxy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/wire_test.cc" "tests/CMakeFiles/wire_test.dir/wire_test.cc.o" "gcc" "tests/CMakeFiles/wire_test.dir/wire_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/irdb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/irdb_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/repair/CMakeFiles/irdb_repair.dir/DependInfo.cmake"
+  "/root/repo/build/src/flavor/CMakeFiles/irdb_flavor.dir/DependInfo.cmake"
+  "/root/repo/build/src/proxy/CMakeFiles/irdb_proxy.dir/DependInfo.cmake"
+  "/root/repo/build/src/tpcc/CMakeFiles/irdb_tpcc.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/irdb_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/irdb_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/irdb_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/irdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/irdb_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/irdb_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/irdb_storage_value.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
