@@ -6,6 +6,7 @@
 #include "engine/database.h"
 #include "proxy/rewriter.h"
 #include "proxy/tracking_proxy.h"
+#include "sql/fingerprint.h"
 #include "sql/parser.h"
 #include "sql/printer.h"
 #include "wire/connection.h"
@@ -98,26 +99,104 @@ void BM_RewriteInsert(benchmark::State& state) {
 }
 BENCHMARK(BM_RewriteInsert);
 
-// Full tracked statement execution against a small live table: the complete
-// parse -> rewrite -> print -> engine-parse -> execute -> collect-deps path.
-void BM_TrackedSelectEndToEnd(benchmark::State& state) {
-  Database db(FlavorTraits::Postgres());
-  DirectConnection direct(&db);
-  proxy::TxnIdAllocator alloc;
-  proxy::TrackingProxy proxy(&direct, &alloc, FlavorTraits::Postgres());
-  IRDB_CHECK(proxy.EnsureTrackingTables().ok());
-  IRDB_CHECK(proxy.Execute("CREATE TABLE t (a INTEGER, b VARCHAR(16), "
-                           "PRIMARY KEY (a))").ok());
-  for (int i = 0; i < 100; ++i) {
-    IRDB_CHECK(proxy.Execute("INSERT INTO t(a, b) VALUES (" +
-                             std::to_string(i) + ", 'v')").ok());
-  }
+// Statement-shape fingerprinting: the fixed per-statement cost of the cached
+// fast path (a single lex over the text).
+void BM_FingerprintSelect(benchmark::State& state) {
   for (auto _ : state) {
-    auto rs = proxy.Execute("SELECT b FROM t WHERE a = 42");
-    benchmark::DoNotOptimize(rs);
+    auto shape = sql::FingerprintStatement(kSelect);
+    benchmark::DoNotOptimize(shape);
   }
 }
-BENCHMARK(BM_TrackedSelectEndToEnd);
+BENCHMARK(BM_FingerprintSelect);
+
+void BM_FingerprintInsert(benchmark::State& state) {
+  for (auto _ : state) {
+    auto shape = sql::FingerprintStatement(kInsert);
+    benchmark::DoNotOptimize(shape);
+  }
+}
+BENCHMARK(BM_FingerprintInsert);
+
+namespace {
+
+// Shared fixture for the end-to-end proxy benches.
+struct ProxyBench {
+  ProxyBench()
+      : db(FlavorTraits::Postgres()),
+        direct(&db),
+        proxy(&direct, &alloc, FlavorTraits::Postgres()) {
+    IRDB_CHECK(proxy.EnsureTrackingTables().ok());
+    IRDB_CHECK(proxy.Execute("CREATE TABLE t (a INTEGER, b VARCHAR(16), "
+                             "PRIMARY KEY (a))").ok());
+    for (int i = 0; i < 100; ++i) {
+      IRDB_CHECK(proxy.Execute("INSERT INTO t(a, b) VALUES (" +
+                               std::to_string(i) + ", 'v')").ok());
+    }
+  }
+
+  Database db;
+  DirectConnection direct;
+  proxy::TxnIdAllocator alloc;
+  proxy::TrackingProxy proxy;
+};
+
+void ReportCacheCounters(benchmark::State& state, const proxy::ProxyStats& st) {
+  state.counters["hits"] = static_cast<double>(st.cache_hits);
+  state.counters["misses"] = static_cast<double>(st.cache_misses);
+  state.counters["bypasses"] = static_cast<double>(st.cache_bypasses);
+}
+
+}  // namespace
+
+// Full tracked statement execution against a small live table. The cold
+// variant disables the plan cache: the complete parse -> rewrite -> print ->
+// engine-parse -> execute -> collect-deps path. The cached variant runs the
+// same statement shape through the plan cache + AST hand-off.
+void BM_TrackedSelectEndToEndCold(benchmark::State& state) {
+  ProxyBench b;
+  b.proxy.set_fast_path_enabled(false);
+  for (auto _ : state) {
+    auto rs = b.proxy.Execute("SELECT b FROM t WHERE a = 42");
+    benchmark::DoNotOptimize(rs);
+  }
+  ReportCacheCounters(state, b.proxy.stats());
+}
+BENCHMARK(BM_TrackedSelectEndToEndCold);
+
+void BM_TrackedSelectEndToEndCached(benchmark::State& state) {
+  ProxyBench b;
+  for (auto _ : state) {
+    auto rs = b.proxy.Execute("SELECT b FROM t WHERE a = 42");
+    benchmark::DoNotOptimize(rs);
+  }
+  ReportCacheCounters(state, b.proxy.stats());
+}
+BENCHMARK(BM_TrackedSelectEndToEndCached);
+
+void BM_TrackedInsertEndToEndCold(benchmark::State& state) {
+  ProxyBench b;
+  b.proxy.set_fast_path_enabled(false);
+  int next = 1000;
+  for (auto _ : state) {
+    auto rs = b.proxy.Execute("INSERT INTO t(a, b) VALUES (" +
+                              std::to_string(next++) + ", 'w')");
+    benchmark::DoNotOptimize(rs);
+  }
+  ReportCacheCounters(state, b.proxy.stats());
+}
+BENCHMARK(BM_TrackedInsertEndToEndCold);
+
+void BM_TrackedInsertEndToEndCached(benchmark::State& state) {
+  ProxyBench b;
+  int next = 1000;
+  for (auto _ : state) {
+    auto rs = b.proxy.Execute("INSERT INTO t(a, b) VALUES (" +
+                              std::to_string(next++) + ", 'w')");
+    benchmark::DoNotOptimize(rs);
+  }
+  ReportCacheCounters(state, b.proxy.stats());
+}
+BENCHMARK(BM_TrackedInsertEndToEndCached);
 
 void BM_UntrackedSelectEndToEnd(benchmark::State& state) {
   Database db(FlavorTraits::Postgres());

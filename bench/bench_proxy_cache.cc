@@ -1,0 +1,175 @@
+// Plan-cache ablation: tracked-proxy statement throughput on repeated TPC-C
+// statement shapes, cold pipeline (parse -> rewrite -> print -> engine
+// re-parse, the pre-cache behaviour) vs the shape cache + AST fast path.
+//
+// Emits BENCH_proxy.json:
+//   { "statements_per_round", "rounds",
+//     "cold_stmts_per_sec", "cached_stmts_per_sec", "speedup",
+//     "cache_hits", "cache_misses", "hit_rate" }
+//
+// Flags: --rounds=N (default 2000), --out=PATH (default BENCH_proxy.json).
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "engine/database.h"
+#include "proxy/tracking_proxy.h"
+#include "util/stopwatch.h"
+#include "wire/connection.h"
+
+namespace irdb::bench {
+namespace {
+
+// One round = the repeated-shape core of a TPC-C New Order / Payment mix:
+// point selects on customer/district/stock plus an order_line insert. Only
+// the literals vary between rounds.
+std::vector<std::string> RoundStatements(int i) {
+  const std::string w = std::to_string(1 + i % 4);
+  const std::string d = std::to_string(1 + i % 10);
+  const std::string c = std::to_string(1 + i % 100);
+  const std::string s = std::to_string(1 + i % 100);
+  return {
+      "SELECT c_discount, c_last, c_credit FROM customer "
+      "WHERE c_w_id = " + w + " AND c_d_id = " + d + " AND c_id = " + c,
+      "SELECT d_tax, d_next_o_id FROM district "
+      "WHERE d_w_id = " + w + " AND d_id = " + d,
+      "SELECT s_quantity, s_dist FROM stock "
+      "WHERE s_i_id = " + s + " AND s_w_id = " + w,
+      "UPDATE stock SET s_quantity = " + std::to_string(20 + i % 70) +
+      ", s_ytd = " + std::to_string(i) + " WHERE s_i_id = " + s +
+      " AND s_w_id = " + w,
+      "INSERT INTO order_line(ol_o_id, ol_d_id, ol_w_id, ol_number, "
+      "ol_i_id, ol_quantity, ol_amount, ol_dist_info) VALUES (" +
+      std::to_string(3000 + i) + ", " + d + ", " + w + ", 1, " + s +
+      ", 5, 123.45, 'abcdefghijklmnopqrstuvwx')",
+  };
+}
+
+struct Fixture {
+  Fixture()
+      : db(FlavorTraits::Postgres()),
+        direct(&db),
+        proxy(&direct, &alloc, FlavorTraits::Postgres()) {
+    IRDB_CHECK(proxy.EnsureTrackingTables().ok());
+    Must("CREATE TABLE customer (c_w_id INTEGER, c_d_id INTEGER, "
+         "c_id INTEGER, c_discount DOUBLE, c_last VARCHAR(16), "
+         "c_credit VARCHAR(2), PRIMARY KEY (c_w_id, c_d_id, c_id))");
+    Must("CREATE TABLE district (d_w_id INTEGER, d_id INTEGER, "
+         "d_tax DOUBLE, d_next_o_id INTEGER, PRIMARY KEY (d_w_id, d_id))");
+    Must("CREATE TABLE stock (s_i_id INTEGER, s_w_id INTEGER, "
+         "s_quantity INTEGER, s_ytd INTEGER, s_dist VARCHAR(24), "
+         "PRIMARY KEY (s_i_id, s_w_id))");
+    Must("CREATE TABLE order_line (ol_o_id INTEGER, ol_d_id INTEGER, "
+         "ol_w_id INTEGER, ol_number INTEGER, ol_i_id INTEGER, "
+         "ol_quantity INTEGER, ol_amount DOUBLE, ol_dist_info VARCHAR(24))");
+    for (int w = 1; w <= 4; ++w) {
+      for (int d = 1; d <= 10; ++d) {
+        Must("INSERT INTO district(d_w_id, d_id, d_tax, d_next_o_id) VALUES (" +
+             std::to_string(w) + ", " + std::to_string(d) + ", 0.1, 3000)");
+        for (int c = 1; c <= 25; ++c) {
+          Must("INSERT INTO customer(c_w_id, c_d_id, c_id, c_discount, "
+               "c_last, c_credit) VALUES (" + std::to_string(w) + ", " +
+               std::to_string(d) + ", " + std::to_string((d - 1) * 25 + c) +
+               ", 0.05, 'BARBARBAR', 'GC')");
+        }
+      }
+      for (int s = 1; s <= 100; ++s) {
+        Must("INSERT INTO stock(s_i_id, s_w_id, s_quantity, s_ytd, s_dist) "
+             "VALUES (" + std::to_string(s) + ", " + std::to_string(w) +
+             ", 50, 0, 'abcdefghijklmnopqrstuvwx')");
+      }
+    }
+  }
+
+  void Must(const std::string& sql) {
+    auto r = proxy.Execute(sql);
+    IRDB_CHECK_MSG(r.ok(), sql + " -> " + r.status().ToString());
+  }
+
+  // Runs `rounds` rounds and returns statements/second.
+  double Run(int rounds) {
+    Stopwatch watch;
+    for (int i = 0; i < rounds; ++i) {
+      for (const std::string& sql : RoundStatements(i)) Must(sql);
+    }
+    const double secs = watch.ElapsedSeconds();
+    return static_cast<double>(rounds) * 5 / secs;
+  }
+
+  Database db;
+  DirectConnection direct;
+  proxy::TxnIdAllocator alloc;
+  proxy::TrackingProxy proxy;
+};
+
+int Main(int argc, char** argv) {
+  int rounds = 2000;
+  std::string out_path = "BENCH_proxy.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--rounds=", 9) == 0) {
+      rounds = std::atoi(argv[i] + 9);
+    } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out_path = argv[i] + 6;
+    } else {
+      std::fprintf(stderr, "usage: %s [--rounds=N] [--out=PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  // Cold: the original text pipeline, one full parse+rewrite+print+re-parse
+  // per statement. A fresh fixture so heap growth doesn't favour either side.
+  double cold_sps;
+  {
+    Fixture f;
+    f.proxy.set_fast_path_enabled(false);
+    f.Run(rounds / 10 + 1);  // warm the tables/indexes, not the cache
+    cold_sps = f.Run(rounds);
+  }
+
+  double cached_sps, hit_rate;
+  int64_t hits, misses;
+  {
+    Fixture f;
+    f.Run(rounds / 10 + 1);  // warm: populates the plan cache
+    const auto& st = f.proxy.stats();
+    const int64_t hits0 = st.cache_hits, misses0 = st.cache_misses;
+    cached_sps = f.Run(rounds);
+    hits = st.cache_hits - hits0;
+    misses = st.cache_misses - misses0;
+    hit_rate = static_cast<double>(hits) / static_cast<double>(hits + misses);
+  }
+
+  const double speedup = cached_sps / cold_sps;
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"benchmark\": \"proxy_plan_cache\",\n"
+               "  \"statements_per_round\": 5,\n"
+               "  \"rounds\": %d,\n"
+               "  \"cold_stmts_per_sec\": %.1f,\n"
+               "  \"cached_stmts_per_sec\": %.1f,\n"
+               "  \"speedup\": %.2f,\n"
+               "  \"cache_hits\": %lld,\n"
+               "  \"cache_misses\": %lld,\n"
+               "  \"hit_rate\": %.4f\n"
+               "}\n",
+               rounds, cold_sps, cached_sps, speedup,
+               static_cast<long long>(hits), static_cast<long long>(misses),
+               hit_rate);
+  std::fclose(out);
+  std::printf("cold:   %10.1f stmts/s\ncached: %10.1f stmts/s\n"
+              "speedup: %.2fx  (hit rate %.1f%%)\n-> %s\n",
+              cold_sps, cached_sps, speedup, 100.0 * hit_rate,
+              out_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace irdb::bench
+
+int main(int argc, char** argv) { return irdb::bench::Main(argc, argv); }

@@ -1,0 +1,144 @@
+#include "proxy/plan_cache.h"
+
+#include "sql/fingerprint.h"
+
+namespace irdb::proxy {
+
+namespace {
+
+// Literal equality for validation: same type AND same value (Value::Compare
+// treats 42 and 42.0 as equal, which would let an int slot swallow a double
+// param and change coercion behaviour downstream).
+bool SameLiteral(const Value& a, const Value& b) {
+  if (a.type() != b.type()) return false;
+  return a.is_null() || a.Compare(b) == 0;
+}
+
+// Checks that `slots` and `params[offset..)` agree pairwise.
+bool SlotsMatch(const std::vector<Value*>& slots,
+                const std::vector<Value>& params, size_t offset) {
+  if (offset + slots.size() > params.size()) return false;
+  for (size_t i = 0; i < slots.size(); ++i) {
+    if (!SameLiteral(*slots[i], params[offset + i])) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<CachedPlan> BuildPlan(const sql::Statement& stmt,
+                             const SqlRewriter& rewriter,
+                             const std::vector<Value>& params) {
+  CachedPlan plan;
+  plan.kind = stmt.kind;
+
+  switch (stmt.kind) {
+    case sql::StatementKind::kBegin:
+    case sql::StatementKind::kCommit:
+    case sql::StatementKind::kRollback:
+      // Nothing to bind; caching still skips lex+parse on every txn boundary.
+      plan.dml = stmt.Clone();
+      plan.cacheable = params.empty();
+      return plan;
+
+    case sql::StatementKind::kSelect: {
+      IRDB_ASSIGN_OR_RETURN(plan.select, rewriter.RewriteSelect(stmt));
+      // The main template's literal slots are exactly the client's (the
+      // rewrite only appends trid column refs / clones the statement).
+      sql::CollectStatementLiterals(plan.select.main.get(), &plan.slots);
+      plan.cacheable =
+          plan.slots.size() == params.size() && SlotsMatch(plan.slots, params, 0);
+      if (plan.cacheable && plan.select.dep_fetch) {
+        // Aggregate path: the dep fetch re-uses the WHERE clause, whose
+        // params sit right after the select-list literals in lexical order.
+        std::vector<Value*> select_list_slots;
+        for (auto& item : plan.select.main->select_items) {
+          sql::CollectExprLiterals(item.expr.get(), &select_list_slots);
+        }
+        plan.fetch_offset = select_list_slots.size();
+        sql::CollectExprLiterals(plan.select.dep_fetch->where.get(),
+                                 &plan.fetch_slots);
+        plan.cacheable = SlotsMatch(plan.fetch_slots, params, plan.fetch_offset);
+      }
+      return plan;
+    }
+
+    case sql::StatementKind::kUpdate: {
+      IRDB_ASSIGN_OR_RETURN(plan.dml, rewriter.RewriteUpdate(stmt, 0));
+      // The rewrite appended `trid = curTrID` as the final assignment —
+      // between the client's SET literals and the WHERE literals — so the
+      // slot list is assembled around it.
+      IRDB_CHECK(!plan.dml->assignments.empty());
+      for (size_t i = 0; i + 1 < plan.dml->assignments.size(); ++i) {
+        sql::CollectExprLiterals(plan.dml->assignments[i].second.get(),
+                                 &plan.slots);
+      }
+      sql::Expr* trid = plan.dml->assignments.back().second.get();
+      IRDB_CHECK(trid->kind == sql::ExprKind::kLiteral);
+      plan.trid_slots.push_back(&trid->literal);
+      sql::CollectExprLiterals(plan.dml->where.get(), &plan.slots);
+      plan.cacheable =
+          plan.slots.size() == params.size() && SlotsMatch(plan.slots, params, 0);
+      return plan;
+    }
+
+    case sql::StatementKind::kInsert: {
+      IRDB_ASSIGN_OR_RETURN(plan.dml, rewriter.RewriteInsert(stmt, 0));
+      // Each VALUES row gained a trailing curTrID literal.
+      for (auto& row : plan.dml->insert_rows) {
+        IRDB_CHECK(!row.empty());
+        for (size_t i = 0; i + 1 < row.size(); ++i) {
+          sql::CollectExprLiterals(row[i].get(), &plan.slots);
+        }
+        sql::Expr* trid = row.back().get();
+        IRDB_CHECK(trid->kind == sql::ExprKind::kLiteral);
+        plan.trid_slots.push_back(&trid->literal);
+      }
+      plan.cacheable =
+          plan.slots.size() == params.size() && SlotsMatch(plan.slots, params, 0);
+      return plan;
+    }
+
+    case sql::StatementKind::kDelete: {
+      plan.dml = stmt.Clone();
+      sql::CollectStatementLiterals(plan.dml.get(), &plan.slots);
+      plan.cacheable =
+          plan.slots.size() == params.size() && SlotsMatch(plan.slots, params, 0);
+      return plan;
+    }
+
+    default:
+      // DDL never enters the cache (it invalidates it instead).
+      return plan;
+  }
+}
+
+CachedPlan* PlanCache::Lookup(const std::string& key) {
+  auto it = index_.find(std::string_view(key));
+  if (it == index_.end()) return nullptr;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return &lru_.front().second;
+}
+
+CachedPlan* PlanCache::Insert(std::string key, CachedPlan plan) {
+  auto it = index_.find(std::string_view(key));
+  if (it != index_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    lru_.front().second = std::move(plan);
+    return &lru_.front().second;
+  }
+  while (lru_.size() >= capacity_) {
+    index_.erase(std::string_view(lru_.back().first));
+    lru_.pop_back();
+  }
+  lru_.emplace_front(std::move(key), std::move(plan));
+  index_.emplace(std::string_view(lru_.front().first), lru_.begin());
+  return &lru_.front().second;
+}
+
+void PlanCache::Clear() {
+  index_.clear();
+  lru_.clear();
+}
+
+}  // namespace irdb::proxy

@@ -1,0 +1,90 @@
+// PlanCache — LRU cache of per-statement-shape execution plans.
+//
+// Keyed by the shape key from sql::FingerprintStatement, each entry holds
+// the parsed AST template already rewritten per Table 1, plus pointers to
+// the literal slots inside those templates. A repeated shape skips lex,
+// parse, and rewrite entirely: the proxy re-binds the new literals into the
+// cached template and forwards the AST to the backend.
+//
+// Shapes whose lexical literal order cannot be proven to match the AST's
+// literal slots (the cache validates value-by-value at build time) are
+// stored as negative entries, so the slow path is taken without repeating
+// the validation. The cache is owned by a single TrackingProxy connection
+// and is not thread-safe; DDL must Clear() it (see TrackingProxy).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "proxy/rewriter.h"
+#include "sql/ast.h"
+#include "util/status.h"
+
+namespace irdb::proxy {
+
+struct CachedPlan {
+  sql::StatementKind kind = sql::StatementKind::kSelect;
+  // False = negative entry: this shape is known not to bind safely (e.g. a
+  // literal the AST folds away); take the ordinary parse path.
+  bool cacheable = false;
+
+  // kSelect: pre-rewritten Table-1 templates.
+  RewrittenSelect select;
+  // kInsert/kUpdate: rewritten template (trid slots below re-stamped per
+  // execution). kDelete/txn control: the parsed statement, forwarded as-is.
+  sql::StatementPtr dml;
+
+  // Client literal slots inside the templates, in fingerprint param order.
+  std::vector<Value*> slots;
+  // Aggregate-select dep-fetch WHERE slots; bound from
+  // params[fetch_offset + i].
+  std::vector<Value*> fetch_slots;
+  size_t fetch_offset = 0;
+  // Injected curTrID literals (UPDATE SET trid = ..., INSERT ... trid value),
+  // stamped with the live transaction id before every execution.
+  std::vector<Value*> trid_slots;
+};
+
+// Builds a plan for a parsed DML/SELECT/txn-control statement. `params` is
+// the fingerprint's literal vector for the same text; the plan comes back
+// with cacheable=false when the slot/param correspondence cannot be
+// validated. Returns a Status only when the Table-1 rewrite itself fails
+// (reserved column, unsupported positional insert, ...), in which case the
+// caller reports the error through the ordinary path.
+Result<CachedPlan> BuildPlan(const sql::Statement& stmt,
+                             const SqlRewriter& rewriter,
+                             const std::vector<Value>& params);
+
+class PlanCache {
+ public:
+  static constexpr size_t kDefaultCapacity = 256;
+
+  explicit PlanCache(size_t capacity = kDefaultCapacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  // Returns the entry (promoted to most-recently-used) or nullptr. The
+  // pointer stays valid until the entry is evicted or the cache cleared.
+  CachedPlan* Lookup(const std::string& key);
+
+  // Inserts (or replaces) the entry, evicting the least-recently-used one
+  // when over capacity. Returns the stored entry.
+  CachedPlan* Insert(std::string key, CachedPlan plan);
+
+  void Clear();
+
+  size_t size() const { return lru_.size(); }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  using LruList = std::list<std::pair<std::string, CachedPlan>>;
+
+  size_t capacity_;
+  LruList lru_;  // front = most recently used
+  // Views into the list nodes' keys; list nodes never move.
+  std::unordered_map<std::string_view, LruList::iterator> index_;
+};
+
+}  // namespace irdb::proxy

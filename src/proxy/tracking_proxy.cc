@@ -1,5 +1,7 @@
 #include "proxy/tracking_proxy.h"
 
+#include <algorithm>
+
 #include "sql/parser.h"
 #include "sql/printer.h"
 #include "util/string_utils.h"
@@ -16,9 +18,24 @@ namespace {
 // capacity per row, and trans_dep is the hottest insert in the system.
 constexpr size_t kDepVarcharCapacity = 480;
 
+bool IsPlanCacheableKind(StatementKind kind) {
+  switch (kind) {
+    case StatementKind::kSelect:
+    case StatementKind::kInsert:
+    case StatementKind::kUpdate:
+    case StatementKind::kDelete:
+    case StatementKind::kBegin:
+    case StatementKind::kCommit:
+    case StatementKind::kRollback:
+      return true;
+    default:
+      return false;  // DDL invalidates the cache instead of entering it
+  }
+}
+
 }  // namespace
 
-std::string EncodeDepTokens(const std::set<DepEntry>& deps) {
+std::string EncodeDepTokens(const std::vector<DepEntry>& deps) {
   std::string out;
   for (const auto& [table, id] : deps) {
     if (!out.empty()) out.push_back(' ');
@@ -44,16 +61,80 @@ Result<std::vector<DepEntry>> ParseDepTokens(std::string_view payload) {
   return out;
 }
 
+std::vector<DepEntry> TrackingProxy::pending_deps() const {
+  std::vector<DepEntry> out = deps_;
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
 Result<ResultSet> TrackingProxy::Forward(const Statement& stmt) {
   ++stats_.backend_statements;
-  return backend_->Execute(sql::PrintStatement(stmt));
+  // AST hand-off: an in-process backend executes the tree directly; the
+  // remote implementation prints and ships text (DbConnection's default).
+  if (fast_path_) return backend_->Execute(stmt);
+  return backend_->Execute(std::string_view(sql::PrintStatement(stmt)));
+}
+
+void TrackingProxy::InvalidateCache() {
+  ++stats_.cache_invalidations;
+  cache_.Clear();
+}
+
+void TrackingProxy::ResetTxnState() {
+  in_txn_ = false;
+  deps_.clear();
+  annotation_.clear();
 }
 
 Result<ResultSet> TrackingProxy::Execute(std::string_view sql_text) {
   ++stats_.client_statements;
+  if (fast_path_) {
+    auto shape = sql::FingerprintStatement(sql_text);
+    if (shape.ok()) {
+      if (CachedPlan* plan = cache_.Lookup(shape->key)) {
+        if (plan->cacheable && plan->slots.size() == shape->params.size()) {
+          ++stats_.cache_hits;
+          return ExecutePlan(*plan, shape->params);
+        }
+        // Negative entry: shape is known not to bind safely.
+        ++stats_.cache_bypasses;
+        auto parsed = sql::Parse(sql_text);
+        if (!parsed.ok()) return parsed.status();
+        return DispatchStatement(**parsed, nullptr);
+      }
+      ++stats_.cache_misses;
+      auto parsed = sql::Parse(sql_text);
+      if (!parsed.ok()) return parsed.status();
+      return DispatchStatement(**parsed, &*shape);
+    }
+    // Lexing failed; fall through so the parser reports the error.
+  }
   auto parsed = sql::Parse(sql_text);
   if (!parsed.ok()) return parsed.status();
-  const Statement& stmt = **parsed;
+  return DispatchStatement(**parsed, nullptr);
+}
+
+Result<ResultSet> TrackingProxy::Execute(const sql::Statement& stmt) {
+  ++stats_.client_statements;
+  return DispatchStatement(stmt, nullptr);
+}
+
+Result<ResultSet> TrackingProxy::DispatchStatement(
+    const Statement& stmt, const sql::StatementShape* shape) {
+  // Cache miss on the fast path: build the plan once, store it, and execute
+  // through the same code path hits will take.
+  if (shape != nullptr && IsPlanCacheableKind(stmt.kind)) {
+    auto built = BuildPlan(stmt, rewriter_, shape->params);
+    if (built.ok()) {
+      CachedPlan* plan = cache_.Insert(shape->key, std::move(*built));
+      if (plan->cacheable) return ExecutePlan(*plan, shape->params);
+      // Falls through to the ordinary path (and the negative entry makes
+      // future statements of this shape skip plan building).
+    }
+    // A rewrite error also falls through: the ordinary path reproduces it
+    // with the proper transaction-wrapping semantics.
+  }
 
   switch (stmt.kind) {
     case StatementKind::kBegin: {
@@ -66,17 +147,17 @@ Result<ResultSet> TrackingProxy::Execute(std::string_view sql_text) {
       return HandleCommit();
     case StatementKind::kRollback: {
       if (!in_txn_) return Status::FailedPrecondition("no open transaction");
-      in_txn_ = false;
-      deps_.clear();
-      annotation_.clear();
+      ResetTxnState();
       return Forward(stmt);
     }
     case StatementKind::kCreateTable: {
+      InvalidateCache();
       auto rewritten = rewriter_.RewriteCreateTable(stmt);
       if (!rewritten.ok()) return rewritten.status();
       return Forward(**rewritten);
     }
     case StatementKind::kDropTable:
+      InvalidateCache();
       return Forward(stmt);
     default:
       break;
@@ -89,9 +170,50 @@ Result<ResultSet> TrackingProxy::Execute(std::string_view sql_text) {
   IRDB_RETURN_IF_ERROR(HandleBegin());
   Result<ResultSet> result = ExecuteTracked(stmt);
   if (!result.ok()) {
-    in_txn_ = false;
-    deps_.clear();
-    annotation_.clear();
+    ResetTxnState();
+    auto rollback = sql::MakeStatement(StatementKind::kRollback);
+    (void)Forward(*rollback);  // best effort
+    return result;
+  }
+  auto commit = HandleCommit();
+  if (!commit.ok()) return commit.status();
+  return result;
+}
+
+Result<ResultSet> TrackingProxy::ExecutePlan(CachedPlan& plan,
+                                             const std::vector<Value>& params) {
+  switch (plan.kind) {
+    case StatementKind::kBegin: {
+      if (in_txn_) return Status::FailedPrecondition("transaction already open");
+      IRDB_RETURN_IF_ERROR(HandleBegin());
+      return ResultSet{};
+    }
+    case StatementKind::kCommit:
+      if (!in_txn_) return Status::FailedPrecondition("no open transaction");
+      return HandleCommit();
+    case StatementKind::kRollback: {
+      if (!in_txn_) return Status::FailedPrecondition("no open transaction");
+      ResetTxnState();
+      return Forward(*plan.dml);
+    }
+    default:
+      break;
+  }
+
+  // Re-bind this statement's literals into the cached templates.
+  for (size_t i = 0; i < plan.slots.size(); ++i) {
+    *plan.slots[i] = params[i];
+  }
+  for (size_t i = 0; i < plan.fetch_slots.size(); ++i) {
+    *plan.fetch_slots[i] = params[plan.fetch_offset + i];
+  }
+
+  if (in_txn_) return ExecuteTrackedPlan(plan);
+
+  IRDB_RETURN_IF_ERROR(HandleBegin());
+  Result<ResultSet> result = ExecuteTrackedPlan(plan);
+  if (!result.ok()) {
+    ResetTxnState();
     auto rollback = sql::MakeStatement(StatementKind::kRollback);
     (void)Forward(*rollback);  // best effort
     return result;
@@ -135,11 +257,31 @@ Result<ResultSet> TrackingProxy::ExecuteTracked(const Statement& stmt) {
   }
 }
 
+Result<ResultSet> TrackingProxy::ExecuteTrackedPlan(CachedPlan& plan) {
+  switch (plan.kind) {
+    case StatementKind::kSelect:
+      return RunRewrittenSelect(plan.select);
+    case StatementKind::kUpdate:
+    case StatementKind::kInsert: {
+      // Stamp the injected trid literals with the live transaction id.
+      const Value trid = Value::Int(cur_trid_);
+      for (Value* slot : plan.trid_slots) *slot = trid;
+      return Forward(*plan.dml);
+    }
+    case StatementKind::kDelete:
+      return Forward(*plan.dml);
+    default:
+      return Status::Internal("ExecuteTrackedPlan: unexpected statement kind");
+  }
+}
+
 Result<ResultSet> TrackingProxy::HandleSelect(const Statement& stmt) {
   auto rewritten = rewriter_.RewriteSelect(stmt);
   if (!rewritten.ok()) return rewritten.status();
-  RewrittenSelect& rw = *rewritten;
+  return RunRewrittenSelect(*rewritten);
+}
 
+Result<ResultSet> TrackingProxy::RunRewrittenSelect(const RewrittenSelect& rw) {
   if (rw.dep_fetch) {
     ++stats_.dep_fetches;
     auto fetch = Forward(*rw.dep_fetch);
@@ -163,6 +305,13 @@ Result<ResultSet> TrackingProxy::HandleSelect(const Statement& stmt) {
 void TrackingProxy::CollectDeps(const ResultSet& rs, size_t first_col,
                                 size_t count,
                                 const std::vector<std::string>& source_tables) {
+  if (count == 0 || rs.rows.empty()) return;
+  // Lower-case each source table once, not once per row.
+  std::vector<std::string> lowered;
+  lowered.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    lowered.push_back(ToLowerAscii(source_tables[i]));
+  }
   for (const auto& row : rs.rows) {
     for (size_t i = 0; i < count; ++i) {
       const Value& v = row[first_col + i];
@@ -171,9 +320,13 @@ void TrackingProxy::CollectDeps(const ResultSet& rs, size_t first_col,
       if (!v.is_int()) continue;
       int64_t id = v.as_int();
       if (id <= 0 || id == cur_trid_) continue;
-      if (deps_.emplace(ToLowerAscii(source_tables[i]), id).second) {
-        ++stats_.deps_recorded;
+      // Duplicates are fine (COMMIT sort+uniques); just skip the common
+      // consecutive repeat to keep the vector short.
+      if (!deps_.empty() && deps_.back().second == id &&
+          deps_.back().first == lowered[i]) {
+        continue;
       }
+      deps_.emplace_back(lowered[i], id);
     }
   }
 }
@@ -193,6 +346,11 @@ Status TrackingProxy::EmitCommitMetadata() {
     auto r = Forward(*ins);
     if (!r.ok()) return r.status();
   }
+
+  // Canonicalize the flat dependency log: sorted, unique.
+  std::sort(deps_.begin(), deps_.end());
+  deps_.erase(std::unique(deps_.begin(), deps_.end()), deps_.end());
+  stats_.deps_recorded += static_cast<int64_t>(deps_.size());
 
   // Chunk the dependency payload across rows if it overflows the VARCHAR.
   std::string tokens = EncodeDepTokens(deps_);
@@ -225,9 +383,7 @@ Result<ResultSet> TrackingProxy::HandleCommit() {
   auto commit = sql::MakeStatement(StatementKind::kCommit);
   auto r = Forward(*commit);
   if (!r.ok()) return r;
-  in_txn_ = false;
-  deps_.clear();
-  annotation_.clear();
+  ResetTxnState();
   return r;
 }
 

@@ -11,16 +11,27 @@
 //
 // Statements issued outside an explicit transaction are wrapped in
 // BEGIN ... trans_dep-insert ... COMMIT so autocommit clients are tracked too.
+//
+// Hot path: client SQL is fingerprinted into a statement shape
+// (sql/fingerprint.h) and looked up in a per-connection plan cache
+// (proxy/plan_cache.h). A hit skips lex+parse+rewrite — the new literals are
+// bound into the cached rewritten AST, which is handed to the backend
+// directly (DbConnection's AST overload), skipping print + engine re-parse
+// as well. Any DDL through this connection clears the cache. Disable the
+// whole fast path with set_fast_path_enabled(false) to get the original
+// parse -> rewrite -> print -> re-parse pipeline (the benches' cold
+// baseline).
 #pragma once
 
 #include <atomic>
 #include <cstdint>
-#include <set>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "proxy/plan_cache.h"
 #include "proxy/rewriter.h"
+#include "sql/fingerprint.h"
 #include "wire/connection.h"
 
 namespace irdb::proxy {
@@ -40,6 +51,11 @@ struct ProxyStats {
   int64_t dep_fetches = 0;
   int64_t trans_dep_inserts = 0;
   int64_t deps_recorded = 0;
+  // Plan-cache observability.
+  int64_t cache_hits = 0;           // shape found, cached plan executed
+  int64_t cache_misses = 0;         // shape not cached yet
+  int64_t cache_invalidations = 0;  // DDL flushed the cache
+  int64_t cache_bypasses = 0;       // shape known / found to be uncacheable
 };
 
 // A dependency observed at run time: this transaction read a row of `table`
@@ -54,6 +70,9 @@ class TrackingProxy : public DbConnection {
 
   Result<ResultSet> Execute(std::string_view sql) override;
 
+  // Pre-parsed client statement; skips the plan cache.
+  Result<ResultSet> Execute(const sql::Statement& stmt) override;
+
   void SetAnnotation(std::string_view label) override {
     annotation_ = std::string(label);
   }
@@ -66,7 +85,17 @@ class TrackingProxy : public DbConnection {
   int64_t current_txn_id() const { return in_txn_ ? cur_trid_ : 0; }
 
   const ProxyStats& stats() const { return stats_; }
-  const std::set<DepEntry>& pending_deps() const { return deps_; }
+
+  // Dependencies accumulated so far in the open transaction, sorted and
+  // deduplicated (the working representation is an unsorted flat vector;
+  // it is only canonicalized at COMMIT — and here, for inspection).
+  std::vector<DepEntry> pending_deps() const;
+
+  // Plan cache / AST fast-path switch (default on). Turning it off restores
+  // the per-statement parse -> rewrite -> print -> engine re-parse pipeline.
+  void set_fast_path_enabled(bool on) { fast_path_ = on; }
+  bool fast_path_enabled() const { return fast_path_; }
+  const PlanCache& plan_cache() const { return cache_; }
 
   // Creates the tracking side tables (trans_dep, annot) if absent. Run once
   // per database, through any proxy connection so they too get trid/rid
@@ -75,10 +104,22 @@ class TrackingProxy : public DbConnection {
 
  private:
   Result<ResultSet> Forward(const sql::Statement& stmt);
+  // Full path: dispatch a freshly parsed statement. When `shape` is non-null
+  // (fast path, cache miss) a plan is built and cached along the way.
+  Result<ResultSet> DispatchStatement(const sql::Statement& stmt,
+                                      const sql::StatementShape* shape);
+  // Fast path: bind `params` into the cached templates and execute.
+  Result<ResultSet> ExecutePlan(CachedPlan& plan,
+                                const std::vector<Value>& params);
   Result<ResultSet> ExecuteTracked(const sql::Statement& stmt);
+  Result<ResultSet> ExecuteTrackedPlan(CachedPlan& plan);
   Result<ResultSet> HandleSelect(const sql::Statement& stmt);
+  // Shared SELECT executor over pre-rewritten templates (cached or not).
+  Result<ResultSet> RunRewrittenSelect(const RewrittenSelect& rw);
   Status HandleBegin();
   Result<ResultSet> HandleCommit();
+  void InvalidateCache();
+  void ResetTxnState();
 
   // Writes the dependency set and annotation rows, then leaves txn state.
   Status EmitCommitMetadata();
@@ -89,16 +130,22 @@ class TrackingProxy : public DbConnection {
   DbConnection* backend_;
   TxnIdAllocator* alloc_;
   SqlRewriter rewriter_;
+  PlanCache cache_;
+  bool fast_path_ = true;
 
   bool in_txn_ = false;
   int64_t cur_trid_ = 0;
-  std::set<DepEntry> deps_;
+  // Flat, possibly-duplicated dependency log; sorted + deduplicated at
+  // COMMIT (and in pending_deps()). Cheaper than a node-based set on the
+  // per-row hot path.
+  std::vector<DepEntry> deps_;
   std::string annotation_;
   ProxyStats stats_;
 };
 
 // Renders / parses the dep_tr_ids payload ("table:id table:id ...").
-std::string EncodeDepTokens(const std::set<DepEntry>& deps);
+// `deps` must be sorted and deduplicated.
+std::string EncodeDepTokens(const std::vector<DepEntry>& deps);
 Result<std::vector<DepEntry>> ParseDepTokens(std::string_view payload);
 
 }  // namespace irdb::proxy

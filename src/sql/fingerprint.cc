@@ -1,0 +1,129 @@
+#include "sql/fingerprint.h"
+
+#include "sql/lexer.h"
+#include "util/string_utils.h"
+
+namespace irdb::sql {
+
+namespace {
+
+// True when `tok` is the NULL of IS NULL / IS NOT NULL (operator syntax, not
+// a literal). `prev` / `prev2` are the one- and two-back tokens.
+bool IsOperatorNull(const Token* prev, const Token* prev2) {
+  if (prev == nullptr) return false;
+  if (prev->IsKeyword("IS")) return true;
+  return prev->IsKeyword("NOT") && prev2 != nullptr && prev2->IsKeyword("IS");
+}
+
+}  // namespace
+
+Result<StatementShape> FingerprintStatement(std::string_view sql) {
+  IRDB_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(sql));
+  StatementShape shape;
+  shape.key.reserve(sql.size());
+  const Token* prev = nullptr;
+  const Token* prev2 = nullptr;
+  auto append = [&](std::string_view piece) {
+    if (!shape.key.empty()) shape.key.push_back(' ');
+    shape.key.append(piece);
+  };
+  for (const Token& tok : tokens) {
+    if (tok.kind == TokenKind::kEof) break;
+    // The parser only accepts a trailing semicolon; it never changes shape.
+    if (tok.kind == TokenKind::kSemicolon) continue;
+    switch (tok.kind) {
+      case TokenKind::kIdentifier:
+        append(ToLowerAscii(tok.text));
+        break;
+      case TokenKind::kKeyword:
+        if (tok.text == "NULL" && !IsOperatorNull(prev, prev2)) {
+          append("?");
+          shape.params.push_back(Value::Null());
+        } else {
+          append(tok.text);
+        }
+        break;
+      case TokenKind::kIntLiteral: {
+        // LIMIT counts live outside the expression tree; keep them in the key.
+        if (prev != nullptr && prev->IsKeyword("LIMIT")) {
+          append(tok.text);
+          break;
+        }
+        int64_t v = 0;
+        if (!ParseInt64(tok.text, &v)) {
+          return Status::ParseError("bad integer literal " + tok.text);
+        }
+        append("?");
+        shape.params.push_back(Value::Int(v));
+        break;
+      }
+      case TokenKind::kDoubleLiteral: {
+        double v = 0;
+        if (!ParseDouble(tok.text, &v)) {
+          return Status::ParseError("bad double literal " + tok.text);
+        }
+        append("?");
+        shape.params.push_back(Value::Double(v));
+        break;
+      }
+      case TokenKind::kStringLiteral:
+        append("?");
+        shape.params.push_back(Value::Str(tok.text));
+        break;
+      default:
+        append(TokenKindName(tok.kind));
+        break;
+    }
+    prev2 = prev;
+    prev = &tok;
+  }
+  return shape;
+}
+
+void CollectExprLiterals(Expr* e, std::vector<Value*>* out) {
+  if (e == nullptr) return;
+  if (e->kind == ExprKind::kLiteral) {
+    out->push_back(&e->literal);
+    return;
+  }
+  // Child order mirrors the grammar's source order for every node kind:
+  // binary lhs/rhs, unary operand (lhs), BETWEEN subject/low/high, IN-list
+  // subject (lhs) then elements, function args (list).
+  CollectExprLiterals(e->lhs.get(), out);
+  CollectExprLiterals(e->rhs.get(), out);
+  CollectExprLiterals(e->low.get(), out);
+  CollectExprLiterals(e->high.get(), out);
+  for (auto& child : e->list) CollectExprLiterals(child.get(), out);
+}
+
+void CollectStatementLiterals(Statement* stmt, std::vector<Value*>* out) {
+  switch (stmt->kind) {
+    case StatementKind::kSelect:
+      for (auto& item : stmt->select_items) {
+        CollectExprLiterals(item.expr.get(), out);
+      }
+      CollectExprLiterals(stmt->where.get(), out);
+      for (auto& e : stmt->group_by) CollectExprLiterals(e.get(), out);
+      for (auto& o : stmt->order_by) CollectExprLiterals(o.expr.get(), out);
+      break;
+    case StatementKind::kInsert:
+      for (auto& row : stmt->insert_rows) {
+        for (auto& e : row) CollectExprLiterals(e.get(), out);
+      }
+      break;
+    case StatementKind::kUpdate:
+      for (auto& [col, e] : stmt->assignments) {
+        (void)col;
+        CollectExprLiterals(e.get(), out);
+      }
+      CollectExprLiterals(stmt->where.get(), out);
+      break;
+    case StatementKind::kDelete:
+      CollectExprLiterals(stmt->where.get(), out);
+      break;
+    default:
+      break;  // DDL / txn control carry no bindable literals.
+  }
+}
+
+}  // namespace irdb::sql

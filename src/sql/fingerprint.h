@@ -1,0 +1,49 @@
+// Statement-shape fingerprinting for the proxy's plan cache.
+//
+// A TPC-C workload repeats the same ~30 statement shapes with only the
+// literals changing, so the proxy normalizes each statement's token stream
+// into a shape key (literals replaced by '?') plus the extracted literal
+// values in lexical order. Two statements with the same key share lex,
+// parse, and Table-1 rewrite work; only the literals are re-bound.
+//
+// The shape key preserves every non-literal token (identifiers lower-cased,
+// keywords upper-cased), so equal keys imply an identical parse tree modulo
+// literal values. Two deliberate exceptions keep the scheme sound:
+//   - the NULL in IS [NOT] NULL is part of the operator, not a literal, and
+//     stays verbatim in the key;
+//   - a LIMIT count is stored in the AST as a plain integer (not an Expr
+//     slot), so it stays verbatim too — different limits are different
+//     shapes.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sql/ast.h"
+#include "util/status.h"
+
+namespace irdb::sql {
+
+struct StatementShape {
+  // Normalized token stream, literals replaced by '?'.
+  std::string key;
+  // Literal values in lexical (source) order.
+  std::vector<Value> params;
+};
+
+// Lexes `sql` and produces its shape. Fails only when lexing fails (the
+// caller falls back to the ordinary parse path, which reports the error).
+Result<StatementShape> FingerprintStatement(std::string_view sql);
+
+// Appends a mutable pointer to every literal Value in `e`, in source order.
+void CollectExprLiterals(Expr* e, std::vector<Value*>* out);
+
+// Appends every literal slot of `stmt` in source order: SELECT items,
+// WHERE, GROUP BY, ORDER BY for selects; VALUES rows for inserts; SET
+// expressions then WHERE for updates; WHERE for deletes. The order matches
+// FingerprintStatement's param order for every statement the parser accepts
+// (the plan cache re-validates this before trusting a shape).
+void CollectStatementLiterals(Statement* stmt, std::vector<Value*>* out);
+
+}  // namespace irdb::sql

@@ -2,10 +2,13 @@
 //
 // Keys are vectors of column Values; lookups by a prefix of the key columns
 // return every matching row location. RowLocs shift when a DELETE compacts a
-// page, so HeapTable notifies the index of slot shifts.
+// page, so HeapTable notifies the index of slot shifts; a per-page registry
+// of index entries makes that notification O(entries on the page) instead of
+// a scan of the whole index.
 #pragma once
 
 #include <map>
+#include <unordered_map>
 #include <vector>
 
 #include "storage/row_codec.h"
@@ -34,7 +37,19 @@ class TableIndex {
   const std::vector<int>& key_columns() const { return key_columns_; }
 
   void Insert(const std::vector<Value>& key, RowLoc loc) {
-    map_[key].push_back(loc);
+    auto [it, _] = map_.try_emplace(key);
+    auto& locs = it->second;
+    // Register the entry with the page unless it already holds a row there
+    // (the registry is exact: one registration per (entry, page) pair).
+    bool registered = false;
+    for (const RowLoc& l : locs) {
+      if (l.page == loc.page) {
+        registered = true;
+        break;
+      }
+    }
+    locs.push_back(loc);
+    if (!registered) page_entries_[loc.page].push_back(it);
   }
 
   void Erase(const std::vector<Value>& key, RowLoc loc) {
@@ -45,6 +60,14 @@ class TableIndex {
       if (locs[i] == loc) {
         locs[i] = locs.back();
         locs.pop_back();
+        bool page_still_used = false;
+        for (const RowLoc& l : locs) {
+          if (l.page == loc.page) {
+            page_still_used = true;
+            break;
+          }
+        }
+        if (!page_still_used) Unregister(loc.page, it);
         if (locs.empty()) map_.erase(it);
         return;
       }
@@ -53,10 +76,12 @@ class TableIndex {
   }
 
   // A DELETE at (page, slot) shifted every row of that page at slot > `slot`
-  // down by one.
+  // down by one. Only the entries registered with that page are visited.
   void ShiftAfterDelete(int32_t page, int32_t slot) {
-    for (auto& [_, locs] : map_) {
-      for (RowLoc& loc : locs) {
+    auto reg = page_entries_.find(page);
+    if (reg == page_entries_.end()) return;
+    for (Map::iterator entry : reg->second) {
+      for (RowLoc& loc : entry->second) {
         if (loc.page == page && loc.slot > slot) --loc.slot;
       }
     }
@@ -85,8 +110,28 @@ class TableIndex {
   size_t entry_count() const { return map_.size(); }
 
  private:
+  using Map = std::map<std::vector<Value>, std::vector<RowLoc>, ValueVectorLess>;
+
+  void Unregister(int32_t page, Map::iterator it) {
+    auto reg = page_entries_.find(page);
+    IRDB_CHECK_MSG(reg != page_entries_.end(), "index registry: page missing");
+    auto& entries = reg->second;
+    for (size_t i = 0; i < entries.size(); ++i) {
+      if (entries[i] == it) {
+        entries[i] = entries.back();
+        entries.pop_back();
+        if (entries.empty()) page_entries_.erase(reg);
+        return;
+      }
+    }
+    IRDB_CHECK_MSG(false, "index registry: entry missing");
+  }
+
   std::vector<int> key_columns_;
-  std::map<std::vector<Value>, std::vector<RowLoc>, ValueVectorLess> map_;
+  Map map_;
+  // page -> index entries with at least one row on that page. std::map
+  // iterators are stable, so the registry survives unrelated inserts/erases.
+  std::unordered_map<int32_t, std::vector<Map::iterator>> page_entries_;
 };
 
 }  // namespace irdb

@@ -30,6 +30,10 @@ class RemoteConnection : public DbConnection {
     channel_->RoundTrip(EncodeRequest(req));
   }
 
+  // The AST overload is inherited: it prints and ships text, because SQL
+  // text is the only portable wire format.
+  using DbConnection::Execute;
+
   Result<ResultSet> Execute(std::string_view sql) override {
     WireRequest req;
     req.kind = WireRequest::Kind::kExec;

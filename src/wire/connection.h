@@ -8,6 +8,7 @@
 
 #include "engine/database.h"
 #include "engine/result_set.h"
+#include "sql/printer.h"
 #include "util/status.h"
 
 namespace irdb {
@@ -18,6 +19,14 @@ class DbConnection {
 
   // Executes one SQL statement.
   virtual Result<ResultSet> Execute(std::string_view sql) = 0;
+
+  // Executes an already-parsed statement. In-process connections hand the
+  // AST straight to the engine, skipping the print -> re-parse round trip;
+  // the default (and the wire/remote implementation) falls back to printing,
+  // which keeps SQL text the only on-the-wire interface, per the paper.
+  virtual Result<ResultSet> Execute(const sql::Statement& stmt) {
+    return Execute(std::string_view(sql::PrintStatement(stmt)));
+  }
 
   // Labels the current transaction for the `annot` table / dependency-graph
   // display (paper Fig. 3). No-op on untracked connections.
@@ -40,6 +49,11 @@ class DirectConnection : public DbConnection {
 
   Result<ResultSet> Execute(std::string_view sql) override {
     return db_->Execute(session_, sql);
+  }
+
+  // AST fast path: no print, no engine re-parse.
+  Result<ResultSet> Execute(const sql::Statement& stmt) override {
+    return db_->ExecuteParsed(session_, stmt);
   }
 
   std::string Describe() const override { return "direct"; }

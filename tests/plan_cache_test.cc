@@ -1,0 +1,302 @@
+// Statement-shape fingerprinting, the proxy plan cache, and the AST fast
+// path: shape keys, LRU behaviour, hit/miss/invalidation counters, literal
+// re-binding correctness, and DDL invalidation.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "engine/database.h"
+#include "proxy/plan_cache.h"
+#include "proxy/tracking_proxy.h"
+#include "sql/fingerprint.h"
+#include "sql/parser.h"
+#include "wire/connection.h"
+
+namespace irdb::proxy {
+namespace {
+
+using sql::FingerprintStatement;
+
+// ---------------------------------------------------------------- fingerprint
+
+TEST(FingerprintTest, SameShapeDifferentLiterals) {
+  auto a = FingerprintStatement("SELECT a FROM t WHERE b = 1 AND c = 'x'");
+  auto b = FingerprintStatement("SELECT a FROM t WHERE b = 42 AND c = 'y'");
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->key, b->key);
+  ASSERT_EQ(a->params.size(), 2u);
+  EXPECT_EQ(a->params[0].as_int(), 1);
+  EXPECT_EQ(b->params[0].as_int(), 42);
+  EXPECT_EQ(a->params[1].as_string(), "x");
+  EXPECT_EQ(b->params[1].as_string(), "y");
+}
+
+TEST(FingerprintTest, NormalizesCaseAndSemicolon) {
+  auto a = FingerprintStatement("select A from T where B = 5;");
+  auto b = FingerprintStatement("SELECT a FROM t WHERE b = 9");
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->key, b->key);
+}
+
+TEST(FingerprintTest, DifferentShapesDiffer) {
+  auto a = FingerprintStatement("SELECT a FROM t WHERE b = 1");
+  auto b = FingerprintStatement("SELECT a FROM t WHERE c = 1");
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_NE(a->key, b->key);
+}
+
+TEST(FingerprintTest, IsNullIsOperatorNotLiteral) {
+  auto a = FingerprintStatement("SELECT a FROM t WHERE b IS NULL");
+  auto b = FingerprintStatement("SELECT a FROM t WHERE b IS NOT NULL");
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_TRUE(a->params.empty());
+  EXPECT_TRUE(b->params.empty());
+  EXPECT_NE(a->key, b->key);
+  // ... but a NULL in value position is an ordinary bindable literal.
+  auto c = FingerprintStatement("INSERT INTO t(a) VALUES (NULL)");
+  ASSERT_TRUE(c.ok());
+  ASSERT_EQ(c->params.size(), 1u);
+  EXPECT_TRUE(c->params[0].is_null());
+}
+
+TEST(FingerprintTest, LimitCountStaysInKey) {
+  // LIMIT is not an expression slot in the AST, so its count must not become
+  // a parameter (shapes with different limits are different shapes).
+  auto a = FingerprintStatement("SELECT a FROM t WHERE b = 1 LIMIT 3");
+  auto b = FingerprintStatement("SELECT a FROM t WHERE b = 1 LIMIT 7");
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_NE(a->key, b->key);
+  EXPECT_EQ(a->params.size(), 1u);
+}
+
+// ----------------------------------------------------------------- BuildPlan
+
+class PlanBuildTest : public ::testing::Test {
+ protected:
+  PlanBuildTest() : rewriter_(FlavorTraits::Postgres()) {}
+
+  Result<CachedPlan> Build(const std::string& text) {
+    auto fp = FingerprintStatement(text);
+    IRDB_CHECK(fp.ok());
+    auto stmt = sql::Parse(text);
+    IRDB_CHECK(stmt.ok());
+    return BuildPlan(**stmt, rewriter_, fp->params);
+  }
+
+  SqlRewriter rewriter_;
+};
+
+TEST_F(PlanBuildTest, SelectPlanBindsWhereLiterals) {
+  auto plan = Build("SELECT a FROM t WHERE b = 7 AND c BETWEEN 1 AND 9");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan->cacheable);
+  ASSERT_EQ(plan->slots.size(), 3u);
+  EXPECT_EQ(plan->slots[0]->as_int(), 7);
+  EXPECT_EQ(plan->slots[1]->as_int(), 1);
+  EXPECT_EQ(plan->slots[2]->as_int(), 9);
+}
+
+TEST_F(PlanBuildTest, UpdatePlanSeparatesTridSlot) {
+  auto plan = Build("UPDATE t SET a = 1, b = 2 WHERE c = 3");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan->cacheable);
+  // Client slots: SET literals then WHERE literals; the injected trid
+  // assignment sits between them in the AST but is tracked separately.
+  ASSERT_EQ(plan->slots.size(), 3u);
+  ASSERT_EQ(plan->trid_slots.size(), 1u);
+  EXPECT_EQ(plan->slots[2]->as_int(), 3);
+}
+
+TEST_F(PlanBuildTest, InsertPlanTracksTridPerRow) {
+  auto plan = Build("INSERT INTO t(a) VALUES (1), (2), (3)");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan->cacheable);
+  EXPECT_EQ(plan->slots.size(), 3u);
+  EXPECT_EQ(plan->trid_slots.size(), 3u);
+}
+
+TEST_F(PlanBuildTest, MismatchedParamsMakeNegativeEntry) {
+  auto fp = FingerprintStatement("SELECT a FROM t WHERE b = 7");
+  auto stmt = sql::Parse("SELECT a FROM t WHERE b = 8");  // different value
+  ASSERT_TRUE(fp.ok() && stmt.ok());
+  auto plan = BuildPlan(**stmt, rewriter_, fp->params);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_FALSE(plan->cacheable);  // validation failed -> slow path forever
+}
+
+// ------------------------------------------------------------------ PlanCache
+
+TEST(PlanCacheTest, LruEviction) {
+  PlanCache cache(2);
+  CachedPlan p;
+  cache.Insert("k1", std::move(p));
+  cache.Insert("k2", CachedPlan{});
+  EXPECT_NE(cache.Lookup("k1"), nullptr);  // promotes k1 over k2
+  cache.Insert("k3", CachedPlan{});        // evicts k2
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_NE(cache.Lookup("k1"), nullptr);
+  EXPECT_EQ(cache.Lookup("k2"), nullptr);
+  EXPECT_NE(cache.Lookup("k3"), nullptr);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.Lookup("k1"), nullptr);
+}
+
+// ------------------------------------------------------ proxy fast-path e2e
+
+class ProxyCacheTest : public ::testing::Test {
+ protected:
+  ProxyCacheTest()
+      : db_(FlavorTraits::Postgres()),
+        direct_(&db_),
+        proxy_(&direct_, &alloc_, FlavorTraits::Postgres()) {
+    IRDB_CHECK(proxy_.EnsureTrackingTables().ok());
+  }
+
+  ResultSet Must(const std::string& sql) {
+    auto r = proxy_.Execute(sql);
+    EXPECT_TRUE(r.ok()) << sql << " -> " << r.status().ToString();
+    return r.ok() ? std::move(r).value() : ResultSet{};
+  }
+
+  Database db_;
+  DirectConnection direct_;
+  TxnIdAllocator alloc_;
+  TrackingProxy proxy_;
+};
+
+TEST_F(ProxyCacheTest, RepeatedShapeHitsCache) {
+  Must("CREATE TABLE t (a INTEGER)");
+  const auto& st = proxy_.stats();
+  int64_t misses0 = st.cache_misses;
+  Must("INSERT INTO t(a) VALUES (1)");
+  EXPECT_EQ(st.cache_misses, misses0 + 1);
+  int64_t hits0 = st.cache_hits;
+  Must("INSERT INTO t(a) VALUES (2)");
+  Must("INSERT INTO t(a) VALUES (3)");
+  EXPECT_EQ(st.cache_hits, hits0 + 2);
+}
+
+TEST_F(ProxyCacheTest, CachedPlansBindFreshLiterals) {
+  Must("CREATE TABLE t (a INTEGER, b VARCHAR(10))");
+  // Same INSERT shape, different literals — all rows must land verbatim.
+  Must("INSERT INTO t(a, b) VALUES (1, 'one')");
+  Must("INSERT INTO t(a, b) VALUES (2, 'two')");
+  Must("INSERT INTO t(a, b) VALUES (3, 'three')");
+  // Same SELECT shape, different literals — each must return its own row.
+  for (int i = 1; i <= 3; ++i) {
+    ResultSet rs = Must("SELECT b FROM t WHERE a = " + std::to_string(i));
+    ASSERT_EQ(rs.rows.size(), 1u) << "a=" << i;
+  }
+  ResultSet two = Must("SELECT b FROM t WHERE a = 2");
+  ASSERT_EQ(two.rows.size(), 1u);
+  EXPECT_EQ(two.rows[0][0].as_string(), "two");
+  EXPECT_GT(proxy_.stats().cache_hits, 0);
+}
+
+TEST_F(ProxyCacheTest, CachedInsertsRestampTrid) {
+  Must("CREATE TABLE t (a INTEGER)");
+  Must("INSERT INTO t(a) VALUES (1)");  // miss: builds the plan
+  Must("INSERT INTO t(a) VALUES (2)");  // hit: must stamp a NEW trid
+  auto rs = direct_.Execute("SELECT a, trid FROM t");
+  ASSERT_TRUE(rs.ok());
+  ASSERT_EQ(rs->rows.size(), 2u);
+  // Each autocommit insert ran under its own proxy transaction.
+  EXPECT_NE(rs->rows[0][1].as_int(), rs->rows[1][1].as_int());
+  EXPECT_GT(rs->rows[0][1].as_int(), 0);
+  EXPECT_GT(rs->rows[1][1].as_int(), 0);
+}
+
+TEST_F(ProxyCacheTest, AggregateShapeRebindsDepFetchWhere) {
+  Must("CREATE TABLE t (g INTEGER, v INTEGER)");
+  Must("INSERT INTO t(g, v) VALUES (1, 10), (1, 20), (2, 30)");
+  ResultSet r1 = Must("SELECT g, SUM(v) FROM t WHERE v > 5 GROUP BY g");
+  EXPECT_EQ(r1.rows.size(), 2u);
+  // Same shape, different threshold: the dep-fetch WHERE clone must see the
+  // new literal too, and the aggregate must reflect it.
+  ResultSet r2 = Must("SELECT g, SUM(v) FROM t WHERE v > 25 GROUP BY g");
+  ASSERT_EQ(r2.rows.size(), 1u);
+  EXPECT_EQ(r2.rows[0][1].as_int(), 30);
+}
+
+TEST_F(ProxyCacheTest, DdlInvalidatesCachedTemplates) {
+  Must("CREATE TABLE t (a INTEGER)");
+  Must("INSERT INTO t(a) VALUES (1)");
+  Must("SELECT a FROM t WHERE a = 1");
+  EXPECT_GT(proxy_.plan_cache().size(), 0u);
+
+  const auto& st = proxy_.stats();
+  int64_t inval0 = st.cache_invalidations;
+  Must("DROP TABLE t");
+  EXPECT_EQ(st.cache_invalidations, inval0 + 1);
+  EXPECT_EQ(proxy_.plan_cache().size(), 0u);
+
+  // Recreate the table with a different layout; the old SELECT shape must be
+  // re-planned against the new schema, not served from a stale template.
+  Must("CREATE TABLE t (pad VARCHAR(8), a INTEGER)");
+  int64_t misses0 = st.cache_misses;
+  Must("INSERT INTO t(pad, a) VALUES ('x', 1)");
+  ResultSet rs = Must("SELECT a FROM t WHERE a = 1");
+  EXPECT_GT(st.cache_misses, misses0);  // re-planned, not hit
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.rows[0].size(), 1u);  // trid column still stripped
+  EXPECT_EQ(rs.rows[0][0].as_int(), 1);
+}
+
+TEST_F(ProxyCacheTest, FastPathOffRestoresTextPipeline) {
+  proxy_.set_fast_path_enabled(false);
+  Must("CREATE TABLE t (a INTEGER)");
+  const auto& st = proxy_.stats();
+  int64_t hits0 = st.cache_hits, misses0 = st.cache_misses;
+  Must("INSERT INTO t(a) VALUES (1)");
+  Must("INSERT INTO t(a) VALUES (2)");
+  EXPECT_EQ(st.cache_hits, hits0);
+  EXPECT_EQ(st.cache_misses, misses0);
+  ResultSet rs = Must("SELECT a FROM t WHERE a = 2");
+  ASSERT_EQ(rs.rows.size(), 1u);
+}
+
+TEST_F(ProxyCacheTest, TransactionalUseMatchesUncached) {
+  Must("CREATE TABLE t (a INTEGER)");
+  Must("BEGIN");
+  Must("INSERT INTO t(a) VALUES (1)");
+  int64_t writer = proxy_.current_txn_id();
+  Must("COMMIT");
+  Must("BEGIN");  // BEGIN/COMMIT themselves are cached shapes now
+  Must("SELECT a FROM t");
+  ASSERT_EQ(proxy_.pending_deps().size(), 1u);
+  EXPECT_EQ(proxy_.pending_deps().front(), DepEntry("t", writer));
+  Must("COMMIT");
+}
+
+// ------------------------------------------------------------- dep tokens
+
+TEST(DepTokenRoundTripTest, EmptyPayload) {
+  EXPECT_EQ(EncodeDepTokens({}), "");
+  auto back = ParseDepTokens("");
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->empty());
+}
+
+TEST(DepTokenRoundTripTest, SingleEntry) {
+  std::vector<DepEntry> deps = {{"warehouse", 42}};
+  std::string payload = EncodeDepTokens(deps);
+  EXPECT_EQ(payload, "warehouse:42");
+  auto back = ParseDepTokens(payload);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, deps);
+}
+
+TEST(DepTokenRoundTripTest, ColonInTableName) {
+  // rfind(':') must split on the LAST colon, so a (pathological) table name
+  // containing one survives the round trip.
+  std::vector<DepEntry> deps = {{"a:b", 7}};
+  std::string payload = EncodeDepTokens(deps);
+  EXPECT_EQ(payload, "a:b:7");
+  auto back = ParseDepTokens(payload);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, deps);
+}
+
+}  // namespace
+}  // namespace irdb::proxy

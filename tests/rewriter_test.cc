@@ -180,13 +180,13 @@ TEST_F(RewriterTest, PreservesOrderByAndLimit) {
 
 // Dep-token payload codec used in trans_dep rows.
 TEST(DepTokenTest, RoundTrip) {
-  std::set<DepEntry> deps = {{"warehouse", 12}, {"order_line", 9000},
-                             {"t", 1}};
+  std::vector<DepEntry> deps = {{"order_line", 9000}, {"t", 1},
+                                {"warehouse", 12}};  // sorted, unique
   std::string payload = EncodeDepTokens(deps);
   EXPECT_EQ(payload, "order_line:9000 t:1 warehouse:12");
   auto back = ParseDepTokens(payload);
   ASSERT_TRUE(back.ok());
-  EXPECT_EQ(std::set<DepEntry>(back->begin(), back->end()), deps);
+  EXPECT_EQ(*back, deps);
   EXPECT_TRUE(ParseDepTokens("").value().empty());
   EXPECT_FALSE(ParseDepTokens("garbage").ok());
   EXPECT_FALSE(ParseDepTokens("t:abc").ok());

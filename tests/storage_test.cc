@@ -219,6 +219,52 @@ TEST(HeapTableTest, IndexTracksDeletesAndShifts) {
   }
 }
 
+TEST(HeapTableTest, IndexShiftsOnlyAffectTheCompactedPage) {
+  // The index keeps a per-page registry of entries so ShiftAfterDelete visits
+  // only the deleted row's page. Rows across several pages — including an
+  // entry with multiple rows on one page (non-unique key) — must all stay
+  // resolvable after interleaved deletes.
+  Schema schema = TestSchema();
+  HeapTable table("t", schema, schema.row_size() * 4);  // 4 rows per page
+  table.SetPrimaryIndex({1});                           // non-unique str key
+  RowCodec codec(&schema);
+  // 12 rows over 3 pages; key "dup" appears twice on page 0, once elsewhere.
+  std::vector<std::string> keys = {"dup", "a", "dup", "b",  "c",  "d",
+                                   "dup", "e", "f",   "g",  "h",  "i"};
+  for (size_t i = 0; i < keys.size(); ++i) {
+    Row row;
+    row.values = {Value::Int(static_cast<int>(i)), Value::Str(keys[i]),
+                  Value::Double(0)};
+    row.rowid = static_cast<int64_t>(i) + 1;
+    table.Insert(codec.Encode(row).value());
+  }
+  ASSERT_EQ(table.page_count(), 3);
+  // Delete slot 0 of page 0 ("dup"): the other page-0 "dup" row (slot 2) and
+  // "a"/"b" shift; pages 1 and 2 must be untouched.
+  table.DeleteAt(RowLoc{0, 0});
+  // Delete slot 1 of page 1 ("d"): only page 1 shifts.
+  table.DeleteAt(RowLoc{1, 1});
+  std::vector<RowLoc> locs;
+  table.index()->LookupPrefix({Value::Str("dup")}, &locs);
+  ASSERT_EQ(locs.size(), 2u);
+  for (RowLoc loc : locs) {
+    auto v = codec.DecodeColumn(table.ReadAt(loc), 1);
+    ASSERT_TRUE(v.ok());
+    EXPECT_EQ(v->as_string(), "dup");
+  }
+  for (const std::string& k : {"a", "b", "c", "e", "f", "g", "h", "i"}) {
+    locs.clear();
+    table.index()->LookupPrefix({Value::Str(k)}, &locs);
+    ASSERT_EQ(locs.size(), 1u) << k;
+    auto v = codec.DecodeColumn(table.ReadAt(locs[0]), 1);
+    ASSERT_TRUE(v.ok());
+    EXPECT_EQ(v->as_string(), k);
+  }
+  locs.clear();
+  table.index()->LookupPrefix({Value::Str("d")}, &locs);
+  EXPECT_TRUE(locs.empty());
+}
+
 TEST(HeapTableTest, IndexFollowsKeyUpdates) {
   Schema schema = TestSchema();
   HeapTable table("t", schema, kDefaultPageSize);

@@ -2,6 +2,8 @@
 // commit metadata, autocommit wrapping, chunked payloads.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "engine/database.h"
 #include "proxy/tracking_proxy.h"
 #include "wire/connection.h"
@@ -60,8 +62,8 @@ TEST_F(TrackingProxyTest, RecordsReadDependenciesWithProvenance) {
 
   Must("BEGIN");
   Must("SELECT a FROM t");
-  EXPECT_EQ(proxy_.pending_deps().size(), 1u);
-  EXPECT_EQ(*proxy_.pending_deps().begin(), DepEntry("t", writer));
+  ASSERT_EQ(proxy_.pending_deps().size(), 1u);
+  EXPECT_EQ(proxy_.pending_deps().front(), DepEntry("t", writer));
   int64_t reader = proxy_.current_txn_id();
   Must("COMMIT");
 
@@ -98,7 +100,8 @@ TEST_F(TrackingProxyTest, AggregateQueriesUseDepFetch) {
   EXPECT_EQ(rs.columns.size(), 2u);  // aggregate result untouched
   EXPECT_EQ(rs.rows.size(), 2u);
   EXPECT_EQ(proxy_.stats().dep_fetches, fetches_before + 1);
-  EXPECT_EQ(proxy_.pending_deps().count(DepEntry("t", writer)), 1u);
+  const auto deps = proxy_.pending_deps();
+  EXPECT_EQ(std::count(deps.begin(), deps.end(), DepEntry("t", writer)), 1);
   Must("COMMIT");
 }
 

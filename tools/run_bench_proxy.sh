@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Builds and runs the plan-cache ablation bench, leaving BENCH_proxy.json in
+# the repo root (or $1 if given). Usage: tools/run_bench_proxy.sh [out.json]
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+out="${1:-$repo/BENCH_proxy.json}"
+
+cmake -B "$repo/build" -S "$repo" >/dev/null
+cmake --build "$repo/build" --target bench_proxy_cache -j >/dev/null
+
+"$repo/build/bench/bench_proxy_cache" --out="$out"
