@@ -25,12 +25,23 @@ struct WorkloadResult {
   int64_t transactions = 0;
   double wall_seconds = 0;
   double simulated_seconds = 0;
+  proxy::ProxyStats proxy;  // aggregated tracking stats (zero when untracked)
 
   double TotalSeconds() const { return wall_seconds + simulated_seconds; }
   double Throughput() const {
     return static_cast<double>(transactions) / TotalSeconds();
   }
 };
+
+inline void PrintFaultHardeningCounters(const proxy::ProxyStats& st) {
+  std::printf(
+      "fault-hardening: retries=%lld injected_faults_hit=%lld "
+      "degraded_commits=%lld tracking_gap_txns=%lld\n",
+      static_cast<long long>(st.retries),
+      static_cast<long long>(st.injected_faults_hit),
+      static_cast<long long>(st.degraded_commits),
+      static_cast<long long>(st.tracking_gap_txns));
+}
 
 inline Status RunMix(tpcc::TpccDriver* driver, Mix mix, int scale,
                      WorkloadResult* out) {
@@ -83,6 +94,7 @@ inline Result<WorkloadResult> MeasureDeployment(FlavorTraits traits,
   IRDB_RETURN_IF_ERROR(RunMix(&driver, mix, scale, &result));
   result.wall_seconds = watch.ElapsedSeconds();
   result.simulated_seconds = rdb.db().io_model().clock().seconds();
+  result.proxy = rdb.ProxyStatsSnapshot();
   return result;
 }
 

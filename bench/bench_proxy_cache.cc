@@ -128,7 +128,7 @@ int Main(int argc, char** argv) {
   }
 
   double cached_sps, hit_rate;
-  int64_t hits, misses;
+  int64_t hits, misses, retries, injected;
   {
     Fixture f;
     f.Run(rounds / 10 + 1);  // warm: populates the plan cache
@@ -138,6 +138,8 @@ int Main(int argc, char** argv) {
     hits = st.cache_hits - hits0;
     misses = st.cache_misses - misses0;
     hit_rate = static_cast<double>(hits) / static_cast<double>(hits + misses);
+    retries = st.retries;
+    injected = st.injected_faults_hit;
   }
 
   const double speedup = cached_sps / cold_sps;
@@ -156,15 +158,21 @@ int Main(int argc, char** argv) {
                "  \"speedup\": %.2f,\n"
                "  \"cache_hits\": %lld,\n"
                "  \"cache_misses\": %lld,\n"
-               "  \"hit_rate\": %.4f\n"
+               "  \"hit_rate\": %.4f,\n"
+               "  \"retries\": %lld,\n"
+               "  \"injected_faults_hit\": %lld\n"
                "}\n",
                rounds, cold_sps, cached_sps, speedup,
                static_cast<long long>(hits), static_cast<long long>(misses),
-               hit_rate);
+               hit_rate, static_cast<long long>(retries),
+               static_cast<long long>(injected));
   std::fclose(out);
   std::printf("cold:   %10.1f stmts/s\ncached: %10.1f stmts/s\n"
-              "speedup: %.2fx  (hit rate %.1f%%)\n-> %s\n",
+              "speedup: %.2fx  (hit rate %.1f%%)\n"
+              "fault-hardening: retries=%lld injected_faults_hit=%lld\n"
+              "-> %s\n",
               cold_sps, cached_sps, speedup, 100.0 * hit_rate,
+              static_cast<long long>(retries), static_cast<long long>(injected),
               out_path.c_str());
   return 0;
 }

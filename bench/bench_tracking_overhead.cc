@@ -28,7 +28,7 @@ struct Cell {
 
 Result<Cell> MeasureCell(const FlavorTraits& traits, LatencyParams latency,
                          IoCostParams io, const tpcc::TpccConfig& config,
-                         Mix mix, int scale) {
+                         Mix mix, int scale, proxy::ProxyStats* proxy_total) {
   Cell cell;
   IRDB_ASSIGN_OR_RETURN(
       WorkloadResult base,
@@ -39,6 +39,7 @@ Result<Cell> MeasureCell(const FlavorTraits& traits, LatencyParams latency,
                         mix, scale));
   cell.base_tps = base.Throughput();
   cell.tracked_tps = tracked.Throughput();
+  if (proxy_total != nullptr) proxy_total->Add(tracked.proxy);
   return cell;
 }
 
@@ -87,6 +88,7 @@ int Main(int argc, char** argv) {
   std::printf("workload scale=%dx, page cache=%lld pages\n\n", scale,
               static_cast<long long>(cache_pages));
 
+  proxy::ProxyStats proxy_total;
   for (const Panel& panel : panels) {
     std::printf("== %s transactions, W=%d — %s ==\n", MixName(panel.mix),
                 panel.warehouses, panel.footprint);
@@ -101,9 +103,9 @@ int Main(int argc, char** argv) {
       io.enabled = true;
       io.cache_pages = cache_pages;
       auto local = MeasureCell(traits, LatencyParams::Local(), io, config,
-                               panel.mix, scale);
+                               panel.mix, scale, &proxy_total);
       auto net = MeasureCell(traits, LatencyParams::Lan100Mbps(), io, config,
-                             panel.mix, scale);
+                             panel.mix, scale, &proxy_total);
       if (!local.ok() || !net.ok()) {
         std::fprintf(stderr, "measurement failed: %s %s\n",
                      local.ok() ? "" : local.status().ToString().c_str(),
@@ -116,6 +118,7 @@ int Main(int argc, char** argv) {
     }
     std::printf("\n");
   }
+  PrintFaultHardeningCounters(proxy_total);
   std::printf(
       "Paper reference: 6%%-13%% for the networked read-intensive large-"
       "footprint panel;\nhigher (up to ~35%%) for small-footprint read/write "

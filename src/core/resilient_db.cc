@@ -27,6 +27,7 @@ Status ResilientDb::Bootstrap() {
 
 Result<std::unique_ptr<DbConnection>> ResilientDb::Connect() {
   std::vector<std::unique_ptr<DbConnection>> layers;
+  proxy::TrackingProxy* tracking = nullptr;
   switch (opts_.arch) {
     case ProxyArch::kNone: {
       IRDB_ASSIGN_OR_RETURN(auto remote, RemoteConnection::Connect(&server_channel_));
@@ -39,6 +40,8 @@ Result<std::unique_ptr<DbConnection>> ResilientDb::Connect() {
       IRDB_ASSIGN_OR_RETURN(auto remote, RemoteConnection::Connect(&server_channel_));
       auto proxy = std::make_unique<proxy::TrackingProxy>(remote.get(), &alloc_,
                                                           opts_.traits);
+      proxy->set_retry_clock(&db_.io_model().clock());
+      tracking = proxy.get();
       layers.push_back(std::move(remote));
       layers.push_back(std::move(proxy));
       break;
@@ -51,7 +54,27 @@ Result<std::unique_ptr<DbConnection>> ResilientDb::Connect() {
       break;
     }
   }
-  return std::unique_ptr<DbConnection>(new StackedConnection(std::move(layers)));
+  return std::unique_ptr<DbConnection>(
+      new StackedConnection(this, std::move(layers), tracking));
+}
+
+void ResilientDb::RetireProxy(const proxy::TrackingProxy* p) {
+  closed_proxy_stats_.Add(p->stats());
+  for (auto it = live_proxies_.begin(); it != live_proxies_.end(); ++it) {
+    if (*it == p) {
+      live_proxies_.erase(it);
+      break;
+    }
+  }
+}
+
+proxy::ProxyStats ResilientDb::ProxyStatsSnapshot() const {
+  proxy::ProxyStats total = closed_proxy_stats_;
+  for (const proxy::TrackingProxy* p : live_proxies_) total.Add(p->stats());
+  if (opts_.arch == ProxyArch::kDualProxy) {
+    total.Add(proxy_host_.AggregateStats());
+  }
+  return total;
 }
 
 }  // namespace irdb

@@ -58,6 +58,11 @@ class ResilientDb {
   repair::RepairEngine& repair() { return repair_; }
   proxy::TxnIdAllocator& allocator() { return alloc_; }
 
+  // Combined tracking-proxy stats across every connection this deployment
+  // handed out (closed connections are accumulated; live ones read directly)
+  // plus, under kDualProxy, the server-side proxy host's sessions.
+  proxy::ProxyStats ProxyStatsSnapshot() const;
+
   // Wall-clock plus simulated I/O + network time (see engine/io_model.h).
   double TotalSeconds(double wall_seconds) const {
     return wall_seconds + db_.io_model().clock().seconds();
@@ -67,8 +72,15 @@ class ResilientDb {
   // A connection stack that owns its layers (top of the stack executes).
   class StackedConnection : public DbConnection {
    public:
-    StackedConnection(std::vector<std::unique_ptr<DbConnection>> layers)
-        : layers_(std::move(layers)) {}
+    StackedConnection(ResilientDb* owner,
+                      std::vector<std::unique_ptr<DbConnection>> layers,
+                      proxy::TrackingProxy* tracking)
+        : owner_(owner), layers_(std::move(layers)), tracking_(tracking) {
+      if (tracking_ != nullptr) owner_->live_proxies_.push_back(tracking_);
+    }
+    ~StackedConnection() override {
+      if (tracking_ != nullptr) owner_->RetireProxy(tracking_);
+    }
     Result<ResultSet> Execute(std::string_view sql) override {
       return layers_.back()->Execute(sql);
     }
@@ -78,8 +90,12 @@ class ResilientDb {
     std::string Describe() const override { return layers_.back()->Describe(); }
 
    private:
+    ResilientDb* owner_;
     std::vector<std::unique_ptr<DbConnection>> layers_;
+    proxy::TrackingProxy* tracking_;  // the layer whose stats we aggregate
   };
+
+  void RetireProxy(const proxy::TrackingProxy* p);
 
   DeploymentOptions opts_;
   Database db_;
@@ -90,6 +106,10 @@ class ResilientDb {
   LoopbackChannel proxy_channel_;   // client machine -> server-side proxy
   DirectConnection admin_;
   repair::RepairEngine repair_;
+  // Client-side tracking proxies: live ones (owned by handed-out
+  // StackedConnections) and the accumulated stats of closed ones.
+  std::vector<const proxy::TrackingProxy*> live_proxies_;
+  proxy::ProxyStats closed_proxy_stats_;
 };
 
 }  // namespace irdb

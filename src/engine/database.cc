@@ -4,6 +4,7 @@
 
 #include "sql/parser.h"
 #include "sql/printer.h"
+#include "util/failpoint.h"
 #include "util/string_utils.h"
 
 namespace irdb {
@@ -39,6 +40,9 @@ Result<ResultSet> Database::Execute(int64_t session_id, std::string_view sql_tex
 Result<ResultSet> Database::ExecuteParsed(int64_t session_id,
                                           const sql::Statement& stmt) {
   std::lock_guard<std::mutex> lock(mu_);
+  // Injected before any state change: a triggered fault behaves like a
+  // statement that never arrived, so retrying it is always safe.
+  if (fail::Triggered("engine.execute")) return fail::Inject("engine.execute");
   auto it = sessions_.find(session_id);
   if (it == sessions_.end()) {
     return Status::InvalidArgument("unknown session " + std::to_string(session_id));
@@ -471,7 +475,6 @@ Result<ResultSet> Database::ExecUpdate(Session& s, const sql::Statement& stmt) {
 Result<ResultSet> Database::ExecDelete(Session& s, const sql::Statement& stmt) {
   IRDB_ASSIGN_OR_RETURN(HeapTable* table, RequireTable(stmt.table));
   IRDB_ASSIGN_OR_RETURN(int32_t table_id, catalog_.TableId(stmt.table));
-  const RowCodec& codec = table->codec();
 
   if (stmt.where) {
     std::vector<std::pair<const Schema*, std::string>> scope{

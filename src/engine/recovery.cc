@@ -2,6 +2,9 @@
 
 #include <map>
 #include <set>
+#include <utility>
+
+#include "txn/wal_codec.h"
 
 namespace irdb {
 
@@ -201,6 +204,20 @@ Result<std::unique_ptr<Database>> RecoverDatabase(const WalLog& wal,
   }
   (void)max_txn_id;  // internal txn ids restart; proxy ids live in trans_dep
   return db;
+}
+
+Result<std::unique_ptr<Database>> RecoverDatabaseFromBytes(
+    std::string_view wal_bytes, const FlavorTraits& traits,
+    WalRecoveryInfo* info) {
+  IRDB_ASSIGN_OR_RETURN(WalDecodeResult decoded, DecodeWal(wal_bytes));
+  WalLog wal;
+  for (LogRecord& rec : decoded.records) wal.Append(std::move(rec));
+  if (info != nullptr) {
+    info->records_recovered = wal.size();
+    info->truncated_tail = decoded.truncated_tail;
+    info->dropped_bytes = decoded.dropped_bytes;
+  }
+  return RecoverDatabase(wal, traits);
 }
 
 }  // namespace irdb

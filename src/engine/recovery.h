@@ -24,6 +24,7 @@
 #pragma once
 
 #include <memory>
+#include <string_view>
 
 #include "engine/database.h"
 #include "util/status.h"
@@ -34,5 +35,20 @@ namespace irdb {
 // log describes. `traits` must match the crashed instance's flavor.
 Result<std::unique_ptr<Database>> RecoverDatabase(const WalLog& wal,
                                                   const FlavorTraits& traits);
+
+struct WalRecoveryInfo {
+  int64_t records_recovered = 0;
+  bool truncated_tail = false;  // a torn final frame was dropped
+  int64_t dropped_bytes = 0;
+};
+
+// Recovery from the durable byte encoding (txn/wal_codec.h): verifies
+// per-record checksums, truncates a torn tail (the interrupted final frame),
+// and refuses interior corruption. A record lost to the torn tail belongs to
+// a transaction whose COMMIT never became durable, so the standard loser-undo
+// pass yields a consistent state.
+Result<std::unique_ptr<Database>> RecoverDatabaseFromBytes(
+    std::string_view wal_bytes, const FlavorTraits& traits,
+    WalRecoveryInfo* info = nullptr);
 
 }  // namespace irdb

@@ -71,7 +71,7 @@ Status PopulateFromFullImages(const Database& db, const HeapTable& table,
       return Status::Internal("PopulateFromFullImages: not a row op");
   }
 
-  // trans_dep correlation.
+  // trans_dep / tracking_gaps correlation.
   if (op->op == LogOp::kInsert &&
       EqualsIgnoreCase(table.name(), proxy::kTransDepTable)) {
     op->is_trans_dep_insert = true;
@@ -81,6 +81,15 @@ Status PopulateFromFullImages(const Database& db, const HeapTable& table,
       }
       if (EqualsIgnoreCase(name, "dep_tr_ids") && v.is_string()) {
         op->inserted_dep_payload = v.as_string();
+      }
+    }
+  }
+  if (op->op == LogOp::kInsert &&
+      EqualsIgnoreCase(table.name(), proxy::kTrackingGapsTable)) {
+    op->is_tracking_gap_insert = true;
+    for (const auto& [name, v] : op->values) {
+      if (EqualsIgnoreCase(name, "tr_id") && v.is_int()) {
+        op->inserted_tr_id = v.as_int();
       }
     }
   }

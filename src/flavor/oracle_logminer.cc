@@ -203,6 +203,15 @@ Result<std::vector<RepairOp>> OracleLogReader::ReadCommitted() {
         }
       }
     }
+    if (op.op == LogOp::kInsert &&
+        EqualsIgnoreCase(op.table, proxy::kTrackingGapsTable)) {
+      op.is_tracking_gap_insert = true;
+      for (const auto& [col, v] : op.values) {
+        if (EqualsIgnoreCase(col, "tr_id") && v.is_int()) {
+          op.inserted_tr_id = v.as_int();
+        }
+      }
+    }
     out.push_back(std::move(op));
   }
   return out;

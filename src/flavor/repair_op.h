@@ -46,6 +46,11 @@ struct RepairOp {
   bool is_trans_dep_insert = false;
   std::optional<int64_t> inserted_tr_id;
   std::string inserted_dep_payload;
+
+  // tracking_gaps quarantine (set on kInsert into tracking_gaps): this
+  // transaction committed without dependency metadata. inserted_tr_id
+  // carries its proxy id; the analyzer treats it conservatively.
+  bool is_tracking_gap_insert = false;
 };
 
 }  // namespace irdb

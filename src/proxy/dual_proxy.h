@@ -39,16 +39,22 @@ class ServerProxyHost {
         int64_t id = next_session_++;
         auto conn = std::make_unique<DirectConnection>(db_);
         auto proxy = std::make_unique<TrackingProxy>(conn.get(), alloc_, traits_);
+        proxy->set_retry_clock(&db_->io_model().clock());
         sessions_[id] = Sess{std::move(conn), std::move(proxy)};
         resp.ok = true;
         resp.session = id;
         break;
       }
-      case WireRequest::Kind::kDisconnect:
-        sessions_.erase(req->session);
+      case WireRequest::Kind::kDisconnect: {
+        auto it = sessions_.find(req->session);
+        if (it != sessions_.end()) {
+          closed_stats_.Add(it->second.proxy->stats());
+          sessions_.erase(it);
+        }
         resp.ok = true;
         resp.session = req->session;
         break;
+      }
       case WireRequest::Kind::kAnnotate: {
         auto it = sessions_.find(req->session);
         if (it == sessions_.end()) {
@@ -86,6 +92,13 @@ class ServerProxyHost {
     return EncodeResponse(resp);
   }
 
+  // Combined tracking stats: sessions closed so far plus the live ones.
+  ProxyStats AggregateStats() const {
+    ProxyStats total = closed_stats_;
+    for (const auto& [id, sess] : sessions_) total.Add(sess.proxy->stats());
+    return total;
+  }
+
  private:
   struct Sess {
     std::unique_ptr<DirectConnection> conn;
@@ -97,6 +110,7 @@ class ServerProxyHost {
   FlavorTraits traits_;
   std::map<int64_t, Sess> sessions_;
   int64_t next_session_ = 1;
+  ProxyStats closed_stats_;
 };
 
 }  // namespace irdb::proxy

@@ -30,6 +30,10 @@ inline constexpr char kTridColumn[] = "trid";
 inline constexpr char kSybaseRowIdColumn[] = "rid";
 inline constexpr char kTransDepTable[] = "trans_dep";
 inline constexpr char kAnnotTable[] = "annot";
+// Quarantine for txn ids committed without dependency metadata
+// (DegradedMode::kCommitUntracked); the analyzer treats them as
+// conservatively dependent on every earlier transaction.
+inline constexpr char kTrackingGapsTable[] = "tracking_gaps";
 
 struct RewrittenSelect {
   // Optional dependency-fetch statement to run before `main` (aggregate

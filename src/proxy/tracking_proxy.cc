@@ -4,6 +4,7 @@
 
 #include "sql/parser.h"
 #include "sql/printer.h"
+#include "util/failpoint.h"
 #include "util/string_utils.h"
 
 namespace irdb::proxy {
@@ -69,11 +70,35 @@ std::vector<DepEntry> TrackingProxy::pending_deps() const {
 }
 
 Result<ResultSet> TrackingProxy::Forward(const Statement& stmt) {
-  ++stats_.backend_statements;
   // AST hand-off: an in-process backend executes the tree directly; the
   // remote implementation prints and ships text (DbConnection's default).
-  if (fast_path_) return backend_->Execute(stmt);
-  return backend_->Execute(std::string_view(sql::PrintStatement(stmt)));
+  // Print once, outside the retry loop.
+  std::string text;
+  if (!fast_path_) text = sql::PrintStatement(stmt);
+  double backoff = retry_policy_.initial_backoff_seconds;
+  for (int attempt = 1;; ++attempt) {
+    ++stats_.backend_statements;
+    auto r = fast_path_ ? backend_->Execute(stmt)
+                        : backend_->Execute(std::string_view(text));
+    if (r.ok()) return r;
+    if (fail::IsInjected(r.status())) ++stats_.injected_faults_hit;
+    // All failpoints fire before any side effect (request-loss semantics),
+    // so a retryable failure means the statement never executed: re-sending
+    // it cannot duplicate work.
+    if (!r.status().IsRetryable() || attempt >= retry_policy_.max_attempts) {
+      return r;
+    }
+    ++stats_.retries;
+    if (retry_clock_ != nullptr) retry_clock_->Advance(backoff);
+    backoff *= retry_policy_.backoff_multiplier;
+  }
+}
+
+void TrackingProxy::AbortOpenTxn() {
+  auto rollback = sql::MakeStatement(StatementKind::kRollback);
+  (void)Forward(*rollback);  // best effort; a stale backend txn is cleared
+                             // by the next HandleBegin
+  ResetTxnState();
 }
 
 void TrackingProxy::InvalidateCache() {
@@ -226,6 +251,14 @@ Result<ResultSet> TrackingProxy::ExecutePlan(CachedPlan& plan,
 Status TrackingProxy::HandleBegin() {
   auto begin = sql::MakeStatement(StatementKind::kBegin);
   auto r = Forward(*begin);
+  if (!r.ok() && r.status().code() == StatusCode::kFailedPrecondition) {
+    // The backend has a transaction we don't know about — a ROLLBACK we sent
+    // earlier was lost on the wire. Clear the stale transaction (undoing any
+    // work the abandoned txn left behind) and retry the BEGIN once.
+    auto rollback = sql::MakeStatement(StatementKind::kRollback);
+    (void)Forward(*rollback);
+    r = Forward(*begin);
+  }
   if (!r.ok()) return r.status();
   in_txn_ = true;
   cur_trid_ = alloc_->Next();
@@ -335,6 +368,12 @@ Status TrackingProxy::EmitCommitMetadata() {
   // Annotation first: the trans_dep insert must be the last row operation
   // before COMMIT (the repair engine's ID-correlation anchor, §3.3).
   if (!annotation_.empty()) {
+    // Simulates the annot insert failing persistently (past Forward's own
+    // retries), e.g. the table being unavailable.
+    if (fail::Triggered("proxy.commit.annot")) {
+      ++stats_.injected_faults_hit;
+      return fail::Inject("proxy.commit.annot");
+    }
     auto ins = sql::MakeStatement(StatementKind::kInsert);
     ins->table = kAnnotTable;
     ins->insert_columns = {"tr_id", "descr", kTridColumn};
@@ -363,6 +402,10 @@ Status TrackingProxy::EmitCommitMetadata() {
   }
   chunks.push_back(std::move(tokens));
   for (const std::string& chunk : chunks) {
+    if (fail::Triggered("proxy.commit.trans_dep")) {
+      ++stats_.injected_faults_hit;
+      return fail::Inject("proxy.commit.trans_dep");
+    }
     auto ins = sql::MakeStatement(StatementKind::kInsert);
     ins->table = kTransDepTable;
     ins->insert_columns = {"tr_id", "dep_tr_ids", kTridColumn};
@@ -378,11 +421,55 @@ Status TrackingProxy::EmitCommitMetadata() {
   return Status::Ok();
 }
 
+Status TrackingProxy::RecordTrackingGap() {
+  auto ins = sql::MakeStatement(StatementKind::kInsert);
+  ins->table = kTrackingGapsTable;
+  ins->insert_columns = {"tr_id", kTridColumn};
+  std::vector<sql::ExprPtr> row;
+  row.push_back(sql::MakeLiteral(Value::Int(cur_trid_)));
+  row.push_back(sql::MakeLiteral(Value::Int(cur_trid_)));
+  ins->insert_rows.push_back(std::move(row));
+  auto r = Forward(*ins);
+  if (!r.ok()) return r.status();
+  ++stats_.tracking_gap_txns;
+  return Status::Ok();
+}
+
+// The tracked-commit protocol (DESIGN.md §5b): dependency metadata is never
+// silently lost. If the metadata inserts fail even after retries, either
+// abort the transaction (kAbort) or quarantine its id in tracking_gaps and
+// commit untracked (kCommitUntracked). A failed COMMIT forward aborts: the
+// client must never believe an unacknowledged commit happened.
 Result<ResultSet> TrackingProxy::HandleCommit() {
-  IRDB_RETURN_IF_ERROR(EmitCommitMetadata());
+  Status meta = EmitCommitMetadata();
+  if (!meta.ok()) {
+    if (degraded_mode_ == DegradedMode::kCommitUntracked &&
+        meta.IsRetryable()) {
+      Status gap = RecordTrackingGap();
+      if (gap.ok()) {
+        auto commit = sql::MakeStatement(StatementKind::kCommit);
+        auto r = Forward(*commit);
+        if (r.ok()) {
+          ++stats_.degraded_commits;
+          ResetTxnState();
+          return r;
+        }
+        meta = r.status();
+      } else {
+        meta = gap;
+      }
+    }
+    AbortOpenTxn();
+    return Status::Aborted("transaction aborted: dependency metadata lost (" +
+                           meta.ToString() + ")");
+  }
   auto commit = sql::MakeStatement(StatementKind::kCommit);
   auto r = Forward(*commit);
-  if (!r.ok()) return r;
+  if (!r.ok()) {
+    AbortOpenTxn();
+    return Status::Aborted("transaction aborted: COMMIT failed (" +
+                           r.status().ToString() + ")");
+  }
   ResetTxnState();
   return r;
 }
@@ -400,6 +487,10 @@ Status TrackingProxy::EnsureTrackingTables() {
       "CREATE TABLE annot (tr_id INTEGER NOT NULL, descr VARCHAR(255))");
   if (!r2.ok() && r2.status().code() != StatusCode::kAlreadyExists) {
     return r2.status();
+  }
+  auto r3 = Execute("CREATE TABLE tracking_gaps (tr_id INTEGER NOT NULL)");
+  if (!r3.ok() && r3.status().code() != StatusCode::kAlreadyExists) {
+    return r3.status();
   }
   return Status::Ok();
 }

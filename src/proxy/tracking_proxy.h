@@ -32,6 +32,7 @@
 #include "proxy/plan_cache.h"
 #include "proxy/rewriter.h"
 #include "sql/fingerprint.h"
+#include "wire/client.h"
 #include "wire/connection.h"
 
 namespace irdb::proxy {
@@ -56,6 +57,39 @@ struct ProxyStats {
   int64_t cache_misses = 0;         // shape not cached yet
   int64_t cache_invalidations = 0;  // DDL flushed the cache
   int64_t cache_bypasses = 0;       // shape known / found to be uncacheable
+  // Fault-hardening observability.
+  int64_t retries = 0;              // backend calls re-attempted after
+                                    // retryable failures
+  int64_t injected_faults_hit = 0;  // failpoint-injected errors observed
+  int64_t degraded_commits = 0;     // commits that went through untracked
+  int64_t tracking_gap_txns = 0;    // txn ids quarantined in tracking_gaps
+
+  void Add(const ProxyStats& o) {
+    client_statements += o.client_statements;
+    backend_statements += o.backend_statements;
+    dep_fetches += o.dep_fetches;
+    trans_dep_inserts += o.trans_dep_inserts;
+    deps_recorded += o.deps_recorded;
+    cache_hits += o.cache_hits;
+    cache_misses += o.cache_misses;
+    cache_invalidations += o.cache_invalidations;
+    cache_bypasses += o.cache_bypasses;
+    retries += o.retries;
+    injected_faults_hit += o.injected_faults_hit;
+    degraded_commits += o.degraded_commits;
+    tracking_gap_txns += o.tracking_gap_txns;
+  }
+};
+
+// What to do when the dependency metadata cannot be recorded at COMMIT even
+// after retries (the tracked-commit protocol, DESIGN.md §5b).
+enum class DegradedMode {
+  // Abort the transaction: no work is ever committed untracked (default).
+  kAbort,
+  // Commit anyway, but first quarantine the txn id in the tracking_gaps
+  // side table; the repair analyzer treats such txns as conservatively
+  // dependent on everything earlier.
+  kCommitUntracked,
 };
 
 // A dependency observed at run time: this transaction read a row of `table`
@@ -97,13 +131,26 @@ class TrackingProxy : public DbConnection {
   bool fast_path_enabled() const { return fast_path_; }
   const PlanCache& plan_cache() const { return cache_; }
 
-  // Creates the tracking side tables (trans_dep, annot) if absent. Run once
-  // per database, through any proxy connection so they too get trid/rid
-  // columns and are repairable like ordinary tables.
+  // Creates the tracking side tables (trans_dep, annot, tracking_gaps) if
+  // absent. Run once per database, through any proxy connection so they too
+  // get trid/rid columns and are repairable like ordinary tables.
   Status EnsureTrackingTables();
+
+  // Tracked-commit degradation policy (default: abort on metadata loss).
+  void set_degraded_mode(DegradedMode mode) { degraded_mode_ = mode; }
+  DegradedMode degraded_mode() const { return degraded_mode_; }
+
+  // Bounded retry of backend calls that fail with a retryable status.
+  void set_retry_policy(RetryPolicy policy) { retry_policy_ = policy; }
+  // Clock charged for retry backoff waits (nullptr = uncharged).
+  void set_retry_clock(VirtualClock* clock) { retry_clock_ = clock; }
 
  private:
   Result<ResultSet> Forward(const sql::Statement& stmt);
+  // Best-effort ROLLBACK of the open backend transaction + local state reset.
+  void AbortOpenTxn();
+  // Quarantines cur_trid_ in the tracking_gaps side table.
+  Status RecordTrackingGap();
   // Full path: dispatch a freshly parsed statement. When `shape` is non-null
   // (fast path, cache miss) a plan is built and cached along the way.
   Result<ResultSet> DispatchStatement(const sql::Statement& stmt,
@@ -132,6 +179,11 @@ class TrackingProxy : public DbConnection {
   SqlRewriter rewriter_;
   PlanCache cache_;
   bool fast_path_ = true;
+  DegradedMode degraded_mode_ = DegradedMode::kAbort;
+  RetryPolicy retry_policy_{/*max_attempts=*/3,
+                            /*initial_backoff_seconds=*/1e-3,
+                            /*backoff_multiplier=*/2.0};
+  VirtualClock* retry_clock_ = nullptr;
 
   bool in_txn_ = false;
   int64_t cur_trid_ = 0;

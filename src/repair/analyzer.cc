@@ -33,6 +33,25 @@ Result<DependencyAnalysis> Analyze(FlavorLogReader* reader, DbConnection* admin)
     out.graph.AddNode(proxy_id);
   }
 
+  // Pass 1b — tracking gaps: a degraded commit has no trans_dep rows, but
+  // its tracking_gaps insert carries the proxy id, so it still anchors the
+  // internal<->proxy correlation (compensation needs it).
+  for (const RepairOp& op : out.ops) {
+    if (!op.is_tracking_gap_insert || !op.inserted_tr_id) continue;
+    const int64_t proxy_id = *op.inserted_tr_id;
+    auto it = out.internal_to_proxy.find(op.internal_txn_id);
+    if (it != out.internal_to_proxy.end() && it->second != proxy_id) {
+      return Status::Internal(
+          "transaction " + std::to_string(op.internal_txn_id) +
+          " carries two distinct proxy IDs (" + std::to_string(it->second) +
+          ", " + std::to_string(proxy_id) + ")");
+    }
+    out.internal_to_proxy[op.internal_txn_id] = proxy_id;
+    out.proxy_to_internal[proxy_id] = op.internal_txn_id;
+    out.tracking_gaps.insert(proxy_id);
+    out.graph.AddNode(proxy_id);
+  }
+
   // Pass 2 — explicit (run-time) dependencies from the payloads.
   for (const auto& [proxy_id, payload] : payload_by_proxy) {
     IRDB_ASSIGN_OR_RETURN(std::vector<proxy::DepEntry> deps,
@@ -56,6 +75,21 @@ Result<DependencyAnalysis> Analyze(FlavorLogReader* reader, DbConnection* admin)
     if (writer_proxy == reader_proxy) continue;
     out.graph.AddEdge(DepEdge{reader_proxy, writer_proxy,
                               ToLowerAscii(op.table), DepKind::kReconstructed});
+  }
+
+  // Pass 4 — conservative edges for tracking gaps: the gap txn's real read
+  // set is unknown, so assume it read from every transaction committed
+  // before it (proxy-id order is commit order under the serial execution
+  // model). Sound — never misses a real dependency — at the cost of
+  // over-approximating the damage perimeter.
+  const std::set<int64_t> known_nodes = out.graph.nodes();
+  for (int64_t gap : out.tracking_gaps) {
+    for (int64_t writer : known_nodes) {
+      if (writer >= gap) continue;
+      out.graph.AddEdge(DepEdge{gap, writer,
+                                std::string(proxy::kTrackingGapsTable),
+                                DepKind::kConservative});
+    }
   }
 
   // Labels from the annot table, when reachable.

@@ -19,9 +19,14 @@ struct DependencyAnalysis {
   std::vector<RepairOp> ops;
 
   // Transaction-ID correlation, established from the trans_dep insert that
-  // precedes each commit.
+  // precedes each commit (or the tracking_gaps insert of a degraded commit).
   std::map<int64_t, int64_t> internal_to_proxy;
   std::map<int64_t, int64_t> proxy_to_internal;
+
+  // Proxy ids that committed without dependency metadata
+  // (DegradedMode::kCommitUntracked). Each carries conservative edges to
+  // every transaction committed before it.
+  std::set<int64_t> tracking_gaps;
 
   DependencyGraph graph;
 };

@@ -50,6 +50,7 @@ std::string DependencyGraph::ToDot(const std::set<int64_t>& highlight) const {
     std::string line = "  n" + std::to_string(e.writer) + " -> n" +
                        std::to_string(e.reader);
     if (e.kind == DepKind::kReconstructed) line += " [style=dashed]";
+    if (e.kind == DepKind::kConservative) line += " [style=dotted]";
     line += ";\n";
     if (seen.insert(line).second) out += line;
   }

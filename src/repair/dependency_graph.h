@@ -15,7 +15,13 @@
 
 namespace irdb::repair {
 
-enum class DepKind { kRuntime, kReconstructed };
+enum class DepKind {
+  kRuntime,        // observed at run time (SELECT read-set tracking)
+  kReconstructed,  // rebuilt at repair time from before-image trids
+  kConservative,   // assumed: reader is a tracking_gaps txn whose real
+                   // dependency set was lost; it may depend on anything
+                   // committed before it
+};
 
 struct DepEdge {
   int64_t reader = 0;  // depends on ...

@@ -1,0 +1,109 @@
+#include "util/failpoint.h"
+
+namespace irdb::fail {
+
+std::atomic<int> Registry::armed_count_{0};
+
+namespace {
+constexpr std::string_view kInjectedPrefix = "injected: ";
+}  // namespace
+
+Registry& Registry::Instance() {
+  static Registry* instance = new Registry();
+  return *instance;
+}
+
+void Registry::Arm(const std::string& site, Trigger trigger) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Site& s = sites_[site];
+  if (!s.armed) armed_count_.fetch_add(1, std::memory_order_relaxed);
+  s.armed = true;
+  s.trigger = trigger;
+  s.stats = SiteStats{};
+}
+
+void Registry::Disarm(const std::string& site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  if (it == sites_.end() || !it->second.armed) return;
+  it->second.armed = false;
+  armed_count_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void Registry::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, site] : sites_) {
+    if (site.armed) {
+      site.armed = false;
+      armed_count_.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+void Registry::Seed(uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  seed_ = seed;
+  rng_ = Rng(seed);
+}
+
+uint64_t Registry::seed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return seed_;
+}
+
+bool Registry::Evaluate(std::string_view site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  if (it == sites_.end()) return false;
+  Site& s = it->second;
+  ++s.stats.evaluations;
+  if (!s.armed) return false;
+  const Trigger& t = s.trigger;
+  if (s.stats.evaluations <= t.skip_first) return false;
+  if (t.max_hits >= 0 && s.stats.hits >= t.max_hits) return false;
+  bool fire = false;
+  if (t.every_nth > 0) {
+    fire = (s.stats.evaluations - t.skip_first) % t.every_nth == 0;
+  } else if (t.probability >= 1.0) {
+    fire = true;
+  } else if (t.probability > 0.0) {
+    fire = rng_.Bernoulli(t.probability);
+  }
+  if (fire) ++s.stats.hits;
+  return fire;
+}
+
+uint64_t Registry::NextRandom() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rng_.Next();
+}
+
+SiteStats Registry::Stats(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  if (it == sites_.end()) return SiteStats{};
+  return it->second.stats;
+}
+
+int64_t Registry::TotalHits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t total = 0;
+  for (const auto& [name, site] : sites_) total += site.stats.hits;
+  return total;
+}
+
+void Registry::ResetStats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, site] : sites_) site.stats = SiteStats{};
+}
+
+Status Inject(std::string_view site) {
+  return Status(StatusCode::kUnavailable,
+                std::string(kInjectedPrefix) + std::string(site));
+}
+
+bool IsInjected(const Status& s) {
+  return !s.ok() && s.message().rfind(kInjectedPrefix, 0) == 0;
+}
+
+}  // namespace irdb::fail

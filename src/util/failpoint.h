@@ -1,0 +1,136 @@
+// Deterministic failpoint subsystem for fault-injection testing.
+//
+// A failpoint is a named site in production code where a test (or the chaos
+// harness) can ask for a failure to be injected. Sites are checked with
+//
+//   if (fail::Triggered("wire.roundtrip")) return fail::Inject("wire.roundtrip");
+//
+// and armed from test code via the global registry:
+//
+//   fail::Registry::Instance().Seed(seed);
+//   fail::Registry::Instance().Arm("wire.roundtrip", fail::Trigger::Probability(0.05));
+//
+// Determinism: all probabilistic decisions draw from one seeded splitmix64
+// stream inside the registry, so a run is reproduced exactly by its seed
+// (given the same sequence of site evaluations, which the serial execution
+// model guarantees).
+//
+// Performance: when no site is armed, Triggered() is a single relaxed atomic
+// load — the production (failpoints-disabled) cost is negligible.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace irdb::fail {
+
+// When and how often an armed site fires.
+struct Trigger {
+  double probability = 0.0;  // independent chance per evaluation
+  int64_t every_nth = 0;     // > 0: fire on every Nth evaluation (1-based)
+  int64_t max_hits = -1;     // >= 0: stop firing after this many hits
+  int64_t skip_first = 0;    // let this many evaluations pass before firing
+
+  static Trigger Probability(double p) {
+    Trigger t;
+    t.probability = p;
+    return t;
+  }
+  static Trigger EveryNth(int64_t n) {
+    Trigger t;
+    t.every_nth = n;
+    return t;
+  }
+  // Fires on the next evaluation, exactly once.
+  static Trigger OneShot(int64_t skip = 0) {
+    Trigger t;
+    t.probability = 1.0;
+    t.max_hits = 1;
+    t.skip_first = skip;
+    return t;
+  }
+  // Fires on every evaluation until a hit budget runs out (or forever).
+  static Trigger Always(int64_t max_hits = -1) {
+    Trigger t;
+    t.probability = 1.0;
+    t.max_hits = max_hits;
+    return t;
+  }
+};
+
+struct SiteStats {
+  int64_t evaluations = 0;
+  int64_t hits = 0;
+};
+
+class Registry {
+ public:
+  static Registry& Instance();
+
+  // Arms (or re-arms, resetting counters for) the named site.
+  void Arm(const std::string& site, Trigger trigger);
+  // Disarms the site; its stats remain readable until ResetStats().
+  void Disarm(const std::string& site);
+  void DisarmAll();
+
+  // Reseeds the shared random stream. Call before arming sites for a run.
+  void Seed(uint64_t seed);
+  uint64_t seed() const;
+
+  // One evaluation of the named site; true means "fail here now".
+  // Unarmed sites always return false (but still count evaluations if the
+  // site has been seen before).
+  bool Evaluate(std::string_view site);
+
+  // A raw draw from the shared seeded stream, for fault shaping that needs
+  // randomness outside Evaluate (e.g. how many tail bytes to tear off).
+  uint64_t NextRandom();
+
+  SiteStats Stats(const std::string& site) const;
+  int64_t TotalHits() const;
+  void ResetStats();
+
+  // Fast path: false when no site is armed anywhere.
+  static bool AnyArmed() {
+    return armed_count_.load(std::memory_order_relaxed) > 0;
+  }
+
+ private:
+  Registry() = default;
+
+  struct Site {
+    Trigger trigger;
+    bool armed = false;
+    SiteStats stats;
+  };
+
+  mutable std::mutex mu_;
+  uint64_t seed_ = 0;
+  Rng rng_{0};
+  std::map<std::string, Site, std::less<>> sites_;
+  static std::atomic<int> armed_count_;
+};
+
+// Hot-path check: free when nothing is armed.
+inline bool Triggered(std::string_view site) {
+  if (!Registry::AnyArmed()) return false;
+  return Registry::Instance().Evaluate(site);
+}
+
+// The canonical status an injected fault produces: retryable, and tagged so
+// observers (ProxyStats::injected_faults_hit) can tell injected failures from
+// organic ones.
+Status Inject(std::string_view site);
+
+// True iff `s` was produced by Inject() (possibly relayed over the wire).
+bool IsInjected(const Status& s);
+
+}  // namespace irdb::fail

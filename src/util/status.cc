@@ -15,6 +15,7 @@ const char* StatusCodeName(StatusCode code) {
     case StatusCode::kAborted: return "ABORTED";
     case StatusCode::kParseError: return "PARSE_ERROR";
     case StatusCode::kConstraint: return "CONSTRAINT";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
   }
   return "UNKNOWN";
 }

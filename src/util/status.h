@@ -25,6 +25,7 @@ enum class StatusCode {
   kAborted,          // transaction aborted (conflict / explicit rollback)
   kParseError,       // SQL syntax error
   kConstraint,       // schema or integrity constraint violation
+  kUnavailable,      // transient infrastructure failure; safe to retry
 };
 
 const char* StatusCodeName(StatusCode code);
@@ -67,8 +68,14 @@ class Status {
   static Status Constraint(std::string m) {
     return {StatusCode::kConstraint, std::move(m)};
   }
+  static Status Unavailable(std::string m) {
+    return {StatusCode::kUnavailable, std::move(m)};
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
+  // True for transient failures where the request never took effect
+  // (lost round trip, injected infrastructure fault): retrying is safe.
+  bool IsRetryable() const { return code_ == StatusCode::kUnavailable; }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 

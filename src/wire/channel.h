@@ -12,6 +12,8 @@
 #include <string_view>
 
 #include "engine/io_model.h"
+#include "util/failpoint.h"
+#include "util/status.h"
 
 namespace irdb {
 
@@ -40,19 +42,42 @@ class Channel {
  public:
   virtual ~Channel() = default;
 
-  // Sends `request` and returns the peer's response.
-  virtual std::string RoundTrip(std::string_view request) = 0;
+  // Sends `request` and returns the peer's response. A kUnavailable error
+  // means the round trip was lost before the peer acted on it: the request
+  // had no effect and may be retried.
+  virtual Result<std::string> RoundTrip(std::string_view request) = 0;
+
+  // The virtual clock this channel charges, if any; retry backoff on top of
+  // the channel is charged to the same clock.
+  virtual VirtualClock* clock() { return nullptr; }
 };
 
 // Delivers requests to an in-process handler, charging the cost model.
 class LoopbackChannel : public Channel {
  public:
   using Handler = std::function<std::string(std::string_view)>;
+  // Non-OK means the request is dropped before delivery.
+  using FaultHook = std::function<Status(std::string_view request)>;
 
   LoopbackChannel(Handler handler, LatencyParams params, VirtualClock* clock)
       : handler_(std::move(handler)), params_(params), clock_(clock) {}
 
-  std::string RoundTrip(std::string_view request) override {
+  Result<std::string> RoundTrip(std::string_view request) override {
+    bytes_sent_ += static_cast<int64_t>(request.size());
+    ++round_trips_;
+    // Faults fire before the handler: a dropped request never reaches the
+    // peer, so the caller may retry without duplicating effects. The lost
+    // round trip still costs a full RTT (the caller's timeout).
+    Status fault = Status::Ok();
+    if (fault_hook_) fault = fault_hook_(request);
+    if (fault.ok() && fail::Triggered("wire.roundtrip")) {
+      fault = fail::Inject("wire.roundtrip");
+    }
+    if (!fault.ok()) {
+      ++dropped_round_trips_;
+      if (clock_ != nullptr) clock_->Advance(params_.rtt_seconds);
+      return fault;
+    }
     std::string response = handler_(request);
     if (clock_ != nullptr) {
       double cost = params_.rtt_seconds;
@@ -62,23 +87,28 @@ class LoopbackChannel : public Channel {
       }
       clock_->Advance(cost);
     }
-    bytes_sent_ += static_cast<int64_t>(request.size());
     bytes_received_ += static_cast<int64_t>(response.size());
-    ++round_trips_;
     return response;
   }
+
+  VirtualClock* clock() override { return clock_; }
+
+  void set_fault_hook(FaultHook hook) { fault_hook_ = std::move(hook); }
 
   int64_t bytes_sent() const { return bytes_sent_; }
   int64_t bytes_received() const { return bytes_received_; }
   int64_t round_trips() const { return round_trips_; }
+  int64_t dropped_round_trips() const { return dropped_round_trips_; }
 
  private:
   Handler handler_;
+  FaultHook fault_hook_;
   LatencyParams params_;
   VirtualClock* clock_;
   int64_t bytes_sent_ = 0;
   int64_t bytes_received_ = 0;
   int64_t round_trips_ = 0;
+  int64_t dropped_round_trips_ = 0;
 };
 
 }  // namespace irdb

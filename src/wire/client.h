@@ -1,4 +1,9 @@
 // RemoteConnection: DbConnection over a Channel (client side of the wire).
+//
+// The client is the first line of fault tolerance: a lost round trip
+// (StatusCode::kUnavailable) never reached the server, so the client retries
+// it with exponential backoff, charging the wait to the channel's virtual
+// clock. Non-retryable errors (real server-side failures) pass through.
 #pragma once
 
 #include <memory>
@@ -10,24 +15,59 @@
 
 namespace irdb {
 
+// Bounded exponential backoff for retryable wire failures.
+struct RetryPolicy {
+  int max_attempts = 4;                  // total attempts, including the first
+  double initial_backoff_seconds = 5e-4;
+  double backoff_multiplier = 2.0;
+
+  static RetryPolicy None() {
+    RetryPolicy p;
+    p.max_attempts = 1;
+    return p;
+  }
+};
+
+// Sends `req`, retrying retryable transport failures per `policy`. Backoff
+// between attempts is charged to the channel's virtual clock. `retries`
+// (optional) is incremented once per re-attempt.
+inline Result<WireResponse> CallWithRetry(Channel* channel,
+                                          const WireRequest& req,
+                                          const RetryPolicy& policy,
+                                          int64_t* retries = nullptr) {
+  const std::string encoded = EncodeRequest(req);
+  double backoff = policy.initial_backoff_seconds;
+  for (int attempt = 1;; ++attempt) {
+    auto raw = channel->RoundTrip(encoded);
+    if (raw.ok()) return DecodeResponse(*raw);
+    if (!raw.status().IsRetryable() || attempt >= policy.max_attempts) {
+      return raw.status();
+    }
+    if (retries != nullptr) ++*retries;
+    if (channel->clock() != nullptr) channel->clock()->Advance(backoff);
+    backoff *= policy.backoff_multiplier;
+  }
+}
+
 class RemoteConnection : public DbConnection {
  public:
   // Establishes a session over `channel` (which it does not own).
-  static Result<std::unique_ptr<RemoteConnection>> Connect(Channel* channel) {
+  static Result<std::unique_ptr<RemoteConnection>> Connect(
+      Channel* channel, RetryPolicy policy = RetryPolicy()) {
     WireRequest req;
     req.kind = WireRequest::Kind::kConnect;
-    auto resp = DecodeResponse(channel->RoundTrip(EncodeRequest(req)));
+    auto resp = CallWithRetry(channel, req, policy);
     if (!resp.ok()) return resp.status();
     if (!resp->ok) return Status(resp->error_code, resp->error_message);
     return std::unique_ptr<RemoteConnection>(
-        new RemoteConnection(channel, resp->session));
+        new RemoteConnection(channel, resp->session, policy));
   }
 
   ~RemoteConnection() override {
     WireRequest req;
     req.kind = WireRequest::Kind::kDisconnect;
     req.session = session_;
-    channel_->RoundTrip(EncodeRequest(req));
+    (void)CallWithRetry(channel_, req, policy_, &retries_);
   }
 
   // The AST overload is inherited: it prints and ships text, because SQL
@@ -39,7 +79,7 @@ class RemoteConnection : public DbConnection {
     req.kind = WireRequest::Kind::kExec;
     req.session = session_;
     req.sql = std::string(sql);
-    auto resp = DecodeResponse(channel_->RoundTrip(EncodeRequest(req)));
+    auto resp = CallWithRetry(channel_, req, policy_, &retries_);
     if (!resp.ok()) return resp.status();
     if (!resp->ok) return Status(resp->error_code, resp->error_message);
     return std::move(resp->result);
@@ -50,17 +90,23 @@ class RemoteConnection : public DbConnection {
     req.kind = WireRequest::Kind::kAnnotate;
     req.session = session_;
     req.sql = std::string(label);
-    channel_->RoundTrip(EncodeRequest(req));
+    (void)CallWithRetry(channel_, req, policy_, &retries_);
   }
 
   std::string Describe() const override { return "remote"; }
 
+  void set_retry_policy(RetryPolicy policy) { policy_ = policy; }
+  // Re-attempted round trips (after retryable transport failures).
+  int64_t retries() const { return retries_; }
+
  private:
-  RemoteConnection(Channel* channel, int64_t session)
-      : channel_(channel), session_(session) {}
+  RemoteConnection(Channel* channel, int64_t session, RetryPolicy policy)
+      : channel_(channel), session_(session), policy_(policy) {}
 
   Channel* channel_;
   int64_t session_;
+  RetryPolicy policy_;
+  int64_t retries_ = 0;
 };
 
 }  // namespace irdb

@@ -1,0 +1,573 @@
+// Seeded chaos harness over the full tracked stack (DESIGN.md §5b).
+//
+// Drives engine -> wire server -> faulty loopback channel -> retrying remote
+// client -> tracking proxy under randomized request-loss faults and checks
+// the invariants the fault model promises:
+//
+//   A. tracking completeness — every transaction the client saw COMMIT OK
+//      for either has its exact dependency set in trans_dep or (under
+//      DegradedMode::kCommitUntracked only) is quarantined in tracking_gaps;
+//      no metadata row survives from an aborted transaction;
+//   B. WAL durability — the durable codec round-trips the whole log
+//      byte-exactly, and a torn final frame truncates to the intact prefix;
+//   C. repair soundness — post-chaos state equals a fault-free replay of
+//      exactly the committed transactions (atomicity), and post-repair state
+//      equals the same replay with the undo set omitted.
+//
+// Everything is derived from one seed (--seed=N, or IRDB_CHAOS_SEED, default
+// below); the seed is printed on startup and with every failure so any run
+// can be replayed exactly.
+//
+// Not a gtest binary: a violation prints the seed and exits non-zero, which
+// is what tools/run_chaos.sh and the `chaos` ctest label consume.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "engine/database.h"
+#include "engine/recovery.h"
+#include "proxy/tracking_proxy.h"
+#include "repair/dba_policy.h"
+#include "repair/repair_engine.h"
+#include "tpcc/loader.h"
+#include "tpcc/workload.h"
+#include "txn/wal_codec.h"
+#include "util/failpoint.h"
+#include "util/string_utils.h"
+#include "wire/channel.h"
+#include "wire/client.h"
+#include "wire/server.h"
+
+namespace irdb {
+namespace {
+
+uint64_t g_seed = 0;
+
+// Aggregate fault counters across every iteration; the harness refuses to
+// pass if nothing ever fired (an inert harness proves nothing).
+int64_t g_dropped_round_trips = 0;
+int64_t g_retries = 0;
+int64_t g_injected = 0;
+int64_t g_degraded_commits = 0;
+int64_t g_gap_txns = 0;
+
+[[noreturn]] void Fail(const std::string& msg) {
+  std::fprintf(stderr, "chaos: FAILED (seed %llu): %s\n",
+               static_cast<unsigned long long>(g_seed), msg.c_str());
+  std::exit(1);
+}
+
+void Require(bool cond, const std::string& msg) {
+  if (!cond) Fail(msg);
+}
+
+ResultSet Must(DbConnection* conn, const std::string& sql) {
+  auto r = conn->Execute(sql);
+  Require(r.ok(), sql + " -> " + r.status().ToString());
+  return std::move(r).value();
+}
+
+// The deployment under test. Construction happens with faults disarmed.
+struct ChaosStack {
+  explicit ChaosStack(proxy::DegradedMode mode)
+      : db(FlavorTraits::Postgres()),
+        server(&db),
+        channel([this](std::string_view req) { return server.Handle(req); },
+                LatencyParams::Local(), &db.io_model().clock()) {
+    auto remote_or = RemoteConnection::Connect(&channel);
+    IRDB_CHECK(remote_or.ok());
+    remote = std::move(remote_or).value();
+    proxy = std::make_unique<proxy::TrackingProxy>(remote.get(), &alloc,
+                                                   FlavorTraits::Postgres());
+    proxy->set_retry_clock(&db.io_model().clock());
+    proxy->set_degraded_mode(mode);
+    IRDB_CHECK(proxy->EnsureTrackingTables().ok());
+  }
+
+  // Faults must be disarmed before checks and before destruction (the remote
+  // connection's parting disconnect should not be dropped); the backend
+  // session may still hold a transaction whose ROLLBACK was lost — flush it
+  // so uncommitted work cannot leak into the invariant checks.
+  void Quiesce() {
+    fail::Registry::Instance().DisarmAll();
+    (void)remote->Execute("ROLLBACK");
+    g_dropped_round_trips += channel.dropped_round_trips();
+    g_retries += proxy->stats().retries + remote->retries();
+    g_injected += proxy->stats().injected_faults_hit;
+    g_degraded_commits += proxy->stats().degraded_commits;
+    g_gap_txns += proxy->stats().tracking_gap_txns;
+  }
+
+  Database db;
+  DbServer server;
+  LoopbackChannel channel;
+  proxy::TxnIdAllocator alloc;
+  std::unique_ptr<RemoteConnection> remote;
+  std::unique_ptr<proxy::TrackingProxy> proxy;
+};
+
+// A fault profile scales the per-site base rates, shifting chaos toward the
+// wire or the commit path (tools/run_chaos.sh sweeps seeds x profiles).
+struct FaultProfile {
+  const char* name;
+  double wire_mult;
+  double engine_mult;
+  double commit_mult;
+};
+
+constexpr FaultProfile kProfiles[] = {
+    {"default", 1.0, 1.0, 1.0},
+    {"wire-heavy", 4.0, 2.0, 0.5},
+    {"commit-heavy", 0.5, 0.5, 3.0},
+};
+
+FaultProfile g_profile = kProfiles[0];
+
+void ArmMixFaults(double wire_p, double engine_p, double dep_p,
+                  double annot_p) {
+  auto& reg = fail::Registry::Instance();
+  reg.Arm("wire.roundtrip",
+          fail::Trigger::Probability(wire_p * g_profile.wire_mult));
+  reg.Arm("engine.execute",
+          fail::Trigger::Probability(engine_p * g_profile.engine_mult));
+  reg.Arm("proxy.commit.trans_dep",
+          fail::Trigger::Probability(dep_p * g_profile.commit_mult));
+  reg.Arm("proxy.commit.annot",
+          fail::Trigger::Probability(annot_p * g_profile.commit_mult));
+}
+
+// Snapshots the proxy's txn id and pending dependency set just before each
+// COMMIT it forwards; a successful COMMIT is recorded as client-side ground
+// truth for the completeness check.
+class ShadowConnection : public DbConnection {
+ public:
+  explicit ShadowConnection(proxy::TrackingProxy* proxy) : proxy_(proxy) {}
+
+  Result<ResultSet> Execute(std::string_view sql) override {
+    const bool is_commit = EqualsIgnoreCase(sql, "COMMIT");
+    const int64_t trid = proxy_->current_txn_id();
+    std::vector<proxy::DepEntry> deps;
+    if (is_commit && trid != 0) deps = proxy_->pending_deps();
+    auto r = proxy_->Execute(sql);
+    if (is_commit && trid != 0 && r.ok()) committed[trid] = std::move(deps);
+    return r;
+  }
+
+  void SetAnnotation(std::string_view label) override {
+    proxy_->SetAnnotation(label);
+  }
+  std::string Describe() const override {
+    return "shadow(" + proxy_->Describe() + ")";
+  }
+
+  std::map<int64_t, std::vector<proxy::DepEntry>> committed;
+
+ private:
+  proxy::TrackingProxy* proxy_;
+};
+
+std::set<int64_t> TransDepIds(DbConnection* admin) {
+  std::set<int64_t> ids;
+  ResultSet rs = Must(admin, "SELECT tr_id FROM trans_dep");
+  for (const auto& row : rs.rows) ids.insert(row[0].as_int());
+  return ids;
+}
+
+// Invariant A. `baseline` holds trans_dep ids written during the fault-free
+// setup/load phase, which the per-txn checks skip.
+void CheckTrackingCompleteness(
+    DbConnection* admin,
+    const std::map<int64_t, std::vector<proxy::DepEntry>>& committed,
+    const std::set<int64_t>& baseline, proxy::DegradedMode mode) {
+  // Reassemble chunked payloads in row (= insertion) order.
+  std::map<int64_t, std::string> payloads;
+  ResultSet dep_rs = Must(admin, "SELECT tr_id, dep_tr_ids FROM trans_dep");
+  for (const auto& row : dep_rs.rows) {
+    std::string& p = payloads[row[0].as_int()];
+    const std::string chunk = row[1].as_string();
+    if (!p.empty() && !chunk.empty()) p += ' ';
+    p += chunk;
+  }
+  std::set<int64_t> gaps;
+  ResultSet gap_rs = Must(admin, "SELECT tr_id FROM tracking_gaps");
+  for (const auto& row : gap_rs.rows) gaps.insert(row[0].as_int());
+
+  if (mode == proxy::DegradedMode::kAbort) {
+    Require(gaps.empty(), "tracking_gaps must stay empty under kAbort, has " +
+                              std::to_string(gaps.size()) + " rows");
+  }
+
+  for (const auto& [trid, deps] : committed) {
+    const std::string who = "committed txn " + std::to_string(trid);
+    if (gaps.count(trid) > 0) {
+      // Degraded commit: any trans_dep rows that did land before the fault
+      // must still be a subset of the true dependency set.
+      auto it = payloads.find(trid);
+      if (it != payloads.end()) {
+        auto partial = proxy::ParseDepTokens(it->second);
+        Require(partial.ok(), who + ": unparseable partial payload");
+        for (const auto& d : *partial) {
+          Require(std::find(deps.begin(), deps.end(), d) != deps.end(),
+                  who + ": phantom dependency in partial payload");
+        }
+      }
+      continue;
+    }
+    auto it = payloads.find(trid);
+    Require(it != payloads.end(),
+            who + " has neither trans_dep rows nor a tracking_gaps entry");
+    auto parsed = proxy::ParseDepTokens(it->second);
+    Require(parsed.ok(), who + ": unparseable trans_dep payload");
+    Require(*parsed == deps, who + ": dependency set mismatch (" +
+                                 std::to_string(parsed->size()) +
+                                 " recorded vs " + std::to_string(deps.size()) +
+                                 " observed)");
+  }
+
+  // No phantom metadata: a trans_dep or tracking_gaps row whose txn the
+  // client never saw commit means an abort failed to roll metadata back.
+  for (const auto& [id, payload] : payloads) {
+    (void)payload;
+    if (baseline.count(id) > 0) continue;
+    Require(committed.count(id) > 0,
+            "trans_dep row for txn " + std::to_string(id) +
+                " which the client never saw commit");
+  }
+  for (int64_t id : gaps) {
+    Require(committed.count(id) > 0,
+            "tracking_gaps row for txn " + std::to_string(id) +
+                " which the client never saw commit");
+  }
+}
+
+// Invariant B.
+void CheckWalDurability(Database& db) {
+  const std::string clean = SerializeWal(db.wal());
+  auto decoded = DecodeWal(clean);
+  Require(decoded.ok(), "clean WAL decode: " + decoded.status().ToString());
+  Require(!decoded->truncated_tail, "clean WAL decode reported a torn tail");
+  Require(static_cast<int64_t>(decoded->records.size()) == db.wal().size(),
+          "clean WAL decode lost records");
+
+  auto rec_or = RecoverDatabaseFromBytes(clean, db.traits());
+  Require(rec_or.ok(), "recovery from bytes: " + rec_or.status().ToString());
+  for (const std::string& name : db.catalog().TableNames()) {
+    const HeapTable* orig = db.catalog().Find(name);
+    const HeapTable* rec = (*rec_or)->catalog().Find(name);
+    Require(rec != nullptr, "recovered database lost table " + name);
+    Require(rec->page_count() == orig->page_count(),
+            "page count mismatch on " + name);
+    for (int p = 0; p < orig->page_count(); ++p) {
+      Require(rec->GetPage(p)->RawBytes() == orig->GetPage(p)->RawBytes(),
+              "page " + std::to_string(p) + " of " + name +
+                  " not byte-exact after recovery");
+    }
+  }
+
+  if (db.wal().size() == 0) return;
+  fail::Registry::Instance().Arm("wal.serialize.torn",
+                                 fail::Trigger::OneShot());
+  const std::string torn = SerializeWal(db.wal());
+  fail::Registry::Instance().Disarm("wal.serialize.torn");
+  Require(torn.size() < clean.size() &&
+              clean.compare(0, torn.size(), torn) == 0,
+          "torn serialization is not a pure truncation of the clean bytes");
+  WalRecoveryInfo info;
+  auto torn_rec = RecoverDatabaseFromBytes(torn, db.traits(), &info);
+  Require(torn_rec.ok(),
+          "torn-tail recovery: " + torn_rec.status().ToString());
+  Require(info.truncated_tail, "torn-tail recovery did not flag truncation");
+  Require(info.records_recovered == db.wal().size() - 1,
+          "torn tail should cost exactly the final record");
+  Require(info.dropped_bytes > 0, "torn-tail recovery dropped no bytes");
+}
+
+// ---------------------------------------------------------------------------
+// Part 1: TPC-C mix under wire / engine / commit-metadata faults.
+
+void RunTpccChaosIteration(int iter) {
+  auto& reg = fail::Registry::Instance();
+  reg.DisarmAll();
+  reg.ResetStats();
+  reg.Seed(g_seed * 1000003 + static_cast<uint64_t>(iter));
+  const proxy::DegradedMode mode = (iter % 2 == 0)
+                                       ? proxy::DegradedMode::kAbort
+                                       : proxy::DegradedMode::kCommitUntracked;
+  ChaosStack s(mode);
+
+  tpcc::TpccConfig cfg;
+  cfg.warehouses = 1;
+  cfg.districts_per_warehouse = 2;
+  cfg.customers_per_district = 6;
+  cfg.items = 20;
+  cfg.orders_per_district = 6;
+  cfg.seed = g_seed + static_cast<uint64_t>(iter);
+  auto load = tpcc::LoadDatabase(s.proxy.get(), cfg);
+  Require(load.ok(), "TPC-C load: " + load.status().ToString());
+
+  DirectConnection admin(&s.db);
+  const std::set<int64_t> baseline = TransDepIds(&admin);
+
+  ShadowConnection shadow(s.proxy.get());
+  tpcc::TpccDriver driver(&shadow, cfg, g_seed + 17 * static_cast<uint64_t>(iter));
+
+  ArmMixFaults(/*wire_p=*/0.02, /*engine_p=*/0.01, /*dep_p=*/0.06,
+               /*annot_p=*/0.04);
+  int ok_txns = 0, failed_txns = 0;
+  for (int t = 0; t < 30; ++t) {
+    auto r = driver.RunMixed();
+    if (r.ok()) {
+      ++ok_txns;
+    } else {
+      ++failed_txns;
+    }
+  }
+  s.Quiesce();
+
+  CheckTrackingCompleteness(&admin, shadow.committed, baseline, mode);
+  CheckWalDurability(s.db);
+
+  std::printf("chaos: tpcc iter %2d mode=%s ok=%d failed=%d tracked=%zu "
+              "dropped=%lld gaps=%lld\n",
+              iter, mode == proxy::DegradedMode::kAbort ? "abort" : "degrade",
+              ok_txns, failed_txns, shadow.committed.size(),
+              static_cast<long long>(s.channel.dropped_round_trips()),
+              static_cast<long long>(s.proxy->stats().tracking_gap_txns));
+}
+
+// ---------------------------------------------------------------------------
+// Part 2: deterministic account scripts -> atomicity + repair soundness.
+
+constexpr size_t kAttackIndex = 4;
+constexpr int kAccounts = 10;
+
+struct Script {
+  std::string label;
+  std::vector<std::string> stmts;
+};
+
+// All statement text is fixed up front so the fault-free replay reruns the
+// exact same transactions. Updates are additive constants: a transaction's
+// writes never depend on its reads through values, only through the tracked
+// read set, so replaying any dependency-closed subset is state-equivalent.
+std::vector<Script> MakeScripts(uint64_t seed, size_t n) {
+  Rng rng(seed);
+  std::vector<Script> scripts;
+  for (size_t j = 0; j < n; ++j) {
+    Script sc;
+    if (j == kAttackIndex) {
+      sc.label = "Attack";
+      sc.stmts.push_back(
+          "UPDATE account SET balance = balance + 1000 WHERE id = 1");
+    } else {
+      sc.label = "Txn_" + std::to_string(j);
+      const int reads = static_cast<int>(rng.Uniform(1, 2));
+      for (int k = 0; k < reads; ++k) {
+        sc.stmts.push_back("SELECT balance FROM account WHERE id = " +
+                           std::to_string(rng.Uniform(1, kAccounts)));
+      }
+      const int writes = static_cast<int>(rng.Uniform(1, 2));
+      for (int k = 0; k < writes; ++k) {
+        sc.stmts.push_back("UPDATE account SET balance = balance + " +
+                           std::to_string(rng.Uniform(1, 50)) +
+                           " WHERE id = " +
+                           std::to_string(rng.Uniform(1, kAccounts)));
+      }
+      if (rng.Bernoulli(0.2)) {
+        sc.stmts.push_back("INSERT INTO account(id, balance) VALUES (" +
+                           std::to_string(100 + j) + ", 10.0)");
+      }
+    }
+    scripts.push_back(std::move(sc));
+  }
+  return scripts;
+}
+
+void SetupAccounts(DbConnection* conn) {
+  Must(conn, "CREATE TABLE account (id INTEGER NOT NULL, balance DOUBLE)");
+  Must(conn, "BEGIN");
+  conn->SetAnnotation("Setup");
+  std::string values;
+  for (int id = 1; id <= kAccounts; ++id) {
+    if (!values.empty()) values += ", ";
+    values += "(" + std::to_string(id) + ", " + std::to_string(100 * id) +
+              ".0)";
+  }
+  Must(conn, "INSERT INTO account(id, balance) VALUES " + values);
+  Must(conn, "COMMIT");
+}
+
+// Fault-free replay of the committed scripts minus `excluded`, hashed.
+uint64_t ReplayHash(const std::vector<Script>& scripts,
+                    const std::vector<bool>& committed_mask,
+                    const std::set<size_t>& excluded) {
+  Database db(FlavorTraits::Postgres());
+  DirectConnection direct(&db);
+  proxy::TxnIdAllocator alloc;
+  proxy::TrackingProxy proxy(&direct, &alloc, FlavorTraits::Postgres());
+  IRDB_CHECK(proxy.EnsureTrackingTables().ok());
+  SetupAccounts(&proxy);
+  for (size_t j = 0; j < scripts.size(); ++j) {
+    if (!committed_mask[j] || excluded.count(j) > 0) continue;
+    Must(&proxy, "BEGIN");
+    proxy.SetAnnotation(scripts[j].label);
+    for (const std::string& sql : scripts[j].stmts) Must(&proxy, sql);
+    Must(&proxy, "COMMIT");
+  }
+  return db.StateHash({"account"}, {"trid"});
+}
+
+void RunRepairChaosIteration(int iter) {
+  auto& reg = fail::Registry::Instance();
+  reg.DisarmAll();
+  reg.ResetStats();
+  reg.Seed(g_seed * 9176423 + static_cast<uint64_t>(iter));
+  const proxy::DegradedMode mode = (iter % 2 == 0)
+                                       ? proxy::DegradedMode::kCommitUntracked
+                                       : proxy::DegradedMode::kAbort;
+  ChaosStack s(mode);
+  SetupAccounts(s.proxy.get());
+
+  DirectConnection admin(&s.db);
+  const std::set<int64_t> baseline = TransDepIds(&admin);
+  const std::vector<Script> scripts =
+      MakeScripts(g_seed + 31 * static_cast<uint64_t>(iter), 18);
+
+  ArmMixFaults(/*wire_p=*/0.03, /*engine_p=*/0.02, /*dep_p=*/0.10,
+               /*annot_p=*/0.05);
+  std::vector<bool> committed_mask(scripts.size(), false);
+  std::map<int64_t, std::vector<proxy::DepEntry>> committed;
+  std::map<int64_t, size_t> trid_to_script;
+  for (size_t j = 0; j < scripts.size(); ++j) {
+    if (!s.proxy->Execute("BEGIN").ok()) continue;
+    s.proxy->SetAnnotation(scripts[j].label);
+    bool failed = false;
+    for (const std::string& sql : scripts[j].stmts) {
+      if (!s.proxy->Execute(sql).ok()) {
+        failed = true;
+        break;
+      }
+    }
+    if (failed) {
+      (void)s.proxy->Execute("ROLLBACK");
+      continue;
+    }
+    const int64_t trid = s.proxy->current_txn_id();
+    std::vector<proxy::DepEntry> deps = s.proxy->pending_deps();
+    if (s.proxy->Execute("COMMIT").ok()) {
+      committed_mask[j] = true;
+      committed[trid] = std::move(deps);
+      trid_to_script[trid] = j;
+    }
+  }
+  s.Quiesce();
+
+  CheckTrackingCompleteness(&admin, committed, baseline, mode);
+  CheckWalDurability(s.db);
+
+  // C (atomicity): faults may abort transactions but never leave fractions
+  // of one behind.
+  const uint64_t actual = s.db.StateHash({"account"}, {"trid"});
+  const uint64_t expected = ReplayHash(scripts, committed_mask, {});
+  Require(actual == expected,
+          "post-chaos state diverges from a replay of the committed scripts");
+
+  // C (repair soundness): undoing the attack yields the same state as never
+  // running the undo set at all.
+  int64_t attack_trid = 0;
+  for (const auto& [trid, j] : trid_to_script) {
+    if (j == kAttackIndex) attack_trid = trid;
+  }
+  size_t undo_size = 0;
+  if (attack_trid != 0) {
+    repair::RepairEngine engine(&s.db);
+    auto report =
+        engine.Repair({attack_trid}, repair::DbaPolicy::TrackEverything());
+    Require(report.ok(), "repair: " + report.status().ToString());
+    std::set<size_t> excluded;
+    for (int64_t id : report->undo_set) {
+      auto it = trid_to_script.find(id);
+      if (it != trid_to_script.end()) excluded.insert(it->second);
+    }
+    Require(excluded.count(kAttackIndex) > 0, "attack txn not in undo set");
+    undo_size = report->undo_set.size();
+    const uint64_t repaired = s.db.StateHash({"account"}, {"trid"});
+    const uint64_t expect2 = ReplayHash(scripts, committed_mask, excluded);
+    Require(repaired == expect2,
+            "repaired state diverges from a replay without the undo set");
+  }
+
+  std::printf("chaos: repair iter %2d mode=%s committed=%zu undo=%zu "
+              "gaps=%lld\n",
+              iter, mode == proxy::DegradedMode::kAbort ? "abort" : "degrade",
+              committed.size(), undo_size,
+              static_cast<long long>(s.proxy->stats().tracking_gap_txns));
+}
+
+int ChaosMain(int argc, char** argv) {
+  uint64_t seed = 20260805;
+  if (const char* env = std::getenv("IRDB_CHAOS_SEED");
+      env != nullptr && *env != '\0') {
+    seed = std::strtoull(env, nullptr, 10);
+  }
+  int tpcc_iters = 13, repair_iters = 13;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+      seed = std::strtoull(argv[i] + 7, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--tpcc-iters=", 13) == 0) {
+      tpcc_iters = std::atoi(argv[i] + 13);
+    } else if (std::strncmp(argv[i], "--repair-iters=", 15) == 0) {
+      repair_iters = std::atoi(argv[i] + 15);
+    } else if (std::strncmp(argv[i], "--profile=", 10) == 0) {
+      const char* want = argv[i] + 10;
+      bool found = false;
+      for (const FaultProfile& p : kProfiles) {
+        if (std::strcmp(p.name, want) == 0) {
+          g_profile = p;
+          found = true;
+        }
+      }
+      if (!found) {
+        std::fprintf(stderr, "unknown profile '%s' (default, wire-heavy, "
+                             "commit-heavy)\n", want);
+        return 2;
+      }
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--seed=N] [--profile=NAME] [--tpcc-iters=N] "
+                   "[--repair-iters=N]\n"
+                   "  (IRDB_CHAOS_SEED is honored when --seed is absent)\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  g_seed = seed;
+  std::printf("chaos: seed=%llu profile=%s tpcc_iters=%d repair_iters=%d\n",
+              static_cast<unsigned long long>(seed), g_profile.name,
+              tpcc_iters, repair_iters);
+
+  for (int i = 0; i < tpcc_iters; ++i) RunTpccChaosIteration(i);
+  for (int i = 0; i < repair_iters; ++i) RunRepairChaosIteration(i);
+
+  Require(g_dropped_round_trips + g_injected > 0,
+          "no faults fired across the whole run — the harness is inert");
+  std::printf("chaos: OK  dropped_round_trips=%lld retries=%lld "
+              "injected=%lld degraded_commits=%lld gap_txns=%lld\n",
+              static_cast<long long>(g_dropped_round_trips),
+              static_cast<long long>(g_retries),
+              static_cast<long long>(g_injected),
+              static_cast<long long>(g_degraded_commits),
+              static_cast<long long>(g_gap_txns));
+  return 0;
+}
+
+}  // namespace
+}  // namespace irdb
+
+int main(int argc, char** argv) { return irdb::ChaosMain(argc, argv); }

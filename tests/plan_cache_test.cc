@@ -10,6 +10,7 @@
 #include "proxy/tracking_proxy.h"
 #include "sql/fingerprint.h"
 #include "sql/parser.h"
+#include "util/failpoint.h"
 #include "wire/connection.h"
 
 namespace irdb::proxy {
@@ -192,6 +193,42 @@ TEST_F(ProxyCacheTest, CachedPlansBindFreshLiterals) {
   ASSERT_EQ(two.rows.size(), 1u);
   EXPECT_EQ(two.rows[0][0].as_string(), "two");
   EXPECT_GT(proxy_.stats().cache_hits, 0);
+}
+
+TEST_F(ProxyCacheTest, CachedStatementFailureMidTxnLeavesNoStaleTrid) {
+  // A cached INSERT whose execution fails mid-transaction (injected engine
+  // fault, retries exhausted) must not leave its transaction's trid stamped
+  // on any surviving row, and the next autocommit use of the same cached
+  // plan must stamp a fresh trid — not the aborted transaction's.
+  fail::Registry::Instance().DisarmAll();
+  fail::Registry::Instance().Seed(5);
+  Must("CREATE TABLE t (a INTEGER)");
+  Must("INSERT INTO t(a) VALUES (1)");  // miss: builds + caches the plan
+
+  Must("BEGIN");
+  const int64_t aborted_trid = proxy_.current_txn_id();
+  ASSERT_GT(aborted_trid, 0);
+  // Exhaust the proxy's 3 backend attempts so the cached INSERT fails.
+  fail::Registry::Instance().Arm("engine.execute", fail::Trigger::Always(3));
+  auto r = proxy_.Execute("INSERT INTO t(a) VALUES (2)");  // cache hit
+  fail::Registry::Instance().DisarmAll();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnavailable);
+  ASSERT_TRUE(proxy_.Execute("ROLLBACK").ok());
+
+  Must("INSERT INTO t(a) VALUES (3)");  // cache hit, fresh autocommit txn
+
+  auto rs = direct_.Execute("SELECT a, trid FROM t");
+  ASSERT_TRUE(rs.ok());
+  ASSERT_EQ(rs->rows.size(), 2u);  // the failed INSERT left nothing behind
+  for (const auto& row : rs->rows) {
+    EXPECT_NE(row[1].as_int(), aborted_trid);
+    EXPECT_GT(row[1].as_int(), 0);
+  }
+  // Rows 1 and 3 carry distinct fresh trids.
+  EXPECT_NE(rs->rows[0][1].as_int(), rs->rows[1][1].as_int());
+  EXPECT_GT(proxy_.stats().retries, 0);
+  EXPECT_GT(proxy_.stats().injected_faults_hit, 0);
 }
 
 TEST_F(ProxyCacheTest, CachedInsertsRestampTrid) {

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include "engine/io_model.h"
+#include "util/failpoint.h"
 #include "util/rng.h"
 #include "util/status.h"
 #include "util/string_utils.h"
@@ -142,6 +143,99 @@ TEST(FnvTest, StableAndSensitive) {
   EXPECT_EQ(Fnv1a("abc"), Fnv1a("abc"));
   EXPECT_NE(Fnv1a("abc"), Fnv1a("abd"));
   EXPECT_NE(Fnv1a("abc", 1), Fnv1a("abc", 2));
+}
+
+TEST(StatusTest, UnavailableIsRetryable) {
+  EXPECT_TRUE(Status::Unavailable("lost").IsRetryable());
+  EXPECT_FALSE(Status::Internal("bug").IsRetryable());
+  EXPECT_FALSE(Status::Ok().IsRetryable());
+  EXPECT_STREQ(StatusCodeName(StatusCode::kUnavailable), "UNAVAILABLE");
+}
+
+class FailpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fail::Registry::Instance().DisarmAll();
+    fail::Registry::Instance().ResetStats();
+    fail::Registry::Instance().Seed(42);
+  }
+  void TearDown() override { fail::Registry::Instance().DisarmAll(); }
+};
+
+TEST_F(FailpointTest, DisarmedSitesNeverFire) {
+  EXPECT_FALSE(fail::Triggered("some.site"));
+  fail::Registry::Instance().Arm("other.site", fail::Trigger::Always());
+  EXPECT_FALSE(fail::Triggered("some.site"));
+  EXPECT_TRUE(fail::Triggered("other.site"));
+}
+
+TEST_F(FailpointTest, OneShotFiresExactlyOnce) {
+  fail::Registry::Instance().Arm("s", fail::Trigger::OneShot());
+  EXPECT_TRUE(fail::Triggered("s"));
+  EXPECT_FALSE(fail::Triggered("s"));
+  EXPECT_FALSE(fail::Triggered("s"));
+  EXPECT_EQ(fail::Registry::Instance().Stats("s").hits, 1);
+  EXPECT_EQ(fail::Registry::Instance().Stats("s").evaluations, 3);
+}
+
+TEST_F(FailpointTest, OneShotSkipsFirstN) {
+  fail::Registry::Instance().Arm("s", fail::Trigger::OneShot(/*skip=*/2));
+  EXPECT_FALSE(fail::Triggered("s"));
+  EXPECT_FALSE(fail::Triggered("s"));
+  EXPECT_TRUE(fail::Triggered("s"));
+  EXPECT_FALSE(fail::Triggered("s"));
+}
+
+TEST_F(FailpointTest, EveryNthFiresPeriodically) {
+  fail::Registry::Instance().Arm("s", fail::Trigger::EveryNth(3));
+  int hits = 0;
+  for (int i = 0; i < 9; ++i) {
+    if (fail::Triggered("s")) ++hits;
+  }
+  EXPECT_EQ(hits, 3);
+}
+
+TEST_F(FailpointTest, ProbabilityIsSeedDeterministic) {
+  auto run = [](uint64_t seed) {
+    fail::Registry::Instance().DisarmAll();
+    fail::Registry::Instance().Seed(seed);
+    fail::Registry::Instance().Arm("p", fail::Trigger::Probability(0.3));
+    std::vector<bool> fires;
+    for (int i = 0; i < 50; ++i) fires.push_back(fail::Triggered("p"));
+    return fires;
+  };
+  EXPECT_EQ(run(7), run(7));
+  EXPECT_NE(run(7), run(8));
+  const auto st = fail::Registry::Instance().Stats("p");
+  EXPECT_GT(st.hits, 0);
+  EXPECT_LT(st.hits, 50);
+}
+
+TEST_F(FailpointTest, MaxHitsBoundsFiring) {
+  fail::Registry::Instance().Arm("s", fail::Trigger::Always(/*max_hits=*/2));
+  int hits = 0;
+  for (int i = 0; i < 5; ++i) {
+    if (fail::Triggered("s")) ++hits;
+  }
+  EXPECT_EQ(hits, 2);
+}
+
+TEST_F(FailpointTest, InjectedStatusIsTaggedAndRetryable) {
+  Status s = fail::Inject("wire.roundtrip");
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(s.IsRetryable());
+  EXPECT_TRUE(fail::IsInjected(s));
+  EXPECT_FALSE(fail::IsInjected(Status::Unavailable("organic failure")));
+  EXPECT_FALSE(fail::IsInjected(Status::Ok()));
+}
+
+TEST_F(FailpointTest, DisarmAllStopsFiringButKeepsStats) {
+  fail::Registry::Instance().Arm("s", fail::Trigger::Always());
+  EXPECT_TRUE(fail::Triggered("s"));
+  fail::Registry::Instance().DisarmAll();
+  EXPECT_FALSE(fail::Triggered("s"));
+  EXPECT_EQ(fail::Registry::Instance().Stats("s").hits, 1);
+  EXPECT_EQ(fail::Registry::Instance().TotalHits(), 1);
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "engine/database.h"
+#include "util/failpoint.h"
 #include "util/rng.h"
 #include "wire/channel.h"
 #include "wire/client.h"
@@ -102,7 +103,8 @@ TEST(ChannelTest, ChargesRttAndBytes) {
   params.bytes_per_second = 1000;  // 1 byte per ms
   LoopbackChannel channel([](std::string_view) { return std::string(10, 'x'); },
                           params, &clock);
-  channel.RoundTrip("12345");  // 5 out + 10 back
+  auto resp = channel.RoundTrip("12345");  // 5 out + 10 back
+  ASSERT_TRUE(resp.ok());
   EXPECT_NEAR(clock.seconds(), 1e-3 + 15.0 / 1000, 1e-9);
   EXPECT_EQ(channel.bytes_sent(), 5);
   EXPECT_EQ(channel.bytes_received(), 10);
@@ -132,6 +134,126 @@ TEST(RemoteConnectionTest, ExecutesAndIsolatesSessions) {
   auto rows = (*c2)->Execute("SELECT a FROM t");
   ASSERT_TRUE(rows.ok());
   EXPECT_EQ(rows->rows.size(), 1u);
+}
+
+TEST(ChannelTest, FaultHookDropsRequestBeforeHandler) {
+  VirtualClock clock;
+  int handled = 0;
+  LoopbackChannel channel(
+      [&](std::string_view) {
+        ++handled;
+        return "resp";
+      },
+      LatencyParams::Local(), &clock);
+  bool drop = true;
+  channel.set_fault_hook([&](std::string_view) {
+    return drop ? Status::Unavailable("lost") : Status::Ok();
+  });
+  auto r1 = channel.RoundTrip("req");
+  EXPECT_FALSE(r1.ok());
+  EXPECT_EQ(r1.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(handled, 0);  // the peer never saw the request
+  EXPECT_EQ(channel.dropped_round_trips(), 1);
+  EXPECT_GT(clock.seconds(), 0);  // the lost round trip still costs an RTT
+
+  drop = false;
+  auto r2 = channel.RoundTrip("req");
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(*r2, "resp");
+  EXPECT_EQ(handled, 1);
+}
+
+TEST(RetryTest, TransientFaultsAreRetriedToSuccess) {
+  Database db(FlavorTraits::Postgres());
+  DbServer server(&db);
+  VirtualClock clock;
+  LoopbackChannel channel(
+      [&](std::string_view req) { return server.Handle(req); },
+      LatencyParams::Local(), &clock);
+  int failures_left = 0;
+  channel.set_fault_hook([&](std::string_view) {
+    if (failures_left > 0) {
+      --failures_left;
+      return Status::Unavailable("lost");
+    }
+    return Status::Ok();
+  });
+
+  auto conn = RemoteConnection::Connect(&channel);
+  ASSERT_TRUE(conn.ok());
+  ASSERT_TRUE((*conn)->Execute("CREATE TABLE t (a INTEGER)").ok());
+
+  // Default policy allows 4 attempts: 3 drops still succeed.
+  failures_left = 3;
+  const double before = clock.seconds();
+  auto r = (*conn)->Execute("INSERT INTO t(a) VALUES (1)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ((*conn)->retries(), 3);
+  // Backoff (0.5ms + 1ms + 2ms) was charged to the virtual clock on top of
+  // the four RTTs.
+  EXPECT_GT(clock.seconds() - before, 3.5e-3);
+
+  auto rows = (*conn)->Execute("SELECT a FROM t");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->rows.size(), 1u);  // no duplicate insert from the retries
+}
+
+TEST(RetryTest, ExhaustionSurfacesUnavailable) {
+  Database db(FlavorTraits::Postgres());
+  DbServer server(&db);
+  VirtualClock clock;
+  LoopbackChannel channel(
+      [&](std::string_view req) { return server.Handle(req); },
+      LatencyParams::Local(), &clock);
+  auto conn = RemoteConnection::Connect(&channel);
+  ASSERT_TRUE(conn.ok());
+
+  channel.set_fault_hook(
+      [](std::string_view) { return Status::Unavailable("lost"); });
+  const int64_t trips_before = channel.round_trips();
+  auto r = (*conn)->Execute("SELECT 1 FROM t");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(channel.round_trips() - trips_before, 4);  // all attempts used
+  EXPECT_EQ((*conn)->retries(), 3);
+  channel.set_fault_hook(nullptr);
+}
+
+TEST(RetryTest, NonRetryableErrorsAreNotRetried) {
+  Database db(FlavorTraits::Postgres());
+  DbServer server(&db);
+  VirtualClock clock;
+  LoopbackChannel channel(
+      [&](std::string_view req) { return server.Handle(req); },
+      LatencyParams::Local(), &clock);
+  auto conn = RemoteConnection::Connect(&channel);
+  ASSERT_TRUE(conn.ok());
+  const int64_t trips_before = channel.round_trips();
+  auto r = (*conn)->Execute("SELECT a FROM missing");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(channel.round_trips() - trips_before, 1);
+  EXPECT_EQ((*conn)->retries(), 0);
+}
+
+TEST(RetryTest, FailpointInjectsRetryableWireFaults) {
+  fail::Registry::Instance().DisarmAll();
+  fail::Registry::Instance().Seed(99);
+  Database db(FlavorTraits::Postgres());
+  DbServer server(&db);
+  VirtualClock clock;
+  LoopbackChannel channel(
+      [&](std::string_view req) { return server.Handle(req); },
+      LatencyParams::Local(), &clock);
+  auto conn = RemoteConnection::Connect(&channel);
+  ASSERT_TRUE(conn.ok());
+
+  fail::Registry::Instance().Arm("wire.roundtrip", fail::Trigger::OneShot());
+  auto r = (*conn)->Execute("CREATE TABLE t (a INTEGER)");
+  fail::Registry::Instance().DisarmAll();
+  ASSERT_TRUE(r.ok()) << r.status().ToString();  // one drop, one retry
+  EXPECT_EQ((*conn)->retries(), 1);
+  EXPECT_EQ(channel.dropped_round_trips(), 1);
 }
 
 TEST(RemoteConnectionTest, ErrorsCrossTheWire) {

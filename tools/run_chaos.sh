@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Chaos soak: runs the seeded fault-injection harness across N seeds and
+# every fault profile, in both the regular build and an AddressSanitizer
+# build, failing on the first invariant violation (the harness prints the
+# seed so any failure replays exactly).
+#
+# Usage: tools/run_chaos.sh [num_seeds] [base_seed]
+#   num_seeds  seeds per profile per config (default 5)
+#   base_seed  first seed; seeds are base_seed..base_seed+num_seeds-1
+#              (default 20260805)
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+num_seeds="${1:-5}"
+base_seed="${2:-20260805}"
+profiles=(default wire-heavy commit-heavy)
+
+run_config() {
+  local build_dir="$1"; shift
+  local label="$1"; shift
+  cmake -B "$build_dir" -S "$repo" "$@" >/dev/null
+  cmake --build "$build_dir" --target chaos_test -j >/dev/null
+  for profile in "${profiles[@]}"; do
+    for ((i = 0; i < num_seeds; ++i)); do
+      seed=$((base_seed + i))
+      echo "[$label] profile=$profile seed=$seed"
+      "$build_dir/tests/chaos_test" --seed="$seed" --profile="$profile" \
+        | tail -1
+    done
+  done
+}
+
+run_config "$repo/build" "plain"
+run_config "$repo/build-asan" "asan" -DIRDB_SANITIZE=address
+
+echo "chaos soak passed: ${#profiles[@]} profiles x $num_seeds seeds x 2 configs"
