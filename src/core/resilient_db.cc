@@ -1,5 +1,7 @@
 #include "core/resilient_db.h"
 
+#include <cstdio>
+
 namespace irdb {
 
 ResilientDb::ResilientDb(DeploymentOptions opts)
@@ -14,7 +16,7 @@ ResilientDb::ResilientDb(DeploymentOptions opts)
           [this](std::string_view req) { return proxy_host_.Handle(req); },
           opts.latency, &db_.io_model().clock()),
       admin_(&db_),
-      repair_(&db_) {}
+      repair_(&db_, opts.repair_threads) {}
 
 Status ResilientDb::Bootstrap() {
   if (opts_.arch == ProxyArch::kNone) return Status::Ok();
@@ -75,6 +77,36 @@ proxy::ProxyStats ResilientDb::ProxyStatsSnapshot() const {
     total.Add(proxy_host_.AggregateStats());
   }
   return total;
+}
+
+std::string ResilientDb::StatsBlock() const {
+  const proxy::ProxyStats p = ProxyStatsSnapshot();
+  const repair::RepairPhaseStats& ph = repair_.phase_stats();
+  const util::ThreadPoolStats pool = repair_.pool_stats();
+  char buf[512];
+  std::string out = "=== deployment stats ===\n";
+  std::snprintf(buf, sizeof(buf),
+                "proxy: %lld client stmts, %lld backend stmts, %lld deps "
+                "recorded, %lld/%lld cache hits/misses, %lld retries, "
+                "%lld degraded commits\n",
+                static_cast<long long>(p.client_statements),
+                static_cast<long long>(p.backend_statements),
+                static_cast<long long>(p.deps_recorded),
+                static_cast<long long>(p.cache_hits),
+                static_cast<long long>(p.cache_misses),
+                static_cast<long long>(p.retries),
+                static_cast<long long>(p.degraded_commits));
+  out += buf;
+  out += ph.ToString();
+  out += "\n";
+  std::snprintf(buf, sizeof(buf),
+                "repair pool: %d workers, %lld tasks, %lld parallel-fors, "
+                "max queue depth %lld\n",
+                pool.threads, static_cast<long long>(pool.tasks_run),
+                static_cast<long long>(pool.parallel_fors),
+                static_cast<long long>(pool.max_queue_depth));
+  out += buf;
+  return out;
 }
 
 }  // namespace irdb

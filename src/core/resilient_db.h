@@ -38,6 +38,8 @@ struct DeploymentOptions {
   ProxyArch arch = ProxyArch::kSingleProxy;
   LatencyParams latency = LatencyParams::Local();
   IoCostParams io;
+  // Worker threads for the repair pipeline (DESIGN.md §5c); 1 = serial.
+  int repair_threads = 1;
 };
 
 class ResilientDb {
@@ -56,12 +58,19 @@ class ResilientDb {
 
   Database& db() { return db_; }
   repair::RepairEngine& repair() { return repair_; }
+  const repair::RepairEngine& repair() const { return repair_; }
   proxy::TxnIdAllocator& allocator() { return alloc_; }
 
   // Combined tracking-proxy stats across every connection this deployment
   // handed out (closed connections are accumulated; live ones read directly)
   // plus, under kDualProxy, the server-side proxy host's sessions.
   proxy::ProxyStats ProxyStatsSnapshot() const;
+
+  // One consolidated, printable stats block: the proxy snapshot above plus
+  // the repair engine's per-phase timings and worker-pool counters — what
+  // the benches print so every run surfaces tracking and repair cost
+  // side by side.
+  std::string StatsBlock() const;
 
   // Wall-clock plus simulated I/O + network time (see engine/io_model.h).
   double TotalSeconds(double wall_seconds) const {

@@ -24,8 +24,13 @@ struct LogMinerRow {
   std::string sql_undo;
 };
 
-// Emulates DBMS_LOGMNR: committed transactions only, log order.
-Result<std::vector<LogMinerRow>> BuildLogMinerView(Database* db);
+// Emulates DBMS_LOGMNR: committed transactions only, log order. `records`
+// overrides db->wal().records() as the scan source (same content expected);
+// a multi-lane `pool` fans the per-record redo/undo SQL rendering out in
+// contiguous log segments, stitched back in SCN order.
+Result<std::vector<LogMinerRow>> BuildLogMinerView(
+    Database* db, const std::vector<LogRecord>* records = nullptr,
+    util::ThreadPool* pool = nullptr);
 
 class OracleLogReader : public FlavorLogReader {
  public:

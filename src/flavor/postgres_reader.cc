@@ -5,25 +5,33 @@
 namespace irdb {
 
 Result<std::vector<RepairOp>> PostgresLogReader::ReadCommitted() {
-  const WalLog& wal = db_->wal();
-  std::vector<int64_t> committed_list = CommittedTxnIds(wal);
+  const std::vector<LogRecord>& records = ScanRecords(*db_);
+  std::vector<int64_t> committed_list = CommittedTxnIds(records);
   std::set<int64_t> committed(committed_list.begin(), committed_list.end());
 
-  std::vector<RepairOp> out;
-  for (const LogRecord& rec : wal.records()) {
-    if (!rec.IsRowOp() || !committed.count(rec.txn_id)) continue;
-    HeapTable* table = db_->catalog().FindById(rec.table_id);
-    if (table == nullptr) continue;  // table dropped since
-    RepairOp op;
-    op.lsn = rec.lsn;
-    op.internal_txn_id = rec.txn_id;
-    op.op = rec.op;
-    op.table = table->name();
-    IRDB_RETURN_IF_ERROR(PopulateFromFullImages(*db_, *table, rec.before_image,
-                                                rec.after_image, &op));
-    out.push_back(std::move(op));
+  // Candidate records first, so the parallel fan-out balances over real work
+  // (row ops of committed txns) rather than commit/abort markers.
+  std::vector<size_t> candidates;
+  for (size_t i = 0; i < records.size(); ++i) {
+    const LogRecord& rec = records[i];
+    if (rec.IsRowOp() && committed.count(rec.txn_id)) candidates.push_back(i);
   }
-  return out;
+
+  return ParallelBuild<RepairOp>(
+      pool_, candidates.size(),
+      [&](size_t k) -> Result<std::optional<RepairOp>> {
+        const LogRecord& rec = records[candidates[k]];
+        HeapTable* table = db_->catalog().FindById(rec.table_id);
+        if (table == nullptr) return std::optional<RepairOp>();  // dropped since
+        RepairOp op;
+        op.lsn = rec.lsn;
+        op.internal_txn_id = rec.txn_id;
+        op.op = rec.op;
+        op.table = table->name();
+        IRDB_RETURN_IF_ERROR(PopulateFromFullImages(
+            *db_, *table, rec.before_image, rec.after_image, &op));
+        return std::optional<RepairOp>(std::move(op));
+      });
 }
 
 }  // namespace irdb

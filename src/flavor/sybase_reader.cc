@@ -6,15 +6,17 @@
 
 namespace irdb {
 
-std::vector<SybaseLogRow> DbccLog(Database* db) {
+std::vector<SybaseLogRow> DbccLog(Database* db,
+                                  const std::vector<LogRecord>* records) {
   // `dbcc log` dumps every row record — including those of aborted
   // transactions and the compensation records their rollbacks wrote. The
   // §4.3 offset-adjustment algorithm needs all of them: an aborted DELETE
   // (or a rollback's compensating DELETE) moves rows just like a committed
   // one.
-  const WalLog& wal = db->wal();
+  const std::vector<LogRecord>& recs =
+      records != nullptr ? *records : db->wal().records();
   std::vector<SybaseLogRow> out;
-  for (const LogRecord& rec : wal.records()) {
+  for (const LogRecord& rec : recs) {
     if (!rec.IsRowOp()) continue;
     SybaseLogRow row;
     row.lsn = rec.lsn;
@@ -115,14 +117,15 @@ Result<SybaseImages> RestoreFullImages(
 }
 
 Result<std::vector<RepairOp>> SybaseLogReader::ReadCommitted() {
-  std::vector<SybaseLogRow> log = DbccLog(db_);
-  std::vector<int64_t> committed_list = CommittedTxnIds(db_->wal());
+  const std::vector<LogRecord>& records = ScanRecords(*db_);
+  std::vector<SybaseLogRow> log = DbccLog(db_, &records);
+  std::vector<int64_t> committed_list = CommittedTxnIds(records);
   std::set<int64_t> committed(committed_list.begin(), committed_list.end());
   // Compensation records carry an aborted transaction's id, so the committed
   // filter below removes them from the repair stream; they still participate
   // in offset adjustment through `log`.
   std::set<int64_t> clr_lsns;
-  for (const LogRecord& rec : db_->wal().records()) {
+  for (const LogRecord& rec : records) {
     if (rec.is_clr) clr_lsns.insert(rec.lsn);
   }
 
@@ -135,25 +138,36 @@ Result<std::vector<RepairOp>> SybaseLogReader::ReadCommitted() {
     return static_cast<size_t>(table->schema().ColumnOffset(column));
   };
 
-  std::vector<RepairOp> out;
-  out.reserve(log.size());
+  std::vector<size_t> candidates;
   for (size_t i = 0; i < log.size(); ++i) {
     const SybaseLogRow& rec = log[i];
-    if (!committed.count(rec.xid) || clr_lsns.count(rec.lsn)) continue;
-    HeapTable* table = db_->catalog().FindById(rec.table_id);
-    if (table == nullptr) continue;
-    IRDB_ASSIGN_OR_RETURN(SybaseImages images,
-                          RestoreFullImages(log, i, page_reader, slot_offset));
-    RepairOp op;
-    op.lsn = rec.lsn;
-    op.internal_txn_id = rec.xid;
-    op.op = rec.op;
-    op.table = table->name();
-    IRDB_RETURN_IF_ERROR(PopulateFromFullImages(*db_, *table, images.before,
-                                                images.after, &op));
-    out.push_back(std::move(op));
+    if (committed.count(rec.xid) && !clr_lsns.count(rec.lsn)) {
+      candidates.push_back(i);
+    }
   }
-  return out;
+
+  // RestoreFullImages only *reads* the shared log vector and live pages
+  // (repair runs with the workload quiesced), so each reconstruction is a
+  // pure function of its index and fans out per log segment.
+  return ParallelBuild<RepairOp>(
+      pool_, candidates.size(),
+      [&](size_t k) -> Result<std::optional<RepairOp>> {
+        const size_t i = candidates[k];
+        const SybaseLogRow& rec = log[i];
+        HeapTable* table = db_->catalog().FindById(rec.table_id);
+        if (table == nullptr) return std::optional<RepairOp>();
+        IRDB_ASSIGN_OR_RETURN(
+            SybaseImages images,
+            RestoreFullImages(log, i, page_reader, slot_offset));
+        RepairOp op;
+        op.lsn = rec.lsn;
+        op.internal_txn_id = rec.xid;
+        op.op = rec.op;
+        op.table = table->name();
+        IRDB_RETURN_IF_ERROR(PopulateFromFullImages(*db_, *table, images.before,
+                                                    images.after, &op));
+        return std::optional<RepairOp>(std::move(op));
+      });
 }
 
 }  // namespace irdb

@@ -38,8 +38,11 @@ struct SybaseLogRow {
   std::vector<ColumnDiff> diff;   // changed slots (MODIFY)
 };
 
-// Emulates `dbcc log`.
-std::vector<SybaseLogRow> DbccLog(Database* db);
+// Emulates `dbcc log`. `records` overrides db->wal().records() as the scan
+// source (same content expected).
+std::vector<SybaseLogRow> DbccLog(Database* db,
+                                  const std::vector<LogRecord>* records =
+                                      nullptr);
 
 // Emulates `dbcc page`: current raw bytes of one page (empty if bad page).
 std::string DbccPage(Database* db, int32_t table_id, int32_t page);

@@ -1,13 +1,31 @@
 #include "repair/analyzer.h"
 
+#include <chrono>
+
 #include "proxy/tracking_proxy.h"
 #include "util/string_utils.h"
 
 namespace irdb::repair {
 
-Result<DependencyAnalysis> Analyze(FlavorLogReader* reader, DbConnection* admin) {
+namespace {
+
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+Result<DependencyAnalysis> Analyze(FlavorLogReader* reader, DbConnection* admin,
+                                   util::ThreadPool* pool,
+                                   RepairPhaseStats* phases) {
   DependencyAnalysis out;
+  reader->set_pool(pool);
+  auto scan_start = std::chrono::steady_clock::now();
   IRDB_ASSIGN_OR_RETURN(out.ops, reader->ReadCommitted());
+  auto correlate_start = std::chrono::steady_clock::now();
+  if (phases != nullptr) phases->scan_wall_ms += MsSince(scan_start);
 
   // Pass 1 — ID correlation: each tracked transaction ends with insert(s)
   // into trans_dep carrying its proxy ID; collect those plus the dependency
@@ -64,17 +82,44 @@ Result<DependencyAnalysis> Analyze(FlavorLogReader* reader, DbConnection* admin)
 
   // Pass 3 — reconstructed dependencies: every UPDATE/DELETE before-image
   // names the previous writer in its trid column (§3.3: these were skipped at
-  // run time to keep tracking cheap).
-  for (const RepairOp& op : out.ops) {
-    if (op.op != LogOp::kUpdate && op.op != LogOp::kDelete) continue;
-    if (!op.before_trid) continue;
+  // run time to keep tracking cheap). Each op is examined independently
+  // against the (now frozen) correlation maps, so the pass fans out in
+  // contiguous op chunks whose edge lists concatenate in chunk order —
+  // yielding the exact edge sequence of the serial loop.
+  auto reconstruct_edge =
+      [&](const RepairOp& op) -> std::optional<DepEdge> {
+    if (op.op != LogOp::kUpdate && op.op != LogOp::kDelete) return std::nullopt;
+    if (!op.before_trid) return std::nullopt;
     auto it = out.internal_to_proxy.find(op.internal_txn_id);
-    if (it == out.internal_to_proxy.end()) continue;  // untracked txn
+    if (it == out.internal_to_proxy.end()) return std::nullopt;  // untracked
     const int64_t reader_proxy = it->second;
     const int64_t writer_proxy = *op.before_trid;
-    if (writer_proxy == reader_proxy) continue;
-    out.graph.AddEdge(DepEdge{reader_proxy, writer_proxy,
-                              ToLowerAscii(op.table), DepKind::kReconstructed});
+    if (writer_proxy == reader_proxy) return std::nullopt;
+    return DepEdge{reader_proxy, writer_proxy, ToLowerAscii(op.table),
+                   DepKind::kReconstructed};
+  };
+  if (pool != nullptr && pool->lanes() > 1 && !out.ops.empty()) {
+    const size_t nchunks =
+        util::ThreadPool::SplitRange(static_cast<int64_t>(out.ops.size()),
+                                     pool->lanes())
+            .size();
+    std::vector<std::vector<DepEdge>> chunk_edges(nchunks);
+    pool->ParallelFor(static_cast<int64_t>(out.ops.size()),
+                      [&](int64_t begin, int64_t end, int chunk) {
+                        for (int64_t i = begin; i < end; ++i) {
+                          auto edge =
+                              reconstruct_edge(out.ops[static_cast<size_t>(i)]);
+                          if (edge) chunk_edges[chunk].push_back(*edge);
+                        }
+                      });
+    for (std::vector<DepEdge>& edges : chunk_edges) {
+      for (DepEdge& edge : edges) out.graph.AddEdge(std::move(edge));
+    }
+  } else {
+    for (const RepairOp& op : out.ops) {
+      auto edge = reconstruct_edge(op);
+      if (edge) out.graph.AddEdge(std::move(*edge));
+    }
   }
 
   // Pass 4 — conservative edges for tracking gaps: the gap txn's real read
@@ -103,6 +148,7 @@ Result<DependencyAnalysis> Analyze(FlavorLogReader* reader, DbConnection* admin)
       }
     }
   }
+  if (phases != nullptr) phases->correlate_wall_ms += MsSince(correlate_start);
   return out;
 }
 

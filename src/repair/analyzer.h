@@ -10,6 +10,7 @@
 
 #include "flavor/log_reader.h"
 #include "repair/dependency_graph.h"
+#include "repair/repair_stats.h"
 #include "wire/connection.h"
 
 namespace irdb::repair {
@@ -33,6 +34,13 @@ struct DependencyAnalysis {
 
 // Reads the whole log through `reader` and builds the analysis. When `admin`
 // is non-null the annot table is consulted for node labels (Fig. 3).
-Result<DependencyAnalysis> Analyze(FlavorLogReader* reader, DbConnection* admin);
+//
+// A multi-lane `pool` parallelizes the scan (inside the reader — the pool is
+// handed to it) and the reconstructed-edge pass, with per-chunk results
+// stitched in log order so the analysis is identical to the serial one.
+// `phases` (optional) receives the scan / correlate wall-time split.
+Result<DependencyAnalysis> Analyze(FlavorLogReader* reader, DbConnection* admin,
+                                   util::ThreadPool* pool = nullptr,
+                                   RepairPhaseStats* phases = nullptr);
 
 }  // namespace irdb::repair

@@ -1,5 +1,8 @@
 #include "repair/compensator.h"
 
+#include <atomic>
+#include <future>
+
 #include "proxy/rewriter.h"
 #include "sql/ast.h"
 #include "sql/printer.h"
@@ -43,11 +46,92 @@ sql::ExprPtr AddressPredicate(const std::string& column, int64_t address) {
                          sql::MakeLiteral(Value::Int(address)));
 }
 
+// Emits and executes the compensating statement for one op. Shared by the
+// serial walk and each parallel table batch: both feed it ops in inverse log
+// order, with a remap that has seen every earlier op of the same table.
+Status CompensateOp(const RepairOp& op, DbConnection* admin,
+                    const FlavorTraits& traits,
+                    const std::string& address_column, RowIdRemap* remap,
+                    RepairReport* report) {
+  const std::string table_key = ToLowerAscii(op.table);
+  auto run = [&](const sql::Statement& stmt,
+                 int64_t expect_affected) -> Status {
+    auto r = admin->Execute(sql::PrintStatement(stmt));
+    if (!r.ok()) return r.status();
+    if (expect_affected >= 0 && r->affected != expect_affected) {
+      return Status::Internal("compensating statement touched " +
+                              std::to_string(r->affected) + " rows, expected " +
+                              std::to_string(expect_affected) + ": " +
+                              sql::PrintStatement(stmt));
+    }
+    ++report->ops_compensated;
+    return Status::Ok();
+  };
+
+  switch (op.op) {
+    case LogOp::kInsert: {
+      // Undo an insert: delete the row (at its possibly-remapped address).
+      auto stmt = sql::MakeStatement(sql::StatementKind::kDelete);
+      stmt->table = op.table;
+      stmt->where = AddressPredicate(address_column,
+                                     remap->Resolve(table_key, op.row_address));
+      IRDB_RETURN_IF_ERROR(run(*stmt, 1));
+      ++report->compensating_deletes;
+      // The row's lifetime starts here; any mapping for it is now obsolete.
+      remap->Discard(table_key, op.row_address);
+      break;
+    }
+    case LogOp::kDelete: {
+      // Undo a delete: put the row back. Flavors with a hidden rowid
+      // cannot force the old one — record the fresh ID in the remap table.
+      // The Sybase flavor's rid is an ordinary (identity) column carried in
+      // op.values, so the original address is restored exactly.
+      auto stmt = sql::MakeStatement(sql::StatementKind::kInsert);
+      stmt->table = op.table;
+      std::vector<sql::ExprPtr> row;
+      for (const auto& [col, v] : op.values) {
+        stmt->insert_columns.push_back(col);
+        row.push_back(sql::MakeLiteral(v));
+      }
+      stmt->insert_rows.push_back(std::move(row));
+      auto r = admin->Execute(sql::PrintStatement(*stmt));
+      if (!r.ok()) return r.status();
+      ++report->ops_compensated;
+      ++report->compensating_inserts;
+      if (traits.has_rowid) {
+        IRDB_CHECK(r->last_rowid != kNoRowId);
+        if (r->last_rowid != op.row_address) {
+          remap->Add(table_key, op.row_address, r->last_rowid);
+          ++report->rows_remapped;
+        }
+      }
+      break;
+    }
+    case LogOp::kUpdate: {
+      // Undo an update: restore the changed columns' before values.
+      auto stmt = sql::MakeStatement(sql::StatementKind::kUpdate);
+      stmt->table = op.table;
+      for (const auto& [col, v] : op.values) {
+        stmt->assignments.emplace_back(col, sql::MakeLiteral(v));
+      }
+      stmt->where = AddressPredicate(address_column,
+                                     remap->Resolve(table_key, op.row_address));
+      IRDB_RETURN_IF_ERROR(run(*stmt, 1));
+      ++report->compensating_updates;
+      break;
+    }
+    default:
+      break;
+  }
+  return Status::Ok();
+}
+
 }  // namespace
 
 Status Compensate(const DependencyAnalysis& analysis,
                   const std::set<int64_t>& undo_proxy_ids, DbConnection* admin,
-                  const FlavorTraits& traits, RepairReport* report) {
+                  const FlavorTraits& traits, RepairReport* report,
+                  util::ThreadPool* pool) {
   report->undo_set = undo_proxy_ids;
 
   // Internal IDs of the transactions to undo.
@@ -63,84 +147,70 @@ Status Compensate(const DependencyAnalysis& analysis,
 
   const std::string address_column =
       traits.has_rowid ? traits.rowid_name : proxy::kSybaseRowIdColumn;
-  RowIdRemap remap;
+
+  // The plan: every op to undo, in inverse log order.
+  std::vector<const RepairOp*> plan;
+  for (auto it = analysis.ops.rbegin(); it != analysis.ops.rend(); ++it) {
+    if (undo_internal.count(it->internal_txn_id)) plan.push_back(&*it);
+  }
 
   {
     auto r = admin->Execute("BEGIN");
     if (!r.ok()) return r.status();
   }
-  auto run = [&](const sql::Statement& stmt,
-                 int64_t expect_affected) -> Status {
-    auto r = admin->Execute(sql::PrintStatement(stmt));
-    if (!r.ok()) return r.status();
-    if (expect_affected >= 0 && r->affected != expect_affected) {
-      return Status::Internal("compensating statement touched " +
-                              std::to_string(r->affected) + " rows, expected " +
-                              std::to_string(expect_affected) + ": " +
-                              sql::PrintStatement(stmt));
-    }
-    ++report->ops_compensated;
-    return Status::Ok();
-  };
 
-  for (auto it = analysis.ops.rbegin(); it != analysis.ops.rend(); ++it) {
-    const RepairOp& op = *it;
-    if (!undo_internal.count(op.internal_txn_id)) continue;
-    const std::string table_key = ToLowerAscii(op.table);
-    switch (op.op) {
-      case LogOp::kInsert: {
-        // Undo an insert: delete the row (at its possibly-remapped address).
-        auto stmt = sql::MakeStatement(sql::StatementKind::kDelete);
-        stmt->table = op.table;
-        stmt->where = AddressPredicate(address_column,
-                                       remap.Resolve(table_key, op.row_address));
-        IRDB_RETURN_IF_ERROR(run(*stmt, 1));
-        ++report->compensating_deletes;
-        // The row's lifetime starts here; any mapping for it is now obsolete.
-        remap.Discard(table_key, op.row_address);
-        break;
-      }
-      case LogOp::kDelete: {
-        // Undo a delete: put the row back. Flavors with a hidden rowid
-        // cannot force the old one — record the fresh ID in the remap table.
-        // The Sybase flavor's rid is an ordinary (identity) column carried in
-        // op.values, so the original address is restored exactly.
-        auto stmt = sql::MakeStatement(sql::StatementKind::kInsert);
-        stmt->table = op.table;
-        std::vector<sql::ExprPtr> row;
-        for (const auto& [col, v] : op.values) {
-          stmt->insert_columns.push_back(col);
-          row.push_back(sql::MakeLiteral(v));
-        }
-        stmt->insert_rows.push_back(std::move(row));
-        auto r = admin->Execute(sql::PrintStatement(*stmt));
-        if (!r.ok()) return r.status();
-        ++report->ops_compensated;
-        ++report->compensating_inserts;
-        if (traits.has_rowid) {
-          IRDB_CHECK(r->last_rowid != kNoRowId);
-          if (r->last_rowid != op.row_address) {
-            remap.Add(table_key, op.row_address, r->last_rowid);
-            ++report->rows_remapped;
+  if (pool == nullptr || pool->lanes() <= 1) {
+    RowIdRemap remap;
+    for (const RepairOp* op : plan) {
+      IRDB_RETURN_IF_ERROR(
+          CompensateOp(*op, admin, traits, address_column, &remap, report));
+    }
+  } else {
+    // Batched compensation: every compensating statement addresses rows by
+    // row ID within a single table, and the remap is keyed per table, so the
+    // plan splits into per-table batches — inverse-LSN order preserved
+    // *within* each batch — whose row-id sets cannot overlap across tables.
+    // The batches therefore commute and run concurrently, one lane per
+    // table, each with its own remap and partial report (merged below).
+    std::map<std::string, std::vector<const RepairOp*>> batches;
+    for (const RepairOp* op : plan) {
+      batches[ToLowerAscii(op->table)].push_back(op);
+    }
+    report->compensate_lanes = static_cast<int>(batches.size());
+    std::vector<Status> lane_status(batches.size(), Status::Ok());
+    std::vector<RepairReport> lane_report(batches.size());
+    std::atomic<bool> abort{false};
+    std::vector<std::future<void>> pending;
+    pending.reserve(batches.size());
+    size_t lane = 0;
+    for (auto& [table, batch_ops] : batches) {
+      const size_t idx = lane++;
+      const std::vector<const RepairOp*>* batch = &batch_ops;
+      pending.push_back(pool->Submit([&, idx, batch] {
+        RowIdRemap remap;
+        for (const RepairOp* op : *batch) {
+          if (abort.load(std::memory_order_relaxed)) return;
+          Status s = CompensateOp(*op, admin, traits, address_column, &remap,
+                                  &lane_report[idx]);
+          if (!s.ok()) {
+            lane_status[idx] = std::move(s);
+            abort.store(true, std::memory_order_relaxed);
+            return;
           }
         }
-        break;
-      }
-      case LogOp::kUpdate: {
-        // Undo an update: restore the changed columns' before values.
-        auto stmt = sql::MakeStatement(sql::StatementKind::kUpdate);
-        stmt->table = op.table;
-        for (const auto& [col, v] : op.values) {
-          stmt->assignments.emplace_back(col, sql::MakeLiteral(v));
-        }
-        stmt->where = AddressPredicate(address_column,
-                                       remap.Resolve(table_key, op.row_address));
-        IRDB_RETURN_IF_ERROR(run(*stmt, 1));
-        ++report->compensating_updates;
-        break;
-      }
-      default:
-        break;
+      }));
+    }
+    for (std::future<void>& f : pending) f.wait();
+    for (const RepairReport& part : lane_report) {
+      report->ops_compensated += part.ops_compensated;
+      report->compensating_inserts += part.compensating_inserts;
+      report->compensating_deletes += part.compensating_deletes;
+      report->compensating_updates += part.compensating_updates;
+      report->rows_remapped += part.rows_remapped;
+    }
+    // First failing table in (deterministic) batch order wins.
+    for (const Status& s : lane_status) {
+      if (!s.ok()) return s;
     }
   }
 

@@ -27,13 +27,22 @@ struct RepairReport {
   int64_t compensating_deletes = 0;
   int64_t compensating_updates = 0;
   int64_t rows_remapped = 0;
+  int compensate_lanes = 1;  // concurrent per-table batches (1 when serial)
 };
 
 // Executes the compensation through `admin` (an untracked connection),
 // wrapped in a single repair transaction. `undo_proxy_ids` must be closed
 // under the chosen dependency semantics — Compensate does not re-derive it.
+//
+// A multi-lane `pool` batches the plan per table and applies the batches
+// concurrently: compensating statements address rows by row ID within one
+// table (and the old→new remap is per table), so batches of distinct tables
+// touch disjoint row sets and commute; inverse-LSN order is preserved where
+// it matters — within each table. The resulting database state is identical
+// to the serial walk's.
 Status Compensate(const DependencyAnalysis& analysis,
                   const std::set<int64_t>& undo_proxy_ids, DbConnection* admin,
-                  const FlavorTraits& traits, RepairReport* report);
+                  const FlavorTraits& traits, RepairReport* report,
+                  util::ThreadPool* pool = nullptr);
 
 }  // namespace irdb::repair

@@ -1,8 +1,19 @@
 #include "repair/dependency_graph.h"
 
+#include <cstdint>
 #include <deque>
+#include <unordered_map>
 
 namespace irdb::repair {
+
+namespace {
+
+size_t ShardOf(int64_t id, int nshards) {
+  return static_cast<size_t>(static_cast<uint64_t>(id) %
+                             static_cast<uint64_t>(nshards));
+}
+
+}  // namespace
 
 std::string DependencyGraph::Label(int64_t id) const {
   auto it = labels_.find(id);
@@ -12,26 +23,82 @@ std::string DependencyGraph::Label(int64_t id) const {
 
 std::set<int64_t> DependencyGraph::Affected(
     const std::vector<int64_t>& seeds,
-    const std::function<bool(const DepEdge&)>& keep_edge) const {
-  // writer -> readers adjacency over kept edges.
-  std::map<int64_t, std::vector<int64_t>> dependents;
-  for (const DepEdge& e : edges_) {
-    if (keep_edge && !keep_edge(e)) continue;
-    dependents[e.writer].push_back(e.reader);
+    const std::function<bool(const DepEdge&)>& keep_edge,
+    util::ThreadPool* pool) const {
+  if (pool == nullptr || pool->lanes() <= 1) {
+    // Serial path: writer -> readers adjacency over kept edges, then BFS.
+    std::map<int64_t, std::vector<int64_t>> dependents;
+    for (const DepEdge& e : edges_) {
+      if (keep_edge && !keep_edge(e)) continue;
+      dependents[e.writer].push_back(e.reader);
+    }
+    std::set<int64_t> out;
+    std::deque<int64_t> frontier;
+    for (int64_t s : seeds) {
+      if (out.insert(s).second) frontier.push_back(s);
+    }
+    while (!frontier.empty()) {
+      int64_t cur = frontier.front();
+      frontier.pop_front();
+      auto it = dependents.find(cur);
+      if (it == dependents.end()) continue;
+      for (int64_t r : it->second) {
+        if (out.insert(r).second) frontier.push_back(r);
+      }
+    }
+    return out;
   }
+
+  // Sharded adjacency: lane s owns writers with tr_id % nshards == s and
+  // fills only its own shard's map — lock-free within a shard.
+  const int nshards = pool->lanes();
+  std::vector<std::unordered_map<int64_t, std::vector<int64_t>>> shards(
+      static_cast<size_t>(nshards));
+  pool->ParallelFor(nshards, [&](int64_t begin, int64_t end, int) {
+    for (int64_t s = begin; s < end; ++s) {
+      auto& shard = shards[static_cast<size_t>(s)];
+      for (const DepEdge& e : edges_) {
+        if (ShardOf(e.writer, nshards) != static_cast<size_t>(s)) continue;
+        if (keep_edge && !keep_edge(e)) continue;
+        shard[e.writer].push_back(e.reader);
+      }
+    }
+  });
+
+  // Level-synchronous frontier expansion. Each level's lookups fan out in
+  // contiguous frontier chunks; candidates merge in chunk order, so the
+  // visit set (and hence the result) matches the serial BFS exactly.
   std::set<int64_t> out;
-  std::deque<int64_t> frontier;
+  std::vector<int64_t> frontier;
   for (int64_t s : seeds) {
     if (out.insert(s).second) frontier.push_back(s);
   }
   while (!frontier.empty()) {
-    int64_t cur = frontier.front();
-    frontier.pop_front();
-    auto it = dependents.find(cur);
-    if (it == dependents.end()) continue;
-    for (int64_t r : it->second) {
-      if (out.insert(r).second) frontier.push_back(r);
+    const size_t nchunks =
+        util::ThreadPool::SplitRange(static_cast<int64_t>(frontier.size()),
+                                     nshards)
+            .size();
+    std::vector<std::vector<int64_t>> found(nchunks);
+    pool->ParallelFor(static_cast<int64_t>(frontier.size()),
+                      [&](int64_t begin, int64_t end, int chunk) {
+                        for (int64_t i = begin; i < end; ++i) {
+                          const int64_t cur =
+                              frontier[static_cast<size_t>(i)];
+                          const auto& shard = shards[ShardOf(cur, nshards)];
+                          auto it = shard.find(cur);
+                          if (it == shard.end()) continue;
+                          found[chunk].insert(found[chunk].end(),
+                                              it->second.begin(),
+                                              it->second.end());
+                        }
+                      });
+    std::vector<int64_t> next;
+    for (const std::vector<int64_t>& chunk : found) {
+      for (int64_t r : chunk) {
+        if (out.insert(r).second) next.push_back(r);
+      }
     }
+    frontier.swap(next);
   }
   return out;
 }
@@ -43,17 +110,19 @@ std::string DependencyGraph::ToDot(const std::set<int64_t>& highlight) const {
     if (highlight.count(id)) out += ", style=filled, fillcolor=lightcoral";
     out += "];\n";
   }
-  // Draw edges writer -> reader (the direction damage propagates) and
-  // deduplicate parallel edges from different tables into one line each.
-  std::set<std::string> seen;
+  // Draw edges writer -> reader (the direction damage propagates),
+  // deduplicating parallel edges from different tables and emitting the
+  // lines in sorted order so the rendering is deterministic.
+  std::set<std::string> lines;
   for (const DepEdge& e : edges_) {
     std::string line = "  n" + std::to_string(e.writer) + " -> n" +
                        std::to_string(e.reader);
     if (e.kind == DepKind::kReconstructed) line += " [style=dashed]";
     if (e.kind == DepKind::kConservative) line += " [style=dotted]";
     line += ";\n";
-    if (seen.insert(line).second) out += line;
+    lines.insert(std::move(line));
   }
+  for (const std::string& line : lines) out += line;
   out += "}\n";
   return out;
 }

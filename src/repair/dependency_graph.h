@@ -13,6 +13,8 @@
 #include <string>
 #include <vector>
 
+#include "util/thread_pool.h"
+
 namespace irdb::repair {
 
 enum class DepKind {
@@ -52,11 +54,20 @@ class DependencyGraph {
   // Every transaction transitively affected by `seeds` (the damage
   // perimeter): seeds plus all transactions with a dependency path back to a
   // seed, considering only edges the filter keeps.
+  //
+  // A multi-lane `pool` switches to the parallel closure: the adjacency is
+  // sharded by writer id (tr_id % lanes, each lane filling only its own
+  // shard, so no locks within a shard), then a level-synchronous frontier
+  // expansion fans each level out across the lanes and merges candidates in
+  // chunk order. The result set is identical to the serial BFS.
   std::set<int64_t> Affected(
       const std::vector<int64_t>& seeds,
-      const std::function<bool(const DepEdge&)>& keep_edge) const;
+      const std::function<bool(const DepEdge&)>& keep_edge,
+      util::ThreadPool* pool = nullptr) const;
 
   // GraphViz rendering (paper Fig. 3). Nodes in `highlight` are drawn filled.
+  // Node and edge lines are emitted in sorted order, so the same graph
+  // always renders to the same bytes regardless of edge insertion order.
   std::string ToDot(const std::set<int64_t>& highlight = {}) const;
 
  private:

@@ -1,11 +1,17 @@
 // RepairEngine — one-stop post-intrusion repair facade.
 //
 // Typical flow (mirrors the paper's repair procedure):
-//   RepairEngine eng(&db);
+//   RepairEngine eng(&db, /*threads=*/4);
 //   auto analysis = eng.Analyze();                   // read + correlate log
 //   std::string dot = RepairEngine::ExportDot(...);  // show the DBA (Fig. 3)
 //   auto undo = eng.ComputeUndoSet(*analysis, seeds, policy);
 //   auto report = eng.Repair(seeds, policy);         // selective rollback
+//
+// `threads` > 1 switches every phase to the parallel pipeline (DESIGN.md
+// §5c): segmented log scan over the durable WAL bytes, sharded dependency
+// closure, per-table batched compensation. Results are identical to
+// threads=1, which in turn runs the exact serial code paths. Per-phase
+// wall/simulated timings accumulate in phase_stats().
 #pragma once
 
 #include <memory>
@@ -16,40 +22,49 @@
 #include "repair/analyzer.h"
 #include "repair/compensator.h"
 #include "repair/dba_policy.h"
+#include "repair/repair_stats.h"
+#include "util/thread_pool.h"
 
 namespace irdb::repair {
 
 class RepairEngine {
  public:
-  explicit RepairEngine(Database* db)
-      : db_(db), admin_(db), reader_(MakeLogReader(db)) {}
-
-  Result<DependencyAnalysis> Analyze() {
-    return repair::Analyze(reader_.get(), &admin_);
+  explicit RepairEngine(Database* db, int threads = 1)
+      : db_(db), admin_(db), reader_(MakeLogReader(db)) {
+    set_threads(threads);
   }
+
+  // Resizes the worker pool; threads <= 1 tears it down (serial mode).
+  void set_threads(int threads);
+  int threads() const { return threads_; }
+
+  Result<DependencyAnalysis> Analyze();
 
   // Damage perimeter: seeds plus everything transitively dependent on them,
   // honouring the DBA's false-dependency policy.
   std::set<int64_t> ComputeUndoSet(const DependencyAnalysis& analysis,
                                    const std::vector<int64_t>& seed_proxy_ids,
-                                   const DbaPolicy& policy) const {
-    return analysis.graph.Affected(seed_proxy_ids, policy.AsFilter());
-  }
+                                   const DbaPolicy& policy) const;
+
+  // Compensation with phase accounting (the building block of Repair, also
+  // usable directly after an explicit Analyze/ComputeUndoSet).
+  Result<RepairReport> CompensateUndoSet(const DependencyAnalysis& analysis,
+                                         const std::set<int64_t>& undo);
 
   // Full repair: analyze, close over dependencies, compensate.
   Result<RepairReport> Repair(const std::vector<int64_t>& seed_proxy_ids,
-                              const DbaPolicy& policy) {
-    IRDB_ASSIGN_OR_RETURN(DependencyAnalysis analysis, Analyze());
-    std::set<int64_t> undo = ComputeUndoSet(analysis, seed_proxy_ids, policy);
-    RepairReport report;
-    IRDB_RETURN_IF_ERROR(
-        Compensate(analysis, undo, &admin_, db_->traits(), &report));
-    return report;
-  }
+                              const DbaPolicy& policy);
 
   static std::string ExportDot(const DependencyAnalysis& analysis,
                                const std::set<int64_t>& highlight = {}) {
     return analysis.graph.ToDot(highlight);
+  }
+
+  // Accumulated per-phase timings since the last Analyze() (Analyze resets
+  // them; ComputeUndoSet and CompensateUndoSet add to them).
+  const RepairPhaseStats& phase_stats() const { return phases_; }
+  util::ThreadPoolStats pool_stats() const {
+    return pool_ ? pool_->stats() : util::ThreadPoolStats{};
   }
 
   FlavorLogReader* reader() { return reader_.get(); }
@@ -59,6 +74,11 @@ class RepairEngine {
   Database* db_;
   DirectConnection admin_;
   std::unique_ptr<FlavorLogReader> reader_;
+  int threads_ = 1;
+  std::unique_ptr<util::ThreadPool> pool_;
+  RepairCostParams costs_;
+  // ComputeUndoSet is logically const; timing it is bookkeeping.
+  mutable RepairPhaseStats phases_;
 };
 
 }  // namespace irdb::repair

@@ -23,6 +23,7 @@
 
 #include "txn/wal_log.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace irdb {
 
@@ -45,5 +46,15 @@ struct WalDecodeResult {
 
 // Decodes frames back into records, applying the torn-tail policy above.
 Result<WalDecodeResult> DecodeWal(std::string_view bytes);
+
+// Segmented parallel decode: a cheap header-only pass walks the frame
+// boundaries (the identical walk DecodeWal performs, so torn-tail
+// classification cannot diverge), then the CRC checks and payload decodes —
+// the expensive part — fan out across `pool` in contiguous frame segments
+// stitched back in frame (= LSN) order. Returns exactly what DecodeWal
+// returns on every input, including the error for interior corruption; with
+// a null or single-threaded pool it simply delegates to DecodeWal.
+Result<WalDecodeResult> DecodeWalParallel(std::string_view bytes,
+                                          util::ThreadPool* pool);
 
 }  // namespace irdb

@@ -1,0 +1,119 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+namespace irdb::util {
+
+ThreadPool::ThreadPool(int threads, size_t queue_capacity)
+    : queue_capacity_(std::max<size_t>(1, queue_capacity)) {
+  if (threads <= 1) return;  // inline mode: no workers, no queue traffic
+  workers_.reserve(static_cast<size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  stats_.threads = threads;
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  task_ready_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      task_ready_.wait(lock, [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutting down and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++stats_.tasks_run;
+    }
+    space_ready_.notify_one();
+    task();
+  }
+}
+
+std::future<void> ThreadPool::Submit(std::function<void()> fn) {
+  std::packaged_task<void()> task(std::move(fn));
+  std::future<void> future = task.get_future();
+  if (workers_.empty()) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.tasks_run;
+    }
+    task();
+    return future;
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    space_ready_.wait(lock, [this] {
+      return shutting_down_ || queue_.size() < queue_capacity_;
+    });
+    // Post-shutdown submission would deadlock the future; run it inline.
+    if (shutting_down_) {
+      ++stats_.tasks_run;
+      lock.unlock();
+      task();
+      return future;
+    }
+    queue_.push_back(std::move(task));
+    stats_.max_queue_depth =
+        std::max(stats_.max_queue_depth, static_cast<int64_t>(queue_.size()));
+  }
+  task_ready_.notify_one();
+  return future;
+}
+
+std::vector<std::pair<int64_t, int64_t>> ThreadPool::SplitRange(int64_t n,
+                                                                int chunks) {
+  std::vector<std::pair<int64_t, int64_t>> out;
+  if (n <= 0) return out;
+  const int64_t k = std::min<int64_t>(std::max(1, chunks), n);
+  const int64_t base = n / k;
+  const int64_t extra = n % k;  // the first `extra` chunks take one more
+  int64_t begin = 0;
+  for (int64_t i = 0; i < k; ++i) {
+    const int64_t size = base + (i < extra ? 1 : 0);
+    out.emplace_back(begin, begin + size);
+    begin += size;
+  }
+  return out;
+}
+
+void ThreadPool::ParallelFor(
+    int64_t n, const std::function<void(int64_t, int64_t, int)>& fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.parallel_fors;
+  }
+  const auto chunks = SplitRange(n, lanes());
+  if (workers_.empty() || chunks.size() <= 1) {
+    for (size_t c = 0; c < chunks.size(); ++c) {
+      fn(chunks[c].first, chunks[c].second, static_cast<int>(c));
+    }
+    return;
+  }
+  std::vector<std::future<void>> pending;
+  pending.reserve(chunks.size());
+  for (size_t c = 0; c < chunks.size(); ++c) {
+    const auto [begin, end] = chunks[c];
+    const int idx = static_cast<int>(c);
+    pending.push_back(Submit([&fn, begin, end, idx] { fn(begin, end, idx); }));
+  }
+  for (std::future<void>& f : pending) f.wait();
+}
+
+ThreadPoolStats ThreadPool::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ThreadPoolStats s = stats_;
+  s.threads = lanes() == 1 ? 0 : lanes();
+  return s;
+}
+
+}  // namespace irdb::util

@@ -1,0 +1,80 @@
+// Fixed-size worker pool with a bounded task queue, built for the parallel
+// repair pipeline (DESIGN.md §5c) but generic: submit fire-and-forget tasks
+// via futures, or fan a half-open index range out with ParallelFor.
+//
+// Determinism contract: ParallelFor partitions [0, n) into exactly
+// min(lanes(), n) contiguous chunks whose boundaries are a pure function of
+// (n, lanes()) — see SplitRange. Callers that write per-chunk results and
+// stitch them in chunk order therefore produce output independent of thread
+// scheduling, which is what lets the parallel repair path promise results
+// identical to the serial one.
+//
+// A pool constructed with threads <= 1 starts no workers: Submit and
+// ParallelFor run inline on the caller, so `threads=1` exercises the exact
+// same call sequence as the pre-parallel code.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace irdb::util {
+
+struct ThreadPoolStats {
+  int threads = 0;            // worker count (0 when running inline)
+  int64_t tasks_run = 0;      // tasks executed (inline ones included)
+  int64_t parallel_fors = 0;  // ParallelFor invocations
+  int64_t max_queue_depth = 0;
+};
+
+class ThreadPool {
+ public:
+  // `threads` <= 1 means inline execution (no workers). `queue_capacity`
+  // bounds the pending-task queue; Submit blocks when it is full so a fast
+  // producer cannot balloon memory.
+  explicit ThreadPool(int threads, size_t queue_capacity = 256);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Lanes available for concurrent work: worker count, or 1 when inline.
+  int lanes() const { return workers_.empty() ? 1 : static_cast<int>(workers_.size()); }
+
+  // Enqueues `fn`; the future resolves when it has run. Inline pools run it
+  // before returning. Tasks must not throw.
+  std::future<void> Submit(std::function<void()> fn);
+
+  // Runs fn(begin, end, chunk) for each chunk of SplitRange(n, lanes()),
+  // concurrently on the workers, and returns when all chunks are done.
+  // `chunk` is the chunk's index, usable as a lock-free per-lane slot.
+  void ParallelFor(int64_t n,
+                   const std::function<void(int64_t, int64_t, int)>& fn);
+
+  // The canonical chunking: min(chunks, n) contiguous ranges covering
+  // [0, n), sizes differing by at most one, earlier chunks larger. Pure.
+  static std::vector<std::pair<int64_t, int64_t>> SplitRange(int64_t n,
+                                                             int chunks);
+
+  ThreadPoolStats stats() const;
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable task_ready_;
+  std::condition_variable space_ready_;
+  std::deque<std::packaged_task<void()>> queue_;
+  std::vector<std::thread> workers_;
+  size_t queue_capacity_;
+  bool shutting_down_ = false;
+  ThreadPoolStats stats_;
+};
+
+}  // namespace irdb::util

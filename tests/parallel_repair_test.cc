@@ -1,0 +1,414 @@
+// Parallel repair pipeline (DESIGN.md §5c): determinism and serial/parallel
+// equivalence.
+//
+//   - ThreadPool: SplitRange properties, ParallelFor chunking, inline mode.
+//   - DecodeWalParallel == DecodeWal on clean, torn-tail and corrupted bytes.
+//   - DependencyGraph::ToDot is insertion-order independent.
+//   - Parallel closure == serial BFS on seeded random graphs under filters.
+//   - End-to-end property: across flavors x seeds, repairing the same seeded
+//     history at threads=1 and threads=4 yields the same dependency graph
+//     rendering, the same undo set, and byte-identical database state.
+//
+// The account-script generator mirrors tests/chaos_test.cc (additive-constant
+// updates, fixed statement text) so histories are reproducible from a seed.
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/database.h"
+#include "proxy/tracking_proxy.h"
+#include "repair/dba_policy.h"
+#include "repair/dependency_graph.h"
+#include "repair/repair_engine.h"
+#include "txn/wal_codec.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+#include "wire/connection.h"
+
+namespace irdb {
+namespace {
+
+using repair::DepEdge;
+using repair::DepKind;
+using repair::DependencyGraph;
+using util::ThreadPool;
+
+// ---------------------------------------------------------------------------
+// ThreadPool.
+
+TEST(ThreadPoolTest, SplitRangeCoversContiguouslyWithBalancedSizes) {
+  for (int64_t n : {0, 1, 2, 3, 7, 8, 100, 101, 1023}) {
+    for (int chunks : {1, 2, 3, 4, 8, 200}) {
+      const auto ranges = ThreadPool::SplitRange(n, chunks);
+      if (n == 0) {
+        EXPECT_TRUE(ranges.empty());
+        continue;
+      }
+      ASSERT_EQ(ranges.size(),
+                static_cast<size_t>(std::min<int64_t>(chunks, n)));
+      int64_t expect_begin = 0, min_size = n, max_size = 0;
+      for (size_t i = 0; i < ranges.size(); ++i) {
+        EXPECT_EQ(ranges[i].first, expect_begin);
+        const int64_t size = ranges[i].second - ranges[i].first;
+        EXPECT_GE(size, 1);
+        if (i > 0) {
+          EXPECT_LE(size, ranges[i - 1].second - ranges[i - 1].first);
+        }
+        min_size = std::min(min_size, size);
+        max_size = std::max(max_size, size);
+        expect_begin = ranges[i].second;
+      }
+      EXPECT_EQ(expect_begin, n);
+      EXPECT_LE(max_size - min_size, 1);
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForVisitsEveryIndexOnceInSplitRangeChunks) {
+  ThreadPool pool(4);
+  ASSERT_EQ(pool.lanes(), 4);
+  const int64_t n = 103;
+  std::vector<std::atomic<int>> visits(n);
+  std::vector<std::pair<int64_t, int64_t>> seen(4, {-1, -1});
+  pool.ParallelFor(n, [&](int64_t begin, int64_t end, int chunk) {
+    seen[static_cast<size_t>(chunk)] = {begin, end};
+    for (int64_t i = begin; i < end; ++i) visits[static_cast<size_t>(i)]++;
+  });
+  for (int64_t i = 0; i < n; ++i) EXPECT_EQ(visits[static_cast<size_t>(i)], 1);
+  const auto expect = ThreadPool::SplitRange(n, 4);
+  ASSERT_EQ(expect.size(), 4u);
+  for (size_t i = 0; i < 4; ++i) EXPECT_EQ(seen[i], expect[i]);
+  const auto stats = pool.stats();
+  EXPECT_EQ(stats.threads, 4);
+  EXPECT_EQ(stats.parallel_fors, 1);
+  EXPECT_EQ(stats.tasks_run, 4);
+}
+
+TEST(ThreadPoolTest, SubmitRunsTasksAndResolvesFutures) {
+  ThreadPool pool(2);
+  std::atomic<int> sum{0};
+  std::vector<std::future<void>> futs;
+  for (int i = 1; i <= 20; ++i) {
+    futs.push_back(pool.Submit([&sum, i] { sum += i; }));
+  }
+  for (auto& f : futs) f.wait();
+  EXPECT_EQ(sum, 210);
+  EXPECT_GE(pool.stats().tasks_run, 20);
+}
+
+TEST(ThreadPoolTest, SingleThreadedPoolRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.lanes(), 1);
+  EXPECT_EQ(pool.stats().threads, 0);  // no workers started
+  int chunks = 0;
+  int64_t covered = 0;
+  pool.ParallelFor(10, [&](int64_t begin, int64_t end, int chunk) {
+    ++chunks;
+    EXPECT_EQ(chunk, 0);
+    covered += end - begin;
+  });
+  EXPECT_EQ(chunks, 1);
+  EXPECT_EQ(covered, 10);
+  bool ran = false;
+  pool.Submit([&ran] { ran = true; }).wait();
+  EXPECT_TRUE(ran);
+}
+
+// ---------------------------------------------------------------------------
+// DecodeWalParallel == DecodeWal.
+
+// A WAL with a few dozen records of mixed shapes, via real statements.
+std::string MakeWalBytes(Database* db) {
+  DirectConnection conn(db);
+  EXPECT_TRUE(
+      conn.Execute("CREATE TABLE t (id INTEGER NOT NULL, v DOUBLE, s VARCHAR)")
+          .ok());
+  for (int i = 0; i < 12; ++i) {
+    EXPECT_TRUE(conn.Execute("BEGIN").ok());
+    EXPECT_TRUE(conn.Execute("INSERT INTO t(id, v, s) VALUES (" +
+                             std::to_string(i) + ", " + std::to_string(i) +
+                             ".5, 'row" + std::to_string(i) + "')")
+                    .ok());
+    if (i % 2 == 0) {
+      EXPECT_TRUE(conn.Execute("UPDATE t SET v = v + 1 WHERE id = " +
+                               std::to_string(i))
+                      .ok());
+    }
+    if (i % 3 == 0) {
+      EXPECT_TRUE(
+          conn.Execute("DELETE FROM t WHERE id = " + std::to_string(i)).ok());
+    }
+    EXPECT_TRUE(conn.Execute("COMMIT").ok());
+  }
+  return SerializeWal(db->wal());
+}
+
+std::string ReFrame(const std::vector<LogRecord>& records) {
+  std::string out;
+  for (const LogRecord& rec : records) AppendWalFrame(rec, &out);
+  return out;
+}
+
+void ExpectSameDecode(std::string_view bytes, ThreadPool* pool) {
+  auto serial = DecodeWal(bytes);
+  auto parallel = DecodeWalParallel(bytes, pool);
+  ASSERT_EQ(serial.ok(), parallel.ok());
+  if (!serial.ok()) return;
+  EXPECT_EQ(serial->truncated_tail, parallel->truncated_tail);
+  EXPECT_EQ(serial->dropped_bytes, parallel->dropped_bytes);
+  ASSERT_EQ(serial->records.size(), parallel->records.size());
+  EXPECT_EQ(ReFrame(serial->records), ReFrame(parallel->records));
+}
+
+TEST(DecodeWalParallelTest, MatchesSerialOnCleanTornAndCorruptBytes) {
+  Database db(FlavorTraits::Postgres());
+  const std::string bytes = MakeWalBytes(&db);
+  ASSERT_GT(db.wal().records().size(), 20u);
+
+  // Last frame's size, to carve torn tails at sub-frame granularity.
+  std::string last_frame;
+  AppendWalFrame(db.wal().records().back(), &last_frame);
+  ASSERT_GT(last_frame.size(), 9u);
+
+  for (int lanes : {2, 4}) {
+    ThreadPool pool(lanes);
+    SCOPED_TRACE("lanes=" + std::to_string(lanes));
+
+    // Clean bytes round-trip.
+    ExpectSameDecode(bytes, &pool);
+
+    // Torn tails: drop 1 byte, half the final frame, all but 1 byte of it.
+    for (size_t drop : {size_t{1}, last_frame.size() / 2,
+                        last_frame.size() - 1}) {
+      ExpectSameDecode(bytes.substr(0, bytes.size() - drop), &pool);
+      auto torn = DecodeWalParallel(bytes.substr(0, bytes.size() - drop), &pool);
+      ASSERT_TRUE(torn.ok());
+      EXPECT_TRUE(torn->truncated_tail);
+    }
+
+    // CRC-failing FINAL frame: also a torn tail (both paths truncate it).
+    std::string bad_tail = bytes;
+    bad_tail[bad_tail.size() - 1] ^= 0x5a;
+    ExpectSameDecode(bad_tail, &pool);
+
+    // CRC-failing INTERIOR frame: hard error on both paths.
+    std::string bad_mid = bytes;
+    bad_mid[8] ^= 0x5a;  // first byte of the first frame's payload
+    EXPECT_FALSE(DecodeWal(bad_mid).ok());
+    EXPECT_FALSE(DecodeWalParallel(bad_mid, &pool).ok());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic DOT + parallel closure.
+
+TEST(DependencyGraphTest, ToDotIndependentOfEdgeInsertionOrder) {
+  std::vector<DepEdge> edges = {
+      {2, 1, "account", DepKind::kRuntime},
+      {3, 1, "orders", DepKind::kReconstructed},
+      {3, 2, "account", DepKind::kRuntime},
+      {4, 3, "stock", DepKind::kConservative},
+      {5, 2, "orders", DepKind::kRuntime},
+  };
+  DependencyGraph forward, reverse;
+  for (const DepEdge& e : edges) forward.AddEdge(e);
+  for (auto it = edges.rbegin(); it != edges.rend(); ++it) {
+    reverse.AddEdge(*it);
+  }
+  forward.SetLabel(3, "Payment");
+  reverse.SetLabel(3, "Payment");
+  EXPECT_EQ(forward.ToDot(), reverse.ToDot());
+  EXPECT_EQ(forward.ToDot({2, 3}), reverse.ToDot({2, 3}));
+}
+
+TEST(DependencyGraphTest, ParallelClosureMatchesSerialOnRandomGraphs) {
+  const char* kTables[] = {"account", "orders", "skip"};
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    Rng rng(seed * 7919);
+    DependencyGraph g;
+    const int64_t n = 80;
+    for (int64_t id = 1; id <= n; ++id) g.AddNode(id);
+    for (int64_t reader = 2; reader <= n; ++reader) {
+      const int64_t fanin = rng.Uniform(0, 3);
+      for (int64_t k = 0; k < fanin; ++k) {
+        DepEdge e;
+        e.reader = reader;
+        e.writer = rng.Uniform(1, reader - 1);
+        e.table = kTables[rng.Uniform(0, 2)];
+        e.kind = static_cast<DepKind>(rng.Uniform(0, 2));
+        g.AddEdge(e);
+      }
+    }
+    std::vector<int64_t> seeds;
+    for (int k = 0; k < 3; ++k) seeds.push_back(rng.Uniform(1, n / 2));
+
+    const std::vector<std::function<bool(const DepEdge&)>> filters = {
+        [](const DepEdge&) { return true; },
+        [](const DepEdge& e) {
+          return e.table != "skip" && e.kind != DepKind::kConservative;
+        },
+    };
+    ThreadPool pool2(2), pool4(4);
+    for (const auto& keep : filters) {
+      const std::set<int64_t> serial = g.Affected(seeds, keep, nullptr);
+      EXPECT_EQ(g.Affected(seeds, keep, &pool2), serial) << "seed " << seed;
+      EXPECT_EQ(g.Affected(seeds, keep, &pool4), serial) << "seed " << seed;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end property: threads=1 and threads=4 repair identically.
+
+constexpr size_t kAttackIndex = 4;
+constexpr int kAccounts = 10;
+
+struct Script {
+  std::string label;
+  std::vector<std::string> stmts;
+};
+
+// Mirrors tests/chaos_test.cc: all statement text fixed up front, updates are
+// additive constants, so the history is a pure function of the seed.
+std::vector<Script> MakeScripts(uint64_t seed, size_t n) {
+  Rng rng(seed);
+  std::vector<Script> scripts;
+  for (size_t j = 0; j < n; ++j) {
+    Script sc;
+    if (j == kAttackIndex) {
+      sc.label = "Attack";
+      sc.stmts.push_back(
+          "UPDATE account SET balance = balance + 1000 WHERE id = 1");
+    } else {
+      sc.label = "Txn_" + std::to_string(j);
+      const int reads = static_cast<int>(rng.Uniform(1, 2));
+      for (int k = 0; k < reads; ++k) {
+        sc.stmts.push_back("SELECT balance FROM account WHERE id = " +
+                           std::to_string(rng.Uniform(1, kAccounts)));
+      }
+      const int writes = static_cast<int>(rng.Uniform(1, 2));
+      for (int k = 0; k < writes; ++k) {
+        sc.stmts.push_back("UPDATE account SET balance = balance + " +
+                           std::to_string(rng.Uniform(1, 50)) +
+                           " WHERE id = " +
+                           std::to_string(rng.Uniform(1, kAccounts)));
+      }
+      if (rng.Bernoulli(0.2)) {
+        sc.stmts.push_back("INSERT INTO account(id, balance) VALUES (" +
+                           std::to_string(100 + j) + ", 10.0)");
+      }
+    }
+    scripts.push_back(std::move(sc));
+  }
+  return scripts;
+}
+
+// One tracked deployment with a fully replayed seeded history.
+struct History {
+  explicit History(FlavorTraits traits) : db(traits) {}
+  Database db;
+  int64_t attack_trid = 0;
+};
+
+void BuildHistory(FlavorTraits traits, uint64_t seed,
+                  std::unique_ptr<History>* out) {
+  auto h = std::make_unique<History>(traits);
+  DirectConnection direct(&h->db);
+  proxy::TxnIdAllocator alloc;
+  proxy::TrackingProxy proxy(&direct, &alloc, traits);
+  ASSERT_TRUE(proxy.EnsureTrackingTables().ok());
+
+  ASSERT_TRUE(
+      proxy.Execute("CREATE TABLE account (id INTEGER NOT NULL, balance DOUBLE)")
+          .ok());
+  ASSERT_TRUE(proxy.Execute("BEGIN").ok());
+  proxy.SetAnnotation("Setup");
+  std::string values;
+  for (int id = 1; id <= kAccounts; ++id) {
+    if (!values.empty()) values += ", ";
+    values += "(" + std::to_string(id) + ", " + std::to_string(100 * id) +
+              ".0)";
+  }
+  ASSERT_TRUE(
+      proxy.Execute("INSERT INTO account(id, balance) VALUES " + values).ok());
+  ASSERT_TRUE(proxy.Execute("COMMIT").ok());
+
+  const std::vector<Script> scripts = MakeScripts(seed, 16);
+  for (size_t j = 0; j < scripts.size(); ++j) {
+    ASSERT_TRUE(proxy.Execute("BEGIN").ok());
+    proxy.SetAnnotation(scripts[j].label);
+    for (const std::string& sql : scripts[j].stmts) {
+      ASSERT_TRUE(proxy.Execute(sql).ok()) << sql;
+    }
+    const int64_t trid = proxy.current_txn_id();
+    ASSERT_TRUE(proxy.Execute("COMMIT").ok());
+    if (j == kAttackIndex) h->attack_trid = trid;
+  }
+  ASSERT_NE(h->attack_trid, 0);
+  *out = std::move(h);
+}
+
+TEST(ParallelRepairPropertyTest, SerialAndParallelRepairAgreeAcrossFlavors) {
+  struct Flavor {
+    const char* name;
+    FlavorTraits traits;
+  };
+  const Flavor flavors[] = {
+      {"postgres", FlavorTraits::Postgres()},
+      {"oracle", FlavorTraits::Oracle()},
+      {"sybase", FlavorTraits::Sybase()},
+  };
+  for (const Flavor& flavor : flavors) {
+    for (uint64_t seed : {uint64_t{20260805}, uint64_t{7}, uint64_t{431}}) {
+      SCOPED_TRACE(std::string(flavor.name) + " seed " + std::to_string(seed));
+      // Two identical deployments: repair mutates state, so serial and
+      // parallel each get their own copy of the same seeded history.
+      std::unique_ptr<History> serial, parallel;
+      ASSERT_NO_FATAL_FAILURE(BuildHistory(flavor.traits, seed, &serial));
+      ASSERT_NO_FATAL_FAILURE(BuildHistory(flavor.traits, seed, &parallel));
+      ASSERT_EQ(serial->attack_trid, parallel->attack_trid);
+      const std::vector<std::string> tables =
+          serial->db.catalog().TableNames();
+      ASSERT_EQ(serial->db.StateHash(tables), parallel->db.StateHash(tables));
+
+      repair::RepairEngine eng1(&serial->db, /*threads=*/1);
+      repair::RepairEngine eng4(&parallel->db, /*threads=*/4);
+      auto analysis1 = eng1.Analyze();
+      auto analysis4 = eng4.Analyze();
+      ASSERT_TRUE(analysis1.ok()) << analysis1.status().ToString();
+      ASSERT_TRUE(analysis4.ok()) << analysis4.status().ToString();
+
+      // Same graph, byte-identical rendering (sorted DOT).
+      EXPECT_EQ(repair::RepairEngine::ExportDot(*analysis1),
+                repair::RepairEngine::ExportDot(*analysis4));
+
+      const auto policy = repair::DbaPolicy::TrackEverything();
+      const std::set<int64_t> undo1 =
+          eng1.ComputeUndoSet(*analysis1, {serial->attack_trid}, policy);
+      const std::set<int64_t> undo4 =
+          eng4.ComputeUndoSet(*analysis4, {parallel->attack_trid}, policy);
+      EXPECT_EQ(undo1, undo4);
+      EXPECT_GT(undo1.count(serial->attack_trid), 0u);
+
+      auto report1 = eng1.CompensateUndoSet(*analysis1, undo1);
+      auto report4 = eng4.CompensateUndoSet(*analysis4, undo4);
+      ASSERT_TRUE(report1.ok()) << report1.status().ToString();
+      ASSERT_TRUE(report4.ok()) << report4.status().ToString();
+      EXPECT_EQ(report1->ops_compensated, report4->ops_compensated);
+
+      // The repaired databases are byte-identical across every table,
+      // tracking side tables included.
+      EXPECT_EQ(serial->db.StateHash(tables), parallel->db.StateHash(tables));
+      EXPECT_GE(eng4.phase_stats().compensate_lanes, 1);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace irdb

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Builds and runs the repair-pipeline thread-scaling bench, leaving
+# BENCH_repair.json in the repo root (or $1 if given). The bench sweeps the
+# repair engine's worker count over {1,2,4,8}, checks that every thread count
+# produces the identical undo set and repaired state, and reports per-phase
+# wall + simulated timings (EXPERIMENTS.md consumes the table).
+# Usage: tools/run_bench_repair.sh [out.json]
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+out="${1:-$repo/BENCH_repair.json}"
+
+cmake -B "$repo/build" -S "$repo" >/dev/null
+cmake --build "$repo/build" --target bench_repair_speed -j >/dev/null
+
+"$repo/build/bench/bench_repair_speed" --out="$out"
