@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "engine/database.h"
+#include "obs/catalog.h"
 #include "proxy/tracking_proxy.h"
 #include "util/stopwatch.h"
 #include "wire/connection.h"
@@ -130,16 +131,25 @@ int Main(int argc, char** argv) {
   double cached_sps, hit_rate;
   int64_t hits, misses, retries, injected;
   {
+    // The counters come from the global obs registry (the proxy mirrors its
+    // ProxyStats there); baselines isolate this fixture's timed window.
+    const obs::Metrics& m = obs::Metrics::Get();
+    const int64_t retries0 = obs::CounterValue(m.proxy_retries);
+    const int64_t injected0 = obs::CounterValue(m.proxy_injected_faults_hit);
     Fixture f;
     f.Run(rounds / 10 + 1);  // warm: populates the plan cache
-    const auto& st = f.proxy.stats();
-    const int64_t hits0 = st.cache_hits, misses0 = st.cache_misses;
+    const int64_t hits0 = obs::CounterValue(m.proxy_plan_cache_hits);
+    const int64_t misses0 = obs::CounterValue(m.proxy_plan_cache_misses);
     cached_sps = f.Run(rounds);
-    hits = st.cache_hits - hits0;
-    misses = st.cache_misses - misses0;
+    hits = obs::CounterValue(m.proxy_plan_cache_hits) - hits0;
+    misses = obs::CounterValue(m.proxy_plan_cache_misses) - misses0;
     hit_rate = static_cast<double>(hits) / static_cast<double>(hits + misses);
-    retries = st.retries;
-    injected = st.injected_faults_hit;
+    retries = obs::CounterValue(m.proxy_retries) - retries0;
+    injected = obs::CounterValue(m.proxy_injected_faults_hit) - injected0;
+    // Cross-check: the registry mirror must agree with the proxy's own
+    // struct over the same window.
+    const auto& st = f.proxy.stats();
+    IRDB_CHECK(hits + misses <= st.cache_hits + st.cache_misses);
   }
 
   const double speedup = cached_sps / cold_sps;

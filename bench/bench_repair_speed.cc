@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "obs/catalog.h"
 #include "repair/repair_engine.h"
 
 namespace irdb::bench {
@@ -44,10 +45,51 @@ struct SweepResult {
   double wall_ms = 0;
 };
 
+// Per-phase registry counters as of now; the sweep reports deltas so each
+// scenario's numbers are isolated even though the registry is process-global.
+struct RepairCounterBaseline {
+  int64_t scan_us, scan_sim_us, correlate_us, closure_us, compensate_us,
+      compensate_sim_us, records;
+
+  static RepairCounterBaseline Now() {
+    const obs::Metrics& m = obs::Metrics::Get();
+    RepairCounterBaseline b;
+    b.scan_us = obs::CounterValue(m.repair_scan_us);
+    b.scan_sim_us = obs::CounterValue(m.repair_scan_sim_us);
+    b.correlate_us = obs::CounterValue(m.repair_correlate_us);
+    b.closure_us = obs::CounterValue(m.repair_closure_us);
+    b.compensate_us = obs::CounterValue(m.repair_compensate_us);
+    b.compensate_sim_us = obs::CounterValue(m.repair_compensate_sim_us);
+    b.records = obs::CounterValue(m.repair_records_scanned);
+    return b;
+  }
+
+  // Overwrites the timed fields of `p` with the registry deltas since this
+  // baseline (us -> ms). Structural fields (threads, lanes, ...) stay as the
+  // engine reported them.
+  void ApplyDeltas(repair::RepairPhaseStats* p) const {
+    const RepairCounterBaseline now = Now();
+    p->scan_wall_ms = static_cast<double>(now.scan_us - scan_us) / 1000.0;
+    p->scan_sim_ms =
+        static_cast<double>(now.scan_sim_us - scan_sim_us) / 1000.0;
+    p->correlate_wall_ms =
+        static_cast<double>(now.correlate_us - correlate_us) / 1000.0;
+    p->closure_wall_ms =
+        static_cast<double>(now.closure_us - closure_us) / 1000.0;
+    p->compensate_wall_ms =
+        static_cast<double>(now.compensate_us - compensate_us) / 1000.0;
+    p->compensate_sim_ms =
+        static_cast<double>(now.compensate_sim_us - compensate_sim_us) /
+        1000.0;
+    p->records_scanned = now.records - records;
+  }
+};
+
 // One complete attack + repair scenario at the given thread count.
 // Everything is seeded, so every invocation generates the identical history.
 bool RunScenario(const FlavorTraits& traits, int threads, int tdetect,
                  SweepResult* result) {
+  const RepairCounterBaseline baseline = RepairCounterBaseline::Now();
   DeploymentOptions opts;
   opts.traits = traits;
   opts.arch = ProxyArch::kSingleProxy;
@@ -94,7 +136,11 @@ bool RunScenario(const FlavorTraits& traits, int threads, int tdetect,
   }
   result->threads = threads;
   result->undo = undo;
+  // Phase times and record counts come from the obs registry (the engine
+  // mirrors RepairPhaseStats there, microsecond-rounded); the struct supplies
+  // the structural fields the registry doesn't carry.
   result->phases = rdb.repair().phase_stats();
+  baseline.ApplyDeltas(&result->phases);
   result->wall_ms = watch.ElapsedMillis();
   result->state_hash = rdb.db().StateHash(rdb.db().catalog().TableNames());
   if (threads == 8) {

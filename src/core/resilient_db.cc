@@ -2,6 +2,11 @@
 
 #include <cstdio>
 
+#include "obs/catalog.h"
+#include "obs/journal.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace irdb {
 
 ResilientDb::ResilientDb(DeploymentOptions opts)
@@ -107,6 +112,20 @@ std::string ResilientDb::StatsBlock() const {
                 static_cast<long long>(pool.max_queue_depth));
   out += buf;
   return out;
+}
+
+std::string ResilientDb::ExportPrometheus() {
+  // Force the catalog so an idle process still exports every series.
+  (void)obs::Metrics::Get();
+  return obs::MetricsRegistry::Default().RenderPrometheus();
+}
+
+std::string ResilientDb::ExportChromeTrace() {
+  return obs::SpanTracer::Default().RenderChromeTrace();
+}
+
+std::string ResilientDb::ExportJournalJsonl() {
+  return obs::EventJournal::Default().RenderJsonl();
 }
 
 }  // namespace irdb

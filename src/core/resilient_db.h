@@ -72,6 +72,15 @@ class ResilientDb {
   // side by side.
   std::string StatsBlock() const;
 
+  // Observability exports (src/obs): the process-wide registry as Prometheus
+  // text, the span tracer as Chrome trace_event JSON, and the event journal
+  // as JSON lines. All deployments share the process-wide instances, so
+  // these are conveniences for the common one-deployment-per-process case
+  // (tools/irdb_metrics_dump).
+  static std::string ExportPrometheus();
+  static std::string ExportChromeTrace();
+  static std::string ExportJournalJsonl();
+
   // Wall-clock plus simulated I/O + network time (see engine/io_model.h).
   double TotalSeconds(double wall_seconds) const {
     return wall_seconds + db_.io_model().clock().seconds();

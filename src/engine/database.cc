@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/catalog.h"
 #include "sql/parser.h"
 #include "sql/printer.h"
 #include "util/failpoint.h"
@@ -137,10 +138,13 @@ void Database::CommitTxn(Session& s) {
   if (!s.undo.empty()) {
     io_model_.AccountLogFlush(s.txn_log_bytes);
     wal_.AccountBytes(s.txn_log_bytes);
+    obs::Count(obs::Metrics::Get().wal_fsyncs);
+    obs::Count(obs::Metrics::Get().wal_fsync_bytes, s.txn_log_bytes);
   }
   s.in_txn = false;
   s.undo.clear();
   ++stats_.commits;
+  obs::Count(obs::Metrics::Get().txn_commits);
 }
 
 namespace {
@@ -229,6 +233,7 @@ Status Database::RollbackTxn(Session& s) {
   s.in_txn = false;
   s.undo.clear();
   ++stats_.rollbacks;
+  obs::Count(obs::Metrics::Get().txn_aborts);
   return Status::Ok();
 }
 

@@ -1,0 +1,282 @@
+// Registration of the closed metric catalog and the docs/metrics.md
+// generator (see catalog.h).
+#include "obs/catalog.h"
+
+#include <cstdio>
+
+namespace irdb::obs {
+
+const Metrics& Metrics::Get() {
+  static const Metrics* metrics = [] {
+    MetricsRegistry& r = MetricsRegistry::Default();
+    auto* m = new Metrics();
+
+    m->proxy_client_statements = r.RegisterCounter(
+        "irdb_proxy_client_statements_total",
+        "Client statements received by tracking proxies");
+    m->proxy_backend_statements = r.RegisterCounter(
+        "irdb_proxy_backend_statements_total",
+        "Statements forwarded to the backend, including dep fetches, "
+        "trans_dep/annot inserts, and retry re-sends");
+    m->proxy_dep_fetches = r.RegisterCounter(
+        "irdb_proxy_dep_fetches_total",
+        "Extra dep-fetch SELECTs issued for aggregate queries (Table 1)");
+    m->proxy_trans_dep_inserts = r.RegisterCounter(
+        "irdb_proxy_trans_dep_inserts_total",
+        "trans_dep rows written at COMMIT (chunked payloads count per row)");
+    m->proxy_deps_recorded = r.RegisterCounter(
+        "irdb_proxy_deps_recorded_total",
+        "Deduplicated (table, writer-trid) dependencies recorded at COMMIT");
+    m->proxy_plan_cache_hits = r.RegisterCounter(
+        "irdb_proxy_plan_cache_hits_total",
+        "Statement-shape cache hits (lex+parse+rewrite skipped)");
+    m->proxy_plan_cache_misses = r.RegisterCounter(
+        "irdb_proxy_plan_cache_misses_total",
+        "Statement shapes seen for the first time (plan built and cached)");
+    m->proxy_plan_cache_invalidations = r.RegisterCounter(
+        "irdb_proxy_plan_cache_invalidations_total",
+        "Whole-cache flushes caused by DDL through the connection");
+    m->proxy_plan_cache_bypasses = r.RegisterCounter(
+        "irdb_proxy_plan_cache_bypasses_total",
+        "Statements whose shape is cached as not-safely-bindable (negative "
+        "entry); the full parse path was taken");
+    m->proxy_retries = r.RegisterCounter(
+        "irdb_proxy_retries_total",
+        "Backend calls re-attempted after a retryable failure");
+    m->proxy_injected_faults_hit = r.RegisterCounter(
+        "irdb_proxy_injected_faults_hit_total",
+        "Failpoint-injected errors observed by proxies");
+    m->proxy_degraded_commits = r.RegisterCounter(
+        "irdb_proxy_degraded_commits_total",
+        "Transactions committed untracked after metadata loss "
+        "(DegradedMode::kCommitUntracked)");
+    m->proxy_tracking_gap_txns = r.RegisterCounter(
+        "irdb_proxy_tracking_gap_txns_total",
+        "Transaction ids quarantined in the tracking_gaps side table");
+    m->proxy_statement_latency = r.RegisterHistogram(
+        "irdb_proxy_statement_latency_ms",
+        "Client-statement latency through the tracking proxy (rewrite + "
+        "backend round trips + dependency harvesting)");
+
+    m->failpoint_evaluations = r.RegisterCounter(
+        "irdb_failpoint_evaluations_total",
+        "Failpoint site evaluations while at least one site was armed");
+    m->failpoint_trips = r.RegisterCounter(
+        "irdb_failpoint_trips_total",
+        "Failpoint evaluations that fired an injected fault");
+
+    m->wal_appends = r.RegisterCounter(
+        "irdb_wal_appends_total", "Records appended to the write-ahead log");
+    m->wal_fsyncs = r.RegisterCounter(
+        "irdb_wal_fsyncs_total",
+        "Commit-time log flushes (read-only transactions flush nothing)");
+    m->wal_fsync_bytes = r.RegisterCounter(
+        "irdb_wal_fsync_bytes_total",
+        "Bytes made durable by commit-time log flushes", "bytes");
+    m->wal_torn_tails = r.RegisterCounter(
+        "irdb_wal_torn_tails_total",
+        "Torn final WAL frames truncated during decode (crash mid-write)");
+    m->txn_commits = r.RegisterCounter("irdb_txn_commits_total",
+                                       "Engine transactions committed");
+    m->txn_aborts = r.RegisterCounter("irdb_txn_aborts_total",
+                                      "Engine transactions rolled back");
+
+    m->repair_runs = r.RegisterCounter(
+        "irdb_repair_runs_total",
+        "Dependency analyses started (RepairEngine::Analyze)");
+    m->repair_records_scanned = r.RegisterCounter(
+        "irdb_repair_records_scanned_total",
+        "Log records scanned by dependency analyses");
+    m->repair_compensations = r.RegisterCounter(
+        "irdb_repair_compensations_total",
+        "Compensating statements executed by selective undo");
+    m->repair_scan_us = r.RegisterCounter(
+        "irdb_repair_scan_us_total",
+        "Wall time in the scan phase (log read + decode)", "us");
+    m->repair_scan_sim_us = r.RegisterCounter(
+        "irdb_repair_scan_sim_us_total",
+        "Simulated 2004-era disk time charged to the scan phase "
+        "(DESIGN.md §4a)", "us");
+    m->repair_correlate_us = r.RegisterCounter(
+        "irdb_repair_correlate_us_total",
+        "Wall time in the correlate phase (ID correlation + graph build)",
+        "us");
+    m->repair_closure_us = r.RegisterCounter(
+        "irdb_repair_closure_us_total",
+        "Wall time in the closure phase (damage-perimeter BFS)", "us");
+    m->repair_compensate_us = r.RegisterCounter(
+        "irdb_repair_compensate_us_total",
+        "Wall time in the compensate phase (selective undo execution)", "us");
+    m->repair_compensate_sim_us = r.RegisterCounter(
+        "irdb_repair_compensate_sim_us_total",
+        "Simulated 2004-era disk time charged to the compensate phase", "us");
+    m->repair_run_latency = r.RegisterHistogram(
+        "irdb_repair_run_latency_ms",
+        "Wall time of full Repair() invocations (analyze + closure + "
+        "compensate)");
+    m->repair_threads = r.RegisterGauge(
+        "irdb_repair_threads",
+        "Worker threads configured on the most recently (re)configured "
+        "repair engine (1 = serial)");
+
+    m->pool_workers = r.RegisterGauge(
+        "irdb_pool_workers",
+        "Worker threads of the most recently constructed thread pool "
+        "(0 = inline execution)");
+    m->pool_tasks = r.RegisterCounter(
+        "irdb_pool_tasks_total",
+        "Tasks executed by worker pools (inline ones included)");
+    m->pool_parallel_fors = r.RegisterCounter(
+        "irdb_pool_parallel_fors_total", "ParallelFor invocations");
+
+    return m;
+  }();
+  return *metrics;
+}
+
+const std::vector<SpanDoc>& SpanCatalog() {
+  static const std::vector<SpanDoc>* catalog = new std::vector<SpanDoc>{
+      {span::kRepairAnalyze,
+       "Whole dependency analysis: scan + correlate. Parent of the scan and "
+       "correlate spans; args: records, threads."},
+      {span::kRepairScanWalDecode,
+       "Durable-bytes leg of the scan: segmented CRC check + decode of the "
+       "serialized WAL (threads > 1 only); args: bytes."},
+      {span::kRepairScanFlavorRead,
+       "Flavor log-reader leg of the scan: ReadCommitted over the "
+       "PostgreSQL/Oracle/Sybase view of the log; args: ops."},
+      {span::kRepairCorrelate,
+       "ID correlation, dependency-payload parsing, and graph construction "
+       "(analysis passes 1-4)."},
+      {span::kRepairClosure,
+       "Damage-perimeter closure over the dependency graph; args: seeds, "
+       "undo."},
+      {span::kRepairCompensate,
+       "Selective-undo execution (compensating statements); args: stmts, "
+       "lanes."},
+      {span::kRepairCompensateLane,
+       "One per-table compensation batch lane (threads > 1); args: lane, "
+       "tables, stmts."},
+      {span::kPoolParallelFor,
+       "One ParallelFor fan-out on a worker pool; args: n, chunks."},
+      {span::kPoolChunk,
+       "One contiguous chunk of a ParallelFor, on the worker that ran it; "
+       "args: chunk, begin, end."},
+  };
+  return *catalog;
+}
+
+const std::vector<EventDoc>& EventCatalog() {
+  static const std::vector<EventDoc>* catalog = new std::vector<EventDoc>{
+      {event::kFailpointTrip, "site",
+       "An armed failpoint fired an injected fault."},
+      {event::kProxyDegradedCommit, "trid",
+       "A transaction committed untracked after its dependency metadata was "
+       "lost (DegradedMode::kCommitUntracked). Count always equals "
+       "irdb_proxy_degraded_commits_total."},
+      {event::kProxyTrackingGap, "trid",
+       "A transaction id was quarantined in tracking_gaps. Count always "
+       "equals irdb_proxy_tracking_gap_txns_total."},
+      {event::kProxyCacheInvalidation, "reason",
+       "A connection's plan cache was flushed (DDL)."},
+      {event::kWalTornTail, "dropped_bytes",
+       "WAL decode truncated a torn final frame and recovered from the "
+       "intact prefix."},
+      {event::kRepairAnalyzeDone, "records, nodes, edges, gaps",
+       "A dependency analysis completed."},
+      {event::kRepairDone, "undone, stmts",
+       "A selective undo completed."},
+  };
+  return *catalog;
+}
+
+namespace {
+
+const char* KindName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string RenderMetricsDoc() {
+  // Force registration so the Default registry holds the whole catalog.
+  (void)Metrics::Get();
+  std::string out;
+  out +=
+      "# Metrics, spans, and journal events\n"
+      "\n"
+      "> **GENERATED FILE — do not edit.** This reference is rendered from\n"
+      "> the observability catalog (`src/obs/catalog.cc`) by\n"
+      "> `tools/gen_metrics_doc`; `tools/check_docs.sh` (ctest label `docs`)\n"
+      "> fails when this file and the catalog diverge. Regenerate with:\n"
+      ">\n"
+      "> ```sh\n"
+      "> build/tools/gen_metrics_doc --out docs/metrics.md\n"
+      "> ```\n"
+      "\n"
+      "All series live on the process-wide registry\n"
+      "(`irdb::obs::MetricsRegistry::Default()`); export them as Prometheus\n"
+      "text with `RenderPrometheus()` or `build/tools/irdb_metrics_dump`.\n"
+      "Span timelines export as Chrome `trace_event` JSON\n"
+      "(`SpanTracer::RenderChromeTrace()`), and the journal as JSON lines.\n"
+      "See [architecture.md](architecture.md) for where each subsystem sits\n"
+      "in the pipeline.\n"
+      "\n"
+      "## Metrics\n"
+      "\n"
+      "Histograms use the shared latency bucket boundaries (ms): ";
+  for (int i = 0; i < kNumFiniteBuckets; ++i) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%s%g", i ? ", " : "",
+                  kLatencyBucketUpperMs[i]);
+    out += buf;
+  }
+  out +=
+      ", +Inf.\n"
+      "\n"
+      "| name | kind | unit | description |\n"
+      "|---|---|---|---|\n";
+  for (const MetricSnapshot& s : MetricsRegistry::Default().Snapshot()) {
+    out += "| `" + s.def.name + "` | " + KindName(s.def.kind) + " | " +
+           s.def.unit + " | " + s.def.help + " |\n";
+  }
+  out +=
+      "\n"
+      "## Spans\n"
+      "\n"
+      "Recorded through `irdb::obs::Span` on the default tracer; nesting is\n"
+      "by time containment per thread (`tid`), which is how the Chrome trace\n"
+      "viewer renders the flame graph. Repair-phase span durations are the\n"
+      "same measurements `RepairPhaseStats` accumulates, so the span tree\n"
+      "always sums to the phase totals.\n"
+      "\n"
+      "| span | description |\n"
+      "|---|---|\n";
+  for (const SpanDoc& s : SpanCatalog()) {
+    out += std::string("| `") + s.name + "` | " + s.description + " |\n";
+  }
+  out +=
+      "\n"
+      "## Journal events\n"
+      "\n"
+      "Appended to `irdb::obs::EventJournal::Default()`. The ring buffer\n"
+      "keeps the most recent events, but per-type counts are exact forever\n"
+      "(`CountType`), so the invariants below hold under any buffer\n"
+      "pressure.\n"
+      "\n"
+      "| event | fields | description |\n"
+      "|---|---|---|\n";
+  for (const EventDoc& e : EventCatalog()) {
+    out += std::string("| `") + e.name + "` | " +
+           (e.fields[0] == '\0' ? "—" : e.fields) + " | " + e.description +
+           " |\n";
+  }
+  return out;
+}
+
+}  // namespace irdb::obs

@@ -1,0 +1,117 @@
+// The observability catalog — every metric, span name, and journal event
+// type the framework emits, in ONE place.
+//
+// Instrumented code never registers metrics ad hoc: it reads pre-registered
+// ids off Metrics::Get(), so the set of exported series is closed and
+// documented. docs/metrics.md is GENERATED from this catalog
+// (tools/gen_metrics_doc renders RenderMetricsDoc()), and tools/check_docs.sh
+// fails the `docs` ctest label if the file and the catalog ever diverge —
+// the reference documentation cannot drift from the code.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace irdb::obs {
+
+// Pre-registered ids for every metric in the catalog, all on
+// MetricsRegistry::Default(). First Get() registers; later calls are free.
+struct Metrics {
+  static const Metrics& Get();
+
+  // --- tracking proxy (src/proxy) ---
+  MetricId proxy_client_statements;
+  MetricId proxy_backend_statements;
+  MetricId proxy_dep_fetches;
+  MetricId proxy_trans_dep_inserts;
+  MetricId proxy_deps_recorded;
+  MetricId proxy_plan_cache_hits;
+  MetricId proxy_plan_cache_misses;
+  MetricId proxy_plan_cache_invalidations;
+  MetricId proxy_plan_cache_bypasses;
+  MetricId proxy_retries;
+  MetricId proxy_injected_faults_hit;
+  MetricId proxy_degraded_commits;
+  MetricId proxy_tracking_gap_txns;
+  MetricId proxy_statement_latency;  // histogram, ms
+
+  // --- failpoints (src/util/failpoint) ---
+  MetricId failpoint_evaluations;
+  MetricId failpoint_trips;
+
+  // --- WAL / transactions (src/txn, src/engine) ---
+  MetricId wal_appends;
+  MetricId wal_fsyncs;
+  MetricId wal_fsync_bytes;
+  MetricId wal_torn_tails;
+  MetricId txn_commits;
+  MetricId txn_aborts;
+
+  // --- repair pipeline (src/repair) ---
+  MetricId repair_runs;
+  MetricId repair_records_scanned;
+  MetricId repair_compensations;
+  MetricId repair_scan_us;
+  MetricId repair_scan_sim_us;
+  MetricId repair_correlate_us;
+  MetricId repair_closure_us;
+  MetricId repair_compensate_us;
+  MetricId repair_compensate_sim_us;
+  MetricId repair_run_latency;  // histogram, ms (wall per full repair)
+  MetricId repair_threads;     // gauge
+
+  // --- worker pool (src/util/thread_pool) ---
+  MetricId pool_workers;  // gauge
+  MetricId pool_tasks;
+  MetricId pool_parallel_fors;
+};
+
+// Span names recorded through obs::Span, with one-line descriptions
+// (docs/metrics.md §Spans).
+struct SpanDoc {
+  const char* name;
+  const char* description;
+};
+const std::vector<SpanDoc>& SpanCatalog();
+
+// Journal event types appended through EventJournal, with their fields
+// (docs/metrics.md §Events).
+struct EventDoc {
+  const char* name;
+  const char* fields;  // comma-separated field names, "" when none
+  const char* description;
+};
+const std::vector<EventDoc>& EventCatalog();
+
+// Span and journal event names, as constants so call sites cannot typo a
+// name out of the documented catalog.
+namespace span {
+inline constexpr const char* kRepairAnalyze = "repair.analyze";
+inline constexpr const char* kRepairScanWalDecode = "repair.scan.wal_decode";
+inline constexpr const char* kRepairScanFlavorRead = "repair.scan.flavor_read";
+inline constexpr const char* kRepairCorrelate = "repair.correlate";
+inline constexpr const char* kRepairClosure = "repair.closure";
+inline constexpr const char* kRepairCompensate = "repair.compensate";
+inline constexpr const char* kRepairCompensateLane = "repair.compensate.lane";
+inline constexpr const char* kPoolParallelFor = "pool.parallel_for";
+inline constexpr const char* kPoolChunk = "pool.chunk";
+}  // namespace span
+
+namespace event {
+inline constexpr const char* kFailpointTrip = "failpoint.trip";
+inline constexpr const char* kProxyDegradedCommit = "proxy.degraded_commit";
+inline constexpr const char* kProxyTrackingGap = "proxy.tracking_gap";
+inline constexpr const char* kProxyCacheInvalidation = "proxy.cache_invalidation";
+inline constexpr const char* kWalTornTail = "wal.torn_tail";
+inline constexpr const char* kRepairAnalyzeDone = "repair.analyze_done";
+inline constexpr const char* kRepairDone = "repair.done";
+}  // namespace event
+
+// The full docs/metrics.md content: a reference table for every counter,
+// gauge, histogram, span, and journal event above. Deterministic — the
+// `docs` ctest label asserts docs/metrics.md is byte-identical to this.
+std::string RenderMetricsDoc();
+
+}  // namespace irdb::obs

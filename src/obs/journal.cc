@@ -1,0 +1,112 @@
+// Ring buffering and exact per-type accounting for EventJournal (see
+// journal.h for the invariants).
+#include "obs/journal.h"
+
+#include <chrono>
+#include <cstdio>
+
+namespace irdb::obs {
+
+namespace {
+
+int64_t SteadyNowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+EventJournal::EventJournal() : epoch_us_(SteadyNowUs()) {}
+
+EventJournal& EventJournal::Default() {
+  static EventJournal* instance = new EventJournal();  // never destroyed
+  return *instance;
+}
+
+void EventJournal::Append(
+    std::string_view type,
+    std::vector<std::pair<std::string, std::string>> fields) {
+  std::lock_guard<std::mutex> lock(mu_);
+  JournalEvent event;
+  event.seq = next_seq_++;
+  event.ts_us = SteadyNowUs() - epoch_us_;
+  event.type = std::string(type);
+  event.fields = std::move(fields);
+  ++counts_by_type_[event.type];
+  if (events_.size() >= kMaxEvents) {
+    events_.pop_front();
+    ++dropped_;
+  }
+  events_.push_back(std::move(event));
+}
+
+std::vector<JournalEvent> EventJournal::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<JournalEvent>(events_.begin(), events_.end());
+}
+
+int64_t EventJournal::CountType(std::string_view type) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counts_by_type_.find(type);
+  return it == counts_by_type_.end() ? 0 : it->second;
+}
+
+int64_t EventJournal::total_appended() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_seq_ - 1;
+}
+
+int64_t EventJournal::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+std::string EventJournal::RenderJsonl() const {
+  std::vector<JournalEvent> events = Snapshot();
+  std::string out;
+  for (const JournalEvent& e : events) {
+    out += "{\"seq\":" + std::to_string(e.seq) +
+           ",\"ts_us\":" + std::to_string(e.ts_us) + ",\"type\":\"" +
+           JsonEscape(e.type) + "\"";
+    for (const auto& [key, value] : e.fields) {
+      out += ",\"" + JsonEscape(key) + "\":\"" + JsonEscape(value) + "\"";
+    }
+    out += "}\n";
+  }
+  return out;
+}
+
+void EventJournal::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  counts_by_type_.clear();
+  next_seq_ = 1;
+  dropped_ = 0;
+  epoch_us_ = SteadyNowUs();
+}
+
+}  // namespace irdb::obs

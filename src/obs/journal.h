@@ -1,0 +1,72 @@
+// EventJournal — append-only structured record of the rare-but-important
+// events an operator audits after the fact: failpoint trips, degraded
+// commits, tracking-gap quarantines, torn WAL tails, repair milestones.
+//
+// Counters say HOW OFTEN; the journal says WHICH transaction / site / byte
+// count, in order. Events carry a monotone sequence number, a timestamp,
+// a type from the documented catalog (obs/catalog.h), and small string
+// fields.
+//
+// Invariants:
+//   - Per-type counts are exact forever: the ring buffer keeps only the most
+//     recent kMaxEvents events, but CountType() reads a dedicated counter
+//     that is never dropped — so invariant checks such as
+//     "degraded_commits == #proxy.degraded_commit events" hold regardless of
+//     buffer pressure.
+//   - Appending is mutex-serialized; journal events must be rare (no
+//     per-row or per-statement types).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace irdb::obs {
+
+struct JournalEvent {
+  int64_t seq = 0;    // monotone, starts at 1
+  int64_t ts_us = 0;  // microseconds since the journal was created/cleared
+  std::string type;   // from the event catalog (docs/metrics.md)
+  std::vector<std::pair<std::string, std::string>> fields;
+};
+
+class EventJournal {
+ public:
+  static constexpr size_t kMaxEvents = 8192;
+
+  EventJournal();
+
+  // Process-wide journal every subsystem appends to.
+  static EventJournal& Default();
+
+  void Append(std::string_view type,
+              std::vector<std::pair<std::string, std::string>> fields = {});
+
+  // The retained tail (most recent kMaxEvents events).
+  std::vector<JournalEvent> Snapshot() const;
+
+  // Exact count of events of `type` ever appended (survives ring eviction).
+  int64_t CountType(std::string_view type) const;
+  int64_t total_appended() const;
+  int64_t dropped() const;
+
+  // JSON-lines rendering of the retained tail, one event per line.
+  std::string RenderJsonl() const;
+
+  void Clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::deque<JournalEvent> events_;
+  std::map<std::string, int64_t, std::less<>> counts_by_type_;
+  int64_t next_seq_ = 1;
+  int64_t dropped_ = 0;
+  int64_t epoch_us_ = 0;  // steady-clock baseline
+};
+
+}  // namespace irdb::obs

@@ -1,0 +1,280 @@
+// Shard management and aggregate-on-read for MetricsRegistry (see metrics.h
+// for the design and lifetime invariants).
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace irdb::obs {
+
+namespace {
+
+std::atomic<uint64_t> g_next_registry_key{1};
+
+// Per-thread (registry key -> shard) associations. Entries for destroyed
+// registries go stale but are never dereferenced: keys are unique forever.
+std::vector<std::pair<uint64_t, void*>>& ThreadShardTable() {
+  thread_local std::vector<std::pair<uint64_t, void*>> table;
+  return table;
+}
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+}  // namespace
+
+MetricsRegistry::MetricsRegistry()
+    : registry_key_(g_next_registry_key.fetch_add(1)) {}
+
+MetricsRegistry::~MetricsRegistry() = default;
+
+MetricsRegistry& MetricsRegistry::Default() {
+  static MetricsRegistry* instance = new MetricsRegistry();  // never destroyed
+  return *instance;
+}
+
+MetricId MetricsRegistry::RegisterCounter(std::string_view name,
+                                          std::string_view help,
+                                          std::string_view unit) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; i < defs_.size(); ++i) {
+    if (defs_[i].name == name) {
+      return MetricId{static_cast<int32_t>(i), first_slot_[i]};
+    }
+  }
+  if (next_slot_ + 1 > kMaxSlots) return MetricId{};
+  MetricId id{static_cast<int32_t>(defs_.size()), next_slot_};
+  defs_.push_back(MetricDef{std::string(name), MetricKind::kCounter,
+                            std::string(unit), std::string(help)});
+  first_slot_.push_back(next_slot_);
+  gauge_index_.push_back(-1);
+  next_slot_ += 1;
+  return id;
+}
+
+MetricId MetricsRegistry::RegisterGauge(std::string_view name,
+                                        std::string_view help,
+                                        std::string_view unit) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; i < defs_.size(); ++i) {
+    if (defs_[i].name == name) {
+      return MetricId{static_cast<int32_t>(i), first_slot_[i]};
+    }
+  }
+  MetricId id{static_cast<int32_t>(defs_.size()), -1};
+  defs_.push_back(MetricDef{std::string(name), MetricKind::kGauge,
+                            std::string(unit), std::string(help)});
+  first_slot_.push_back(-1);
+  gauge_index_.push_back(static_cast<int32_t>(gauges_.size()));
+  gauges_.push_back(std::make_unique<std::atomic<int64_t>>(0));
+  return id;
+}
+
+MetricId MetricsRegistry::RegisterHistogram(std::string_view name,
+                                            std::string_view help,
+                                            std::string_view unit) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; i < defs_.size(); ++i) {
+    if (defs_[i].name == name) {
+      return MetricId{static_cast<int32_t>(i), first_slot_[i]};
+    }
+  }
+  if (next_slot_ + kHistogramSlots > kMaxSlots) return MetricId{};
+  MetricId id{static_cast<int32_t>(defs_.size()), next_slot_};
+  defs_.push_back(MetricDef{std::string(name), MetricKind::kHistogram,
+                            std::string(unit), std::string(help)});
+  first_slot_.push_back(next_slot_);
+  gauge_index_.push_back(-1);
+  next_slot_ += kHistogramSlots;
+  return id;
+}
+
+MetricId MetricsRegistry::Find(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; i < defs_.size(); ++i) {
+    if (defs_[i].name == name) {
+      return MetricId{static_cast<int32_t>(i), first_slot_[i]};
+    }
+  }
+  return MetricId{};
+}
+
+MetricsRegistry::Shard* MetricsRegistry::ThisThreadShard() {
+  auto& table = ThreadShardTable();
+  for (auto& [key, shard] : table) {
+    if (key == registry_key_) return static_cast<Shard*>(shard);
+  }
+  auto owned = std::make_unique<Shard>();
+  Shard* raw = owned.get();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shards_.push_back(std::move(owned));
+  }
+  table.emplace_back(registry_key_, raw);
+  return raw;
+}
+
+void MetricsRegistry::Count(MetricId id, int64_t delta) {
+  if (!id.valid() || id.slot < 0) return;
+  ThisThreadShard()->slots[static_cast<size_t>(id.slot)].fetch_add(
+      delta, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::Observe(MetricId id, double value_ms) {
+  if (!id.valid() || id.slot < 0) return;
+  int bucket = kNumFiniteBuckets;  // +Inf
+  for (int i = 0; i < kNumFiniteBuckets; ++i) {
+    if (value_ms <= kLatencyBucketUpperMs[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  Shard* shard = ThisThreadShard();
+  const size_t base = static_cast<size_t>(id.slot);
+  shard->slots[base + static_cast<size_t>(bucket)].fetch_add(
+      1, std::memory_order_relaxed);
+  shard->slots[base + kNumFiniteBuckets + 1].fetch_add(
+      1, std::memory_order_relaxed);
+  shard->slots[base + kNumFiniteBuckets + 2].fetch_add(
+      std::llround(value_ms * 1000.0), std::memory_order_relaxed);
+}
+
+void MetricsRegistry::SetGauge(MetricId id, int64_t value) {
+  if (!id.valid()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  const int32_t gi = gauge_index_[static_cast<size_t>(id.def_index)];
+  if (gi >= 0) gauges_[static_cast<size_t>(gi)]->store(value);
+}
+
+void MetricsRegistry::AddGauge(MetricId id, int64_t delta) {
+  if (!id.valid()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  const int32_t gi = gauge_index_[static_cast<size_t>(id.def_index)];
+  if (gi >= 0) gauges_[static_cast<size_t>(gi)]->fetch_add(delta);
+}
+
+int64_t MetricsRegistry::SumSlot(int32_t slot) const {
+  int64_t total = 0;
+  for (const auto& shard : shards_) {
+    total +=
+        shard->slots[static_cast<size_t>(slot)].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+int64_t MetricsRegistry::CounterValue(MetricId id) const {
+  if (!id.valid()) return 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  const int32_t gi = gauge_index_[static_cast<size_t>(id.def_index)];
+  if (gi >= 0) return gauges_[static_cast<size_t>(gi)]->load();
+  if (id.slot < 0) return 0;
+  return SumSlot(id.slot);
+}
+
+HistogramSnapshot MetricsRegistry::HistogramValue(MetricId id) const {
+  HistogramSnapshot out;
+  if (!id.valid() || id.slot < 0) return out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (int i = 0; i <= kNumFiniteBuckets; ++i) {
+    out.buckets[static_cast<size_t>(i)] = SumSlot(id.slot + i);
+  }
+  out.count = SumSlot(id.slot + kNumFiniteBuckets + 1);
+  out.sum_us = SumSlot(id.slot + kNumFiniteBuckets + 2);
+  return out;
+}
+
+std::vector<MetricSnapshot> MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MetricSnapshot> out;
+  out.reserve(defs_.size());
+  for (size_t i = 0; i < defs_.size(); ++i) {
+    MetricSnapshot snap;
+    snap.def = defs_[i];
+    switch (defs_[i].kind) {
+      case MetricKind::kCounter:
+        snap.value = SumSlot(first_slot_[i]);
+        break;
+      case MetricKind::kGauge:
+        snap.value = gauges_[static_cast<size_t>(gauge_index_[i])]->load();
+        break;
+      case MetricKind::kHistogram: {
+        const int32_t slot = first_slot_[i];
+        for (int b = 0; b <= kNumFiniteBuckets; ++b) {
+          snap.hist.buckets[static_cast<size_t>(b)] = SumSlot(slot + b);
+        }
+        snap.hist.count = SumSlot(slot + kNumFiniteBuckets + 1);
+        snap.hist.sum_us = SumSlot(slot + kNumFiniteBuckets + 2);
+        break;
+      }
+    }
+    out.push_back(std::move(snap));
+  }
+  return out;
+}
+
+std::string MetricsRegistry::RenderPrometheus() const {
+  std::vector<MetricSnapshot> snaps = Snapshot();
+  std::sort(snaps.begin(), snaps.end(),
+            [](const MetricSnapshot& a, const MetricSnapshot& b) {
+              return a.def.name < b.def.name;
+            });
+  std::string out;
+  char buf[256];
+  for (const MetricSnapshot& s : snaps) {
+    out += "# HELP " + s.def.name + " " + s.def.help + "\n";
+    switch (s.def.kind) {
+      case MetricKind::kCounter:
+        out += "# TYPE " + s.def.name + " counter\n";
+        std::snprintf(buf, sizeof(buf), "%s %lld\n", s.def.name.c_str(),
+                      static_cast<long long>(s.value));
+        out += buf;
+        break;
+      case MetricKind::kGauge:
+        out += "# TYPE " + s.def.name + " gauge\n";
+        std::snprintf(buf, sizeof(buf), "%s %lld\n", s.def.name.c_str(),
+                      static_cast<long long>(s.value));
+        out += buf;
+        break;
+      case MetricKind::kHistogram: {
+        out += "# TYPE " + s.def.name + " histogram\n";
+        int64_t cumulative = 0;
+        for (int b = 0; b < kNumFiniteBuckets; ++b) {
+          cumulative += s.hist.buckets[static_cast<size_t>(b)];
+          out += s.def.name + "_bucket{le=\"" +
+                 FormatDouble(kLatencyBucketUpperMs[b]) + "\"} " +
+                 std::to_string(cumulative) + "\n";
+        }
+        cumulative += s.hist.buckets[kNumFiniteBuckets];
+        out += s.def.name + "_bucket{le=\"+Inf\"} " +
+               std::to_string(cumulative) + "\n";
+        std::snprintf(buf, sizeof(buf), "%s_sum %.6f\n%s_count %lld\n",
+                      s.def.name.c_str(),
+                      static_cast<double>(s.hist.sum_us) / 1000.0,
+                      s.def.name.c_str(),
+                      static_cast<long long>(s.hist.count));
+        out += buf;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& shard : shards_) {
+    for (auto& slot : shard->slots) slot.store(0, std::memory_order_relaxed);
+  }
+  for (const auto& gauge : gauges_) gauge->store(0);
+}
+
+size_t MetricsRegistry::metric_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return defs_.size();
+}
+
+}  // namespace irdb::obs

@@ -1,0 +1,160 @@
+// MetricsRegistry — lock-cheap counters, gauges, and fixed-bucket latency
+// histograms for the whole framework (DESIGN.md §5d).
+//
+// Design: shard-per-thread with aggregate-on-read. Every thread that touches
+// a registry lazily allocates a private slab of atomic slots; Count() and
+// Observe() resolve to ONE relaxed fetch_add on the calling thread's slab
+// (plus one more for a histogram's running sum), so the tracking proxy's
+// per-statement hot path never contends on a shared line. Reading — the
+// Prometheus exporter, snapshots, bench deltas — walks every shard ever
+// created and sums, which is allowed to be slow.
+//
+// Invariants:
+//   - Shards are owned by the registry and live until the registry dies;
+//     a thread's slab is never folded or freed at thread exit, so
+//     aggregate-on-read is exact even after worker threads terminate.
+//   - A registry must outlive every thread that touched it. The process-wide
+//     Default() registry (never destroyed) satisfies this trivially; stack
+//     registries are for single-threaded tests only.
+//   - Metric registration is idempotent by name and cheap; ids are stable
+//     for the registry's lifetime. Registration may happen after shards
+//     exist (slabs are pre-sized to kMaxSlots).
+//   - Counters and histogram buckets are monotone; Reset() is test/bench
+//     bookkeeping that zeroes every slot in place.
+//
+// Gauges are not sharded: sets are rare (thread counts, configuration), so a
+// gauge is a single last-writer-wins atomic in the registry itself.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace irdb::obs {
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+struct MetricDef {
+  std::string name;  // Prometheus-style, e.g. "irdb_proxy_plan_cache_hits_total"
+  MetricKind kind = MetricKind::kCounter;
+  std::string unit;  // "1", "ms", "bytes", "us", ...
+  std::string help;  // one-line description (docs/metrics.md row)
+};
+
+// Fixed latency bucket upper bounds, in milliseconds, shared by every
+// histogram (a fixed shape keeps the per-shard layout static).
+inline constexpr double kLatencyBucketUpperMs[] = {
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 50.0, 100.0, 1000.0};
+inline constexpr int kNumFiniteBuckets =
+    static_cast<int>(sizeof(kLatencyBucketUpperMs) / sizeof(double));
+// Finite buckets + the +Inf bucket + count + sum (in microseconds).
+inline constexpr int kHistogramSlots = kNumFiniteBuckets + 3;
+
+// Opaque handle; value-copyable, valid for the registry's lifetime.
+struct MetricId {
+  int32_t def_index = -1;  // index into the registry's definition table
+  int32_t slot = -1;       // first slot in each shard's slab
+  bool valid() const { return def_index >= 0; }
+};
+
+struct HistogramSnapshot {
+  std::array<int64_t, kNumFiniteBuckets + 1> buckets{};  // last = +Inf
+  int64_t count = 0;
+  int64_t sum_us = 0;  // sum of observed values, microseconds
+};
+
+struct MetricSnapshot {
+  MetricDef def;
+  int64_t value = 0;  // counter total / gauge value
+  HistogramSnapshot hist;
+};
+
+class MetricsRegistry {
+ public:
+  // Per-(thread, registry) slab capacity; registration past this fails hard.
+  static constexpr int kMaxSlots = 1024;
+
+  MetricsRegistry();
+  ~MetricsRegistry();
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // The process-wide registry every subsystem instruments into. Never
+  // destroyed, so it outlives all threads.
+  static MetricsRegistry& Default();
+
+  // Idempotent by name: re-registering returns the existing id (kind/help
+  // must then match the original — mismatch is a programming error).
+  MetricId RegisterCounter(std::string_view name, std::string_view help,
+                           std::string_view unit = "1");
+  MetricId RegisterGauge(std::string_view name, std::string_view help,
+                         std::string_view unit = "1");
+  MetricId RegisterHistogram(std::string_view name, std::string_view help,
+                             std::string_view unit = "ms");
+
+  // Invalid id when the name is unknown.
+  MetricId Find(std::string_view name) const;
+
+  // Hot path: one relaxed atomic add on this thread's shard.
+  void Count(MetricId id, int64_t delta = 1);
+  // Hot path: two relaxed atomic adds (bucket + sum) plus the count slot.
+  void Observe(MetricId id, double value_ms);
+  // Gauges: last writer wins; not sharded (sets are rare).
+  void SetGauge(MetricId id, int64_t value);
+  void AddGauge(MetricId id, int64_t delta);
+
+  // Aggregate-on-read. CounterValue also reads gauges.
+  int64_t CounterValue(MetricId id) const;
+  HistogramSnapshot HistogramValue(MetricId id) const;
+  std::vector<MetricSnapshot> Snapshot() const;
+
+  // Prometheus text exposition (sorted by metric name; deterministic).
+  std::string RenderPrometheus() const;
+
+  // Zeroes every slot and gauge in place (ids stay valid). Test/bench only.
+  void Reset();
+
+  size_t metric_count() const;
+
+ private:
+  struct Shard {
+    std::array<std::atomic<int64_t>, kMaxSlots> slots{};
+  };
+
+  Shard* ThisThreadShard();
+  int64_t SumSlot(int32_t slot) const;
+
+  // Unique per registry instance; keys the thread-local shard lookup so a
+  // stale slot from a destroyed registry can never be revived.
+  const uint64_t registry_key_;
+
+  mutable std::mutex mu_;
+  std::vector<MetricDef> defs_;
+  std::vector<int32_t> first_slot_;  // parallel to defs_
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::unique_ptr<std::atomic<int64_t>>> gauges_;  // by def index
+  std::vector<int32_t> gauge_index_;                           // def -> gauges_
+  int32_t next_slot_ = 0;
+};
+
+// Convenience wrappers over the default registry.
+inline void Count(MetricId id, int64_t delta = 1) {
+  MetricsRegistry::Default().Count(id, delta);
+}
+inline void Observe(MetricId id, double value_ms) {
+  MetricsRegistry::Default().Observe(id, value_ms);
+}
+inline void SetGauge(MetricId id, int64_t value) {
+  MetricsRegistry::Default().SetGauge(id, value);
+}
+inline int64_t CounterValue(MetricId id) {
+  return MetricsRegistry::Default().CounterValue(id);
+}
+
+}  // namespace irdb::obs

@@ -1,0 +1,150 @@
+// Event buffering and Chrome trace_event rendering for SpanTracer (see
+// trace.h for the measurement and bounding invariants).
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace irdb::obs {
+
+namespace {
+
+std::atomic<int> g_next_tid{1};
+
+// JSON string escaping for names and arg values (ASCII control chars only;
+// span names and args are framework-internal identifiers).
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+bool IsIntegerLiteral(const std::string& s) {
+  if (s.empty()) return false;
+  size_t i = (s[0] == '-') ? 1 : 0;
+  if (i == s.size()) return false;
+  for (; i < s.size(); ++i) {
+    if (s[i] < '0' || s[i] > '9') return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+SpanTracer::SpanTracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+SpanTracer& SpanTracer::Default() {
+  static SpanTracer* instance = new SpanTracer();  // never destroyed
+  return *instance;
+}
+
+int SpanTracer::ThisThreadTid() {
+  thread_local int tid = g_next_tid.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+int64_t SpanTracer::NowUs() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void SpanTracer::Record(SpanEvent event) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (events_.size() >= kMaxEvents) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(std::move(event));
+}
+
+std::vector<SpanEvent> SpanTracer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+int64_t SpanTracer::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+void SpanTracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  dropped_ = 0;
+  epoch_ = std::chrono::steady_clock::now();
+}
+
+std::string SpanTracer::RenderChromeTrace() const {
+  std::vector<SpanEvent> events = Snapshot();
+  // Stable order: by start time, then name — the viewer does not care, but
+  // tests and diffs do.
+  std::stable_sort(events.begin(), events.end(),
+                   [](const SpanEvent& a, const SpanEvent& b) {
+                     if (a.start_us != b.start_us) return a.start_us < b.start_us;
+                     return a.name < b.name;
+                   });
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const SpanEvent& e : events) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n{\"name\":\"" + JsonEscape(e.name) +
+           "\",\"cat\":\"irdb\",\"ph\":\"X\",\"ts\":" +
+           std::to_string(e.start_us) + ",\"dur\":" + std::to_string(e.dur_us) +
+           ",\"pid\":1,\"tid\":" + std::to_string(e.tid);
+    if (!e.args.empty()) {
+      out += ",\"args\":{";
+      for (size_t i = 0; i < e.args.size(); ++i) {
+        if (i) out += ",";
+        out += "\"" + JsonEscape(e.args[i].first) + "\":";
+        if (IsIntegerLiteral(e.args[i].second)) {
+          out += e.args[i].second;
+        } else {
+          out += "\"" + JsonEscape(e.args[i].second) + "\"";
+        }
+      }
+      out += "}";
+    }
+    out += "}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+double Span::End() {
+  if (ended_) return recorded_ms_;
+  ended_ = true;
+  recorded_ms_ = ElapsedMs();
+  if (tracer_->enabled()) {
+    SpanEvent event;
+    event.name = name_;
+    event.start_us = start_us_;
+    event.dur_us = std::llround(recorded_ms_ * 1000.0);
+    event.tid = SpanTracer::ThisThreadTid();
+    event.args = std::move(args_);
+    tracer_->Record(std::move(event));
+  }
+  return recorded_ms_;
+}
+
+}  // namespace irdb::obs

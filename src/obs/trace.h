@@ -1,0 +1,121 @@
+// SpanTracer — lightweight duration spans with thread/lane attribution,
+// exported as Chrome trace_event JSON (chrome://tracing, Perfetto).
+//
+// A Span measures wall time from construction to End() (or destruction) with
+// the steady clock and, when the tracer is enabled, records one complete
+// "X"-phase event: name, start timestamp, duration, a small per-thread
+// integer tid, and optional key/value args (the repair pipeline attaches
+// lane indices and record counts). Nesting is by time containment per tid —
+// exactly how the Chrome trace viewer builds its flame graph — so a span
+// opened inside another span on the same thread renders as its child.
+//
+// Invariants:
+//   - Span ALWAYS measures (ElapsedMs() is valid even when tracing is off),
+//     so callers may use one measurement for both their own accounting and
+//     the trace; this is what keeps RepairPhaseStats and the exported span
+//     tree byte-consistent (tests assert the sums match).
+//   - The completed-event buffer is bounded (kMaxEvents); once full, new
+//     events are dropped and counted, never blocking the instrumented path.
+//   - Recording takes a mutex; spans are for phase-grain work (repairs,
+//     pool chunks), not per-row operations.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace irdb::obs {
+
+struct SpanEvent {
+  std::string name;
+  int64_t start_us = 0;  // relative to the tracer epoch
+  int64_t dur_us = 0;
+  int tid = 0;  // small per-thread integer (allocation order, process-wide)
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+class SpanTracer {
+ public:
+  static constexpr size_t kMaxEvents = 65536;
+
+  SpanTracer();
+
+  // Process-wide tracer; enabled by default (recording is phase-grain).
+  static SpanTracer& Default();
+
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  void Record(SpanEvent event);
+
+  std::vector<SpanEvent> Snapshot() const;
+  int64_t dropped() const;
+  // Drops all recorded events and restarts the epoch at now.
+  void Clear();
+
+  // Microseconds since the tracer epoch (start timestamps use this base).
+  int64_t NowUs() const;
+
+  // Chrome trace_event JSON: {"traceEvents":[{"name":...,"ph":"X",...}]}.
+  std::string RenderChromeTrace() const;
+
+  // The calling thread's small integer id (assigned on first use).
+  static int ThisThreadTid();
+
+ private:
+  std::atomic<bool> enabled_{true};
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::vector<SpanEvent> events_;
+  int64_t dropped_ = 0;
+};
+
+// RAII span over the default tracer. Move-free, stack-only by design.
+class Span {
+ public:
+  explicit Span(std::string_view name)
+      : tracer_(&SpanTracer::Default()),
+        name_(name),
+        start_(std::chrono::steady_clock::now()),
+        start_us_(tracer_->NowUs()) {}
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  ~Span() { End(); }
+
+  void AddArg(std::string_view key, int64_t value) {
+    args_.emplace_back(std::string(key), std::to_string(value));
+  }
+  void AddArg(std::string_view key, std::string_view value) {
+    args_.emplace_back(std::string(key), std::string(value));
+  }
+
+  // Wall time since construction; valid before and after End(), and
+  // independent of whether tracing is enabled.
+  double ElapsedMs() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+  // Records the completed event once; later calls (and the destructor
+  // afterwards) are no-ops. Returns the recorded duration in ms.
+  double End();
+
+ private:
+  SpanTracer* tracer_;
+  std::string name_;
+  std::chrono::steady_clock::time_point start_;
+  int64_t start_us_;
+  std::vector<std::pair<std::string, std::string>> args_;
+  bool ended_ = false;
+  double recorded_ms_ = 0;
+};
+
+}  // namespace irdb::obs

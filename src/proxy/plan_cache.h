@@ -9,8 +9,22 @@
 // Shapes whose lexical literal order cannot be proven to match the AST's
 // literal slots (the cache validates value-by-value at build time) are
 // stored as negative entries, so the slow path is taken without repeating
-// the validation. The cache is owned by a single TrackingProxy connection
-// and is not thread-safe; DDL must Clear() it (see TrackingProxy).
+// the validation.
+//
+// Invariants:
+//   - Eviction is LRU over both positive and negative entries: a Lookup hit
+//     moves the entry to the front, Insert evicts the back once `capacity`
+//     is exceeded. Entry pointers returned by Lookup/Insert stay valid until
+//     that entry is evicted or the cache is cleared — the proxy uses them
+//     only within the current statement.
+//   - Invalidation is all-or-nothing: any DDL through the owning connection
+//     must Clear() the whole cache (TrackingProxy::InvalidateCache), because
+//     a rewritten template bakes in schema facts (column lists, injected
+//     trid columns) that DDL can silently change. There is no per-table
+//     invalidation on purpose — DDL is rare, stale plans are unsound.
+//   - The cache is owned by a single TrackingProxy connection and is not
+//     thread-safe; cross-connection sharing would also leak one session's
+//     schema view into another.
 #pragma once
 
 #include <cstdint>

@@ -1,7 +1,10 @@
 #include "proxy/tracking_proxy.h"
 
 #include <algorithm>
+#include <chrono>
 
+#include "obs/catalog.h"
+#include "obs/journal.h"
 #include "sql/parser.h"
 #include "sql/printer.h"
 #include "util/failpoint.h"
@@ -13,6 +16,18 @@ using sql::Statement;
 using sql::StatementKind;
 
 namespace {
+
+// Times one client statement into the proxy latency histogram, whichever
+// return path it exits through.
+struct LatencyTimer {
+  std::chrono::steady_clock::time_point t0 = std::chrono::steady_clock::now();
+  ~LatencyTimer() {
+    obs::Observe(obs::Metrics::Get().proxy_statement_latency,
+                 std::chrono::duration<double, std::milli>(
+                     std::chrono::steady_clock::now() - t0)
+                     .count());
+  }
+};
 
 // trans_dep.dep_tr_ids capacity; longer dependency sets span multiple rows.
 // Kept modest: the engine's fixed-width row layout reserves the full
@@ -78,10 +93,14 @@ Result<ResultSet> TrackingProxy::Forward(const Statement& stmt) {
   double backoff = retry_policy_.initial_backoff_seconds;
   for (int attempt = 1;; ++attempt) {
     ++stats_.backend_statements;
+    obs::Count(obs::Metrics::Get().proxy_backend_statements);
     auto r = fast_path_ ? backend_->Execute(stmt)
                         : backend_->Execute(std::string_view(text));
     if (r.ok()) return r;
-    if (fail::IsInjected(r.status())) ++stats_.injected_faults_hit;
+    if (fail::IsInjected(r.status())) {
+      ++stats_.injected_faults_hit;
+      obs::Count(obs::Metrics::Get().proxy_injected_faults_hit);
+    }
     // All failpoints fire before any side effect (request-loss semantics),
     // so a retryable failure means the statement never executed: re-sending
     // it cannot duplicate work.
@@ -89,6 +108,7 @@ Result<ResultSet> TrackingProxy::Forward(const Statement& stmt) {
       return r;
     }
     ++stats_.retries;
+    obs::Count(obs::Metrics::Get().proxy_retries);
     if (retry_clock_ != nullptr) retry_clock_->Advance(backoff);
     backoff *= retry_policy_.backoff_multiplier;
   }
@@ -103,6 +123,9 @@ void TrackingProxy::AbortOpenTxn() {
 
 void TrackingProxy::InvalidateCache() {
   ++stats_.cache_invalidations;
+  obs::Count(obs::Metrics::Get().proxy_plan_cache_invalidations);
+  obs::EventJournal::Default().Append(obs::event::kProxyCacheInvalidation,
+                                      {{"reason", "ddl"}});
   cache_.Clear();
 }
 
@@ -114,21 +137,26 @@ void TrackingProxy::ResetTxnState() {
 
 Result<ResultSet> TrackingProxy::Execute(std::string_view sql_text) {
   ++stats_.client_statements;
+  obs::Count(obs::Metrics::Get().proxy_client_statements);
+  LatencyTimer latency;
   if (fast_path_) {
     auto shape = sql::FingerprintStatement(sql_text);
     if (shape.ok()) {
       if (CachedPlan* plan = cache_.Lookup(shape->key)) {
         if (plan->cacheable && plan->slots.size() == shape->params.size()) {
           ++stats_.cache_hits;
+          obs::Count(obs::Metrics::Get().proxy_plan_cache_hits);
           return ExecutePlan(*plan, shape->params);
         }
         // Negative entry: shape is known not to bind safely.
         ++stats_.cache_bypasses;
+        obs::Count(obs::Metrics::Get().proxy_plan_cache_bypasses);
         auto parsed = sql::Parse(sql_text);
         if (!parsed.ok()) return parsed.status();
         return DispatchStatement(**parsed, nullptr);
       }
       ++stats_.cache_misses;
+      obs::Count(obs::Metrics::Get().proxy_plan_cache_misses);
       auto parsed = sql::Parse(sql_text);
       if (!parsed.ok()) return parsed.status();
       return DispatchStatement(**parsed, &*shape);
@@ -142,6 +170,8 @@ Result<ResultSet> TrackingProxy::Execute(std::string_view sql_text) {
 
 Result<ResultSet> TrackingProxy::Execute(const sql::Statement& stmt) {
   ++stats_.client_statements;
+  obs::Count(obs::Metrics::Get().proxy_client_statements);
+  LatencyTimer latency;
   return DispatchStatement(stmt, nullptr);
 }
 
@@ -317,6 +347,7 @@ Result<ResultSet> TrackingProxy::HandleSelect(const Statement& stmt) {
 Result<ResultSet> TrackingProxy::RunRewrittenSelect(const RewrittenSelect& rw) {
   if (rw.dep_fetch) {
     ++stats_.dep_fetches;
+    obs::Count(obs::Metrics::Get().proxy_dep_fetches);
     auto fetch = Forward(*rw.dep_fetch);
     if (!fetch.ok()) return fetch.status();
     CollectDeps(*fetch, 0, rw.trid_source_tables.size(), rw.trid_source_tables);
@@ -372,6 +403,7 @@ Status TrackingProxy::EmitCommitMetadata() {
     // retries), e.g. the table being unavailable.
     if (fail::Triggered("proxy.commit.annot")) {
       ++stats_.injected_faults_hit;
+      obs::Count(obs::Metrics::Get().proxy_injected_faults_hit);
       return fail::Inject("proxy.commit.annot");
     }
     auto ins = sql::MakeStatement(StatementKind::kInsert);
@@ -390,6 +422,8 @@ Status TrackingProxy::EmitCommitMetadata() {
   std::sort(deps_.begin(), deps_.end());
   deps_.erase(std::unique(deps_.begin(), deps_.end()), deps_.end());
   stats_.deps_recorded += static_cast<int64_t>(deps_.size());
+  obs::Count(obs::Metrics::Get().proxy_deps_recorded,
+             static_cast<int64_t>(deps_.size()));
 
   // Chunk the dependency payload across rows if it overflows the VARCHAR.
   std::string tokens = EncodeDepTokens(deps_);
@@ -404,6 +438,7 @@ Status TrackingProxy::EmitCommitMetadata() {
   for (const std::string& chunk : chunks) {
     if (fail::Triggered("proxy.commit.trans_dep")) {
       ++stats_.injected_faults_hit;
+      obs::Count(obs::Metrics::Get().proxy_injected_faults_hit);
       return fail::Inject("proxy.commit.trans_dep");
     }
     auto ins = sql::MakeStatement(StatementKind::kInsert);
@@ -415,6 +450,7 @@ Status TrackingProxy::EmitCommitMetadata() {
     row.push_back(sql::MakeLiteral(Value::Int(cur_trid_)));
     ins->insert_rows.push_back(std::move(row));
     ++stats_.trans_dep_inserts;
+    obs::Count(obs::Metrics::Get().proxy_trans_dep_inserts);
     auto r = Forward(*ins);
     if (!r.ok()) return r.status();
   }
@@ -432,6 +468,9 @@ Status TrackingProxy::RecordTrackingGap() {
   auto r = Forward(*ins);
   if (!r.ok()) return r.status();
   ++stats_.tracking_gap_txns;
+  obs::Count(obs::Metrics::Get().proxy_tracking_gap_txns);
+  obs::EventJournal::Default().Append(obs::event::kProxyTrackingGap,
+                                      {{"trid", std::to_string(cur_trid_)}});
   return Status::Ok();
 }
 
@@ -451,6 +490,10 @@ Result<ResultSet> TrackingProxy::HandleCommit() {
         auto r = Forward(*commit);
         if (r.ok()) {
           ++stats_.degraded_commits;
+          obs::Count(obs::Metrics::Get().proxy_degraded_commits);
+          obs::EventJournal::Default().Append(
+              obs::event::kProxyDegradedCommit,
+              {{"trid", std::to_string(cur_trid_)}});
           ResetTxnState();
           return r;
         }

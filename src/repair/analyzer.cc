@@ -1,31 +1,30 @@
 #include "repair/analyzer.h"
 
 #include <chrono>
+#include <cmath>
 
+#include "obs/catalog.h"
+#include "obs/trace.h"
 #include "proxy/tracking_proxy.h"
 #include "util/string_utils.h"
 
 namespace irdb::repair {
-
-namespace {
-
-double MsSince(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double, std::milli>(
-             std::chrono::steady_clock::now() - start)
-      .count();
-}
-
-}  // namespace
 
 Result<DependencyAnalysis> Analyze(FlavorLogReader* reader, DbConnection* admin,
                                    util::ThreadPool* pool,
                                    RepairPhaseStats* phases) {
   DependencyAnalysis out;
   reader->set_pool(pool);
-  auto scan_start = std::chrono::steady_clock::now();
+  obs::Span scan_span(obs::span::kRepairScanFlavorRead);
   IRDB_ASSIGN_OR_RETURN(out.ops, reader->ReadCommitted());
-  auto correlate_start = std::chrono::steady_clock::now();
-  if (phases != nullptr) phases->scan_wall_ms += MsSince(scan_start);
+  scan_span.AddArg("ops", static_cast<int64_t>(out.ops.size()));
+  {
+    // One measurement serves phase stats, the registry, and the trace.
+    const double ms = scan_span.End();
+    if (phases != nullptr) phases->scan_wall_ms += ms;
+    obs::Count(obs::Metrics::Get().repair_scan_us, std::llround(ms * 1000.0));
+  }
+  obs::Span correlate_span(obs::span::kRepairCorrelate);
 
   // Pass 1 — ID correlation: each tracked transaction ends with insert(s)
   // into trans_dep carrying its proxy ID; collect those plus the dependency
@@ -148,7 +147,12 @@ Result<DependencyAnalysis> Analyze(FlavorLogReader* reader, DbConnection* admin,
       }
     }
   }
-  if (phases != nullptr) phases->correlate_wall_ms += MsSince(correlate_start);
+  {
+    const double ms = correlate_span.End();
+    if (phases != nullptr) phases->correlate_wall_ms += ms;
+    obs::Count(obs::Metrics::Get().repair_correlate_us,
+               std::llround(ms * 1000.0));
+  }
   return out;
 }
 

@@ -3,6 +3,8 @@
 #include <atomic>
 #include <future>
 
+#include "obs/catalog.h"
+#include "obs/trace.h"
 #include "proxy/rewriter.h"
 #include "sql/ast.h"
 #include "sql/printer.h"
@@ -187,6 +189,10 @@ Status Compensate(const DependencyAnalysis& analysis,
       const size_t idx = lane++;
       const std::vector<const RepairOp*>* batch = &batch_ops;
       pending.push_back(pool->Submit([&, idx, batch] {
+        obs::Span lane_span(obs::span::kRepairCompensateLane);
+        lane_span.AddArg("lane", static_cast<int64_t>(idx));
+        lane_span.AddArg("tables", 1);
+        lane_span.AddArg("stmts", static_cast<int64_t>(batch->size()));
         RowIdRemap remap;
         for (const RepairOp* op : *batch) {
           if (abort.load(std::memory_order_relaxed)) return;

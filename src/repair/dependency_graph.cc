@@ -104,7 +104,14 @@ std::set<int64_t> DependencyGraph::Affected(
 }
 
 std::string DependencyGraph::ToDot(const std::set<int64_t>& highlight) const {
-  std::string out = "digraph trans_dep {\n  rankdir=TB;\n  node [shape=ellipse];\n";
+  std::string out =
+      "digraph trans_dep {\n"
+      "  // Legend: nodes are proxy transaction ids (filled lightcoral when\n"
+      "  // in the highlight/undo set). Edges point writer -> reader, the\n"
+      "  // direction damage propagates: solid = kRuntime (observed SELECT\n"
+      "  // read), dashed = kReconstructed (before-image trid), dotted =\n"
+      "  // kConservative (tracking-gap txn, dependency set unknown).\n"
+      "  rankdir=TB;\n  node [shape=ellipse];\n";
   for (int64_t id : nodes_) {
     out += "  n" + std::to_string(id) + " [label=\"" + Label(id) + "\"";
     if (highlight.count(id)) out += ", style=filled, fillcolor=lightcoral";

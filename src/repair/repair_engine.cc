@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <map>
 
+#include "obs/catalog.h"
+#include "obs/journal.h"
+#include "obs/trace.h"
 #include "txn/wal_codec.h"
 #include "util/string_utils.h"
 
@@ -27,6 +31,7 @@ int64_t ImageBytes(const LogRecord& rec) {
 
 void RepairEngine::set_threads(int threads) {
   threads_ = std::max(1, threads);
+  obs::SetGauge(obs::Metrics::Get().repair_threads, threads_);
   if (threads_ <= 1) {
     pool_.reset();
   } else if (!pool_ || pool_->lanes() != threads_) {
@@ -37,8 +42,11 @@ void RepairEngine::set_threads(int threads) {
 Result<DependencyAnalysis> RepairEngine::Analyze() {
   phases_ = RepairPhaseStats{};
   phases_.threads = threads_;
+  obs::Count(obs::Metrics::Get().repair_runs);
+  obs::Span analyze(obs::span::kRepairAnalyze);
+  analyze.AddArg("records", static_cast<int64_t>(db_->wal().records().size()));
+  analyze.AddArg("threads", threads_);
 
-  const auto scan_start = Clock::now();
   if (pool_) {
     // Durable-bytes leg of the segmented scan: frame-split the serialized
     // WAL and decode the segments concurrently. The decoded records are the
@@ -46,7 +54,9 @@ Result<DependencyAnalysis> RepairEngine::Analyze() {
     // source; if the bytes carry a torn tail (only possible under fault
     // injection) the live WAL stays authoritative and the reader scans it
     // directly instead.
+    obs::Span scan(obs::span::kRepairScanWalDecode);
     const std::string bytes = SerializeWal(db_->wal());
+    scan.AddArg("bytes", static_cast<int64_t>(bytes.size()));
     IRDB_ASSIGN_OR_RETURN(WalDecodeResult decoded,
                           DecodeWalParallel(bytes, pool_.get()));
     if (!decoded.truncated_tail &&
@@ -55,10 +65,14 @@ Result<DependencyAnalysis> RepairEngine::Analyze() {
     } else {
       reader_->clear_scan_override();
     }
+    // The span's own measurement feeds the phase accumulator and the
+    // registry, so the trace always sums to RepairPhaseStats.
+    const double ms = scan.End();
+    phases_.scan_wall_ms += ms;
+    obs::Count(obs::Metrics::Get().repair_scan_us, std::llround(ms * 1000.0));
   } else {
     reader_->clear_scan_override();
   }
-  phases_.scan_wall_ms += MsSince(scan_start);
 
   auto analysis = repair::Analyze(reader_.get(), &admin_, pool_.get(), &phases_);
   reader_->clear_scan_override();
@@ -88,28 +102,48 @@ Result<DependencyAnalysis> RepairEngine::Analyze() {
     total_s += segment_s;
   }
   phases_.scan_sim_ms += (threads_ > 1 ? max_segment_s : total_s) * 1000.0;
+  obs::Count(obs::Metrics::Get().repair_records_scanned,
+             phases_.records_scanned);
+  obs::Count(obs::Metrics::Get().repair_scan_sim_us,
+             std::llround(phases_.scan_sim_ms * 1000.0));
+  obs::EventJournal::Default().Append(
+      obs::event::kRepairAnalyzeDone,
+      {{"records", std::to_string(phases_.records_scanned)},
+       {"nodes", std::to_string(analysis->graph.nodes().size())},
+       {"edges", std::to_string(analysis->graph.edges().size())},
+       {"gaps", std::to_string(analysis->tracking_gaps.size())}});
   return analysis;
 }
 
 std::set<int64_t> RepairEngine::ComputeUndoSet(
     const DependencyAnalysis& analysis,
     const std::vector<int64_t>& seed_proxy_ids, const DbaPolicy& policy) const {
-  const auto start = Clock::now();
+  obs::Span span(obs::span::kRepairClosure);
+  span.AddArg("seeds", static_cast<int64_t>(seed_proxy_ids.size()));
   std::set<int64_t> out =
       analysis.graph.Affected(seed_proxy_ids, policy.AsFilter(), pool_.get());
-  phases_.closure_wall_ms += MsSince(start);
+  span.AddArg("undo", static_cast<int64_t>(out.size()));
+  const double ms = span.End();
+  phases_.closure_wall_ms += ms;
+  obs::Count(obs::Metrics::Get().repair_closure_us, std::llround(ms * 1000.0));
   return out;
 }
 
 Result<RepairReport> RepairEngine::CompensateUndoSet(
     const DependencyAnalysis& analysis, const std::set<int64_t>& undo) {
-  const auto start = Clock::now();
+  obs::Span span(obs::span::kRepairCompensate);
   RepairReport report;
   IRDB_RETURN_IF_ERROR(Compensate(analysis, undo, &admin_, db_->traits(),
                                   &report, pool_.get()));
-  phases_.compensate_wall_ms += MsSince(start);
+  span.AddArg("stmts", report.ops_compensated);
+  span.AddArg("lanes", report.compensate_lanes);
+  const double wall_ms = span.End();
+  phases_.compensate_wall_ms += wall_ms;
   phases_.compensate_lanes = report.compensate_lanes;
   phases_.compensate_stmts += report.ops_compensated;
+  obs::Count(obs::Metrics::Get().repair_compensate_us,
+             std::llround(wall_ms * 1000.0));
+  obs::Count(obs::Metrics::Get().repair_compensations, report.ops_compensated);
 
   // Simulated compensation charge: one random page read + log append per
   // compensating statement. The parallel path runs one lane per table, so
@@ -148,14 +182,25 @@ Result<RepairReport> RepairEngine::CompensateUndoSet(
     sim_s = *std::max_element(lane_s.begin(), lane_s.end());
   }
   phases_.compensate_sim_ms += sim_s * 1000.0;
+  obs::Count(obs::Metrics::Get().repair_compensate_sim_us,
+             std::llround(sim_s * 1000.0 * 1000.0));
+  obs::EventJournal::Default().Append(
+      obs::event::kRepairDone,
+      {{"undone", std::to_string(undo.size())},
+       {"stmts", std::to_string(report.ops_compensated)}});
   return report;
 }
 
 Result<RepairReport> RepairEngine::Repair(
     const std::vector<int64_t>& seed_proxy_ids, const DbaPolicy& policy) {
+  const auto start = Clock::now();
   IRDB_ASSIGN_OR_RETURN(DependencyAnalysis analysis, Analyze());
   std::set<int64_t> undo = ComputeUndoSet(analysis, seed_proxy_ids, policy);
-  return CompensateUndoSet(analysis, undo);
+  auto report = CompensateUndoSet(analysis, undo);
+  if (report.ok()) {
+    obs::Observe(obs::Metrics::Get().repair_run_latency, MsSince(start));
+  }
+  return report;
 }
 
 }  // namespace irdb::repair

@@ -3,11 +3,22 @@
 #include <algorithm>
 #include <array>
 
+#include "obs/catalog.h"
+#include "obs/journal.h"
 #include "util/failpoint.h"
 
 namespace irdb {
 
 namespace {
+
+// Both decoders report a detected torn tail here, so the counter and the
+// journal agree regardless of which path found it.
+void NoteTornTail(int64_t dropped_bytes) {
+  obs::Count(obs::Metrics::Get().wal_torn_tails);
+  obs::EventJournal::Default().Append(
+      obs::event::kWalTornTail,
+      {{"dropped_bytes", std::to_string(dropped_bytes)}});
+}
 
 std::array<uint32_t, 256> BuildCrcTable() {
   std::array<uint32_t, 256> table{};
@@ -209,6 +220,7 @@ Result<WalDecodeResult> DecodeWal(std::string_view bytes) {
       // Short final frame: torn tail.
       result.truncated_tail = true;
       result.dropped_bytes = static_cast<int64_t>(remaining);
+      NoteTornTail(result.dropped_bytes);
       return result;
     }
     const std::string_view payload = bytes.substr(pos + 8, len);
@@ -217,6 +229,7 @@ Result<WalDecodeResult> DecodeWal(std::string_view bytes) {
         // Checksum-failing final frame: torn tail (partially overwritten).
         result.truncated_tail = true;
         result.dropped_bytes = static_cast<int64_t>(remaining);
+        NoteTornTail(result.dropped_bytes);
         return result;
       }
       return Status::Internal(
@@ -256,6 +269,7 @@ Result<WalDecodeResult> DecodeWalParallel(std::string_view bytes,
     if (remaining < 8 || remaining < 8 + static_cast<size_t>(len)) {
       result.truncated_tail = true;
       result.dropped_bytes = static_cast<int64_t>(remaining);
+      NoteTornTail(result.dropped_bytes);
       break;
     }
     frames.push_back(Frame{pos + 8, len, crc});
@@ -318,6 +332,7 @@ Result<WalDecodeResult> DecodeWalParallel(std::string_view bytes,
       result.truncated_tail = true;
       result.dropped_bytes =
           static_cast<int64_t>(bytes.size() - (f.payload_pos - 8));
+      NoteTornTail(result.dropped_bytes);
       return result;
     }
     return first_status;

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/catalog.h"
 #include "txn/log_record.h"
 #include "util/status.h"
 
@@ -13,6 +14,7 @@ class WalLog {
  public:
   // Appends a record, assigning its LSN. Returns the LSN.
   int64_t Append(LogRecord rec) {
+    obs::Count(obs::Metrics::Get().wal_appends);
     rec.lsn = static_cast<int64_t>(records_.size());
     records_.push_back(std::move(rec));
     return records_.back().lsn;

@@ -1,4 +1,11 @@
+// Registry implementation. One seeded rng stream serves every site
+// (determinism contract, see the header); observability taps publish each
+// evaluation/trip to obs counters and the event journal without touching
+// the rng, so instrumentation can never perturb a seeded run.
 #include "util/failpoint.h"
+
+#include "obs/catalog.h"
+#include "obs/journal.h"
 
 namespace irdb::fail {
 
@@ -52,24 +59,32 @@ uint64_t Registry::seed() const {
 }
 
 bool Registry::Evaluate(std::string_view site) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = sites_.find(site);
-  if (it == sites_.end()) return false;
-  Site& s = it->second;
-  ++s.stats.evaluations;
-  if (!s.armed) return false;
-  const Trigger& t = s.trigger;
-  if (s.stats.evaluations <= t.skip_first) return false;
-  if (t.max_hits >= 0 && s.stats.hits >= t.max_hits) return false;
   bool fire = false;
-  if (t.every_nth > 0) {
-    fire = (s.stats.evaluations - t.skip_first) % t.every_nth == 0;
-  } else if (t.probability >= 1.0) {
-    fire = true;
-  } else if (t.probability > 0.0) {
-    fire = rng_.Bernoulli(t.probability);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sites_.find(site);
+    if (it == sites_.end()) return false;
+    Site& s = it->second;
+    ++s.stats.evaluations;
+    if (!s.armed) return false;
+    const Trigger& t = s.trigger;
+    if (s.stats.evaluations <= t.skip_first) return false;
+    if (t.max_hits >= 0 && s.stats.hits >= t.max_hits) return false;
+    if (t.every_nth > 0) {
+      fire = (s.stats.evaluations - t.skip_first) % t.every_nth == 0;
+    } else if (t.probability >= 1.0) {
+      fire = true;
+    } else if (t.probability > 0.0) {
+      fire = rng_.Bernoulli(t.probability);
+    }
+    if (fire) ++s.stats.hits;
   }
-  if (fire) ++s.stats.hits;
+  obs::Count(obs::Metrics::Get().failpoint_evaluations);
+  if (fire) {
+    obs::Count(obs::Metrics::Get().failpoint_trips);
+    obs::EventJournal::Default().Append(obs::event::kFailpointTrip,
+                                        {{"site", std::string(site)}});
+  }
   return fire;
 }
 

@@ -15,8 +15,21 @@
 // (given the same sequence of site evaluations, which the serial execution
 // model guarantees).
 //
+// Trigger semantics (the order Evaluate applies the fields):
+//   1. skip_first evaluations never fire (they do count as evaluations);
+//   2. once max_hits >= 0 hits have fired, the site never fires again;
+//   3. every_nth > 0 takes precedence over probability and fires
+//      deterministically on each Nth post-skip evaluation (1-based);
+//   4. otherwise probability >= 1.0 always fires, probability in (0, 1)
+//      draws one Bernoulli from the shared seeded stream — and only this
+//      case consumes randomness, so arming deterministic triggers never
+//      shifts the rng sequence of a seeded run.
+// Re-arming a site resets its evaluation/hit counts.
+//
 // Performance: when no site is armed, Triggered() is a single relaxed atomic
-// load — the production (failpoints-disabled) cost is negligible.
+// load — the production (failpoints-disabled) cost is negligible. Armed
+// evaluations and trips are also mirrored to the obs registry
+// (irdb_failpoint_*) and each trip is journaled with its site name.
 #pragma once
 
 #include <atomic>

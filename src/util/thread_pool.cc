@@ -2,16 +2,23 @@
 
 #include <algorithm>
 
+#include "obs/catalog.h"
+#include "obs/trace.h"
+
 namespace irdb::util {
 
 ThreadPool::ThreadPool(int threads, size_t queue_capacity)
     : queue_capacity_(std::max<size_t>(1, queue_capacity)) {
-  if (threads <= 1) return;  // inline mode: no workers, no queue traffic
+  if (threads <= 1) {
+    obs::SetGauge(obs::Metrics::Get().pool_workers, 0);
+    return;  // inline mode: no workers, no queue traffic
+  }
   workers_.reserve(static_cast<size_t>(threads));
   for (int i = 0; i < threads; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
   stats_.threads = threads;
+  obs::SetGauge(obs::Metrics::Get().pool_workers, threads);
 }
 
 ThreadPool::~ThreadPool() {
@@ -35,6 +42,7 @@ void ThreadPool::WorkerLoop() {
       ++stats_.tasks_run;
     }
     space_ready_.notify_one();
+    obs::Count(obs::Metrics::Get().pool_tasks);
     task();
   }
 }
@@ -47,6 +55,7 @@ std::future<void> ThreadPool::Submit(std::function<void()> fn) {
       std::lock_guard<std::mutex> lock(mu_);
       ++stats_.tasks_run;
     }
+    obs::Count(obs::Metrics::Get().pool_tasks);
     task();
     return future;
   }
@@ -59,6 +68,7 @@ std::future<void> ThreadPool::Submit(std::function<void()> fn) {
     if (shutting_down_) {
       ++stats_.tasks_run;
       lock.unlock();
+      obs::Count(obs::Metrics::Get().pool_tasks);
       task();
       return future;
     }
@@ -92,10 +102,21 @@ void ThreadPool::ParallelFor(
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.parallel_fors;
   }
+  obs::Count(obs::Metrics::Get().pool_parallel_fors);
+  obs::Span outer(obs::span::kPoolParallelFor);
   const auto chunks = SplitRange(n, lanes());
+  outer.AddArg("n", n);
+  outer.AddArg("chunks", static_cast<int64_t>(chunks.size()));
+  auto run_chunk = [&fn](int64_t begin, int64_t end, int idx) {
+    obs::Span s(obs::span::kPoolChunk);
+    s.AddArg("chunk", idx);
+    s.AddArg("begin", begin);
+    s.AddArg("end", end);
+    fn(begin, end, idx);
+  };
   if (workers_.empty() || chunks.size() <= 1) {
     for (size_t c = 0; c < chunks.size(); ++c) {
-      fn(chunks[c].first, chunks[c].second, static_cast<int>(c));
+      run_chunk(chunks[c].first, chunks[c].second, static_cast<int>(c));
     }
     return;
   }
@@ -104,7 +125,8 @@ void ThreadPool::ParallelFor(
   for (size_t c = 0; c < chunks.size(); ++c) {
     const auto [begin, end] = chunks[c];
     const int idx = static_cast<int>(c);
-    pending.push_back(Submit([&fn, begin, end, idx] { fn(begin, end, idx); }));
+    pending.push_back(
+        Submit([&run_chunk, begin, end, idx] { run_chunk(begin, end, idx); }));
   }
   for (std::future<void>& f : pending) f.wait();
 }

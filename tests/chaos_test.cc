@@ -32,6 +32,8 @@
 
 #include "engine/database.h"
 #include "engine/recovery.h"
+#include "obs/catalog.h"
+#include "obs/journal.h"
 #include "proxy/tracking_proxy.h"
 #include "repair/dba_policy.h"
 #include "repair/repair_engine.h"
@@ -557,6 +559,26 @@ int ChaosMain(int argc, char** argv) {
 
   Require(g_dropped_round_trips + g_injected > 0,
           "no faults fired across the whole run — the harness is inert");
+
+  // Observability invariants: counters and their paired journal events are
+  // emitted at the same sites, so the totals must match exactly no matter
+  // which fault profile ran.
+  {
+    const obs::Metrics& m = obs::Metrics::Get();
+    Require(obs::CounterValue(m.proxy_degraded_commits) ==
+                obs::EventJournal::Default().CountType(
+                    obs::event::kProxyDegradedCommit),
+            "degraded_commits counter != proxy.degraded_commit journal count");
+    Require(obs::CounterValue(m.proxy_tracking_gap_txns) ==
+                obs::EventJournal::Default().CountType(
+                    obs::event::kProxyTrackingGap),
+            "tracking_gap_txns counter != proxy.tracking_gap journal count");
+    Require(obs::CounterValue(m.failpoint_trips) ==
+                obs::EventJournal::Default().CountType(
+                    obs::event::kFailpointTrip),
+            "failpoint_trips counter != failpoint.trip journal count");
+  }
+
   std::printf("chaos: OK  dropped_round_trips=%lld retries=%lld "
               "injected=%lld degraded_commits=%lld gap_txns=%lld\n",
               static_cast<long long>(g_dropped_round_trips),

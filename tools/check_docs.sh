@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Documentation consistency check — the `docs` ctest label.
+#
+#   1. Every relative markdown link in README.md and docs/*.md must resolve
+#      to an existing file (http(s)/mailto and in-page #anchors are skipped).
+#   2. docs/metrics.md must be byte-identical to the catalog renderer's
+#      output (tools/gen_metrics_doc), so the metrics reference cannot drift
+#      from src/obs/catalog.cc.
+#
+# Usage: tools/check_docs.sh [path/to/gen_metrics_doc]
+#   Run from the repo root (ctest sets WORKING_DIRECTORY accordingly).
+#   Without an argument, looks for build/tools/gen_metrics_doc.
+set -euo pipefail
+
+gen="${1:-build/tools/gen_metrics_doc}"
+fail=0
+
+# --- 1. markdown link targets exist ---------------------------------------
+check_links() {
+  local file="$1"
+  local dir
+  dir="$(dirname "$file")"
+  # Extract (target) of every [text](target), one per line. `|| true`: a
+  # file with no links is fine.
+  { grep -oE '\]\([^)]+\)' "$file" || true; } | sed -e 's/^](//' -e 's/)$//' |
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*) continue ;;   # external
+      '#'*) continue ;;                          # in-page anchor
+    esac
+    local path="${target%%#*}"                   # strip anchor suffix
+    [ -z "$path" ] && continue
+    if [ ! -e "$dir/$path" ]; then
+      echo "DEAD LINK: $file -> $target"
+      return 1
+    fi
+  done
+}
+
+for doc in README.md docs/*.md; do
+  [ -e "$doc" ] || { echo "missing doc: $doc"; fail=1; continue; }
+  if ! check_links "$doc"; then
+    fail=1
+  else
+    echo "links ok: $doc"
+  fi
+done
+
+# --- 2. docs/metrics.md is generated, byte-identical ----------------------
+if [ ! -x "$gen" ]; then
+  echo "gen_metrics_doc not found at '$gen' (build it: cmake --build build --target gen_metrics_doc)"
+  exit 1
+fi
+if diff -u docs/metrics.md <("$gen"); then
+  echo "docs/metrics.md matches the catalog renderer"
+else
+  echo "docs/metrics.md is STALE: regenerate with '$gen --out=docs/metrics.md'"
+  fail=1
+fi
+
+if [ "$fail" -ne 0 ]; then
+  echo "check_docs: FAILED"
+  exit 1
+fi
+echo "check_docs: OK"

@@ -1,0 +1,41 @@
+// Renders the observability catalog (src/obs/catalog.h) as docs/metrics.md.
+//
+// The doc is GENERATED, never hand-edited: tools/check_docs.sh (the `docs`
+// ctest label) fails when docs/metrics.md is not byte-identical to this
+// program's output, so the reference documentation cannot drift from the
+// code. Regenerate with:
+//
+//   build/tools/gen_metrics_doc --out=docs/metrics.md
+//
+// Without --out the doc goes to stdout.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "obs/catalog.h"
+
+int main(int argc, char** argv) {
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out_path = argv[i] + 6;
+    } else {
+      std::fprintf(stderr, "usage: %s [--out=PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+  const std::string doc = irdb::obs::RenderMetricsDoc();
+  if (out_path.empty()) {
+    std::fputs(doc.c_str(), stdout);
+    return 0;
+  }
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fputs(doc.c_str(), f);
+  std::fclose(f);
+  std::printf("wrote %s (%zu bytes)\n", out_path.c_str(), doc.size());
+  return 0;
+}

@@ -4,9 +4,10 @@
 # build, failing on the first invariant violation (the harness prints the
 # seed so any failure replays exactly). A third, ThreadSanitizer build
 # (-DIRDB_SANITIZE=thread) then runs the `parallel` ctest label — the
-# parallel repair pipeline's determinism and equivalence tests — so data
-# races in the worker pool, segmented scan, sharded closure, or batched
-# compensation surface here rather than in production repairs.
+# parallel repair pipeline's determinism and equivalence tests plus the
+# sharded metrics-registry hammer (obs_test) — so data races in the worker
+# pool, segmented scan, sharded closure, batched compensation, or the
+# shard-per-thread registry surface here rather than in production repairs.
 #
 # Usage: tools/run_chaos.sh [num_seeds] [base_seed]
 #   num_seeds  seeds per profile per config (default 5)
@@ -39,7 +40,7 @@ run_config "$repo/build-asan" "asan" -DIRDB_SANITIZE=address
 
 echo "[tsan] parallel repair tests under ThreadSanitizer"
 cmake -B "$repo/build-tsan" -S "$repo" -DIRDB_SANITIZE=thread >/dev/null
-cmake --build "$repo/build-tsan" --target parallel_repair_test -j >/dev/null
+cmake --build "$repo/build-tsan" --target parallel_repair_test obs_test -j >/dev/null
 (cd "$repo/build-tsan" && ctest -L parallel --output-on-failure)
 
 echo "chaos soak passed: ${#profiles[@]} profiles x $num_seeds seeds x 2 configs + tsan parallel suite"
