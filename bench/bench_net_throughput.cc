@@ -1,0 +1,235 @@
+// Networked front-end throughput: N client threads, one TCP connection
+// each, running light statements over an emulated LAN link (a real
+// per-round-trip delay — see TcpChannelOptions::simulated_rtt_seconds;
+// loopback TCP alone has ~zero RTT, so without it a connection sweep
+// measures host CPU, not the front-end's ability to multiplex sessions).
+//
+// Emits BENCH_net.json:
+//   - per connection count (1, 2, 4, 8): statements/second, p50/p99
+//     server-side frame latency from the irdb_net_frame_latency_ms obs
+//     histogram, and the clean-drain accounting identity frames_in ==
+//     frames_out == requests_served;
+//   - the 1 -> 8 connection speedup. Each connection is latency-bound by
+//     the link, so a server that multiplexes sessions scales ~linearly
+//     (target >= 4x) while server-side frame latency stays flat; a server
+//     that serialized whole round trips would stay at 1x.
+//
+// Flags: --rounds=N (statements per connection, default 500),
+//        --rtt-ms=F (emulated link RTT, default 1.0), --out=PATH.
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/database.h"
+#include "net/net_client.h"
+#include "net/net_server.h"
+#include "obs/catalog.h"
+#include "obs/metrics.h"
+#include "util/stopwatch.h"
+
+namespace irdb {
+namespace {
+
+// Quantile from the shared fixed-bucket latency histogram: linear
+// interpolation inside the bucket holding the target rank; the +Inf bucket
+// reports the largest finite bound (an underestimate, flagged by p99 ==
+// that bound).
+double HistogramQuantile(const obs::HistogramSnapshot& h, double q) {
+  if (h.count == 0) return 0.0;
+  const int64_t target = static_cast<int64_t>(q * static_cast<double>(h.count));
+  int64_t seen = 0;
+  for (int b = 0; b < obs::kNumFiniteBuckets; ++b) {
+    const int64_t in_bucket = h.buckets[b];
+    if (seen + in_bucket > target) {
+      const double lo = b == 0 ? 0.0 : obs::kLatencyBucketUpperMs[b - 1];
+      const double hi = obs::kLatencyBucketUpperMs[b];
+      const double frac = in_bucket == 0
+                              ? 0.0
+                              : static_cast<double>(target - seen) /
+                                    static_cast<double>(in_bucket);
+      return lo + frac * (hi - lo);
+    }
+    seen += in_bucket;
+  }
+  return obs::kLatencyBucketUpperMs[obs::kNumFiniteBuckets - 1];
+}
+
+struct SweepPoint {
+  int connections = 0;
+  int64_t statements = 0;
+  double wall_seconds = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+  int64_t frames_in = 0;
+  int64_t frames_out = 0;
+  int64_t requests_served = 0;
+
+  double Throughput() const {
+    return static_cast<double>(statements) / wall_seconds;
+  }
+  bool AccountingOk() const {
+    return frames_in == frames_out && frames_in == requests_served;
+  }
+};
+
+Result<SweepPoint> MeasurePoint(int connections, int rounds, double rtt_ms) {
+  // A fresh server per point so the accounting identity and the latency
+  // histogram cover exactly this sweep's traffic.
+  Database db(FlavorTraits::Postgres());
+  proxy::TxnIdAllocator alloc;
+  net::NetServerOptions sopts;
+  sopts.exec_threads = 8;
+  // Transport bench: raw engine sessions. Tracking adds per-statement proxy
+  // work that is serialized under the engine's global mutex and would
+  // measure the proxy, not the event loop (bench_tracking_overhead covers
+  // the proxy's cost).
+  sopts.track = false;
+  net::NetProxyServer server(&db, &alloc, sopts);
+  IRDB_RETURN_IF_ERROR(server.Start());
+
+  // Dial and warm up every connection before the clock starts.
+  std::vector<std::unique_ptr<net::NetClient>> clients;
+  for (int c = 0; c < connections; ++c) {
+    net::TcpChannelOptions copts;
+    copts.port = server.port();
+    copts.simulated_rtt_seconds = rtt_ms * 1e-3;
+    IRDB_ASSIGN_OR_RETURN(auto client, net::NetClient::Dial(copts));
+    const std::string table = "bench_t" + std::to_string(c);
+    IRDB_RETURN_IF_ERROR(
+        client->connection()
+            .Execute("CREATE TABLE " + table + " (k INTEGER, v INTEGER)")
+            .status());
+    IRDB_RETURN_IF_ERROR(
+        client->connection()
+            .Execute("INSERT INTO " + table + " VALUES (1, 100)")
+            .status());
+    clients.push_back(std::move(client));
+  }
+  obs::MetricsRegistry::Default().Reset();
+
+  std::atomic<int> errors{0};
+  Stopwatch sw;
+  std::vector<std::thread> threads;
+  for (int c = 0; c < connections; ++c) {
+    threads.emplace_back([&, c] {
+      DbConnection& conn = clients[static_cast<size_t>(c)]->connection();
+      const std::string sql = "SELECT v FROM bench_t" + std::to_string(c) +
+                              " WHERE k = 1";
+      for (int i = 0; i < rounds; ++i) {
+        if (!conn.Execute(sql).ok()) {
+          ++errors;
+          return;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double wall = sw.ElapsedSeconds();
+  if (errors.load() != 0) return Status::Internal("bench statements failed");
+
+  const obs::HistogramSnapshot lat = obs::MetricsRegistry::Default()
+                                         .HistogramValue(
+                                             obs::Metrics::Get()
+                                                 .net_frame_latency);
+  clients.clear();  // BYE
+  server.Stop();
+
+  SweepPoint p;
+  p.connections = connections;
+  p.statements = static_cast<int64_t>(connections) * rounds;
+  p.wall_seconds = wall;
+  p.p50_ms = HistogramQuantile(lat, 0.50);
+  p.p99_ms = HistogramQuantile(lat, 0.99);
+  const net::NetServerStats s = server.stats();
+  p.frames_in = s.frames_in;
+  p.frames_out = s.frames_out;
+  p.requests_served = s.requests_served;
+  return p;
+}
+
+int Main(int argc, char** argv) {
+  int rounds = 500;
+  double rtt_ms = 1.0;
+  std::string out_path = "BENCH_net.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--rounds=", 9) == 0) {
+      rounds = std::atoi(argv[i] + 9);
+    } else if (std::strncmp(argv[i], "--rtt-ms=", 9) == 0) {
+      rtt_ms = std::atof(argv[i] + 9);
+    } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out_path = argv[i] + 6;
+    } else {
+      std::fprintf(stderr, "usage: %s [--rounds=N] [--rtt-ms=F] [--out=PATH]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  const int kConns[] = {1, 2, 4, 8};
+  std::vector<SweepPoint> points;
+  for (int c : kConns) {
+    auto p = MeasurePoint(c, rounds, rtt_ms);
+    if (!p.ok()) {
+      std::fprintf(stderr, "bench_net_throughput: %s\n",
+                   p.status().ToString().c_str());
+      return 1;
+    }
+    std::printf(
+        "net_throughput: conns=%d stmts=%lld wall=%.3fs tput=%.0f/s "
+        "p50=%.3fms p99=%.3fms frames in/out/served=%lld/%lld/%lld%s\n",
+        p->connections, static_cast<long long>(p->statements),
+        p->wall_seconds, p->Throughput(), p->p50_ms, p->p99_ms,
+        static_cast<long long>(p->frames_in),
+        static_cast<long long>(p->frames_out),
+        static_cast<long long>(p->requests_served),
+        p->AccountingOk() ? "" : "  ACCOUNTING MISMATCH");
+    if (!p->AccountingOk()) return 1;
+    points.push_back(*p);
+  }
+
+  const double speedup =
+      points.back().Throughput() / points.front().Throughput();
+  std::printf("net_throughput: 1 -> %d connections speedup %.2fx\n",
+              points.back().connections, speedup);
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"bench\": \"net_throughput\",\n");
+  std::fprintf(out, "  \"rounds_per_connection\": %d,\n", rounds);
+  std::fprintf(out, "  \"link_rtt_ms\": %.3f,\n", rtt_ms);
+  std::fprintf(out, "  \"sweep\": [\n");
+  for (size_t i = 0; i < points.size(); ++i) {
+    const SweepPoint& p = points[i];
+    std::fprintf(out,
+                 "    {\"connections\": %d, \"statements\": %lld, "
+                 "\"wall_seconds\": %.6f, \"throughput_per_sec\": %.1f, "
+                 "\"p50_ms\": %.4f, \"p99_ms\": %.4f, "
+                 "\"frames_in\": %lld, \"frames_out\": %lld, "
+                 "\"requests_served\": %lld, \"accounting_ok\": %s}%s\n",
+                 p.connections, static_cast<long long>(p.statements),
+                 p.wall_seconds, p.Throughput(), p.p50_ms, p.p99_ms,
+                 static_cast<long long>(p.frames_in),
+                 static_cast<long long>(p.frames_out),
+                 static_cast<long long>(p.requests_served),
+                 p.AccountingOk() ? "true" : "false",
+                 i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out, "  \"speedup_1_to_8\": %.3f\n}\n", speedup);
+  std::fclose(out);
+  std::printf("net_throughput: wrote %s\n", out_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace irdb
+
+int main(int argc, char** argv) { return irdb::Main(argc, argv); }

@@ -65,6 +65,19 @@ Result<std::unique_ptr<DbConnection>> ResilientDb::Connect() {
       new StackedConnection(this, std::move(layers), tracking));
 }
 
+Result<std::unique_ptr<net::NetProxyServer>> ResilientDb::ServeTcp(
+    net::NetServerOptions opts) {
+  opts.traits = opts_.traits;
+  auto server = std::make_unique<net::NetProxyServer>(&db_, &alloc_, opts);
+  IRDB_RETURN_IF_ERROR(server->Start());
+  Status boot = server->Bootstrap();
+  if (!boot.ok()) {
+    server->Stop();
+    return boot;
+  }
+  return server;
+}
+
 void ResilientDb::RetireProxy(const proxy::TrackingProxy* p) {
   closed_proxy_stats_.Add(p->stats());
   for (auto it = live_proxies_.begin(); it != live_proxies_.end(); ++it) {

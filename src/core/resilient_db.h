@@ -18,6 +18,7 @@
 #include <memory>
 
 #include "engine/database.h"
+#include "net/net_server.h"
 #include "proxy/dual_proxy.h"
 #include "proxy/tracking_proxy.h"
 #include "repair/repair_engine.h"
@@ -52,6 +53,16 @@ class ResilientDb {
 
   // A client connection through the configured architecture.
   Result<std::unique_ptr<DbConnection>> Connect();
+
+  // Starts a real TCP front-end over this deployment's engine and txn-id
+  // allocator (paper Fig. 2 with actual sockets instead of the loopback).
+  // Flavor traits are taken from the deployment (opts.traits is ignored);
+  // the returned server is already Start()ed and bootstrapped, and stops
+  // itself on destruction.
+  // Independent of the loopback stack: loopback and TCP clients may run
+  // against the same engine concurrently.
+  Result<std::unique_ptr<net::NetProxyServer>> ServeTcp(
+      net::NetServerOptions opts = {});
 
   // Untracked in-process connection (the DBA's seat).
   DbConnection* Admin() { return &admin_; }

@@ -1,0 +1,248 @@
+#include "net/event_loop.h"
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#ifdef __linux__
+#include <sys/epoll.h>
+#endif
+
+namespace irdb::net {
+
+namespace {
+
+int64_t NowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// poll(2) fallback: portable, O(n) per wait. Fine for the connection counts
+// this framework targets; epoll is used on Linux for the event-loop shape
+// the paper's "off-the-shelf components" goal implies in production.
+class PollPoller final : public Poller {
+ public:
+  Status Add(int fd, bool want_read, bool want_write) override {
+    interest_[fd] = Mask(want_read, want_write);
+    return Status::Ok();
+  }
+  Status Modify(int fd, bool want_read, bool want_write) override {
+    auto it = interest_.find(fd);
+    if (it == interest_.end()) return Status::NotFound("fd not registered");
+    it->second = Mask(want_read, want_write);
+    return Status::Ok();
+  }
+  Status Remove(int fd) override {
+    interest_.erase(fd);
+    return Status::Ok();
+  }
+  Status Wait(int timeout_ms,
+              std::vector<std::pair<int, PollEvents>>* ready) override {
+    pfds_.clear();
+    for (const auto& [fd, mask] : interest_) {
+      pfds_.push_back({fd, mask, 0});
+    }
+    int n = ::poll(pfds_.data(), pfds_.size(), timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) return Status::Ok();
+      return Status::Internal(std::string("poll: ") + std::strerror(errno));
+    }
+    for (const pollfd& p : pfds_) {
+      if (p.revents == 0) continue;
+      PollEvents ev;
+      ev.readable = (p.revents & (POLLIN | POLLHUP)) != 0;
+      ev.writable = (p.revents & POLLOUT) != 0;
+      ev.error = (p.revents & (POLLERR | POLLNVAL)) != 0;
+      ready->emplace_back(p.fd, ev);
+    }
+    return Status::Ok();
+  }
+  const char* name() const override { return "poll"; }
+
+ private:
+  static short Mask(bool r, bool w) {
+    return static_cast<short>((r ? POLLIN : 0) | (w ? POLLOUT : 0));
+  }
+  std::unordered_map<int, short> interest_;
+  std::vector<pollfd> pfds_;
+};
+
+#ifdef __linux__
+class EpollPoller final : public Poller {
+ public:
+  EpollPoller() : epfd_(::epoll_create1(0)) {}
+
+  Status Add(int fd, bool want_read, bool want_write) override {
+    return Ctl(EPOLL_CTL_ADD, fd, want_read, want_write);
+  }
+  Status Modify(int fd, bool want_read, bool want_write) override {
+    return Ctl(EPOLL_CTL_MOD, fd, want_read, want_write);
+  }
+  Status Remove(int fd) override {
+    epoll_event ev{};
+    (void)::epoll_ctl(epfd_.get(), EPOLL_CTL_DEL, fd, &ev);
+    return Status::Ok();
+  }
+  Status Wait(int timeout_ms,
+              std::vector<std::pair<int, PollEvents>>* ready) override {
+    epoll_event evs[64];
+    int n = ::epoll_wait(epfd_.get(), evs, 64, timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) return Status::Ok();
+      return Status::Internal(std::string("epoll_wait: ") +
+                              std::strerror(errno));
+    }
+    for (int i = 0; i < n; ++i) {
+      PollEvents ev;
+      ev.readable = (evs[i].events & (EPOLLIN | EPOLLHUP)) != 0;
+      ev.writable = (evs[i].events & EPOLLOUT) != 0;
+      ev.error = (evs[i].events & EPOLLERR) != 0;
+      ready->emplace_back(static_cast<int>(evs[i].data.fd), ev);
+    }
+    return Status::Ok();
+  }
+  const char* name() const override { return "epoll"; }
+
+ private:
+  Status Ctl(int op, int fd, bool want_read, bool want_write) {
+    epoll_event ev{};
+    ev.events = (want_read ? EPOLLIN : 0u) | (want_write ? EPOLLOUT : 0u);
+    ev.data.fd = fd;
+    if (::epoll_ctl(epfd_.get(), op, fd, &ev) < 0) {
+      return Status::Internal(std::string("epoll_ctl: ") +
+                              std::strerror(errno));
+    }
+    return Status::Ok();
+  }
+  Fd epfd_;
+};
+#endif  // __linux__
+
+}  // namespace
+
+std::unique_ptr<Poller> MakePoller(bool force_poll) {
+#ifdef __linux__
+  if (!force_poll) return std::make_unique<EpollPoller>();
+#else
+  (void)force_poll;
+#endif
+  return std::make_unique<PollPoller>();
+}
+
+EventLoop::EventLoop(bool force_poll) : poller_(MakePoller(force_poll)) {
+  int pipefd[2];
+  IRDB_CHECK_MSG(::pipe(pipefd) == 0, "pipe() failed");
+  wake_read_.reset(pipefd[0]);
+  wake_write_.reset(pipefd[1]);
+  IRDB_CHECK(SetNonBlocking(wake_read_.get()).ok());
+  IRDB_CHECK(SetNonBlocking(wake_write_.get()).ok());
+  IRDB_CHECK(poller_->Add(wake_read_.get(), /*want_read=*/true,
+                          /*want_write=*/false)
+                 .ok());
+}
+
+EventLoop::~EventLoop() = default;
+
+Status EventLoop::Register(int fd, bool want_read, bool want_write,
+                           FdHandler handler) {
+  IRDB_RETURN_IF_ERROR(poller_->Add(fd, want_read, want_write));
+  handlers_[fd] = std::move(handler);
+  return Status::Ok();
+}
+
+Status EventLoop::SetInterest(int fd, bool want_read, bool want_write) {
+  return poller_->Modify(fd, want_read, want_write);
+}
+
+void EventLoop::Unregister(int fd) {
+  (void)poller_->Remove(fd);
+  handlers_.erase(fd);
+}
+
+void EventLoop::Post(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(tasks_mu_);
+    tasks_.push_back(std::move(fn));
+  }
+  Wakeup();
+}
+
+void EventLoop::SetTick(std::function<void()> fn, int interval_ms) {
+  tick_ = std::move(fn);
+  tick_interval_ms_ = interval_ms;
+}
+
+void EventLoop::Wakeup() {
+  char b = 1;
+  // A full pipe already guarantees a pending wakeup; ignore the result.
+  (void)::write(wake_write_.get(), &b, 1);
+}
+
+void EventLoop::DrainWakeupPipe() {
+  char buf[256];
+  while (true) {
+    IoResult r = ReadSome(wake_read_.get(), buf, sizeof buf);
+    if (r.state != IoState::kOk) break;
+  }
+}
+
+void EventLoop::Run() {
+  last_tick_ms_ = NowMs();
+  std::vector<std::pair<int, PollEvents>> ready;
+  std::vector<std::function<void()>> tasks;
+  for (;;) {
+    // Timeout: until the next tick is due (min 1ms so a late tick can't
+    // turn the loop into a busy spin).
+    int timeout_ms = tick_ ? tick_interval_ms_ : 200;
+    if (tick_) {
+      int64_t due = last_tick_ms_ + tick_interval_ms_ - NowMs();
+      timeout_ms = due < 1 ? 1 : static_cast<int>(due);
+    }
+    ready.clear();
+    Status s = poller_->Wait(timeout_ms, &ready);
+    IRDB_CHECK_MSG(s.ok(), s.message());
+
+    for (const auto& [fd, ev] : ready) {
+      if (fd == wake_read_.get()) {
+        DrainWakeupPipe();
+        continue;
+      }
+      auto it = handlers_.find(fd);
+      // The handler may Unregister other fds that were ready in the same
+      // batch, so a missing entry is normal — skip it.
+      if (it == handlers_.end()) continue;
+      // Copy: the handler may Unregister(fd) and invalidate the map slot.
+      FdHandler h = it->second;
+      h(ev);
+    }
+
+    tasks.clear();
+    bool stop = false;
+    {
+      std::lock_guard<std::mutex> lock(tasks_mu_);
+      tasks.swap(tasks_);
+      stop = stop_requested_;
+    }
+    for (auto& t : tasks) t();
+    if (stop) return;
+
+    if (tick_ && NowMs() - last_tick_ms_ >= tick_interval_ms_) {
+      last_tick_ms_ = NowMs();
+      tick_();
+    }
+  }
+}
+
+void EventLoop::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(tasks_mu_);
+    stop_requested_ = true;
+  }
+  Wakeup();
+}
+
+}  // namespace irdb::net

@@ -1,0 +1,92 @@
+// Single-threaded readiness event loop for the networked front-end.
+//
+// A Poller abstracts the OS readiness API: epoll on Linux, poll(2)
+// everywhere (and on Linux when forced, so the fallback is testable on the
+// primary platform). The EventLoop owns a poller, a registered-fd handler
+// table, a cross-thread task queue drained on the loop thread, and a
+// periodic tick (idle sweeps). One rule makes the concurrency story
+// auditable: sockets and per-connection buffers are touched ONLY on the
+// loop thread — worker threads hand results back via Post(), never by
+// writing a socket themselves.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "net/socket.h"
+#include "util/status.h"
+
+namespace irdb::net {
+
+struct PollEvents {
+  bool readable = false;
+  bool writable = false;
+  bool error = false;  // HUP / ERR — the fd should be torn down
+};
+
+class Poller {
+ public:
+  virtual ~Poller() = default;
+  virtual Status Add(int fd, bool want_read, bool want_write) = 0;
+  virtual Status Modify(int fd, bool want_read, bool want_write) = 0;
+  virtual Status Remove(int fd) = 0;
+  // Blocks up to timeout_ms (-1 = indefinitely); appends ready fds.
+  virtual Status Wait(int timeout_ms,
+                      std::vector<std::pair<int, PollEvents>>* ready) = 0;
+  virtual const char* name() const = 0;
+};
+
+// epoll on Linux unless force_poll; poll(2) otherwise.
+std::unique_ptr<Poller> MakePoller(bool force_poll);
+
+class EventLoop {
+ public:
+  using FdHandler = std::function<void(const PollEvents&)>;
+
+  explicit EventLoop(bool force_poll = false);
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  // Registration is loop-thread-only (or before Run() starts).
+  Status Register(int fd, bool want_read, bool want_write, FdHandler handler);
+  Status SetInterest(int fd, bool want_read, bool want_write);
+  void Unregister(int fd);
+
+  // Thread-safe: enqueues fn for the loop thread and wakes it.
+  void Post(std::function<void()> fn);
+
+  // Periodic callback on the loop thread, every ~interval_ms.
+  void SetTick(std::function<void()> fn, int interval_ms);
+
+  // Runs until Stop(); call on the thread that owns the loop.
+  void Run();
+  // Thread-safe; Run() returns after the current iteration.
+  void Stop();
+
+  const char* poller_name() const { return poller_->name(); }
+
+ private:
+  void Wakeup();
+  void DrainWakeupPipe();
+
+  std::unique_ptr<Poller> poller_;
+  std::unordered_map<int, FdHandler> handlers_;
+  Fd wake_read_, wake_write_;
+
+  std::mutex tasks_mu_;
+  std::vector<std::function<void()>> tasks_;
+  bool stop_requested_ = false;  // under tasks_mu_
+
+  std::function<void()> tick_;
+  int tick_interval_ms_ = 100;
+  int64_t last_tick_ms_ = 0;
+};
+
+}  // namespace irdb::net

@@ -1,0 +1,111 @@
+#include "net/net_client.h"
+
+#include <poll.h>
+
+#include <chrono>
+#include <thread>
+
+#include "util/failpoint.h"
+
+namespace irdb::net {
+
+Status TcpChannel::EnsureConnected() {
+  if (fd_.valid()) return Status::Ok();
+  IRDB_ASSIGN_OR_RETURN(fd_, ConnectTcp(opts_.host, opts_.port));
+  decoder_ = std::make_unique<FrameDecoder>(opts_.max_frame_bytes);
+  if (ever_connected_) ++reconnects_;
+  ever_connected_ = true;
+  return Status::Ok();
+}
+
+void TcpChannel::Drop() {
+  fd_.reset();
+  decoder_.reset();
+}
+
+Status TcpChannel::SendFrame(std::string_view payload) {
+  const std::string frame = EncodeFrame(payload);
+  size_t off = 0;
+  while (off < frame.size()) {
+    IoResult r = WriteSome(fd_.get(), frame.data() + off, frame.size() - off);
+    if (r.state != IoState::kOk) {
+      // The kernel refused mid-frame. The server drops incomplete frames on
+      // reset, so the statement cannot have executed: retryable.
+      Drop();
+      return Status::Unavailable("send failed mid-frame");
+    }
+    off += r.bytes;
+    bytes_sent_ += static_cast<int64_t>(r.bytes);
+  }
+  return Status::Ok();
+}
+
+Result<std::string> TcpChannel::RecvFrame() {
+  char buf[16 * 1024];
+  for (;;) {
+    std::string payload;
+    auto popped = decoder_->Next(&payload);
+    if (!popped.ok()) {
+      Drop();
+      return popped.status();  // corrupt stream: not retryable
+    }
+    if (*popped) return payload;
+
+    pollfd pfd{fd_.get(), POLLIN, 0};
+    int n = ::poll(&pfd, 1, opts_.recv_timeout_ms > 0 ? opts_.recv_timeout_ms
+                                                      : -1);
+    if (n == 0) {
+      // The request may have executed server-side; retrying could duplicate
+      // it, so a timeout is NOT kUnavailable.
+      Drop();
+      return Status::Internal("net round trip timed out");
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Drop();
+      return Status::Unavailable("poll on reply failed");
+    }
+    IoResult r = ReadSome(fd_.get(), buf, sizeof buf);
+    if (r.state == IoState::kOk) {
+      bytes_received_ += static_cast<int64_t>(r.bytes);
+      decoder_->Feed(std::string_view(buf, r.bytes));
+      continue;
+    }
+    if (r.state == IoState::kWouldBlock) continue;  // spurious wakeup
+    // EOF/reset before a complete reply: the server drains outboxes before
+    // closing cleanly, so a torn reply means the request never completed
+    // its round trip — safe to retry against a session-preserving server.
+    Drop();
+    return Status::Unavailable("connection reset before reply");
+  }
+}
+
+Result<std::string> TcpChannel::RoundTrip(std::string_view request) {
+  ++round_trips_;
+  // The injected connection reset fires BEFORE the write so the request
+  // provably never reached the peer (same at-most-once contract as
+  // LoopbackChannel's "wire.roundtrip" site).
+  if (fail::Triggered(kSendFailpoint)) {
+    ++dropped_round_trips_;
+    Drop();
+    return fail::Inject(kSendFailpoint);
+  }
+  if (opts_.simulated_rtt_seconds > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(opts_.simulated_rtt_seconds));
+  }
+  IRDB_RETURN_IF_ERROR(EnsureConnected());
+  IRDB_RETURN_IF_ERROR(SendFrame(request));
+  return RecvFrame();
+}
+
+Result<std::unique_ptr<NetClient>> NetClient::Dial(TcpChannelOptions opts,
+                                                   RetryPolicy retry) {
+  auto client = std::unique_ptr<NetClient>(new NetClient());
+  client->channel_ = std::make_unique<TcpChannel>(std::move(opts));
+  IRDB_ASSIGN_OR_RETURN(client->conn_,
+                        RemoteConnection::Connect(client->channel_.get(), retry));
+  return client;
+}
+
+}  // namespace irdb::net

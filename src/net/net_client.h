@@ -1,0 +1,109 @@
+// TcpChannel + NetClient — the client side of the networked deployment.
+//
+// TcpChannel implements the same Channel contract LoopbackChannel does, over
+// a real socket: one frame out, one frame back, synchronously. The contract
+// that matters for retries is preserved exactly: every kUnavailable this
+// channel returns means the request NEVER reached the peer —
+//   - connect failures (nothing was sent),
+//   - the "net.roundtrip.send" failpoint, which fires BEFORE the write and
+//     tears the connection down (how tests simulate connection resets
+//     without ambiguity about whether the request executed),
+//   - send failures on a freshly (re)connected socket where the peer cannot
+//     have seen a complete frame... except a genuine mid-flight loss after
+//     the frame was fully written, which a real network cannot disambiguate.
+//     Those surface as kUnavailable too; over TCP to our own server the
+//     reply-before-close drain makes duplicated effects impossible in
+//     clean shutdown, and the chaos harness only ever injects the
+//     before-send variant, keeping the at-most-once property testable.
+// A response TIMEOUT is deliberately NOT kUnavailable: the request may have
+// executed, so retrying could duplicate it. It surfaces as kInternal.
+//
+// The channel reconnects lazily on the next RoundTrip after a drop, which —
+// together with NetProxyServer keeping wire sessions alive across TCP
+// disconnects — is what lets RemoteConnection's CallWithRetry ride through
+// real connection resets mid-transaction.
+//
+// clock() is nullptr: real networking runs on real time (CallWithRetry then
+// skips simulated backoff waits; attempts stay bounded).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "net/socket.h"
+#include "wire/channel.h"
+#include "wire/client.h"
+#include "wire/protocol.h"
+
+namespace irdb::net {
+
+// Failpoint site: evaluated before each frame write; a trip drops the
+// connection and fails the round trip with a retryable injected status.
+inline constexpr const char* kSendFailpoint = "net.roundtrip.send";
+
+struct TcpChannelOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  // Reply-wait budget per round trip; expiry is a NON-retryable error (the
+  // request may have executed). 0 waits forever.
+  int recv_timeout_ms = 10'000;
+  size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  // Emulated link latency, added (as a real sleep — real sockets run on
+  // real time, so the virtual clock does not apply) to every round trip.
+  // Loopback TCP has ~zero RTT; benches set this to model a LAN so that
+  // connection-concurrency experiments measure latency overlap the way a
+  // deployed link would. 0 disables.
+  double simulated_rtt_seconds = 0.0;
+};
+
+class TcpChannel : public Channel {
+ public:
+  explicit TcpChannel(TcpChannelOptions opts) : opts_(std::move(opts)) {}
+
+  Result<std::string> RoundTrip(std::string_view request) override;
+
+  // Closes the current socket (if any); the next RoundTrip reconnects.
+  void Drop();
+
+  bool connected() const { return fd_.valid(); }
+  int64_t round_trips() const { return round_trips_; }
+  int64_t dropped_round_trips() const { return dropped_round_trips_; }
+  int64_t reconnects() const { return reconnects_; }
+  int64_t bytes_sent() const { return bytes_sent_; }
+  int64_t bytes_received() const { return bytes_received_; }
+
+ private:
+  Status EnsureConnected();
+  Status SendFrame(std::string_view payload);
+  Result<std::string> RecvFrame();
+
+  TcpChannelOptions opts_;
+  Fd fd_;
+  std::unique_ptr<FrameDecoder> decoder_;  // reset per connection
+  int64_t round_trips_ = 0;
+  int64_t dropped_round_trips_ = 0;
+  int64_t reconnects_ = 0;  // successful connects after the first
+  int64_t bytes_sent_ = 0;
+  int64_t bytes_received_ = 0;
+  bool ever_connected_ = false;
+};
+
+// One client endpoint: a TcpChannel plus a RemoteConnection speaking the
+// wire protocol over it (CONNECT on Dial, BYE on destruction, retries per
+// `retry`). Not thread-safe — one NetClient per client thread.
+class NetClient {
+ public:
+  static Result<std::unique_ptr<NetClient>> Dial(TcpChannelOptions opts,
+                                                 RetryPolicy retry = {});
+
+  RemoteConnection& connection() { return *conn_; }
+  TcpChannel& channel() { return *channel_; }
+
+ private:
+  NetClient() = default;
+  std::unique_ptr<TcpChannel> channel_;
+  std::unique_ptr<RemoteConnection> conn_;
+};
+
+}  // namespace irdb::net

@@ -1,0 +1,539 @@
+#include "net/net_server.h"
+
+#include <sys/socket.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "obs/catalog.h"
+#include "obs/journal.h"
+
+namespace irdb::net {
+
+namespace {
+
+int64_t NowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+double NowMsF() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+struct NetProxyServer::Counters {
+  std::atomic<int64_t> connections_accepted{0};
+  std::atomic<int64_t> connections_closed{0};
+  std::atomic<int64_t> frames_in{0};
+  std::atomic<int64_t> frames_out{0};
+  std::atomic<int64_t> bytes_in{0};
+  std::atomic<int64_t> bytes_out{0};
+  std::atomic<int64_t> requests_served{0};
+  std::atomic<int64_t> protocol_errors{0};
+  std::atomic<int64_t> idle_disconnects{0};
+  std::atomic<int64_t> backpressure_stalls{0};
+  std::atomic<int64_t> resets{0};
+};
+
+NetProxyServer::NetProxyServer(Database* db, proxy::TxnIdAllocator* alloc,
+                               NetServerOptions opts)
+    : db_(db),
+      alloc_(alloc),
+      opts_(opts),
+      counters_(std::make_unique<Counters>()) {}
+
+NetProxyServer::~NetProxyServer() { Stop(); }
+
+Status NetProxyServer::Start() {
+  IRDB_CHECK_MSG(!running_, "NetProxyServer already started");
+  IRDB_ASSIGN_OR_RETURN(
+      listener_, ListenTcp(opts_.port, /*backlog=*/128, &port_, opts_.bind_any));
+  loop_ = std::make_unique<EventLoop>(opts_.force_poll);
+  pool_ = std::make_unique<util::ThreadPool>(opts_.exec_threads);
+  accepting_ = true;
+  accepting_work_ = true;
+  drain_requested_ = false;
+  drain_done_ = false;
+
+  IRDB_RETURN_IF_ERROR(loop_->Register(
+      listener_.get(), /*want_read=*/true, /*want_write=*/false,
+      [this](const PollEvents&) { OnListenerReadable(); }));
+  loop_->SetTick([this] { SweepIdle(); }, opts_.tick_interval_ms);
+  loop_thread_ = std::thread([this] { loop_->Run(); });
+  running_ = true;
+  return Status::Ok();
+}
+
+void NetProxyServer::Stop() {
+  if (!running_) return;
+  // 1. Stop accepting new connections AND new statement dispatches, on the
+  //    loop thread (accepting_work_ is loop-thread-owned); wait for the
+  //    flip so no Submit can race the pool teardown below.
+  std::promise<void> quiesced;
+  loop_->Post([this, &quiesced] {
+    StopAccepting();
+    accepting_work_ = false;
+    quiesced.set_value();
+  });
+  quiesced.get_future().wait();
+  // 2. Wait out in-flight statements: the pool destructor joins its workers
+  //    after the queue empties, and each completion has already been posted
+  //    to the (still running) loop, so every reply reaches an outbox.
+  pool_.reset();
+  // 3. Drain: close each connection once its outbox is flushed, bounded so
+  //    a dead client cannot wedge shutdown.
+  loop_->Post([this] { BeginDrain(); });
+  {
+    std::unique_lock<std::mutex> lock(drain_mu_);
+    if (!drain_cv_.wait_for(lock, std::chrono::seconds(2),
+                            [this] { return drain_done_; })) {
+      loop_->Post([this] { ForceCloseAll(); });
+      drain_cv_.wait(lock, [this] { return drain_done_; });
+    }
+  }
+  loop_->Stop();
+  loop_thread_.join();
+  loop_.reset();
+  // 4. Tear down surviving wire sessions (client never sent BYE), folding
+  //    their tracking stats exactly like a BYE would.
+  std::map<int64_t, std::shared_ptr<ProtoSession>> leftover;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    leftover.swap(sessions_);
+  }
+  for (auto& [id, sess] : leftover) {
+    std::lock_guard<std::mutex> lock(sess->mu);
+    if (sess->proxy) {
+      std::lock_guard<std::mutex> reg(sessions_mu_);
+      closed_stats_.Add(sess->proxy->stats());
+    }
+    obs::MetricsRegistry::Default().AddGauge(
+        obs::Metrics::Get().net_sessions_active, -1);
+  }
+  running_ = false;
+}
+
+Status NetProxyServer::Bootstrap() {
+  if (!opts_.track) return Status::Ok();
+  DirectConnection conn(db_);
+  proxy::TrackingProxy proxy(&conn, alloc_, opts_.traits);
+  return proxy.EnsureTrackingTables();
+}
+
+NetServerStats NetProxyServer::stats() const {
+  NetServerStats s;
+  s.connections_accepted = counters_->connections_accepted.load();
+  s.connections_closed = counters_->connections_closed.load();
+  s.frames_in = counters_->frames_in.load();
+  s.frames_out = counters_->frames_out.load();
+  s.bytes_in = counters_->bytes_in.load();
+  s.bytes_out = counters_->bytes_out.load();
+  s.requests_served = counters_->requests_served.load();
+  s.protocol_errors = counters_->protocol_errors.load();
+  s.idle_disconnects = counters_->idle_disconnects.load();
+  s.backpressure_stalls = counters_->backpressure_stalls.load();
+  s.resets = counters_->resets.load();
+  return s;
+}
+
+proxy::ProxyStats NetProxyServer::ProxyStatsSnapshot() const {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  proxy::ProxyStats total = closed_stats_;
+  for (const auto& [id, sess] : sessions_) {
+    std::lock_guard<std::mutex> sess_lock(sess->mu);
+    if (sess->proxy) total.Add(sess->proxy->stats());
+  }
+  return total;
+}
+
+int64_t NetProxyServer::open_sessions() const {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  return static_cast<int64_t>(sessions_.size());
+}
+
+// --- loop thread ------------------------------------------------------------
+
+void NetProxyServer::OnListenerReadable() {
+  for (;;) {
+    int fd = ::accept(listener_.get(), nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
+      return;  // transient accept errors: try again on the next event
+    }
+    if (!accepting_) {
+      ::close(fd);
+      continue;
+    }
+    Fd conn_fd(fd);
+    if (!SetNonBlocking(fd).ok()) continue;  // conn_fd closes it
+    (void)SetNoDelay(fd);
+
+    auto conn = std::make_unique<Conn>(opts_.max_frame_bytes);
+    conn->id = next_conn_id_++;
+    conn->fd = std::move(conn_fd);
+    conn->last_activity_ms = NowMs();
+    int64_t id = conn->id;
+    Status s = loop_->Register(
+        conn->fd.get(), /*want_read=*/true, /*want_write=*/false,
+        [this, id](const PollEvents& ev) { OnConnEvent(id, ev); });
+    if (!s.ok()) continue;
+    conns_.emplace(id, std::move(conn));
+    counters_->connections_accepted.fetch_add(1);
+    obs::Count(obs::Metrics::Get().net_connections_accepted);
+    obs::MetricsRegistry::Default().AddGauge(
+        obs::Metrics::Get().net_connections_active, 1);
+  }
+}
+
+void NetProxyServer::OnConnEvent(int64_t conn_id, const PollEvents& ev) {
+  auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;
+  Conn& c = *it->second;
+  if (ev.error) {
+    CloseConn(c, CloseWhy::kReset);
+    return;
+  }
+  if (ev.writable) {
+    FlushConn(c);
+    // FlushConn may close the conn (write error or drain completion).
+    if (conns_.find(conn_id) == conns_.end()) return;
+  }
+  if (ev.readable && c.reading) ReadFromConn(c);
+}
+
+void NetProxyServer::ReadFromConn(Conn& c) {
+  const int64_t id = c.id;  // c dies if DispatchFrames closes the conn
+  char buf[16 * 1024];
+  for (;;) {
+    IoResult r = ReadSome(c.fd.get(), buf, sizeof buf);
+    if (r.state == IoState::kOk) {
+      c.last_activity_ms = NowMs();
+      counters_->bytes_in.fetch_add(static_cast<int64_t>(r.bytes));
+      obs::Count(obs::Metrics::Get().net_bytes_in,
+                 static_cast<int64_t>(r.bytes));
+      c.decoder.Feed(std::string_view(buf, r.bytes));
+      DispatchFrames(c);
+      // DispatchFrames may have closed the conn (protocol error) or
+      // backpressured it; stop pulling bytes either way.
+      if (conns_.find(id) == conns_.end() || !c.reading) return;
+      if (r.bytes < sizeof buf) return;  // likely drained the socket
+      continue;
+    }
+    if (r.state == IoState::kWouldBlock) return;
+    // EOF or error: the peer is gone. In-flight work finishes and its
+    // reply is dropped at completion; the wire session itself survives
+    // for a reconnecting client.
+    CloseConn(c, CloseWhy::kReset);
+    return;
+  }
+}
+
+void NetProxyServer::DispatchFrames(Conn& c) {
+  for (;;) {
+    std::string payload;
+    auto popped = c.decoder.Next(&payload);
+    if (!popped.ok()) {
+      counters_->protocol_errors.fetch_add(1);
+      obs::Count(obs::Metrics::Get().net_protocol_errors);
+      CloseConn(c, CloseWhy::kProtocol);
+      return;
+    }
+    if (!*popped) return;
+    counters_->frames_in.fetch_add(1);
+    obs::Count(obs::Metrics::Get().net_frames_in);
+    if (c.busy) {
+      c.pending.push_back(std::move(payload));
+    } else {
+      StartRequest(c, std::move(payload));
+    }
+  }
+}
+
+void NetProxyServer::StartRequest(Conn& c, std::string payload) {
+  if (!accepting_work_) return;  // shutting down: drop late requests
+  c.busy = true;
+  c.req_start_ms = NowMsF();
+  int64_t conn_id = c.id;
+  // The payload moves to the executor; the reply frame moves back through
+  // Post. Conn state is only ever touched on the loop thread.
+  pool_->Submit([this, conn_id, payload = std::move(payload)]() mutable {
+    std::string reply = EncodeFrame(HandleRequest(payload));
+    loop_->Post([this, conn_id, reply = std::move(reply)]() mutable {
+      CompleteRequest(conn_id, std::move(reply));
+    });
+  });
+}
+
+void NetProxyServer::CompleteRequest(int64_t conn_id, std::string reply_frame) {
+  counters_->requests_served.fetch_add(1);
+  obs::Count(obs::Metrics::Get().net_requests);
+  auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;  // conn died mid-request: drop the reply
+  Conn& c = *it->second;
+  obs::Observe(obs::Metrics::Get().net_frame_latency,
+               NowMsF() - c.req_start_ms);
+  c.busy = false;
+  c.last_activity_ms = NowMs();
+  c.outbox_bytes += reply_frame.size();
+  c.outbox.push_back(std::move(reply_frame));
+  counters_->frames_out.fetch_add(1);
+  obs::Count(obs::Metrics::Get().net_frames_out);
+
+  // Backpressure: a client pipelining faster than it reads replies gets its
+  // read side paused until the outbox drains below the low watermark.
+  if (c.reading && c.outbox_bytes > opts_.outbox_high_watermark) {
+    c.reading = false;
+    counters_->backpressure_stalls.fetch_add(1);
+    obs::Count(obs::Metrics::Get().net_backpressure_stalls);
+  }
+  if (!c.pending.empty()) {
+    std::string next = std::move(c.pending.front());
+    c.pending.pop_front();
+    StartRequest(c, std::move(next));
+  }
+  FlushConn(c);
+}
+
+void NetProxyServer::FlushConn(Conn& c) {
+  const int64_t id = c.id;  // c dies if a nested call closes the conn
+  while (!c.outbox.empty()) {
+    const std::string& front = c.outbox.front();
+    IoResult r = WriteSome(c.fd.get(), front.data() + c.write_off,
+                           front.size() - c.write_off);
+    if (r.state == IoState::kOk) {
+      counters_->bytes_out.fetch_add(static_cast<int64_t>(r.bytes));
+      obs::Count(obs::Metrics::Get().net_bytes_out,
+                 static_cast<int64_t>(r.bytes));
+      c.write_off += r.bytes;
+      if (c.write_off == front.size()) {
+        c.outbox_bytes -= front.size();
+        c.outbox.pop_front();
+        c.write_off = 0;
+      }
+      continue;
+    }
+    if (r.state == IoState::kWouldBlock) break;
+    CloseConn(c, CloseWhy::kReset);
+    return;
+  }
+  obs::MetricsRegistry::Default().SetGauge(obs::Metrics::Get().net_outbox_bytes,
+                                           static_cast<int64_t>(c.outbox_bytes));
+  if (!c.reading && c.outbox_bytes <= opts_.outbox_low_watermark && !c.draining) {
+    c.reading = true;
+    // Re-run the decoder: frames may already be buffered, and the socket
+    // may have readable bytes we stopped pulling.
+    DispatchFrames(c);
+    if (conns_.find(id) == conns_.end()) return;
+    if (c.reading) ReadFromConn(c);
+    if (conns_.find(id) == conns_.end()) return;
+  }
+  if (c.outbox.empty() && c.draining && !c.busy) {
+    CloseConn(c, CloseWhy::kDrain);
+    return;
+  }
+  UpdateInterest(c);
+}
+
+void NetProxyServer::UpdateInterest(Conn& c) {
+  bool want_write = !c.outbox.empty();
+  if (want_write != c.want_write) {
+    c.want_write = want_write;
+    (void)loop_->SetInterest(c.fd.get(), c.reading, want_write);
+  } else {
+    (void)loop_->SetInterest(c.fd.get(), c.reading, c.want_write);
+  }
+}
+
+void NetProxyServer::CloseConn(Conn& c, CloseWhy why) {
+  switch (why) {
+    case CloseWhy::kIdle:
+      counters_->idle_disconnects.fetch_add(1);
+      obs::Count(obs::Metrics::Get().net_idle_disconnects);
+      obs::EventJournal::Default().Append(
+          obs::event::kNetIdleDisconnect, {{"conn", std::to_string(c.id)}});
+      break;
+    case CloseWhy::kReset:
+    case CloseWhy::kProtocol:
+      counters_->resets.fetch_add(1);
+      obs::Count(obs::Metrics::Get().net_session_resets);
+      obs::EventJournal::Default().Append(
+          obs::event::kNetSessionReset, {{"conn", std::to_string(c.id)}});
+      break;
+    case CloseWhy::kDrain:
+      break;
+  }
+  counters_->connections_closed.fetch_add(1);
+  obs::MetricsRegistry::Default().AddGauge(
+      obs::Metrics::Get().net_connections_active, -1);
+  loop_->Unregister(c.fd.get());
+  int64_t id = c.id;
+  conns_.erase(id);  // destroys c — do not touch it past this line
+  if (drain_requested_ && conns_.empty()) {
+    std::lock_guard<std::mutex> lock(drain_mu_);
+    drain_done_ = true;
+    drain_cv_.notify_all();
+  }
+}
+
+void NetProxyServer::SweepIdle() {
+  if (opts_.idle_timeout_seconds <= 0) return;
+  const int64_t now = NowMs();
+  const int64_t limit_ms =
+      static_cast<int64_t>(opts_.idle_timeout_seconds * 1000.0);
+  std::vector<int64_t> victims;
+  for (const auto& [id, conn] : conns_) {
+    if (!conn->busy && conn->outbox.empty() &&
+        now - conn->last_activity_ms >= limit_ms) {
+      victims.push_back(id);
+    }
+  }
+  for (int64_t id : victims) {
+    auto it = conns_.find(id);
+    if (it != conns_.end()) CloseConn(*it->second, CloseWhy::kIdle);
+  }
+}
+
+void NetProxyServer::StopAccepting() {
+  if (!accepting_) return;
+  accepting_ = false;
+  loop_->Unregister(listener_.get());
+  listener_.reset();
+}
+
+void NetProxyServer::BeginDrain() {
+  drain_requested_ = true;
+  std::vector<int64_t> closable;
+  for (auto& [id, conn] : conns_) {
+    conn->draining = true;
+    conn->reading = false;
+    if (conn->outbox.empty() && !conn->busy) closable.push_back(id);
+  }
+  for (int64_t id : closable) {
+    auto it = conns_.find(id);
+    if (it != conns_.end()) CloseConn(*it->second, CloseWhy::kDrain);
+  }
+  if (conns_.empty()) {
+    std::lock_guard<std::mutex> lock(drain_mu_);
+    drain_done_ = true;
+    drain_cv_.notify_all();
+  }
+}
+
+void NetProxyServer::ForceCloseAll() {
+  while (!conns_.empty()) {
+    CloseConn(*conns_.begin()->second, CloseWhy::kReset);
+  }
+}
+
+// --- executor threads -------------------------------------------------------
+
+std::shared_ptr<NetProxyServer::ProtoSession> NetProxyServer::FindSession(
+    int64_t id) const {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  auto it = sessions_.find(id);
+  return it == sessions_.end() ? nullptr : it->second;
+}
+
+int64_t NetProxyServer::CreateSession() {
+  auto sess = std::make_shared<ProtoSession>();
+  sess->conn = std::make_unique<DirectConnection>(db_);
+  if (opts_.track) {
+    sess->proxy = std::make_unique<proxy::TrackingProxy>(sess->conn.get(),
+                                                         alloc_, opts_.traits);
+  }
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  int64_t id = next_session_++;
+  sessions_.emplace(id, std::move(sess));
+  obs::MetricsRegistry::Default().AddGauge(
+      obs::Metrics::Get().net_sessions_active, 1);
+  return id;
+}
+
+void NetProxyServer::DestroySession(int64_t id) {
+  std::shared_ptr<ProtoSession> sess;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    auto it = sessions_.find(id);
+    if (it == sessions_.end()) return;
+    sess = std::move(it->second);
+    sessions_.erase(it);
+  }
+  // Wait out any concurrent statement on this session (another connection
+  // could be using the same id), then fold its stats.
+  std::lock_guard<std::mutex> sess_lock(sess->mu);
+  if (sess->proxy) {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    closed_stats_.Add(sess->proxy->stats());
+  }
+  obs::MetricsRegistry::Default().AddGauge(
+      obs::Metrics::Get().net_sessions_active, -1);
+}
+
+std::string NetProxyServer::HandleRequest(std::string_view payload) {
+  WireResponse resp;
+  auto req = DecodeRequest(payload);
+  if (!req.ok()) {
+    counters_->protocol_errors.fetch_add(1);
+    obs::Count(obs::Metrics::Get().net_protocol_errors);
+    resp.ok = false;
+    resp.error_code = req.status().code();
+    resp.error_message = req.status().message();
+    return EncodeResponse(resp);
+  }
+  switch (req->kind) {
+    case WireRequest::Kind::kConnect:
+      resp.ok = true;
+      resp.session = CreateSession();
+      break;
+    case WireRequest::Kind::kDisconnect:
+      DestroySession(req->session);
+      resp.ok = true;
+      resp.session = req->session;
+      break;
+    case WireRequest::Kind::kAnnotate: {
+      auto sess = FindSession(req->session);
+      if (!sess) {
+        resp.ok = false;
+        resp.error_code = StatusCode::kInvalidArgument;
+        resp.error_message = "unknown wire session";
+        break;
+      }
+      std::lock_guard<std::mutex> lock(sess->mu);
+      sess->connection()->SetAnnotation(req->sql);
+      resp.ok = true;
+      resp.session = req->session;
+      break;
+    }
+    case WireRequest::Kind::kExec: {
+      auto sess = FindSession(req->session);
+      if (!sess) {
+        resp.ok = false;
+        resp.error_code = StatusCode::kInvalidArgument;
+        resp.error_message = "unknown wire session";
+        break;
+      }
+      std::lock_guard<std::mutex> lock(sess->mu);
+      auto result = sess->connection()->Execute(req->sql);
+      if (result.ok()) {
+        resp.ok = true;
+        resp.session = req->session;
+        resp.result = std::move(result).value();
+      } else {
+        resp.ok = false;
+        resp.error_code = result.status().code();
+        resp.error_message = result.status().message();
+      }
+      break;
+    }
+  }
+  return EncodeResponse(resp);
+}
+
+}  // namespace irdb::net

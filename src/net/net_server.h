@@ -1,0 +1,215 @@
+// NetProxyServer — the server-side proxy of paper Fig. 2 on a real TCP
+// socket instead of the in-process loopback.
+//
+// Threading model (three kinds of threads, one rule each):
+//   - ONE event-loop thread owns every socket, every Conn (frame decoder,
+//     outbox, backpressure flags). Nothing else touches them.
+//   - A util::ThreadPool executes decoded requests (SQL through the
+//     per-session TrackingProxy / DirectConnection), so a slow statement
+//     never blocks accepts, reads, or writes. Completions are handed back
+//     to the loop thread via EventLoop::Post.
+//   - Callers' threads only use the thread-safe surface: Start/Stop,
+//     stats(), ProxyStatsSnapshot().
+//
+// Shared-state locking story (audited in tests/net_test.cc):
+//   - sessions_mu_ guards the wire-session registry (map, id counter,
+//     closed-session stats fold).
+//   - each ProtoSession has its own mutex serializing statement execution
+//     against stats snapshots; executors take it WITHOUT holding
+//     sessions_mu_, snapshots take sessions_mu_ THEN session mutexes, so
+//     the order sessions_mu_ -> session is acyclic.
+//   - engine access is serialized by the Database's own global mutex, and
+//     proxy txn ids come from the atomic TxnIdAllocator, exactly as in the
+//     in-process deployments.
+//
+// Sessions are DECOUPLED from TCP connections: a wire session is created by
+// CONNECT, addressed by id in every later request, and destroyed only by
+// BYE or Stop(). A client whose TCP connection resets mid-transaction can
+// reconnect and resume — which is what makes the PR 2 retry semantics
+// (kUnavailable = request never reached the peer) carry over to real
+// connection resets.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "engine/database.h"
+#include "flavor/flavor_traits.h"
+#include "net/event_loop.h"
+#include "net/socket.h"
+#include "proxy/tracking_proxy.h"
+#include "util/thread_pool.h"
+#include "wire/protocol.h"
+
+namespace irdb::net {
+
+struct NetServerOptions {
+  uint16_t port = 0;      // 0 = pick an ephemeral port (see NetProxyServer::port)
+  bool bind_any = false;  // default: loopback only (see socket.h)
+  // true: each wire session gets a TrackingProxy over a DirectConnection
+  // (server-side tracking, Fig. 2). false: raw DbServer semantics — the
+  // engine without tracking, for client-side-proxy deployments.
+  bool track = true;
+  int exec_threads = 4;  // statement-execution pool (<=1 runs inline)
+  size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  // Backpressure: when a session's queued reply bytes exceed the high
+  // watermark the server stops reading its socket; reading resumes once the
+  // outbox drains below the low watermark.
+  size_t outbox_high_watermark = 256 * 1024;
+  size_t outbox_low_watermark = 64 * 1024;
+  // Connections with no traffic for this long are closed on the next sweep
+  // (0 disables). Sessions survive — only the transport is dropped.
+  double idle_timeout_seconds = 0.0;
+  int tick_interval_ms = 50;  // idle-sweep cadence
+  bool force_poll = false;    // use the poll(2) poller even on Linux
+  FlavorTraits traits = FlavorTraits::Postgres();
+};
+
+// Aggregate transport counters, readable from any thread. The accounting
+// identity checked by bench/bench_net_throughput: after a clean drain,
+// frames_in == frames_out == requests_served.
+struct NetServerStats {
+  int64_t connections_accepted = 0;
+  int64_t connections_closed = 0;
+  int64_t frames_in = 0;
+  int64_t frames_out = 0;
+  int64_t bytes_in = 0;
+  int64_t bytes_out = 0;
+  int64_t requests_served = 0;
+  int64_t protocol_errors = 0;     // corrupt/oversized frames, bad requests
+  int64_t idle_disconnects = 0;
+  int64_t backpressure_stalls = 0; // read-side pauses due to a full outbox
+  int64_t resets = 0;              // conns that died on EOF/error, not drain
+};
+
+class NetProxyServer {
+ public:
+  NetProxyServer(Database* db, proxy::TxnIdAllocator* alloc,
+                 NetServerOptions opts = {});
+  ~NetProxyServer();
+
+  NetProxyServer(const NetProxyServer&) = delete;
+  NetProxyServer& operator=(const NetProxyServer&) = delete;
+
+  // Binds, starts the loop thread and executor pool. Idempotence: second
+  // Start without Stop is an error.
+  Status Start();
+
+  // Clean shutdown: stop accepting, wait for in-flight statements, drain
+  // outboxes (bounded), close everything, fold session stats.
+  void Stop();
+
+  // The actually-bound port (after Start with opts.port == 0).
+  uint16_t port() const { return port_; }
+
+  // Creates the tracking side tables through a temporary tracked session.
+  // Call once per fresh database when opts.track (no-op otherwise).
+  Status Bootstrap();
+
+  NetServerStats stats() const;
+
+  // Combined tracking stats over closed and live sessions (track mode).
+  proxy::ProxyStats ProxyStatsSnapshot() const;
+
+  int64_t open_sessions() const;
+  const char* poller_name() const { return loop_->poller_name(); }
+  Database* db() { return db_; }
+
+ private:
+  // Loop-thread-owned per-TCP-connection state.
+  struct Conn {
+    int64_t id = 0;
+    Fd fd;
+    FrameDecoder decoder;
+    std::deque<std::string> outbox;  // encoded frames awaiting write
+    size_t outbox_bytes = 0;
+    size_t write_off = 0;       // bytes of outbox.front() already written
+    bool want_write = false;    // current poller interest
+    bool reading = true;        // false while backpressured
+    bool busy = false;          // a request is executing on the pool
+    std::deque<std::string> pending;  // frames decoded while busy
+    bool draining = false;      // close as soon as the outbox empties
+    int64_t last_activity_ms = 0;
+    double req_start_ms = 0;    // latency clock for the in-flight request
+
+    explicit Conn(size_t max_frame) : decoder(max_frame) {}
+  };
+
+  // A wire session: engine connection (+ tracking proxy in track mode).
+  // Lives until BYE or Stop, independent of any TCP connection.
+  struct ProtoSession {
+    std::mutex mu;  // serializes execution vs. stats snapshots
+    std::unique_ptr<DirectConnection> conn;
+    std::unique_ptr<proxy::TrackingProxy> proxy;  // null when !track
+
+    DbConnection* connection() {
+      return proxy ? static_cast<DbConnection*>(proxy.get()) : conn.get();
+    }
+  };
+
+  enum class CloseWhy { kDrain, kIdle, kReset, kProtocol };
+
+  // --- loop thread only ---
+  void OnListenerReadable();
+  void OnConnEvent(int64_t conn_id, const PollEvents& ev);
+  void ReadFromConn(Conn& c);
+  void DispatchFrames(Conn& c);
+  void StartRequest(Conn& c, std::string payload);
+  void CompleteRequest(int64_t conn_id, std::string reply_frame);
+  void FlushConn(Conn& c);
+  void UpdateInterest(Conn& c);
+  void CloseConn(Conn& c, CloseWhy why);
+  void SweepIdle();
+  void StopAccepting();
+  void BeginDrain();
+  void ForceCloseAll();
+
+  // --- executor threads (pool) ---
+  std::string HandleRequest(std::string_view payload);
+  std::shared_ptr<ProtoSession> FindSession(int64_t id) const;
+  int64_t CreateSession();
+  void DestroySession(int64_t id);
+
+  Database* db_;
+  proxy::TxnIdAllocator* alloc_;
+  NetServerOptions opts_;
+
+  std::unique_ptr<EventLoop> loop_;
+  std::thread loop_thread_;
+  std::unique_ptr<util::ThreadPool> pool_;
+  Fd listener_;
+  uint16_t port_ = 0;
+  bool running_ = false;
+
+  // Loop-thread-owned connection table.
+  std::map<int64_t, std::unique_ptr<Conn>> conns_;
+  int64_t next_conn_id_ = 1;
+  bool accepting_ = false;
+  // Loop-thread-only gate: flipped (on the loop thread) before Stop() joins
+  // the executor pool, so no Submit can race the pool teardown.
+  bool accepting_work_ = true;
+
+  // Drain rendezvous for Stop(): set on the loop thread when the last conn
+  // closes after BeginDrain.
+  std::mutex drain_mu_;
+  std::condition_variable drain_cv_;
+  bool drain_requested_ = false;  // loop thread reads, Stop() sets via Post
+  bool drain_done_ = false;
+
+  // Wire-session registry (executor threads + snapshots).
+  mutable std::mutex sessions_mu_;
+  std::map<int64_t, std::shared_ptr<ProtoSession>> sessions_;
+  int64_t next_session_ = 1;
+  proxy::ProxyStats closed_stats_;
+
+  // Transport counters (atomics; snapshot via stats()).
+  struct Counters;
+  std::unique_ptr<Counters> counters_;
+};
+
+}  // namespace irdb::net

@@ -1,0 +1,119 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace irdb::net {
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status::Internal(std::string(what) + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+void Fd::reset(int fd) {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = fd;
+}
+
+Status SetNonBlocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return Errno("fcntl(F_GETFL)");
+  if (::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Errno("fcntl(F_SETFL O_NONBLOCK)");
+  }
+  return Status::Ok();
+}
+
+Status SetNoDelay(int fd) {
+  int one = 1;
+  if (::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one) < 0) {
+    return Errno("setsockopt(TCP_NODELAY)");
+  }
+  return Status::Ok();
+}
+
+Result<Fd> ListenTcp(uint16_t port, int backlog, uint16_t* bound_port,
+                     bool bind_any) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return Errno("socket");
+  int one = 1;
+  (void)::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(bind_any ? INADDR_ANY : INADDR_LOOPBACK);
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    return Errno("bind");
+  }
+  if (::listen(fd.get(), backlog) < 0) return Errno("listen");
+
+  if (bound_port != nullptr) {
+    sockaddr_in got{};
+    socklen_t len = sizeof got;
+    if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&got), &len) < 0) {
+      return Errno("getsockname");
+    }
+    *bound_port = ntohs(got.sin_port);
+  }
+  IRDB_RETURN_IF_ERROR(SetNonBlocking(fd.get()));
+  return fd;
+}
+
+Result<Fd> ConnectTcp(const std::string& host, uint16_t port) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return Errno("socket");
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad IPv4 address: " + host);
+  }
+  if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof addr) <
+      0) {
+    // Connection refused/reset is the transport saying "not now": the
+    // request never reached a peer, so callers may retry.
+    return Status::Unavailable("connect to " + host + ":" +
+                               std::to_string(port) + ": " +
+                               std::strerror(errno));
+  }
+  (void)SetNoDelay(fd.get());
+  return fd;
+}
+
+IoResult ReadSome(int fd, char* buf, size_t len) {
+  for (;;) {
+    ssize_t n = ::read(fd, buf, len);
+    if (n > 0) return {IoState::kOk, static_cast<size_t>(n)};
+    if (n == 0) return {IoState::kEof, 0};
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return {IoState::kWouldBlock, 0};
+    }
+    return {IoState::kError, 0};
+  }
+}
+
+IoResult WriteSome(int fd, const char* buf, size_t len) {
+  for (;;) {
+    ssize_t n = ::send(fd, buf, len, MSG_NOSIGNAL);
+    if (n >= 0) return {IoState::kOk, static_cast<size_t>(n)};
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return {IoState::kWouldBlock, 0};
+    }
+    return {IoState::kError, 0};
+  }
+}
+
+}  // namespace irdb::net

@@ -1,0 +1,74 @@
+// Thin RAII + error-mapping layer over BSD sockets (src/net's only
+// syscall surface besides the poller). Everything returns Status instead of
+// errno so the event loop and channel code stay exception- and errno-free.
+//
+// All helpers are IPv4; listeners bind 127.0.0.1 by default (the framework's
+// front-end is meant to sit on the same machine or behind its own
+// gateway — exposing the tracking proxy raw to the world is an operator
+// decision made explicit via NetServerOptions::bind_any).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "util/status.h"
+
+namespace irdb::net {
+
+// Move-only file-descriptor owner.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { reset(); }
+
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+  Fd(Fd&& o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+  Fd& operator=(Fd&& o) noexcept {
+    if (this != &o) {
+      reset();
+      fd_ = o.fd_;
+      o.fd_ = -1;
+    }
+    return *this;
+  }
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int release() {
+    int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  void reset(int fd = -1);
+
+ private:
+  int fd_ = -1;
+};
+
+// Binds + listens on `port` (0 = ephemeral). The actually-bound port is
+// written to *bound_port. The returned socket is non-blocking.
+Result<Fd> ListenTcp(uint16_t port, int backlog, uint16_t* bound_port,
+                     bool bind_any = false);
+
+// Blocking connect to host:port; the returned socket stays blocking (the
+// synchronous client reads with poll()-based timeouts instead).
+Result<Fd> ConnectTcp(const std::string& host, uint16_t port);
+
+Status SetNonBlocking(int fd);
+Status SetNoDelay(int fd);  // disable Nagle: the protocol is request/response
+
+// The result of a non-blocking read/write slice.
+enum class IoState { kOk, kWouldBlock, kEof, kError };
+
+struct IoResult {
+  IoState state = IoState::kOk;
+  size_t bytes = 0;  // transferred this call (kOk only)
+};
+
+IoResult ReadSome(int fd, char* buf, size_t len);
+IoResult WriteSome(int fd, const char* buf, size_t len);
+
+}  // namespace irdb::net

@@ -129,6 +129,55 @@ const Metrics& Metrics::Get() {
     m->pool_parallel_fors = r.RegisterCounter(
         "irdb_pool_parallel_fors_total", "ParallelFor invocations");
 
+    m->net_connections_accepted = r.RegisterCounter(
+        "irdb_net_connections_accepted_total",
+        "TCP connections accepted by the networked proxy front-end");
+    m->net_connections_active = r.RegisterGauge(
+        "irdb_net_connections_active",
+        "TCP connections currently open on the networked front-end");
+    m->net_sessions_active = r.RegisterGauge(
+        "irdb_net_sessions_active",
+        "Wire sessions currently open (sessions outlive TCP connections "
+        "until BYE or server stop)");
+    m->net_frames_in = r.RegisterCounter(
+        "irdb_net_frames_in_total",
+        "Complete request frames decoded from client sockets");
+    m->net_frames_out = r.RegisterCounter(
+        "irdb_net_frames_out_total",
+        "Reply frames enqueued to client outboxes");
+    m->net_bytes_in = r.RegisterCounter(
+        "irdb_net_bytes_in_total",
+        "Bytes read from client sockets", "bytes");
+    m->net_bytes_out = r.RegisterCounter(
+        "irdb_net_bytes_out_total",
+        "Bytes written to client sockets", "bytes");
+    m->net_requests = r.RegisterCounter(
+        "irdb_net_requests_total",
+        "Requests executed to completion by the executor pool (after a "
+        "clean drain, equals both frame counters)");
+    m->net_frame_latency = r.RegisterHistogram(
+        "irdb_net_frame_latency_ms",
+        "Frame service latency: request dispatched to the executor until "
+        "its reply frame is enqueued");
+    m->net_outbox_bytes = r.RegisterGauge(
+        "irdb_net_outbox_bytes",
+        "Queued reply bytes of the most recently flushed connection "
+        "(backpressure watermark input)", "bytes");
+    m->net_backpressure_stalls = r.RegisterCounter(
+        "irdb_net_backpressure_stalls_total",
+        "Read-side pauses because a connection's outbox crossed the high "
+        "watermark");
+    m->net_idle_disconnects = r.RegisterCounter(
+        "irdb_net_idle_disconnects_total",
+        "Connections closed by the idle-timeout sweep");
+    m->net_protocol_errors = r.RegisterCounter(
+        "irdb_net_protocol_errors_total",
+        "Corrupt/oversized frames and undecodable requests");
+    m->net_session_resets = r.RegisterCounter(
+        "irdb_net_session_resets_total",
+        "Connections that died on EOF/error or a poisoned frame stream "
+        "(their wire sessions survive for reconnects)");
+
     return m;
   }();
   return *metrics;
@@ -186,6 +235,12 @@ const std::vector<EventDoc>& EventCatalog() {
        "A dependency analysis completed."},
       {event::kRepairDone, "undone, stmts",
        "A selective undo completed."},
+      {event::kNetSessionReset, "conn",
+       "A TCP connection died on EOF, a socket error, or a poisoned frame "
+       "stream. Its wire session (and any open transaction) survives for a "
+       "reconnecting client."},
+      {event::kNetIdleDisconnect, "conn",
+       "The idle-timeout sweep closed a quiet TCP connection."},
   };
   return *catalog;
 }

@@ -66,6 +66,22 @@ struct Metrics {
   MetricId pool_workers;  // gauge
   MetricId pool_tasks;
   MetricId pool_parallel_fors;
+
+  // --- networked front-end (src/net) ---
+  MetricId net_connections_accepted;
+  MetricId net_connections_active;  // gauge
+  MetricId net_sessions_active;     // gauge
+  MetricId net_frames_in;
+  MetricId net_frames_out;
+  MetricId net_bytes_in;
+  MetricId net_bytes_out;
+  MetricId net_requests;
+  MetricId net_frame_latency;  // histogram, ms
+  MetricId net_outbox_bytes;   // gauge
+  MetricId net_backpressure_stalls;
+  MetricId net_idle_disconnects;
+  MetricId net_protocol_errors;
+  MetricId net_session_resets;
 };
 
 // Span names recorded through obs::Span, with one-line descriptions
@@ -107,6 +123,8 @@ inline constexpr const char* kProxyCacheInvalidation = "proxy.cache_invalidation
 inline constexpr const char* kWalTornTail = "wal.torn_tail";
 inline constexpr const char* kRepairAnalyzeDone = "repair.analyze_done";
 inline constexpr const char* kRepairDone = "repair.done";
+inline constexpr const char* kNetSessionReset = "net.session_reset";
+inline constexpr const char* kNetIdleDisconnect = "net.idle_disconnect";
 }  // namespace event
 
 // The full docs/metrics.md content: a reference table for every counter,

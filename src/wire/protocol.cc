@@ -205,6 +205,15 @@ Result<WireResponse> DecodeResponse(std::string_view bytes) {
       !ParseInt64(fields[4], &ncols) || !ParseInt64(fields[5], &nrows)) {
     return Status::InvalidArgument("bad OK header fields");
   }
+  // Hostile-header guard: the body must physically fit the remaining bytes
+  // (every column name / value line is at least one byte), so reject
+  // negative or inflated counts before any count-sized reserve can run.
+  const int64_t remaining = static_cast<int64_t>(rest.size());
+  if (ncols < 0 || nrows < 0 || ncols > remaining ||
+      (ncols > 0 && nrows > remaining / ncols) ||
+      (ncols == 0 && nrows > remaining)) {
+    return Status::InvalidArgument("OK header counts exceed body size");
+  }
   for (int64_t i = 0; i < ncols; ++i) {
     std::string_view line;
     if (!NextLine(&rest, &line)) {
@@ -227,6 +236,67 @@ Result<WireResponse> DecodeResponse(std::string_view bytes) {
     resp.result.rows.push_back(std::move(row));
   }
   return resp;
+}
+
+std::string EncodeFrame(std::string_view payload) {
+  IRDB_CHECK_MSG(payload.size() <= 0xffffffffull, "frame payload > 4 GiB");
+  const uint32_t len = static_cast<uint32_t>(payload.size());
+  std::string out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  out.push_back(static_cast<char>(kFrameMagic));
+  out.push_back(static_cast<char>(kFrameVersion));
+  out.push_back(static_cast<char>((len >> 24) & 0xff));
+  out.push_back(static_cast<char>((len >> 16) & 0xff));
+  out.push_back(static_cast<char>((len >> 8) & 0xff));
+  out.push_back(static_cast<char>(len & 0xff));
+  out.append(payload);
+  return out;
+}
+
+void FrameDecoder::Feed(std::string_view bytes) {
+  if (poisoned_) return;  // the stream is already condemned
+  // Compact the consumed prefix before growing, so a long-lived session's
+  // buffer stays proportional to the unconsumed tail.
+  if (pos_ > 0 && (pos_ >= buffer_.size() || pos_ > 64 * 1024)) {
+    buffer_.erase(0, pos_);
+    pos_ = 0;
+  }
+  buffer_.append(bytes);
+}
+
+Result<bool> FrameDecoder::Next(std::string* payload) {
+  if (poisoned_) return Status::InvalidArgument("frame stream is corrupt");
+  const size_t avail = buffer_.size() - pos_;
+  // Validate magic/version as soon as the first bytes arrive — a stray
+  // client is rejected before it can stream a whole bogus frame.
+  const auto* p = reinterpret_cast<const uint8_t*>(buffer_.data()) + pos_;
+  if (avail >= 1 && p[0] != kFrameMagic) {
+    poisoned_ = true;
+    return Status::InvalidArgument("bad frame magic");
+  }
+  if (avail >= 2 && p[1] != kFrameVersion) {
+    poisoned_ = true;
+    return Status::InvalidArgument("unsupported frame version");
+  }
+  if (avail < kFrameHeaderBytes) return false;
+  const uint64_t len = (static_cast<uint64_t>(p[2]) << 24) |
+                       (static_cast<uint64_t>(p[3]) << 16) |
+                       (static_cast<uint64_t>(p[4]) << 8) |
+                       static_cast<uint64_t>(p[5]);
+  // The length cap fires before any len-sized allocation: the oversized
+  // frame's body is never buffered past what already arrived.
+  if (len > max_frame_bytes_) {
+    poisoned_ = true;
+    return Status::InvalidArgument("frame exceeds max size (" +
+                                   std::to_string(len) + " > " +
+                                   std::to_string(max_frame_bytes_) + ")");
+  }
+  if (avail < kFrameHeaderBytes + len) return false;
+  // Exact-length consumption: precisely header + len bytes leave the
+  // buffer; anything after them is the next frame's prefix.
+  payload->assign(buffer_, pos_ + kFrameHeaderBytes, len);
+  pos_ += kFrameHeaderBytes + len;
+  return true;
 }
 
 }  // namespace irdb

@@ -7,6 +7,7 @@
 // statements inflate them, which is part of the measured overhead).
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 
@@ -39,5 +40,52 @@ Result<WireResponse> DecodeResponse(std::string_view bytes);
 // Single-value codecs (exposed for tests).
 std::string EncodeValue(const Value& v);
 Result<Value> DecodeValue(std::string_view token);
+
+// --- frame layer -----------------------------------------------------------
+//
+// When requests/responses cross a real byte stream (src/net), each message
+// is wrapped in a length-prefixed frame:
+//
+//   [magic 0xDB] [version 0x01] [length u32 big-endian] [payload]
+//
+// The magic/version pair rejects stray traffic (someone pointing a browser
+// at the port) before any allocation, and the length field is validated
+// against a hard cap so a hostile 4 GiB header cannot balloon memory. The
+// in-process LoopbackChannel keeps passing whole payloads — framing is a
+// transport concern, not a protocol one.
+
+inline constexpr uint8_t kFrameMagic = 0xDB;
+inline constexpr uint8_t kFrameVersion = 0x01;
+inline constexpr size_t kFrameHeaderBytes = 6;
+inline constexpr size_t kDefaultMaxFrameBytes = 8 * 1024 * 1024;
+
+std::string EncodeFrame(std::string_view payload);
+
+// Incremental frame parser for a receive stream. Feed() appends raw bytes;
+// Next() pops complete payloads one at a time, consuming exactly
+// header + length bytes per frame (trailing partial frames stay buffered).
+// A magic/version mismatch or an over-limit length poisons the decoder:
+// every later call returns kInvalidArgument and the connection must be
+// dropped (there is no way to resynchronize a corrupt length-prefixed
+// stream).
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(size_t max_frame_bytes = kDefaultMaxFrameBytes)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  void Feed(std::string_view bytes);
+
+  // true: one payload popped into *payload. false: need more bytes.
+  Result<bool> Next(std::string* payload);
+
+  size_t buffered_bytes() const { return buffer_.size() - pos_; }
+  bool poisoned() const { return poisoned_; }
+
+ private:
+  std::string buffer_;
+  size_t pos_ = 0;  // consumed prefix of buffer_, compacted opportunistically
+  size_t max_frame_bytes_;
+  bool poisoned_ = false;
+};
 
 }  // namespace irdb

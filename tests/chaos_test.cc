@@ -32,6 +32,8 @@
 
 #include "engine/database.h"
 #include "engine/recovery.h"
+#include "net/net_client.h"
+#include "net/net_server.h"
 #include "obs/catalog.h"
 #include "obs/journal.h"
 #include "proxy/tracking_proxy.h"
@@ -121,12 +123,17 @@ struct FaultProfile {
   double wire_mult;
   double engine_mult;
   double commit_mult;
+  double net_mult;  // scales socket-reset injection in the TCP iterations
 };
 
 constexpr FaultProfile kProfiles[] = {
-    {"default", 1.0, 1.0, 1.0},
-    {"wire-heavy", 4.0, 2.0, 0.5},
-    {"commit-heavy", 0.5, 0.5, 3.0},
+    {"default", 1.0, 1.0, 1.0, 1.0},
+    {"wire-heavy", 4.0, 2.0, 0.5, 1.0},
+    {"commit-heavy", 0.5, 0.5, 3.0, 1.0},
+    // Shifts chaos onto the real-socket transport: frequent connection
+    // resets mid-transaction, exercising reconnect + the degraded-commit
+    // path over TCP (tests/net_test.cc covers the deterministic variant).
+    {"net-reset", 0.0, 0.5, 0.5, 4.0},
 };
 
 FaultProfile g_profile = kProfiles[0];
@@ -344,6 +351,106 @@ void RunTpccChaosIteration(int iter) {
 }
 
 // ---------------------------------------------------------------------------
+// Part 1b: the same TPC-C mix over a REAL socket — engine -> NetProxyServer
+// -> TCP -> TcpChannel -> remote client -> client-side tracking proxy —
+// under injected connection resets ("net.roundtrip.send" tears the socket
+// down before the frame is written, so a reset request never executed).
+// The remote layer runs with RetryPolicy::None(): the tracking proxy's own
+// bounded retry is the only layer riding through resets, which is exactly
+// the PR 2 degraded-commit contract carried onto real connections.
+
+struct NetChaosStack {
+  explicit NetChaosStack(proxy::DegradedMode mode) : db(FlavorTraits::Postgres()) {
+    net::NetServerOptions sopts;
+    sopts.track = false;  // tracking lives on the client in this deployment
+    server = std::make_unique<net::NetProxyServer>(&db, &alloc, sopts);
+    IRDB_CHECK(server->Start().ok());
+    net::TcpChannelOptions copts;
+    copts.port = server->port();
+    channel = std::make_unique<net::TcpChannel>(copts);
+    auto remote_or = RemoteConnection::Connect(channel.get(), RetryPolicy::None());
+    IRDB_CHECK(remote_or.ok());
+    remote = std::move(remote_or).value();
+    proxy = std::make_unique<proxy::TrackingProxy>(remote.get(), &alloc,
+                                                   FlavorTraits::Postgres());
+    proxy->set_degraded_mode(mode);
+    IRDB_CHECK(proxy->EnsureTrackingTables().ok());
+  }
+
+  void Quiesce() {
+    fail::Registry::Instance().DisarmAll();
+    (void)remote->Execute("ROLLBACK");
+    g_dropped_round_trips += channel->dropped_round_trips();
+    g_retries += proxy->stats().retries + remote->retries();
+    g_injected += proxy->stats().injected_faults_hit;
+    g_degraded_commits += proxy->stats().degraded_commits;
+    g_gap_txns += proxy->stats().tracking_gap_txns;
+  }
+
+  // Declaration order doubles as the teardown contract: the proxy and the
+  // remote (whose parting BYE still needs the channel and the server) go
+  // first, the server stops before the database dies.
+  Database db;
+  proxy::TxnIdAllocator alloc;
+  std::unique_ptr<net::NetProxyServer> server;
+  std::unique_ptr<net::TcpChannel> channel;
+  std::unique_ptr<RemoteConnection> remote;
+  std::unique_ptr<proxy::TrackingProxy> proxy;
+};
+
+void RunNetChaosIteration(int iter) {
+  auto& reg = fail::Registry::Instance();
+  reg.DisarmAll();
+  reg.ResetStats();
+  reg.Seed(g_seed * 7778777 + static_cast<uint64_t>(iter));
+  const proxy::DegradedMode mode = (iter % 2 == 0)
+                                       ? proxy::DegradedMode::kAbort
+                                       : proxy::DegradedMode::kCommitUntracked;
+  NetChaosStack s(mode);
+
+  tpcc::TpccConfig cfg;
+  cfg.warehouses = 1;
+  cfg.districts_per_warehouse = 2;
+  cfg.customers_per_district = 6;
+  cfg.items = 20;
+  cfg.orders_per_district = 6;
+  cfg.seed = g_seed + 31 * static_cast<uint64_t>(iter);
+  auto load = tpcc::LoadDatabase(s.proxy.get(), cfg);
+  Require(load.ok(), "TPC-C load over TCP: " + load.status().ToString());
+
+  DirectConnection admin(&s.db);
+  const std::set<int64_t> baseline = TransDepIds(&admin);
+
+  ShadowConnection shadow(s.proxy.get());
+  tpcc::TpccDriver driver(&shadow, cfg, g_seed + 53 * static_cast<uint64_t>(iter));
+
+  reg.Arm(net::kSendFailpoint,
+          fail::Trigger::Probability(0.05 * g_profile.net_mult));
+  int ok_txns = 0, failed_txns = 0;
+  for (int t = 0; t < 30; ++t) {
+    auto r = driver.RunMixed();
+    if (r.ok()) {
+      ++ok_txns;
+    } else {
+      ++failed_txns;
+    }
+  }
+  const int64_t drops = s.channel->dropped_round_trips();
+  s.Quiesce();
+
+  CheckTrackingCompleteness(&admin, shadow.committed, baseline, mode);
+  CheckWalDurability(s.db);
+
+  std::printf("chaos: net  iter %2d mode=%s ok=%d failed=%d tracked=%zu "
+              "resets=%lld reconnects=%lld gaps=%lld\n",
+              iter, mode == proxy::DegradedMode::kAbort ? "abort" : "degrade",
+              ok_txns, failed_txns, shadow.committed.size(),
+              static_cast<long long>(drops),
+              static_cast<long long>(s.channel->reconnects()),
+              static_cast<long long>(s.proxy->stats().tracking_gap_txns));
+}
+
+// ---------------------------------------------------------------------------
 // Part 2: deterministic account scripts -> atomicity + repair soundness.
 
 constexpr size_t kAttackIndex = 4;
@@ -518,7 +625,7 @@ int ChaosMain(int argc, char** argv) {
       env != nullptr && *env != '\0') {
     seed = std::strtoull(env, nullptr, 10);
   }
-  int tpcc_iters = 13, repair_iters = 13;
+  int tpcc_iters = 13, repair_iters = 13, net_iters = 5;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--seed=", 7) == 0) {
       seed = std::strtoull(argv[i] + 7, nullptr, 10);
@@ -526,6 +633,8 @@ int ChaosMain(int argc, char** argv) {
       tpcc_iters = std::atoi(argv[i] + 13);
     } else if (std::strncmp(argv[i], "--repair-iters=", 15) == 0) {
       repair_iters = std::atoi(argv[i] + 15);
+    } else if (std::strncmp(argv[i], "--net-iters=", 12) == 0) {
+      net_iters = std::atoi(argv[i] + 12);
     } else if (std::strncmp(argv[i], "--profile=", 10) == 0) {
       const char* want = argv[i] + 10;
       bool found = false;
@@ -537,24 +646,26 @@ int ChaosMain(int argc, char** argv) {
       }
       if (!found) {
         std::fprintf(stderr, "unknown profile '%s' (default, wire-heavy, "
-                             "commit-heavy)\n", want);
+                             "commit-heavy, net-reset)\n", want);
         return 2;
       }
     } else {
       std::fprintf(stderr,
                    "usage: %s [--seed=N] [--profile=NAME] [--tpcc-iters=N] "
-                   "[--repair-iters=N]\n"
+                   "[--repair-iters=N] [--net-iters=N]\n"
                    "  (IRDB_CHAOS_SEED is honored when --seed is absent)\n",
                    argv[0]);
       return 2;
     }
   }
   g_seed = seed;
-  std::printf("chaos: seed=%llu profile=%s tpcc_iters=%d repair_iters=%d\n",
+  std::printf("chaos: seed=%llu profile=%s tpcc_iters=%d repair_iters=%d "
+              "net_iters=%d\n",
               static_cast<unsigned long long>(seed), g_profile.name,
-              tpcc_iters, repair_iters);
+              tpcc_iters, repair_iters, net_iters);
 
   for (int i = 0; i < tpcc_iters; ++i) RunTpccChaosIteration(i);
+  for (int i = 0; i < net_iters; ++i) RunNetChaosIteration(i);
   for (int i = 0; i < repair_iters; ++i) RunRepairChaosIteration(i);
 
   Require(g_dropped_round_trips + g_injected > 0,

@@ -1,0 +1,224 @@
+// irdb_loadgen — multi-threaded TPC-C load driver for the networked
+// front-end: N worker threads, one real TCP connection each, running the
+// paper's transaction mix against a NetProxyServer.
+//
+// Two modes:
+//   self-host (default): starts a tracked NetProxyServer over a fresh
+//     engine, loads TPC-C through the first connection, then drives the
+//     mix. Prints client-side throughput, the server's transport counters
+//     (with the frames_in == frames_out == requests_served accounting
+//     check), and the aggregated tracking-proxy stats.
+//   --port=P [--host=H]: drives an already-running server (no load phase,
+//     no server-side stats) — point it at another process's ServeTcp.
+//
+// Flags:
+//   --connections=N   worker threads / TCP connections       (default 4)
+//   --txns=N          mix transactions per connection        (default 50)
+//   --mix=rw|ro       read/write mix or Stock-Level only     (default rw)
+//   --warehouses=N    TPC-C scale for self-host load         (default 2)
+//   --rtt-ms=F        emulated link RTT per round trip       (default 0)
+//   --seed=N          workload seed                          (default 42)
+//   --no-track        self-host without server-side tracking
+//   --no-annot        skip per-transaction annot labels
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/database.h"
+#include "net/net_client.h"
+#include "net/net_server.h"
+#include "tpcc/loader.h"
+#include "tpcc/workload.h"
+#include "util/stopwatch.h"
+
+namespace irdb {
+namespace {
+
+struct WorkerTally {
+  int64_t ok = 0;
+  int64_t failed = 0;
+  std::string first_error;
+};
+
+int Main(int argc, char** argv) {
+  int connections = 4;
+  int txns = 50;
+  int warehouses = 2;
+  double rtt_ms = 0.0;
+  uint64_t seed = 42;
+  uint16_t port = 0;
+  std::string host = "127.0.0.1";
+  bool track = true;
+  bool annotate = true;
+  bool read_only = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--connections=", 14) == 0) {
+      connections = std::atoi(argv[i] + 14);
+    } else if (std::strncmp(argv[i], "--txns=", 7) == 0) {
+      txns = std::atoi(argv[i] + 7);
+    } else if (std::strncmp(argv[i], "--warehouses=", 13) == 0) {
+      warehouses = std::atoi(argv[i] + 13);
+    } else if (std::strncmp(argv[i], "--rtt-ms=", 9) == 0) {
+      rtt_ms = std::atof(argv[i] + 9);
+    } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+      seed = std::strtoull(argv[i] + 7, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--port=", 7) == 0) {
+      port = static_cast<uint16_t>(std::atoi(argv[i] + 7));
+    } else if (std::strncmp(argv[i], "--host=", 7) == 0) {
+      host = argv[i] + 7;
+    } else if (std::strcmp(argv[i], "--no-track") == 0) {
+      track = false;
+    } else if (std::strcmp(argv[i], "--no-annot") == 0) {
+      annotate = false;
+    } else if (std::strncmp(argv[i], "--mix=", 6) == 0) {
+      read_only = std::strcmp(argv[i] + 6, "ro") == 0;
+    } else {
+      std::fprintf(
+          stderr,
+          "usage: %s [--connections=N] [--txns=N] [--mix=rw|ro]\n"
+          "          [--warehouses=N] [--rtt-ms=F] [--seed=N]\n"
+          "          [--port=P [--host=H]] [--no-track] [--no-annot]\n",
+          argv[0]);
+      return 2;
+    }
+  }
+
+  tpcc::TpccConfig cfg;
+  cfg.warehouses = warehouses;
+  cfg.districts_per_warehouse = 2;
+  cfg.customers_per_district = 8;
+  cfg.items = 40;
+  cfg.orders_per_district = 8;
+  cfg.seed = seed;
+
+  // Self-host unless the caller pointed us at an existing server.
+  std::unique_ptr<Database> db;
+  proxy::TxnIdAllocator alloc;
+  std::unique_ptr<net::NetProxyServer> server;
+  if (port == 0) {
+    db = std::make_unique<Database>(FlavorTraits::Postgres());
+    net::NetServerOptions sopts;
+    sopts.track = track;
+    sopts.exec_threads = 8;
+    server = std::make_unique<net::NetProxyServer>(db.get(), &alloc, sopts);
+    if (Status s = server->Start(); !s.ok()) {
+      std::fprintf(stderr, "server start: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    if (Status s = server->Bootstrap(); !s.ok()) {
+      std::fprintf(stderr, "server bootstrap: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    port = server->port();
+
+    net::TcpChannelOptions copts;
+    copts.host = host;
+    copts.port = port;
+    auto loader = net::NetClient::Dial(copts);
+    if (!loader.ok()) {
+      std::fprintf(stderr, "dial: %s\n", loader.status().ToString().c_str());
+      return 1;
+    }
+    Stopwatch load_sw;
+    if (auto s = tpcc::LoadDatabase(&(*loader)->connection(), cfg); !s.ok()) {
+      std::fprintf(stderr, "tpcc load: %s\n", s.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("loadgen: self-hosted on port %u (%s), TPC-C W=%d loaded in "
+                "%.2fs\n",
+                port, track ? "tracked" : "untracked", cfg.warehouses,
+                load_sw.ElapsedSeconds());
+  } else {
+    std::printf("loadgen: driving %s:%u (assumed loaded)\n", host.c_str(),
+                port);
+  }
+
+  std::vector<WorkerTally> tallies(static_cast<size_t>(connections));
+  std::vector<std::thread> workers;
+  Stopwatch sw;
+  for (int w = 0; w < connections; ++w) {
+    workers.emplace_back([&, w] {
+      WorkerTally& tally = tallies[static_cast<size_t>(w)];
+      net::TcpChannelOptions copts;
+      copts.host = host;
+      copts.port = port;
+      copts.simulated_rtt_seconds = rtt_ms * 1e-3;
+      auto client = net::NetClient::Dial(copts);
+      if (!client.ok()) {
+        tally.failed = txns;
+        tally.first_error = client.status().ToString();
+        return;
+      }
+      tpcc::TpccDriver driver(&(*client)->connection(), cfg,
+                              seed + 1000003 * static_cast<uint64_t>(w) + 1);
+      driver.set_annotations(annotate);
+      for (int t = 0; t < txns; ++t) {
+        auto r = read_only ? driver.StockLevel() : driver.RunMixed();
+        if (r.ok()) {
+          ++tally.ok;
+        } else {
+          ++tally.failed;
+          if (tally.first_error.empty()) {
+            tally.first_error = r.status().ToString();
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+  const double wall = sw.ElapsedSeconds();
+
+  int64_t ok = 0, failed = 0;
+  for (const WorkerTally& t : tallies) {
+    ok += t.ok;
+    failed += t.failed;
+    if (!t.first_error.empty()) {
+      std::fprintf(stderr, "loadgen: worker error: %s\n",
+                   t.first_error.c_str());
+    }
+  }
+  std::printf("loadgen: %d conns x %d txns (%s): %lld ok, %lld failed, "
+              "%.2fs wall, %.0f txn/s\n",
+              connections, txns, read_only ? "ro" : "rw",
+              static_cast<long long>(ok), static_cast<long long>(failed), wall,
+              static_cast<double>(ok) / wall);
+
+  int rc = failed == 0 ? 0 : 1;
+  if (server != nullptr) {
+    const proxy::ProxyStats ps = server->ProxyStatsSnapshot();
+    server->Stop();
+    const net::NetServerStats s = server->stats();
+    std::printf("loadgen: server frames in/out/served=%lld/%lld/%lld "
+                "conns=%lld resets=%lld stalls=%lld\n",
+                static_cast<long long>(s.frames_in),
+                static_cast<long long>(s.frames_out),
+                static_cast<long long>(s.requests_served),
+                static_cast<long long>(s.connections_accepted),
+                static_cast<long long>(s.resets),
+                static_cast<long long>(s.backpressure_stalls));
+    if (track) {
+      std::printf("loadgen: tracking client_stmts=%lld backend_stmts=%lld "
+                  "deps=%lld degraded=%lld gaps=%lld\n",
+                  static_cast<long long>(ps.client_statements),
+                  static_cast<long long>(ps.backend_statements),
+                  static_cast<long long>(ps.deps_recorded),
+                  static_cast<long long>(ps.degraded_commits),
+                  static_cast<long long>(ps.tracking_gap_txns));
+    }
+    if (s.frames_in != s.frames_out || s.frames_in != s.requests_served) {
+      std::fprintf(stderr, "loadgen: ACCOUNTING MISMATCH after clean drain\n");
+      rc = 1;
+    }
+  }
+  return rc;
+}
+
+}  // namespace
+}  // namespace irdb
+
+int main(int argc, char** argv) { return irdb::Main(argc, argv); }

@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Builds and runs the networked front-end throughput bench (connection sweep
+# over an emulated LAN link), leaving BENCH_net.json in the repo root (or $1
+# if given). Usage: tools/run_bench_net.sh [out.json]
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+out="${1:-$repo/BENCH_net.json}"
+
+cmake -B "$repo/build" -S "$repo" >/dev/null
+cmake --build "$repo/build" --target bench_net_throughput -j >/dev/null
+
+"$repo/build/bench/bench_net_throughput" --out="$out"

@@ -1,13 +1,16 @@
 #!/usr/bin/env bash
 # Chaos soak: runs the seeded fault-injection harness across N seeds and
-# every fault profile, in both the regular build and an AddressSanitizer
-# build, failing on the first invariant violation (the harness prints the
-# seed so any failure replays exactly). A third, ThreadSanitizer build
-# (-DIRDB_SANITIZE=thread) then runs the `parallel` ctest label — the
-# parallel repair pipeline's determinism and equivalence tests plus the
-# sharded metrics-registry hammer (obs_test) — so data races in the worker
-# pool, segmented scan, sharded closure, batched compensation, or the
-# shard-per-thread registry surface here rather than in production repairs.
+# every fault profile (including net-reset, which tears down real TCP
+# connections mid-transaction), in both the regular build and an
+# AddressSanitizer build, failing on the first invariant violation (the
+# harness prints the seed so any failure replays exactly). A third,
+# ThreadSanitizer build (-DIRDB_SANITIZE=thread) then runs the `parallel`
+# and `net` ctest labels — the parallel repair pipeline's determinism and
+# equivalence tests, the sharded metrics-registry hammer (obs_test), and the
+# networked front-end's concurrent-session suite (net_test) — so data races
+# in the worker pool, segmented scan, sharded closure, batched compensation,
+# the shard-per-thread registry, or the event-loop/executor handoff surface
+# here rather than in production.
 #
 # Usage: tools/run_chaos.sh [num_seeds] [base_seed]
 #   num_seeds  seeds per profile per config (default 5)
@@ -18,7 +21,7 @@ set -euo pipefail
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 num_seeds="${1:-5}"
 base_seed="${2:-20260805}"
-profiles=(default wire-heavy commit-heavy)
+profiles=(default wire-heavy commit-heavy net-reset)
 
 run_config() {
   local build_dir="$1"; shift
@@ -38,9 +41,9 @@ run_config() {
 run_config "$repo/build" "plain"
 run_config "$repo/build-asan" "asan" -DIRDB_SANITIZE=address
 
-echo "[tsan] parallel repair tests under ThreadSanitizer"
+echo "[tsan] parallel repair + networked front-end tests under ThreadSanitizer"
 cmake -B "$repo/build-tsan" -S "$repo" -DIRDB_SANITIZE=thread >/dev/null
-cmake --build "$repo/build-tsan" --target parallel_repair_test obs_test -j >/dev/null
-(cd "$repo/build-tsan" && ctest -L parallel --output-on-failure)
+cmake --build "$repo/build-tsan" --target parallel_repair_test obs_test net_test -j >/dev/null
+(cd "$repo/build-tsan" && ctest -L 'parallel|net' --output-on-failure)
 
-echo "chaos soak passed: ${#profiles[@]} profiles x $num_seeds seeds x 2 configs + tsan parallel suite"
+echo "chaos soak passed: ${#profiles[@]} profiles x $num_seeds seeds x 2 configs + tsan parallel/net suites"
