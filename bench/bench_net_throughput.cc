@@ -16,6 +16,11 @@
 //
 // Flags: --rounds=N (statements per connection, default 500),
 //        --rtt-ms=F (emulated link RTT, default 1.0), --out=PATH.
+//
+// --rtt-ms=0 removes the link delay entirely: the sweep then measures the
+// engine side — how far the lock manager lets concurrent sessions scale
+// once the transport stops being the bottleneck (bench_concurrency runs
+// that configuration against the serial-mode baseline).
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
@@ -85,9 +90,9 @@ Result<SweepPoint> MeasurePoint(int connections, int rounds, double rtt_ms) {
   net::NetServerOptions sopts;
   sopts.exec_threads = 8;
   // Transport bench: raw engine sessions. Tracking adds per-statement proxy
-  // work that is serialized under the engine's global mutex and would
-  // measure the proxy, not the event loop (bench_tracking_overhead covers
-  // the proxy's cost).
+  // work that would measure the proxy, not the event loop
+  // (bench_tracking_overhead covers the proxy's cost; bench_concurrency
+  // runs the tracked engine-side sweep).
   sopts.track = false;
   net::NetProxyServer server(&db, &alloc, sopts);
   IRDB_RETURN_IF_ERROR(server.Start());
@@ -205,6 +210,7 @@ int Main(int argc, char** argv) {
   std::fprintf(out, "{\n  \"bench\": \"net_throughput\",\n");
   std::fprintf(out, "  \"rounds_per_connection\": %d,\n", rounds);
   std::fprintf(out, "  \"link_rtt_ms\": %.3f,\n", rtt_ms);
+  std::fprintf(out, "  \"rtt_seconds\": %.6f,\n", rtt_ms * 1e-3);
   std::fprintf(out, "  \"sweep\": [\n");
   for (size_t i = 0; i < points.size(); ++i) {
     const SweepPoint& p = points[i];

@@ -1,6 +1,7 @@
 #include "engine/database.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "obs/catalog.h"
 #include "sql/parser.h"
@@ -10,26 +11,100 @@
 
 namespace irdb {
 
+namespace {
+
+Status PoisonedTxnError() {
+  return Status::FailedPrecondition(
+      "transaction aborted by deadlock; issue ROLLBACK before continuing");
+}
+
+// True if the expression reads any column (i.e. is not evaluable against an
+// empty binding). Used by the lock planner to decide whether a key value is
+// known before execution.
+bool ExprHasColumnRef(const sql::Expr& e) {
+  if (e.kind == sql::ExprKind::kColumnRef) return true;
+  if (e.lhs && ExprHasColumnRef(*e.lhs)) return true;
+  if (e.rhs && ExprHasColumnRef(*e.rhs)) return true;
+  if (e.low && ExprHasColumnRef(*e.low)) return true;
+  if (e.high && ExprHasColumnRef(*e.high)) return true;
+  for (const auto& child : e.list) {
+    if (child && ExprHasColumnRef(*child)) return true;
+  }
+  return false;
+}
+
+// Collects `col = <column-free expr>` bindings from the AND-conjuncts of
+// `where`, keyed by lower-cased column name. Qualifiers that name another
+// table disqualify the conjunct; the first binding per column wins.
+void CollectKeyEqExprs(
+    const sql::Expr* where, const std::string& table_name,
+    std::unordered_map<std::string, const sql::Expr*>* out) {
+  if (where == nullptr || where->kind != sql::ExprKind::kBinary) return;
+  if (where->bin_op == sql::BinaryOp::kAnd) {
+    CollectKeyEqExprs(where->lhs.get(), table_name, out);
+    CollectKeyEqExprs(where->rhs.get(), table_name, out);
+    return;
+  }
+  if (where->bin_op != sql::BinaryOp::kEq) return;
+  const sql::Expr* col = nullptr;
+  const sql::Expr* val = nullptr;
+  for (int flip = 0; flip < 2; ++flip) {
+    const sql::Expr* a = flip == 0 ? where->lhs.get() : where->rhs.get();
+    const sql::Expr* b = flip == 0 ? where->rhs.get() : where->lhs.get();
+    if (a != nullptr && a->kind == sql::ExprKind::kColumnRef && b != nullptr &&
+        !ExprHasColumnRef(*b)) {
+      col = a;
+      val = b;
+      break;
+    }
+  }
+  if (col == nullptr) return;
+  if (!col->table.empty() && !EqualsIgnoreCase(col->table, table_name)) return;
+  out->emplace(ToLowerAscii(col->column), val);
+}
+
+}  // namespace
+
 Database::Database(FlavorTraits traits, IoCostParams io_params)
     : traits_(std::move(traits)), io_model_(io_params) {
-  sessions_[0] = Session{};  // convenience session
+  sessions_[0] = std::make_shared<Session>();  // convenience session
 }
 
 Database::~Database() = default;
 
 int64_t Database::OpenSession() {
-  std::lock_guard<std::mutex> lock(mu_);
-  int64_t id = next_session_id_++;
-  sessions_[id] = Session{};
+  const int64_t id = next_session_id_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  sessions_[id] = std::make_shared<Session>();
   return id;
 }
 
 void Database::CloseSession(int64_t session_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_ptr<Session> sp;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    auto it = sessions_.find(session_id);
+    if (it == sessions_.end()) return;
+    sp = it->second;
+    sessions_.erase(it);
+  }
+  if (serial_mode_) {
+    std::lock_guard<std::mutex> global(serial_mu_);
+    if (sp->in_txn) (void)RollbackTxn(*sp);  // abandon open work
+    return;
+  }
+  std::lock_guard<std::mutex> session_lock(sp->mu);
+  if (sp->in_txn) {
+    (void)RollbackTxnConcurrent(*sp);
+    txn_mgr_.Abort(sp->txn_id);
+  }
+  sp->poisoned = false;
+}
+
+std::shared_ptr<Database::Session> Database::FindSession(int64_t session_id) {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
   auto it = sessions_.find(session_id);
-  if (it == sessions_.end()) return;
-  if (it->second.in_txn) RollbackTxn(it->second);  // abandon open work
-  sessions_.erase(it);
+  return it == sessions_.end() ? nullptr : it->second;
 }
 
 Result<ResultSet> Database::Execute(int64_t session_id, std::string_view sql_text) {
@@ -40,73 +115,181 @@ Result<ResultSet> Database::Execute(int64_t session_id, std::string_view sql_tex
 
 Result<ResultSet> Database::ExecuteParsed(int64_t session_id,
                                           const sql::Statement& stmt) {
-  std::lock_guard<std::mutex> lock(mu_);
   // Injected before any state change: a triggered fault behaves like a
   // statement that never arrived, so retrying it is always safe.
   if (fail::Triggered("engine.execute")) return fail::Inject("engine.execute");
-  auto it = sessions_.find(session_id);
-  if (it == sessions_.end()) {
+  std::shared_ptr<Session> sp = FindSession(session_id);
+  if (sp == nullptr) {
     return Status::InvalidArgument("unknown session " + std::to_string(session_id));
   }
-  Session& s = it->second;
-  ++stats_.statements;
+  if (serial_mode_) {
+    std::lock_guard<std::mutex> global(serial_mu_);
+    return StatementOnSession(*sp, stmt, /*concurrent=*/false);
+  }
+  std::lock_guard<std::mutex> session_lock(sp->mu);
+  return StatementOnSession(*sp, stmt, /*concurrent=*/true);
+}
+
+Result<ResultSet> Database::StatementOnSession(Session& s,
+                                               const sql::Statement& stmt,
+                                               bool concurrent) {
+  stats_.statements.fetch_add(1, std::memory_order_relaxed);
   io_model_.AccountStatement();
 
   switch (stmt.kind) {
     case sql::StatementKind::kBegin:
       if (s.in_txn) return Status::FailedPrecondition("transaction already open");
+      s.poisoned = false;  // starting fresh acknowledges a prior abort
       BeginTxn(s);
+      if (concurrent) txn_mgr_.Begin(s.txn_id);
       return ResultSet{};
     case sql::StatementKind::kCommit: {
+      if (s.poisoned) {
+        // The transaction is already gone; report the abort once.
+        s.poisoned = false;
+        return Status::Aborted(
+            "[deadlock] transaction was aborted by deadlock and rolled back");
+      }
       if (!s.in_txn) return Status::FailedPrecondition("no open transaction");
       CommitTxn(s);
+      if (concurrent) txn_mgr_.Commit(s.txn_id);
       return ResultSet{};
     }
     case sql::StatementKind::kRollback: {
+      if (s.poisoned) {
+        s.poisoned = false;  // acknowledged; nothing left to undo
+        return ResultSet{};
+      }
       if (!s.in_txn) return Status::FailedPrecondition("no open transaction");
-      IRDB_RETURN_IF_ERROR(RollbackTxn(s));
+      Status rb = concurrent ? RollbackTxnConcurrent(s) : RollbackTxn(s);
+      if (concurrent) txn_mgr_.Abort(s.txn_id);
+      IRDB_RETURN_IF_ERROR(rb);
       return ResultSet{};
     }
     case sql::StatementKind::kCreateTable:
+      if (s.poisoned) return PoisonedTxnError();
+      if (concurrent) {
+        std::unique_lock<std::shared_mutex> ddl(catalog_latch_);
+        return ExecCreateTable(stmt);
+      }
       return ExecCreateTable(stmt);
     case sql::StatementKind::kDropTable:
+      if (s.poisoned) return PoisonedTxnError();
+      if (concurrent) {
+        std::unique_lock<std::shared_mutex> ddl(catalog_latch_);
+        return ExecDropTable(stmt);
+      }
       return ExecDropTable(stmt);
     default:
       break;
   }
 
+  if (s.poisoned) return PoisonedTxnError();
+
   // DML / SELECT: autocommit when no transaction is open.
   const bool autocommit = !s.in_txn;
-  if (autocommit) BeginTxn(s);
-  Result<ResultSet> result = Dispatch(s, stmt);
-  if (result.ok()) {
-    if (autocommit) CommitTxn(s);
+
+  if (!concurrent) {
+    if (autocommit) BeginTxn(s);
+    Result<ResultSet> result = Dispatch(s, stmt);
+    if (result.ok()) {
+      if (autocommit) CommitTxn(s);
+      return result;
+    }
+    // A failed statement aborts the enclosing transaction (statement-level
+    // atomicity is not implemented; the whole transaction is undone instead,
+    // like PostgreSQL's abort-until-rollback behaviour collapsed into one
+    // step).
+    (void)RollbackTxn(s);
     return result;
   }
-  // A failed statement aborts the enclosing transaction (statement-level
-  // atomicity is not implemented; the whole transaction is undone instead,
-  // like PostgreSQL's abort-until-rollback behaviour collapsed into one step).
-  RollbackTxn(s);
+
+  // Concurrent path: derive the lock plan under the shared catalog latch,
+  // release it, then block on the 2PL locks (never wait on a lock while
+  // holding any latch), then execute under per-table latches.
+  std::vector<LockPlanEntry> plan;
+  {
+    std::shared_lock<std::shared_mutex> cat(catalog_latch_);
+    PlanStatementLocks(stmt, &plan);
+  }
+  if (autocommit) {
+    BeginTxn(s);
+    txn_mgr_.Begin(s.txn_id);
+  }
+  if (Status locked = AcquirePlanLocks(s.txn_id, plan); !locked.ok()) {
+    // This transaction is the deadlock victim: undo everything it has done
+    // (no effects from *this* statement exist yet — locks come first),
+    // release its locks, and surface the tagged abort. For autocommit the
+    // statement was the whole transaction, so retrying it is safe and the
+    // tag is widened to the retryable form; an explicit transaction's
+    // client must acknowledge the abort with ROLLBACK before continuing.
+    stats_.deadlock_aborts.fetch_add(1, std::memory_order_relaxed);
+    Status rb = RollbackTxnConcurrent(s);
+    txn_mgr_.Abort(s.txn_id);
+    IRDB_RETURN_IF_ERROR(rb);
+    if (autocommit) {
+      return Status::Aborted(std::string(kRetryableAbortTag) + " " +
+                             locked.message());
+    }
+    s.poisoned = true;
+    return locked;
+  }
+  Result<ResultSet> result = DispatchConcurrent(s, stmt);
+  if (result.ok()) {
+    if (autocommit) {
+      CommitTxn(s);
+      txn_mgr_.Commit(s.txn_id);
+    }
+    return result;
+  }
+  (void)RollbackTxnConcurrent(s);
+  txn_mgr_.Abort(s.txn_id);
   return result;
 }
 
 Result<ResultSet> Database::Dispatch(Session& s, const sql::Statement& stmt) {
   switch (stmt.kind) {
     case sql::StatementKind::kSelect:
-      ++stats_.selects;
+      stats_.selects.fetch_add(1, std::memory_order_relaxed);
       return ExecSelect(s, stmt);
     case sql::StatementKind::kInsert:
-      ++stats_.inserts;
+      stats_.inserts.fetch_add(1, std::memory_order_relaxed);
       return ExecInsert(s, stmt);
     case sql::StatementKind::kUpdate:
-      ++stats_.updates;
+      stats_.updates.fetch_add(1, std::memory_order_relaxed);
       return ExecUpdate(s, stmt);
     case sql::StatementKind::kDelete:
-      ++stats_.deletes;
+      stats_.deletes.fetch_add(1, std::memory_order_relaxed);
       return ExecDelete(s, stmt);
     default:
       return Status::Internal("Dispatch: unexpected statement kind");
   }
+}
+
+Result<ResultSet> Database::DispatchConcurrent(Session& s,
+                                               const sql::Statement& stmt) {
+  std::shared_lock<std::shared_mutex> cat(catalog_latch_);
+  if (stmt.kind == sql::StatementKind::kSelect) {
+    // Shared latches on every resolvable FROM table, in table-id order.
+    std::vector<std::pair<int32_t, HeapTable*>> tabs;
+    for (const sql::TableRef& tr : stmt.from) {
+      HeapTable* t = catalog_.Find(tr.name);
+      if (t == nullptr) continue;  // executor reports the missing table
+      auto id = catalog_.TableId(tr.name);
+      if (id.ok()) tabs.emplace_back(*id, t);
+    }
+    std::sort(tabs.begin(), tabs.end());
+    tabs.erase(std::unique(tabs.begin(), tabs.end()), tabs.end());
+    std::vector<std::shared_lock<std::shared_mutex>> latches;
+    latches.reserve(tabs.size());
+    for (auto& [id, t] : tabs) latches.emplace_back(t->latch());
+    return Dispatch(s, stmt);
+  }
+  // DML targets one table: exclusive latch for the statement's duration.
+  HeapTable* t = catalog_.Find(stmt.table);
+  if (t == nullptr) return Dispatch(s, stmt);  // error path
+  std::unique_lock<std::shared_mutex> latch(t->latch());
+  return Dispatch(s, stmt);
 }
 
 Result<HeapTable*> Database::RequireTable(const std::string& name) {
@@ -115,11 +298,183 @@ Result<HeapTable*> Database::RequireTable(const std::string& name) {
   return t;
 }
 
+DbStats Database::stats() const {
+  DbStats d;
+  d.statements = stats_.statements.load(std::memory_order_relaxed);
+  d.selects = stats_.selects.load(std::memory_order_relaxed);
+  d.inserts = stats_.inserts.load(std::memory_order_relaxed);
+  d.updates = stats_.updates.load(std::memory_order_relaxed);
+  d.deletes = stats_.deletes.load(std::memory_order_relaxed);
+  d.commits = stats_.commits.load(std::memory_order_relaxed);
+  d.rollbacks = stats_.rollbacks.load(std::memory_order_relaxed);
+  d.deadlock_aborts = stats_.deadlock_aborts.load(std::memory_order_relaxed);
+  return d;
+}
+
+// ------------------------------------------------------------ lock planning
+
+void Database::PlanStatementLocks(const sql::Statement& stmt,
+                                  std::vector<LockPlanEntry>* plan) {
+  using concurrency::LockMode;
+  using concurrency::ResourceId;
+
+  const auto coarse = [&](int32_t table_id, LockMode mode) {
+    plan->clear();
+    plan->push_back({ResourceId::Table(table_id), mode});
+  };
+
+  switch (stmt.kind) {
+    case sql::StatementKind::kSelect:
+      PlanSelectLocks(stmt, plan);
+      return;
+
+    case sql::StatementKind::kInsert: {
+      auto id = catalog_.TableId(stmt.table);
+      HeapTable* table = catalog_.Find(stmt.table);
+      if (!id.ok() || table == nullptr) return;  // executor reports
+      const Schema& schema = table->schema();
+      const TableIndex* index = table->index();
+      plan->push_back({ResourceId::Table(*id), LockMode::kIntentionExclusive});
+      if (index == nullptr) return;  // appends under IX; no keys to name
+
+      // Map provided values to column indices (mirrors ExecInsert).
+      std::vector<int> target_cols;
+      if (stmt.insert_columns.empty()) {
+        for (size_t i = 0; i < schema.num_columns(); ++i) {
+          target_cols.push_back(static_cast<int>(i));
+        }
+      } else {
+        for (const std::string& name : stmt.insert_columns) {
+          const int idx = schema.FindColumn(name);
+          if (idx < 0) return;  // executor reports
+          target_cols.push_back(idx);
+        }
+      }
+      for (const auto& value_exprs : stmt.insert_rows) {
+        std::vector<const sql::Expr*> key_exprs;
+        for (int kc : index->key_columns()) {
+          const sql::Expr* e = nullptr;
+          for (size_t j = 0; j < target_cols.size(); ++j) {
+            if (target_cols[j] == kc && j < value_exprs.size()) {
+              e = value_exprs[j].get();
+              break;
+            }
+          }
+          key_exprs.push_back(e);  // nullptr → identity/default-assigned
+        }
+        auto h = HashKeyLiterals(schema, index->key_columns(), key_exprs);
+        if (!h.has_value()) {
+          // Key not known before execution (identity column, expression):
+          // coarsen to table X so no reader can miss the new row.
+          coarse(*id, LockMode::kExclusive);
+          return;
+        }
+        plan->push_back({ResourceId::Key(*id, *h), LockMode::kExclusive});
+      }
+      return;
+    }
+
+    case sql::StatementKind::kUpdate:
+    case sql::StatementKind::kDelete: {
+      auto id = catalog_.TableId(stmt.table);
+      HeapTable* table = catalog_.Find(stmt.table);
+      if (!id.ok() || table == nullptr) return;
+      const Schema& schema = table->schema();
+      const TableIndex* index = table->index();
+      if (index == nullptr) {
+        coarse(*id, concurrency::LockMode::kExclusive);
+        return;
+      }
+      // An UPDATE that assigns a key column would change the row's lock
+      // name mid-transaction; coarsen to table X.
+      for (const auto& [name, expr] : stmt.assignments) {
+        (void)expr;
+        for (int kc : index->key_columns()) {
+          if (EqualsIgnoreCase(schema.column(static_cast<size_t>(kc)).name,
+                               name)) {
+            coarse(*id, LockMode::kExclusive);
+            return;
+          }
+        }
+      }
+      std::unordered_map<std::string, const sql::Expr*> eq;
+      CollectKeyEqExprs(stmt.where.get(), stmt.table, &eq);
+      std::vector<const sql::Expr*> key_exprs;
+      for (int kc : index->key_columns()) {
+        auto it = eq.find(
+            ToLowerAscii(schema.column(static_cast<size_t>(kc)).name));
+        key_exprs.push_back(it == eq.end() ? nullptr : it->second);
+      }
+      auto h = HashKeyLiterals(schema, index->key_columns(), key_exprs);
+      if (!h.has_value()) {
+        coarse(*id, LockMode::kExclusive);  // predicate not key-local
+        return;
+      }
+      plan->push_back({ResourceId::Table(*id), LockMode::kIntentionExclusive});
+      plan->push_back({ResourceId::Key(*id, *h), LockMode::kExclusive});
+      return;
+    }
+
+    default:
+      return;  // txn control & DDL handled elsewhere
+  }
+}
+
+std::optional<uint64_t> Database::HashKeyLiterals(
+    const Schema& schema, const std::vector<int>& key_columns,
+    const std::vector<const sql::Expr*>& exprs) {
+  if (exprs.size() != key_columns.size()) return std::nullopt;
+  RowBinding empty_binding;
+  empty_binding.traits = &traits_;
+  std::string repr;
+  for (size_t i = 0; i < exprs.size(); ++i) {
+    const sql::Expr* e = exprs[i];
+    if (e == nullptr || ExprHasColumnRef(*e)) return std::nullopt;
+    auto v = Eval(*e, empty_binding);
+    if (!v.ok()) return std::nullopt;
+    auto coerced =
+        schema.CoerceForColumn(static_cast<size_t>(key_columns[i]), *v);
+    if (!coerced.ok()) return std::nullopt;
+    coerced->AppendTo(&repr);
+  }
+  return Fnv1a(repr);
+}
+
+Status Database::AcquirePlanLocks(int64_t txn_id,
+                                  const std::vector<LockPlanEntry>& plan) {
+  // Deterministic global order (tables before their keys, ids ascending)
+  // keeps single-statement plans deadlock-free against each other; cycles
+  // can only come from multi-statement transactions, which is what the
+  // waits-for detector is for. Duplicate resources merge to the supremum.
+  std::vector<LockPlanEntry> sorted = plan;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const LockPlanEntry& a, const LockPlanEntry& b) {
+              if (a.res.table_id != b.res.table_id) {
+                return a.res.table_id < b.res.table_id;
+              }
+              return a.res.key_hash < b.res.key_hash;
+            });
+  size_t out = 0;
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    if (out > 0 && sorted[out - 1].res == sorted[i].res) {
+      sorted[out - 1].mode =
+          concurrency::LockSupremum(sorted[out - 1].mode, sorted[i].mode);
+    } else {
+      sorted[out++] = sorted[i];
+    }
+  }
+  sorted.resize(out);
+  for (const LockPlanEntry& e : sorted) {
+    IRDB_RETURN_IF_ERROR(txn_mgr_.locks().Acquire(txn_id, e.res, e.mode));
+  }
+  return Status::Ok();
+}
+
 // ------------------------------------------------------------------ txn ctl
 
 void Database::BeginTxn(Session& s) {
   s.in_txn = true;
-  s.txn_id = next_txn_id_++;
+  s.txn_id = next_txn_id_.fetch_add(1, std::memory_order_relaxed);
   s.undo.clear();
   s.txn_log_bytes = 0;
   LogRecord rec;
@@ -143,7 +498,7 @@ void Database::CommitTxn(Session& s) {
   }
   s.in_txn = false;
   s.undo.clear();
-  ++stats_.commits;
+  stats_.commits.fetch_add(1, std::memory_order_relaxed);
   obs::Count(obs::Metrics::Get().txn_commits);
 }
 
@@ -232,9 +587,27 @@ Status Database::RollbackTxn(Session& s) {
   wal_.Append(std::move(rec));
   s.in_txn = false;
   s.undo.clear();
-  ++stats_.rollbacks;
+  stats_.rollbacks.fetch_add(1, std::memory_order_relaxed);
   obs::Count(obs::Metrics::Get().txn_aborts);
   return Status::Ok();
+}
+
+Status Database::RollbackTxnConcurrent(Session& s) {
+  // The transaction's 2PL locks still cover every row it wrote; latches
+  // make the physical page edits safe against readers of those tables.
+  std::shared_lock<std::shared_mutex> cat(catalog_latch_);
+  std::vector<int32_t> ids;
+  ids.reserve(s.undo.size());
+  for (const UndoEntry& ue : s.undo) ids.push_back(ue.table_id);
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  std::vector<std::unique_lock<std::shared_mutex>> latches;
+  latches.reserve(ids.size());
+  for (int32_t id : ids) {
+    HeapTable* t = catalog_.FindById(id);
+    if (t != nullptr) latches.emplace_back(t->latch());
+  }
+  return RollbackTxn(s);
 }
 
 void Database::LogRowOp(Session& s, LogOp op, int32_t table_id,

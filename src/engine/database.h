@@ -2,19 +2,34 @@
 // writes per-row WAL records in the active flavor's style, and supports
 // sessions with BEGIN/COMMIT/ROLLBACK (plus autocommit).
 //
-// Concurrency model: statements execute serially under a global mutex.
-// Multiple sessions may hold open transactions, but no isolation between
-// them is enforced — the framework's workloads run transactions to
-// completion one at a time, matching the paper's single-client-driver setup.
+// Concurrency model (DESIGN.md §5f): statements from different sessions
+// execute concurrently under strict two-phase locking. Before a statement
+// runs, the engine derives a lock plan from its AST — an intention mode on
+// each referenced table plus S/X key locks when the statement provably
+// touches single primary keys, coarsening to table S/X otherwise — and
+// acquires it through the transaction manager (src/concurrency). Locks are
+// held until COMMIT/ROLLBACK; waits-for-graph detection aborts deadlocked
+// requesters with a "[deadlock]"-tagged kAborted status (retryable for
+// autocommit statements, whose transaction the abort fully undoes).
+// Physical safety inside a statement comes from per-table latches (shared
+// for reads, exclusive for writes), always taken after every 2PL lock is
+// granted and in table-id order, so latches never deadlock.
+//
+// set_serial_mode(true) restores the pre-lock-manager behaviour — one
+// global mutex around every statement — and exists as the baseline leg of
+// bench_concurrency.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "concurrency/transaction_manager.h"
 #include "engine/expr_eval.h"
 #include "engine/io_model.h"
 #include "engine/result_set.h"
@@ -34,6 +49,7 @@ struct DbStats {
   int64_t deletes = 0;
   int64_t commits = 0;
   int64_t rollbacks = 0;
+  int64_t deadlock_aborts = 0;
 };
 
 class Database {
@@ -62,11 +78,20 @@ class Database {
   const WalLog& wal() const { return wal_; }
   IoModel& io_model() { return io_model_; }
   const IoModel& io_model() const { return io_model_; }
-  const DbStats& stats() const { return stats_; }
+  DbStats stats() const;
+
+  concurrency::TransactionManager& txn_manager() { return txn_mgr_; }
+  const concurrency::TransactionManager& txn_manager() const { return txn_mgr_; }
+
+  // Baseline mode for bench_concurrency: serializes every statement under
+  // one mutex and bypasses the lock manager, reproducing the engine this PR
+  // replaced. Setup-only — flip it before concurrent sessions start.
+  void set_serial_mode(bool on) { serial_mode_ = on; }
+  bool serial_mode() const { return serial_mode_; }
 
   // Canonical fingerprint of user-visible table contents: rows of each listed
   // table, decoded, sorted, hashed. Hidden rowids and (optionally) named
-  // columns are excluded. Used by repair-soundness tests and benches.
+  // columns are excluded. Quiesced-state only (no latches taken).
   uint64_t StateHash(const std::vector<std::string>& tables,
                      const std::vector<std::string>& exclude_columns = {}) const;
 
@@ -84,9 +109,43 @@ class Database {
     int64_t txn_id = 0;
     std::vector<UndoEntry> undo;
     int64_t txn_log_bytes = 0;
+    // Set when a deadlock abort rolled back an explicit transaction out
+    // from under the client: every statement fails until the client
+    // acknowledges with ROLLBACK (or COMMIT, which reports the abort).
+    bool poisoned = false;
+    // Serializes statements of one session (the wire layer already does;
+    // this keeps direct multi-threaded use of a session id safe too).
+    std::mutex mu;
   };
 
+  // One entry of a statement's pre-declared lock plan.
+  struct LockPlanEntry {
+    concurrency::ResourceId res;
+    concurrency::LockMode mode;
+  };
+
+  // Atomic mirrors of DbStats (sessions update them concurrently).
+  struct StatCounters {
+    std::atomic<int64_t> statements{0};
+    std::atomic<int64_t> selects{0};
+    std::atomic<int64_t> inserts{0};
+    std::atomic<int64_t> updates{0};
+    std::atomic<int64_t> deletes{0};
+    std::atomic<int64_t> commits{0};
+    std::atomic<int64_t> rollbacks{0};
+    std::atomic<int64_t> deadlock_aborts{0};
+  };
+
+  std::shared_ptr<Session> FindSession(int64_t session_id);
+
+  // Shared statement path; `concurrent` selects 2PL + latches vs the
+  // serial-mode baseline (caller already holds serial_mu_ in that case).
+  Result<ResultSet> StatementOnSession(Session& s, const sql::Statement& stmt,
+                                       bool concurrent);
+
   Result<ResultSet> Dispatch(Session& s, const sql::Statement& stmt);
+  // Dispatch under the catalog latch and per-table latches.
+  Result<ResultSet> DispatchConcurrent(Session& s, const sql::Statement& stmt);
 
   Result<ResultSet> ExecSelect(Session& s, const sql::Statement& stmt);
   Result<ResultSet> ExecInsert(Session& s, const sql::Statement& stmt);
@@ -98,6 +157,31 @@ class Database {
   void BeginTxn(Session& s);
   void CommitTxn(Session& s);
   Status RollbackTxn(Session& s);
+  // RollbackTxn with the catalog latch and exclusive latches on every table
+  // the transaction touched (concurrent-mode physical safety).
+  Status RollbackTxnConcurrent(Session& s);
+
+  // --- lock planning (concurrent mode) ---
+  // Derives the statement's lock plan from its AST. Called under the shared
+  // catalog latch; conservative — anything not provably key-local coarsens
+  // to a table lock. Never fails: unresolvable names produce an empty or
+  // partial plan and the executor reports the real error.
+  void PlanStatementLocks(const sql::Statement& stmt,
+                          std::vector<LockPlanEntry>* plan);
+  // SELECT leg, defined in select_exec.cc next to the access-path planner
+  // it mirrors.
+  void PlanSelectLocks(const sql::Statement& stmt,
+                       std::vector<LockPlanEntry>* plan);
+  // Acquires the plan in deterministic order (tables before keys, ids
+  // ascending). On deadlock the transaction keeps already-held locks; the
+  // caller rolls back.
+  Status AcquirePlanLocks(int64_t txn_id,
+                          const std::vector<LockPlanEntry>& plan);
+  // FNV hash of a full literal primary key; nullopt when `exprs` are not
+  // all literal-evaluable/coercible. `exprs` are in key-column order.
+  std::optional<uint64_t> HashKeyLiterals(
+      const Schema& schema, const std::vector<int>& key_columns,
+      const std::vector<const sql::Expr*>& exprs);
 
   // Appends a row-op WAL record in the flavor's style and tracks undo info.
   void LogRowOp(Session& s, LogOp op, int32_t table_id, const HeapTable& table,
@@ -129,12 +213,21 @@ class Database {
   Catalog catalog_;
   WalLog wal_;
   IoModel io_model_;
-  DbStats stats_;
+  StatCounters stats_;
 
-  std::mutex mu_;
-  std::unordered_map<int64_t, Session> sessions_;
-  int64_t next_session_id_ = 1;
-  int64_t next_txn_id_ = 1;
+  concurrency::TransactionManager txn_mgr_;
+  // Guards the catalog map: statements hold it shared while resolving and
+  // executing; DDL holds it exclusive. Never held while blocking on a 2PL
+  // lock (plan under the latch, release, acquire locks, re-take).
+  mutable std::shared_mutex catalog_latch_;
+
+  bool serial_mode_ = false;
+  std::mutex serial_mu_;  // the old global mutex, serial mode only
+
+  std::mutex sessions_mu_;
+  std::unordered_map<int64_t, std::shared_ptr<Session>> sessions_;
+  std::atomic<int64_t> next_session_id_{1};
+  std::atomic<int64_t> next_txn_id_{1};
 };
 
 }  // namespace irdb

@@ -6,22 +6,47 @@
 // commit-time log flushes advance simulated time, which benches add to
 // measured wall time when computing throughput. DESIGN.md documents this
 // substitution.
+//
+// Thread-safety: the cache, the counters, and the clock may be touched by
+// concurrent sessions. The virtual clock is a lone atomic (proxies advance
+// it directly for retry backoff); everything else is guarded by an internal
+// mutex that is only taken when the model is enabled, so the default
+// (disabled) hot path stays lock-free. Configure() is setup-only — call it
+// before the workload starts.
+//
+// realtime_stall_scale additionally turns charged I/O time into *real*
+// sleeps, taken after the internal mutex is released. This emulates a
+// disk-bound engine on real threads: statements spend most of their
+// engine-resident time stalled, so a serialization point (the old global
+// engine mutex) caps throughput at one stall at a time while the lock
+// manager overlaps stalls from independent sessions. bench_concurrency uses
+// it to measure the engine ceiling even on single-core hosts, where the
+// in-memory engine alone is CPU-bound and would hide the serialization.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <list>
+#include <mutex>
+#include <thread>
 #include <unordered_map>
 
 namespace irdb {
 
 class VirtualClock {
  public:
-  void Advance(double seconds) { seconds_ += seconds; }
-  double seconds() const { return seconds_; }
-  void Reset() { seconds_ = 0; }
+  void Advance(double seconds) {
+    double cur = seconds_.load(std::memory_order_relaxed);
+    while (!seconds_.compare_exchange_weak(cur, cur + seconds,
+                                           std::memory_order_relaxed)) {
+    }
+  }
+  double seconds() const { return seconds_.load(std::memory_order_relaxed); }
+  void Reset() { seconds_.store(0, std::memory_order_relaxed); }
 
  private:
-  double seconds_ = 0;
+  std::atomic<double> seconds_{0};
 };
 
 struct IoCostParams {
@@ -39,6 +64,9 @@ struct IoCostParams {
   // so that in-memory wall time does not distort relative throughput.
   double statement_cpu_seconds = 1.0e-4;
   double row_cpu_seconds = 2.0e-6;
+  // When > 0, every charge also sleeps charge * scale real seconds (see the
+  // header comment). 0 keeps the model purely virtual.
+  double realtime_stall_scale = 0.0;
 };
 
 // LRU page cache keyed by (table_id, page_no).
@@ -84,21 +112,29 @@ class PageCache {
 class IoModel {
  public:
   explicit IoModel(IoCostParams params = {})
-      : params_(params), cache_(params.cache_pages) {}
+      : params_(params), enabled_(params.enabled), cache_(params.cache_pages) {}
 
+  // Setup-only: not safe against in-flight statements.
   void Configure(IoCostParams params) {
+    std::lock_guard<std::mutex> lk(mu_);
     params_ = params;
+    enabled_.store(params.enabled, std::memory_order_release);
     cache_.set_capacity(params.cache_pages);
   }
   const IoCostParams& params() const { return params_; }
 
   void TouchPage(int32_t table_id, int32_t page_no) {
-    if (!params_.enabled) return;
-    ++page_touches_;
-    if (!cache_.Touch(table_id, page_no)) {
-      ++page_misses_;
-      clock_.Advance(params_.read_miss_seconds);
+    if (!enabled()) return;
+    double charge = 0;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      ++page_touches_;
+      if (!cache_.Touch(table_id, page_no)) {
+        ++page_misses_;
+        charge = params_.read_miss_seconds;
+      }
     }
+    Charge(charge);
   }
 
   // A write-only touch (INSERT appends): brings the page into the cache but
@@ -106,38 +142,51 @@ class IoModel {
   // flush, and dirty-page writeback is asynchronous in a steal/no-force
   // engine.
   void TouchPageWrite(int32_t table_id, int32_t page_no) {
-    if (!params_.enabled) return;
+    if (!enabled()) return;
+    std::lock_guard<std::mutex> lk(mu_);
     ++page_touches_;
     cache_.Touch(table_id, page_no);
   }
 
   void AccountLogFlush(int64_t bytes) {
-    if (!params_.enabled) return;
-    clock_.Advance(params_.log_flush_seconds +
-                   params_.log_write_seconds_per_byte *
-                       static_cast<double>(bytes));
+    if (!enabled()) return;
+    Charge(params_.log_flush_seconds +
+           params_.log_write_seconds_per_byte * static_cast<double>(bytes));
   }
 
   void AccountStatement() {
-    if (!params_.enabled) return;
-    clock_.Advance(params_.statement_cpu_seconds);
+    if (!enabled()) return;
+    Charge(params_.statement_cpu_seconds);
   }
 
   void AccountRowsExamined(int64_t rows) {
-    if (!params_.enabled) return;
-    rows_examined_ += rows;
-    clock_.Advance(params_.row_cpu_seconds * static_cast<double>(rows));
+    if (!enabled()) return;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      rows_examined_ += rows;
+    }
+    Charge(params_.row_cpu_seconds * static_cast<double>(rows));
   }
 
   VirtualClock& clock() { return clock_; }
   const VirtualClock& clock() const { return clock_; }
   PageCache& cache() { return cache_; }
 
-  int64_t page_touches() const { return page_touches_; }
-  int64_t page_misses() const { return page_misses_; }
-  int64_t rows_examined() const { return rows_examined_; }
+  int64_t page_touches() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return page_touches_;
+  }
+  int64_t page_misses() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return page_misses_;
+  }
+  int64_t rows_examined() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return rows_examined_;
+  }
 
   void ResetStats() {
+    std::lock_guard<std::mutex> lk(mu_);
     page_touches_ = 0;
     page_misses_ = 0;
     rows_examined_ = 0;
@@ -145,7 +194,23 @@ class IoModel {
   }
 
  private:
+  bool enabled() const { return enabled_.load(std::memory_order_acquire); }
+
+  // Advances the virtual clock and, in realtime-stall mode, sleeps the
+  // scaled charge with no lock held so independent sessions overlap stalls.
+  void Charge(double seconds) {
+    if (seconds <= 0) return;
+    clock_.Advance(seconds);
+    const double scale = params_.realtime_stall_scale;
+    if (scale > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(seconds * scale));
+    }
+  }
+
   IoCostParams params_;
+  std::atomic<bool> enabled_;
+  mutable std::mutex mu_;
   PageCache cache_;
   VirtualClock clock_;
   int64_t page_touches_ = 0;

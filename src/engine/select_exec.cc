@@ -403,6 +403,48 @@ Result<std::vector<std::pair<RowLoc, std::string>>> Database::CollectMatching(
   return matches;
 }
 
+void Database::PlanSelectLocks(const sql::Statement& stmt,
+                               std::vector<LockPlanEntry>* plan) {
+  using concurrency::LockMode;
+  using concurrency::ResourceId;
+  // Resolve FROM tables; unresolvable names are the executor's problem.
+  std::vector<std::pair<HeapTable*, std::string>> tables;
+  std::vector<int32_t> ids;
+  for (const sql::TableRef& ref : stmt.from) {
+    HeapTable* t = catalog_.Find(ref.name);
+    auto id = catalog_.TableId(ref.name);
+    if (t == nullptr || !id.ok()) return;
+    tables.emplace_back(t, ref.effective_name());
+    ids.push_back(*id);
+  }
+  if (tables.empty()) return;
+
+  if (tables.size() == 1 && tables[0].first->index() != nullptr) {
+    // Mirror the access-path planner: a WHERE that pins the full primary
+    // key with literal equality reads exactly one key, so an intention
+    // lock plus a shared key lock suffices (equality predicates cannot see
+    // phantoms — any INSERT of that key takes the same key X).
+    std::vector<const Expr*> conjuncts;
+    SplitConjuncts(stmt.where.get(), &conjuncts);
+    std::vector<AccessPath> paths = PlanAccessPaths(conjuncts, tables, traits_);
+    const TableIndex* index = tables[0].first->index();
+    if (paths[0].prefix_exprs.size() == index->key_columns().size()) {
+      auto h = HashKeyLiterals(tables[0].first->schema(), index->key_columns(),
+                               paths[0].prefix_exprs);
+      if (h.has_value()) {
+        plan->push_back(
+            {ResourceId::Table(ids[0]), LockMode::kIntentionShared});
+        plan->push_back({ResourceId::Key(ids[0], *h), LockMode::kShared});
+        return;
+      }
+    }
+  }
+  // Scans and joins read arbitrary rows: table S on every source.
+  for (int32_t id : ids) {
+    plan->push_back({ResourceId::Table(id), LockMode::kShared});
+  }
+}
+
 Result<ResultSet> Database::ExecSelect(Session& s, const sql::Statement& stmt) {
   (void)s;
   std::vector<std::pair<HeapTable*, std::string>> tables;

@@ -18,9 +18,11 @@
 //     against stats snapshots; executors take it WITHOUT holding
 //     sessions_mu_, snapshots take sessions_mu_ THEN session mutexes, so
 //     the order sessions_mu_ -> session is acyclic.
-//   - engine access is serialized by the Database's own global mutex, and
-//     proxy txn ids come from the atomic TxnIdAllocator, exactly as in the
-//     in-process deployments.
+//   - engine access is concurrent: sessions run under the engine's own
+//     lock manager and per-table latches (src/concurrency, DESIGN.md §5f),
+//     so pool threads executing statements for different wire sessions
+//     genuinely interleave. Proxy txn ids come from the atomic
+//     TxnIdAllocator, exactly as in the in-process deployments.
 //
 // Sessions are DECOUPLED from TCP connections: a wire session is created by
 // CONNECT, addressed by id in every later request, and destroyed only by

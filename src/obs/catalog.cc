@@ -43,6 +43,10 @@ const Metrics& Metrics::Get() {
     m->proxy_retries = r.RegisterCounter(
         "irdb_proxy_retries_total",
         "Backend calls re-attempted after a retryable failure");
+    m->proxy_deadlock_retries = r.RegisterCounter(
+        "irdb_proxy_deadlock_retries_total",
+        "Autocommit transaction wraps re-run after a deadlock abort "
+        "(whole BEGIN..COMMIT re-executed, capped by the retry policy)");
     m->proxy_injected_faults_hit = r.RegisterCounter(
         "irdb_proxy_injected_faults_hit_total",
         "Failpoint-injected errors observed by proxies");
@@ -80,6 +84,15 @@ const Metrics& Metrics::Get() {
                                        "Engine transactions committed");
     m->txn_aborts = r.RegisterCounter("irdb_txn_aborts_total",
                                       "Engine transactions rolled back");
+
+    m->engine_lock_waits = r.RegisterCounter(
+        "irdb_engine_lock_waits_total",
+        "Lock requests that blocked at least once before being granted or "
+        "aborted (engine.lock.waits)");
+    m->engine_deadlock_aborts = r.RegisterCounter(
+        "irdb_engine_deadlock_aborts_total",
+        "Lock requests aborted by waits-for cycle detection; the victim "
+        "transaction is rolled back (engine.deadlocks.aborted)");
 
     m->repair_runs = r.RegisterCounter(
         "irdb_repair_runs_total",

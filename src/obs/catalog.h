@@ -32,6 +32,7 @@ struct Metrics {
   MetricId proxy_plan_cache_invalidations;
   MetricId proxy_plan_cache_bypasses;
   MetricId proxy_retries;
+  MetricId proxy_deadlock_retries;
   MetricId proxy_injected_faults_hit;
   MetricId proxy_degraded_commits;
   MetricId proxy_tracking_gap_txns;
@@ -48,6 +49,10 @@ struct Metrics {
   MetricId wal_torn_tails;
   MetricId txn_commits;
   MetricId txn_aborts;
+
+  // --- lock manager (src/concurrency) ---
+  MetricId engine_lock_waits;
+  MetricId engine_deadlock_aborts;
 
   // --- repair pipeline (src/repair) ---
   MetricId repair_runs;

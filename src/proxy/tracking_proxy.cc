@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "concurrency/lock_manager.h"
 #include "obs/catalog.h"
 #include "obs/journal.h"
 #include "sql/parser.h"
@@ -221,18 +222,7 @@ Result<ResultSet> TrackingProxy::DispatchStatement(
   // Tracked DML / SELECT. Wrap autocommit statements in an explicit
   // transaction so the trans_dep record lands atomically with the statement.
   if (in_txn_) return ExecuteTracked(stmt);
-
-  IRDB_RETURN_IF_ERROR(HandleBegin());
-  Result<ResultSet> result = ExecuteTracked(stmt);
-  if (!result.ok()) {
-    ResetTxnState();
-    auto rollback = sql::MakeStatement(StatementKind::kRollback);
-    (void)Forward(*rollback);  // best effort
-    return result;
-  }
-  auto commit = HandleCommit();
-  if (!commit.ok()) return commit.status();
-  return result;
+  return RunAutocommitWrap([&] { return ExecuteTracked(stmt); });
 }
 
 Result<ResultSet> TrackingProxy::ExecutePlan(CachedPlan& plan,
@@ -264,18 +254,41 @@ Result<ResultSet> TrackingProxy::ExecutePlan(CachedPlan& plan,
   }
 
   if (in_txn_) return ExecuteTrackedPlan(plan);
+  // Re-running the wrap is safe for cached plans too: the bound parameter
+  // slots are untouched by execution and trid slots are re-stamped each run.
+  return RunAutocommitWrap([&]() -> Result<ResultSet> {
+    return ExecuteTrackedPlan(plan);
+  });
+}
 
-  IRDB_RETURN_IF_ERROR(HandleBegin());
-  Result<ResultSet> result = ExecuteTrackedPlan(plan);
-  if (!result.ok()) {
-    ResetTxnState();
-    auto rollback = sql::MakeStatement(StatementKind::kRollback);
-    (void)Forward(*rollback);  // best effort
-    return result;
+Result<ResultSet> TrackingProxy::RunAutocommitWrap(
+    const std::function<Result<ResultSet>()>& body) {
+  double backoff = retry_policy_.initial_backoff_seconds;
+  for (int attempt = 1;; ++attempt) {
+    IRDB_RETURN_IF_ERROR(HandleBegin());
+    Result<ResultSet> result = body();
+    Status failure = Status::Ok();
+    if (result.ok()) {
+      auto commit = HandleCommit();
+      if (commit.ok()) return result;
+      // HandleCommit already aborted and reset on failure.
+      failure = commit.status();
+    } else {
+      failure = result.status();
+      ResetTxnState();
+      auto rollback = sql::MakeStatement(StatementKind::kRollback);
+      (void)Forward(*rollback);  // best effort; also acknowledges a
+                                 // deadlock-poisoned engine session
+    }
+    if (!concurrency::IsDeadlockAbort(failure) ||
+        attempt >= retry_policy_.max_attempts) {
+      return failure;
+    }
+    ++stats_.deadlock_retries;
+    obs::Count(obs::Metrics::Get().proxy_deadlock_retries);
+    if (retry_clock_ != nullptr) retry_clock_->Advance(backoff);
+    backoff *= retry_policy_.backoff_multiplier;
   }
-  auto commit = HandleCommit();
-  if (!commit.ok()) return commit.status();
-  return result;
 }
 
 Status TrackingProxy::HandleBegin() {

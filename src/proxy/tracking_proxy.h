@@ -25,6 +25,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -60,6 +61,8 @@ struct ProxyStats {
   // Fault-hardening observability.
   int64_t retries = 0;              // backend calls re-attempted after
                                     // retryable failures
+  int64_t deadlock_retries = 0;     // autocommit wraps re-run after the
+                                    // backend aborted them for a deadlock
   int64_t injected_faults_hit = 0;  // failpoint-injected errors observed
   int64_t degraded_commits = 0;     // commits that went through untracked
   int64_t tracking_gap_txns = 0;    // txn ids quarantined in tracking_gaps
@@ -75,6 +78,7 @@ struct ProxyStats {
     cache_invalidations += o.cache_invalidations;
     cache_bypasses += o.cache_bypasses;
     retries += o.retries;
+    deadlock_retries += o.deadlock_retries;
     injected_faults_hit += o.injected_faults_hit;
     degraded_commits += o.degraded_commits;
     tracking_gap_txns += o.tracking_gap_txns;
@@ -147,6 +151,12 @@ class TrackingProxy : public DbConnection {
 
  private:
   Result<ResultSet> Forward(const sql::Statement& stmt);
+  // Autocommit wrap: BEGIN, `body`, COMMIT. When the backend's lock manager
+  // aborts the wrap as a deadlock victim, nothing of it survives (the engine
+  // rolled the whole transaction back), so the wrap is re-run from BEGIN —
+  // bounded by retry_policy_.max_attempts to cap retry storms.
+  Result<ResultSet> RunAutocommitWrap(
+      const std::function<Result<ResultSet>()>& body);
   // Best-effort ROLLBACK of the open backend transaction + local state reset.
   void AbortOpenTxn();
   // Quarantines cur_trid_ in the tracking_gaps side table.

@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -72,6 +73,14 @@ class HeapTable {
   }
   const TableIndex* index() const { return index_.get(); }
 
+  // Statement-duration physical latch, owned here so it shares the table's
+  // lifetime: the engine takes it shared for reads and exclusive for any
+  // mutation (page vectors, free lists, counters, and the index are not
+  // fine-grained thread-safe). Distinct from the transaction-duration 2PL
+  // locks in src/concurrency — the engine acquires those first and never
+  // blocks on a lock while holding a latch, so latches cannot deadlock.
+  std::shared_mutex& latch() const { return latch_; }
+
  private:
   // Key column values of an encoded row, in index order.
   std::vector<Value> IndexKeyOf(std::string_view row_bytes) const;
@@ -86,6 +95,7 @@ class HeapTable {
   // Pages that still have room (kept sorted-ish; lazily cleaned).
   std::vector<int> free_pages_;
   std::unique_ptr<TableIndex> index_;
+  mutable std::shared_mutex latch_;
 };
 
 }  // namespace irdb

@@ -1,7 +1,15 @@
 // Append-only write-ahead log.
+//
+// Appends are thread-safe (concurrent sessions interleave their records;
+// every record carries its txn_id, which is how recovery and repair
+// untangle them). The records()/at() read accessors return references into
+// the underlying vector and are only safe on a quiesced log — recovery,
+// repair, and the WAL codec all run after the workload has drained, which
+// is the invariant the repo's harnesses already maintain.
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "obs/catalog.h"
@@ -15,13 +23,17 @@ class WalLog {
   // Appends a record, assigning its LSN. Returns the LSN.
   int64_t Append(LogRecord rec) {
     obs::Count(obs::Metrics::Get().wal_appends);
+    std::lock_guard<std::mutex> lk(mu_);
     rec.lsn = static_cast<int64_t>(records_.size());
     records_.push_back(std::move(rec));
     return records_.back().lsn;
   }
 
   const std::vector<LogRecord>& records() const { return records_; }
-  int64_t size() const { return static_cast<int64_t>(records_.size()); }
+  int64_t size() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return static_cast<int64_t>(records_.size());
+  }
 
   const LogRecord& at(int64_t lsn) const {
     IRDB_CHECK(lsn >= 0 && lsn < size());
@@ -29,10 +41,17 @@ class WalLog {
   }
 
   // Total byte volume appended (for the I/O cost model).
-  int64_t bytes_appended() const { return bytes_appended_; }
-  void AccountBytes(int64_t n) { bytes_appended_ += n; }
+  int64_t bytes_appended() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return bytes_appended_;
+  }
+  void AccountBytes(int64_t n) {
+    std::lock_guard<std::mutex> lk(mu_);
+    bytes_appended_ += n;
+  }
 
  private:
+  mutable std::mutex mu_;
   std::vector<LogRecord> records_;
   int64_t bytes_appended_ = 0;
 };

@@ -30,6 +30,15 @@ enum class StatusCode {
 
 const char* StatusCodeName(StatusCode code);
 
+// Message prefix marking a kAborted status as safely retryable: the engine
+// tags deadlock aborts of autocommit statements with it, because the aborted
+// transaction consisted of exactly the failed statement and left no state
+// behind — re-issuing the statement re-runs the whole transaction. Deadlock
+// aborts of multi-statement transactions are tagged "[deadlock]" only (the
+// caller must re-run the transaction, not the statement). The tag lives in
+// the message so it survives the wire protocol's code+message round trip.
+inline constexpr char kRetryableAbortTag[] = "[deadlock-retry]";
+
 // A success-or-error value. Cheap to copy on the OK path (no allocation).
 class Status {
  public:
@@ -73,9 +82,16 @@ class Status {
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }
-  // True for transient failures where the request never took effect
-  // (lost round trip, injected infrastructure fault): retrying is safe.
-  bool IsRetryable() const { return code_ == StatusCode::kUnavailable; }
+  // True for transient failures where re-issuing the request is safe: either
+  // it never took effect (lost round trip, injected infrastructure fault) or
+  // it was an autocommit statement whose transaction the engine rolled back
+  // completely before returning (tagged deadlock abort, see
+  // kRetryableAbortTag).
+  bool IsRetryable() const {
+    return code_ == StatusCode::kUnavailable ||
+           (code_ == StatusCode::kAborted &&
+            message_.rfind(kRetryableAbortTag, 0) == 0);
+  }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 

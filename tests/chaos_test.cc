@@ -28,8 +28,10 @@
 #include <memory>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "concurrency/lock_manager.h"
 #include "engine/database.h"
 #include "engine/recovery.h"
 #include "net/net_client.h"
@@ -60,6 +62,7 @@ int64_t g_retries = 0;
 int64_t g_injected = 0;
 int64_t g_degraded_commits = 0;
 int64_t g_gap_txns = 0;
+int64_t g_deadlock_client_retries = 0;
 
 [[noreturn]] void Fail(const std::string& msg) {
   std::fprintf(stderr, "chaos: FAILED (seed %llu): %s\n",
@@ -123,17 +126,22 @@ struct FaultProfile {
   double wire_mult;
   double engine_mult;
   double commit_mult;
-  double net_mult;  // scales socket-reset injection in the TCP iterations
+  double net_mult;   // scales socket-reset injection in the TCP iterations
+  double lock_mult;  // scales lock-window widening in the contention runs
 };
 
 constexpr FaultProfile kProfiles[] = {
-    {"default", 1.0, 1.0, 1.0, 1.0},
-    {"wire-heavy", 4.0, 2.0, 0.5, 1.0},
-    {"commit-heavy", 0.5, 0.5, 3.0, 1.0},
+    {"default", 1.0, 1.0, 1.0, 1.0, 1.0},
+    {"wire-heavy", 4.0, 2.0, 0.5, 1.0, 1.0},
+    {"commit-heavy", 0.5, 0.5, 3.0, 1.0, 1.0},
     // Shifts chaos onto the real-socket transport: frequent connection
     // resets mid-transaction, exercising reconnect + the degraded-commit
     // path over TCP (tests/net_test.cc covers the deterministic variant).
-    {"net-reset", 0.0, 0.5, 0.5, 4.0},
+    {"net-reset", 0.0, 0.5, 0.5, 4.0, 1.0},
+    // Shifts chaos onto the lock manager: "lock.acquire.delay" widens every
+    // lock-hold window so conflicting transactions pile onto the waits-for
+    // graph and deadlock storms become routine rather than rare.
+    {"lock-contention", 0.5, 0.5, 0.5, 0.0, 4.0},
 };
 
 FaultProfile g_profile = kProfiles[0];
@@ -499,7 +507,11 @@ std::vector<Script> MakeScripts(uint64_t seed, size_t n) {
 }
 
 void SetupAccounts(DbConnection* conn) {
-  Must(conn, "CREATE TABLE account (id INTEGER NOT NULL, balance DOUBLE)");
+  // The primary key gives the lock manager key granularity: conflicting
+  // transactions only collide on the rows they actually touch, which is
+  // what lets the lock-contention iterations build real deadlock cycles.
+  Must(conn, "CREATE TABLE account (id INTEGER NOT NULL, balance DOUBLE, "
+             "PRIMARY KEY(id))");
   Must(conn, "BEGIN");
   conn->SetAnnotation("Setup");
   std::string values;
@@ -619,13 +631,221 @@ void RunRepairChaosIteration(int iter) {
               static_cast<long long>(s.proxy->stats().tracking_gap_txns));
 }
 
+// ---------------------------------------------------------------------------
+// Part 3: lock-contention chaos — genuinely concurrent threads, each with its
+// own engine session and tracking proxy, hammering overlapping account rows
+// while the "lock.acquire.delay" failpoint widens every lock-hold window.
+// Random per-script key orders make deadlock storms routine; clients retry
+// whole transactions on "[deadlock]" aborts. Invariants:
+//   - tracking completeness with ZERO gaps (no wire faults are armed here,
+//     so every commit the clients saw must have its exact dependency set);
+//   - replay equivalence: all updates are additive constants and all inserts
+//     have thread-distinct keys, so the concurrent history commutes and the
+//     final state must equal a serial fault-free replay of exactly the
+//     committed scripts;
+//   - repair equivalence: undoing the attack transaction (plus its tracked
+//     closure) equals the same replay with the undo set omitted — the PR 3
+//     repair property, now over a concurrently produced history.
+
+std::vector<Script> MakeContentionScripts(uint64_t seed, int thread,
+                                          size_t n) {
+  Rng rng(seed);
+  std::vector<Script> scripts;
+  for (size_t j = 0; j < n; ++j) {
+    Script sc;
+    if (thread == 0 && j == kAttackIndex) {
+      sc.label = "Attack";
+      sc.stmts.push_back(
+          "UPDATE account SET balance = balance + 1000 WHERE id = 1");
+    } else {
+      sc.label = "Lk_" + std::to_string(thread) + "_" + std::to_string(j);
+      // Two or three additive updates over distinct rows in random order —
+      // the classic recipe for cross-key deadlock cycles under 2PL.
+      const int touches = static_cast<int>(rng.Uniform(2, 3));
+      std::set<int64_t> ids;
+      while (static_cast<int>(ids.size()) < touches) {
+        ids.insert(rng.Uniform(1, kAccounts));
+      }
+      std::vector<int64_t> order(ids.begin(), ids.end());
+      for (size_t k = order.size(); k > 1; --k) {
+        std::swap(order[k - 1], order[rng.Uniform(0, k - 1)]);
+      }
+      for (int64_t id : order) {
+        sc.stmts.push_back("UPDATE account SET balance = balance + " +
+                           std::to_string(rng.Uniform(1, 50)) +
+                           " WHERE id = " + std::to_string(id));
+      }
+      if (rng.Bernoulli(0.2)) {
+        // Thread-distinct key: inserts commute with everything.
+        sc.stmts.push_back("INSERT INTO account(id, balance) VALUES (" +
+                           std::to_string(500 + thread * 64 +
+                                          static_cast<int>(j)) +
+                           ", 10.0)");
+      }
+    }
+    scripts.push_back(std::move(sc));
+  }
+  return scripts;
+}
+
+void RunLockContentionIteration(int iter) {
+  auto& reg = fail::Registry::Instance();
+  reg.DisarmAll();
+  reg.ResetStats();
+  reg.Seed(g_seed * 5551231 + static_cast<uint64_t>(iter));
+
+  Database db(FlavorTraits::Postgres());
+  proxy::TxnIdAllocator alloc;
+  DirectConnection setup_conn(&db);
+  proxy::TrackingProxy setup(&setup_conn, &alloc, FlavorTraits::Postgres());
+  IRDB_CHECK(setup.EnsureTrackingTables().ok());
+  SetupAccounts(&setup);
+
+  DirectConnection admin(&db);
+  const std::set<int64_t> baseline = TransDepIds(&admin);
+
+  constexpr int kThreads = 4;
+  constexpr size_t kScriptsPerThread = 6;
+  std::vector<std::vector<Script>> per_thread;
+  for (int t = 0; t < kThreads; ++t) {
+    per_thread.push_back(MakeContentionScripts(
+        g_seed + 97 * static_cast<uint64_t>(iter) + t, t, kScriptsPerThread));
+  }
+
+  reg.Arm("lock.acquire.delay",
+          fail::Trigger::Probability(0.25 * g_profile.lock_mult));
+
+  struct ThreadOutcome {
+    std::vector<bool> committed_mask;
+    std::map<int64_t, std::vector<proxy::DepEntry>> committed;
+    std::map<int64_t, size_t> trid_to_script;  // index within this thread
+    int64_t deadlock_retries = 0;
+  };
+  std::vector<ThreadOutcome> outcomes(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&db, &alloc, &per_thread, &outcomes, t] {
+      DirectConnection conn(&db);
+      proxy::TrackingProxy proxy(&conn, &alloc, FlavorTraits::Postgres());
+      ThreadOutcome& out = outcomes[t];
+      out.committed_mask.assign(per_thread[t].size(), false);
+      for (size_t j = 0; j < per_thread[t].size(); ++j) {
+        const Script& sc = per_thread[t][j];
+        for (int attempt = 0; attempt < 200; ++attempt) {
+          if (!proxy.Execute("BEGIN").ok()) continue;
+          proxy.SetAnnotation(sc.label);
+          Status failure = Status::Ok();
+          for (const std::string& sql : sc.stmts) {
+            auto r = proxy.Execute(sql);
+            if (!r.ok()) {
+              failure = r.status();
+              break;
+            }
+          }
+          if (!failure.ok()) {
+            (void)proxy.Execute("ROLLBACK");
+            if (concurrency::IsDeadlockAbort(failure)) {
+              ++out.deadlock_retries;
+              continue;  // whole-transaction client retry
+            }
+            break;  // non-deadlock failure: give the script up
+          }
+          const int64_t trid = proxy.current_txn_id();
+          std::vector<proxy::DepEntry> deps = proxy.pending_deps();
+          auto commit = proxy.Execute("COMMIT");
+          if (commit.ok()) {
+            out.committed_mask[j] = true;
+            out.committed[trid] = std::move(deps);
+            out.trid_to_script[trid] = j;
+            break;
+          }
+          if (concurrency::IsDeadlockAbort(commit.status())) {
+            ++out.deadlock_retries;
+            continue;
+          }
+          break;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  reg.DisarmAll();
+
+  // Flatten thread-major for the replay oracle and the completeness check.
+  std::vector<Script> flat;
+  std::vector<bool> flat_mask;
+  std::map<int64_t, std::vector<proxy::DepEntry>> committed;
+  std::map<int64_t, size_t> trid_to_flat;
+  int64_t retries = 0;
+  for (int t = 0; t < kThreads; ++t) {
+    const size_t base = flat.size();
+    for (size_t j = 0; j < per_thread[t].size(); ++j) {
+      flat.push_back(per_thread[t][j]);
+      flat_mask.push_back(outcomes[t].committed_mask[j]);
+    }
+    for (auto& [trid, deps] : outcomes[t].committed) {
+      committed[trid] = std::move(deps);
+    }
+    for (const auto& [trid, j] : outcomes[t].trid_to_script) {
+      trid_to_flat[trid] = base + j;
+    }
+    retries += outcomes[t].deadlock_retries;
+  }
+  g_deadlock_client_retries += retries;
+
+  // No wire/commit faults were armed, so tracking must be exact: every
+  // committed transaction has its full dependency set and zero gaps.
+  CheckTrackingCompleteness(&admin, committed, baseline,
+                            proxy::DegradedMode::kAbort);
+  CheckWalDurability(db);
+
+  const uint64_t actual = db.StateHash({"account"}, {"trid"});
+  const uint64_t expected = ReplayHash(flat, flat_mask, {});
+  Require(actual == expected,
+          "concurrent lock-contention state diverges from the commuting "
+          "serial replay of the committed scripts");
+
+  int64_t attack_trid = 0;
+  for (const auto& [trid, j] : trid_to_flat) {
+    if (flat[j].label == "Attack") attack_trid = trid;
+  }
+  size_t undo_size = 0;
+  if (attack_trid != 0) {
+    repair::RepairEngine engine(&db);
+    auto report =
+        engine.Repair({attack_trid}, repair::DbaPolicy::TrackEverything());
+    Require(report.ok(), "repair after lock-contention chaos: " +
+                             report.status().ToString());
+    std::set<size_t> excluded;
+    for (int64_t id : report->undo_set) {
+      auto it = trid_to_flat.find(id);
+      if (it != trid_to_flat.end()) excluded.insert(it->second);
+    }
+    Require(excluded.count(trid_to_flat[attack_trid]) > 0,
+            "attack txn not in its own undo set");
+    undo_size = report->undo_set.size();
+    const uint64_t repaired = db.StateHash({"account"}, {"trid"});
+    const uint64_t expect2 = ReplayHash(flat, flat_mask, excluded);
+    Require(repaired == expect2,
+            "repaired state diverges from a replay without the undo set "
+            "(concurrent history)");
+  }
+
+  const auto lstats = db.txn_manager().locks().stats();
+  std::printf("chaos: lock iter %2d committed=%zu retries=%lld waits=%lld "
+              "deadlocks=%lld undo=%zu\n",
+              iter, committed.size(), static_cast<long long>(retries),
+              static_cast<long long>(lstats.waits),
+              static_cast<long long>(lstats.deadlocks), undo_size);
+}
+
 int ChaosMain(int argc, char** argv) {
   uint64_t seed = 20260805;
   if (const char* env = std::getenv("IRDB_CHAOS_SEED");
       env != nullptr && *env != '\0') {
     seed = std::strtoull(env, nullptr, 10);
   }
-  int tpcc_iters = 13, repair_iters = 13, net_iters = 5;
+  int tpcc_iters = 13, repair_iters = 13, net_iters = 5, lock_iters = 5;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--seed=", 7) == 0) {
       seed = std::strtoull(argv[i] + 7, nullptr, 10);
@@ -635,6 +855,8 @@ int ChaosMain(int argc, char** argv) {
       repair_iters = std::atoi(argv[i] + 15);
     } else if (std::strncmp(argv[i], "--net-iters=", 12) == 0) {
       net_iters = std::atoi(argv[i] + 12);
+    } else if (std::strncmp(argv[i], "--lock-iters=", 13) == 0) {
+      lock_iters = std::atoi(argv[i] + 13);
     } else if (std::strncmp(argv[i], "--profile=", 10) == 0) {
       const char* want = argv[i] + 10;
       bool found = false;
@@ -646,13 +868,14 @@ int ChaosMain(int argc, char** argv) {
       }
       if (!found) {
         std::fprintf(stderr, "unknown profile '%s' (default, wire-heavy, "
-                             "commit-heavy, net-reset)\n", want);
+                             "commit-heavy, net-reset, lock-contention)\n",
+                     want);
         return 2;
       }
     } else {
       std::fprintf(stderr,
                    "usage: %s [--seed=N] [--profile=NAME] [--tpcc-iters=N] "
-                   "[--repair-iters=N] [--net-iters=N]\n"
+                   "[--repair-iters=N] [--net-iters=N] [--lock-iters=N]\n"
                    "  (IRDB_CHAOS_SEED is honored when --seed is absent)\n",
                    argv[0]);
       return 2;
@@ -660,13 +883,14 @@ int ChaosMain(int argc, char** argv) {
   }
   g_seed = seed;
   std::printf("chaos: seed=%llu profile=%s tpcc_iters=%d repair_iters=%d "
-              "net_iters=%d\n",
+              "net_iters=%d lock_iters=%d\n",
               static_cast<unsigned long long>(seed), g_profile.name,
-              tpcc_iters, repair_iters, net_iters);
+              tpcc_iters, repair_iters, net_iters, lock_iters);
 
   for (int i = 0; i < tpcc_iters; ++i) RunTpccChaosIteration(i);
   for (int i = 0; i < net_iters; ++i) RunNetChaosIteration(i);
   for (int i = 0; i < repair_iters; ++i) RunRepairChaosIteration(i);
+  for (int i = 0; i < lock_iters; ++i) RunLockContentionIteration(i);
 
   Require(g_dropped_round_trips + g_injected > 0,
           "no faults fired across the whole run — the harness is inert");
@@ -691,12 +915,14 @@ int ChaosMain(int argc, char** argv) {
   }
 
   std::printf("chaos: OK  dropped_round_trips=%lld retries=%lld "
-              "injected=%lld degraded_commits=%lld gap_txns=%lld\n",
+              "injected=%lld degraded_commits=%lld gap_txns=%lld "
+              "deadlock_retries=%lld\n",
               static_cast<long long>(g_dropped_round_trips),
               static_cast<long long>(g_retries),
               static_cast<long long>(g_injected),
               static_cast<long long>(g_degraded_commits),
-              static_cast<long long>(g_gap_txns));
+              static_cast<long long>(g_gap_txns),
+              static_cast<long long>(g_deadlock_client_retries));
   return 0;
 }
 

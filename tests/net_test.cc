@@ -537,6 +537,8 @@ TEST(NetConcurrencyTest, ConcurrentSessionsTrackCompletely) {
   EXPECT_EQ(proxy_stats.deps_recorded,
             obs::CounterValue(m.proxy_deps_recorded));
   EXPECT_EQ(proxy_stats.retries, obs::CounterValue(m.proxy_retries));
+  EXPECT_EQ(proxy_stats.deadlock_retries,
+            obs::CounterValue(m.proxy_deadlock_retries));
   EXPECT_EQ(proxy_stats.degraded_commits,
             obs::CounterValue(m.proxy_degraded_commits));
   EXPECT_EQ(proxy_stats.tracking_gap_txns,
@@ -607,12 +609,26 @@ CanonicalTracking Canonicalize(DbConnection* admin) {
 constexpr int kEqConns = 32;
 constexpr int kEqTxns = 4;
 
-// The deterministic per-connection script; only intra-connection data flow,
-// so the label-space tracking tables are schedule-independent.
+// Per-connection data flow stays intra-connection, so those edges are
+// schedule-independent; the shared read-only eqref table adds one
+// deterministic CROSS-connection edge to every transaction (a read
+// dependency on the annotated seeding txn), proving the lock manager's
+// shared-mode grants do not perturb tracking.
 std::vector<std::string> EqTableNames() {
   std::vector<std::string> names;
+  names.push_back("eqref");
   for (int i = 0; i < kEqConns; ++i) names.push_back("eq" + std::to_string(i));
   return names;
+}
+
+// Creates and seeds the shared reference table through a tracked, annotated
+// transaction so every later reader records a dependency on label "eqseed".
+void SeedEqRef(DbConnection* conn) {
+  Must(conn, "CREATE TABLE eqref (k INTEGER, v INTEGER)");
+  Must(conn, "BEGIN");
+  Must(conn, "INSERT INTO eqref VALUES (1, 7)");
+  conn->SetAnnotation("eqseed");
+  Must(conn, "COMMIT");
 }
 
 void RunEqScript(DbConnection* conn, int conn_id) {
@@ -620,6 +636,7 @@ void RunEqScript(DbConnection* conn, int conn_id) {
   Must(conn, "CREATE TABLE " + table + " (k INTEGER, v INTEGER)");
   for (int j = 0; j < kEqTxns; ++j) {
     Must(conn, "BEGIN");
+    Must(conn, "SELECT v FROM eqref");  // cross-connection dep on eqseed
     Must(conn, "INSERT INTO " + table + " VALUES (" + std::to_string(j) +
                    ", " + std::to_string(conn_id * 100 + j) + ")");
     if (j > 0) {
@@ -644,6 +661,9 @@ struct EqRunResult {
 // into label space.
 EqRunResult FinishEqRun(ResilientDb& rdb) {
   EqRunResult out;
+  // No faults, so the concurrent run must be exactly as well-tracked as the
+  // serial one: zero tracking gaps.
+  EXPECT_TRUE(Must(rdb.Admin(), "SELECT tr_id FROM tracking_gaps").rows.empty());
   out.tracking = Canonicalize(rdb.Admin());
   out.pre_repair_hash = rdb.db().StateHash(EqTableNames(), {"trid"});
   auto seed_it = out.tracking.trid_by_label.find("c0_t1");
@@ -674,6 +694,11 @@ TEST(NetEquivalenceTest, SerialLoopbackMatchesConcurrentTcp) {
     dopts.arch = ProxyArch::kDualProxy;
     ResilientDb rdb(dopts);
     ASSERT_TRUE(rdb.Bootstrap().ok());
+    {
+      auto seeder = rdb.Connect();
+      ASSERT_TRUE(seeder.ok());
+      SeedEqRef(seeder->get());
+    }
     for (int i = 0; i < kEqConns; ++i) {
       auto conn = rdb.Connect();
       ASSERT_TRUE(conn.ok());
@@ -692,6 +717,13 @@ TEST(NetEquivalenceTest, SerialLoopbackMatchesConcurrentTcp) {
     sopts.exec_threads = 8;
     auto server_r = rdb.ServeTcp(sopts);
     ASSERT_TRUE(server_r.ok());
+    {
+      TcpChannelOptions copts;
+      copts.port = (*server_r)->port();
+      auto seeder = net::NetClient::Dial(copts);
+      ASSERT_TRUE(seeder.ok());
+      SeedEqRef(&(*seeder)->connection());
+    }
     std::atomic<int> next_conn{0};
     std::vector<std::thread> threads;
     for (int t = 0; t < 8; ++t) {
@@ -721,6 +753,12 @@ TEST(NetEquivalenceTest, SerialLoopbackMatchesConcurrentTcp) {
   // dependent tail of connection 0's chain.
   EXPECT_GE(serial.undo_labels.size(), 2u);
   EXPECT_TRUE(serial.undo_labels.count("c0_t1") == 1);
+  // Every workload txn recorded its deterministic cross-connection read
+  // dependency on the shared reference table's seeding txn.
+  for (const auto& [label, deps] : serial.tracking.deps) {
+    if (label == "eqseed") continue;
+    EXPECT_EQ(deps.count({"eqref", "eqseed"}), 1u) << label;
+  }
 }
 
 // --------------------------------------------------------------------------

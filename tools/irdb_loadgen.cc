@@ -20,15 +20,25 @@
 //   --seed=N          workload seed                          (default 42)
 //   --no-track        self-host without server-side tracking
 //   --no-annot        skip per-transaction annot labels
+//
+// Workers retry a transaction (bounded) when the engine's lock manager
+// aborts it with a "[deadlock]" tag; the per-thread report breaks out
+// deadlock aborts, client retries, and p50/p99 whole-transaction latency
+// (retries included), so contention shows up in the numbers instead of as
+// silent failures.
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <random>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "concurrency/lock_manager.h"
 #include "engine/database.h"
 #include "net/net_client.h"
 #include "net/net_server.h"
@@ -42,8 +52,20 @@ namespace {
 struct WorkerTally {
   int64_t ok = 0;
   int64_t failed = 0;
+  int64_t deadlock_aborts = 0;  // "[deadlock]"-tagged aborts observed
+  int64_t retries = 0;          // whole-transaction client retries
+  std::vector<double> latencies_ms;  // per logical txn, retries included
   std::string first_error;
 };
+
+// Nearest-rank percentile; sorts in place.
+double Percentile(std::vector<double>& v, double q) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const size_t idx = std::min(
+      v.size() - 1, static_cast<size_t>(q * static_cast<double>(v.size())));
+  return v[idx];
+}
 
 int Main(int argc, char** argv) {
   int connections = 4;
@@ -157,36 +179,70 @@ int Main(int argc, char** argv) {
       tpcc::TpccDriver driver(&(*client)->connection(), cfg,
                               seed + 1000003 * static_cast<uint64_t>(w) + 1);
       driver.set_annotations(annotate);
+      std::mt19937 rng(static_cast<uint32_t>(seed) + 77771u * w);
+      constexpr int kMaxAttempts = 10;
       for (int t = 0; t < txns; ++t) {
-        auto r = read_only ? driver.StockLevel() : driver.RunMixed();
-        if (r.ok()) {
-          ++tally.ok;
-        } else {
+        Stopwatch txn_sw;
+        for (int attempt = 1; attempt <= kMaxAttempts; ++attempt) {
+          auto r = read_only ? driver.StockLevel() : driver.RunMixed();
+          if (r.ok()) {
+            ++tally.ok;
+            break;
+          }
+          const bool deadlock = concurrency::IsDeadlockAbort(r.status());
+          if (deadlock) ++tally.deadlock_aborts;
+          if (deadlock && attempt < kMaxAttempts) {
+            ++tally.retries;  // the driver rolled back; rerun the whole txn
+            // Jittered backoff: immediate retry tends to re-collide with
+            // the same peers and exhaust the budget under hot contention.
+            std::this_thread::sleep_for(std::chrono::microseconds(
+                std::uniform_int_distribution<int>(0, 200 << std::min(attempt, 6))(rng)));
+            continue;
+          }
           ++tally.failed;
           if (tally.first_error.empty()) {
             tally.first_error = r.status().ToString();
           }
+          break;
         }
+        tally.latencies_ms.push_back(txn_sw.ElapsedSeconds() * 1e3);
       }
     });
   }
   for (auto& t : workers) t.join();
   const double wall = sw.ElapsedSeconds();
 
-  int64_t ok = 0, failed = 0;
-  for (const WorkerTally& t : tallies) {
+  int64_t ok = 0, failed = 0, aborts = 0, retries = 0;
+  std::vector<double> all_latencies;
+  for (size_t w = 0; w < tallies.size(); ++w) {
+    WorkerTally& t = tallies[w];
     ok += t.ok;
     failed += t.failed;
+    aborts += t.deadlock_aborts;
+    retries += t.retries;
+    all_latencies.insert(all_latencies.end(), t.latencies_ms.begin(),
+                         t.latencies_ms.end());
+    std::printf("loadgen: worker %zu: ok=%lld failed=%lld "
+                "deadlock_aborts=%lld retries=%lld p50=%.2fms p99=%.2fms\n",
+                w, static_cast<long long>(t.ok),
+                static_cast<long long>(t.failed),
+                static_cast<long long>(t.deadlock_aborts),
+                static_cast<long long>(t.retries),
+                Percentile(t.latencies_ms, 0.50),
+                Percentile(t.latencies_ms, 0.99));
     if (!t.first_error.empty()) {
       std::fprintf(stderr, "loadgen: worker error: %s\n",
                    t.first_error.c_str());
     }
   }
   std::printf("loadgen: %d conns x %d txns (%s): %lld ok, %lld failed, "
-              "%.2fs wall, %.0f txn/s\n",
+              "%lld deadlock aborts, %lld retries, %.2fs wall, %.0f txn/s, "
+              "p99=%.2fms\n",
               connections, txns, read_only ? "ro" : "rw",
-              static_cast<long long>(ok), static_cast<long long>(failed), wall,
-              static_cast<double>(ok) / wall);
+              static_cast<long long>(ok), static_cast<long long>(failed),
+              static_cast<long long>(aborts), static_cast<long long>(retries),
+              wall, static_cast<double>(ok) / wall,
+              Percentile(all_latencies, 0.99));
 
   int rc = failed == 0 ? 0 : 1;
   if (server != nullptr) {

@@ -4,13 +4,15 @@
 # connections mid-transaction), in both the regular build and an
 # AddressSanitizer build, failing on the first invariant violation (the
 # harness prints the seed so any failure replays exactly). A third,
-# ThreadSanitizer build (-DIRDB_SANITIZE=thread) then runs the `parallel`
-# and `net` ctest labels — the parallel repair pipeline's determinism and
-# equivalence tests, the sharded metrics-registry hammer (obs_test), and the
-# networked front-end's concurrent-session suite (net_test) — so data races
-# in the worker pool, segmented scan, sharded closure, batched compensation,
-# the shard-per-thread registry, or the event-loop/executor handoff surface
-# here rather than in production.
+# ThreadSanitizer build (-DIRDB_SANITIZE=thread) then runs the `parallel`,
+# `net`, and `concurrency` ctest labels — the parallel repair pipeline's
+# determinism and equivalence tests, the sharded metrics-registry hammer
+# (obs_test), the networked front-end's concurrent-session suite (net_test),
+# and the lock-manager/concurrent-execution suite (concurrency_test) — so
+# data races in the worker pool, segmented scan, sharded closure, batched
+# compensation, the shard-per-thread registry, the event-loop/executor
+# handoff, or the lock manager and latch layering surface here rather than
+# in production.
 #
 # Usage: tools/run_chaos.sh [num_seeds] [base_seed]
 #   num_seeds  seeds per profile per config (default 5)
@@ -21,7 +23,7 @@ set -euo pipefail
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 num_seeds="${1:-5}"
 base_seed="${2:-20260805}"
-profiles=(default wire-heavy commit-heavy net-reset)
+profiles=(default wire-heavy commit-heavy net-reset lock-contention)
 
 run_config() {
   local build_dir="$1"; shift
@@ -41,9 +43,9 @@ run_config() {
 run_config "$repo/build" "plain"
 run_config "$repo/build-asan" "asan" -DIRDB_SANITIZE=address
 
-echo "[tsan] parallel repair + networked front-end tests under ThreadSanitizer"
+echo "[tsan] parallel repair + net front-end + lock manager under ThreadSanitizer"
 cmake -B "$repo/build-tsan" -S "$repo" -DIRDB_SANITIZE=thread >/dev/null
-cmake --build "$repo/build-tsan" --target parallel_repair_test obs_test net_test -j >/dev/null
-(cd "$repo/build-tsan" && ctest -L 'parallel|net' --output-on-failure)
+cmake --build "$repo/build-tsan" --target parallel_repair_test obs_test net_test concurrency_test -j >/dev/null
+(cd "$repo/build-tsan" && ctest -L 'parallel|net|concurrency' --output-on-failure)
 
-echo "chaos soak passed: ${#profiles[@]} profiles x $num_seeds seeds x 2 configs + tsan parallel/net suites"
+echo "chaos soak passed: ${#profiles[@]} profiles x $num_seeds seeds x 2 configs + tsan parallel/net/concurrency suites"
