@@ -1,0 +1,566 @@
+// Serve-through repair availability (DESIGN.md §5g): clean-key availability
+// while an online repair quarantines and heals a contaminated partition,
+// against the offline baseline where the operator takes the database down
+// for the same repair.
+//
+// Deployment: one engine behind the TCP front-end, 8 client connections
+// (the issue's target point) running tracked single-statement point
+// reads/writes over three PK'd tables. Setup commits one attack
+// transaction that contaminates an asymmetric slice of each table
+// (8 / 32 / 96 of 200 keys), so the per-table compensation lanes finish at
+// different times and the incremental release is visible in the per-second
+// timeline. The simulated I/O model runs in realtime-stall mode
+// (IoCostParams::realtime_stall_scale) to stretch the repair window across
+// several wall seconds the way the paper's disk-bound testbed would.
+//
+// Two legs, same contamination:
+//   - online:  RepairOnline races the live load; statements on quarantined
+//     slices get tagged kUnavailable rejects, clean keys keep flowing, and
+//     slices leave the fence as their table's lane commits;
+//   - offline: the operator procedure — stop the server, run Repair, bring
+//     the server back; every request during the window is unavailable.
+//
+// Emits BENCH_online.json: per-leg repair window, clean-key and overall
+// availability inside the window, and a per-second timeline
+// (served/rejected/net_down/failed + quarantine slices held) that shows
+// availability recovering slice-by-slice. Exit code gates on the issue
+// target: >= 90% clean-key availability during the online repair window.
+//
+// Flags: --connections=N (default 8), --stall-scale=F (default 200),
+//        --warmup-ms=N (default 1200), --tail-ms=N (default 1200),
+//        --out=PATH (default BENCH_online.json).
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/database.h"
+#include "engine/io_model.h"
+#include "net/net_client.h"
+#include "net/net_server.h"
+#include "proxy/tracking_proxy.h"
+#include "repair/dba_policy.h"
+#include "repair/repair_engine.h"
+#include "util/stopwatch.h"
+#include "wire/client.h"
+
+namespace irdb {
+namespace {
+
+constexpr int kTables = 3;
+constexpr int kKeysPerTable = 200;
+// Contaminated key prefix per table: asymmetric so lanes release at
+// different times.
+constexpr int kContaminated[kTables] = {8, 32, 96};
+const char* const kTableNames[kTables] = {"acct_a", "acct_b", "acct_c"};
+
+constexpr size_t kMaxSeconds = 120;
+
+struct SecondBucket {
+  std::atomic<int64_t> served{0};
+  std::atomic<int64_t> rejected{0};   // tagged quarantine rejects
+  std::atomic<int64_t> net_down{0};   // server unreachable / connection lost
+  std::atomic<int64_t> failed{0};     // anything else (deadlock residue)
+  std::atomic<int64_t> clean_attempted{0};
+  std::atomic<int64_t> clean_served{0};
+  std::atomic<int> slices{0};         // quarantine slices held (sampled)
+};
+
+struct WindowCounters {
+  std::atomic<int64_t> attempted{0};
+  std::atomic<int64_t> served{0};
+  std::atomic<int64_t> clean_attempted{0};
+  std::atomic<int64_t> clean_served{0};
+};
+
+enum class OpOutcome { kServed, kRejected, kNetDown, kFailed };
+
+OpOutcome Classify(const Status& st) {
+  if (st.message().rfind(kQuarantineTag, 0) == 0) return OpOutcome::kRejected;
+  if (st.code() == StatusCode::kUnavailable) return OpOutcome::kNetDown;
+  return OpOutcome::kFailed;
+}
+
+struct Op {
+  int table = 0;
+  int key = 1;
+  bool write = false;
+  bool hot() const { return key <= kContaminated[table]; }
+  std::string Sql() const {
+    const std::string t = kTableNames[table];
+    const std::string k = std::to_string(key);
+    return write ? "UPDATE " + t + " SET balance = balance + 1 WHERE id = " + k
+                 : "SELECT balance FROM " + t + " WHERE id = " + k;
+  }
+};
+
+struct Rng {
+  uint64_t state;
+  uint64_t Next() {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state >> 17;
+  }
+};
+
+Op NextOp(Rng* rng) {
+  Op op;
+  op.table = static_cast<int>(rng->Next() % kTables);
+  op.key = 1 + static_cast<int>(rng->Next() % kKeysPerTable);
+  op.write = (rng->Next() & 1) != 0;
+  return op;
+}
+
+// One worker's connection through the TCP front door; tracking lives in the
+// client-side proxy (the deployment the chaos harness exercises).
+struct WorkerConn {
+  std::unique_ptr<net::TcpChannel> channel;
+  std::unique_ptr<RemoteConnection> remote;
+  std::unique_ptr<proxy::TrackingProxy> proxy;
+
+  void Drop() {
+    proxy.reset();
+    remote.reset();
+    channel.reset();
+  }
+
+  bool Dial(int port, proxy::TxnIdAllocator* alloc) {
+    Drop();
+    net::TcpChannelOptions copts;
+    copts.port = port;
+    channel = std::make_unique<net::TcpChannel>(copts);
+    auto r = RemoteConnection::Connect(channel.get(), RetryPolicy::None());
+    if (!r.ok()) {
+      Drop();
+      return false;
+    }
+    remote = std::move(r).value();
+    proxy = std::make_unique<proxy::TrackingProxy>(remote.get(), alloc,
+                                                   FlavorTraits::Postgres());
+    return true;
+  }
+};
+
+OpOutcome RunOp(proxy::TrackingProxy* p, const Op& op) {
+  auto begin = p->Execute("BEGIN");
+  if (!begin.ok()) {
+    (void)p->Execute("ROLLBACK");
+    return Classify(begin.status());
+  }
+  auto r = p->Execute(op.Sql());
+  if (r.ok()) {
+    auto commit = p->Execute("COMMIT");
+    if (commit.ok()) return OpOutcome::kServed;
+    (void)p->Execute("ROLLBACK");
+    return Classify(commit.status());
+  }
+  (void)p->Execute("ROLLBACK");
+  return Classify(r.status());
+}
+
+struct LegResult {
+  std::string name;
+  double window_begin_s = 0;
+  double window_end_s = 0;
+  double leg_seconds = 0;
+  Status repair_status = Status::Ok();
+  int undo_txns = 0;
+  // Online-only detail.
+  int rounds = 0;
+  int slices_installed = 0;
+  int slices_released = 0;
+  int lanes = 0;
+  int64_t rejects_during = 0;
+  WindowCounters window;
+  std::vector<SecondBucket> timeline =
+      std::vector<SecondBucket>(kMaxSeconds);
+
+  double CleanAvailability() const {
+    const int64_t a = window.clean_attempted.load();
+    return a == 0 ? 0.0
+                  : static_cast<double>(window.clean_served.load()) /
+                        static_cast<double>(a);
+  }
+  double OverallAvailability() const {
+    const int64_t a = window.attempted.load();
+    return a == 0 ? 0.0
+                  : static_cast<double>(window.served.load()) /
+                        static_cast<double>(a);
+  }
+};
+
+void Record(LegResult* leg, const Stopwatch& t0, std::atomic<bool>* in_window,
+            const Op& op, OpOutcome oc) {
+  const size_t sec = std::min(
+      kMaxSeconds - 1, static_cast<size_t>(std::max(0.0, t0.ElapsedSeconds())));
+  SecondBucket& b = leg->timeline[sec];
+  switch (oc) {
+    case OpOutcome::kServed: b.served.fetch_add(1); break;
+    case OpOutcome::kRejected: b.rejected.fetch_add(1); break;
+    case OpOutcome::kNetDown: b.net_down.fetch_add(1); break;
+    case OpOutcome::kFailed: b.failed.fetch_add(1); break;
+  }
+  const bool clean = !op.hot();
+  if (clean) {
+    b.clean_attempted.fetch_add(1);
+    if (oc == OpOutcome::kServed) b.clean_served.fetch_add(1);
+  }
+  if (in_window->load(std::memory_order_acquire)) {
+    leg->window.attempted.fetch_add(1);
+    if (oc == OpOutcome::kServed) leg->window.served.fetch_add(1);
+    if (clean) {
+      leg->window.clean_attempted.fetch_add(1);
+      if (oc == OpOutcome::kServed) leg->window.clean_served.fetch_add(1);
+    }
+  }
+}
+
+// Seeds the tables and commits the attack through a tracked TCP connection;
+// returns the attack's proxy transaction id (the repair seed).
+Result<int64_t> SetupContamination(net::NetProxyServer* server,
+                                   proxy::TxnIdAllocator* alloc) {
+  net::TcpChannelOptions copts;
+  copts.port = server->port();
+  net::TcpChannel channel(copts);
+  IRDB_ASSIGN_OR_RETURN(auto remote,
+                        RemoteConnection::Connect(&channel,
+                                                  RetryPolicy::None()));
+  proxy::TrackingProxy boot(remote.get(), alloc, FlavorTraits::Postgres());
+  IRDB_RETURN_IF_ERROR(boot.EnsureTrackingTables());
+
+  for (const char* table : kTableNames) {
+    IRDB_RETURN_IF_ERROR(
+        boot.Execute(std::string("CREATE TABLE ") + table +
+                     " (id INTEGER, balance DOUBLE, PRIMARY KEY (id))")
+            .status());
+    for (int lo = 1; lo <= kKeysPerTable; lo += 50) {
+      std::string sql = std::string("INSERT INTO ") + table +
+                        "(id, balance) VALUES ";
+      for (int id = lo; id < lo + 50; ++id) {
+        if (id != lo) sql += ", ";
+        sql += "(" + std::to_string(id) + ", 100.0)";
+      }
+      IRDB_RETURN_IF_ERROR(boot.Execute(sql).status());
+    }
+  }
+
+  IRDB_RETURN_IF_ERROR(boot.Execute("BEGIN").status());
+  boot.SetAnnotation("Attack");
+  for (int t = 0; t < kTables; ++t) {
+    for (int id = 1; id <= kContaminated[t]; ++id) {
+      IRDB_RETURN_IF_ERROR(
+          boot.Execute(std::string("UPDATE ") + kTableNames[t] +
+                       " SET balance = balance + 1000 WHERE id = " +
+                       std::to_string(id))
+              .status());
+    }
+  }
+  const int64_t attack_trid = boot.current_txn_id();
+  IRDB_RETURN_IF_ERROR(boot.Execute("COMMIT").status());
+  return attack_trid;
+}
+
+// Disk-bound-era cost model with realtime stalls so the repair window spans
+// wall seconds (see io_model.h). Read misses are zeroed: the bench measures
+// the quarantine window, not cold-cache warmup spikes.
+IoCostParams StallParams(double scale) {
+  IoCostParams io;
+  io.enabled = true;
+  io.read_miss_seconds = 0;
+  io.log_flush_seconds = 5.0e-5;
+  io.log_write_seconds_per_byte = 0;
+  io.statement_cpu_seconds = 1.0e-4;
+  io.row_cpu_seconds = 1.0e-6;
+  io.realtime_stall_scale = scale;
+  return io;
+}
+
+void RunLeg(LegResult* leg_out, bool online, int connections,
+            double stall_scale, int warmup_ms, int tail_ms) {
+  LegResult& leg = *leg_out;
+  leg.name = online ? "online" : "offline";
+
+  Database db(FlavorTraits::Postgres());
+  proxy::TxnIdAllocator alloc;
+  net::NetServerOptions sopts;
+  sopts.track = false;  // tracking lives in the per-client proxies
+  auto server = std::make_unique<net::NetProxyServer>(&db, &alloc, sopts);
+  Status st = server->Start();
+  if (!st.ok()) {
+    leg.repair_status = st;
+    return;
+  }
+  auto seed_or = SetupContamination(server.get(), &alloc);
+  if (!seed_or.ok()) {
+    leg.repair_status = seed_or.status();
+    return;
+  }
+  const int64_t attack_trid = *seed_or;
+
+  // Stalls go live only now: setup stays fast, the measured legs run
+  // "disk-bound".
+  db.io_model().Configure(StallParams(stall_scale));
+
+  std::atomic<int> port{server->port()};
+  std::atomic<bool> stop{false};
+  std::atomic<bool> in_window{false};
+  Stopwatch t0;
+
+  std::vector<std::thread> workers;
+  for (int c = 0; c < connections; ++c) {
+    workers.emplace_back([&, c] {
+      Rng rng{0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(c + 1) +
+              (online ? 1 : 2)};
+      WorkerConn wc;
+      while (!stop.load(std::memory_order_acquire)) {
+        if (!wc.proxy) {
+          if (!wc.Dial(port.load(std::memory_order_acquire), &alloc)) {
+            // The op we would have issued counts as unavailable.
+            Record(&leg, t0, &in_window, NextOp(&rng), OpOutcome::kNetDown);
+            std::this_thread::sleep_for(std::chrono::milliseconds(25));
+            continue;
+          }
+        }
+        const Op op = NextOp(&rng);
+        const OpOutcome oc = RunOp(wc.proxy.get(), op);
+        Record(&leg, t0, &in_window, op, oc);
+        if (oc == OpOutcome::kNetDown) wc.Drop();
+        if (oc == OpOutcome::kRejected) {
+          // Client backoff on a fenced slice.
+          std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        }
+      }
+    });
+  }
+
+  // Samples quarantine occupancy into the timeline so the per-second series
+  // shows the incremental release, not just its effect on rejects.
+  std::thread sampler([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      const size_t sec =
+          std::min(kMaxSeconds - 1,
+                   static_cast<size_t>(std::max(0.0, t0.ElapsedSeconds())));
+      const int held = db.quarantine().stats().slices;
+      int cur = leg.timeline[sec].slices.load();
+      while (held > cur &&
+             !leg.timeline[sec].slices.compare_exchange_weak(cur, held)) {
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  });
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(warmup_ms));
+
+  repair::RepairEngine engine(&db, /*threads=*/2);
+  leg.window_begin_s = t0.ElapsedSeconds();
+  in_window.store(true, std::memory_order_release);
+  if (online) {
+    auto rep = engine.RepairOnline({attack_trid},
+                                   repair::DbaPolicy::TrackEverything());
+    if (rep.ok()) {
+      leg.rounds = rep->rounds;
+      leg.slices_installed = rep->slices_installed;
+      leg.slices_released = rep->slices_released;
+      leg.lanes = rep->lanes;
+      leg.rejects_during = rep->rejects_during;
+      leg.undo_txns = static_cast<int>(rep->repair.undo_set.size());
+    } else {
+      leg.repair_status = rep.status();
+    }
+  } else {
+    // Operator procedure: take the database offline, repair, come back.
+    server->Stop();
+    auto rep = engine.Repair({attack_trid},
+                             repair::DbaPolicy::TrackEverything());
+    if (rep.ok()) {
+      leg.undo_txns = static_cast<int>(rep->undo_set.size());
+    } else {
+      leg.repair_status = rep.status();
+    }
+    server = std::make_unique<net::NetProxyServer>(&db, &alloc, sopts);
+    Status restart = server->Start();
+    if (!restart.ok() && leg.repair_status.ok()) leg.repair_status = restart;
+    port.store(server->port(), std::memory_order_release);
+  }
+  in_window.store(false, std::memory_order_release);
+  leg.window_end_s = t0.ElapsedSeconds();
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(tail_ms));
+  stop.store(true, std::memory_order_release);
+  for (auto& w : workers) w.join();
+  sampler.join();
+  leg.leg_seconds = t0.ElapsedSeconds();
+  server->Stop();
+}
+
+void PrintLeg(const LegResult& leg) {
+  std::printf(
+      "online_repair: leg=%s window=[%.2fs, %.2fs] clean_avail=%.1f%% "
+      "overall_avail=%.1f%% undo=%d rounds=%d slices=%d/%d lanes=%d "
+      "rejects_during=%lld\n",
+      leg.name.c_str(), leg.window_begin_s, leg.window_end_s,
+      100.0 * leg.CleanAvailability(), 100.0 * leg.OverallAvailability(),
+      leg.undo_txns, leg.rounds, leg.slices_released, leg.slices_installed,
+      leg.lanes, static_cast<long long>(leg.rejects_during));
+  for (size_t sec = 0; sec < kMaxSeconds; ++sec) {
+    const SecondBucket& b = leg.timeline[sec];
+    const int64_t attempted = b.served.load() + b.rejected.load() +
+                              b.net_down.load() + b.failed.load();
+    if (attempted == 0) continue;
+    const double avail =
+        100.0 * static_cast<double>(b.served.load()) /
+        static_cast<double>(attempted);
+    std::printf(
+        "online_repair:   t=%2zus served=%4lld rejected=%4lld net_down=%4lld "
+        "failed=%3lld slices=%2d avail=%5.1f%%\n",
+        sec, static_cast<long long>(b.served.load()),
+        static_cast<long long>(b.rejected.load()),
+        static_cast<long long>(b.net_down.load()),
+        static_cast<long long>(b.failed.load()), b.slices.load(), avail);
+  }
+}
+
+void EmitLegJson(std::FILE* out, const LegResult& leg, bool last) {
+  std::fprintf(out, "  \"%s\": {\n", leg.name.c_str());
+  std::fprintf(out, "    \"repair_window_seconds\": %.3f,\n",
+               leg.window_end_s - leg.window_begin_s);
+  std::fprintf(out, "    \"window_begin_s\": %.3f,\n", leg.window_begin_s);
+  std::fprintf(out, "    \"window_end_s\": %.3f,\n", leg.window_end_s);
+  std::fprintf(out, "    \"undo_txns\": %d,\n", leg.undo_txns);
+  std::fprintf(out, "    \"rounds\": %d,\n", leg.rounds);
+  std::fprintf(out, "    \"slices_installed\": %d,\n", leg.slices_installed);
+  std::fprintf(out, "    \"slices_released\": %d,\n", leg.slices_released);
+  std::fprintf(out, "    \"lanes\": %d,\n", leg.lanes);
+  std::fprintf(out, "    \"rejects_during\": %lld,\n",
+               static_cast<long long>(leg.rejects_during));
+  std::fprintf(out, "    \"window_attempted\": %lld,\n",
+               static_cast<long long>(leg.window.attempted.load()));
+  std::fprintf(out, "    \"window_served\": %lld,\n",
+               static_cast<long long>(leg.window.served.load()));
+  std::fprintf(out, "    \"window_clean_attempted\": %lld,\n",
+               static_cast<long long>(leg.window.clean_attempted.load()));
+  std::fprintf(out, "    \"window_clean_served\": %lld,\n",
+               static_cast<long long>(leg.window.clean_served.load()));
+  std::fprintf(out, "    \"availability_clean\": %.4f,\n",
+               leg.CleanAvailability());
+  std::fprintf(out, "    \"availability_overall\": %.4f,\n",
+               leg.OverallAvailability());
+  std::fprintf(out, "    \"timeline\": [\n");
+  bool first = true;
+  for (size_t sec = 0; sec < kMaxSeconds; ++sec) {
+    const SecondBucket& b = leg.timeline[sec];
+    const int64_t attempted = b.served.load() + b.rejected.load() +
+                              b.net_down.load() + b.failed.load();
+    if (attempted == 0) continue;
+    if (!first) std::fprintf(out, ",\n");
+    first = false;
+    const double avail = static_cast<double>(b.served.load()) /
+                         static_cast<double>(attempted);
+    const int64_t ca = b.clean_attempted.load();
+    const double clean_avail =
+        ca == 0 ? 1.0
+                : static_cast<double>(b.clean_served.load()) /
+                      static_cast<double>(ca);
+    std::fprintf(out,
+                 "      {\"t\": %zu, \"served\": %lld, \"rejected\": %lld, "
+                 "\"net_down\": %lld, \"failed\": %lld, "
+                 "\"slices_held\": %d, \"availability\": %.4f, "
+                 "\"availability_clean\": %.4f}",
+                 sec, static_cast<long long>(b.served.load()),
+                 static_cast<long long>(b.rejected.load()),
+                 static_cast<long long>(b.net_down.load()),
+                 static_cast<long long>(b.failed.load()), b.slices.load(),
+                 avail, clean_avail);
+  }
+  std::fprintf(out, "\n    ]\n  }%s\n", last ? "" : ",");
+}
+
+int Main(int argc, char** argv) {
+  int connections = 8;
+  double stall_scale = 200.0;
+  int warmup_ms = 1200;
+  int tail_ms = 1200;
+  std::string out_path = "BENCH_online.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--connections=", 14) == 0) {
+      connections = std::atoi(argv[i] + 14);
+    } else if (std::strncmp(argv[i], "--stall-scale=", 14) == 0) {
+      stall_scale = std::atof(argv[i] + 14);
+    } else if (std::strncmp(argv[i], "--warmup-ms=", 12) == 0) {
+      warmup_ms = std::atoi(argv[i] + 12);
+    } else if (std::strncmp(argv[i], "--tail-ms=", 10) == 0) {
+      tail_ms = std::atoi(argv[i] + 10);
+    } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out_path = argv[i] + 6;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--connections=N] [--stall-scale=F] "
+                   "[--warmup-ms=N] [--tail-ms=N] [--out=PATH]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  LegResult online;
+  RunLeg(&online, /*online=*/true, connections, stall_scale, warmup_ms,
+         tail_ms);
+  if (!online.repair_status.ok()) {
+    std::fprintf(stderr, "bench_online_repair: online leg: %s\n",
+                 online.repair_status.ToString().c_str());
+    return 1;
+  }
+  PrintLeg(online);
+
+  LegResult offline;
+  RunLeg(&offline, /*online=*/false, connections, stall_scale, warmup_ms,
+         tail_ms);
+  if (!offline.repair_status.ok()) {
+    std::fprintf(stderr, "bench_online_repair: offline leg: %s\n",
+                 offline.repair_status.ToString().c_str());
+    return 1;
+  }
+  PrintLeg(offline);
+
+  constexpr double kTarget = 0.90;
+  const bool target_met = online.CleanAvailability() >= kTarget &&
+                          online.CleanAvailability() >
+                              offline.CleanAvailability();
+  std::printf(
+      "online_repair: clean availability during repair: online %.1f%% vs "
+      "offline %.1f%% (target >= %.0f%%) -> %s\n",
+      100.0 * online.CleanAvailability(),
+      100.0 * offline.CleanAvailability(), 100.0 * kTarget,
+      target_met ? "MET" : "MISSED");
+
+  int contaminated = 0;
+  for (int t = 0; t < kTables; ++t) contaminated += kContaminated[t];
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"bench\": \"online_repair\",\n");
+  std::fprintf(out, "  \"connections\": %d,\n", connections);
+  std::fprintf(out, "  \"stall_scale\": %.1f,\n", stall_scale);
+  std::fprintf(out, "  \"tables\": %d,\n", kTables);
+  std::fprintf(out, "  \"keys_per_table\": %d,\n", kKeysPerTable);
+  std::fprintf(out, "  \"contaminated_keys\": %d,\n", contaminated);
+  EmitLegJson(out, online, /*last=*/false);
+  EmitLegJson(out, offline, /*last=*/false);
+  std::fprintf(out, "  \"target_availability_clean\": %.2f,\n", kTarget);
+  std::fprintf(out, "  \"target_met\": %s\n}\n",
+               target_met ? "true" : "false");
+  std::fclose(out);
+  std::printf("online_repair: wrote %s\n", out_path.c_str());
+  return target_met ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace irdb
+
+int main(int argc, char** argv) { return irdb::Main(argc, argv); }

@@ -1,0 +1,164 @@
+#include "concurrency/quarantine.h"
+
+#include "obs/catalog.h"
+#include "obs/metrics.h"
+
+namespace irdb::concurrency {
+
+Status QuarantineManager::Begin() {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (active_.load(std::memory_order_relaxed)) {
+    return Status::FailedPrecondition(
+        "online repair already in progress: quarantine is held");
+  }
+  tables_.clear();
+  active_.store(true, std::memory_order_release);
+  PublishGauge();
+  return Status::Ok();
+}
+
+int QuarantineManager::Add(const std::vector<QuarantineSlice>& slices) {
+  std::lock_guard<std::mutex> lk(mu_);
+  int added = 0;
+  for (const QuarantineSlice& s : slices) {
+    TableSlices& t = tables_[s.table_id];
+    if (s.is_table()) {
+      if (!t.whole_table) {
+        // The whole table subsumes any bucket already registered for it.
+        t.whole_table = true;
+        t.buckets.clear();
+        ++added;
+      }
+    } else if (!t.whole_table && t.buckets.insert(s.key_hash).second) {
+      ++added;
+    }
+  }
+  installed_total_ += added;
+  PublishGauge();
+  return added;
+}
+
+int QuarantineManager::ReleaseTable(int32_t table_id) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = tables_.find(table_id);
+  if (it == tables_.end()) return 0;
+  const int released = it->second.whole_table
+                           ? 1
+                           : static_cast<int>(it->second.buckets.size());
+  tables_.erase(it);
+  released_total_ += released;
+  PublishGauge();
+  return released;
+}
+
+int QuarantineManager::ReleaseKey(int32_t table_id, uint64_t key_hash) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = tables_.find(table_id);
+  if (it == tables_.end() || it->second.whole_table) return 0;
+  const int released = static_cast<int>(it->second.buckets.erase(key_hash));
+  if (it->second.buckets.empty()) tables_.erase(it);
+  released_total_ += released;
+  PublishGauge();
+  return released;
+}
+
+void QuarantineManager::End() {
+  std::lock_guard<std::mutex> lk(mu_);
+  released_total_ += CountLocked();
+  tables_.clear();
+  active_.store(false, std::memory_order_release);
+  PublishGauge();
+}
+
+bool QuarantineManager::Blocks(const ResourceId& res, LockMode mode) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = tables_.find(res.table_id);
+  if (it == tables_.end()) return false;
+  const TableSlices& t = it->second;
+  if (res.is_table()) {
+    if (t.whole_table) return true;
+    // A coarse S/X on the table reads or writes every row, quarantined
+    // buckets included; intention modes name their keys separately and are
+    // judged per key.
+    return mode == LockMode::kShared || mode == LockMode::kExclusive;
+  }
+  return t.whole_table || t.buckets.count(res.key_hash) > 0;
+}
+
+bool QuarantineManager::HoldsOverlapping(const LockManager& lm,
+                                         int64_t txn_id) const {
+  // Snapshot the slices, then query the lock manager without holding mu_
+  // (the lock manager has its own mutex; never nest the two).
+  std::vector<std::pair<ResourceId, bool>> probes;  // (resource, whole_table)
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (const auto& [table_id, t] : tables_) {
+      probes.emplace_back(ResourceId::Table(table_id), t.whole_table);
+      for (uint64_t h : t.buckets) {
+        probes.emplace_back(ResourceId{table_id, h}, false);
+      }
+    }
+  }
+  for (const auto& [res, whole] : probes) {
+    if (res.is_table()) {
+      // Any held mode overlaps a whole-table slice; for a bucket-sliced
+      // table only a coarse S/X (a scan covering the buckets) does —
+      // intention holders are checked via their key locks below.
+      const LockMode floor =
+          whole ? LockMode::kIntentionShared : LockMode::kShared;
+      if (lm.holds(txn_id, res, floor)) return true;
+    } else if (lm.holds(txn_id, res, LockMode::kShared)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<std::pair<ResourceId, LockMode>> QuarantineManager::DrainPlan()
+    const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<std::pair<ResourceId, LockMode>> plan;
+  for (const auto& [table_id, t] : tables_) {
+    if (t.whole_table) {
+      plan.emplace_back(ResourceId::Table(table_id), LockMode::kExclusive);
+      continue;
+    }
+    plan.emplace_back(ResourceId::Table(table_id),
+                      LockMode::kIntentionExclusive);
+    for (uint64_t h : t.buckets) {
+      plan.emplace_back(ResourceId{table_id, h}, LockMode::kExclusive);
+    }
+  }
+  return plan;
+}
+
+void QuarantineManager::CountReject() {
+  rejects_total_.fetch_add(1, std::memory_order_relaxed);
+  obs::Count(obs::Metrics::Get().quarantine_rejects);
+}
+
+QuarantineStats QuarantineManager::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  QuarantineStats s;
+  s.active = active_.load(std::memory_order_relaxed);
+  s.slices = CountLocked();
+  s.tables = static_cast<int>(tables_.size());
+  s.installed_total = installed_total_;
+  s.released_total = released_total_;
+  s.rejects_total = rejects_total_.load(std::memory_order_relaxed);
+  return s;
+}
+
+int QuarantineManager::CountLocked() const {
+  int n = 0;
+  for (const auto& [id, t] : tables_) {
+    n += t.whole_table ? 1 : static_cast<int>(t.buckets.size());
+  }
+  return n;
+}
+
+void QuarantineManager::PublishGauge() const {
+  obs::SetGauge(obs::Metrics::Get().quarantine_slices, CountLocked());
+}
+
+}  // namespace irdb::concurrency

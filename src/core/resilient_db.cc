@@ -115,6 +115,15 @@ std::string ResilientDb::StatsBlock() const {
                 static_cast<long long>(p.retries),
                 static_cast<long long>(p.degraded_commits));
   out += buf;
+  const concurrency::QuarantineStats q = db_.quarantine().stats();
+  std::snprintf(buf, sizeof(buf),
+                "quarantine: %s, %d slices held (%d tables), %lld installed, "
+                "%lld released, %lld rejects\n",
+                q.active ? "ACTIVE" : "inactive", q.slices, q.tables,
+                static_cast<long long>(q.installed_total),
+                static_cast<long long>(q.released_total),
+                static_cast<long long>(q.rejects_total));
+  out += buf;
   out += ph.ToString();
   out += "\n";
   std::snprintf(buf, sizeof(buf),

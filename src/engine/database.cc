@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <optional>
+#include <unordered_set>
 
 #include "obs/catalog.h"
 #include "sql/parser.h"
@@ -16,6 +17,15 @@ namespace {
 Status PoisonedTxnError() {
   return Status::FailedPrecondition(
       "transaction aborted by deadlock; issue ROLLBACK before continuing");
+}
+
+// Retryable, like the gate rejection itself: the client backs off and
+// re-runs the transaction once the slice is released.
+Status QuarantinePoisonedError() {
+  return Status::Unavailable(
+      std::string(kQuarantineTag) +
+      " transaction was rolled back by online repair; issue ROLLBACK and "
+      "retry after release");
 }
 
 // True if the expression reads any column (i.e. is not evaluable against an
@@ -99,6 +109,7 @@ void Database::CloseSession(int64_t session_id) {
     txn_mgr_.Abort(sp->txn_id);
   }
   sp->poisoned = false;
+  sp->quarantine_poisoned = false;
 }
 
 std::shared_ptr<Database::Session> Database::FindSession(int64_t session_id) {
@@ -140,6 +151,7 @@ Result<ResultSet> Database::StatementOnSession(Session& s,
     case sql::StatementKind::kBegin:
       if (s.in_txn) return Status::FailedPrecondition("transaction already open");
       s.poisoned = false;  // starting fresh acknowledges a prior abort
+      s.quarantine_poisoned = false;
       BeginTxn(s);
       if (concurrent) txn_mgr_.Begin(s.txn_id);
       return ResultSet{};
@@ -147,6 +159,10 @@ Result<ResultSet> Database::StatementOnSession(Session& s,
       if (s.poisoned) {
         // The transaction is already gone; report the abort once.
         s.poisoned = false;
+        if (s.quarantine_poisoned) {
+          s.quarantine_poisoned = false;
+          return QuarantinePoisonedError();
+        }
         return Status::Aborted(
             "[deadlock] transaction was aborted by deadlock and rolled back");
       }
@@ -158,6 +174,7 @@ Result<ResultSet> Database::StatementOnSession(Session& s,
     case sql::StatementKind::kRollback: {
       if (s.poisoned) {
         s.poisoned = false;  // acknowledged; nothing left to undo
+        s.quarantine_poisoned = false;
         return ResultSet{};
       }
       if (!s.in_txn) return Status::FailedPrecondition("no open transaction");
@@ -167,16 +184,36 @@ Result<ResultSet> Database::StatementOnSession(Session& s,
       return ResultSet{};
     }
     case sql::StatementKind::kCreateTable:
-      if (s.poisoned) return PoisonedTxnError();
+      if (s.poisoned) {
+        return s.quarantine_poisoned ? QuarantinePoisonedError()
+                                     : PoisonedTxnError();
+      }
       if (concurrent) {
         std::unique_lock<std::shared_mutex> ddl(catalog_latch_);
         return ExecCreateTable(stmt);
       }
       return ExecCreateTable(stmt);
     case sql::StatementKind::kDropTable:
-      if (s.poisoned) return PoisonedTxnError();
+      if (s.poisoned) {
+        return s.quarantine_poisoned ? QuarantinePoisonedError()
+                                     : PoisonedTxnError();
+      }
       if (concurrent) {
         std::unique_lock<std::shared_mutex> ddl(catalog_latch_);
+        // DDL bypasses the lock planner, so the quarantine gate is applied
+        // here: dropping a table with fenced slices would yank storage out
+        // from under the repair's compensation lanes.
+        if (quarantine_.active() && !s.quarantine_exempt) {
+          auto id = catalog_.TableId(stmt.table);
+          if (id.ok() &&
+              quarantine_.Blocks(concurrency::ResourceId::Table(*id),
+                                 concurrency::LockMode::kExclusive)) {
+            quarantine_.CountReject();
+            return Status::Unavailable(
+                std::string(kQuarantineTag) +
+                " table quarantined by online repair; retry after release");
+          }
+        }
         return ExecDropTable(stmt);
       }
       return ExecDropTable(stmt);
@@ -184,7 +221,10 @@ Result<ResultSet> Database::StatementOnSession(Session& s,
       break;
   }
 
-  if (s.poisoned) return PoisonedTxnError();
+  if (s.poisoned) {
+    return s.quarantine_poisoned ? QuarantinePoisonedError()
+                                 : PoisonedTxnError();
+  }
 
   // DML / SELECT: autocommit when no transaction is open.
   const bool autocommit = !s.in_txn;
@@ -211,6 +251,39 @@ Result<ResultSet> Database::StatementOnSession(Session& s,
   {
     std::shared_lock<std::shared_mutex> cat(catalog_latch_);
     PlanStatementLocks(stmt, &plan);
+  }
+  // Quarantine gate (DESIGN.md §5g): while an online repair holds a
+  // quarantine, statements whose lock plan touches a fenced slice are
+  // rejected with a retryable, "[quarantine]"-tagged kUnavailable before
+  // acquiring any lock. A session whose OPEN transaction already pins a
+  // quarantined slice is aborted outright — letting it continue could
+  // deadlock the repair's drain pass against locks the gate would never
+  // let the session extend past.
+  if (quarantine_.active() && !s.quarantine_exempt) {
+    bool blocked = false;
+    for (const LockPlanEntry& e : plan) {
+      if (quarantine_.Blocks(e.res, e.mode)) {
+        blocked = true;
+        break;
+      }
+    }
+    if (!blocked && s.in_txn &&
+        quarantine_.HoldsOverlapping(txn_mgr_.locks(), s.txn_id)) {
+      blocked = true;
+    }
+    if (blocked) {
+      quarantine_.CountReject();
+      if (s.in_txn) {
+        Status rb = RollbackTxnConcurrent(s);
+        txn_mgr_.Abort(s.txn_id);
+        s.poisoned = true;
+        s.quarantine_poisoned = true;
+        IRDB_RETURN_IF_ERROR(rb);
+      }
+      return Status::Unavailable(
+          std::string(kQuarantineTag) +
+          " slice quarantined by online repair; retry after release");
+    }
   }
   if (autocommit) {
     BeginTxn(s);
@@ -914,6 +987,121 @@ uint64_t Database::StateHash(const std::vector<std::string>& tables,
     for (const std::string& r : rows) h = Fnv1a(r, h);
   }
   return h;
+}
+
+void Database::SetSessionQuarantineExempt(int64_t session_id, bool exempt) {
+  std::shared_ptr<Session> sp = FindSession(session_id);
+  if (sp == nullptr) return;
+  std::lock_guard<std::mutex> lock(sp->mu);
+  sp->quarantine_exempt = exempt;
+}
+
+int Database::EvictQuarantinePinnedTxns() {
+  std::vector<std::shared_ptr<Session>> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    snapshot.reserve(sessions_.size());
+    for (auto& [id, sp] : sessions_) snapshot.push_back(sp);
+  }
+  int evicted = 0;
+  for (auto& sp : snapshot) {
+    // try_lock, not lock: a session blocked in a lock wait holds its mu,
+    // and waiting for it here could chain back to a transaction only THIS
+    // eviction pass can release. Busy sessions either finish and hit the
+    // gate on their next statement, or get caught by a later pass.
+    std::unique_lock<std::mutex> session_lock(sp->mu, std::try_to_lock);
+    if (!session_lock.owns_lock()) continue;
+    if (!sp->in_txn || sp->quarantine_exempt) continue;
+    if (!quarantine_.HoldsOverlapping(txn_mgr_.locks(), sp->txn_id)) continue;
+    (void)RollbackTxnConcurrent(*sp);
+    txn_mgr_.Abort(sp->txn_id);
+    sp->poisoned = true;
+    sp->quarantine_poisoned = true;
+    ++evicted;
+  }
+  return evicted;
+}
+
+std::optional<uint64_t> Database::KeyHashForValues(
+    const std::string& table,
+    const std::vector<std::pair<std::string, Value>>& row_values) const {
+  std::shared_lock<std::shared_mutex> cat(catalog_latch_);
+  const HeapTable* t = catalog_.Find(table);
+  if (t == nullptr || t->index() == nullptr) return std::nullopt;
+  const Schema& schema = t->schema();
+  std::string repr;
+  for (int kc : t->index()->key_columns()) {
+    const std::string& key_name = schema.column(static_cast<size_t>(kc)).name;
+    const Value* found = nullptr;
+    for (const auto& [name, v] : row_values) {
+      if (EqualsIgnoreCase(name, key_name)) {
+        found = &v;
+        break;
+      }
+    }
+    if (found == nullptr) return std::nullopt;
+    auto coerced = schema.CoerceForColumn(static_cast<size_t>(kc), *found);
+    if (!coerced.ok()) return std::nullopt;
+    coerced->AppendTo(&repr);
+  }
+  return Fnv1a(repr);
+}
+
+std::optional<std::pair<int32_t, std::vector<std::string>>>
+Database::TableKeyInfo(const std::string& table) const {
+  std::shared_lock<std::shared_mutex> cat(catalog_latch_);
+  const HeapTable* t = catalog_.Find(table);
+  if (t == nullptr) return std::nullopt;
+  auto id = catalog_.TableId(table);
+  if (!id.ok()) return std::nullopt;
+  std::vector<std::string> names;
+  if (t->index() != nullptr) {
+    for (int kc : t->index()->key_columns()) {
+      names.push_back(t->schema().column(static_cast<size_t>(kc)).name);
+    }
+  }
+  return std::make_pair(*id, std::move(names));
+}
+
+std::vector<std::pair<int64_t, std::vector<std::pair<std::string, Value>>>>
+Database::KeyValuesForRowAddresses(const std::string& table,
+                                   const std::vector<int64_t>& addresses,
+                                   const std::string& address_column) const {
+  std::vector<std::pair<int64_t, std::vector<std::pair<std::string, Value>>>>
+      out;
+  std::shared_lock<std::shared_mutex> cat(catalog_latch_);
+  const HeapTable* t = catalog_.Find(table);
+  if (t == nullptr || t->index() == nullptr) return out;
+  const Schema& schema = t->schema();
+  int addr_col = -1;
+  if (!schema.has_hidden_rowid()) {
+    addr_col = schema.FindColumn(address_column);
+    if (addr_col < 0) return out;
+  }
+  std::unordered_set<int64_t> wanted(addresses.begin(), addresses.end());
+  std::shared_lock<std::shared_mutex> latch(t->latch());
+  t->Scan([&](RowLoc, std::string_view bytes) {
+    int64_t addr;
+    if (schema.has_hidden_rowid()) {
+      addr = t->codec().DecodeRowId(bytes);
+    } else {
+      auto v = t->codec().DecodeColumn(bytes, static_cast<size_t>(addr_col));
+      if (!v.ok() || !v->is_int()) return;
+      addr = v->as_int();
+    }
+    if (wanted.count(addr) == 0) return;
+    // Decoded values are already canonical for their columns, so they hash
+    // into the same space as PlanStatementLocks' key hashes.
+    std::vector<std::pair<std::string, Value>> key;
+    for (int kc : t->index()->key_columns()) {
+      auto v = t->codec().DecodeColumn(bytes, static_cast<size_t>(kc));
+      if (!v.ok()) return;
+      key.emplace_back(schema.column(static_cast<size_t>(kc)).name,
+                       std::move(*v));
+    }
+    out.emplace_back(addr, std::move(key));
+  });
+  return out;
 }
 
 }  // namespace irdb

@@ -24,11 +24,14 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <shared_mutex>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "concurrency/quarantine.h"
 #include "concurrency/transaction_manager.h"
 #include "engine/expr_eval.h"
 #include "engine/io_model.h"
@@ -83,6 +86,56 @@ class Database {
   concurrency::TransactionManager& txn_manager() { return txn_mgr_; }
   const concurrency::TransactionManager& txn_manager() const { return txn_mgr_; }
 
+  // Online-repair quarantine gate (DESIGN.md §5g). Consulted on the
+  // concurrent statement path after lock planning: statements whose plan
+  // touches a quarantined slice — or whose open transaction already pins
+  // one — are rejected with a "[quarantine]"-tagged kUnavailable before any
+  // lock is acquired. Sessions marked exempt (the repair engine's own
+  // connections) bypass the gate.
+  concurrency::QuarantineManager& quarantine() { return quarantine_; }
+  const concurrency::QuarantineManager& quarantine() const {
+    return quarantine_;
+  }
+  void SetSessionQuarantineExempt(int64_t session_id, bool exempt);
+
+  // Force-aborts open transactions that hold locks overlapping the active
+  // quarantine (the gate only catches them on their NEXT statement; an idle
+  // transaction would pin its slice and stall the repair's drain forever).
+  // Victims are rolled back, their locks released, and their session
+  // poisoned with the retryable quarantine status. Sessions currently
+  // executing a statement are skipped (best effort — callers retry around
+  // the drain). Returns how many transactions were evicted.
+  int EvictQuarantinePinnedTxns();
+
+  // Allocates an engine transaction id without a session — the online
+  // repair's drain pass uses one to X-lock quarantined slices through the
+  // lock manager (txn_manager().Begin/Abort bracket the locks).
+  int64_t AllocateTxnId() {
+    return next_txn_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // --- key-hash bridge for the quarantine partition (src/repair) ---
+  // Hash of `table`'s primary key as assembled from (column, value) pairs,
+  // in the exact space PlanStatementLocks uses for key locks. nullopt when
+  // the table/index is missing or the pairs don't cover the whole key.
+  std::optional<uint64_t> KeyHashForValues(
+      const std::string& table,
+      const std::vector<std::pair<std::string, Value>>& row_values) const;
+  // Primary-key values of the live rows whose row address (hidden rowid,
+  // or the `address_column` identity value when the flavor has no rowid)
+  // is in `addresses`. Takes the catalog and table latches shared — safe
+  // against concurrent traffic. Addresses of deleted rows are simply
+  // absent from the result.
+  std::vector<std::pair<int64_t, std::vector<std::pair<std::string, Value>>>>
+  KeyValuesForRowAddresses(const std::string& table,
+                           const std::vector<int64_t>& addresses,
+                           const std::string& address_column) const;
+  // (table id, primary-key column names) under the catalog latch; nullopt
+  // when the table is missing, empty names when it has no primary-key index
+  // (key-slicing impossible — callers fall back to whole-table).
+  std::optional<std::pair<int32_t, std::vector<std::string>>> TableKeyInfo(
+      const std::string& table) const;
+
   // Baseline mode for bench_concurrency: serializes every statement under
   // one mutex and bypasses the lock manager, reproducing the engine this PR
   // replaced. Setup-only — flip it before concurrent sessions start.
@@ -113,6 +166,13 @@ class Database {
     // from under the client: every statement fails until the client
     // acknowledges with ROLLBACK (or COMMIT, which reports the abort).
     bool poisoned = false;
+    // Distinguishes a quarantine-gate abort from a deadlock abort: the
+    // poisoned-statement error stays kUnavailable/"[quarantine]" (retryable)
+    // instead of the deadlock wording.
+    bool quarantine_poisoned = false;
+    // Repair-engine connections bypass the quarantine gate (they heal the
+    // slices everyone else is fenced away from).
+    bool quarantine_exempt = false;
     // Serializes statements of one session (the wire layer already does;
     // this keeps direct multi-threaded use of a session id safe too).
     std::mutex mu;
@@ -216,6 +276,7 @@ class Database {
   StatCounters stats_;
 
   concurrency::TransactionManager txn_mgr_;
+  concurrency::QuarantineManager quarantine_;
   // Guards the catalog map: statements hold it shared while resolving and
   // executing; DDL holds it exclusive. Never held while blocking on a 2PL
   // lock (plan under the latch, release, acquire locks, re-take).

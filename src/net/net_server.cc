@@ -484,6 +484,7 @@ std::string NetProxyServer::HandleRequest(std::string_view payload) {
     obs::Count(obs::Metrics::Get().net_protocol_errors);
     resp.ok = false;
     resp.error_code = req.status().code();
+    resp.error_reason = ErrorReasonFromStatus(req.status());
     resp.error_message = req.status().message();
     return EncodeResponse(resp);
   }
@@ -528,6 +529,7 @@ std::string NetProxyServer::HandleRequest(std::string_view payload) {
       } else {
         resp.ok = false;
         resp.error_code = result.status().code();
+        resp.error_reason = ErrorReasonFromStatus(result.status());
         resp.error_message = result.status().message();
       }
       break;

@@ -94,6 +94,23 @@ const Metrics& Metrics::Get() {
         "Lock requests aborted by waits-for cycle detection; the victim "
         "transaction is rolled back (engine.deadlocks.aborted)");
 
+    m->quarantine_slices = r.RegisterGauge(
+        "irdb_quarantine_slices",
+        "Slices (whole tables + key-hash buckets) currently quarantined by "
+        "an online repair; 0 when no quarantine is active");
+    m->quarantine_rejects = r.RegisterCounter(
+        "irdb_quarantine_rejects_total",
+        "Statements rejected with [quarantine]-tagged kUnavailable because "
+        "their lock plan touched a quarantined slice (or their open "
+        "transaction pinned one)");
+    m->repair_online_releases = r.RegisterCounter(
+        "irdb_repair_online_releases_total",
+        "Quarantined slices released incrementally by RepairOnline as their "
+        "table's compensation lane committed");
+    m->repair_online_runs = r.RegisterCounter(
+        "irdb_repair_online_runs_total",
+        "RepairOnline invocations (serve-through repairs started)");
+
     m->repair_runs = r.RegisterCounter(
         "irdb_repair_runs_total",
         "Dependency analyses started (RepairEngine::Analyze)");
@@ -219,6 +236,17 @@ const std::vector<SpanDoc>& SpanCatalog() {
       {span::kRepairCompensateLane,
        "One per-table compensation batch lane (threads > 1); args: lane, "
        "tables, stmts."},
+      {span::kQuarantineCompute,
+       "Contaminated-partition computation: undo-set ops mapped to (table, "
+       "key-hash-bucket) slices, coarsening to whole tables where the key "
+       "cannot be named; args: slices, tables, rounds."},
+      {span::kQuarantineHold,
+       "Quarantine window of one online repair: install through final "
+       "release. Clean traffic keeps flowing; quarantined slices reject with "
+       "[quarantine]-tagged kUnavailable; args: slices."},
+      {span::kQuarantineRelease,
+       "Incremental release of one healed table's slices after its "
+       "compensation lane committed; args: table, slices."},
       {span::kPoolParallelFor,
        "One ParallelFor fan-out on a worker pool; args: n, chunks."},
       {span::kPoolChunk,
@@ -248,6 +276,12 @@ const std::vector<EventDoc>& EventCatalog() {
        "A dependency analysis completed."},
       {event::kRepairDone, "undone, stmts",
        "A selective undo completed."},
+      {event::kQuarantineInstalled, "slices, tables, round",
+       "An online repair installed (or extended) the quarantine over the "
+       "contaminated partition."},
+      {event::kQuarantineReleased, "table, slices, remaining",
+       "An online repair released a healed table's slices; remaining is the "
+       "quarantine's slice count after the release."},
       {event::kNetSessionReset, "conn",
        "A TCP connection died on EOF, a socket error, or a poisoned frame "
        "stream. Its wire session (and any open transaction) survives for a "

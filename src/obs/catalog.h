@@ -54,6 +54,12 @@ struct Metrics {
   MetricId engine_lock_waits;
   MetricId engine_deadlock_aborts;
 
+  // --- online-repair quarantine (src/concurrency, src/repair) ---
+  MetricId quarantine_slices;  // gauge
+  MetricId quarantine_rejects;
+  MetricId repair_online_releases;
+  MetricId repair_online_runs;
+
   // --- repair pipeline (src/repair) ---
   MetricId repair_runs;
   MetricId repair_records_scanned;
@@ -116,6 +122,9 @@ inline constexpr const char* kRepairCorrelate = "repair.correlate";
 inline constexpr const char* kRepairClosure = "repair.closure";
 inline constexpr const char* kRepairCompensate = "repair.compensate";
 inline constexpr const char* kRepairCompensateLane = "repair.compensate.lane";
+inline constexpr const char* kQuarantineCompute = "repair.quarantine.compute";
+inline constexpr const char* kQuarantineHold = "repair.quarantine.hold";
+inline constexpr const char* kQuarantineRelease = "repair.quarantine.release";
 inline constexpr const char* kPoolParallelFor = "pool.parallel_for";
 inline constexpr const char* kPoolChunk = "pool.chunk";
 }  // namespace span
@@ -128,6 +137,8 @@ inline constexpr const char* kProxyCacheInvalidation = "proxy.cache_invalidation
 inline constexpr const char* kWalTornTail = "wal.torn_tail";
 inline constexpr const char* kRepairAnalyzeDone = "repair.analyze_done";
 inline constexpr const char* kRepairDone = "repair.done";
+inline constexpr const char* kQuarantineInstalled = "repair.quarantine_installed";
+inline constexpr const char* kQuarantineReleased = "repair.quarantine_released";
 inline constexpr const char* kNetSessionReset = "net.session_reset";
 inline constexpr const char* kNetIdleDisconnect = "net.idle_disconnect";
 }  // namespace event

@@ -102,6 +102,14 @@ Result<ResultSet> TrackingProxy::Forward(const Statement& stmt) {
       ++stats_.injected_faults_hit;
       obs::Count(obs::Metrics::Get().proxy_injected_faults_hit);
     }
+    if (r.status().code() == StatusCode::kUnavailable &&
+        r.status().message().rfind(kQuarantineTag, 0) == 0) {
+      // Online-repair quarantine reject. Retryable like any kUnavailable,
+      // but the slice stays fenced until its lane heals it, so in-proxy
+      // retries mostly burn attempts — counted separately so operators can
+      // tell repair backpressure from transport loss.
+      ++stats_.quarantine_rejects;
+    }
     // All failpoints fire before any side effect (request-loss semantics),
     // so a retryable failure means the statement never executed: re-sending
     // it cannot duplicate work.

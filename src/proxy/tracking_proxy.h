@@ -66,6 +66,8 @@ struct ProxyStats {
   int64_t injected_faults_hit = 0;  // failpoint-injected errors observed
   int64_t degraded_commits = 0;     // commits that went through untracked
   int64_t tracking_gap_txns = 0;    // txn ids quarantined in tracking_gaps
+  int64_t quarantine_rejects = 0;   // backend statements turned away by the
+                                    // online-repair quarantine gate
 
   void Add(const ProxyStats& o) {
     client_statements += o.client_statements;
@@ -82,6 +84,7 @@ struct ProxyStats {
     injected_faults_hit += o.injected_faults_hit;
     degraded_commits += o.degraded_commits;
     tracking_gap_txns += o.tracking_gap_txns;
+    quarantine_rejects += o.quarantine_rejects;
   }
 };
 

@@ -48,13 +48,35 @@ sql::ExprPtr AddressPredicate(const std::string& column, int64_t address) {
                          sql::MakeLiteral(Value::Int(address)));
 }
 
+// Row address plus (optionally) the row's primary-key literals. The key
+// conjuncts are redundant for row selection — the address is unique — but
+// they let the engine's lock planner name a single key lock instead of
+// coarsening to table X, which is what keeps clean keys of the table
+// available while an online-repair lane heals the quarantined ones.
+sql::ExprPtr RowPredicate(
+    const std::string& address_column, int64_t address,
+    const std::vector<std::pair<std::string, Value>>* key_literals) {
+  sql::ExprPtr where = AddressPredicate(address_column, address);
+  if (key_literals == nullptr) return where;
+  for (const auto& [col, v] : *key_literals) {
+    where = sql::MakeBinary(
+        sql::BinaryOp::kAnd, std::move(where),
+        sql::MakeBinary(sql::BinaryOp::kEq, sql::MakeColumnRef("", col),
+                        sql::MakeLiteral(v)));
+  }
+  return where;
+}
+
 // Emits and executes the compensating statement for one op. Shared by the
 // serial walk and each parallel table batch: both feed it ops in inverse log
 // order, with a remap that has seen every earlier op of the same table.
+// `key_literals` (nullable) adds PK conjuncts via RowPredicate.
 Status CompensateOp(const RepairOp& op, DbConnection* admin,
                     const FlavorTraits& traits,
                     const std::string& address_column, RowIdRemap* remap,
-                    RepairReport* report) {
+                    RepairReport* report,
+                    const std::vector<std::pair<std::string, Value>>*
+                        key_literals = nullptr) {
   const std::string table_key = ToLowerAscii(op.table);
   auto run = [&](const sql::Statement& stmt,
                  int64_t expect_affected) -> Status {
@@ -75,8 +97,9 @@ Status CompensateOp(const RepairOp& op, DbConnection* admin,
       // Undo an insert: delete the row (at its possibly-remapped address).
       auto stmt = sql::MakeStatement(sql::StatementKind::kDelete);
       stmt->table = op.table;
-      stmt->where = AddressPredicate(address_column,
-                                     remap->Resolve(table_key, op.row_address));
+      stmt->where = RowPredicate(address_column,
+                                 remap->Resolve(table_key, op.row_address),
+                                 key_literals);
       IRDB_RETURN_IF_ERROR(run(*stmt, 1));
       ++report->compensating_deletes;
       // The row's lifetime starts here; any mapping for it is now obsolete.
@@ -116,8 +139,9 @@ Status CompensateOp(const RepairOp& op, DbConnection* admin,
       for (const auto& [col, v] : op.values) {
         stmt->assignments.emplace_back(col, sql::MakeLiteral(v));
       }
-      stmt->where = AddressPredicate(address_column,
-                                     remap->Resolve(table_key, op.row_address));
+      stmt->where = RowPredicate(address_column,
+                                 remap->Resolve(table_key, op.row_address),
+                                 key_literals);
       IRDB_RETURN_IF_ERROR(run(*stmt, 1));
       ++report->compensating_updates;
       break;
@@ -223,6 +247,53 @@ Status Compensate(const DependencyAnalysis& analysis,
   {
     auto r = admin->Execute("COMMIT");
     if (!r.ok()) return r.status();
+  }
+  return Status::Ok();
+}
+
+Result<std::vector<CompensationBatch>> BuildCompensationBatches(
+    const DependencyAnalysis& analysis, const std::set<int64_t>& undo_proxy_ids,
+    const std::map<const RepairOp*,
+                   std::vector<std::pair<std::string, Value>>>* op_keys) {
+  std::set<int64_t> undo_internal;
+  for (int64_t proxy_id : undo_proxy_ids) {
+    auto it = analysis.proxy_to_internal.find(proxy_id);
+    if (it == analysis.proxy_to_internal.end()) {
+      return Status::NotFound("proxy transaction " + std::to_string(proxy_id) +
+                              " not found in the log");
+    }
+    undo_internal.insert(it->second);
+  }
+  std::map<std::string, CompensationBatch> by_table;
+  for (auto it = analysis.ops.rbegin(); it != analysis.ops.rend(); ++it) {
+    if (undo_internal.count(it->internal_txn_id) == 0) continue;
+    const std::string table_key = ToLowerAscii(it->table);
+    CompensationBatch& batch = by_table[table_key];
+    batch.table = table_key;
+    batch.ops.push_back(&*it);
+    std::vector<std::pair<std::string, Value>> key;
+    if (op_keys != nullptr) {
+      auto hit = op_keys->find(&*it);
+      if (hit != op_keys->end()) key = hit->second;
+    }
+    batch.keys.push_back(std::move(key));
+  }
+  std::vector<CompensationBatch> out;
+  out.reserve(by_table.size());
+  for (auto& [table, batch] : by_table) out.push_back(std::move(batch));
+  return out;
+}
+
+Status CompensateBatch(const CompensationBatch& batch, DbConnection* admin,
+                       const FlavorTraits& traits, RepairReport* report) {
+  const std::string address_column =
+      traits.has_rowid ? traits.rowid_name : proxy::kSybaseRowIdColumn;
+  RowIdRemap remap;
+  for (size_t i = 0; i < batch.ops.size(); ++i) {
+    const std::vector<std::pair<std::string, Value>>* key = nullptr;
+    if (i < batch.keys.size() && !batch.keys[i].empty()) key = &batch.keys[i];
+    IRDB_RETURN_IF_ERROR(CompensateOp(*batch.ops[i], admin, traits,
+                                      address_column, &remap, report, key));
   }
   return Status::Ok();
 }

@@ -13,6 +13,8 @@
 #include <map>
 #include <set>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "flavor/flavor_traits.h"
 #include "repair/analyzer.h"
@@ -44,5 +46,34 @@ Status Compensate(const DependencyAnalysis& analysis,
                   const std::set<int64_t>& undo_proxy_ids, DbConnection* admin,
                   const FlavorTraits& traits, RepairReport* report,
                   util::ThreadPool* pool = nullptr);
+
+// One per-table compensation batch: the table's undone ops in inverse log
+// order. Per-table batches address disjoint row sets and commute (the same
+// argument that parallelizes Compensate), so online repair runs each in its
+// own transaction and releases the table's quarantine slices at its commit.
+struct CompensationBatch {
+  std::string table;  // lower-cased catalog name
+  std::vector<const RepairOp*> ops;
+  // Parallel to `ops` (or empty): primary-key literals appended to each
+  // compensating WHERE, so the statement's lock plan names a single key
+  // instead of coarsening to table X — clean keys of the same table stay
+  // lockable while the lane runs. An empty inner vector means rowid-only
+  // addressing for that op.
+  std::vector<std::vector<std::pair<std::string, Value>>> keys;
+};
+
+// Splits the undo set into per-table batches; `op_keys` (optional) supplies
+// the PK literals per op (repair/quarantine.h's OpKeyMap). Fails when a
+// proxy id is missing from the log.
+Result<std::vector<CompensationBatch>> BuildCompensationBatches(
+    const DependencyAnalysis& analysis, const std::set<int64_t>& undo_proxy_ids,
+    const std::map<const RepairOp*,
+                   std::vector<std::pair<std::string, Value>>>* op_keys =
+        nullptr);
+
+// Applies one batch through `admin`. The caller brackets the transaction
+// (BEGIN before, COMMIT after) — online repair holds one per lane.
+Status CompensateBatch(const CompensationBatch& batch, DbConnection* admin,
+                       const FlavorTraits& traits, RepairReport* report);
 
 }  // namespace irdb::repair

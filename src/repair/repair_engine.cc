@@ -1,9 +1,12 @@
 #include "repair/repair_engine.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
+#include <future>
 #include <map>
+#include <thread>
 
 #include "obs/catalog.h"
 #include "obs/journal.h"
@@ -25,6 +28,43 @@ double MsSince(Clock::time_point start) {
 int64_t ImageBytes(const LogRecord& rec) {
   return static_cast<int64_t>(rec.before_image.size() +
                               rec.after_image.size() + rec.ddl_text.size());
+}
+
+// Drains in-flight holders of the quarantined slices: X-locks every slice
+// through the lock manager under a throwaway transaction, which blocks
+// until every transaction that held a lock overlapping the quarantine has
+// committed or rolled back, then releases immediately — the rejection gate
+// (already installed) keeps new entrants out, so the locks only need to
+// prove the slices are quiet, not keep them so. Bounded deadlock retries:
+// the drain can lose a waits-for cycle against a multi-statement client.
+Status DrainQuarantinedSlices(Database* db) {
+  auto plan = db->quarantine().DrainPlan();
+  std::sort(plan.begin(), plan.end(), [](const auto& a, const auto& b) {
+    if (a.first.table_id != b.first.table_id) {
+      return a.first.table_id < b.first.table_id;
+    }
+    return a.first.key_hash < b.first.key_hash;  // table (0) before keys
+  });
+  Status last = Status::Ok();
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    // Transactions already pinning a fenced slice would never release it
+    // (the gate only fires on their next statement, which may never come):
+    // roll them back here so the X-pass below cannot wait on a dead hand.
+    (void)db->EvictQuarantinePinnedTxns();
+    const int64_t txn = db->AllocateTxnId();
+    db->txn_manager().Begin(txn);
+    Status st = Status::Ok();
+    for (const auto& [res, mode] : plan) {
+      st = db->txn_manager().locks().Acquire(txn, res, mode);
+      if (!st.ok()) break;
+    }
+    db->txn_manager().Abort(txn);  // release everything either way
+    if (st.ok()) return st;
+    if (st.code() != StatusCode::kAborted) return st;
+    last = std::move(st);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1 + attempt));
+  }
+  return last;
 }
 
 }  // namespace
@@ -189,6 +229,183 @@ Result<RepairReport> RepairEngine::CompensateUndoSet(
       {{"undone", std::to_string(undo.size())},
        {"stmts", std::to_string(report.ops_compensated)}});
   return report;
+}
+
+Result<OnlineRepairReport> RepairEngine::RepairOnline(
+    const std::vector<int64_t>& seed_proxy_ids, const DbaPolicy& policy) {
+  if (db_->serial_mode()) {
+    return Status::FailedPrecondition(
+        "online repair requires the concurrent engine (serial_mode off)");
+  }
+  // Claim the single online-repair slot; an overlapping repair is rejected
+  // here with kFailedPrecondition and holds nothing.
+  IRDB_RETURN_IF_ERROR(db_->quarantine().Begin());
+  obs::Count(obs::Metrics::Get().repair_online_runs);
+  db_->SetSessionQuarantineExempt(admin_.session_id(), true);
+  const int64_t rejects_before = db_->quarantine().stats().rejects_total;
+
+  OnlineRepairReport out;
+  DependencyAnalysis analysis;
+  std::set<int64_t> undo;
+  ContaminatedPartition part;
+
+  // Fixpoint: install → drain → re-analyze until the undo set stops
+  // growing. Round N's drain guarantees every write that raced round N's
+  // fence is durable in the log, so round N+1's analysis sees it; once two
+  // consecutive rounds agree, nothing can still be missing.
+  {
+    obs::Span compute(obs::span::kQuarantineCompute);
+    std::set<int64_t> prev;
+    bool stable = false;
+    static constexpr int kMaxRounds = 8;
+    for (out.rounds = 1; out.rounds <= kMaxRounds; ++out.rounds) {
+      auto a = Analyze();
+      if (!a.ok()) {
+        db_->quarantine().End();  // nothing healed, nothing fenced: safe
+        return a.status();
+      }
+      analysis = std::move(*a);
+      undo = ComputeUndoSet(analysis, seed_proxy_ids, policy);
+      part = ComputeContaminatedPartition(db_, analysis, undo);
+      db_->quarantine().Add(part.slices);
+      if (undo.empty() && part.slices.empty()) {
+        stable = true;  // empty closure: nothing to fence, nothing to drain
+        break;
+      }
+      if (out.rounds > 1 && undo == prev) {
+        stable = true;
+        break;
+      }
+      prev = undo;
+      if (Status st = DrainQuarantinedSlices(db_); !st.ok()) {
+        db_->quarantine().End();
+        return st;
+      }
+    }
+    if (!stable) {
+      db_->quarantine().End();
+      return Status::Internal(
+          "online repair: undo set did not stabilize after 8 rounds "
+          "(sustained contaminated-slice traffic?)");
+    }
+    out.slices_installed = static_cast<int>(part.slices.size());
+    out.whole_table_slices = static_cast<int>(part.whole_tables.size());
+    out.key_bucket_slices = part.key_buckets;
+    out.fallback_whole_tables = part.fallback_whole_tables;
+    compute.AddArg("slices", out.slices_installed);
+    compute.AddArg("tables", static_cast<int64_t>(part.table_ids.size()));
+    compute.AddArg("rounds", out.rounds);
+  }
+  obs::EventJournal::Default().Append(
+      obs::event::kQuarantineInstalled,
+      {{"slices", std::to_string(out.slices_installed)},
+       {"tables", std::to_string(part.table_ids.size())},
+       {"round", std::to_string(out.rounds)}});
+
+  obs::Span hold(obs::span::kQuarantineHold);
+  hold.AddArg("slices", out.slices_installed);
+
+  auto batches =
+      BuildCompensationBatches(analysis, undo, &part.op_keys);
+  if (!batches.ok()) {
+    db_->quarantine().End();  // nothing compensated yet
+    return batches.status();
+  }
+  out.lanes = static_cast<int>(batches->size());
+  out.repair.undo_set = undo;
+  out.repair.compensate_lanes = std::max(1, out.lanes);
+
+  // One lane per table, each a transaction on its own gate-exempt
+  // connection; a table's slices leave the quarantine when its lane
+  // commits. Bounded deadlock retries per lane (a metadata lane's coarse
+  // lock can lose a cycle against a tracked commit); any other failure
+  // leaves the lane's tables fenced and surfaces the error.
+  std::vector<Status> lane_status(batches->size(), Status::Ok());
+  std::vector<RepairReport> lane_report(batches->size());
+  std::atomic<int> released{0};
+  auto run_lane = [&](size_t idx) {
+    const CompensationBatch& batch = (*batches)[idx];
+    obs::Span lane_span(obs::span::kRepairCompensateLane);
+    lane_span.AddArg("lane", static_cast<int64_t>(idx));
+    lane_span.AddArg("tables", 1);
+    lane_span.AddArg("stmts", static_cast<int64_t>(batch.ops.size()));
+    Status st = Status::Ok();
+    for (int attempt = 0; attempt < 3; ++attempt) {
+      DirectConnection conn(db_);
+      db_->SetSessionQuarantineExempt(conn.session_id(), true);
+      lane_report[idx] = RepairReport{};
+      auto begin = conn.Execute("BEGIN");
+      if (!begin.ok()) {
+        st = begin.status();
+        break;
+      }
+      st = CompensateBatch(batch, &conn, db_->traits(), &lane_report[idx]);
+      if (st.ok()) {
+        auto commit = conn.Execute("COMMIT");
+        st = commit.ok() ? Status::Ok() : commit.status();
+      } else {
+        (void)conn.Execute("ROLLBACK");
+      }
+      if (st.ok() || st.code() != StatusCode::kAborted) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1 + attempt));
+    }
+    lane_status[idx] = st;
+    if (!st.ok()) return;
+    // Healed: release the table's slices. Metadata tables were never
+    // installed, so their release count is 0 — the lane still ran.
+    auto id = part.table_ids.find(batch.table);
+    if (id != part.table_ids.end()) {
+      obs::Span rel(obs::span::kQuarantineRelease);
+      const int n = db_->quarantine().ReleaseTable(id->second);
+      released.fetch_add(n, std::memory_order_relaxed);
+      rel.AddArg("table", batch.table);
+      rel.AddArg("slices", n);
+      if (n > 0) {
+        obs::Count(obs::Metrics::Get().repair_online_releases, n);
+        obs::EventJournal::Default().Append(
+            obs::event::kQuarantineReleased,
+            {{"table", batch.table},
+             {"slices", std::to_string(n)},
+             {"remaining",
+              std::to_string(db_->quarantine().stats().slices)}});
+      }
+    }
+  };
+  if (pool_ && batches->size() > 1) {
+    std::vector<std::future<void>> pending;
+    pending.reserve(batches->size());
+    for (size_t i = 0; i < batches->size(); ++i) {
+      pending.push_back(pool_->Submit([&, i] { run_lane(i); }));
+    }
+    for (auto& f : pending) f.wait();
+  } else {
+    for (size_t i = 0; i < batches->size(); ++i) run_lane(i);
+  }
+
+  for (const RepairReport& part_report : lane_report) {
+    out.repair.ops_compensated += part_report.ops_compensated;
+    out.repair.compensating_inserts += part_report.compensating_inserts;
+    out.repair.compensating_deletes += part_report.compensating_deletes;
+    out.repair.compensating_updates += part_report.compensating_updates;
+    out.repair.rows_remapped += part_report.rows_remapped;
+  }
+  out.slices_released = released.load(std::memory_order_relaxed);
+  out.rejects_during =
+      db_->quarantine().stats().rejects_total - rejects_before;
+  hold.AddArg("released", out.slices_released);
+  hold.End();
+
+  for (const Status& st : lane_status) {
+    // First failing lane in deterministic batch order wins; unhealed
+    // tables stay quarantined (see header contract).
+    if (!st.ok()) return st;
+  }
+  db_->quarantine().End();
+  obs::EventJournal::Default().Append(
+      obs::event::kRepairDone,
+      {{"undone", std::to_string(undo.size())},
+       {"stmts", std::to_string(out.repair.ops_compensated)}});
+  return out;
 }
 
 Result<RepairReport> RepairEngine::Repair(

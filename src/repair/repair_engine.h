@@ -22,10 +22,24 @@
 #include "repair/analyzer.h"
 #include "repair/compensator.h"
 #include "repair/dba_policy.h"
+#include "repair/quarantine.h"
 #include "repair/repair_stats.h"
 #include "util/thread_pool.h"
 
 namespace irdb::repair {
+
+// Outcome of RepairOnline (serve-through repair, DESIGN.md §5g).
+struct OnlineRepairReport {
+  RepairReport repair;         // merged compensation accounting
+  int rounds = 0;              // analyze→quarantine→drain fixpoint iterations
+  int slices_installed = 0;    // rejection slices at the hold point
+  int whole_table_slices = 0;
+  int key_bucket_slices = 0;
+  int fallback_whole_tables = 0;  // precision lost (no PK / PK rewritten)
+  int lanes = 0;               // per-table compensation transactions
+  int slices_released = 0;     // released incrementally as lanes committed
+  int64_t rejects_during = 0;  // statements the gate turned away meanwhile
+};
 
 class RepairEngine {
  public:
@@ -54,6 +68,30 @@ class RepairEngine {
   // Full repair: analyze, close over dependencies, compensate.
   Result<RepairReport> Repair(const std::vector<int64_t>& seed_proxy_ids,
                               const DbaPolicy& policy);
+
+  // Serve-through repair (DESIGN.md §5g): the database keeps serving
+  // traffic while the contaminated partition is fenced off and healed.
+  //
+  //   1. Fixpoint: analyze → close → compute the contaminated partition →
+  //      install it in the engine's quarantine gate → drain in-flight
+  //      holders by X-locking the slices through the lock manager →
+  //      re-analyze, until the undo set is stable (writes that slipped in
+  //      before the fence are caught by the next round).
+  //   2. Heal: one compensation lane per table, each its own transaction on
+  //      its own gate-exempt connection (per-table batches commute — the
+  //      same argument that parallelizes offline Compensate). Compensating
+  //      WHEREs carry PK literals where known, so lanes take key locks and
+  //      clean keys of a partially contaminated table stay available.
+  //   3. Release: a table's slices leave the quarantine the moment its lane
+  //      commits — availability recovers incrementally, not at the end.
+  //
+  // Requires the concurrent engine (fails under serial_mode) and the single
+  // online-repair slot (a second concurrent call gets kFailedPrecondition).
+  // On a lane failure the unhealed tables STAY quarantined and the claim
+  // stays held — run an offline Repair and then db->quarantine().End() to
+  // recover; releasing the fence on error would re-expose contaminated rows.
+  Result<OnlineRepairReport> RepairOnline(
+      const std::vector<int64_t>& seed_proxy_ids, const DbaPolicy& policy);
 
   static std::string ExportDot(const DependencyAnalysis& analysis,
                                const std::set<int64_t>& highlight = {}) {

@@ -39,6 +39,19 @@ const char* StatusCodeName(StatusCode code);
 // the message so it survives the wire protocol's code+message round trip.
 inline constexpr char kRetryableAbortTag[] = "[deadlock-retry]";
 
+// Message prefix marking a kUnavailable status as a quarantine reject: the
+// statement's lock plan touched a slice fenced off by an online repair
+// (DESIGN.md §5g). Retryable like any kUnavailable — the slice is released
+// as soon as its compensation lane commits — but machine-distinguishable
+// from net/backpressure unavailability, and carried as an explicit reason
+// token on the wire error frame (wire/protocol.h).
+inline constexpr char kQuarantineTag[] = "[quarantine]";
+
+// Message prefix marking a kUnavailable status as degraded-mode
+// backpressure from the tracking proxy (tracked-commit protocol, DESIGN.md
+// §5b), as opposed to transport loss or quarantine.
+inline constexpr char kDegradedTag[] = "[degraded]";
+
 // A success-or-error value. Cheap to copy on the OK path (no allocation).
 class Status {
  public:

@@ -59,6 +59,7 @@ class DirectConnection : public DbConnection {
   std::string Describe() const override { return "direct"; }
 
   Database* database() { return db_; }
+  int64_t session_id() const { return session_; }
 
  private:
   Database* db_;

@@ -146,10 +146,38 @@ Result<WireRequest> DecodeRequest(std::string_view bytes) {
   return Status::InvalidArgument("bad request header");
 }
 
+const char* ErrorReasonToken(ErrorReason r) {
+  switch (r) {
+    case ErrorReason::kNet:
+      return "net";
+    case ErrorReason::kDegraded:
+      return "degraded";
+    case ErrorReason::kQuarantined:
+      return "quarantined";
+    case ErrorReason::kNone:
+      break;
+  }
+  return "";
+}
+
+ErrorReason ErrorReasonFromStatus(const Status& s) {
+  if (s.code() != StatusCode::kUnavailable) return ErrorReason::kNone;
+  if (s.message().rfind(kQuarantineTag, 0) == 0) {
+    return ErrorReason::kQuarantined;
+  }
+  if (s.message().rfind(kDegradedTag, 0) == 0) return ErrorReason::kDegraded;
+  return ErrorReason::kNet;
+}
+
 std::string EncodeResponse(const WireResponse& resp) {
   if (!resp.ok) {
-    return "ERR " + std::string(StatusCodeName(resp.error_code)) + "\n" +
-           EscapeLine(resp.error_message) + "\n";
+    std::string out = "ERR " + std::string(StatusCodeName(resp.error_code));
+    if (resp.error_reason != ErrorReason::kNone) {
+      out += " ";
+      out += ErrorReasonToken(resp.error_reason);
+    }
+    out += "\n" + EscapeLine(resp.error_message) + "\n";
+    return out;
   }
   const ResultSet& rs = resp.result;
   std::string out = "OK " + std::to_string(resp.session) + " " +
@@ -178,12 +206,25 @@ Result<WireResponse> DecodeResponse(std::string_view bytes) {
   WireResponse resp;
   if (StartsWith(header, "ERR ")) {
     resp.ok = false;
-    std::string code(header.substr(4));
+    auto err_fields = SplitNonEmpty(header.substr(4), ' ');
+    const std::string code =
+        err_fields.empty() ? std::string() : std::string(err_fields[0]);
     resp.error_code = StatusCode::kInternal;
-    for (int c = 0; c <= static_cast<int>(StatusCode::kConstraint); ++c) {
+    for (int c = 0; c <= static_cast<int>(StatusCode::kUnavailable); ++c) {
       if (code == StatusCodeName(static_cast<StatusCode>(c))) {
         resp.error_code = static_cast<StatusCode>(c);
         break;
+      }
+    }
+    if (err_fields.size() > 1) {
+      // Optional machine-readable reason token; unknown tokens are ignored
+      // (kNone) so older clients survive newer servers and vice versa.
+      for (ErrorReason r : {ErrorReason::kNet, ErrorReason::kDegraded,
+                            ErrorReason::kQuarantined}) {
+        if (err_fields[1] == ErrorReasonToken(r)) {
+          resp.error_reason = r;
+          break;
+        }
       }
     }
     std::string_view msg;

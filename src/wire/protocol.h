@@ -23,9 +23,25 @@ struct WireRequest {
   std::string sql;  // SQL text (kExec) or annotation label (kAnnotate)
 };
 
+// Machine-readable reason token carried on the wire error frame
+// ("ERR <code> [reason]"), classifying kUnavailable errors so clients can
+// tell transport loss, degraded-mode backpressure, and online-repair
+// quarantine rejects apart without parsing prose. kNone for every other
+// code (the token is simply absent on the wire).
+enum class ErrorReason { kNone, kNet, kDegraded, kQuarantined };
+
+// Wire token for a reason ("" for kNone).
+const char* ErrorReasonToken(ErrorReason r);
+
+// Classifies a status for the wire: kUnavailable splits on the message
+// prefix (util/status.h's kQuarantineTag / kDegradedTag, default kNet);
+// everything else is kNone.
+ErrorReason ErrorReasonFromStatus(const Status& s);
+
 struct WireResponse {
   bool ok = false;
   StatusCode error_code = StatusCode::kOk;
+  ErrorReason error_reason = ErrorReason::kNone;
   std::string error_message;
   int64_t session = -1;  // for kConnect
   ResultSet result;

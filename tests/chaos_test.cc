@@ -21,6 +21,8 @@
 // Not a gtest binary: a violation prints the seed and exits non-zero, which
 // is what tools/run_chaos.sh and the `chaos` ctest label consume.
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -63,6 +65,7 @@ int64_t g_injected = 0;
 int64_t g_degraded_commits = 0;
 int64_t g_gap_txns = 0;
 int64_t g_deadlock_client_retries = 0;
+int64_t g_quarantine_rejects = 0;
 
 [[noreturn]] void Fail(const std::string& msg) {
   std::fprintf(stderr, "chaos: FAILED (seed %llu): %s\n",
@@ -142,6 +145,11 @@ constexpr FaultProfile kProfiles[] = {
     // lock-hold window so conflicting transactions pile onto the waits-for
     // graph and deadlock storms become routine rather than rare.
     {"lock-contention", 0.5, 0.5, 0.5, 0.0, 4.0},
+    // Shifts chaos onto the online repair: an attack lands mid-load over
+    // real TCP connections, RepairOnline quarantines and heals while the
+    // clients keep hammering, and widened lock windows maximize the odds
+    // of open transactions pinning fenced slices when the drain arrives.
+    {"serve-through", 0.0, 0.5, 0.5, 0.0, 2.0},
 };
 
 FaultProfile g_profile = kProfiles[0];
@@ -839,13 +847,249 @@ void RunLockContentionIteration(int iter) {
               static_cast<long long>(lstats.deadlocks), undo_size);
 }
 
+// ---------------------------------------------------------------------------
+// Part 5: serve-through repair — RepairOnline races a live TCP workload
+// (DESIGN.md §5g).
+//
+// Invariants on top of A/B:
+//   D. repair soundness under fire — the post-release state equals a
+//      fault-free replay of the committed scripts minus the undo set, i.e.
+//      exactly what an offline repair of the same history produces;
+//   E. zero tracking gaps — every transaction that survives the repair has
+//      its full dependency set in trans_dep (DegradedMode::kAbort, and the
+//      quarantine gate rejects rather than degrades);
+//   F. full release — no quarantine slice outlives the repair.
+
+// Client-visible failures the serve-through workload recovers from with
+// ROLLBACK + whole-script retry: quarantine rejections and forced evictions
+// (retryable kUnavailable), deadlock aborts, and the poisoned-transaction
+// acknowledgement handshake.
+bool RetryableClientFailure(const Status& st) {
+  return st.IsRetryable() || concurrency::IsDeadlockAbort(st) ||
+         st.code() == StatusCode::kFailedPrecondition;
+}
+
+void RunServeThroughIteration(int iter) {
+  auto& reg = fail::Registry::Instance();
+  reg.DisarmAll();
+  reg.ResetStats();
+  reg.Seed(g_seed * 9119113 + static_cast<uint64_t>(iter));
+
+  Database db(FlavorTraits::Postgres());
+  proxy::TxnIdAllocator alloc;
+  net::NetServerOptions sopts;
+  sopts.track = false;  // tracking lives in the per-client proxies
+  net::NetProxyServer server(&db, &alloc, sopts);
+  IRDB_CHECK(server.Start().ok());
+
+  {
+    // Bootstrap over the same TCP front door the workload uses.
+    net::TcpChannelOptions copts;
+    copts.port = server.port();
+    net::TcpChannel boot_channel(copts);
+    auto boot_or = RemoteConnection::Connect(&boot_channel, RetryPolicy::None());
+    IRDB_CHECK(boot_or.ok());
+    proxy::TrackingProxy boot(boot_or->get(), &alloc, FlavorTraits::Postgres());
+    IRDB_CHECK(boot.EnsureTrackingTables().ok());
+    SetupAccounts(&boot);
+  }
+
+  DirectConnection admin(&db);
+  const std::set<int64_t> baseline = TransDepIds(&admin);
+
+  constexpr int kThreads = 4;
+  constexpr size_t kScriptsPerThread = 8;
+  std::vector<std::vector<Script>> per_thread;
+  for (int t = 0; t < kThreads; ++t) {
+    per_thread.push_back(MakeContentionScripts(
+        g_seed + 131 * static_cast<uint64_t>(iter) + t, t, kScriptsPerThread));
+  }
+
+  // Widened lock windows make open transactions linger on their keys, so
+  // the drain regularly meets pinned slices and must evict, not wait.
+  reg.Arm("lock.acquire.delay",
+          fail::Trigger::Probability(0.1 * g_profile.lock_mult));
+
+  std::atomic<int64_t> attack_trid{0};
+  struct ThreadOutcome {
+    std::vector<bool> committed_mask;
+    std::map<int64_t, std::vector<proxy::DepEntry>> committed;
+    std::map<int64_t, size_t> trid_to_script;
+    int64_t deadlock_retries = 0;
+    int64_t quarantine_rejects = 0;
+  };
+  std::vector<ThreadOutcome> outcomes(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&db, &server, &alloc, &per_thread, &outcomes,
+                          &attack_trid, t] {
+      (void)db;
+      net::TcpChannelOptions copts;
+      copts.port = server.port();
+      net::TcpChannel channel(copts);
+      auto remote_or = RemoteConnection::Connect(&channel, RetryPolicy::None());
+      IRDB_CHECK(remote_or.ok());
+      proxy::TrackingProxy proxy(remote_or->get(), &alloc,
+                                 FlavorTraits::Postgres());
+      ThreadOutcome& out = outcomes[t];
+      out.committed_mask.assign(per_thread[t].size(), false);
+      for (size_t j = 0; j < per_thread[t].size(); ++j) {
+        const Script& sc = per_thread[t][j];
+        for (int attempt = 0; attempt < 500; ++attempt) {
+          if (!proxy.Execute("BEGIN").ok()) {
+            (void)proxy.Execute("ROLLBACK");
+            continue;
+          }
+          proxy.SetAnnotation(sc.label);
+          Status failure = Status::Ok();
+          for (const std::string& sql : sc.stmts) {
+            auto r = proxy.Execute(sql);
+            if (!r.ok()) {
+              failure = r.status();
+              break;
+            }
+          }
+          if (failure.ok()) {
+            const int64_t trid = proxy.current_txn_id();
+            std::vector<proxy::DepEntry> deps = proxy.pending_deps();
+            auto commit = proxy.Execute("COMMIT");
+            if (commit.ok()) {
+              out.committed_mask[j] = true;
+              out.committed[trid] = std::move(deps);
+              out.trid_to_script[trid] = j;
+              if (sc.label == "Attack") {
+                attack_trid.store(trid, std::memory_order_release);
+              }
+              break;
+            }
+            failure = commit.status();
+          }
+          (void)proxy.Execute("ROLLBACK");
+          if (!RetryableClientFailure(failure)) break;  // give the script up
+          if (concurrency::IsDeadlockAbort(failure)) {
+            ++out.deadlock_retries;
+          } else if (failure.message().rfind(kQuarantineTag, 0) == 0) {
+            // Fenced slice: back off until the repair releases it.
+            ++out.quarantine_rejects;
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+          }
+        }
+      }
+      out.quarantine_rejects += proxy.stats().quarantine_rejects;
+    });
+  }
+
+  // The repair races the load: as soon as the attack commits, quarantine
+  // its closure and heal while the other clients keep going.
+  Status repair_status = Status::Ok();
+  repair::OnlineRepairReport report;
+  std::thread repair_thread([&db, &attack_trid, &repair_status, &report] {
+    for (int spin = 0; spin < 5000; ++spin) {
+      if (attack_trid.load(std::memory_order_acquire) != 0) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    const int64_t seed_trid = attack_trid.load(std::memory_order_acquire);
+    if (seed_trid == 0) {
+      repair_status = Status::Internal("attack never committed");
+      return;
+    }
+    // Let a few dependents land so the closure is non-trivial.
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    repair::RepairEngine engine(&db, /*threads=*/2);
+    for (int attempt = 0; attempt < 5; ++attempt) {
+      auto rep = engine.RepairOnline({seed_trid},
+                                     repair::DbaPolicy::TrackEverything());
+      if (rep.ok()) {
+        report = *rep;
+        repair_status = Status::Ok();
+        return;
+      }
+      repair_status = rep.status();
+      // Analyze can lose a deadlock to the live load; the claim was
+      // released on the way out, so retrying is safe.
+      if (!rep.status().IsRetryable() &&
+          rep.status().code() != StatusCode::kAborted) {
+        return;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  });
+
+  for (auto& th : threads) th.join();
+  repair_thread.join();
+  reg.DisarmAll();
+  Require(repair_status.ok(),
+          "online repair under live TCP load: " + repair_status.ToString());
+  Require(!db.quarantine().active(),
+          "quarantine still active after RepairOnline returned");
+  Require(db.quarantine().stats().slices == 0,
+          "quarantine slices survived the repair");
+
+  // Flatten thread-major (the replay oracle's order).
+  std::vector<Script> flat;
+  std::vector<bool> flat_mask;
+  std::map<int64_t, std::vector<proxy::DepEntry>> committed;
+  std::map<int64_t, size_t> trid_to_flat;
+  int64_t retries = 0, rejects = 0;
+  for (int t = 0; t < kThreads; ++t) {
+    const size_t base = flat.size();
+    for (size_t j = 0; j < per_thread[t].size(); ++j) {
+      flat.push_back(per_thread[t][j]);
+      flat_mask.push_back(outcomes[t].committed_mask[j]);
+    }
+    for (auto& [trid, deps] : outcomes[t].committed) {
+      committed[trid] = std::move(deps);
+    }
+    for (const auto& [trid, j] : outcomes[t].trid_to_script) {
+      trid_to_flat[trid] = base + j;
+    }
+    retries += outcomes[t].deadlock_retries;
+    rejects += outcomes[t].quarantine_rejects;
+  }
+  g_deadlock_client_retries += retries;
+  g_quarantine_rejects += rejects;
+
+  // E. The repair compensated the undo set's metadata along with its data,
+  // so completeness is asserted over the surviving transactions; everything
+  // else about invariant A holds verbatim — and kAbort means zero gaps.
+  std::map<int64_t, std::vector<proxy::DepEntry>> surviving = committed;
+  std::set<size_t> excluded;
+  for (int64_t id : report.repair.undo_set) {
+    surviving.erase(id);
+    auto it = trid_to_flat.find(id);
+    if (it != trid_to_flat.end()) excluded.insert(it->second);
+  }
+  Require(excluded.count(trid_to_flat[attack_trid.load()]) > 0,
+          "attack txn not in its own undo set");
+  CheckTrackingCompleteness(&admin, surviving, baseline,
+                            proxy::DegradedMode::kAbort);
+  CheckWalDurability(db);
+
+  // D. Byte-for-byte offline equivalence: replaying the committed history
+  // without the undo set is exactly the state an offline repair of this
+  // history would leave behind.
+  const uint64_t actual = db.StateHash({"account"}, {"trid"});
+  const uint64_t expected = ReplayHash(flat, flat_mask, excluded);
+  Require(actual == expected,
+          "post-release state diverges from the offline-repair oracle "
+          "(replay of committed scripts minus the undo set)");
+
+  std::printf("chaos: serv iter %2d committed=%zu undo=%zu rejects=%lld "
+              "rounds=%d slices=%d released=%d lanes=%d evict_retries=%lld\n",
+              iter, committed.size(), report.repair.undo_set.size(),
+              static_cast<long long>(rejects), report.rounds,
+              report.slices_installed, report.slices_released, report.lanes,
+              static_cast<long long>(retries));
+}
+
 int ChaosMain(int argc, char** argv) {
   uint64_t seed = 20260805;
   if (const char* env = std::getenv("IRDB_CHAOS_SEED");
       env != nullptr && *env != '\0') {
     seed = std::strtoull(env, nullptr, 10);
   }
-  int tpcc_iters = 13, repair_iters = 13, net_iters = 5, lock_iters = 5;
+  int tpcc_iters = 13, repair_iters = 13, net_iters = 5, lock_iters = 5,
+      serve_iters = 3;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--seed=", 7) == 0) {
       seed = std::strtoull(argv[i] + 7, nullptr, 10);
@@ -857,6 +1101,8 @@ int ChaosMain(int argc, char** argv) {
       net_iters = std::atoi(argv[i] + 12);
     } else if (std::strncmp(argv[i], "--lock-iters=", 13) == 0) {
       lock_iters = std::atoi(argv[i] + 13);
+    } else if (std::strncmp(argv[i], "--serve-iters=", 14) == 0) {
+      serve_iters = std::atoi(argv[i] + 14);
     } else if (std::strncmp(argv[i], "--profile=", 10) == 0) {
       const char* want = argv[i] + 10;
       bool found = false;
@@ -868,14 +1114,16 @@ int ChaosMain(int argc, char** argv) {
       }
       if (!found) {
         std::fprintf(stderr, "unknown profile '%s' (default, wire-heavy, "
-                             "commit-heavy, net-reset, lock-contention)\n",
+                             "commit-heavy, net-reset, lock-contention, "
+                             "serve-through)\n",
                      want);
         return 2;
       }
     } else {
       std::fprintf(stderr,
                    "usage: %s [--seed=N] [--profile=NAME] [--tpcc-iters=N] "
-                   "[--repair-iters=N] [--net-iters=N] [--lock-iters=N]\n"
+                   "[--repair-iters=N] [--net-iters=N] [--lock-iters=N] "
+                   "[--serve-iters=N]\n"
                    "  (IRDB_CHAOS_SEED is honored when --seed is absent)\n",
                    argv[0]);
       return 2;
@@ -883,14 +1131,15 @@ int ChaosMain(int argc, char** argv) {
   }
   g_seed = seed;
   std::printf("chaos: seed=%llu profile=%s tpcc_iters=%d repair_iters=%d "
-              "net_iters=%d lock_iters=%d\n",
+              "net_iters=%d lock_iters=%d serve_iters=%d\n",
               static_cast<unsigned long long>(seed), g_profile.name,
-              tpcc_iters, repair_iters, net_iters, lock_iters);
+              tpcc_iters, repair_iters, net_iters, lock_iters, serve_iters);
 
   for (int i = 0; i < tpcc_iters; ++i) RunTpccChaosIteration(i);
   for (int i = 0; i < net_iters; ++i) RunNetChaosIteration(i);
   for (int i = 0; i < repair_iters; ++i) RunRepairChaosIteration(i);
   for (int i = 0; i < lock_iters; ++i) RunLockContentionIteration(i);
+  for (int i = 0; i < serve_iters; ++i) RunServeThroughIteration(i);
 
   Require(g_dropped_round_trips + g_injected > 0,
           "no faults fired across the whole run — the harness is inert");
@@ -916,13 +1165,14 @@ int ChaosMain(int argc, char** argv) {
 
   std::printf("chaos: OK  dropped_round_trips=%lld retries=%lld "
               "injected=%lld degraded_commits=%lld gap_txns=%lld "
-              "deadlock_retries=%lld\n",
+              "deadlock_retries=%lld quarantine_rejects=%lld\n",
               static_cast<long long>(g_dropped_round_trips),
               static_cast<long long>(g_retries),
               static_cast<long long>(g_injected),
               static_cast<long long>(g_degraded_commits),
               static_cast<long long>(g_gap_txns),
-              static_cast<long long>(g_deadlock_client_retries));
+              static_cast<long long>(g_deadlock_client_retries),
+              static_cast<long long>(g_quarantine_rejects));
   return 0;
 }
 

@@ -26,6 +26,13 @@
 // deadlock aborts, client retries, and p50/p99 whole-transaction latency
 // (retries included), so contention shows up in the numbers instead of as
 // silent failures.
+//
+// Transactions turned away by an online repair's quarantine gate
+// ("[quarantine]"-tagged kUnavailable) are counted as REJECTED, not failed:
+// the server is up and answering, it is fencing contaminated slices while
+// they heal. --timeline prints per-second served/rejected buckets with the
+// availability ratio, which is how bench_online_repair's serve-through
+// curves are read off a live run.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -52,11 +59,20 @@ namespace {
 struct WorkerTally {
   int64_t ok = 0;
   int64_t failed = 0;
+  int64_t rejected = 0;         // "[quarantine]"-tagged kUnavailable
   int64_t deadlock_aborts = 0;  // "[deadlock]"-tagged aborts observed
   int64_t retries = 0;          // whole-transaction client retries
   std::vector<double> latencies_ms;  // per logical txn, retries included
   std::string first_error;
 };
+
+// Per-second availability buckets, shared across workers (--timeline).
+struct SecondBucket {
+  std::atomic<int64_t> served{0};
+  std::atomic<int64_t> rejected{0};  // quarantine rejects
+  std::atomic<int64_t> failed{0};    // everything else
+};
+constexpr size_t kMaxBuckets = 3600;
 
 // Nearest-rank percentile; sorts in place.
 double Percentile(std::vector<double>& v, double q) {
@@ -78,6 +94,7 @@ int Main(int argc, char** argv) {
   bool track = true;
   bool annotate = true;
   bool read_only = false;
+  bool timeline = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--connections=", 14) == 0) {
       connections = std::atoi(argv[i] + 14);
@@ -97,6 +114,8 @@ int Main(int argc, char** argv) {
       track = false;
     } else if (std::strcmp(argv[i], "--no-annot") == 0) {
       annotate = false;
+    } else if (std::strcmp(argv[i], "--timeline") == 0) {
+      timeline = true;
     } else if (std::strncmp(argv[i], "--mix=", 6) == 0) {
       read_only = std::strcmp(argv[i] + 6, "ro") == 0;
     } else {
@@ -104,7 +123,8 @@ int Main(int argc, char** argv) {
           stderr,
           "usage: %s [--connections=N] [--txns=N] [--mix=rw|ro]\n"
           "          [--warehouses=N] [--rtt-ms=F] [--seed=N]\n"
-          "          [--port=P [--host=H]] [--no-track] [--no-annot]\n",
+          "          [--port=P [--host=H]] [--no-track] [--no-annot]\n"
+          "          [--timeline]\n",
           argv[0]);
       return 2;
     }
@@ -161,8 +181,14 @@ int Main(int argc, char** argv) {
   }
 
   std::vector<WorkerTally> tallies(static_cast<size_t>(connections));
+  std::vector<SecondBucket> buckets(kMaxBuckets);
   std::vector<std::thread> workers;
   Stopwatch sw;
+  auto bucket_for = [&](double elapsed_s) -> SecondBucket& {
+    const size_t idx = std::min(
+        kMaxBuckets - 1, static_cast<size_t>(std::max(0.0, elapsed_s)));
+    return buckets[idx];
+  };
   for (int w = 0; w < connections; ++w) {
     workers.emplace_back([&, w] {
       WorkerTally& tally = tallies[static_cast<size_t>(w)];
@@ -187,6 +213,7 @@ int Main(int argc, char** argv) {
           auto r = read_only ? driver.StockLevel() : driver.RunMixed();
           if (r.ok()) {
             ++tally.ok;
+            bucket_for(sw.ElapsedSeconds()).served.fetch_add(1);
             break;
           }
           const bool deadlock = concurrency::IsDeadlockAbort(r.status());
@@ -199,7 +226,16 @@ int Main(int argc, char** argv) {
                 std::uniform_int_distribution<int>(0, 200 << std::min(attempt, 6))(rng)));
             continue;
           }
+          if (ErrorReasonFromStatus(r.status()) ==
+              ErrorReason::kQuarantined) {
+            // The slice this transaction needed is fenced by an online
+            // repair: a reject, not a failure — the server is serving.
+            ++tally.rejected;
+            bucket_for(sw.ElapsedSeconds()).rejected.fetch_add(1);
+            break;
+          }
           ++tally.failed;
+          bucket_for(sw.ElapsedSeconds()).failed.fetch_add(1);
           if (tally.first_error.empty()) {
             tally.first_error = r.status().ToString();
           }
@@ -212,20 +248,22 @@ int Main(int argc, char** argv) {
   for (auto& t : workers) t.join();
   const double wall = sw.ElapsedSeconds();
 
-  int64_t ok = 0, failed = 0, aborts = 0, retries = 0;
+  int64_t ok = 0, failed = 0, rejected = 0, aborts = 0, retries = 0;
   std::vector<double> all_latencies;
   for (size_t w = 0; w < tallies.size(); ++w) {
     WorkerTally& t = tallies[w];
     ok += t.ok;
     failed += t.failed;
+    rejected += t.rejected;
     aborts += t.deadlock_aborts;
     retries += t.retries;
     all_latencies.insert(all_latencies.end(), t.latencies_ms.begin(),
                          t.latencies_ms.end());
-    std::printf("loadgen: worker %zu: ok=%lld failed=%lld "
+    std::printf("loadgen: worker %zu: ok=%lld failed=%lld rejected=%lld "
                 "deadlock_aborts=%lld retries=%lld p50=%.2fms p99=%.2fms\n",
                 w, static_cast<long long>(t.ok),
                 static_cast<long long>(t.failed),
+                static_cast<long long>(t.rejected),
                 static_cast<long long>(t.deadlock_aborts),
                 static_cast<long long>(t.retries),
                 Percentile(t.latencies_ms, 0.50),
@@ -236,13 +274,32 @@ int Main(int argc, char** argv) {
     }
   }
   std::printf("loadgen: %d conns x %d txns (%s): %lld ok, %lld failed, "
-              "%lld deadlock aborts, %lld retries, %.2fs wall, %.0f txn/s, "
-              "p99=%.2fms\n",
+              "%lld rejected, %lld deadlock aborts, %lld retries, %.2fs "
+              "wall, %.0f txn/s, p99=%.2fms\n",
               connections, txns, read_only ? "ro" : "rw",
               static_cast<long long>(ok), static_cast<long long>(failed),
+              static_cast<long long>(rejected),
               static_cast<long long>(aborts), static_cast<long long>(retries),
               wall, static_cast<double>(ok) / wall,
               Percentile(all_latencies, 0.99));
+  if (timeline) {
+    // One line per wall-clock second with any traffic: what a dashboard
+    // would plot during a serve-through repair.
+    const size_t last =
+        std::min(kMaxBuckets - 1, static_cast<size_t>(wall) + 1);
+    for (size_t sec = 0; sec <= last; ++sec) {
+      const int64_t s = buckets[sec].served.load();
+      const int64_t r = buckets[sec].rejected.load();
+      const int64_t f = buckets[sec].failed.load();
+      if (s + r + f == 0) continue;
+      const double avail =
+          100.0 * static_cast<double>(s) / static_cast<double>(s + r + f);
+      std::printf("loadgen: t=%zus served=%lld rejected=%lld failed=%lld "
+                  "avail=%.1f%%\n",
+                  sec, static_cast<long long>(s), static_cast<long long>(r),
+                  static_cast<long long>(f), avail);
+    }
+  }
 
   int rc = failed == 0 ? 0 : 1;
   if (server != nullptr) {
@@ -259,12 +316,13 @@ int Main(int argc, char** argv) {
                 static_cast<long long>(s.backpressure_stalls));
     if (track) {
       std::printf("loadgen: tracking client_stmts=%lld backend_stmts=%lld "
-                  "deps=%lld degraded=%lld gaps=%lld\n",
+                  "deps=%lld degraded=%lld gaps=%lld quarantine_rejects=%lld\n",
                   static_cast<long long>(ps.client_statements),
                   static_cast<long long>(ps.backend_statements),
                   static_cast<long long>(ps.deps_recorded),
                   static_cast<long long>(ps.degraded_commits),
-                  static_cast<long long>(ps.tracking_gap_txns));
+                  static_cast<long long>(ps.tracking_gap_txns),
+                  static_cast<long long>(ps.quarantine_rejects));
     }
     if (s.frames_in != s.frames_out || s.frames_in != s.requests_served) {
       std::fprintf(stderr, "loadgen: ACCOUNTING MISMATCH after clean drain\n");

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Builds and runs the serve-through repair availability bench (clean-key
+# availability during an online repair vs the take-the-database-down offline
+# baseline, 8 TCP connections), leaving BENCH_online.json in the repo root
+# (or $1 if given). Exits non-zero if the >= 90% clean-key availability
+# target is missed. Usage: tools/run_bench_online.sh [out.json]
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+out="${1:-$repo/BENCH_online.json}"
+
+cmake -B "$repo/build" -S "$repo" >/dev/null
+cmake --build "$repo/build" --target bench_online_repair -j >/dev/null
+
+"$repo/build/bench/bench_online_repair" --out="$out"

@@ -8,11 +8,16 @@
 # `net`, and `concurrency` ctest labels — the parallel repair pipeline's
 # determinism and equivalence tests, the sharded metrics-registry hammer
 # (obs_test), the networked front-end's concurrent-session suite (net_test),
-# and the lock-manager/concurrent-execution suite (concurrency_test) — so
-# data races in the worker pool, segmented scan, sharded closure, batched
-# compensation, the shard-per-thread registry, the event-loop/executor
-# handoff, or the lock manager and latch layering surface here rather than
-# in production.
+# the lock-manager/concurrent-execution suite (concurrency_test), and the
+# serve-through quarantine suite (quarantine_test) — so data races in the
+# worker pool, segmented scan, sharded closure, batched compensation, the
+# shard-per-thread registry, the event-loop/executor handoff, the lock
+# manager and latch layering, or the online-repair quarantine gate surface
+# here rather than in production.
+#
+# The serve-through profile races RepairOnline against a live TCP workload
+# and checks the post-release state byte-for-byte against the offline-repair
+# oracle with zero tracking gaps (DESIGN.md §5g).
 #
 # Usage: tools/run_chaos.sh [num_seeds] [base_seed]
 #   num_seeds  seeds per profile per config (default 5)
@@ -23,7 +28,7 @@ set -euo pipefail
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 num_seeds="${1:-5}"
 base_seed="${2:-20260805}"
-profiles=(default wire-heavy commit-heavy net-reset lock-contention)
+profiles=(default wire-heavy commit-heavy net-reset lock-contention serve-through)
 
 run_config() {
   local build_dir="$1"; shift
@@ -43,9 +48,9 @@ run_config() {
 run_config "$repo/build" "plain"
 run_config "$repo/build-asan" "asan" -DIRDB_SANITIZE=address
 
-echo "[tsan] parallel repair + net front-end + lock manager under ThreadSanitizer"
+echo "[tsan] parallel repair + net front-end + lock manager + quarantine under ThreadSanitizer"
 cmake -B "$repo/build-tsan" -S "$repo" -DIRDB_SANITIZE=thread >/dev/null
-cmake --build "$repo/build-tsan" --target parallel_repair_test obs_test net_test concurrency_test -j >/dev/null
+cmake --build "$repo/build-tsan" --target parallel_repair_test obs_test net_test concurrency_test quarantine_test -j >/dev/null
 (cd "$repo/build-tsan" && ctest -L 'parallel|net|concurrency' --output-on-failure)
 
 echo "chaos soak passed: ${#profiles[@]} profiles x $num_seeds seeds x 2 configs + tsan parallel/net/concurrency suites"
