@@ -77,6 +77,7 @@ void CollectKeyEqExprs(
 
 Database::Database(FlavorTraits traits, IoCostParams io_params)
     : traits_(std::move(traits)), io_model_(io_params) {
+  catalog_.AttachBufferPool(&buffer_pool_);
   sessions_[0] = std::make_shared<Session>();  // convenience session
 }
 
@@ -217,6 +218,40 @@ Result<ResultSet> Database::StatementOnSession(Session& s,
         return ExecDropTable(stmt);
       }
       return ExecDropTable(stmt);
+    case sql::StatementKind::kCreateIndex:
+    case sql::StatementKind::kDropIndex: {
+      if (s.poisoned) {
+        return s.quarantine_poisoned ? QuarantinePoisonedError()
+                                     : PoisonedTxnError();
+      }
+      auto exec = [&]() -> Result<ResultSet> {
+        return stmt.kind == sql::StatementKind::kCreateIndex
+                   ? ExecCreateIndex(stmt)
+                   : ExecDropIndex(stmt);
+      };
+      if (!concurrent) return exec();
+      std::unique_lock<std::shared_mutex> ddl(catalog_latch_);
+      // Same gate as DROP TABLE: index DDL rewrites table metadata the
+      // repair's compensation lanes may be standing on.
+      if (quarantine_.active() && !s.quarantine_exempt) {
+        const HeapTable* owner =
+            stmt.kind == sql::StatementKind::kCreateIndex
+                ? catalog_.Find(stmt.table)
+                : catalog_.FindTableOfIndex(stmt.index_name);
+        if (owner != nullptr) {
+          auto id = catalog_.TableId(owner->name());
+          if (id.ok() &&
+              quarantine_.Blocks(concurrency::ResourceId::Table(*id),
+                                 concurrency::LockMode::kExclusive)) {
+            quarantine_.CountReject();
+            return Status::Unavailable(
+                std::string(kQuarantineTag) +
+                " table quarantined by online repair; retry after release");
+          }
+        }
+      }
+      return exec();
+    }
     default:
       break;
   }
@@ -584,8 +619,8 @@ RowLoc FindRowByBytes(const HeapTable& table, int32_t page_hint,
   auto search_page = [&](int p) -> int {
     const Page* page = table.GetPage(p);
     if (page == nullptr) return -1;
-    for (int s = 0; s < page->row_count(); ++s) {
-      if (page->RowAt(s) == bytes) return s;
+    for (int s = 0; s < page->slot_count(); ++s) {
+      if (page->SlotLive(s) && page->RowAt(s) == bytes) return s;
     }
     return -1;
   };
@@ -791,6 +826,46 @@ Result<ResultSet> Database::ExecDropTable(const sql::Statement& stmt) {
   return ResultSet{};
 }
 
+Result<ResultSet> Database::ExecCreateIndex(const sql::Statement& stmt) {
+  IRDB_ASSIGN_OR_RETURN(HeapTable* table, RequireTable(stmt.table));
+  std::vector<int> key_columns;
+  key_columns.reserve(stmt.index_columns.size());
+  for (const std::string& col : stmt.index_columns) {
+    int idx = table->schema().FindColumn(col);
+    if (idx < 0) {
+      return Status::InvalidArgument("CREATE INDEX: no column " + col + " in " +
+                                     stmt.table);
+    }
+    key_columns.push_back(idx);
+  }
+  if (key_columns.empty()) {
+    return Status::InvalidArgument("CREATE INDEX needs at least one column");
+  }
+  if (catalog_.FindTableOfIndex(stmt.index_name) != nullptr) {
+    return Status::AlreadyExists("index " + stmt.index_name + " already exists");
+  }
+  IRDB_RETURN_IF_ERROR(
+      table->AddSecondaryIndex(stmt.index_name, std::move(key_columns)));
+  LogRecord rec;
+  rec.op = LogOp::kDdl;
+  rec.ddl_text = sql::PrintStatement(stmt);
+  wal_.Append(std::move(rec));
+  return ResultSet{};
+}
+
+Result<ResultSet> Database::ExecDropIndex(const sql::Statement& stmt) {
+  HeapTable* table = catalog_.FindTableOfIndex(stmt.index_name);
+  if (table == nullptr) {
+    return Status::NotFound("no index named " + stmt.index_name);
+  }
+  IRDB_CHECK(table->DropSecondaryIndex(stmt.index_name));
+  LogRecord rec;
+  rec.op = LogOp::kDdl;
+  rec.ddl_text = sql::PrintStatement(stmt);
+  wal_.Append(std::move(rec));
+  return ResultSet{};
+}
+
 // --------------------------------------------------------------------- DML
 
 Result<ResultSet> Database::ExecInsert(Session& s, const sql::Statement& stmt) {
@@ -937,13 +1012,8 @@ Result<ResultSet> Database::ExecDelete(Session& s, const sql::Statement& stmt) {
                         CollectMatching(table, table_id, stmt.table,
                                         stmt.where.get()));
 
-  // Delete highest slots first so pending locations stay valid (in-page
-  // compaction only shifts rows at higher slots).
-  std::sort(matches.begin(), matches.end(),
-            [](const auto& a, const auto& b) {
-              if (a.first.page != b.first.page) return a.first.page < b.first.page;
-              return a.first.slot > b.first.slot;
-            });
+  // Deletes tombstone slots in place, so pending locations stay valid in
+  // any order.
   for (auto& [loc, bytes] : matches) {
     // Log with the offset as of this operation.
     LogRowOp(s, LogOp::kDelete, table_id, *table, loc, std::move(bytes), "");
@@ -1080,6 +1150,50 @@ Database::KeyValuesForRowAddresses(const std::string& table,
   }
   std::unordered_set<int64_t> wanted(addresses.begin(), addresses.end());
   std::shared_lock<std::shared_mutex> latch(t->latch());
+
+  // Extracts the primary-key (name, value) pairs of one row; false when a
+  // column fails to decode.
+  auto key_of = [&](std::string_view bytes,
+                    std::vector<std::pair<std::string, Value>>* key) -> bool {
+    for (int kc : t->index()->key_columns()) {
+      auto v = t->codec().DecodeColumn(bytes, static_cast<size_t>(kc));
+      if (!v.ok()) return false;
+      key->emplace_back(schema.column(static_cast<size_t>(kc)).name,
+                        std::move(*v));
+    }
+    return true;
+  };
+
+  // When the address column leads an index, probe each address directly
+  // instead of scanning the heap (the repair engine calls this with a few
+  // addresses against large tables).
+  if (!schema.has_hidden_rowid()) {
+    const TableIndex* probe = nullptr;
+    if (t->index()->key_columns()[0] == addr_col) probe = t->index();
+    for (const auto& si : t->secondary_indexes()) {
+      if (probe != nullptr) break;
+      if (si->key_columns()[0] == addr_col) probe = si.get();
+    }
+    if (probe != nullptr) {
+      obs::Count(obs::Metrics::Get().index_scans);
+      for (int64_t addr : wanted) {
+        auto coerced = schema.CoerceForColumn(static_cast<size_t>(addr_col),
+                                              Value::Int(addr));
+        if (!coerced.ok()) continue;
+        std::vector<RowLoc> locs;
+        probe->LookupPrefix({*coerced}, &locs);
+        for (RowLoc loc : locs) {
+          std::vector<std::pair<std::string, Value>> key;
+          if (key_of(t->ReadAt(loc), &key)) {
+            out.emplace_back(addr, std::move(key));
+          }
+        }
+      }
+      return out;
+    }
+  }
+
+  obs::Count(obs::Metrics::Get().heap_scans);
   t->Scan([&](RowLoc, std::string_view bytes) {
     int64_t addr;
     if (schema.has_hidden_rowid()) {
@@ -1093,13 +1207,7 @@ Database::KeyValuesForRowAddresses(const std::string& table,
     // Decoded values are already canonical for their columns, so they hash
     // into the same space as PlanStatementLocks' key hashes.
     std::vector<std::pair<std::string, Value>> key;
-    for (int kc : t->index()->key_columns()) {
-      auto v = t->codec().DecodeColumn(bytes, static_cast<size_t>(kc));
-      if (!v.ok()) return;
-      key.emplace_back(schema.column(static_cast<size_t>(kc)).name,
-                       std::move(*v));
-    }
-    out.emplace_back(addr, std::move(key));
+    if (key_of(bytes, &key)) out.emplace_back(addr, std::move(key));
   });
   return out;
 }

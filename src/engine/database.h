@@ -38,6 +38,7 @@
 #include "engine/result_set.h"
 #include "flavor/flavor_traits.h"
 #include "sql/ast.h"
+#include "storage/buffer_pool.h"
 #include "storage/catalog.h"
 #include "txn/wal_log.h"
 #include "util/status.h"
@@ -85,6 +86,11 @@ class Database {
 
   concurrency::TransactionManager& txn_manager() { return txn_mgr_; }
   const concurrency::TransactionManager& txn_manager() const { return txn_mgr_; }
+
+  // Buffer pool every table of this engine pins pages through. Unbounded by
+  // default; benches/tests cap it with set_capacity to exercise eviction.
+  BufferPool& buffer_pool() { return buffer_pool_; }
+  const BufferPool& buffer_pool() const { return buffer_pool_; }
 
   // Online-repair quarantine gate (DESIGN.md §5g). Consulted on the
   // concurrent statement path after lock planning: statements whose plan
@@ -213,6 +219,8 @@ class Database {
   Result<ResultSet> ExecDelete(Session& s, const sql::Statement& stmt);
   Result<ResultSet> ExecCreateTable(const sql::Statement& stmt);
   Result<ResultSet> ExecDropTable(const sql::Statement& stmt);
+  Result<ResultSet> ExecCreateIndex(const sql::Statement& stmt);
+  Result<ResultSet> ExecDropIndex(const sql::Statement& stmt);
 
   void BeginTxn(Session& s);
   void CommitTxn(Session& s);
@@ -270,6 +278,7 @@ class Database {
       const sql::Expr* where);
 
   FlavorTraits traits_;
+  BufferPool buffer_pool_;  // declared before catalog_ (tables pin through it)
   Catalog catalog_;
   WalLog wal_;
   IoModel io_model_;

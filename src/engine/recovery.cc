@@ -10,10 +10,12 @@ namespace irdb {
 
 namespace {
 
-// Where the row a record addressed is now: either still in place (offset
-// slid across later same-page DELETEs, §4.3 movement rule) or consumed by a
-// later DELETE record (whose index is reported so loser-undo can chase rows
-// it has itself revived).
+// Where the row a record addressed is now: still in its logged slot (deletes
+// tombstone in place, so offsets never slide — a strictly stronger form of
+// the §4.3 movement property) or consumed by a later DELETE record at the
+// same offset (whose index is reported so loser-undo can chase rows it has
+// itself revived). The first later DELETE at the row's offset is the row's
+// own death: a reused slot requires a prior tombstone.
 struct TrackedOffset {
   int32_t offset = -1;
   int64_t deleted_by = -1;  // index of the consuming DELETE record, if any
@@ -22,22 +24,17 @@ struct TrackedOffset {
 TrackedOffset AdjustOffset(const std::vector<LogRecord>& records, size_t index) {
   const LogRecord& rec = records[index];
   TrackedOffset out;
-  int32_t cur = rec.offset;
   for (size_t j = index + 1; j < records.size(); ++j) {
     const LogRecord& l = records[j];
     if (!l.IsRowOp() || l.table_id != rec.table_id || l.page != rec.page) {
       continue;
     }
-    if (l.op == LogOp::kDelete) {
-      if (l.offset + l.len <= cur) {
-        cur -= l.len;
-      } else if (l.offset == cur) {
-        out.deleted_by = static_cast<int64_t>(j);
-        return out;
-      }
+    if (l.op == LogOp::kDelete && l.offset == rec.offset) {
+      out.deleted_by = static_cast<int64_t>(j);
+      return out;
     }
   }
-  out.offset = cur;
+  out.offset = rec.offset;
   return out;
 }
 
@@ -146,17 +143,9 @@ Result<std::unique_ptr<Database>> RecoverDatabase(const WalLog& wal,
   // Phase 3: undo losers, newest record first, addressing each row at its
   // current (post-redo) location. Rows a loser deleted get revived by this
   // pass; older records of the same loser may address them, so revived
-  // locations are tracked (and kept current as undo's own deletes compact
-  // pages).
+  // locations are tracked. Tombstoned slots never move, so undo's own
+  // deletes need no location fixups.
   std::map<int64_t, std::pair<int32_t, RowLoc>> revived;  // delete idx -> loc
-  auto on_undo_delete = [&](int32_t table_id, RowLoc at) {
-    for (auto& [_, entry] : revived) {
-      auto& [tid, loc] = entry;
-      if (tid == table_id && loc.page == at.page && loc.slot > at.slot) {
-        --loc.slot;
-      }
-    }
-  };
   // Resolves a record's row to its current location, chasing a revival.
   auto resolve = [&](size_t ri) -> RowLoc {
     const LogRecord& rec = records[ri];
@@ -180,7 +169,6 @@ Result<std::unique_ptr<Database>> RecoverDatabase(const WalLog& wal,
         RowLoc loc = resolve(ri);
         if (loc.page < 0) break;  // deleted later and never revived
         table->DeleteAt(loc);
-        on_undo_delete(rec.table_id, loc);
         break;
       }
       case LogOp::kDelete: {

@@ -5,6 +5,7 @@
 #include <set>
 
 #include "engine/database.h"
+#include "obs/catalog.h"
 #include "util/string_utils.h"
 
 namespace irdb {
@@ -200,9 +201,25 @@ struct EqBinding {
   const Expr* value = nullptr;
 };
 
-// Per-depth access path: either a primary-index prefix or a full scan.
+// Range bounds on a column of table d collected from <, <=, >, >=, BETWEEN
+// conjuncts whose value side only reads earlier tables. Strictness is not
+// recorded: index bounds are inclusive over-approximations and the original
+// conjunct still runs as a residual filter.
+struct RangeBinding {
+  int column = -1;
+  const Expr* lo = nullptr;
+  const Expr* hi = nullptr;
+};
+
+// Per-depth access path: an index with an equality prefix (and optionally
+// range bounds on the key column right after the prefix), or a full heap
+// scan when `index` is null. Choosing an index is a pure access-path
+// decision — every WHERE conjunct is still evaluated against each row.
 struct AccessPath {
-  std::vector<const Expr*> prefix_exprs;  // empty -> full scan
+  const TableIndex* index = nullptr;
+  std::vector<const Expr*> prefix_exprs;
+  const Expr* lo = nullptr;  // bounds on key column prefix_exprs.size()
+  const Expr* hi = nullptr;
 };
 
 std::vector<AccessPath> PlanAccessPaths(
@@ -210,44 +227,166 @@ std::vector<AccessPath> PlanAccessPaths(
     const std::vector<std::pair<HeapTable*, std::string>>& tables,
     const FlavorTraits& traits) {
   const size_t n = tables.size();
-  // Equality bindings available at each depth.
+
+  // Resolves a (column expr, value expr) pair to (depth, column index) when
+  // the column belongs to exactly one table and every table the value
+  // expression touches is bound earlier in join order.
+  auto bind_side = [&](const Expr* col_side, const Expr* val_side, int* d_out,
+                       int* col_out) -> bool {
+    if (col_side == nullptr || val_side == nullptr) return false;
+    if (col_side->kind != ExprKind::kColumnRef) return false;
+    auto col_mask = ReferencedTables(*col_side, tables, traits);
+    auto val_mask = ReferencedTables(*val_side, tables, traits);
+    if (!col_mask || !val_mask || *col_mask == 0) return false;
+    const int d = __builtin_ctzll(*col_mask);
+    if ((*val_mask >> d) != 0) return false;
+    int col = tables[static_cast<size_t>(d)].first->schema().FindColumn(
+        col_side->column);
+    if (col < 0) return false;  // rowid pseudo-column: not indexed
+    *d_out = d;
+    *col_out = col;
+    return true;
+  };
+
   std::vector<std::vector<EqBinding>> eq(n);
+  std::vector<std::vector<RangeBinding>> ranges(n);
+  auto add_range = [&](int d, int col, const Expr* lo, const Expr* hi) {
+    for (RangeBinding& rb : ranges[static_cast<size_t>(d)]) {
+      if (rb.column != col) continue;
+      if (lo != nullptr && rb.lo == nullptr) rb.lo = lo;
+      if (hi != nullptr && rb.hi == nullptr) rb.hi = hi;
+      return;
+    }
+    ranges[static_cast<size_t>(d)].push_back(RangeBinding{col, lo, hi});
+  };
+
   for (const Expr* c : conjuncts) {
-    if (c->kind != ExprKind::kBinary || c->bin_op != sql::BinaryOp::kEq) {
+    if (c->kind == ExprKind::kBetween) {
+      int d1, col1, d2, col2;
+      if (bind_side(c->lhs.get(), c->low.get(), &d1, &col1) &&
+          bind_side(c->lhs.get(), c->high.get(), &d2, &col2)) {
+        add_range(d1, col1, c->low.get(), c->high.get());
+      }
       continue;
     }
+    if (c->kind != ExprKind::kBinary) continue;
+    const sql::BinaryOp op = c->bin_op;
+    const bool is_eq = op == sql::BinaryOp::kEq;
+    const bool is_cmp = op == sql::BinaryOp::kLt || op == sql::BinaryOp::kLe ||
+                        op == sql::BinaryOp::kGt || op == sql::BinaryOp::kGe;
+    if (!is_eq && !is_cmp) continue;
     for (int side = 0; side < 2; ++side) {
       const Expr* col_side = side == 0 ? c->lhs.get() : c->rhs.get();
       const Expr* val_side = side == 0 ? c->rhs.get() : c->lhs.get();
-      if (col_side->kind != ExprKind::kColumnRef) continue;
-      auto col_mask = ReferencedTables(*col_side, tables, traits);
-      auto val_mask = ReferencedTables(*val_side, tables, traits);
-      if (!col_mask || !val_mask || *col_mask == 0) continue;
-      const int d = __builtin_ctzll(*col_mask);
-      // Every table the value expression touches must be bound earlier.
-      if ((*val_mask >> d) != 0) continue;
-      int col = tables[d].first->schema().FindColumn(col_side->column);
-      if (col < 0) continue;  // rowid pseudo-column: not indexed
-      eq[static_cast<size_t>(d)].push_back(EqBinding{col, val_side});
+      int d, col;
+      if (!bind_side(col_side, val_side, &d, &col)) continue;
+      if (is_eq) {
+        eq[static_cast<size_t>(d)].push_back(EqBinding{col, val_side});
+        continue;
+      }
+      // col < v / col <= v bound from above; flipped sides bound from below.
+      const bool upper = (op == sql::BinaryOp::kLt ||
+                          op == sql::BinaryOp::kLe) == (side == 0);
+      add_range(d, col, upper ? nullptr : val_side, upper ? val_side : nullptr);
     }
   }
+
+  // Pick the best index per depth: longest equality prefix wins; a usable
+  // range bound breaks prefix-length ties; the primary index (listed first)
+  // wins remaining ties.
   std::vector<AccessPath> paths(n);
   for (size_t d = 0; d < n; ++d) {
-    const TableIndex* index = tables[d].first->index();
-    if (index == nullptr) continue;
-    for (int key_col : index->key_columns()) {
-      const Expr* bound = nullptr;
-      for (const EqBinding& b : eq[d]) {
-        if (b.column == key_col) {
-          bound = b.value;
-          break;
+    HeapTable* t = tables[d].first;
+    std::vector<const TableIndex*> candidates;
+    if (t->index() != nullptr) candidates.push_back(t->index());
+    for (const auto& si : t->secondary_indexes()) candidates.push_back(si.get());
+    AccessPath best;
+    for (const TableIndex* index : candidates) {
+      AccessPath cand;
+      cand.index = index;
+      for (int key_col : index->key_columns()) {
+        const Expr* bound = nullptr;
+        for (const EqBinding& b : eq[d]) {
+          if (b.column == key_col) {
+            bound = b.value;
+            break;
+          }
+        }
+        if (bound == nullptr) break;  // prefix ends
+        cand.prefix_exprs.push_back(bound);
+      }
+      if (cand.prefix_exprs.size() < index->key_columns().size()) {
+        const int next_col = index->key_columns()[cand.prefix_exprs.size()];
+        for (const RangeBinding& rb : ranges[d]) {
+          if (rb.column == next_col) {
+            cand.lo = rb.lo;
+            cand.hi = rb.hi;
+            break;
+          }
         }
       }
-      if (bound == nullptr) break;  // prefix ends
-      paths[d].prefix_exprs.push_back(bound);
+      const bool has_range = cand.lo != nullptr || cand.hi != nullptr;
+      if (cand.prefix_exprs.empty() && !has_range) continue;
+      const bool best_range = best.lo != nullptr || best.hi != nullptr;
+      if (best.index == nullptr ||
+          cand.prefix_exprs.size() > best.prefix_exprs.size() ||
+          (cand.prefix_exprs.size() == best.prefix_exprs.size() && has_range &&
+           !best_range)) {
+        best = std::move(cand);
+      }
     }
+    paths[d] = std::move(best);
   }
   return paths;
+}
+
+// Outcome of evaluating an access path's bound expressions at runtime.
+enum class IndexProbe {
+  kScan,      // locs filled from the index
+  kNoRows,    // an equality value was NULL: nothing can match
+  kFallback,  // a value failed to coerce to the key column's type — byte
+              // order would disagree with SQL comparison; scan the heap
+};
+
+Result<IndexProbe> ProbeIndex(const AccessPath& path, const Schema& schema,
+                              const RowBinding& binding,
+                              std::vector<RowLoc>* locs) {
+  const std::vector<int>& key_cols = path.index->key_columns();
+  std::vector<Value> prefix;
+  prefix.reserve(path.prefix_exprs.size());
+  for (size_t i = 0; i < path.prefix_exprs.size(); ++i) {
+    IRDB_ASSIGN_OR_RETURN(Value v, Eval(*path.prefix_exprs[i], binding));
+    if (v.is_null()) return IndexProbe::kNoRows;
+    auto coerced =
+        schema.CoerceForColumn(static_cast<size_t>(key_cols[i]), v);
+    if (!coerced.ok()) return IndexProbe::kFallback;
+    prefix.push_back(std::move(*coerced));
+  }
+  // A NULL or uncoercible range bound degrades to unbounded on that side —
+  // over-approximate, never wrong (the residual filter decides).
+  std::optional<Value> lo, hi;
+  const size_t range_col =
+      prefix.size() < key_cols.size() ? prefix.size() : 0;
+  auto bind_bound = [&](const Expr* e, std::optional<Value>* out) -> Status {
+    if (e == nullptr) return Status::Ok();
+    IRDB_ASSIGN_OR_RETURN(Value v, Eval(*e, binding));
+    if (v.is_null()) return Status::Ok();
+    auto coerced = schema.CoerceForColumn(
+        static_cast<size_t>(key_cols[range_col]), v);
+    if (coerced.ok()) *out = std::move(*coerced);
+    return Status::Ok();
+  };
+  IRDB_RETURN_IF_ERROR(bind_bound(path.lo, &lo));
+  IRDB_RETURN_IF_ERROR(bind_bound(path.hi, &hi));
+  if (prefix.empty() && !lo.has_value() && !hi.has_value()) {
+    return IndexProbe::kFallback;  // everything degraded: heap scan is honest
+  }
+  if (lo.has_value() || hi.has_value()) {
+    path.index->ScanRange(prefix, lo, hi, locs);
+  } else {
+    path.index->LookupPrefix(prefix, locs);
+  }
+  return IndexProbe::kScan;
 }
 
 }  // namespace
@@ -318,28 +457,30 @@ Status Database::JoinScan(
       return recurse(depth + 1);
     };
 
-    if (!paths[depth].prefix_exprs.empty() && table->index() != nullptr) {
-      // Index nested-loop: bind the key prefix from the outer tuple.
-      std::vector<Value> prefix;
-      prefix.reserve(paths[depth].prefix_exprs.size());
-      for (const Expr* e : paths[depth].prefix_exprs) {
-        IRDB_ASSIGN_OR_RETURN(Value v, Eval(*e, full));
-        if (v.is_null()) return Status::Ok();  // NULL never equals anything
-        prefix.push_back(std::move(v));
-      }
+    if (paths[depth].index != nullptr) {
+      // Index nested-loop: bind the key prefix/bounds from the outer tuple.
       std::vector<RowLoc> locs;
-      table->index()->LookupPrefix(prefix, &locs);
-      for (RowLoc loc : locs) {
-        io_model_.TouchPage(table_ids[depth], loc.page);
-        IRDB_RETURN_IF_ERROR(visit(table->ReadAt(loc)));
+      IRDB_ASSIGN_OR_RETURN(
+          IndexProbe probe,
+          ProbeIndex(paths[depth], table->schema(), full, &locs));
+      if (probe == IndexProbe::kNoRows) return Status::Ok();
+      if (probe == IndexProbe::kScan) {
+        obs::Count(obs::Metrics::Get().index_scans);
+        for (RowLoc loc : locs) {
+          io_model_.TouchPage(table_ids[depth], loc.page);
+          IRDB_RETURN_IF_ERROR(visit(table->ReadAt(loc)));
+        }
+        return Status::Ok();
       }
-      return Status::Ok();
+      // kFallback: heap scan below.
     }
 
+    obs::Count(obs::Metrics::Get().heap_scans);
     for (int p = 0; p < table->page_count(); ++p) {
       io_model_.TouchPage(table_ids[depth], p);
       const Page* page = table->GetPage(p);
-      for (int slot = 0; slot < page->row_count(); ++slot) {
+      for (int slot = 0; slot < page->slot_count(); ++slot) {
+        if (!page->SlotLive(slot)) continue;
         IRDB_RETURN_IF_ERROR(visit(page->RowAt(slot)));
       }
     }
@@ -377,26 +518,27 @@ Result<std::vector<std::pair<RowLoc, std::string>>> Database::CollectMatching(
     return Status::Ok();
   };
 
-  if (!paths[0].prefix_exprs.empty() && table->index() != nullptr) {
-    std::vector<Value> prefix;
-    for (const Expr* e : paths[0].prefix_exprs) {
-      IRDB_ASSIGN_OR_RETURN(Value v, Eval(*e, binding));
-      if (v.is_null()) return matches;  // NULL equality: no rows
-      prefix.push_back(std::move(v));
-    }
+  if (paths[0].index != nullptr) {
     std::vector<RowLoc> locs;
-    table->index()->LookupPrefix(prefix, &locs);
-    for (RowLoc loc : locs) {
-      io_model_.TouchPage(table_id, loc.page);
-      IRDB_RETURN_IF_ERROR(visit(loc, table->ReadAt(loc)));
+    IRDB_ASSIGN_OR_RETURN(IndexProbe probe,
+                          ProbeIndex(paths[0], table->schema(), binding, &locs));
+    if (probe == IndexProbe::kNoRows) return matches;
+    if (probe == IndexProbe::kScan) {
+      obs::Count(obs::Metrics::Get().index_scans);
+      for (RowLoc loc : locs) {
+        io_model_.TouchPage(table_id, loc.page);
+        IRDB_RETURN_IF_ERROR(visit(loc, table->ReadAt(loc)));
+      }
+      return matches;
     }
-    return matches;
   }
 
+  obs::Count(obs::Metrics::Get().heap_scans);
   for (int p = 0; p < table->page_count(); ++p) {
     io_model_.TouchPage(table_id, p);
     const Page* page = table->GetPage(p);
-    for (int slot = 0; slot < page->row_count(); ++slot) {
+    for (int slot = 0; slot < page->slot_count(); ++slot) {
+      if (!page->SlotLive(slot)) continue;
       IRDB_RETURN_IF_ERROR(visit(RowLoc{p, slot}, page->RowAt(slot)));
     }
   }
@@ -428,7 +570,8 @@ void Database::PlanSelectLocks(const sql::Statement& stmt,
     SplitConjuncts(stmt.where.get(), &conjuncts);
     std::vector<AccessPath> paths = PlanAccessPaths(conjuncts, tables, traits_);
     const TableIndex* index = tables[0].first->index();
-    if (paths[0].prefix_exprs.size() == index->key_columns().size()) {
+    if (paths[0].index == index &&
+        paths[0].prefix_exprs.size() == index->key_columns().size()) {
       auto h = HashKeyLiterals(tables[0].first->schema(), index->key_columns(),
                                paths[0].prefix_exprs);
       if (h.has_value()) {

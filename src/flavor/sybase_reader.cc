@@ -69,31 +69,28 @@ Result<SybaseImages> RestoreFullImages(
     return images;
   }
 
-  // MODIFY: track the row's offset forward through later same-page DELETEs
-  // (paper step 2), collecting later MODIFYs of this row to roll back.
-  int32_t cur_off = rm.offset;
+  // MODIFY: deletes tombstone slots in place, so the row's offset never
+  // changes (paper step 2 degenerates to identity — a strictly stronger
+  // movement property than §4.3 assumes). Collect later MODIFYs of this row
+  // to roll back; the loop stops at the row's own DELETE, so records of any
+  // row that later reuses the slot are never misattributed.
+  const int32_t cur_off = rm.offset;
   std::string base;
   bool have_base = false;
   std::vector<const SybaseLogRow*> later_mods;
   for (size_t j = index + 1; j < log.size(); ++j) {
     const SybaseLogRow& l = log[j];
     if (l.table_id != rm.table_id || l.page != rm.page) continue;
-    if (l.op == LogOp::kDelete) {
-      if (l.offset + l.len <= cur_off) {
-        // A row in front of ours went away; we slide toward the page start.
-        cur_off -= l.len;
-      } else if (l.offset == cur_off) {
-        // Our row itself was deleted later: the DELETE record holds its
-        // complete image as of that moment (paper's special case).
-        base = l.row_bytes;
-        have_base = true;
-        break;
-      }
-      // Deletes behind us don't move us.
-    } else if (l.op == LogOp::kUpdate && l.offset == cur_off) {
+    if (l.op == LogOp::kDelete && l.offset == cur_off) {
+      // Our row itself was deleted later: the DELETE record holds its
+      // complete image as of that moment (paper's special case).
+      base = l.row_bytes;
+      have_base = true;
+      break;
+    }
+    if (l.op == LogOp::kUpdate && l.offset == cur_off) {
       later_mods.push_back(&l);
     }
-    // INSERTs append at the page tail and never move existing rows.
   }
   if (!have_base) {
     // Row still lives in the page: read its current bytes (paper step 3).

@@ -94,6 +94,29 @@ const Metrics& Metrics::Get() {
         "Lock requests aborted by waits-for cycle detection; the victim "
         "transaction is rolled back (engine.deadlocks.aborted)");
 
+    m->index_scans = r.RegisterCounter(
+        "irdb_index_scans_total",
+        "Table accesses served through a B+ tree index (equality-prefix or "
+        "range access path chosen by the planner)");
+    m->heap_scans = r.RegisterCounter(
+        "irdb_heap_scans_total",
+        "Table accesses that fell back to a full heap scan (no usable "
+        "index prefix for the predicate)");
+    m->bufferpool_hits = r.RegisterCounter(
+        "irdb_bufferpool_hits_total",
+        "Page pins satisfied by an already-resident buffer-pool frame");
+    m->bufferpool_misses = r.RegisterCounter(
+        "irdb_bufferpool_misses_total",
+        "Page pins that had to admit the page into the buffer pool "
+        "(charged as a simulated disk read)");
+    m->bufferpool_evictions = r.RegisterCounter(
+        "irdb_bufferpool_evictions_total",
+        "Frames evicted by the LRU-K replacer to stay under the configured "
+        "frame capacity");
+    m->bufferpool_resident = r.RegisterGauge(
+        "irdb_bufferpool_resident",
+        "Buffer-pool frames currently resident");
+
     m->quarantine_slices = r.RegisterGauge(
         "irdb_quarantine_slices",
         "Slices (whole tables + key-hash buckets) currently quarantined by "

@@ -54,6 +54,14 @@ struct Metrics {
   MetricId engine_lock_waits;
   MetricId engine_deadlock_aborts;
 
+  // --- storage: access paths + buffer pool (src/storage, src/engine) ---
+  MetricId index_scans;
+  MetricId heap_scans;
+  MetricId bufferpool_hits;
+  MetricId bufferpool_misses;
+  MetricId bufferpool_evictions;
+  MetricId bufferpool_resident;  // gauge
+
   // --- online-repair quarantine (src/concurrency, src/repair) ---
   MetricId quarantine_slices;  // gauge
   MetricId quarantine_rejects;

@@ -221,6 +221,8 @@ Result<ResultSet> TrackingProxy::DispatchStatement(
       return Forward(**rewritten);
     }
     case StatementKind::kDropTable:
+    case StatementKind::kCreateIndex:
+    case StatementKind::kDropIndex:
       InvalidateCache();
       return Forward(stmt);
     default:

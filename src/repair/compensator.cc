@@ -2,8 +2,11 @@
 
 #include <atomic>
 #include <future>
+#include <map>
+#include <memory>
 
 #include "obs/catalog.h"
+#include "storage/bptree.h"
 #include "obs/trace.h"
 #include "proxy/rewriter.h"
 #include "sql/ast.h"
@@ -16,6 +19,9 @@ namespace {
 
 // Per-table old→new row-ID remapping with chain chasing (a repaired row can
 // be re-inserted more than once if several of its writers are undone).
+// Backed by the storage layer's B+ tree on order-preserving encoded int64
+// keys — the same structure the table indexes use, exercised here on a
+// second key space (long repair streams touch many addresses).
 class RowIdRemap {
  public:
   int64_t Resolve(const std::string& table, int64_t address) const {
@@ -23,24 +29,39 @@ class RowIdRemap {
     if (t == maps_.end()) return address;
     int64_t cur = address;
     // Chase the chain; cycles are impossible because new row IDs are fresh.
-    while (true) {
-      auto it = t->second.find(cur);
-      if (it == t->second.end()) return cur;
-      cur = it->second;
+    uint64_t next = 0;
+    while (t->second->LookupFirst(Encode(cur), &next)) {
+      cur = static_cast<int64_t>(next);
     }
+    return cur;
   }
 
   void Add(const std::string& table, int64_t old_address, int64_t new_address) {
-    maps_[table][old_address] = new_address;
+    auto [it, inserted] = maps_.try_emplace(table, nullptr);
+    if (inserted) it->second = std::make_unique<BPTree>();
+    const std::string key = Encode(old_address);
+    // One mapping per old address: replace any stale entry.
+    uint64_t prev = 0;
+    if (it->second->LookupFirst(key, &prev)) it->second->Erase(key, prev);
+    it->second->Insert(key, static_cast<uint64_t>(new_address));
   }
 
   void Discard(const std::string& table, int64_t old_address) {
     auto t = maps_.find(table);
-    if (t != maps_.end()) t->second.erase(old_address);
+    if (t == maps_.end()) return;
+    const std::string key = Encode(old_address);
+    uint64_t prev = 0;
+    if (t->second->LookupFirst(key, &prev)) t->second->Erase(key, prev);
   }
 
  private:
-  std::map<std::string, std::map<int64_t, int64_t>> maps_;
+  static std::string Encode(int64_t address) {
+    std::string key;
+    AppendEncodedKeyValue(Value::Int(address), &key);
+    return key;
+  }
+
+  std::map<std::string, std::unique_ptr<BPTree>> maps_;
 };
 
 sql::ExprPtr AddressPredicate(const std::string& column, int64_t address) {

@@ -144,6 +144,8 @@ StatementPtr Statement::Clone() const {
   }
   out->columns = columns;
   out->primary_key = primary_key;
+  out->index_name = index_name;
+  out->index_columns = index_columns;
   return out;
 }
 

@@ -85,6 +85,8 @@ enum class StatementKind {
   kDelete,
   kCreateTable,
   kDropTable,
+  kCreateIndex,
+  kDropIndex,
   kBegin,
   kCommit,
   kRollback,
@@ -147,6 +149,10 @@ struct Statement {
   // CREATE TABLE
   std::vector<ColumnDef> columns;
   std::vector<std::string> primary_key;
+
+  // CREATE INDEX / DROP INDEX (`table` holds the indexed table for CREATE)
+  std::string index_name;
+  std::vector<std::string> index_columns;
 
   StatementPtr Clone() const;
 };

@@ -403,6 +403,7 @@ class Parser {
 
   Result<StatementPtr> ParseCreateTable() {
     IRDB_RETURN_IF_ERROR(ExpectKeyword("CREATE"));
+    if (AcceptKeyword("INDEX")) return ParseCreateIndexTail();
     IRDB_RETURN_IF_ERROR(ExpectKeyword("TABLE"));
     auto stmt = MakeStatement(StatementKind::kCreateTable);
     IRDB_ASSIGN_OR_RETURN(stmt->table, ExpectIdentifier("table name"));
@@ -479,9 +480,29 @@ class Parser {
 
   Result<StatementPtr> ParseDropTable() {
     IRDB_RETURN_IF_ERROR(ExpectKeyword("DROP"));
+    if (AcceptKeyword("INDEX")) {
+      auto stmt = MakeStatement(StatementKind::kDropIndex);
+      IRDB_ASSIGN_OR_RETURN(stmt->index_name, ExpectIdentifier("index name"));
+      return stmt;
+    }
     IRDB_RETURN_IF_ERROR(ExpectKeyword("TABLE"));
     auto stmt = MakeStatement(StatementKind::kDropTable);
     IRDB_ASSIGN_OR_RETURN(stmt->table, ExpectIdentifier("table name"));
+    return stmt;
+  }
+
+  // CREATE INDEX name ON table (col [, col ...]) — CREATE INDEX consumed.
+  Result<StatementPtr> ParseCreateIndexTail() {
+    auto stmt = MakeStatement(StatementKind::kCreateIndex);
+    IRDB_ASSIGN_OR_RETURN(stmt->index_name, ExpectIdentifier("index name"));
+    IRDB_RETURN_IF_ERROR(ExpectKeyword("ON"));
+    IRDB_ASSIGN_OR_RETURN(stmt->table, ExpectIdentifier("table name"));
+    IRDB_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "("));
+    do {
+      IRDB_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier("index column"));
+      stmt->index_columns.push_back(std::move(col));
+    } while (Accept(TokenKind::kComma));
+    IRDB_RETURN_IF_ERROR(Expect(TokenKind::kRParen, ")"));
     return stmt;
   }
 

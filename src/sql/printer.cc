@@ -242,6 +242,16 @@ std::string PrintStatement(const Statement& s) {
     case StatementKind::kDelete: return PrintDelete(s);
     case StatementKind::kCreateTable: return PrintCreateTable(s);
     case StatementKind::kDropTable: return "DROP TABLE " + s.table;
+    case StatementKind::kCreateIndex: {
+      std::string out = "CREATE INDEX " + s.index_name + " ON " + s.table + " (";
+      for (size_t i = 0; i < s.index_columns.size(); ++i) {
+        if (i) out.append(", ");
+        out.append(s.index_columns[i]);
+      }
+      out.append(")");
+      return out;
+    }
+    case StatementKind::kDropIndex: return "DROP INDEX " + s.index_name;
     case StatementKind::kBegin: return "BEGIN";
     case StatementKind::kCommit: return "COMMIT";
     case StatementKind::kRollback: return "ROLLBACK";

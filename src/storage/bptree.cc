@@ -1,0 +1,257 @@
+#include "storage/bptree.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/status.h"
+
+namespace irdb {
+
+namespace {
+
+// Fan-out: split a node when it exceeds this many keys. 64 keeps the tree
+// shallow (1e6 entries ≈ 4 levels) while node-local binary searches stay in
+// one or two cache lines of string headers.
+constexpr size_t kMaxKeys = 64;
+
+}  // namespace
+
+struct BPTree::Node {
+  bool leaf = true;
+  // Leaf: entry keys (duplicates allowed), parallel to `values`.
+  // Internal: separators; keys[i] is a lower bound of children[i + 1].
+  std::vector<std::string> keys;
+  std::vector<uint64_t> values;                 // leaf only
+  std::vector<std::unique_ptr<Node>> children;  // internal only
+  Node* next = nullptr;                         // leaf chain
+};
+
+BPTree::BPTree() = default;
+BPTree::~BPTree() = default;
+
+BPTree::Node* BPTree::DescendToLeaf(std::string_view key) const {
+  Node* n = root_.get();
+  if (n == nullptr) return nullptr;
+  while (!n->leaf) {
+    // First separator >= key; everything strictly below key lives left of
+    // that child, so descend just left of it to catch duplicates/stale
+    // separators (the leaf chain continues the scan rightward if needed).
+    size_t i = static_cast<size_t>(
+        std::lower_bound(n->keys.begin(), n->keys.end(), key) -
+        n->keys.begin());
+    n = n->children[i].get();
+  }
+  return n;
+}
+
+void BPTree::Insert(std::string_view key, uint64_t value) {
+  if (root_ == nullptr) {
+    root_ = std::make_unique<Node>();
+    rightmost_ = root_.get();
+    height_ = 1;
+  }
+  // Sorted-load fast path: a key >= everything in the tree descends along
+  // the rightmost spine with no comparisons.
+  const bool append = size_ == 0 || key >= max_key_;
+
+  std::vector<std::pair<Node*, size_t>> path;  // (node, chosen child idx)
+  Node* n = root_.get();
+  while (!n->leaf) {
+    size_t i;
+    if (append) {
+      i = n->children.size() - 1;
+    } else {
+      // upper_bound: equal keys insert to the right of existing ones.
+      i = static_cast<size_t>(
+          std::upper_bound(n->keys.begin(), n->keys.end(), key) -
+          n->keys.begin());
+    }
+    path.emplace_back(n, i);
+    n = n->children[i].get();
+  }
+  size_t pos = append ? n->keys.size()
+                      : static_cast<size_t>(std::upper_bound(n->keys.begin(),
+                                                             n->keys.end(), key) -
+                                            n->keys.begin());
+  n->keys.insert(n->keys.begin() + static_cast<ptrdiff_t>(pos),
+                 std::string(key));
+  n->values.insert(n->values.begin() + static_cast<ptrdiff_t>(pos), value);
+  ++size_;
+  if (append) max_key_.assign(key.data(), key.size());
+
+  // Split upward while overfull.
+  while (n->keys.size() > kMaxKeys) {
+    auto right = std::make_unique<Node>();
+    right->leaf = n->leaf;
+    const size_t mid = n->keys.size() / 2;
+    std::string separator;
+    if (n->leaf) {
+      right->keys.assign(std::make_move_iterator(n->keys.begin() + mid),
+                         std::make_move_iterator(n->keys.end()));
+      right->values.assign(n->values.begin() + mid, n->values.end());
+      n->keys.resize(mid);
+      n->values.resize(mid);
+      right->next = n->next;
+      n->next = right.get();
+      separator = right->keys.front();
+      if (rightmost_ == n) rightmost_ = right.get();
+    } else {
+      // Middle separator moves up; right child takes everything after it.
+      separator = std::move(n->keys[mid]);
+      right->keys.assign(std::make_move_iterator(n->keys.begin() + mid + 1),
+                         std::make_move_iterator(n->keys.end()));
+      right->children.assign(
+          std::make_move_iterator(n->children.begin() + mid + 1),
+          std::make_move_iterator(n->children.end()));
+      n->keys.resize(mid);
+      n->children.resize(mid + 1);
+    }
+    if (path.empty()) {
+      auto new_root = std::make_unique<Node>();
+      new_root->leaf = false;
+      new_root->keys.push_back(std::move(separator));
+      new_root->children.push_back(std::move(root_));
+      new_root->children.push_back(std::move(right));
+      root_ = std::move(new_root);
+      ++height_;
+      break;
+    }
+    auto [parent, idx] = path.back();
+    path.pop_back();
+    parent->keys.insert(parent->keys.begin() + static_cast<ptrdiff_t>(idx),
+                        std::move(separator));
+    parent->children.insert(
+        parent->children.begin() + static_cast<ptrdiff_t>(idx) + 1,
+        std::move(right));
+    n = parent;
+  }
+}
+
+bool BPTree::Erase(std::string_view key, uint64_t value) {
+  Node* n = DescendToLeaf(key);
+  while (n != nullptr) {
+    size_t i = static_cast<size_t>(
+        std::lower_bound(n->keys.begin(), n->keys.end(), key) -
+        n->keys.begin());
+    for (; i < n->keys.size(); ++i) {
+      if (n->keys[i] != key) return false;  // past the duplicates: absent
+      if (n->values[i] == value) {
+        n->keys.erase(n->keys.begin() + static_cast<ptrdiff_t>(i));
+        n->values.erase(n->values.begin() + static_cast<ptrdiff_t>(i));
+        --size_;
+        return true;
+      }
+    }
+    n = n->next;  // duplicates may continue in the next leaf
+  }
+  return false;
+}
+
+void BPTree::ScanFrom(
+    std::string_view lower,
+    const std::function<bool(std::string_view, uint64_t)>& fn) const {
+  const Node* n = DescendToLeaf(lower);
+  if (n == nullptr) return;
+  size_t i = static_cast<size_t>(
+      std::lower_bound(n->keys.begin(), n->keys.end(), lower) -
+      n->keys.begin());
+  while (n != nullptr) {
+    for (; i < n->keys.size(); ++i) {
+      if (!fn(n->keys[i], n->values[i])) return;
+    }
+    n = n->next;
+    i = 0;
+  }
+}
+
+namespace {
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() &&
+         std::memcmp(s.data(), prefix.data(), prefix.size()) == 0;
+}
+}  // namespace
+
+void BPTree::ScanRange(std::string_view lower, std::string_view upper_prefix,
+                       std::vector<uint64_t>* out) const {
+  ScanFrom(lower, [&](std::string_view key, uint64_t value) {
+    if (key > upper_prefix && !StartsWith(key, upper_prefix)) return false;
+    out->push_back(value);
+    return true;
+  });
+}
+
+void BPTree::ScanPrefix(std::string_view prefix,
+                        std::vector<uint64_t>* out) const {
+  ScanRange(prefix, prefix, out);
+}
+
+void BPTree::Lookup(std::string_view key, std::vector<uint64_t>* out) const {
+  ScanFrom(key, [&](std::string_view k, uint64_t value) {
+    if (k != key) return false;
+    out->push_back(value);
+    return true;
+  });
+}
+
+bool BPTree::LookupFirst(std::string_view key, uint64_t* out) const {
+  bool found = false;
+  ScanFrom(key, [&](std::string_view k, uint64_t value) {
+    if (k == key) {
+      *out = value;
+      found = true;
+    }
+    return false;
+  });
+  return found;
+}
+
+// --- key encoding -----------------------------------------------------------
+
+void AppendEncodedKeyValue(const Value& v, std::string* out) {
+  if (v.is_null()) {
+    out->push_back('\x00');
+    return;
+  }
+  out->push_back('\x01');
+  if (v.is_int()) {
+    // Flip the sign bit: negatives order below positives in unsigned bytes.
+    uint64_t u = static_cast<uint64_t>(v.as_int()) ^ (uint64_t{1} << 63);
+    for (int i = 7; i >= 0; --i) {
+      out->push_back(static_cast<char>((u >> (i * 8)) & 0xff));
+    }
+    return;
+  }
+  if (v.is_double()) {
+    double d = v.as_double();
+    if (d == 0.0) d = 0.0;  // -0.0 == 0.0 must encode identically
+    uint64_t u;
+    std::memcpy(&u, &d, sizeof(u));
+    // IEEE total-order transform: negative doubles flip entirely (so larger
+    // magnitudes order first), non-negative flip only the sign bit.
+    if (u & (uint64_t{1} << 63)) {
+      u = ~u;
+    } else {
+      u ^= uint64_t{1} << 63;
+    }
+    for (int i = 7; i >= 0; --i) {
+      out->push_back(static_cast<char>((u >> (i * 8)) & 0xff));
+    }
+    return;
+  }
+  // String: escape NUL, then a terminator ordering below every escape.
+  for (char c : v.as_string()) {
+    out->push_back(c);
+    if (c == '\x00') out->push_back('\xff');
+  }
+  out->push_back('\x00');
+  out->push_back('\x01');
+}
+
+std::string EncodeKey(const std::vector<Value>& values) {
+  std::string out;
+  out.reserve(values.size() * 10);
+  for (const Value& v : values) AppendEncodedKeyValue(v, &out);
+  return out;
+}
+
+}  // namespace irdb

@@ -1,0 +1,108 @@
+// In-memory B+ tree keyed on order-preserving encoded key bytes.
+//
+// One concrete tree serves every ordered-lookup need in the framework:
+// primary/secondary table indexes store RowLocs packed into the uint64_t
+// payload, and the repair engine's old-rowid→new-rowid remap stores row
+// addresses. Keys are opaque byte strings compared with memcmp; the
+// EncodeKey* helpers below produce encodings whose byte order matches
+// Value::Compare, so an equality prefix over leading key columns is a byte
+// prefix of every matching full key — range scans are plain byte-interval
+// scans.
+//
+// Structure follows Bustub's b_plus_tree shape: fixed fan-out nodes, leaf
+// chain for ordered iteration, separators in internal nodes are lower bounds
+// of their right child. Deletion tolerates underfull nodes (separators stay
+// lower bounds, so searches only ever start slightly left — never miss);
+// duplicate keys are stored as separate (key, value) entries and may span
+// leaves, which the lower-bound descent handles. A cached rightmost-leaf
+// pointer makes sorted (ascending-key) bulk loads append without any
+// comparisons along the descent — the TPC-C loader's fast path.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "storage/value.h"
+
+namespace irdb {
+
+class BPTree {
+ public:
+  BPTree();   // out of line: Node is incomplete here, and the defaulted
+  ~BPTree();  // ctor/dtor would instantiate unique_ptr<Node>'s deleter
+  BPTree(const BPTree&) = delete;
+  BPTree& operator=(const BPTree&) = delete;
+
+  void Insert(std::string_view key, uint64_t value);
+
+  // Removes one (key, value) entry; returns false when absent.
+  bool Erase(std::string_view key, uint64_t value);
+
+  // Appends every value stored under exactly `key`.
+  void Lookup(std::string_view key, std::vector<uint64_t>* out) const;
+
+  // First value under exactly `key`, if any.
+  bool LookupFirst(std::string_view key, uint64_t* out) const;
+
+  // Visits entries in ascending key order starting at the first key >=
+  // `lower`; stops when `fn` returns false or keys run out.
+  void ScanFrom(std::string_view lower,
+                const std::function<bool(std::string_view, uint64_t)>& fn) const;
+
+  // Appends values of every key in the byte interval [lower, ...] that is
+  // <= `upper_prefix` or starts with `upper_prefix` (i.e. `upper_prefix` is
+  // the full encoding of the scan's last bound column; keys extending it are
+  // deeper key columns of an equal bound value and still belong to the
+  // range). ScanPrefix(p) == ScanRange(p, p).
+  void ScanRange(std::string_view lower, std::string_view upper_prefix,
+                 std::vector<uint64_t>* out) const;
+  void ScanPrefix(std::string_view prefix, std::vector<uint64_t>* out) const;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  int height() const { return height_; }
+
+ private:
+  struct Node;
+  Node* DescendToLeaf(std::string_view key) const;  // lower-bound descent
+
+  std::unique_ptr<Node> root_;
+  Node* rightmost_ = nullptr;
+  std::string max_key_;  // largest key ever inserted (fast-path gate)
+  size_t size_ = 0;
+  int height_ = 0;
+};
+
+// --- order-preserving key encoding -----------------------------------------
+//
+// Per value: a tag byte (0x00 NULL, 0x01 present), then a payload whose byte
+// order matches Value::Compare within a column's declared type:
+//   INT    8 bytes big-endian, sign bit flipped
+//   DOUBLE 8 bytes big-endian IEEE-754; negative values bit-flipped, others
+//          sign-flipped (total order matching operator<)
+//   STRING bytes with 0x00 escaped as {0x00,0xFF}, terminated by {0x00,0x01}
+// Every encoding is self-delimiting, so composite keys concatenate and the
+// encoding of an equality prefix is a byte prefix of all matching full keys.
+// Values must already be coerced to the column's type (mixed int/double in
+// one column would not compare numerically).
+void AppendEncodedKeyValue(const Value& v, std::string* out);
+std::string EncodeKey(const std::vector<Value>& values);
+
+// RowLoc <-> uint64 payload packing for table indexes lives with the tree so
+// every index agrees on it.
+inline uint64_t PackLoc(int32_t page, int32_t slot) {
+  return (static_cast<uint64_t>(static_cast<uint32_t>(page)) << 32) |
+         static_cast<uint32_t>(slot);
+}
+inline int32_t UnpackPage(uint64_t packed) {
+  return static_cast<int32_t>(packed >> 32);
+}
+inline int32_t UnpackSlot(uint64_t packed) {
+  return static_cast<int32_t>(packed & 0xffffffffu);
+}
+
+}  // namespace irdb

@@ -12,10 +12,20 @@ Result<HeapTable*> Catalog::CreateTable(const std::string& name, Schema schema,
   }
   TableEntry entry;
   entry.table_id = next_table_id_++;
-  entry.table = std::make_unique<HeapTable>(name, std::move(schema), page_size);
+  entry.table =
+      std::make_unique<HeapTable>(name, std::move(schema), page_size, pool_);
   HeapTable* ptr = entry.table.get();
   tables_.emplace(std::move(key), std::move(entry));
   return ptr;
+}
+
+HeapTable* Catalog::FindTableOfIndex(const std::string& index_name) {
+  for (auto& [_, entry] : tables_) {
+    if (entry.table->FindSecondaryIndex(index_name) != nullptr) {
+      return entry.table.get();
+    }
+  }
+  return nullptr;
 }
 
 Status Catalog::DropTable(const std::string& name) {

@@ -19,9 +19,17 @@ struct TableEntry {
 
 class Catalog {
  public:
+  // Tables created after this allocate/pin pages through `pool` (may be
+  // null; not owned). Set once at engine construction.
+  void AttachBufferPool(BufferPool* pool) { pool_ = pool; }
+  BufferPool* buffer_pool() const { return pool_; }
+
   // Creates a table; fails if a table with the (case-insensitive) name exists.
   Result<HeapTable*> CreateTable(const std::string& name, Schema schema,
                                  int page_size = kDefaultPageSize);
+
+  // Table owning the named (secondary) index, or nullptr.
+  HeapTable* FindTableOfIndex(const std::string& index_name);
 
   Status DropTable(const std::string& name);
 
@@ -40,6 +48,7 @@ class Catalog {
   // key: lower-cased name
   std::map<std::string, TableEntry> tables_;
   int32_t next_table_id_ = 1;
+  BufferPool* pool_ = nullptr;
 };
 
 }  // namespace irdb

@@ -1,14 +1,18 @@
-// A heap page holding fixed-size rows contiguously.
+// A heap page holding fixed-size rows in slots.
 //
-// Row-migration semantics copied from Sybase (paper §4.3): when a row is
-// deleted from the middle of a page, all rows after it move toward the
-// beginning so that no gap ever exists; rows never migrate across pages.
-// Inserts always append at the current end of the page's used region.
+// Deletes are tombstones: DeleteAt marks the slot dead and scrubs its bytes
+// (page dumps stay deterministic) but never moves other rows, so a RowLoc is
+// stable for the lifetime of its row. Insert reuses the lowest dead slot
+// before extending the used region — a deterministic function of the page's
+// state, which WAL redo relies on to land replayed inserts at their logged
+// (page, offset). This replaces the Sybase §4.3 in-page compaction the seed
+// engine copied; the flavor's log readers no longer need offset sliding.
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "util/status.h"
 
@@ -26,60 +30,80 @@ class Page {
 
   int capacity() const { return capacity_; }
   int row_size() const { return row_size_; }
-  int used_bytes() const { return row_count_ * row_size_; }
-  int row_count() const { return row_count_; }
-  bool HasSpace() const { return used_bytes() + row_size_ <= capacity_; }
+  int max_slots() const { return capacity_ / row_size_; }
+  // High-water byte extent (dead slots included) — what raw dumps cover.
+  int used_bytes() const { return slot_count() * row_size_; }
+  // Live rows on the page.
+  int row_count() const { return live_count_; }
+  // Allocated slots, live or dead; the scan/iteration bound.
+  int slot_count() const { return static_cast<int>(live_.size()); }
+  bool HasSpace() const { return live_count_ < max_slots(); }
 
-  // Appends a row; returns its byte offset within the page.
-  int Append(std::string_view row_bytes) {
+  bool SlotLive(int idx) const {
+    return idx >= 0 && idx < slot_count() && live_[static_cast<size_t>(idx)];
+  }
+
+  // Inserts a row into the lowest dead slot, extending the used region when
+  // none exists; returns the row's byte offset within the page.
+  int Insert(std::string_view row_bytes) {
     IRDB_CHECK(static_cast<int>(row_bytes.size()) == row_size_);
     IRDB_CHECK(HasSpace());
-    const int off = used_bytes();
+    int slot = slot_count();
+    if (first_dead_ < slot) {
+      slot = first_dead_;
+      live_[static_cast<size_t>(slot)] = true;
+      // Next-lowest dead slot, if any.
+      while (first_dead_ < slot_count() &&
+             live_[static_cast<size_t>(first_dead_)]) {
+        ++first_dead_;
+      }
+    } else {
+      live_.push_back(true);
+      first_dead_ = slot_count();
+    }
+    const int off = slot * row_size_;
     data_.replace(static_cast<size_t>(off), row_bytes.size(), row_bytes);
-    ++row_count_;
+    ++live_count_;
     return off;
   }
 
-  // Deletes the row at slot `idx`, compacting the page (rows after it shift
-  // down by one slot). This is the only operation that moves rows.
+  // Tombstones the row at slot `idx`: marks it dead and scrubs its bytes.
+  // No row moves.
   void DeleteAt(int idx) {
-    IRDB_CHECK(idx >= 0 && idx < row_count_);
-    const int off = idx * row_size_;
-    const int tail = used_bytes() - (off + row_size_);
-    if (tail > 0) {
-      data_.replace(static_cast<size_t>(off), static_cast<size_t>(tail),
-                    data_, static_cast<size_t>(off + row_size_),
-                    static_cast<size_t>(tail));
-    }
-    --row_count_;
-    // Scrub the vacated slot so page dumps are deterministic.
-    data_.replace(static_cast<size_t>(used_bytes()),
+    IRDB_CHECK(SlotLive(idx));
+    live_[static_cast<size_t>(idx)] = false;
+    if (idx < first_dead_) first_dead_ = idx;
+    --live_count_;
+    data_.replace(static_cast<size_t>(idx * row_size_),
                   static_cast<size_t>(row_size_),
                   static_cast<size_t>(row_size_), '\0');
   }
 
-  // Overwrites the row at slot `idx` in place (no movement).
+  // Overwrites the row at slot `idx` in place.
   void UpdateAt(int idx, std::string_view row_bytes) {
-    IRDB_CHECK(idx >= 0 && idx < row_count_);
+    IRDB_CHECK(SlotLive(idx));
     IRDB_CHECK(static_cast<int>(row_bytes.size()) == row_size_);
     data_.replace(static_cast<size_t>(idx * row_size_), row_bytes.size(),
                   row_bytes);
   }
 
   std::string_view RowAt(int idx) const {
-    IRDB_CHECK(idx >= 0 && idx < row_count_);
+    IRDB_CHECK(SlotLive(idx));
     return std::string_view(data_).substr(static_cast<size_t>(idx * row_size_),
                                           static_cast<size_t>(row_size_));
   }
 
   // Raw page image — this is what the Sybase flavor's `dbcc page` returns.
+  // Dead slots read as zero bytes.
   std::string_view RawBytes() const { return data_; }
 
  private:
   int capacity_;
   int row_size_;
-  int row_count_ = 0;
+  int live_count_ = 0;
+  int first_dead_ = 0;  // lowest dead slot; == slot_count() when none
   std::string data_;
+  std::vector<bool> live_;
 };
 
 }  // namespace irdb

@@ -20,8 +20,9 @@
 
 namespace irdb {
 
-// Physical location of a row at a point in time. Slots shift on DELETE
-// (in-page compaction), so a RowLoc is only stable while no delete runs.
+// Physical location of a row. Deletes tombstone their slot without moving
+// other rows, so a RowLoc is stable for the lifetime of its row (slots may
+// be reused after the row dies).
 struct RowLoc {
   int32_t page = -1;
   int32_t slot = -1;

@@ -1,9 +1,10 @@
 // Table schema: column metadata plus the fixed-width on-page layout.
 //
 // Rows are encoded fixed-width (strings get a capacity from VARCHAR/CHAR(n)),
-// so a row's byte length never changes across UPDATEs. This mirrors the
-// property §4.3 of the paper depends on: only DELETE moves rows (in-page
-// compaction); UPDATE rewrites a row in place.
+// so a row's byte length never changes across UPDATEs: a row occupies one
+// slot at a fixed offset for its whole life (deletes tombstone the slot, see
+// storage/page.h), and UPDATE rewrites it in place. This is a strictly
+// stronger form of the movement property the paper's §4.3 algorithm needs.
 #pragma once
 
 #include <cstdint>

@@ -1,16 +1,19 @@
-// Ordered primary-key index supporting equality-prefix lookups.
+// Ordered table index (primary key or CREATE INDEX secondary) backed by the
+// byte-keyed B+ tree.
 //
-// Keys are vectors of column Values; lookups by a prefix of the key columns
-// return every matching row location. RowLocs shift when a DELETE compacts a
-// page, so HeapTable notifies the index of slot shifts; a per-page registry
-// of index entries makes that notification O(entries on the page) instead of
-// a scan of the whole index.
+// Key column values encode to order-preserving bytes (storage/bptree.h), so
+// an equality prefix over leading key columns is a byte-prefix scan and
+// range predicates on the next column are byte-interval scans. RowLocs are
+// stable under tombstone deletes, so entries never need fixing up when other
+// rows of a page die — the per-page shift registry the compacting heap
+// needed is gone.
 #pragma once
 
-#include <map>
-#include <unordered_map>
+#include <optional>
+#include <string>
 #include <vector>
 
+#include "storage/bptree.h"
 #include "storage/row_codec.h"
 #include "storage/value.h"
 #include "util/status.h"
@@ -31,107 +34,62 @@ struct ValueVectorLess {
 
 class TableIndex {
  public:
-  explicit TableIndex(std::vector<int> key_columns)
-      : key_columns_(std::move(key_columns)) {}
+  explicit TableIndex(std::vector<int> key_columns, std::string name = "")
+      : key_columns_(std::move(key_columns)), name_(std::move(name)) {}
 
   const std::vector<int>& key_columns() const { return key_columns_; }
+  const std::string& name() const { return name_; }
 
   void Insert(const std::vector<Value>& key, RowLoc loc) {
-    auto [it, _] = map_.try_emplace(key);
-    auto& locs = it->second;
-    // Register the entry with the page unless it already holds a row there
-    // (the registry is exact: one registration per (entry, page) pair).
-    bool registered = false;
-    for (const RowLoc& l : locs) {
-      if (l.page == loc.page) {
-        registered = true;
-        break;
-      }
-    }
-    locs.push_back(loc);
-    if (!registered) page_entries_[loc.page].push_back(it);
+    tree_.Insert(EncodeKey(key), PackLoc(loc.page, loc.slot));
   }
 
   void Erase(const std::vector<Value>& key, RowLoc loc) {
-    auto it = map_.find(key);
-    IRDB_CHECK_MSG(it != map_.end(), "index erase: key missing");
-    auto& locs = it->second;
-    for (size_t i = 0; i < locs.size(); ++i) {
-      if (locs[i] == loc) {
-        locs[i] = locs.back();
-        locs.pop_back();
-        bool page_still_used = false;
-        for (const RowLoc& l : locs) {
-          if (l.page == loc.page) {
-            page_still_used = true;
-            break;
-          }
-        }
-        if (!page_still_used) Unregister(loc.page, it);
-        if (locs.empty()) map_.erase(it);
-        return;
-      }
-    }
-    IRDB_CHECK_MSG(false, "index erase: loc missing");
-  }
-
-  // A DELETE at (page, slot) shifted every row of that page at slot > `slot`
-  // down by one. Only the entries registered with that page are visited.
-  void ShiftAfterDelete(int32_t page, int32_t slot) {
-    auto reg = page_entries_.find(page);
-    if (reg == page_entries_.end()) return;
-    for (Map::iterator entry : reg->second) {
-      for (RowLoc& loc : entry->second) {
-        if (loc.page == page && loc.slot > slot) --loc.slot;
-      }
-    }
+    bool erased = tree_.Erase(EncodeKey(key), PackLoc(loc.page, loc.slot));
+    IRDB_CHECK_MSG(erased, "index erase: entry missing");
   }
 
   // Collects row locations whose key starts with `prefix` (may be the full
-  // key). The result is unordered.
+  // key), in key order. Prefix values must be coerced to the key columns'
+  // types.
   void LookupPrefix(const std::vector<Value>& prefix,
                     std::vector<RowLoc>* out) const {
-    auto it = map_.lower_bound(prefix);
-    for (; it != map_.end(); ++it) {
-      const std::vector<Value>& key = it->first;
-      if (key.size() < prefix.size()) break;
-      bool match = true;
-      for (size_t i = 0; i < prefix.size(); ++i) {
-        if (key[i].Compare(prefix[i]) != 0) {
-          match = false;
-          break;
-        }
-      }
-      if (!match) break;
-      out->insert(out->end(), it->second.begin(), it->second.end());
-    }
+    std::vector<uint64_t> packed;
+    tree_.ScanPrefix(EncodeKey(prefix), &packed);
+    AppendLocs(packed, out);
   }
 
-  size_t entry_count() const { return map_.size(); }
+  // Collects row locations whose key starts with `prefix` and whose next
+  // key column lies in [lo, hi] (either bound may be absent = unbounded).
+  // Bounds are treated as inclusive — callers re-evaluate the full
+  // predicate per row, so a strict bound only over-approximates.
+  void ScanRange(const std::vector<Value>& prefix,
+                 const std::optional<Value>& lo, const std::optional<Value>& hi,
+                 std::vector<RowLoc>* out) const {
+    std::string lower = EncodeKey(prefix);
+    std::string upper = lower;
+    if (lo.has_value()) AppendEncodedKeyValue(*lo, &lower);
+    if (hi.has_value()) AppendEncodedKeyValue(*hi, &upper);
+    std::vector<uint64_t> packed;
+    tree_.ScanRange(lower, upper, &packed);
+    AppendLocs(packed, out);
+  }
+
+  size_t entry_count() const { return tree_.size(); }
+  int height() const { return tree_.height(); }
 
  private:
-  using Map = std::map<std::vector<Value>, std::vector<RowLoc>, ValueVectorLess>;
-
-  void Unregister(int32_t page, Map::iterator it) {
-    auto reg = page_entries_.find(page);
-    IRDB_CHECK_MSG(reg != page_entries_.end(), "index registry: page missing");
-    auto& entries = reg->second;
-    for (size_t i = 0; i < entries.size(); ++i) {
-      if (entries[i] == it) {
-        entries[i] = entries.back();
-        entries.pop_back();
-        if (entries.empty()) page_entries_.erase(reg);
-        return;
-      }
+  static void AppendLocs(const std::vector<uint64_t>& packed,
+                         std::vector<RowLoc>* out) {
+    out->reserve(out->size() + packed.size());
+    for (uint64_t p : packed) {
+      out->push_back(RowLoc{UnpackPage(p), UnpackSlot(p)});
     }
-    IRDB_CHECK_MSG(false, "index registry: entry missing");
   }
 
   std::vector<int> key_columns_;
-  Map map_;
-  // page -> index entries with at least one row on that page. std::map
-  // iterators are stable, so the registry survives unrelated inserts/erases.
-  std::unordered_map<int32_t, std::vector<Map::iterator>> page_entries_;
+  std::string name_;
+  BPTree tree_;
 };
 
 }  // namespace irdb

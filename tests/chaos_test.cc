@@ -83,6 +83,50 @@ ResultSet Must(DbConnection* conn, const std::string& sql) {
   return std::move(r).value();
 }
 
+// Index ≡ heap-scan oracle: for every table, every live row must be
+// reachable through each of its indexes at its exact RowLoc, and each index
+// must hold exactly one entry per live row (no stale tombstone entries, no
+// losses). Run before and after repairs — compensation rewrites rows through
+// the same maintenance paths the workload uses, so a divergence here means
+// an index would silently change query answers.
+void RequireIndexesMatchHeap(Database* db, const std::string& when) {
+  for (const std::string& name : db->catalog().TableNames()) {
+    const HeapTable* table = db->catalog().Find(name);
+    Require(table != nullptr, "index oracle: table vanished: " + name);
+    std::vector<const TableIndex*> indexes;
+    if (table->index() != nullptr) indexes.push_back(table->index());
+    for (const auto& sec : table->secondary_indexes()) {
+      indexes.push_back(sec.get());
+    }
+    if (indexes.empty()) continue;
+    const RowCodec& codec = table->codec();
+    int64_t rows = 0;
+    table->Scan([&](RowLoc loc, std::string_view bytes) {
+      ++rows;
+      for (const TableIndex* index : indexes) {
+        std::vector<Value> key;
+        for (int c : index->key_columns()) {
+          auto v = codec.DecodeColumn(bytes, static_cast<size_t>(c));
+          Require(v.ok(), "index oracle: undecodable key column in " + name);
+          key.push_back(std::move(*v));
+        }
+        std::vector<RowLoc> locs;
+        index->LookupPrefix(key, &locs);
+        bool found = false;
+        for (RowLoc l : locs) found |= l == loc;
+        Require(found, "index oracle (" + when + "): live row in " + name +
+                           " unreachable through an index");
+      }
+    });
+    for (const TableIndex* index : indexes) {
+      Require(static_cast<int64_t>(index->entry_count()) == rows,
+              "index oracle (" + when + "): " + name + " index holds " +
+                  std::to_string(index->entry_count()) + " entries for " +
+                  std::to_string(rows) + " live rows");
+    }
+  }
+}
+
 // The deployment under test. Construction happens with faults disarmed.
 struct ChaosStack {
   explicit ChaosStack(proxy::DegradedMode mode)
@@ -615,6 +659,7 @@ void RunRepairChaosIteration(int iter) {
   }
   size_t undo_size = 0;
   if (attack_trid != 0) {
+    RequireIndexesMatchHeap(&s.db, "before offline repair");
     repair::RepairEngine engine(&s.db);
     auto report =
         engine.Repair({attack_trid}, repair::DbaPolicy::TrackEverything());
@@ -630,6 +675,7 @@ void RunRepairChaosIteration(int iter) {
     const uint64_t expect2 = ReplayHash(scripts, committed_mask, excluded);
     Require(repaired == expect2,
             "repaired state diverges from a replay without the undo set");
+    RequireIndexesMatchHeap(&s.db, "after offline repair");
   }
 
   std::printf("chaos: repair iter %2d mode=%s committed=%zu undo=%zu "
@@ -819,6 +865,7 @@ void RunLockContentionIteration(int iter) {
   }
   size_t undo_size = 0;
   if (attack_trid != 0) {
+    RequireIndexesMatchHeap(&db, "before offline repair (concurrent history)");
     repair::RepairEngine engine(&db);
     auto report =
         engine.Repair({attack_trid}, repair::DbaPolicy::TrackEverything());
@@ -837,6 +884,7 @@ void RunLockContentionIteration(int iter) {
     Require(repaired == expect2,
             "repaired state diverges from a replay without the undo set "
             "(concurrent history)");
+    RequireIndexesMatchHeap(&db, "after offline repair (concurrent history)");
   }
 
   const auto lstats = db.txn_manager().locks().stats();
@@ -896,6 +944,7 @@ void RunServeThroughIteration(int iter) {
 
   DirectConnection admin(&db);
   const std::set<int64_t> baseline = TransDepIds(&admin);
+  RequireIndexesMatchHeap(&db, "before online repair");
 
   constexpr int kThreads = 4;
   constexpr size_t kScriptsPerThread = 8;
@@ -1024,6 +1073,7 @@ void RunServeThroughIteration(int iter) {
           "quarantine still active after RepairOnline returned");
   Require(db.quarantine().stats().slices == 0,
           "quarantine slices survived the repair");
+  RequireIndexesMatchHeap(&db, "after online repair");
 
   // Flatten thread-major (the replay oracle's order).
   std::vector<Script> flat;

@@ -4,7 +4,14 @@
 // and records the true full before/after images of each log record. The
 // algorithm, given only what `dbcc log` keeps (diffs for MODIFY) plus the
 // final page state, must reproduce those images exactly — under arbitrary
-// interleavings of same-page inserts, deletes, and repeated modifies.
+// interleavings of same-page inserts, deletes, repeated modifies, and
+// tombstone-slot reuse.
+//
+// The engine's movement model: DELETE tombstones its slot in place (bytes
+// scrubbed to zero, no other row moves) and a later INSERT may reuse the
+// lowest dead slot. A row's offset therefore never changes while it lives,
+// but an offset can host a sequence of different rows over time — each
+// tenancy separated by the previous row's DELETE record.
 #include <gtest/gtest.h>
 
 #include <map>
@@ -23,15 +30,41 @@ size_t SlotOffset(int32_t /*table*/, int32_t column) {
   return 4 + static_cast<size_t>(column) * kSlotLen;
 }
 
-// Reference page simulator with Sybase movement semantics.
+// Reference page simulator with tombstone-slot movement semantics.
 struct SimPage {
-  std::vector<std::string> rows;  // each kRowLen bytes
+  std::vector<std::string> slots;  // each kRowLen bytes (zeroed when dead)
+  std::vector<bool> live;
 
   int OffsetOf(int idx) const { return idx * kRowLen; }
 
+  int LiveCount() const {
+    int n = 0;
+    for (bool l : live) n += l ? 1 : 0;
+    return n;
+  }
+
+  // Insert placement mirrors Page::Insert: lowest dead slot, else append.
+  int PlaceRow(std::string row) {
+    for (size_t i = 0; i < live.size(); ++i) {
+      if (!live[i]) {
+        slots[i] = std::move(row);
+        live[i] = true;
+        return static_cast<int>(i);
+      }
+    }
+    slots.push_back(std::move(row));
+    live.push_back(true);
+    return static_cast<int>(slots.size()) - 1;
+  }
+
+  void Tombstone(int idx) {
+    slots[static_cast<size_t>(idx)].assign(kRowLen, '\0');
+    live[static_cast<size_t>(idx)] = false;
+  }
+
   std::string Raw() const {
     std::string out;
-    for (const auto& r : rows) out += r;
+    for (const auto& r : slots) out += r;
     out.resize(4096, '\0');
     return out;
   }
@@ -56,6 +89,15 @@ void GenerateHistory(Rng* rng, int n_ops, std::vector<SybaseLogRow>* log,
     }
     return row;
   };
+  auto random_live_slot = [&]() {
+    // Uniform over live slots.
+    int k = static_cast<int>(rng->Uniform(0, page->LiveCount() - 1));
+    for (size_t i = 0; i < page->live.size(); ++i) {
+      if (page->live[i] && k-- == 0) return static_cast<int>(i);
+    }
+    IRDB_CHECK(false);
+    return -1;
+  };
   for (int i = 0; i < n_ops; ++i) {
     const int roll = static_cast<int>(rng->Uniform(0, 9));
     SybaseLogRow rec;
@@ -65,27 +107,26 @@ void GenerateHistory(Rng* rng, int n_ops, std::vector<SybaseLogRow>* log,
     rec.page = 0;
     rec.len = kRowLen;
     TrueImages images;
-    if (page->rows.empty() || roll < 3) {
+    if (page->LiveCount() == 0 || roll < 3) {
       rec.op = LogOp::kInsert;
       std::string row = random_row('i');
-      rec.offset = page->OffsetOf(static_cast<int>(page->rows.size()));
       rec.row_bytes = row;
       images.after = row;
-      page->rows.push_back(std::move(row));
+      // Dead-slot reuse exercises the "prior tombstone separates tenancies"
+      // property the reconstruction relies on.
+      rec.offset = page->OffsetOf(page->PlaceRow(std::move(row)));
     } else if (roll < 6) {
       rec.op = LogOp::kDelete;
-      int idx = static_cast<int>(
-          rng->Uniform(0, static_cast<int64_t>(page->rows.size()) - 1));
+      int idx = random_live_slot();
       rec.offset = page->OffsetOf(idx);
-      rec.row_bytes = page->rows[static_cast<size_t>(idx)];
+      rec.row_bytes = page->slots[static_cast<size_t>(idx)];
       images.before = rec.row_bytes;
-      page->rows.erase(page->rows.begin() + idx);  // compaction
+      page->Tombstone(idx);  // no other row moves
     } else {
       rec.op = LogOp::kUpdate;
-      int idx = static_cast<int>(
-          rng->Uniform(0, static_cast<int64_t>(page->rows.size()) - 1));
+      int idx = random_live_slot();
       rec.offset = page->OffsetOf(idx);
-      std::string& row = page->rows[static_cast<size_t>(idx)];
+      std::string& row = page->slots[static_cast<size_t>(idx)];
       images.before = row;
       // Change 1..kSlots random slots.
       int nchanged = static_cast<int>(rng->Uniform(1, kSlots));
@@ -139,14 +180,13 @@ TEST_P(Sybase43Property, ReconstructsEveryRecordExactly) {
 INSTANTIATE_TEST_SUITE_P(Seeds, Sybase43Property,
                          ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
 
-// Directed scenario from the paper's §4.3 discussion: a MODIFY whose row is
-// later shifted by a front-of-page DELETE, then modified again, then read
-// back via "dbcc page" at the adjusted offset.
-TEST(Sybase43Test, OffsetAdjustmentAcrossDeletes) {
+// Directed scenario: a MODIFY whose slot is later vacated by the row's own
+// DELETE and then re-occupied by a NEW row, which is itself modified. The
+// reconstruction must stop at the row's own DELETE record (using its image
+// as the base) and never attribute the new tenant's MODIFY to the old row.
+TEST(Sybase43Test, SlotReuseDoesNotMisattributeRecords) {
   SimPage page;
   std::vector<SybaseLogRow> log;
-  std::vector<TrueImages> truth;
-  // r0, r1, r2 inserted; modify r2; delete r0 (r2 slides down); modify r2.
   auto mk_row = [&](char c) { return std::string(kRowLen, c); };
   auto insert = [&](char c) {
     SybaseLogRow rec;
@@ -155,14 +195,15 @@ TEST(Sybase43Test, OffsetAdjustmentAcrossDeletes) {
     rec.table_id = 0;
     rec.page = 0;
     rec.len = kRowLen;
-    rec.offset = page.OffsetOf(static_cast<int>(page.rows.size()));
     rec.row_bytes = mk_row(c);
-    page.rows.push_back(rec.row_bytes);
+    rec.offset = page.OffsetOf(page.PlaceRow(rec.row_bytes));
     log.push_back(rec);
+    return rec.offset;
   };
   insert('a');
   insert('b');
-  insert('c');
+  const int r2_off = insert('c');
+  EXPECT_EQ(r2_off, 32);
 
   // MODIFY r2 (slot 1: 'cccc' -> 'XXXX') at offset 32.
   SybaseLogRow m1;
@@ -171,14 +212,95 @@ TEST(Sybase43Test, OffsetAdjustmentAcrossDeletes) {
   m1.table_id = 0;
   m1.page = 0;
   m1.len = kRowLen;
-  m1.offset = 32;
-  ColumnDiff d1{1, page.rows[2].substr(SlotOffset(0, 1), kSlotLen), "XXXX"};
-  page.rows[2].replace(SlotOffset(0, 1), kSlotLen, "XXXX");
+  m1.offset = r2_off;
+  ColumnDiff d1{1, page.slots[2].substr(SlotOffset(0, 1), kSlotLen), "XXXX"};
+  page.slots[2].replace(SlotOffset(0, 1), kSlotLen, "XXXX");
   m1.diff.push_back(d1);
   log.push_back(m1);
-  const std::string r2_after_m1 = page.rows[2];
+  const std::string r2_after_m1 = page.slots[2];
 
-  // DELETE r0: r1 and r2 shift down one slot.
+  // DELETE r2 itself: its slot tombstones in place, no other row moves.
+  SybaseLogRow del;
+  del.lsn = static_cast<int64_t>(log.size());
+  del.op = LogOp::kDelete;
+  del.table_id = 0;
+  del.page = 0;
+  del.len = kRowLen;
+  del.offset = r2_off;
+  del.row_bytes = page.slots[2];
+  page.Tombstone(2);
+  log.push_back(del);
+
+  // INSERT a new row: reuses the lowest dead slot — r2's old offset.
+  const int new_off = insert('n');
+  EXPECT_EQ(new_off, r2_off);
+
+  // MODIFY the NEW tenant at the same offset.
+  SybaseLogRow m2;
+  m2.lsn = static_cast<int64_t>(log.size());
+  m2.op = LogOp::kUpdate;
+  m2.table_id = 0;
+  m2.page = 0;
+  m2.len = kRowLen;
+  m2.offset = new_off;
+  ColumnDiff d2{0, page.slots[2].substr(SlotOffset(0, 0), kSlotLen), "YYYY"};
+  page.slots[2].replace(SlotOffset(0, 0), kSlotLen, "YYYY");
+  m2.diff.push_back(d2);
+  log.push_back(m2);
+
+  auto page_reader = [&](int32_t, int32_t) { return page.Raw(); };
+  // Reconstruct m1: the scan forward must stop at r2's own DELETE (whose
+  // record holds the complete image) and ignore the new tenant's m2.
+  auto images = RestoreFullImages(log, 3, page_reader, SlotOffset);
+  ASSERT_TRUE(images.ok());
+  EXPECT_EQ(images->after, r2_after_m1);
+  EXPECT_EQ(images->before, mk_row('c'));
+
+  // Reconstruct m2: the new tenant still lives, so its base comes from the
+  // current page bytes at the (never-moved) offset.
+  auto images2 = RestoreFullImages(log, 6, page_reader, SlotOffset);
+  ASSERT_TRUE(images2.ok());
+  std::string n_before = mk_row('n');
+  std::string n_after = n_before;
+  n_after.replace(SlotOffset(0, 0), kSlotLen, "YYYY");
+  EXPECT_EQ(images2->before, n_before);
+  EXPECT_EQ(images2->after, n_after);
+}
+
+// A DELETE elsewhere on the page must not disturb another row's offset: the
+// movement property is now "rows never move", strictly stronger than §4.3's
+// shifted-offset arithmetic.
+TEST(Sybase43Test, DeleteElsewhereLeavesOffsetsUntouched) {
+  SimPage page;
+  std::vector<SybaseLogRow> log;
+  auto mk_row = [&](char c) { return std::string(kRowLen, c); };
+  for (char c : {'a', 'b', 'c'}) {
+    SybaseLogRow rec;
+    rec.lsn = static_cast<int64_t>(log.size());
+    rec.op = LogOp::kInsert;
+    rec.table_id = 0;
+    rec.page = 0;
+    rec.len = kRowLen;
+    rec.row_bytes = mk_row(c);
+    rec.offset = page.OffsetOf(page.PlaceRow(rec.row_bytes));
+    log.push_back(rec);
+  }
+
+  // MODIFY r2 at offset 32.
+  SybaseLogRow m1;
+  m1.lsn = static_cast<int64_t>(log.size());
+  m1.op = LogOp::kUpdate;
+  m1.table_id = 0;
+  m1.page = 0;
+  m1.len = kRowLen;
+  m1.offset = 32;
+  ColumnDiff d1{1, page.slots[2].substr(SlotOffset(0, 1), kSlotLen), "XXXX"};
+  page.slots[2].replace(SlotOffset(0, 1), kSlotLen, "XXXX");
+  m1.diff.push_back(d1);
+  log.push_back(m1);
+  const std::string r2_after_m1 = page.slots[2];
+
+  // DELETE r0: r2 stays at offset 32 (tombstone, no compaction).
   SybaseLogRow del;
   del.lsn = static_cast<int64_t>(log.size());
   del.op = LogOp::kDelete;
@@ -186,26 +308,11 @@ TEST(Sybase43Test, OffsetAdjustmentAcrossDeletes) {
   del.page = 0;
   del.len = kRowLen;
   del.offset = 0;
-  del.row_bytes = page.rows[0];
-  page.rows.erase(page.rows.begin());
+  del.row_bytes = page.slots[0];
+  page.Tombstone(0);
   log.push_back(del);
 
-  // MODIFY r2 again (now at offset 16, slot 0 changes).
-  SybaseLogRow m2;
-  m2.lsn = static_cast<int64_t>(log.size());
-  m2.op = LogOp::kUpdate;
-  m2.table_id = 0;
-  m2.page = 0;
-  m2.len = kRowLen;
-  m2.offset = 16;
-  ColumnDiff d2{0, page.rows[1].substr(SlotOffset(0, 0), kSlotLen), "YYYY"};
-  page.rows[1].replace(SlotOffset(0, 0), kSlotLen, "YYYY");
-  m2.diff.push_back(d2);
-  log.push_back(m2);
-
   auto page_reader = [&](int32_t, int32_t) { return page.Raw(); };
-  // Reconstruct m1: its offset (32) must be adjusted to 16, then m2 rolled
-  // back, then m1's own before-slots applied.
   auto images = RestoreFullImages(log, 3, page_reader, SlotOffset);
   ASSERT_TRUE(images.ok());
   EXPECT_EQ(images->after, r2_after_m1);
@@ -216,7 +323,6 @@ TEST(Sybase43Test, OffsetAdjustmentAcrossDeletes) {
 // base when the modified row was later deleted.
 TEST(Sybase43Test, DeletedRowUsesDeleteImageAsBase) {
   std::vector<SybaseLogRow> log;
-  SimPage page;
   std::string row(kRowLen, 'q');
   // INSERT
   SybaseLogRow ins;
@@ -238,7 +344,7 @@ TEST(Sybase43Test, DeletedRowUsesDeleteImageAsBase) {
   std::string modified = row;
   modified.replace(SlotOffset(0, 2), kSlotLen, "ZZZZ");
   log.push_back(mod);
-  // DELETE the row (page is now empty — dbcc page would show nothing).
+  // DELETE the row (page is now empty — dbcc page would show zeroes).
   SybaseLogRow del;
   del.op = LogOp::kDelete;
   del.table_id = 0;

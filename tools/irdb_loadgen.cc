@@ -16,6 +16,10 @@
 //   --txns=N          mix transactions per connection        (default 50)
 //   --mix=rw|ro       read/write mix or Stock-Level only     (default rw)
 //   --warehouses=N    TPC-C scale for self-host load         (default 2)
+//   --scale=N         multiplier on per-district cardinality (default 1)
+//                     (customers/items/orders; the loader emits ascending
+//                     primary keys, so big loads ride the B+ tree's
+//                     rightmost-append bulk-load fast path)
 //   --rtt-ms=F        emulated link RTT per round trip       (default 0)
 //   --seed=N          workload seed                          (default 42)
 //   --no-track        self-host without server-side tracking
@@ -87,6 +91,7 @@ int Main(int argc, char** argv) {
   int connections = 4;
   int txns = 50;
   int warehouses = 2;
+  int scale = 1;
   double rtt_ms = 0.0;
   uint64_t seed = 42;
   uint16_t port = 0;
@@ -102,6 +107,8 @@ int Main(int argc, char** argv) {
       txns = std::atoi(argv[i] + 7);
     } else if (std::strncmp(argv[i], "--warehouses=", 13) == 0) {
       warehouses = std::atoi(argv[i] + 13);
+    } else if (std::strncmp(argv[i], "--scale=", 8) == 0) {
+      scale = std::max(1, std::atoi(argv[i] + 8));
     } else if (std::strncmp(argv[i], "--rtt-ms=", 9) == 0) {
       rtt_ms = std::atof(argv[i] + 9);
     } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
@@ -122,7 +129,7 @@ int Main(int argc, char** argv) {
       std::fprintf(
           stderr,
           "usage: %s [--connections=N] [--txns=N] [--mix=rw|ro]\n"
-          "          [--warehouses=N] [--rtt-ms=F] [--seed=N]\n"
+          "          [--warehouses=N] [--scale=N] [--rtt-ms=F] [--seed=N]\n"
           "          [--port=P [--host=H]] [--no-track] [--no-annot]\n"
           "          [--timeline]\n",
           argv[0]);
@@ -133,9 +140,9 @@ int Main(int argc, char** argv) {
   tpcc::TpccConfig cfg;
   cfg.warehouses = warehouses;
   cfg.districts_per_warehouse = 2;
-  cfg.customers_per_district = 8;
-  cfg.items = 40;
-  cfg.orders_per_district = 8;
+  cfg.customers_per_district = 8 * scale;
+  cfg.items = 40 * scale;
+  cfg.orders_per_district = 8 * scale;
   cfg.seed = seed;
 
   // Self-host unless the caller pointed us at an existing server.

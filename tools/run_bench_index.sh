@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Builds and runs the access-path bench: heap-scan vs B+ tree index legs
+# swept at 1e4/1e5/1e6 rows, point lookups and BETWEEN range scans. Leaves
+# BENCH_index.json in the repo root (or $1 if given); exits non-zero if the
+# 1e6-row point-lookup or range-scan speedup misses the 10x floor, or if
+# any leg's result checksums / state hashes diverge (the index must never
+# change answers). Usage: tools/run_bench_index.sh [out.json]
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+out="${1:-$repo/BENCH_index.json}"
+
+cmake -B "$repo/build" -S "$repo" >/dev/null
+cmake --build "$repo/build" --target bench_index -j >/dev/null
+
+"$repo/build/bench/bench_index" --out="$out"

@@ -5,15 +5,17 @@
 # AddressSanitizer build, failing on the first invariant violation (the
 # harness prints the seed so any failure replays exactly). A third,
 # ThreadSanitizer build (-DIRDB_SANITIZE=thread) then runs the `parallel`,
-# `net`, and `concurrency` ctest labels — the parallel repair pipeline's
-# determinism and equivalence tests, the sharded metrics-registry hammer
-# (obs_test), the networked front-end's concurrent-session suite (net_test),
-# the lock-manager/concurrent-execution suite (concurrency_test), and the
-# serve-through quarantine suite (quarantine_test) — so data races in the
+# `net`, `concurrency`, and `storage` ctest labels — the parallel repair
+# pipeline's determinism and equivalence tests, the sharded metrics-registry
+# hammer (obs_test), the networked front-end's concurrent-session suite
+# (net_test), the lock-manager/concurrent-execution suite (concurrency_test),
+# the serve-through quarantine suite (quarantine_test), and the B+ tree /
+# buffer-pool / tombstone-heap suite (storage_test) — so data races in the
 # worker pool, segmented scan, sharded closure, batched compensation, the
 # shard-per-thread registry, the event-loop/executor handoff, the lock
-# manager and latch layering, or the online-repair quarantine gate surface
-# here rather than in production.
+# manager and latch layering, the online-repair quarantine gate, or the
+# storage layer's pin/evict accounting surface here rather than in
+# production.
 #
 # The serve-through profile races RepairOnline against a live TCP workload
 # and checks the post-release state byte-for-byte against the offline-repair
@@ -48,9 +50,9 @@ run_config() {
 run_config "$repo/build" "plain"
 run_config "$repo/build-asan" "asan" -DIRDB_SANITIZE=address
 
-echo "[tsan] parallel repair + net front-end + lock manager + quarantine under ThreadSanitizer"
+echo "[tsan] parallel repair + net front-end + lock manager + quarantine + storage under ThreadSanitizer"
 cmake -B "$repo/build-tsan" -S "$repo" -DIRDB_SANITIZE=thread >/dev/null
-cmake --build "$repo/build-tsan" --target parallel_repair_test obs_test net_test concurrency_test quarantine_test -j >/dev/null
-(cd "$repo/build-tsan" && ctest -L 'parallel|net|concurrency' --output-on-failure)
+cmake --build "$repo/build-tsan" --target parallel_repair_test obs_test net_test concurrency_test quarantine_test storage_test -j >/dev/null
+(cd "$repo/build-tsan" && ctest -L 'parallel|net|concurrency|storage' --output-on-failure)
 
-echo "chaos soak passed: ${#profiles[@]} profiles x $num_seeds seeds x 2 configs + tsan parallel/net/concurrency suites"
+echo "chaos soak passed: ${#profiles[@]} profiles x $num_seeds seeds x 2 configs + tsan parallel/net/concurrency/storage suites"
