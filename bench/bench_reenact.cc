@@ -1,0 +1,374 @@
+// Reenactment vs undo-only repair (DESIGN.md §5i): innocent effects
+// preserved and repair wall time, on the same contaminated history.
+//
+// Workload: one in-process tracked deployment per leg runs an identical
+// deterministic history over 4 PK'd tables — one attack transaction that
+// pollutes the 16 "hot" keys of every table, then 360 innocent
+// read-then-additive-update transactions, half of them touching hot keys
+// (and therefore landing in the attack's dependency closure). After the
+// workload, the simulated 2004-class disk model switches to realtime-stall
+// mode (as in bench_online_repair) so repair statements cost real wall
+// time the way the paper's disk-bound testbed would.
+//
+// Three legs, same history:
+//   - undo_serial:   the paper's operator procedure — Repair() undo-only at
+//                    threads=1 (the baseline reenactment must beat);
+//   - undo_parallel: undo-only at threads=8 (reference: parallel
+//                    compensation without replay, the floor on repair time);
+//   - reenact:       RepairReenact() at threads=8 — full-closure
+//                    compensation plus parallel innocent replay.
+//
+// Innocent preservation is scored against a no-attack oracle: a fresh
+// deployment replays the history without the attack, and every row an
+// innocent touched is compared post-repair. Undo-only loses the innocent
+// increments on every hot row (their transactions are casualties of the
+// cascade); reenactment must preserve strictly more innocent rows at
+// equal-or-better wall time than the serial baseline.
+//
+// Emits BENCH_reenact.json; exit code gates on the issue target:
+// rows_preserved(reenact) > rows_preserved(undo) AND
+// wall(reenact @8) <= wall(undo_serial @1).
+//
+// Flags: --innocents=N (default 360), --stall-scale=F (default 20),
+//        --out=PATH (default BENCH_reenact.json).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/resilient_db.h"
+#include "engine/io_model.h"
+#include "repair/reenact.h"
+#include "util/stopwatch.h"
+
+namespace irdb {
+namespace {
+
+constexpr int kTables = 4;
+constexpr int kKeysPerTable = 64;
+constexpr int kHotKeys = 16;  // keys the attack pollutes, per table
+const char* const kTableNames[kTables] = {"acct_a", "acct_b", "acct_c",
+                                          "acct_d"};
+
+struct Script {
+  std::string label;
+  std::vector<std::string> stmts;
+};
+
+// Attack first, then `innocents` read-then-bump transactions. All statement
+// text is fixed up front so every leg (and the oracle) runs the identical
+// history. Innocent j touches table j%4; half the keys drawn are hot, so
+// roughly half the innocents join the attack's closure.
+std::vector<Script> MakeScripts(int innocents) {
+  std::vector<Script> scripts;
+  Script attack;
+  attack.label = "Attack";
+  for (const char* table : kTableNames) {
+    attack.stmts.push_back(std::string("UPDATE ") + table +
+                           " SET balance = balance + 1000 WHERE id <= " +
+                           std::to_string(kHotKeys));
+  }
+  scripts.push_back(std::move(attack));
+  for (int j = 0; j < innocents; ++j) {
+    Script sc;
+    sc.label = "Innocent_" + std::to_string(j);
+    const std::string table = kTableNames[j % kTables];
+    const int key = 1 + static_cast<int>((j * 7919u) % (2 * kHotKeys));
+    sc.stmts.push_back("SELECT balance FROM " + table +
+                       " WHERE id = " + std::to_string(key));
+    sc.stmts.push_back("UPDATE " + table + " SET balance = balance + " +
+                       std::to_string(1 + j % 47) +
+                       " WHERE id = " + std::to_string(key));
+    scripts.push_back(std::move(sc));
+  }
+  return scripts;
+}
+
+Status RunHistory(ResilientDb* rdb, const std::vector<Script>& scripts,
+                  bool skip_attack) {
+  IRDB_RETURN_IF_ERROR(rdb->Bootstrap());
+  IRDB_ASSIGN_OR_RETURN(auto conn, rdb->Connect());
+  for (const char* table : kTableNames) {
+    IRDB_RETURN_IF_ERROR(
+        conn->Execute(std::string("CREATE TABLE ") + table +
+                      " (id INTEGER, balance DOUBLE, PRIMARY KEY (id))")
+            .status());
+    std::string sql = std::string("INSERT INTO ") + table +
+                      "(id, balance) VALUES ";
+    for (int id = 1; id <= kKeysPerTable; ++id) {
+      if (id != 1) sql += ", ";
+      sql += "(" + std::to_string(id) + ", 100.0)";
+    }
+    IRDB_RETURN_IF_ERROR(conn->Execute(sql).status());
+  }
+  for (const Script& sc : scripts) {
+    if (skip_attack && sc.label == "Attack") continue;
+    IRDB_RETURN_IF_ERROR(conn->Execute("BEGIN").status());
+    conn->SetAnnotation(sc.label);
+    for (const std::string& s : sc.stmts) {
+      IRDB_RETURN_IF_ERROR(conn->Execute(s).status());
+    }
+    IRDB_RETURN_IF_ERROR(conn->Execute("COMMIT").status());
+  }
+  return Status::Ok();
+}
+
+// (table, id) -> balance for every row.
+using Balances = std::map<std::pair<std::string, int64_t>, double>;
+
+Result<Balances> ReadBalances(ResilientDb* rdb) {
+  Balances out;
+  for (const char* table : kTableNames) {
+    IRDB_ASSIGN_OR_RETURN(
+        ResultSet rs, rdb->Admin()->Execute(std::string("SELECT id, balance "
+                                                        "FROM ") +
+                                            table + " ORDER BY id"));
+    for (const auto& row : rs.rows) {
+      out[{table, row[0].as_int()}] = row[1].as_double();
+    }
+  }
+  return out;
+}
+
+// Same disk-bound-era stall recipe as bench_online_repair: per-statement
+// CPU/disk charge stretched into real sleeps, read misses zeroed so the
+// comparison measures repair execution, not cold-cache warmup.
+IoCostParams StallParams(double scale) {
+  IoCostParams io;
+  io.enabled = true;
+  io.read_miss_seconds = 0;
+  io.log_flush_seconds = 5.0e-5;
+  io.log_write_seconds_per_byte = 0;
+  io.statement_cpu_seconds = 1.0e-4;
+  io.row_cpu_seconds = 1.0e-6;
+  io.realtime_stall_scale = scale;
+  return io;
+}
+
+struct LegResult {
+  std::string name;
+  int threads = 1;
+  Status status = Status::Ok();
+  double wall_s = 0;
+  size_t closure = 0;
+  size_t undone = 0;    // transactions that stayed undone
+  size_t replayed = 0;  // reenact only
+  size_t demoted = 0;
+  int64_t diverged = 0;
+  int64_t stmts_replayed = 0;
+  int components = 0;
+  int replay_lanes = 0;
+  int64_t rows_innocent = 0;   // rows the innocents changed (vs oracle)
+  int64_t rows_preserved = 0;  // of those, rows matching the oracle
+};
+
+void RunLeg(LegResult* leg, const std::vector<Script>& scripts,
+            bool reenact, int threads, double stall_scale,
+            const Balances& oracle, const Balances& initial) {
+  leg->threads = threads;
+  DeploymentOptions opts;
+  opts.repair_threads = threads;
+  ResilientDb rdb(opts);
+  if (Status st = RunHistory(&rdb, scripts, /*skip_attack=*/false); !st.ok()) {
+    leg->status = st;
+    return;
+  }
+
+  // Identify the attack (annot label); this pre-pass is operator work, not
+  // part of the measured repair.
+  auto analysis = rdb.repair().Analyze();
+  if (!analysis.ok()) {
+    leg->status = analysis.status();
+    return;
+  }
+  int64_t attack = -1;
+  for (int64_t node : analysis->graph.nodes()) {
+    if (analysis->graph.Label(node) == "Attack") attack = node;
+  }
+  if (attack < 0) {
+    leg->status = Status::Internal("attack txn not found in the graph");
+    return;
+  }
+
+  // The workload ran unstalled; the measured repair runs "disk-bound".
+  rdb.db().io_model().Configure(StallParams(stall_scale));
+
+  auto policy = repair::DbaPolicy::TrackEverything();
+  Stopwatch sw;
+  if (reenact) {
+    auto report = rdb.repair().RepairReenact({attack}, policy);
+    leg->wall_s = sw.ElapsedSeconds();
+    if (!report.ok()) {
+      leg->status = report.status();
+      return;
+    }
+    leg->closure = report->closure.size();
+    leg->undone = report->repair.undo_set.size();
+    leg->replayed = report->replayed.size();
+    leg->demoted = report->demoted.size();
+    leg->diverged = report->diverged;
+    leg->stmts_replayed = report->stmts_replayed;
+    leg->components = report->components;
+    leg->replay_lanes = report->replay_lanes;
+  } else {
+    auto report = rdb.repair().Repair({attack}, policy);
+    leg->wall_s = sw.ElapsedSeconds();
+    if (!report.ok()) {
+      leg->status = report.status();
+      return;
+    }
+    leg->closure = report->undo_set.size();
+    leg->undone = report->undo_set.size();
+  }
+
+  auto after = ReadBalances(&rdb);
+  if (!after.ok()) {
+    leg->status = after.status();
+    return;
+  }
+  for (const auto& [row, want] : oracle) {
+    auto init = initial.find(row);
+    if (init != initial.end() && init->second == want) continue;  // untouched
+    ++leg->rows_innocent;
+    auto got = after->find(row);
+    // Additive constants reapply in original relative order, so a preserved
+    // row matches the oracle bit-for-bit.
+    if (got != after->end() && got->second == want) ++leg->rows_preserved;
+  }
+}
+
+void PrintLeg(const LegResult& leg) {
+  std::printf(
+      "reenact: leg=%-13s threads=%d wall=%6.3fs closure=%3zu undone=%3zu "
+      "replayed=%3zu demoted=%zu innocent_rows=%lld preserved=%lld\n",
+      leg.name.c_str(), leg.threads, leg.wall_s, leg.closure, leg.undone,
+      leg.replayed, leg.demoted, static_cast<long long>(leg.rows_innocent),
+      static_cast<long long>(leg.rows_preserved));
+}
+
+void EmitLegJson(std::FILE* out, const LegResult& leg, bool last) {
+  std::fprintf(out, "  \"%s\": {\n", leg.name.c_str());
+  std::fprintf(out, "    \"threads\": %d,\n", leg.threads);
+  std::fprintf(out, "    \"repair_wall_seconds\": %.4f,\n", leg.wall_s);
+  std::fprintf(out, "    \"closure_txns\": %zu,\n", leg.closure);
+  std::fprintf(out, "    \"undone_txns\": %zu,\n", leg.undone);
+  std::fprintf(out, "    \"replayed_txns\": %zu,\n", leg.replayed);
+  std::fprintf(out, "    \"demoted_txns\": %zu,\n", leg.demoted);
+  std::fprintf(out, "    \"diverged_txns\": %lld,\n",
+               static_cast<long long>(leg.diverged));
+  std::fprintf(out, "    \"stmts_replayed\": %lld,\n",
+               static_cast<long long>(leg.stmts_replayed));
+  std::fprintf(out, "    \"replay_components\": %d,\n", leg.components);
+  std::fprintf(out, "    \"replay_lanes\": %d,\n", leg.replay_lanes);
+  std::fprintf(out, "    \"rows_innocent\": %lld,\n",
+               static_cast<long long>(leg.rows_innocent));
+  std::fprintf(out, "    \"rows_preserved\": %lld\n",
+               static_cast<long long>(leg.rows_preserved));
+  std::fprintf(out, "  }%s\n", last ? "" : ",");
+}
+
+int Main(int argc, char** argv) {
+  int innocents = 360;
+  double stall_scale = 20.0;
+  std::string out_path = "BENCH_reenact.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--innocents=", 12) == 0) {
+      innocents = std::atoi(argv[i] + 12);
+    } else if (std::strncmp(argv[i], "--stall-scale=", 14) == 0) {
+      stall_scale = std::atof(argv[i] + 14);
+    } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out_path = argv[i] + 6;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--innocents=N] [--stall-scale=F] "
+                   "[--out=PATH]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  const std::vector<Script> scripts = MakeScripts(innocents);
+
+  // Oracles (unstalled): the initial balances and the no-attack replay every
+  // leg's preservation is scored against.
+  Balances initial;
+  for (const char* table : kTableNames) {
+    for (int id = 1; id <= kKeysPerTable; ++id) initial[{table, id}] = 100.0;
+  }
+  Balances oracle;
+  {
+    DeploymentOptions opts;
+    ResilientDb rdb(opts);
+    if (Status st = RunHistory(&rdb, scripts, /*skip_attack=*/true);
+        !st.ok()) {
+      std::fprintf(stderr, "bench_reenact: oracle: %s\n",
+                   st.ToString().c_str());
+      return 1;
+    }
+    auto b = ReadBalances(&rdb);
+    if (!b.ok()) {
+      std::fprintf(stderr, "bench_reenact: oracle: %s\n",
+                   b.status().ToString().c_str());
+      return 1;
+    }
+    oracle = std::move(*b);
+  }
+
+  LegResult undo_serial{.name = "undo_serial"};
+  LegResult undo_parallel{.name = "undo_parallel"};
+  LegResult reenact{.name = "reenact"};
+  RunLeg(&undo_serial, scripts, /*reenact=*/false, 1, stall_scale, oracle,
+         initial);
+  RunLeg(&undo_parallel, scripts, /*reenact=*/false, 8, stall_scale, oracle,
+         initial);
+  RunLeg(&reenact, scripts, /*reenact=*/true, 8, stall_scale, oracle,
+         initial);
+  for (const LegResult* leg : {&undo_serial, &undo_parallel, &reenact}) {
+    if (!leg->status.ok()) {
+      std::fprintf(stderr, "bench_reenact: %s leg: %s\n", leg->name.c_str(),
+                   leg->status.ToString().c_str());
+      return 1;
+    }
+    PrintLeg(*leg);
+  }
+
+  const bool target_met =
+      reenact.rows_preserved > undo_serial.rows_preserved &&
+      reenact.wall_s <= undo_serial.wall_s;
+  std::printf(
+      "reenact: preserved %lld/%lld innocent rows vs undo-only %lld/%lld, "
+      "wall %.3fs @8t vs serial undo %.3fs -> %s\n",
+      static_cast<long long>(reenact.rows_preserved),
+      static_cast<long long>(reenact.rows_innocent),
+      static_cast<long long>(undo_serial.rows_preserved),
+      static_cast<long long>(undo_serial.rows_innocent),
+      reenact.wall_s, undo_serial.wall_s, target_met ? "MET" : "MISSED");
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"bench\": \"reenact\",\n");
+  std::fprintf(out, "  \"tables\": %d,\n", kTables);
+  std::fprintf(out, "  \"keys_per_table\": %d,\n", kKeysPerTable);
+  std::fprintf(out, "  \"hot_keys_per_table\": %d,\n", kHotKeys);
+  std::fprintf(out, "  \"innocent_txns\": %d,\n", innocents);
+  std::fprintf(out, "  \"stall_scale\": %.1f,\n", stall_scale);
+  EmitLegJson(out, undo_serial, /*last=*/false);
+  EmitLegJson(out, undo_parallel, /*last=*/false);
+  EmitLegJson(out, reenact, /*last=*/false);
+  std::fprintf(out, "  \"target_met\": %s\n}\n",
+               target_met ? "true" : "false");
+  std::fclose(out);
+  std::printf("reenact: wrote %s\n", out_path.c_str());
+  return target_met ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace irdb
+
+int main(int argc, char** argv) { return irdb::Main(argc, argv); }

@@ -268,6 +268,7 @@ Result<ResultSet> Database::StatementOnSession(Session& s,
     if (autocommit) BeginTxn(s);
     Result<ResultSet> result = Dispatch(s, stmt);
     if (result.ok()) {
+      JournalStmt(s, stmt, *result);
       if (autocommit) CommitTxn(s);
       return result;
     }
@@ -344,6 +345,7 @@ Result<ResultSet> Database::StatementOnSession(Session& s,
   }
   Result<ResultSet> result = DispatchConcurrent(s, stmt);
   if (result.ok()) {
+    JournalStmt(s, stmt, *result);
     if (autocommit) {
       CommitTxn(s);
       txn_mgr_.Commit(s.txn_id);
@@ -580,6 +582,16 @@ Status Database::AcquirePlanLocks(int64_t txn_id,
 
 // ------------------------------------------------------------------ txn ctl
 
+void Database::JournalStmt(Session& s, const sql::Statement& stmt,
+                           const ResultSet& result) {
+  StmtRecord rec;
+  rec.is_select = stmt.kind == sql::StatementKind::kSelect;
+  rec.text = sql::PrintStatement(stmt);
+  rec.rows_returned = static_cast<int64_t>(result.rows.size());
+  rec.rows_affected = result.affected;
+  stmt_journal_.Record(s.txn_id, std::move(rec));
+}
+
 void Database::BeginTxn(Session& s) {
   s.in_txn = true;
   s.txn_id = next_txn_id_.fetch_add(1, std::memory_order_relaxed);
@@ -606,6 +618,7 @@ void Database::CommitTxn(Session& s) {
   }
   s.in_txn = false;
   s.undo.clear();
+  stmt_journal_.Seal(s.txn_id);
   stats_.commits.fetch_add(1, std::memory_order_relaxed);
   obs::Count(obs::Metrics::Get().txn_commits);
 }
@@ -695,6 +708,7 @@ Status Database::RollbackTxn(Session& s) {
   wal_.Append(std::move(rec));
   s.in_txn = false;
   s.undo.clear();
+  stmt_journal_.Discard(s.txn_id);
   stats_.rollbacks.fetch_add(1, std::memory_order_relaxed);
   obs::Count(obs::Metrics::Get().txn_aborts);
   return Status::Ok();

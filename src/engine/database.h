@@ -40,6 +40,7 @@
 #include "sql/ast.h"
 #include "storage/buffer_pool.h"
 #include "storage/catalog.h"
+#include "txn/stmt_journal.h"
 #include "txn/wal_log.h"
 #include "util/status.h"
 
@@ -80,6 +81,12 @@ class Database {
   const Catalog& catalog() const { return catalog_; }
   WalLog& wal() { return wal_; }
   const WalLog& wal() const { return wal_; }
+
+  // Statement journal: logical statement text of committed transactions,
+  // sealed at COMMIT, discarded at ROLLBACK. The reenactment repair's replay
+  // source (DESIGN.md §5i).
+  StmtJournal& stmt_journal() { return stmt_journal_; }
+  const StmtJournal& stmt_journal() const { return stmt_journal_; }
   IoModel& io_model() { return io_model_; }
   const IoModel& io_model() const { return io_model_; }
   DbStats stats() const;
@@ -222,6 +229,11 @@ class Database {
   Result<ResultSet> ExecCreateIndex(const sql::Statement& stmt);
   Result<ResultSet> ExecDropIndex(const sql::Statement& stmt);
 
+  // Appends a successful DML/SELECT to the statement journal's pending
+  // buffer for the session's open transaction.
+  void JournalStmt(Session& s, const sql::Statement& stmt,
+                   const ResultSet& result);
+
   void BeginTxn(Session& s);
   void CommitTxn(Session& s);
   Status RollbackTxn(Session& s);
@@ -281,6 +293,7 @@ class Database {
   BufferPool buffer_pool_;  // declared before catalog_ (tables pin through it)
   Catalog catalog_;
   WalLog wal_;
+  StmtJournal stmt_journal_;
   IoModel io_model_;
   StatCounters stats_;
 

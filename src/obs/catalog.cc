@@ -172,6 +172,36 @@ const Metrics& Metrics::Get() {
         "Worker threads configured on the most recently (re)configured "
         "repair engine (1 = serial)");
 
+    m->reenact_runs = r.RegisterCounter(
+        "irdb_reenact_runs_total",
+        "Reenactment repairs started (RepairEngine::RepairReenact)");
+    m->reenact_replayed_txns = r.RegisterCounter(
+        "irdb_reenact_replayed_txns_total",
+        "Innocent closure transactions successfully re-executed from the "
+        "statement journal (their effects survived the repair)");
+    m->reenact_demoted_txns = r.RegisterCounter(
+        "irdb_reenact_demoted_txns_total",
+        "Closure transactions demoted to undo instead of replayed (tracking "
+        "gap, missing journal, divergence, or downstream of a demotion)");
+    m->reenact_diverged_txns = r.RegisterCounter(
+        "irdb_reenact_diverged_txns_total",
+        "Demotions caused by a replay divergence: a statement errored or its "
+        "row-count fingerprint differed from the journaled execution");
+    m->reenact_stmts_replayed = r.RegisterCounter(
+        "irdb_reenact_stmts_replayed_total",
+        "Journaled statements re-executed by committed replays");
+    m->reenact_components = r.RegisterCounter(
+        "irdb_reenact_components_total",
+        "Independent dependency subgraphs replayed (the unit of replay "
+        "parallelism)");
+    m->reenact_replay_us = r.RegisterCounter(
+        "irdb_reenact_replay_us_total",
+        "Wall time in the replay phase of reenactment repairs", "us");
+    m->reenact_run_latency = r.RegisterHistogram(
+        "irdb_reenact_run_latency_ms",
+        "Wall time of full RepairReenact() invocations (analyze + closure + "
+        "compensate + replay)");
+
     m->pool_workers = r.RegisterGauge(
         "irdb_pool_workers",
         "Worker threads of the most recently constructed thread pool "
@@ -259,6 +289,17 @@ const std::vector<SpanDoc>& SpanCatalog() {
       {span::kRepairCompensateLane,
        "One per-table compensation batch lane (threads > 1); args: lane, "
        "tables, stmts."},
+      {span::kReenact,
+       "Whole reenactment repair: analyze + closure + compensate + replay. "
+       "Parent of the repair-phase spans and the replay span; args: seeds, "
+       "threads."},
+      {span::kReenactReplay,
+       "Replay phase of one reenactment repair: every planned component, "
+       "serial or fanned out; args: txns, components, lanes."},
+      {span::kReenactComponent,
+       "One kept-edge connected component replayed serially in ascending "
+       "proxy-id order (the unit of replay parallelism); args: component, "
+       "txns."},
       {span::kQuarantineCompute,
        "Contaminated-partition computation: undo-set ops mapped to (table, "
        "key-hash-bucket) slices, coarsening to whole tables where the key "
@@ -299,6 +340,14 @@ const std::vector<EventDoc>& EventCatalog() {
        "A dependency analysis completed."},
       {event::kRepairDone, "undone, stmts",
        "A selective undo completed."},
+      {event::kReenactDone, "closure, replayed, demoted, diverged",
+       "A reenactment repair completed: the closure was compensated, "
+       "`replayed` innocents were re-executed, `demoted` stayed undone "
+       "(`diverged` of them because replay diverged)."},
+      {event::kReenactDemoted, "trid, reason",
+       "A closure transaction was demoted to undo instead of replayed; "
+       "reason is tracking_gap, no_journal, diverged, downstream, or "
+       "replay_failed."},
       {event::kQuarantineInstalled, "slices, tables, round",
        "An online repair installed (or extended) the quarantine over the "
        "contaminated partition."},

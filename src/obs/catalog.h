@@ -81,6 +81,16 @@ struct Metrics {
   MetricId repair_run_latency;  // histogram, ms (wall per full repair)
   MetricId repair_threads;     // gauge
 
+  // --- reenactment repair (src/repair/reenact) ---
+  MetricId reenact_runs;
+  MetricId reenact_replayed_txns;
+  MetricId reenact_demoted_txns;
+  MetricId reenact_diverged_txns;
+  MetricId reenact_stmts_replayed;
+  MetricId reenact_components;
+  MetricId reenact_replay_us;
+  MetricId reenact_run_latency;  // histogram, ms (wall per RepairReenact)
+
   // --- worker pool (src/util/thread_pool) ---
   MetricId pool_workers;  // gauge
   MetricId pool_tasks;
@@ -130,6 +140,9 @@ inline constexpr const char* kRepairCorrelate = "repair.correlate";
 inline constexpr const char* kRepairClosure = "repair.closure";
 inline constexpr const char* kRepairCompensate = "repair.compensate";
 inline constexpr const char* kRepairCompensateLane = "repair.compensate.lane";
+inline constexpr const char* kReenact = "repair.reenact";
+inline constexpr const char* kReenactReplay = "repair.reenact.replay";
+inline constexpr const char* kReenactComponent = "repair.reenact.component";
 inline constexpr const char* kQuarantineCompute = "repair.quarantine.compute";
 inline constexpr const char* kQuarantineHold = "repair.quarantine.hold";
 inline constexpr const char* kQuarantineRelease = "repair.quarantine.release";
@@ -145,6 +158,8 @@ inline constexpr const char* kProxyCacheInvalidation = "proxy.cache_invalidation
 inline constexpr const char* kWalTornTail = "wal.torn_tail";
 inline constexpr const char* kRepairAnalyzeDone = "repair.analyze_done";
 inline constexpr const char* kRepairDone = "repair.done";
+inline constexpr const char* kReenactDone = "repair.reenact_done";
+inline constexpr const char* kReenactDemoted = "repair.reenact_demoted";
 inline constexpr const char* kQuarantineInstalled = "repair.quarantine_installed";
 inline constexpr const char* kQuarantineReleased = "repair.quarantine_released";
 inline constexpr const char* kNetSessionReset = "net.session_reset";

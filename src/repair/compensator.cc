@@ -1,10 +1,13 @@
 #include "repair/compensator.h"
 
 #include <atomic>
+#include <chrono>
 #include <future>
 #include <map>
 #include <memory>
+#include <thread>
 
+#include "engine/database.h"
 #include "obs/catalog.h"
 #include "storage/bptree.h"
 #include "obs/trace.h"
@@ -175,11 +178,85 @@ Status CompensateOp(const RepairOp& op, DbConnection* admin,
 
 }  // namespace
 
+namespace {
+
+// Multi-lane compensation with one private engine session per table batch.
+// Each lane brackets its own transaction, so lanes never serialize on a
+// shared session (the admin session's statement mutex would otherwise turn
+// the "parallel" walk into a serial one — on a disk-bound engine the stall
+// charges only overlap across sessions). Mirrors the RepairOnline lane
+// loop: gate-exempt connection, bounded deadlock retries, first failing
+// lane in deterministic batch order wins.
+Status CompensateLanes(const DependencyAnalysis& analysis,
+                       const std::set<int64_t>& undo_proxy_ids, Database* db,
+                       const FlavorTraits& traits, RepairReport* report,
+                       util::ThreadPool* pool) {
+  IRDB_ASSIGN_OR_RETURN(std::vector<CompensationBatch> batches,
+                        BuildCompensationBatches(analysis, undo_proxy_ids));
+  report->compensate_lanes = std::max<int>(1, static_cast<int>(batches.size()));
+  std::vector<Status> lane_status(batches.size(), Status::Ok());
+  std::vector<RepairReport> lane_report(batches.size());
+  std::atomic<bool> abort{false};
+  auto run_lane = [&](size_t idx) {
+    if (abort.load(std::memory_order_relaxed)) return;
+    const CompensationBatch& batch = batches[idx];
+    obs::Span lane_span(obs::span::kRepairCompensateLane);
+    lane_span.AddArg("lane", static_cast<int64_t>(idx));
+    lane_span.AddArg("tables", 1);
+    lane_span.AddArg("stmts", static_cast<int64_t>(batch.ops.size()));
+    Status st = Status::Ok();
+    for (int attempt = 0; attempt < 3; ++attempt) {
+      DirectConnection conn(db);
+      db->SetSessionQuarantineExempt(conn.session_id(), true);
+      lane_report[idx] = RepairReport{};
+      auto begin = conn.Execute("BEGIN");
+      if (!begin.ok()) {
+        st = begin.status();
+        break;
+      }
+      st = CompensateBatch(batch, &conn, traits, &lane_report[idx]);
+      if (st.ok()) {
+        auto commit = conn.Execute("COMMIT");
+        st = commit.ok() ? Status::Ok() : commit.status();
+      } else {
+        (void)conn.Execute("ROLLBACK");
+      }
+      if (st.ok() || st.code() != StatusCode::kAborted) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1 + attempt));
+    }
+    lane_status[idx] = st;
+    if (!st.ok()) abort.store(true, std::memory_order_relaxed);
+  };
+  std::vector<std::future<void>> pending;
+  pending.reserve(batches.size());
+  for (size_t i = 0; i < batches.size(); ++i) {
+    pending.push_back(pool->Submit([&, i] { run_lane(i); }));
+  }
+  for (std::future<void>& f : pending) f.wait();
+  for (const RepairReport& part : lane_report) {
+    report->ops_compensated += part.ops_compensated;
+    report->compensating_inserts += part.compensating_inserts;
+    report->compensating_deletes += part.compensating_deletes;
+    report->compensating_updates += part.compensating_updates;
+    report->rows_remapped += part.rows_remapped;
+  }
+  for (const Status& st : lane_status) {
+    if (!st.ok()) return st;
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
 Status Compensate(const DependencyAnalysis& analysis,
                   const std::set<int64_t>& undo_proxy_ids, DbConnection* admin,
                   const FlavorTraits& traits, RepairReport* report,
-                  util::ThreadPool* pool) {
+                  util::ThreadPool* pool, Database* db) {
   report->undo_set = undo_proxy_ids;
+
+  if (pool != nullptr && pool->lanes() > 1 && db != nullptr) {
+    return CompensateLanes(analysis, undo_proxy_ids, db, traits, report, pool);
+  }
 
   // Internal IDs of the transactions to undo.
   std::set<int64_t> undo_internal;

@@ -42,10 +42,19 @@ struct RepairReport {
 // touch disjoint row sets and commute; inverse-LSN order is preserved where
 // it matters — within each table. The resulting database state is identical
 // to the serial walk's.
+//
+// When `db` is also given, each lane runs as its own transaction on a
+// private gate-exempt engine session instead of sharing `admin` — the
+// shared session's statement mutex would serialize the lanes (on the
+// disk-bound I/O model, stall charges only overlap across sessions). The
+// trade: the repair is no longer one atomic transaction; a lane that fails
+// leaves the other tables' (committed, commuting) compensation in place,
+// the same per-lane semantics RepairOnline has always had. Without `db`
+// the single-transaction shared-session walk is used.
 Status Compensate(const DependencyAnalysis& analysis,
                   const std::set<int64_t>& undo_proxy_ids, DbConnection* admin,
                   const FlavorTraits& traits, RepairReport* report,
-                  util::ThreadPool* pool = nullptr);
+                  util::ThreadPool* pool = nullptr, Database* db = nullptr);
 
 // One per-table compensation batch: the table's undone ops in inverse log
 // order. Per-table batches address disjoint row sets and commute (the same

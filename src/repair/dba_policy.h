@@ -17,10 +17,31 @@
 
 namespace irdb::repair {
 
+// How the damage perimeter is healed once it is known (DESIGN.md §5i and
+// docs/repair-strategies.md):
+//   kUndoOnly — the paper's procedure: every transaction in the closure is
+//               compensated away, innocent dependents included.
+//   kReenact  — compensate the closure, then re-execute the innocent
+//               dependents from the statement journal against the corrected
+//               state, so only the seeds (plus replay divergences, demoted
+//               conservatively) stay undone.
+enum class RepairStrategy {
+  kUndoOnly,
+  kReenact,
+};
+
 class DbaPolicy {
  public:
   // Keep every dependency (the paper's "tracking all dependencies" mode).
   static DbaPolicy TrackEverything() { return DbaPolicy(); }
+
+  // Repair strategy selection; RepairEngine::Repair dispatches on it.
+  // Default is the paper's undo-only procedure.
+  DbaPolicy& WithStrategy(RepairStrategy s) {
+    strategy_ = s;
+    return *this;
+  }
+  RepairStrategy strategy() const { return strategy_; }
 
   // Ignore all dependencies that arose through `table` (e.g. a temporary
   // table with no semantic significance, §3.3).
@@ -73,6 +94,7 @@ class DbaPolicy {
   }
 
  private:
+  RepairStrategy strategy_ = RepairStrategy::kUndoOnly;
   std::set<std::string> ignored_tables_;
   std::set<std::pair<int64_t, int64_t>> ignored_edges_;
   std::vector<std::function<bool(const DepEdge&)>> custom_;

@@ -174,7 +174,7 @@ Result<RepairReport> RepairEngine::CompensateUndoSet(
   obs::Span span(obs::span::kRepairCompensate);
   RepairReport report;
   IRDB_RETURN_IF_ERROR(Compensate(analysis, undo, &admin_, db_->traits(),
-                                  &report, pool_.get()));
+                                  &report, pool_.get(), db_));
   span.AddArg("stmts", report.ops_compensated);
   span.AddArg("lanes", report.compensate_lanes);
   const double wall_ms = span.End();
@@ -410,6 +410,11 @@ Result<OnlineRepairReport> RepairEngine::RepairOnline(
 
 Result<RepairReport> RepairEngine::Repair(
     const std::vector<int64_t>& seed_proxy_ids, const DbaPolicy& policy) {
+  if (policy.strategy() == RepairStrategy::kReenact) {
+    IRDB_ASSIGN_OR_RETURN(ReenactReport reenacted,
+                          RepairReenact(seed_proxy_ids, policy));
+    return reenacted.repair;
+  }
   const auto start = Clock::now();
   IRDB_ASSIGN_OR_RETURN(DependencyAnalysis analysis, Analyze());
   std::set<int64_t> undo = ComputeUndoSet(analysis, seed_proxy_ids, policy);
@@ -418,6 +423,66 @@ Result<RepairReport> RepairEngine::Repair(
     obs::Observe(obs::Metrics::Get().repair_run_latency, MsSince(start));
   }
   return report;
+}
+
+Result<ReenactReport> RepairEngine::RepairReenact(
+    const std::vector<int64_t>& seed_proxy_ids, const DbaPolicy& policy) {
+  const auto start = Clock::now();
+  obs::Count(obs::Metrics::Get().reenact_runs);
+  obs::Span run(obs::span::kReenact);
+  run.AddArg("seeds", static_cast<int64_t>(seed_proxy_ids.size()));
+  run.AddArg("threads", threads_);
+
+  IRDB_ASSIGN_OR_RETURN(DependencyAnalysis analysis, Analyze());
+  ReenactReport out;
+  out.closure = ComputeUndoSet(analysis, seed_proxy_ids, policy);
+  // Mechanical undo of the ENTIRE closure: this is the state "history minus
+  // the closure", the baseline every replay recomputes against. Selective
+  // effects come from the replay, not from a selective compensation.
+  IRDB_ASSIGN_OR_RETURN(out.repair, CompensateUndoSet(analysis, out.closure));
+
+  obs::Span replay(obs::span::kReenactReplay);
+  const ReenactPlan plan = PlanReenact(analysis, out.closure, seed_proxy_ids,
+                                       policy, db_->stmt_journal());
+  ExecuteReenactPlan(db_, analysis, policy, db_->stmt_journal(), plan,
+                     pool_.get(), &out);
+  replay.AddArg("txns", static_cast<int64_t>(plan.replay_order.size()));
+  replay.AddArg("components", out.components);
+  replay.AddArg("lanes", out.replay_lanes);
+  const double replay_ms = replay.End();
+  phases_.replay_wall_ms += replay_ms;
+  phases_.replay_stmts += out.stmts_replayed;
+  phases_.replay_components = out.components;
+  obs::Count(obs::Metrics::Get().reenact_replay_us,
+             std::llround(replay_ms * 1000.0));
+
+  // What STAYED undone: the seeds plus every demotion. The full closure was
+  // compensated, but the replayed members' effects are back.
+  out.repair.undo_set =
+      std::set<int64_t>(seed_proxy_ids.begin(), seed_proxy_ids.end());
+  for (const auto& [id, reason] : out.demoted) {
+    out.repair.undo_set.insert(id);
+    obs::EventJournal::Default().Append(
+        obs::event::kReenactDemoted,
+        {{"trid", std::to_string(id)}, {"reason", DemoteReasonName(reason)}});
+  }
+
+  obs::Count(obs::Metrics::Get().reenact_replayed_txns,
+             static_cast<int64_t>(out.replayed.size()));
+  obs::Count(obs::Metrics::Get().reenact_demoted_txns,
+             static_cast<int64_t>(out.demoted.size()));
+  obs::Count(obs::Metrics::Get().reenact_diverged_txns, out.diverged);
+  obs::Count(obs::Metrics::Get().reenact_stmts_replayed, out.stmts_replayed);
+  obs::Count(obs::Metrics::Get().reenact_components, out.components);
+  obs::EventJournal::Default().Append(
+      obs::event::kReenactDone,
+      {{"closure", std::to_string(out.closure.size())},
+       {"replayed", std::to_string(out.replayed.size())},
+       {"demoted", std::to_string(out.demoted.size())},
+       {"diverged", std::to_string(out.diverged)}});
+  obs::Observe(obs::Metrics::Get().reenact_run_latency, MsSince(start));
+  obs::Observe(obs::Metrics::Get().repair_run_latency, MsSince(start));
+  return out;
 }
 
 }  // namespace irdb::repair

@@ -23,6 +23,7 @@
 #include "repair/compensator.h"
 #include "repair/dba_policy.h"
 #include "repair/quarantine.h"
+#include "repair/reenact.h"
 #include "repair/repair_stats.h"
 #include "util/thread_pool.h"
 
@@ -65,9 +66,22 @@ class RepairEngine {
   Result<RepairReport> CompensateUndoSet(const DependencyAnalysis& analysis,
                                          const std::set<int64_t>& undo);
 
-  // Full repair: analyze, close over dependencies, compensate.
+  // Full repair, dispatching on policy.strategy(): undo-only runs
+  // analyze → closure → compensate; kReenact runs RepairReenact below and
+  // returns its embedded RepairReport (undo_set = what STAYED undone).
   Result<RepairReport> Repair(const std::vector<int64_t>& seed_proxy_ids,
                               const DbaPolicy& policy);
+
+  // Reenactment repair (DESIGN.md §5i): compensates the FULL dependency
+  // closure mechanically — producing exactly the state "history minus the
+  // closure" — then re-executes the closure's innocent members from the
+  // statement journal in dependency order, so their intent is recomputed
+  // against the corrected state and only the seeds (plus conservative
+  // demotions, see reenact.h) stay undone. Independent subgraphs replay
+  // concurrently when threads > 1; results are merged deterministically.
+  // Replay problems never fail the repair — they demote.
+  Result<ReenactReport> RepairReenact(
+      const std::vector<int64_t>& seed_proxy_ids, const DbaPolicy& policy);
 
   // Serve-through repair (DESIGN.md §5g): the database keeps serving
   // traffic while the contaminated partition is fenced off and healed.

@@ -40,16 +40,19 @@ struct RepairPhaseStats {
   double closure_wall_ms = 0;
   double compensate_wall_ms = 0;
   double compensate_sim_ms = 0;
+  double replay_wall_ms = 0;  // reenactment only (0 under undo-only)
 
   int64_t records_scanned = 0;
   int64_t image_bytes_scanned = 0;
   int scan_segments = 1;      // chunks the log was split into
   int compensate_lanes = 1;   // concurrent table batches
   int64_t compensate_stmts = 0;
+  int64_t replay_stmts = 0;    // journaled statements re-executed
+  int replay_components = 0;   // independent subgraphs replayed
 
   double total_wall_ms() const {
     return scan_wall_ms + correlate_wall_ms + closure_wall_ms +
-           compensate_wall_ms;
+           compensate_wall_ms + replay_wall_ms;
   }
   double total_sim_ms() const { return scan_sim_ms + compensate_sim_ms; }
   // The headline metric: wall + virtual clock, as in ResilientDb's
@@ -57,19 +60,21 @@ struct RepairPhaseStats {
   double total_ms() const { return total_wall_ms() + total_sim_ms(); }
 
   std::string ToString() const {
-    char buf[512];
+    char buf[640];
     std::snprintf(
         buf, sizeof(buf),
         "repair phases (threads=%d): scan %.2f ms wall + %.2f ms sim "
         "(%lld records, %lld image bytes, %d segments) | correlate %.2f ms | "
         "closure %.2f ms | compensate %.2f ms wall + %.2f ms sim "
-        "(%lld stmts, %d lanes) | total %.2f ms",
+        "(%lld stmts, %d lanes) | replay %.2f ms (%lld stmts, "
+        "%d components) | total %.2f ms",
         threads, scan_wall_ms, scan_sim_ms,
         static_cast<long long>(records_scanned),
         static_cast<long long>(image_bytes_scanned), scan_segments,
         correlate_wall_ms, closure_wall_ms, compensate_wall_ms,
         compensate_sim_ms, static_cast<long long>(compensate_stmts),
-        compensate_lanes, total_ms());
+        compensate_lanes, replay_wall_ms,
+        static_cast<long long>(replay_stmts), replay_components, total_ms());
     return std::string(buf);
   }
 };

@@ -85,6 +85,38 @@ std::string WhatIfSession::Explain() const {
   return out;
 }
 
+std::string WhatIfSession::PreviewReenact(const StmtJournal& journal) const {
+  const std::set<int64_t> perimeter = Perimeter();
+  const std::vector<int64_t> seeds(seeds_.begin(), seeds_.end());
+  const ReenactPlan plan =
+      PlanReenact(analysis_, perimeter, seeds, policy_, journal);
+  std::map<int64_t, int> component_of;
+  for (size_t ci = 0; ci < plan.components.size(); ++ci) {
+    for (int64_t id : plan.components[ci]) {
+      component_of[id] = static_cast<int>(ci);
+    }
+  }
+  std::string out;
+  for (int64_t node : perimeter) {
+    out += analysis_.graph.Label(node);
+    if (seeds_.count(node)) {
+      out += "  [seed: stays undone]\n";
+    } else if (auto it = plan.pre_demoted.find(node);
+               it != plan.pre_demoted.end()) {
+      out += std::string("  [demoted: ") + DemoteReasonName(it->second) + "]\n";
+    } else {
+      out += "  [replay: component " +
+             std::to_string(component_of[node]) + "]\n";
+    }
+  }
+  out += "reenact would undo " +
+         std::to_string(seeds_.size() + plan.pre_demoted.size()) + " of " +
+         std::to_string(perimeter.size()) + " perimeter transactions and "
+         "replay " + std::to_string(plan.replay_order.size()) + " across " +
+         std::to_string(plan.components.size()) + " components\n";
+  return out;
+}
+
 std::string WhatIfSession::Dot() const { return analysis_.graph.ToDot(Perimeter()); }
 
 std::string WhatIfSession::Summary() const {

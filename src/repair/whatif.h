@@ -15,6 +15,7 @@
 
 #include "repair/analyzer.h"
 #include "repair/dba_policy.h"
+#include "repair/reenact.h"
 
 namespace irdb::repair {
 
@@ -55,6 +56,14 @@ class WhatIfSession {
   // One line per perimeter transaction: label plus the inbound edges that
   // condemn it under the current policy.
   std::string Explain() const;
+
+  // What reenactment (DESIGN.md §5i) would do with the current perimeter:
+  // the deterministic replay plan against `journal`, without touching the
+  // database. One line per perimeter transaction — seed, replay (with its
+  // component), or the up-front demotion reason — plus a summary line, so
+  // the DBA can compare "undo everything" against "undo seeds + demotions"
+  // before committing to either strategy.
+  std::string PreviewReenact(const StmtJournal& journal) const;
 
   // GraphViz rendering with the current perimeter highlighted.
   std::string Dot() const;

@@ -1,0 +1,49 @@
+#include "txn/stmt_journal.h"
+
+namespace irdb {
+
+void StmtJournal::Record(int64_t txn_id, StmtRecord rec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  pending_[txn_id].push_back(std::move(rec));
+}
+
+void StmtJournal::Seal(int64_t txn_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = pending_.find(txn_id);
+  if (it == pending_.end()) return;
+  committed_[txn_id] = std::move(it->second);
+  pending_.erase(it);
+}
+
+void StmtJournal::Discard(int64_t txn_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  pending_.erase(txn_id);
+}
+
+bool StmtJournal::HasCommitted(int64_t txn_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return committed_.count(txn_id) > 0;
+}
+
+std::vector<StmtRecord> StmtJournal::Committed(int64_t txn_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = committed_.find(txn_id);
+  return it == committed_.end() ? std::vector<StmtRecord>{} : it->second;
+}
+
+int64_t StmtJournal::committed_txns() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(committed_.size());
+}
+
+int64_t StmtJournal::committed_stmts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t n = 0;
+  for (const auto& [id, stmts] : committed_) {
+    (void)id;
+    n += static_cast<int64_t>(stmts.size());
+  }
+  return n;
+}
+
+}  // namespace irdb

@@ -1,0 +1,62 @@
+// StmtJournal — per-transaction statement text, the replay side of the log.
+//
+// The WAL records *physical* row images (enough to undo), but reenactment
+// repair (DESIGN.md §5i) needs the *logical* statements so innocent
+// dependents of an intrusion can be re-executed against the corrected state
+// instead of being cascade-undone. The engine appends every successful
+// DML/SELECT of a transaction here (post-rewrite text, so tracked
+// transactions replay their trid stamps and commit metadata too), seals the
+// buffer at COMMIT, and discards it at ROLLBACK — the journal only ever
+// holds statements of committed transactions, keyed by the engine's
+// internal transaction id.
+//
+// Each record carries a result fingerprint (row count for SELECT, affected
+// count for DML). Replay compares its own results against the fingerprint:
+// a mismatch means the transaction observed the intrusion in a way that
+// value-level recomputation cannot absorb, and it is demoted to undo.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace irdb {
+
+struct StmtRecord {
+  std::string text;          // statement as executed (post-proxy-rewrite)
+  bool is_select = false;
+  int64_t rows_returned = 0;  // SELECT fingerprint
+  int64_t rows_affected = 0;  // DML fingerprint
+};
+
+class StmtJournal {
+ public:
+  // Appends one successfully executed statement to the open transaction's
+  // pending buffer.
+  void Record(int64_t txn_id, StmtRecord rec);
+
+  // COMMIT: the pending buffer becomes the transaction's committed entry.
+  // A transaction with no recorded statements (pure DDL, txn control only)
+  // leaves no entry.
+  void Seal(int64_t txn_id);
+
+  // ROLLBACK (or abort): the pending buffer is dropped.
+  void Discard(int64_t txn_id);
+
+  bool HasCommitted(int64_t txn_id) const;
+
+  // Committed statements in execution order; empty when absent.
+  std::vector<StmtRecord> Committed(int64_t txn_id) const;
+
+  int64_t committed_txns() const;
+  int64_t committed_stmts() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<int64_t, std::vector<StmtRecord>> pending_;
+  std::map<int64_t, std::vector<StmtRecord>> committed_;
+};
+
+}  // namespace irdb

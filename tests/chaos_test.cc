@@ -194,6 +194,11 @@ constexpr FaultProfile kProfiles[] = {
     // clients keep hammering, and widened lock windows maximize the odds
     // of open transactions pinning fenced slices when the drain arrives.
     {"serve-through", 0.0, 0.5, 0.5, 0.0, 2.0},
+    // Shifts chaos onto the reenactment demotion path: commit-heavy faults
+    // maximize tracking gaps in the workload histories, so the replay
+    // planner's conservative gap/downstream demotions (rather than the
+    // clean all-replayed case) carry the undo≡reenact oracle.
+    {"reenact", 0.5, 0.5, 3.0, 0.0, 0.0},
 };
 
 FaultProfile g_profile = kProfiles[0];
@@ -686,6 +691,131 @@ void RunRepairChaosIteration(int iter) {
 }
 
 // ---------------------------------------------------------------------------
+// Part 6: reenactment repair chaos (DESIGN.md §5i). The same scripted
+// histories as Part 2 run under commit-path faults (tracking gaps exercise
+// the conservative demotion path), then the attack is repaired with the
+// kReenact strategy. The scripts are count-commuting (additive updates,
+// SELECTs of rows that always exist, distinct-key inserts), so:
+//   - the undo≡reenact oracle holds: the reenacted state must equal a
+//     fault-free replay of the committed scripts minus what STAYED undone
+//     (seed + demotions) — exactly the undo-only-then-reapply state;
+//   - no replay may diverge (every fingerprint is count-stable), so every
+//     demotion must be a tracking gap or downstream of one;
+//   - replay restores the innocents' trans_dep/annot metadata (the journal
+//     captured the proxy-rewritten text), so tracking completeness over the
+//     surviving transactions still holds after the repair.
+
+void RunReenactChaosIteration(int iter) {
+  auto& reg = fail::Registry::Instance();
+  reg.DisarmAll();
+  reg.ResetStats();
+  reg.Seed(g_seed * 6553421 + static_cast<uint64_t>(iter));
+  const proxy::DegradedMode mode = (iter % 2 == 0)
+                                       ? proxy::DegradedMode::kCommitUntracked
+                                       : proxy::DegradedMode::kAbort;
+  ChaosStack s(mode);
+  SetupAccounts(s.proxy.get());
+
+  DirectConnection admin(&s.db);
+  const std::set<int64_t> baseline = TransDepIds(&admin);
+  const std::vector<Script> scripts =
+      MakeScripts(g_seed + 47 * static_cast<uint64_t>(iter), 18);
+
+  ArmMixFaults(/*wire_p=*/0.02, /*engine_p=*/0.01, /*dep_p=*/0.08,
+               /*annot_p=*/0.04);
+  std::vector<bool> committed_mask(scripts.size(), false);
+  std::map<int64_t, std::vector<proxy::DepEntry>> committed;
+  std::map<int64_t, size_t> trid_to_script;
+  for (size_t j = 0; j < scripts.size(); ++j) {
+    if (!s.proxy->Execute("BEGIN").ok()) continue;
+    s.proxy->SetAnnotation(scripts[j].label);
+    bool failed = false;
+    for (const std::string& sql : scripts[j].stmts) {
+      if (!s.proxy->Execute(sql).ok()) {
+        failed = true;
+        break;
+      }
+    }
+    if (failed) {
+      (void)s.proxy->Execute("ROLLBACK");
+      continue;
+    }
+    const int64_t trid = s.proxy->current_txn_id();
+    std::vector<proxy::DepEntry> deps = s.proxy->pending_deps();
+    if (s.proxy->Execute("COMMIT").ok()) {
+      committed_mask[j] = true;
+      committed[trid] = std::move(deps);
+      trid_to_script[trid] = j;
+    }
+  }
+  s.Quiesce();
+  // The workload took the faults; the repair itself runs clean — replay
+  // failures here would be harness noise, not the divergence semantics
+  // under test.
+  reg.DisarmAll();
+
+  CheckTrackingCompleteness(&admin, committed, baseline, mode);
+  CheckWalDurability(s.db);
+
+  int64_t attack_trid = 0;
+  for (const auto& [trid, j] : trid_to_script) {
+    if (j == kAttackIndex) attack_trid = trid;
+  }
+  size_t replayed = 0, demoted = 0;
+  if (attack_trid != 0) {
+    RequireIndexesMatchHeap(&s.db, "before reenactment repair");
+    // Alternate serial and parallel replay across iterations.
+    repair::RepairEngine engine(&s.db, iter % 2 == 0 ? 4 : 1);
+    auto report = engine.RepairReenact({attack_trid},
+                                       repair::DbaPolicy::TrackEverything());
+    Require(report.ok(), "reenact: " + report.status().ToString());
+    Require(report->repair.undo_set.count(attack_trid) > 0,
+            "attack txn not among the transactions that stayed undone");
+    Require(report->replayed.size() + report->demoted.size() + 1 ==
+                report->closure.size(),
+            "reenact accounting: replayed + demoted + seed != closure");
+    Require(report->diverged == 0,
+            "count-commuting history produced a replay divergence");
+    for (const auto& [id, reason] : report->demoted) {
+      Require(reason == repair::DemoteReason::kTrackingGap ||
+                  reason == repair::DemoteReason::kDownstream,
+              "unexpected demotion reason for T" + std::to_string(id) + ": " +
+                  repair::DemoteReasonName(reason));
+    }
+    replayed = report->replayed.size();
+    demoted = report->demoted.size();
+
+    // The undo≡reenact oracle: final state == fault-free replay of the
+    // committed scripts minus exactly what stayed undone.
+    std::set<size_t> excluded;
+    for (int64_t id : report->repair.undo_set) {
+      auto it = trid_to_script.find(id);
+      if (it != trid_to_script.end()) excluded.insert(it->second);
+    }
+    Require(excluded.count(kAttackIndex) > 0, "attack script not excluded");
+    const uint64_t actual = s.db.StateHash({"account"}, {"trid"});
+    const uint64_t expected = ReplayHash(scripts, committed_mask, excluded);
+    Require(actual == expected,
+            "reenacted state diverges from the undo-then-reapply oracle");
+    RequireIndexesMatchHeap(&s.db, "after reenactment repair");
+
+    // Replay restored the innocents' tracking metadata; the undone
+    // transactions' rows were compensated away with their data. (Gap-table
+    // rows from untracked survivors outside the closure legitimately
+    // remain, so the original mode governs the emptiness assertion.)
+    std::map<int64_t, std::vector<proxy::DepEntry>> surviving = committed;
+    for (int64_t id : report->repair.undo_set) surviving.erase(id);
+    CheckTrackingCompleteness(&admin, surviving, baseline, mode);
+  }
+
+  std::printf("chaos: reen iter %2d mode=%s committed=%zu replayed=%zu "
+              "demoted=%zu gaps=%lld\n",
+              iter, mode == proxy::DegradedMode::kAbort ? "abort" : "degrade",
+              committed.size(), replayed, demoted,
+              static_cast<long long>(s.proxy->stats().tracking_gap_txns));
+}
+
+// ---------------------------------------------------------------------------
 // Part 3: lock-contention chaos — genuinely concurrent threads, each with its
 // own engine session and tracking proxy, hammering overlapping account rows
 // while the "lock.acquire.delay" failpoint widens every lock-hold window.
@@ -1139,7 +1269,7 @@ int ChaosMain(int argc, char** argv) {
     seed = std::strtoull(env, nullptr, 10);
   }
   int tpcc_iters = 13, repair_iters = 13, net_iters = 5, lock_iters = 5,
-      serve_iters = 3;
+      serve_iters = 3, reenact_iters = 5;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--seed=", 7) == 0) {
       seed = std::strtoull(argv[i] + 7, nullptr, 10);
@@ -1153,6 +1283,8 @@ int ChaosMain(int argc, char** argv) {
       lock_iters = std::atoi(argv[i] + 13);
     } else if (std::strncmp(argv[i], "--serve-iters=", 14) == 0) {
       serve_iters = std::atoi(argv[i] + 14);
+    } else if (std::strncmp(argv[i], "--reenact-iters=", 16) == 0) {
+      reenact_iters = std::atoi(argv[i] + 16);
     } else if (std::strncmp(argv[i], "--profile=", 10) == 0) {
       const char* want = argv[i] + 10;
       bool found = false;
@@ -1165,7 +1297,7 @@ int ChaosMain(int argc, char** argv) {
       if (!found) {
         std::fprintf(stderr, "unknown profile '%s' (default, wire-heavy, "
                              "commit-heavy, net-reset, lock-contention, "
-                             "serve-through)\n",
+                             "serve-through, reenact)\n",
                      want);
         return 2;
       }
@@ -1173,7 +1305,7 @@ int ChaosMain(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: %s [--seed=N] [--profile=NAME] [--tpcc-iters=N] "
                    "[--repair-iters=N] [--net-iters=N] [--lock-iters=N] "
-                   "[--serve-iters=N]\n"
+                   "[--serve-iters=N] [--reenact-iters=N]\n"
                    "  (IRDB_CHAOS_SEED is honored when --seed is absent)\n",
                    argv[0]);
       return 2;
@@ -1181,13 +1313,15 @@ int ChaosMain(int argc, char** argv) {
   }
   g_seed = seed;
   std::printf("chaos: seed=%llu profile=%s tpcc_iters=%d repair_iters=%d "
-              "net_iters=%d lock_iters=%d serve_iters=%d\n",
+              "net_iters=%d lock_iters=%d serve_iters=%d reenact_iters=%d\n",
               static_cast<unsigned long long>(seed), g_profile.name,
-              tpcc_iters, repair_iters, net_iters, lock_iters, serve_iters);
+              tpcc_iters, repair_iters, net_iters, lock_iters, serve_iters,
+              reenact_iters);
 
   for (int i = 0; i < tpcc_iters; ++i) RunTpccChaosIteration(i);
   for (int i = 0; i < net_iters; ++i) RunNetChaosIteration(i);
   for (int i = 0; i < repair_iters; ++i) RunRepairChaosIteration(i);
+  for (int i = 0; i < reenact_iters; ++i) RunReenactChaosIteration(i);
   for (int i = 0; i < lock_iters; ++i) RunLockContentionIteration(i);
   for (int i = 0; i < serve_iters; ++i) RunServeThroughIteration(i);
 

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Builds and runs the reenactment-vs-undo repair bench (innocent rows
+# preserved and repair wall time under the simulated 2004-class disk model,
+# 8 repair threads vs the paper's serial undo-only baseline), leaving
+# BENCH_reenact.json in the repo root (or $1 if given). Exits non-zero if
+# reenactment does not preserve strictly more innocent rows than undo-only
+# at equal-or-better wall time. Usage: tools/run_bench_reenact.sh [out.json]
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+out="${1:-$repo/BENCH_reenact.json}"
+
+cmake -B "$repo/build" -S "$repo" >/dev/null
+cmake --build "$repo/build" --target bench_reenact -j >/dev/null
+
+"$repo/build/bench/bench_reenact" --out="$out"

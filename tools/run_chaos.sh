@@ -5,7 +5,7 @@
 # AddressSanitizer build, failing on the first invariant violation (the
 # harness prints the seed so any failure replays exactly). A third,
 # ThreadSanitizer build (-DIRDB_SANITIZE=thread) then runs the `parallel`,
-# `net`, `concurrency`, and `storage` ctest labels — the parallel repair
+# `net`, `concurrency`, `storage`, and `reenact` ctest labels — the parallel repair
 # pipeline's determinism and equivalence tests, the sharded metrics-registry
 # hammer (obs_test), the networked front-end's concurrent-session suite
 # (net_test), the lock-manager/concurrent-execution suite (concurrency_test),
@@ -21,6 +21,11 @@
 # and checks the post-release state byte-for-byte against the offline-repair
 # oracle with zero tracking gaps (DESIGN.md §5g).
 #
+# The reenact profile shifts faults onto the commit path so the reenactment
+# iterations exercise the conservative demotion planner, and every iteration
+# checks the reenacted state byte-for-byte against the undo-then-reapply
+# oracle (DESIGN.md §5i).
+#
 # Usage: tools/run_chaos.sh [num_seeds] [base_seed]
 #   num_seeds  seeds per profile per config (default 5)
 #   base_seed  first seed; seeds are base_seed..base_seed+num_seeds-1
@@ -30,7 +35,7 @@ set -euo pipefail
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 num_seeds="${1:-5}"
 base_seed="${2:-20260805}"
-profiles=(default wire-heavy commit-heavy net-reset lock-contention serve-through)
+profiles=(default wire-heavy commit-heavy net-reset lock-contention serve-through reenact)
 
 run_config() {
   local build_dir="$1"; shift
@@ -50,9 +55,9 @@ run_config() {
 run_config "$repo/build" "plain"
 run_config "$repo/build-asan" "asan" -DIRDB_SANITIZE=address
 
-echo "[tsan] parallel repair + net front-end + lock manager + quarantine + storage under ThreadSanitizer"
+echo "[tsan] parallel repair + net front-end + lock manager + quarantine + storage + reenact under ThreadSanitizer"
 cmake -B "$repo/build-tsan" -S "$repo" -DIRDB_SANITIZE=thread >/dev/null
-cmake --build "$repo/build-tsan" --target parallel_repair_test obs_test net_test concurrency_test quarantine_test storage_test -j >/dev/null
-(cd "$repo/build-tsan" && ctest -L 'parallel|net|concurrency|storage' --output-on-failure)
+cmake --build "$repo/build-tsan" --target parallel_repair_test obs_test net_test concurrency_test quarantine_test storage_test reenact_test -j >/dev/null
+(cd "$repo/build-tsan" && ctest -L 'parallel|net|concurrency|storage|reenact' --output-on-failure)
 
-echo "chaos soak passed: ${#profiles[@]} profiles x $num_seeds seeds x 2 configs + tsan parallel/net/concurrency/storage suites"
+echo "chaos soak passed: ${#profiles[@]} profiles x $num_seeds seeds x 2 configs + tsan parallel/net/concurrency/storage/reenact suites"
