@@ -1,0 +1,297 @@
+// Multi-shard scaling: TPC-C throughput vs shard count behind the routing
+// tier (DESIGN.md §5j, ROADMAP item 5).
+//
+// The paper's single intrusion-resilient stack is bounded by its one log
+// device: commit-time flushes serialize on the spindle no matter how many
+// sessions the lock manager overlaps. Sharding buys that bound back — each
+// shard is a full engine with its OWN log device — so the sweep measures
+// 1/2/4/8 shards over the same 8-warehouse TPC-C database with
+// IoCostParams::serialize_log_flush + realtime_stall_scale turning the
+// per-engine flush serialization into real stalls (which is what makes the
+// scaling visible on any host, including single-core CI).
+//
+// Workers drive RoutedSessions (the same statement routing + lazy-BEGIN +
+// 2PC tier the TCP front door mounts), with --remote-pct of new-order lines
+// supplying remote warehouses, so the 2PC merged-dependency path is ON the
+// measured path at every N >= 2 — the speedup is net of cross-shard commit
+// overhead, not a partitioned-workload best case.
+//
+// Emits BENCH_shard.json and GATES (non-zero exit) on:
+//   - zero tracking gaps on every shard at every point (sharding must not
+//     cost tracking completeness);
+//   - cross-shard 2PC commits observed at every N >= 2 (the remote mix
+//     actually exercised the router);
+//   - >= --min-speedup (default 3x) throughput at 8 shards vs 1.
+//
+// Defaults run 16 terminals over 16 warehouses (one terminal per warehouse,
+// TPC-C clause 2.5, so at 8 shards each shard serves two terminals) with a
+// 6ms serialized log flush per commit — big enough that the per-shard log
+// device, not the SQL engine's CPU cost, dominates the sweep.
+//
+// Flags: --workers=N (default 16), --txns=N per worker (default 150),
+//        --warehouses=N (default 16), --remote-pct=F (default 0.10),
+//        --flush-ms=F (per-commit log-device stall, default 6.0),
+//        --min-speedup=F (default 3.0), --out=PATH.
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "concurrency/lock_manager.h"
+#include "engine/database.h"
+#include "shard/shard_cluster.h"
+#include "tpcc/loader.h"
+#include "tpcc/workload.h"
+#include "util/stopwatch.h"
+
+namespace irdb {
+namespace {
+
+struct SweepPoint {
+  int shards = 0;
+  int64_t transactions = 0;
+  int64_t deadlock_retries = 0;
+  double wall_seconds = 0;
+  int64_t cross_shard_txns = 0;
+  int64_t twopc_commits = 0;
+  int64_t twopc_aborts = 0;
+  int64_t deps_merged = 0;
+  int64_t tracking_gaps = 0;
+
+  double Throughput() const {
+    return static_cast<double>(transactions) / wall_seconds;
+  }
+};
+
+Result<SweepPoint> MeasurePoint(int shards, int workers, int txns,
+                                int warehouses, double remote_pct,
+                                double flush_ms, uint64_t seed) {
+  tpcc::TpccConfig cfg;
+  cfg.warehouses = warehouses;
+  cfg.districts_per_warehouse = 2;
+  cfg.customers_per_district = 8;
+  cfg.items = 40;
+  cfg.orders_per_district = 8;
+  cfg.remote_item_pct = remote_pct;
+  cfg.seed = seed;
+
+  shard::ShardClusterOptions opts;
+  opts.shards = shards;
+  shard::ShardCluster cluster(opts);
+  IRDB_RETURN_IF_ERROR(cluster.Bootstrap());
+  {
+    auto loader = cluster.Connect();
+    IRDB_RETURN_IF_ERROR(tpcc::LoadDatabase(loader.get(), cfg).status());
+  }
+
+  // The stall model goes on AFTER the load: one serialized log device per
+  // shard, with the flush charge taken as a real sleep. Everything else is
+  // free so the sweep isolates exactly the resource sharding multiplies.
+  IoCostParams io;
+  io.enabled = true;
+  io.serialize_log_flush = true;
+  io.realtime_stall_scale = 1.0;
+  io.log_flush_seconds = flush_ms * 1e-3;
+  io.log_write_seconds_per_byte = 0;
+  io.statement_cpu_seconds = 0;
+  io.row_cpu_seconds = 0;
+  for (int s = 0; s < shards; ++s) {
+    cluster.db(s).io_model().Configure(io);
+    // Short lock-wait failsafe: a cross-shard lock cycle is invisible to
+    // the per-shard waits-for graphs, so it resolves only via this timeout
+    // (surfaced as a retryable deadlock abort). The default 10s failsafe
+    // would park a worker for the whole measurement window.
+    cluster.db(s).txn_manager().locks().set_wait_timeout_seconds(0.1);
+  }
+
+  std::atomic<int64_t> ok{0};
+  std::atomic<int64_t> retries{0};
+  std::atomic<int> errors{0};
+  std::string first_error;
+  std::mutex err_mu;
+  Stopwatch sw;
+  std::vector<std::thread> threads;
+  for (int w = 0; w < workers; ++w) {
+    threads.emplace_back([&, w] {
+      auto conn = cluster.Connect();
+      tpcc::TpccDriver driver(conn.get(), cfg,
+                              seed + 1000003 * static_cast<uint64_t>(w) + 1);
+      driver.set_annotations(false);  // labels are a repair-path feature
+      // One terminal per warehouse (TPC-C clause 2.5): home traffic stays
+      // disjoint across workers; only remote supply lines and remote
+      // Payment customers cross warehouses — and therefore shards.
+      driver.set_home_warehouse(1 + (w % warehouses));
+      std::mt19937 rng(static_cast<uint32_t>(seed) + 77771u * w);
+      constexpr int kMaxAttempts = 10;
+      for (int t = 0; t < txns; ++t) {
+        bool done = false;
+        for (int attempt = 1; attempt <= kMaxAttempts && !done; ++attempt) {
+          auto r = driver.RunMixed();
+          if (r.ok()) {
+            ok.fetch_add(1);
+            done = true;
+          } else if (concurrency::IsDeadlockAbort(r.status()) &&
+                     attempt < kMaxAttempts) {
+            retries.fetch_add(1);
+            std::this_thread::sleep_for(std::chrono::microseconds(
+                std::uniform_int_distribution<int>(0, 400)(rng)));
+          } else {
+            errors.fetch_add(1);
+            std::lock_guard<std::mutex> lk(err_mu);
+            if (first_error.empty()) first_error = r.status().ToString();
+            done = true;
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double wall = sw.ElapsedSeconds();
+  if (errors.load() != 0) {
+    return Status::Internal("bench transactions failed: " + first_error);
+  }
+
+  SweepPoint p;
+  p.shards = shards;
+  p.transactions = ok.load();
+  p.deadlock_retries = retries.load();
+  p.wall_seconds = wall;
+  const shard::RouterStats& rs = cluster.router_stats();
+  p.cross_shard_txns = rs.cross_shard_txns.load();
+  p.twopc_commits = rs.twopc_commits.load();
+  p.twopc_aborts = rs.twopc_aborts.load();
+  p.deps_merged = rs.deps_merged.load();
+  for (int s = 0; s < shards; ++s) {
+    DirectConnection admin(&cluster.db(s));
+    auto gaps = admin.Execute("SELECT tr_id FROM tracking_gaps");
+    if (!gaps.ok()) return gaps.status();
+    p.tracking_gaps += static_cast<int64_t>(gaps->rows.size());
+  }
+  return p;
+}
+
+int Main(int argc, char** argv) {
+  int workers = 16;
+  int txns = 150;
+  int warehouses = 16;
+  double remote_pct = 0.10;
+  double flush_ms = 6.0;
+  double min_speedup = 3.0;
+  std::string out_path = "BENCH_shard.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--workers=", 10) == 0) {
+      workers = std::atoi(argv[i] + 10);
+    } else if (std::strncmp(argv[i], "--txns=", 7) == 0) {
+      txns = std::atoi(argv[i] + 7);
+    } else if (std::strncmp(argv[i], "--warehouses=", 13) == 0) {
+      warehouses = std::atoi(argv[i] + 13);
+    } else if (std::strncmp(argv[i], "--remote-pct=", 13) == 0) {
+      remote_pct = std::atof(argv[i] + 13);
+    } else if (std::strncmp(argv[i], "--flush-ms=", 11) == 0) {
+      flush_ms = std::atof(argv[i] + 11);
+    } else if (std::strncmp(argv[i], "--min-speedup=", 14) == 0) {
+      min_speedup = std::atof(argv[i] + 14);
+    } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out_path = argv[i] + 6;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--workers=N] [--txns=N] [--warehouses=N]\n"
+                   "          [--remote-pct=F] [--flush-ms=F]\n"
+                   "          [--min-speedup=F] [--out=PATH]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  const int kShards[] = {1, 2, 4, 8};
+  std::vector<SweepPoint> points;
+  for (int n : kShards) {
+    auto p = MeasurePoint(n, workers, txns, warehouses, remote_pct, flush_ms,
+                          /*seed=*/42 + static_cast<uint64_t>(n));
+    if (!p.ok()) {
+      std::fprintf(stderr, "bench_shard: %s\n", p.status().ToString().c_str());
+      return 1;
+    }
+    std::printf(
+        "shard: shards=%d txns=%lld wall=%.3fs tput=%.0f/s "
+        "cross_shard=%lld 2pc_commits=%lld 2pc_aborts=%lld deps_merged=%lld "
+        "deadlock_retries=%lld gaps=%lld\n",
+        p->shards, static_cast<long long>(p->transactions), p->wall_seconds,
+        p->Throughput(), static_cast<long long>(p->cross_shard_txns),
+        static_cast<long long>(p->twopc_commits),
+        static_cast<long long>(p->twopc_aborts),
+        static_cast<long long>(p->deps_merged),
+        static_cast<long long>(p->deadlock_retries),
+        static_cast<long long>(p->tracking_gaps));
+    if (p->tracking_gaps != 0) {
+      std::fprintf(stderr,
+                   "bench_shard: GATE FAILED — %lld tracking gaps at %d "
+                   "shards (must be zero)\n",
+                   static_cast<long long>(p->tracking_gaps), p->shards);
+      return 1;
+    }
+    if (n >= 2 && p->cross_shard_txns == 0) {
+      std::fprintf(stderr,
+                   "bench_shard: GATE FAILED — no cross-shard 2PC commits at "
+                   "%d shards (remote mix did not exercise the router)\n",
+                   p->shards);
+      return 1;
+    }
+    points.push_back(*p);
+  }
+
+  const double speedup =
+      points.back().Throughput() / points.front().Throughput();
+  const bool pass = speedup >= min_speedup;
+  std::printf("shard: 1 -> %d shards speedup %.2fx (target >= %.1fx) %s\n",
+              points.back().shards, speedup, min_speedup,
+              pass ? "PASS" : "GATE FAILED");
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"bench\": \"shard\",\n");
+  std::fprintf(out, "  \"workers\": %d,\n", workers);
+  std::fprintf(out, "  \"txns_per_worker\": %d,\n", txns);
+  std::fprintf(out, "  \"warehouses\": %d,\n", warehouses);
+  std::fprintf(out, "  \"remote_pct\": %.3f,\n", remote_pct);
+  std::fprintf(out, "  \"log_flush_ms\": %.3f,\n", flush_ms);
+  std::fprintf(out, "  \"sweep\": [\n");
+  for (size_t i = 0; i < points.size(); ++i) {
+    const SweepPoint& p = points[i];
+    std::fprintf(out,
+                 "    {\"shards\": %d, \"transactions\": %lld, "
+                 "\"wall_seconds\": %.6f, \"throughput_per_sec\": %.1f, "
+                 "\"cross_shard_txns\": %lld, \"twopc_commits\": %lld, "
+                 "\"twopc_aborts\": %lld, \"deps_merged\": %lld, "
+                 "\"deadlock_retries\": %lld, \"tracking_gaps\": %lld}%s\n",
+                 p.shards, static_cast<long long>(p.transactions),
+                 p.wall_seconds, p.Throughput(),
+                 static_cast<long long>(p.cross_shard_txns),
+                 static_cast<long long>(p.twopc_commits),
+                 static_cast<long long>(p.twopc_aborts),
+                 static_cast<long long>(p.deps_merged),
+                 static_cast<long long>(p.deadlock_retries),
+                 static_cast<long long>(p.tracking_gaps),
+                 i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out, "  \"speedup_1_to_8\": %.3f,\n", speedup);
+  std::fprintf(out, "  \"target_speedup\": %.3f,\n", min_speedup);
+  std::fprintf(out, "  \"pass\": %s\n}\n", pass ? "true" : "false");
+  std::fclose(out);
+  std::printf("shard: wrote %s\n", out_path.c_str());
+  return pass ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace irdb
+
+int main(int argc, char** argv) { return irdb::Main(argc, argv); }

@@ -104,6 +104,13 @@ class LockManager {
   LockManager() : LockManager(Options()) {}
   explicit LockManager(Options options) : options_(options) {}
 
+  // Setup-only (call before concurrent traffic, like IoModel::Configure):
+  // shortens the wait-timeout failsafe. Sharded deployments rely on this —
+  // the waits-for graph is per shard, so a lock cycle that crosses shards
+  // is invisible to cycle detection and resolves only when one waiter's
+  // timeout fires and surfaces a retryable deadlock abort.
+  void set_wait_timeout_seconds(double s) { options_.wait_timeout_seconds = s; }
+
   LockManager(const LockManager&) = delete;
   LockManager& operator=(const LockManager&) = delete;
 

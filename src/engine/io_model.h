@@ -67,6 +67,14 @@ struct IoCostParams {
   // When > 0, every charge also sleeps charge * scale real seconds (see the
   // header comment). 0 keeps the model purely virtual.
   double realtime_stall_scale = 0.0;
+  // Model ONE log device per engine: commit-time log flushes serialize on a
+  // device mutex held across the (scaled) stall, the way fsyncs queue on a
+  // single spindle. Caps a single engine's commit rate near
+  // 1 / log_flush_seconds regardless of session concurrency — which is
+  // exactly what sharding buys back (one log device per shard), so
+  // bench_shard uses it to surface the scaling headroom on any host.
+  // Off by default: read stalls and CPU charges still overlap freely.
+  bool serialize_log_flush = false;
 };
 
 // LRU page cache keyed by (table_id, page_no).
@@ -150,8 +158,18 @@ class IoModel {
 
   void AccountLogFlush(int64_t bytes) {
     if (!enabled()) return;
-    Charge(params_.log_flush_seconds +
-           params_.log_write_seconds_per_byte * static_cast<double>(bytes));
+    const double seconds =
+        params_.log_flush_seconds +
+        params_.log_write_seconds_per_byte * static_cast<double>(bytes);
+    if (params_.serialize_log_flush) {
+      // One flush at a time on this engine's log device; the realtime
+      // stall (if any) happens while the device is held, so concurrent
+      // commits queue behind it exactly like fsyncs on one spindle.
+      std::lock_guard<std::mutex> lk(log_device_mu_);
+      Charge(seconds);
+      return;
+    }
+    Charge(seconds);
   }
 
   void AccountStatement() {
@@ -211,6 +229,7 @@ class IoModel {
   IoCostParams params_;
   std::atomic<bool> enabled_;
   mutable std::mutex mu_;
+  std::mutex log_device_mu_;  // serialize_log_flush: the engine's log disk
   PageCache cache_;
   VirtualClock clock_;
   int64_t page_touches_ = 0;

@@ -121,6 +121,9 @@ void NetProxyServer::Stop() {
 }
 
 Status NetProxyServer::Bootstrap() {
+  // Factory deployments own their backend stack (the shard cluster
+  // bootstraps every shard itself); there is no single engine to prime.
+  if (opts_.session_factory) return Status::Ok();
   if (!opts_.track) return Status::Ok();
   DirectConnection conn(db_);
   proxy::TrackingProxy proxy(&conn, alloc_, opts_.traits);
@@ -443,10 +446,14 @@ std::shared_ptr<NetProxyServer::ProtoSession> NetProxyServer::FindSession(
 
 int64_t NetProxyServer::CreateSession() {
   auto sess = std::make_shared<ProtoSession>();
-  sess->conn = std::make_unique<DirectConnection>(db_);
-  if (opts_.track) {
-    sess->proxy = std::make_unique<proxy::TrackingProxy>(sess->conn.get(),
-                                                         alloc_, opts_.traits);
+  if (opts_.session_factory) {
+    sess->custom = opts_.session_factory();
+  } else {
+    sess->conn = std::make_unique<DirectConnection>(db_);
+    if (opts_.track) {
+      sess->proxy = std::make_unique<proxy::TrackingProxy>(
+          sess->conn.get(), alloc_, opts_.traits);
+    }
   }
   std::lock_guard<std::mutex> lock(sessions_mu_);
   int64_t id = next_session_++;

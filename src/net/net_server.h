@@ -35,6 +35,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -70,6 +71,15 @@ struct NetServerOptions {
   int tick_interval_ms = 50;  // idle-sweep cadence
   bool force_poll = false;    // use the poll(2) poller even on Linux
   FlavorTraits traits = FlavorTraits::Postgres();
+  // When set, every wire session executes through a connection built by this
+  // factory instead of the default TrackingProxy-over-DirectConnection pair
+  // (ignores `track`). This is how the shard router fronts an N-engine
+  // cluster on this event loop: the factory returns a RoutedSession whose
+  // statement routing and two-phase commit live behind the ordinary
+  // DbConnection interface (src/shard). Factory connections own their whole
+  // stack; ProxyStatsSnapshot does not see them — the router keeps its own
+  // counters. Called on executor threads; must be thread-safe.
+  std::function<std::unique_ptr<DbConnection>()> session_factory;
 };
 
 // Aggregate transport counters, readable from any thread. The accounting
@@ -148,8 +158,10 @@ class NetProxyServer {
     std::mutex mu;  // serializes execution vs. stats snapshots
     std::unique_ptr<DirectConnection> conn;
     std::unique_ptr<proxy::TrackingProxy> proxy;  // null when !track
+    std::unique_ptr<DbConnection> custom;  // from opts.session_factory
 
     DbConnection* connection() {
+      if (custom) return custom.get();
       return proxy ? static_cast<DbConnection*>(proxy.get()) : conn.get();
     }
   };

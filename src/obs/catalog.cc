@@ -261,6 +261,54 @@ const Metrics& Metrics::Get() {
         "Connections that died on EOF/error or a poisoned frame stream "
         "(their wire sessions survive for reconnects)");
 
+    m->router_stmts_routed = r.RegisterCounter(
+        "irdb_router_stmts_routed_total",
+        "Statements the shard router forwarded to exactly one shard "
+        "(warehouse-keyed or pinned replicated reads)");
+    m->router_broadcasts = r.RegisterCounter(
+        "irdb_router_broadcasts_total",
+        "Statements the shard router scattered to every shard (DDL and "
+        "replicated-table writes)");
+    m->router_cross_shard_txns = r.RegisterCounter(
+        "irdb_router_cross_shard_txns_total",
+        "Client transactions that reached COMMIT with two or more "
+        "participant shards (two-phase commits attempted)");
+    m->router_twopc_commits = r.RegisterCounter(
+        "irdb_router_twopc_commits_total",
+        "Two-phase commits where every participant branch committed");
+    m->router_twopc_aborts = r.RegisterCounter(
+        "irdb_router_twopc_aborts_total",
+        "Two-phase commits aborted (an unreachable participant at "
+        "validation, or a branch commit failure)");
+    m->router_deps_merged = r.RegisterCounter(
+        "irdb_router_deps_merged_total",
+        "Dependency entries injected into participant branches at 2PC: the "
+        "merged union plus cross_shard sibling links");
+    m->router_wrong_shard_rejects = r.RegisterCounter(
+        "irdb_router_wrong_shard_rejects_total",
+        "Statements a per-shard endpoint rejected with the [wrong-shard] "
+        "retryable tag because their warehouse key belongs to another shard");
+    m->router_shard_down_rejects = r.RegisterCounter(
+        "irdb_router_shard_down_rejects_total",
+        "Statements (and 2PC validations) turned away because the target "
+        "shard was marked down/partitioned");
+
+    m->shard_clusters_built = r.RegisterCounter(
+        "irdb_shard_clusters_built_total",
+        "ShardCluster instances constructed");
+    m->shard_repair_runs = r.RegisterCounter(
+        "irdb_shard_repair_runs_total",
+        "Coordinated cross-shard repairs started "
+        "(ShardRepairCoordinator::Repair)");
+    m->shard_closure_rounds = r.RegisterCounter(
+        "irdb_shard_closure_rounds_total",
+        "Frontier-exchange rounds run by cross-shard closure computations "
+        "(each round re-seeds every shard's local closure)");
+    m->shard_repairs_dispatched = r.RegisterCounter(
+        "irdb_shard_repairs_dispatched_total",
+        "Per-shard repair legs dispatched by coordinated repairs (offline "
+        "compensation, online serve-through, or reenactment)");
+
     return m;
   }();
   return *metrics;
@@ -316,6 +364,15 @@ const std::vector<SpanDoc>& SpanCatalog() {
       {span::kPoolChunk,
        "One contiguous chunk of a ParallelFor, on the worker that ran it; "
        "args: chunk, begin, end."},
+      {span::kShardClosure,
+       "Cross-shard damage-perimeter computation: per-shard analyses, guilty "
+       "expansion over cross_shard sibling links, then frontier-exchange "
+       "rounds to the fixpoint; args: shards, seeds, guilty, closure, "
+       "rounds."},
+      {span::kShardRepair,
+       "Whole coordinated cross-shard repair: closure computation plus one "
+       "repair leg per shard. Parent of the per-shard repair spans; args: "
+       "shards, strategy."},
   };
   return *catalog;
 }
@@ -360,6 +417,11 @@ const std::vector<EventDoc>& EventCatalog() {
        "reconnecting client."},
       {event::kNetIdleDisconnect, "conn",
        "The idle-timeout sweep closed a quiet TCP connection."},
+      {event::kShardRepairDone, "shards, guilty, closure, rounds, undone",
+       "A coordinated cross-shard repair completed: the global closure was "
+       "computed in `rounds` frontier-exchange rounds and every shard's "
+       "repair leg finished; `undone` sums what stayed undone across "
+       "shards."},
   };
   return *catalog;
 }

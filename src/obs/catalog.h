@@ -111,6 +111,22 @@ struct Metrics {
   MetricId net_idle_disconnects;
   MetricId net_protocol_errors;
   MetricId net_session_resets;
+
+  // --- sharded deployment: router tier (src/shard) ---
+  MetricId router_stmts_routed;
+  MetricId router_broadcasts;
+  MetricId router_cross_shard_txns;
+  MetricId router_twopc_commits;
+  MetricId router_twopc_aborts;
+  MetricId router_deps_merged;
+  MetricId router_wrong_shard_rejects;
+  MetricId router_shard_down_rejects;
+
+  // --- sharded deployment: cluster + coordinated repair (src/shard) ---
+  MetricId shard_clusters_built;
+  MetricId shard_repair_runs;
+  MetricId shard_closure_rounds;
+  MetricId shard_repairs_dispatched;
 };
 
 // Span names recorded through obs::Span, with one-line descriptions
@@ -148,6 +164,8 @@ inline constexpr const char* kQuarantineHold = "repair.quarantine.hold";
 inline constexpr const char* kQuarantineRelease = "repair.quarantine.release";
 inline constexpr const char* kPoolParallelFor = "pool.parallel_for";
 inline constexpr const char* kPoolChunk = "pool.chunk";
+inline constexpr const char* kShardClosure = "shard.closure";
+inline constexpr const char* kShardRepair = "shard.repair";
 }  // namespace span
 
 namespace event {
@@ -164,6 +182,7 @@ inline constexpr const char* kQuarantineInstalled = "repair.quarantine_installed
 inline constexpr const char* kQuarantineReleased = "repair.quarantine_released";
 inline constexpr const char* kNetSessionReset = "net.session_reset";
 inline constexpr const char* kNetIdleDisconnect = "net.idle_disconnect";
+inline constexpr const char* kShardRepairDone = "shard.repair_done";
 }  // namespace event
 
 // The full docs/metrics.md content: a reference table for every counter,

@@ -38,13 +38,21 @@
 
 namespace irdb::proxy {
 
+// Allocates proxy transaction IDs. `stride` partitions the trid space for
+// sharded deployments (DESIGN.md §5j): shard s of an N-shard cluster uses
+// TxnIdAllocator(s + 1, N), so ids are unique cluster-wide and a trid's
+// owning shard is recoverable as (trid - 1) % N. The default (1, 1) is the
+// single-engine allocator unchanged.
 class TxnIdAllocator {
  public:
-  explicit TxnIdAllocator(int64_t first = 1) : next_(first) {}
-  int64_t Next() { return next_.fetch_add(1, std::memory_order_relaxed); }
+  explicit TxnIdAllocator(int64_t first = 1, int64_t stride = 1)
+      : next_(first), stride_(stride) {}
+  int64_t Next() { return next_.fetch_add(stride_, std::memory_order_relaxed); }
+  int64_t stride() const { return stride_; }
 
  private:
   std::atomic<int64_t> next_;
+  int64_t stride_;
 };
 
 struct ProxyStats {
@@ -131,6 +139,17 @@ class TrackingProxy : public DbConnection {
   // deduplicated (the working representation is an unsorted flat vector;
   // it is only canonicalized at COMMIT — and here, for inspection).
   std::vector<DepEntry> pending_deps() const;
+
+  // Injects a dependency into the open transaction, as if a read of `table`
+  // had observed a row last written by `writer_trid`. The shard router uses
+  // this at two-phase commit to merge every participant branch's dependency
+  // set into every branch's trans_dep row — including the `cross_shard`
+  // sibling links that make the branches of one global transaction mutually
+  // dependent (DESIGN.md §5j). No-op outside a transaction.
+  void AddDependency(std::string table, int64_t writer_trid) {
+    if (!in_txn_) return;
+    deps_.emplace_back(std::move(table), writer_trid);
+  }
 
   // Plan cache / AST fast-path switch (default on). Turning it off restores
   // the per-statement parse -> rewrite -> print -> engine re-parse pipeline.

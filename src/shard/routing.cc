@@ -1,0 +1,195 @@
+#include "shard/routing.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "util/string_utils.h"
+
+namespace irdb::shard {
+
+namespace {
+
+// Collects `column = integer-literal` predicates from a WHERE conjunction.
+// `match` decides whether a column reference is a routing key for this
+// statement. OR branches are walked too: a key found under OR still names a
+// warehouse the statement touches (the router only needs the touched set;
+// TPC-C never disjoins across warehouses).
+void CollectKeyLiterals(const sql::Expr* e,
+                        const std::function<bool(const sql::Expr&)>& match,
+                        std::vector<int64_t>* out) {
+  if (e == nullptr) return;
+  if (e->kind == sql::ExprKind::kBinary) {
+    if (e->bin_op == sql::BinaryOp::kAnd || e->bin_op == sql::BinaryOp::kOr) {
+      CollectKeyLiterals(e->lhs.get(), match, out);
+      CollectKeyLiterals(e->rhs.get(), match, out);
+      return;
+    }
+    if (e->bin_op == sql::BinaryOp::kEq && e->lhs && e->rhs) {
+      const sql::Expr* col = nullptr;
+      const sql::Expr* lit = nullptr;
+      if (e->lhs->kind == sql::ExprKind::kColumnRef &&
+          e->rhs->kind == sql::ExprKind::kLiteral) {
+        col = e->lhs.get();
+        lit = e->rhs.get();
+      } else if (e->rhs->kind == sql::ExprKind::kColumnRef &&
+                 e->lhs->kind == sql::ExprKind::kLiteral) {
+        col = e->rhs.get();
+        lit = e->lhs.get();
+      }
+      if (col != nullptr && match(*col) && lit->literal.is_int()) {
+        out->push_back(lit->literal.as_int());
+      }
+    }
+    return;
+  }
+  if (e->kind == sql::ExprKind::kInList && e->lhs &&
+      e->lhs->kind == sql::ExprKind::kColumnRef && match(*e->lhs)) {
+    for (const auto& item : e->list) {
+      if (item->kind == sql::ExprKind::kLiteral && item->literal.is_int()) {
+        out->push_back(item->literal.as_int());
+      }
+    }
+  }
+}
+
+void Dedup(std::vector<int64_t>* v) {
+  std::sort(v->begin(), v->end());
+  v->erase(std::unique(v->begin(), v->end()), v->end());
+}
+
+}  // namespace
+
+RoutingPolicy RoutingPolicy::Tpcc() {
+  RoutingPolicy p;
+  p.table_column = {
+      {"warehouse", "w_id"},   {"district", "d_w_id"},
+      {"customer", "c_w_id"},  {"history", "h_w_id"},
+      {"orders", "o_w_id"},    {"new_order", "no_w_id"},
+      {"order_line", "ol_w_id"}, {"stock", "s_w_id"},
+  };
+  p.replicated = {"item"};
+  return p;
+}
+
+RoutingPolicy& RoutingPolicy::Shard(const std::string& table,
+                                    const std::string& column) {
+  table_column[ToLowerAscii(table)] = ToLowerAscii(column);
+  return *this;
+}
+
+int ShardOfWarehouse(int64_t warehouse, int num_shards) {
+  if (num_shards <= 1) return 0;
+  const int64_t m = (warehouse - 1) % num_shards;
+  return static_cast<int>(m < 0 ? m + num_shards : m);
+}
+
+RouteDecision ClassifyStatement(const sql::Statement& stmt,
+                                const RoutingPolicy& policy) {
+  RouteDecision out;
+  switch (stmt.kind) {
+    case sql::StatementKind::kBegin:
+    case sql::StatementKind::kCommit:
+    case sql::StatementKind::kRollback:
+      out.kind = RouteKind::kTxnControl;
+      return out;
+    case sql::StatementKind::kCreateTable:
+    case sql::StatementKind::kDropTable:
+    case sql::StatementKind::kCreateIndex:
+    case sql::StatementKind::kDropIndex:
+      out.kind = RouteKind::kDdl;
+      return out;
+    default:
+      break;
+  }
+
+  if (stmt.kind == sql::StatementKind::kInsert) {
+    const std::string table = ToLowerAscii(stmt.table);
+    if (policy.replicated.count(table)) {
+      out.kind = RouteKind::kBroadcast;
+      return out;
+    }
+    auto it = policy.table_column.find(table);
+    if (it == policy.table_column.end()) {
+      out.kind = RouteKind::kBroadcast;  // unknown sharded write: scatter
+      return out;
+    }
+    // Find the routing column's position, then read the literal from every
+    // row (the TPC-C loader's multi-row batches never span warehouses, but
+    // the router verifies by collecting all of them).
+    size_t idx = stmt.insert_columns.size();
+    for (size_t i = 0; i < stmt.insert_columns.size(); ++i) {
+      if (ToLowerAscii(stmt.insert_columns[i]) == it->second) {
+        idx = i;
+        break;
+      }
+    }
+    if (idx == stmt.insert_columns.size()) {
+      out.kind = RouteKind::kBroadcast;  // positional / keyless insert
+      return out;
+    }
+    for (const auto& row : stmt.insert_rows) {
+      if (idx < row.size() && row[idx] &&
+          row[idx]->kind == sql::ExprKind::kLiteral &&
+          row[idx]->literal.is_int()) {
+        out.warehouses.push_back(row[idx]->literal.as_int());
+      }
+    }
+    Dedup(&out.warehouses);
+    out.kind = out.warehouses.empty() ? RouteKind::kBroadcast
+                                      : RouteKind::kKeyed;
+    return out;
+  }
+
+  // SELECT / UPDATE / DELETE: gather the referenced tables (with aliases),
+  // then match WHERE predicates against each table's routing column.
+  struct Ref {
+    std::string qualifier;  // effective (alias or table) name, lower-cased
+    std::string column;     // routing column, lower-cased
+  };
+  std::vector<Ref> refs;
+  bool any_sharded = false;
+  auto add_table = [&](const std::string& name, const std::string& alias) {
+    const std::string table = ToLowerAscii(name);
+    auto it = policy.table_column.find(table);
+    if (it == policy.table_column.end()) return;
+    any_sharded = true;
+    refs.push_back(
+        {ToLowerAscii(alias.empty() ? name : alias), it->second});
+  };
+  if (stmt.kind == sql::StatementKind::kSelect) {
+    for (const auto& t : stmt.from) add_table(t.name, t.alias);
+  } else {
+    add_table(stmt.table, /*alias=*/"");
+  }
+
+  auto match = [&](const sql::Expr& col) {
+    const std::string name = ToLowerAscii(col.column);
+    const std::string qual = ToLowerAscii(col.table);
+    for (const Ref& r : refs) {
+      if (name != r.column) continue;
+      if (qual.empty() || qual == r.qualifier) return true;
+    }
+    return false;
+  };
+  CollectKeyLiterals(stmt.where.get(), match, &out.warehouses);
+  Dedup(&out.warehouses);
+
+  if (!out.warehouses.empty()) {
+    out.kind = RouteKind::kKeyed;
+  } else if (!any_sharded) {
+    // Only replicated / unknown tables: reads are served anywhere, writes
+    // must reach every replica.
+    out.kind = stmt.kind == sql::StatementKind::kSelect ? RouteKind::kAnyShard
+                                                        : RouteKind::kBroadcast;
+  } else {
+    // A sharded table without an extractable key: a read can run anywhere
+    // only if partitioning were transparent (it is not — the router pins it
+    // to one shard and the caller sees that shard's partition); a write has
+    // to scatter so every owned row is covered.
+    out.kind = stmt.kind == sql::StatementKind::kSelect ? RouteKind::kAnyShard
+                                                        : RouteKind::kBroadcast;
+  }
+  return out;
+}
+
+}  // namespace irdb::shard

@@ -1,0 +1,69 @@
+// Statement routing for the sharded deployment (DESIGN.md §5j).
+//
+// The cluster partitions TPC-C horizontally by warehouse: every sharded
+// table carries its owning warehouse in a known column, and a statement is
+// routed by the warehouse-key equality literals it carries (WHERE w_id = 3,
+// or the warehouse column of an INSERT row). Tables without a warehouse
+// column (item) are replicated to every shard: reads are served locally,
+// writes broadcast. DDL always broadcasts — every shard holds the full
+// schema.
+//
+// Routing inspects the client's AST only; it runs ABOVE the per-shard
+// tracking proxies, so the rewritten statements (extra trid columns,
+// trans_dep inserts) never pass through it.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "sql/ast.h"
+
+namespace irdb::shard {
+
+// Which tables shard on which column, and which are replicated everywhere.
+struct RoutingPolicy {
+  // lower-cased table -> lower-cased warehouse-key column
+  std::map<std::string, std::string> table_column;
+  // lower-cased replicated tables (full copy on every shard)
+  std::set<std::string> replicated;
+
+  // The nine TPC-C tables: everything shards on its home warehouse except
+  // item, which is read-mostly reference data and replicated.
+  static RoutingPolicy Tpcc();
+
+  // Tpcc() plus extra sharded tables (tests and the chaos harness register
+  // their own scratch tables, e.g. {"account", "w_id"}).
+  RoutingPolicy& Shard(const std::string& table, const std::string& column);
+};
+
+// How a statement reaches the cluster.
+enum class RouteKind {
+  kTxnControl,  // BEGIN / COMMIT / ROLLBACK — the router's own state machine
+  kDdl,         // broadcast: every shard holds the full schema
+  kBroadcast,   // write to a replicated table (or an unkeyed sharded write)
+  kAnyShard,    // read with no shard affinity (replicated table, no key)
+  kKeyed,       // sharded: `warehouses` holds the extracted key literals
+};
+
+struct RouteDecision {
+  RouteKind kind = RouteKind::kAnyShard;
+  std::vector<int64_t> warehouses;  // deduplicated, kKeyed only
+};
+
+// Classifies one parsed statement under `policy`. Key extraction walks the
+// WHERE conjunction for `column = literal` predicates on the routing column
+// of any referenced table (alias-aware), and INSERT rows for the routing
+// column of the target table.
+RouteDecision ClassifyStatement(const sql::Statement& stmt,
+                                const RoutingPolicy& policy);
+
+// The warehouse-hash shard map: warehouse w lives on shard (w-1) mod n.
+// Stable, contiguous, and balanced when warehouses are a multiple of n —
+// the bench's 8-warehouse/8-shard sweep puts exactly one warehouse per
+// shard.
+int ShardOfWarehouse(int64_t warehouse, int num_shards);
+
+}  // namespace irdb::shard

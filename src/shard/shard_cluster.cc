@@ -1,0 +1,66 @@
+#include "shard/shard_cluster.h"
+
+#include "obs/catalog.h"
+#include "shard/shard_router.h"
+#include "wire/connection.h"
+
+namespace irdb::shard {
+
+ShardCluster::ShardCluster(ShardClusterOptions opts) : opts_(std::move(opts)) {
+  const int n = opts_.shards < 1 ? 1 : opts_.shards;
+  opts_.shards = n;
+  nodes_.reserve(static_cast<size_t>(n));
+  for (int s = 0; s < n; ++s) {
+    nodes_.push_back(std::make_unique<Node>(opts_.traits, opts_.io,
+                                            /*first=*/s + 1, /*stride=*/n));
+  }
+  obs::Count(obs::Metrics::Get().shard_clusters_built);
+}
+
+Status ShardCluster::Bootstrap() {
+  for (int s = 0; s < shards(); ++s) {
+    DirectConnection conn(&db(s));
+    proxy::TrackingProxy proxy(&conn, &allocator(s), opts_.traits);
+    IRDB_RETURN_IF_ERROR(proxy.EnsureTrackingTables());
+    FoldProxyStats(proxy.stats());
+  }
+  return Status::Ok();
+}
+
+std::unique_ptr<DbConnection> ShardCluster::Connect() {
+  return std::make_unique<RoutedSession>(this);
+}
+
+std::unique_ptr<DbConnection> ShardCluster::ConnectShard(int s) {
+  return std::make_unique<ShardEndpointConnection>(this, s);
+}
+
+Result<std::unique_ptr<net::NetProxyServer>> ShardCluster::ServeRouter(
+    net::NetServerOptions opts) {
+  opts.session_factory = [this] { return Connect(); };
+  auto server = std::make_unique<net::NetProxyServer>(&db(0), &allocator(0),
+                                                      std::move(opts));
+  IRDB_RETURN_IF_ERROR(server->Start());
+  return server;
+}
+
+Result<std::unique_ptr<net::NetProxyServer>> ShardCluster::ServeShard(
+    int s, net::NetServerOptions opts) {
+  opts.session_factory = [this, s] { return ConnectShard(s); };
+  auto server = std::make_unique<net::NetProxyServer>(&db(s), &allocator(s),
+                                                      std::move(opts));
+  IRDB_RETURN_IF_ERROR(server->Start());
+  return server;
+}
+
+proxy::ProxyStats ShardCluster::RetiredProxyStats() const {
+  std::lock_guard<std::mutex> lk(retired_mu_);
+  return retired_;
+}
+
+void ShardCluster::FoldProxyStats(const proxy::ProxyStats& s) {
+  std::lock_guard<std::mutex> lk(retired_mu_);
+  retired_.Add(s);
+}
+
+}  // namespace irdb::shard

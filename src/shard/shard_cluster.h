@@ -1,0 +1,134 @@
+// ShardCluster — N independent engine shards behind one warehouse-hash
+// router (DESIGN.md §5j, ROADMAP item 5).
+//
+// Each shard is a full ResilientDb-style stack: its own Database (WAL, lock
+// manager, buffer pool, quarantine gate) and its own strided TxnIdAllocator,
+// so proxy transaction ids are unique CLUSTER-wide and a trid's owning shard
+// is recoverable arithmetically (shard s allocates s+1, s+1+N, s+1+2N, ...).
+// With one shard the allocator degenerates to the classic (1, 2, 3, ...)
+// sequence — a 1-shard cluster produces byte-identical trids, trans_dep
+// rows, and WALs to the unsharded deployment, which is what the N=1
+// repair-equivalence oracle in tests/shard_test.cc checks.
+//
+// Clients connect through Connect() (a RoutedSession: statement routing,
+// lazy per-shard BEGIN, two-phase commit with merged dependency recording)
+// or through ConnectShard(s) (a direct, tracked per-shard endpoint that
+// rejects statements for warehouses the shard does not own with a
+// "[wrong-shard]" retryable error). Both also front onto real TCP via
+// ServeRouter / ServeShard, which mount them on src/net's event loop through
+// NetServerOptions::session_factory.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "engine/database.h"
+#include "net/net_server.h"
+#include "proxy/tracking_proxy.h"
+#include "shard/routing.h"
+
+namespace irdb::shard {
+
+struct ShardClusterOptions {
+  int shards = 1;
+  FlavorTraits traits = FlavorTraits::Postgres();
+  IoCostParams io;  // applied to every shard's engine (one log device each)
+  RoutingPolicy routing = RoutingPolicy::Tpcc();
+  // Where keyless reads land (replicated tables outside a transaction).
+  int default_shard = 0;
+  proxy::DegradedMode degraded_mode = proxy::DegradedMode::kAbort;
+};
+
+// Router-tier counters, shared by every RoutedSession of a cluster. Atomics:
+// sessions run on arbitrary executor threads.
+struct RouterStats {
+  std::atomic<int64_t> stmts_routed{0};     // forwarded to exactly one shard
+  std::atomic<int64_t> broadcasts{0};       // DDL + replicated-table writes
+  std::atomic<int64_t> cross_shard_txns{0}; // commits with >= 2 participants
+  std::atomic<int64_t> twopc_commits{0};
+  std::atomic<int64_t> twopc_aborts{0};
+  std::atomic<int64_t> deps_merged{0};      // dep entries injected at 2PC
+  std::atomic<int64_t> wrong_shard_rejects{0};  // per-shard endpoint guard
+  std::atomic<int64_t> shard_down_rejects{0};   // partitioned-shard turnaways
+};
+
+class ShardCluster {
+ public:
+  explicit ShardCluster(ShardClusterOptions opts);
+
+  // Creates the tracking side tables on every shard (once per fresh cluster).
+  Status Bootstrap();
+
+  int shards() const { return static_cast<int>(nodes_.size()); }
+  Database& db(int s) { return *nodes_[static_cast<size_t>(s)]->db; }
+  proxy::TxnIdAllocator& allocator(int s) {
+    return nodes_[static_cast<size_t>(s)]->alloc;
+  }
+  const ShardClusterOptions& options() const { return opts_; }
+  RouterStats& router_stats() { return stats_; }
+
+  // The global trid space: which shard allocated (and therefore committed)
+  // a proxy transaction id.
+  int ShardOfTrid(int64_t trid) const {
+    return static_cast<int>((trid - 1) % shards());
+  }
+  int ShardOf(int64_t warehouse) const {
+    return ShardOfWarehouse(warehouse, shards());
+  }
+
+  // Partition simulation: a down shard turns every statement routed to it
+  // (and every 2PC that would touch it) into a retryable kUnavailable. Used
+  // by the shard-split chaos profile; real deployments would wire their
+  // failure detector here.
+  void SetShardDown(int s, bool down) {
+    nodes_[static_cast<size_t>(s)]->down.store(down,
+                                               std::memory_order_release);
+  }
+  bool IsShardDown(int s) const {
+    return nodes_[static_cast<size_t>(s)]->down.load(
+        std::memory_order_acquire);
+  }
+
+  // A routing client session (see shard_router.h for the semantics).
+  std::unique_ptr<DbConnection> Connect();
+
+  // A tracked session pinned to one shard, fronted by the ownership guard:
+  // statements carrying a warehouse key another shard owns are rejected with
+  // the "[wrong-shard]" retryable tag instead of silently reading the wrong
+  // partition.
+  std::unique_ptr<DbConnection> ConnectShard(int s);
+
+  // TCP front-ends on the src/net event loop. The returned servers are
+  // Start()ed; callers own them and must Stop() (or destroy) them before
+  // the cluster goes away.
+  Result<std::unique_ptr<net::NetProxyServer>> ServeRouter(
+      net::NetServerOptions opts = {});
+  Result<std::unique_ptr<net::NetProxyServer>> ServeShard(
+      int s, net::NetServerOptions opts = {});
+
+  // Tracking stats folded from retired sessions (RoutedSession and
+  // per-shard endpoints fold on destruction) — snapshot AFTER the traffic
+  // has drained; live sessions are not walked.
+  proxy::ProxyStats RetiredProxyStats() const;
+  void FoldProxyStats(const proxy::ProxyStats& s);
+
+ private:
+  struct Node {
+    std::unique_ptr<Database> db;
+    proxy::TxnIdAllocator alloc;
+    std::atomic<bool> down{false};
+    Node(FlavorTraits traits, IoCostParams io, int64_t first, int64_t stride)
+        : db(std::make_unique<Database>(std::move(traits), io)),
+          alloc(first, stride) {}
+  };
+
+  ShardClusterOptions opts_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  RouterStats stats_;
+  mutable std::mutex retired_mu_;
+  proxy::ProxyStats retired_;
+};
+
+}  // namespace irdb::shard

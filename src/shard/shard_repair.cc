@@ -1,0 +1,158 @@
+#include "shard/shard_repair.h"
+
+#include <algorithm>
+
+#include "obs/catalog.h"
+#include "obs/journal.h"
+#include "obs/trace.h"
+#include "repair/repair_engine.h"
+#include "shard/shard_router.h"
+
+namespace irdb::shard {
+
+namespace {
+
+// Seeds plus everything connected to them through `cross_shard` sibling
+// links, in either direction, across every shard's graph. Sibling links are
+// written mutually at 2PC, but an aborted branch (or a policy that dropped
+// one side) can leave the edge one-directional — so both endpoints join.
+std::set<int64_t> ExpandGuilty(
+    const std::vector<int64_t>& seeds,
+    const std::vector<repair::DependencyAnalysis>& analyses) {
+  std::set<int64_t> guilty(seeds.begin(), seeds.end());
+  bool grew = true;
+  while (grew) {
+    grew = false;
+    for (const auto& a : analyses) {
+      for (const auto& e : a.graph.edges()) {
+        if (e.table != kCrossShardDepTable) continue;
+        const bool has_r = guilty.count(e.reader) > 0;
+        const bool has_w = guilty.count(e.writer) > 0;
+        if (has_r == has_w) continue;
+        guilty.insert(has_r ? e.writer : e.reader);
+        grew = true;
+      }
+    }
+  }
+  return guilty;
+}
+
+}  // namespace
+
+Result<GlobalClosure> ShardRepairCoordinator::ComputeClosure(
+    const std::vector<int64_t>& seed_trids) {
+  obs::Span span(obs::span::kShardClosure);
+  span.AddArg("shards", cluster_->shards());
+  span.AddArg("seeds", static_cast<int64_t>(seed_trids.size()));
+  GlobalClosure out;
+  out.analyses.reserve(static_cast<size_t>(cluster_->shards()));
+  for (int s = 0; s < cluster_->shards(); ++s) {
+    repair::RepairEngine eng(&cluster_->db(s), opts_.threads);
+    IRDB_ASSIGN_OR_RETURN(repair::DependencyAnalysis a, eng.Analyze());
+    out.analyses.push_back(std::move(a));
+  }
+
+  out.guilty = ExpandGuilty(seed_trids, out.analyses);
+  out.closure = out.guilty;
+
+  const auto filter = opts_.policy.AsFilter();
+  bool grew = true;
+  while (grew) {
+    grew = false;
+    ++out.rounds;
+    const std::vector<int64_t> frontier(out.closure.begin(),
+                                        out.closure.end());
+    for (const auto& a : out.analyses) {
+      std::set<int64_t> local = a.graph.Affected(frontier, filter);
+      for (int64_t t : local) {
+        if (out.closure.insert(t).second) grew = true;
+      }
+    }
+    obs::Count(obs::Metrics::Get().shard_closure_rounds);
+  }
+  span.AddArg("guilty", static_cast<int64_t>(out.guilty.size()));
+  span.AddArg("closure", static_cast<int64_t>(out.closure.size()));
+  span.AddArg("rounds", out.rounds);
+  return out;
+}
+
+Result<ShardRepairReport> ShardRepairCoordinator::Repair(
+    const std::vector<int64_t>& seed_trids) {
+  obs::Count(obs::Metrics::Get().shard_repair_runs);
+  obs::Span span(obs::span::kShardRepair);
+  span.AddArg("shards", cluster_->shards());
+  span.AddArg("strategy", static_cast<int>(opts_.strategy));
+  IRDB_ASSIGN_OR_RETURN(GlobalClosure gc, ComputeClosure(seed_trids));
+
+  ShardRepairReport report;
+  report.guilty = gc.guilty;
+  report.closure = gc.closure;
+  report.rounds = gc.rounds;
+  report.per_shard.resize(static_cast<size_t>(cluster_->shards()));
+
+  for (int s = 0; s < cluster_->shards(); ++s) {
+    const auto& analysis = gc.analyses[static_cast<size_t>(s)];
+    // Closure members that committed on this shard (proxy_to_internal also
+    // covers tracking-gap commits — they correlate via the tracking_gaps
+    // insert).
+    std::set<int64_t> local;
+    for (int64_t t : gc.closure) {
+      if (analysis.proxy_to_internal.count(t)) local.insert(t);
+    }
+    // Seeds for the self-analyzing strategies (they validate every seed
+    // against their own log, so only local trids qualify): the local guilty
+    // members plus every local closure member with an edge to a NON-local
+    // closure member — the points where contamination entered this shard.
+    // Any local closure member lies on a contamination path whose last
+    // local-entry node is one of these seeds (or is locally guilty), so the
+    // strategy's internal closure reproduces exactly `local`.
+    std::set<int64_t> entry;
+    for (const auto& e : analysis.graph.edges()) {
+      if (!local.count(e.reader)) continue;
+      if (gc.closure.count(e.writer) &&
+          !analysis.proxy_to_internal.count(e.writer)) {
+        entry.insert(e.reader);
+      }
+    }
+    for (int64_t t : gc.guilty) {
+      if (local.count(t)) entry.insert(t);
+    }
+    const std::vector<int64_t> local_seeds(entry.begin(), entry.end());
+
+    repair::RepairEngine eng(&cluster_->db(s), opts_.threads);
+    auto& slot = report.per_shard[static_cast<size_t>(s)];
+    switch (opts_.strategy) {
+      case ShardRepairStrategy::kOffline: {
+        IRDB_ASSIGN_OR_RETURN(slot, eng.CompensateUndoSet(analysis, local));
+        break;
+      }
+      case ShardRepairStrategy::kOnline: {
+        IRDB_ASSIGN_OR_RETURN(auto r,
+                              eng.RepairOnline(local_seeds, opts_.policy));
+        slot = std::move(r.repair);
+        break;
+      }
+      case ShardRepairStrategy::kReenact: {
+        IRDB_ASSIGN_OR_RETURN(auto r,
+                              eng.RepairReenact(local_seeds, opts_.policy));
+        slot = std::move(r.repair);
+        break;
+      }
+    }
+    obs::Count(obs::Metrics::Get().shard_repairs_dispatched);
+  }
+  int64_t undone = 0;
+  for (const auto& r : report.per_shard) {
+    undone += static_cast<int64_t>(r.undo_set.size());
+  }
+  obs::EventJournal::Default().Append(
+      obs::event::kShardRepairDone,
+      {{"shards", std::to_string(cluster_->shards())},
+       {"guilty", std::to_string(report.guilty.size())},
+       {"closure", std::to_string(report.closure.size())},
+       {"rounds", std::to_string(report.rounds)},
+       {"undone", std::to_string(undone)}});
+  return report;
+}
+
+}  // namespace irdb::shard

@@ -1,0 +1,97 @@
+// ShardRepairCoordinator — coordinated post-intrusion repair across a
+// ShardCluster (DESIGN.md §5j).
+//
+// Each shard's log only names its own operations, but its trans_dep rows
+// reference GLOBAL trids: the 2PC merge writes every branch's dependency
+// union (plus `cross_shard` sibling links) into every participant, so a
+// shard's local graph has edges whose writer committed on another shard.
+// The coordinator turns those stubs into the exact global damage perimeter:
+//
+//   1. Analyze every shard independently (repair::Analyze per shard).
+//   2. Guilty expansion: the DBA's seed trids plus every trid connected to
+//      them through `cross_shard` sibling links, followed to a fixpoint in
+//      both directions — all branches of a guilty global transaction are
+//      guilty, whichever branch the DBA pointed at.
+//   3. Frontier exchange: closure starts as the guilty set and each round
+//      re-seeds every shard's DependencyGraph::Affected with the full
+//      current closure, unioning the results, until no shard adds a trid.
+//      One pass is NOT enough: contamination can zig-zag (a shard-1 path
+//      ends in a cross-shard write read on shard 0, whose local dependents
+//      feed a later shard-1 transaction), so rounds repeat until stable.
+//      Affected() treats seed trids it has never seen as isolated nodes, so
+//      remote trids pass through shards that never touched them unchanged.
+//   4. Dispatch the per-shard repair. The local undo set of shard s is
+//      closure ∩ {trids that committed on s}; at the fixpoint it is closed
+//      under s's local dependency semantics, so each strategy below heals
+//      shard s without ever consulting another shard again:
+//        kOffline — CompensateUndoSet(local set) per shard.
+//        kOnline  — RepairOnline per shard, seeded with the shard's local
+//                   guilty members plus its contamination entry points (the
+//                   local closure members with an edge to a non-local
+//                   closure member); their local closure is exactly the
+//                   local undo set, and the shard keeps serving meanwhile.
+//        kReenact — RepairReenact per shard with the same seeding: entry
+//                   points stay undone (their inputs came from another
+//                   shard and cannot be recomputed locally), while the
+//                   shard's purely-local innocent dependents are
+//                   re-executed.
+#pragma once
+
+#include <set>
+#include <vector>
+
+#include "repair/analyzer.h"
+#include "repair/compensator.h"
+#include "repair/dba_policy.h"
+#include "shard/shard_cluster.h"
+
+namespace irdb::shard {
+
+enum class ShardRepairStrategy {
+  kOffline,  // paper-style selective rollback, cluster quiesced
+  kOnline,   // serve-through: per-shard quarantine + heal under traffic
+  kReenact,  // compensate the closure, replay innocent local dependents
+};
+
+struct ShardRepairOptions {
+  ShardRepairStrategy strategy = ShardRepairStrategy::kOffline;
+  repair::DbaPolicy policy = repair::DbaPolicy::TrackEverything();
+  int threads = 1;  // per-shard repair-engine parallelism
+};
+
+// Step 1–3 output, exposed separately so tests can compare the closure
+// against single-stack oracles without running the compensation.
+struct GlobalClosure {
+  std::set<int64_t> guilty;   // seeds + cross_shard sibling fixpoint
+  std::set<int64_t> closure;  // global damage perimeter
+  int rounds = 0;             // frontier-exchange iterations (>= 1)
+  std::vector<repair::DependencyAnalysis> analyses;  // indexed by shard
+};
+
+struct ShardRepairReport {
+  std::set<int64_t> guilty;
+  std::set<int64_t> closure;
+  int rounds = 0;
+  // Per-shard compensation accounting; [s].undo_set is what stayed undone
+  // on shard s (reenact rewrites it to seeds + demotions).
+  std::vector<repair::RepairReport> per_shard;
+};
+
+class ShardRepairCoordinator {
+ public:
+  explicit ShardRepairCoordinator(ShardCluster* cluster,
+                                  ShardRepairOptions opts = {})
+      : cluster_(cluster), opts_(std::move(opts)) {}
+
+  // Steps 1–3: analyze all shards and compute the global closure.
+  Result<GlobalClosure> ComputeClosure(const std::vector<int64_t>& seed_trids);
+
+  // Full coordinated repair (steps 1–4).
+  Result<ShardRepairReport> Repair(const std::vector<int64_t>& seed_trids);
+
+ private:
+  ShardCluster* cluster_;
+  ShardRepairOptions opts_;
+};
+
+}  // namespace irdb::shard

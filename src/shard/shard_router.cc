@@ -1,0 +1,315 @@
+#include "shard/shard_router.h"
+
+#include <algorithm>
+
+#include "obs/catalog.h"
+#include "sql/parser.h"
+#include "util/string_utils.h"
+
+namespace irdb::shard {
+
+namespace {
+
+Status ShardDownError(int s) {
+  return Status::Unavailable("shard " + std::to_string(s) +
+                             " unreachable (partitioned or down)");
+}
+
+}  // namespace
+
+// --------------------------------------------------------------- RoutedSession
+
+RoutedSession::RoutedSession(ShardCluster* cluster) : cluster_(cluster) {
+  const int n = cluster_->shards();
+  conns_.reserve(static_cast<size_t>(n));
+  proxies_.reserve(static_cast<size_t>(n));
+  for (int s = 0; s < n; ++s) {
+    conns_.push_back(std::make_unique<DirectConnection>(&cluster_->db(s)));
+    proxies_.push_back(std::make_unique<proxy::TrackingProxy>(
+        conns_.back().get(), &cluster_->allocator(s),
+        cluster_->options().traits));
+    proxies_.back()->set_degraded_mode(cluster_->options().degraded_mode);
+  }
+}
+
+RoutedSession::~RoutedSession() {
+  if (in_txn_) AbortAll();
+  proxy::ProxyStats total;
+  for (const auto& p : proxies_) total.Add(p->stats());
+  cluster_->FoldProxyStats(total);
+}
+
+std::string RoutedSession::Describe() const {
+  return "shard-router(" + std::to_string(cluster_->shards()) + " shards)";
+}
+
+void RoutedSession::SetAnnotation(std::string_view label) {
+  annotation_ = std::string(label);
+  for (int s : participants_) {
+    proxies_[static_cast<size_t>(s)]->SetAnnotation(label);
+  }
+}
+
+Result<ResultSet> RoutedSession::Execute(std::string_view sql) {
+  IRDB_ASSIGN_OR_RETURN(sql::StatementPtr stmt, sql::Parse(sql));
+  return Dispatch(*stmt);
+}
+
+Result<ResultSet> RoutedSession::Execute(const sql::Statement& stmt) {
+  return Dispatch(stmt);
+}
+
+Status RoutedSession::CheckUp(int s) {
+  if (!cluster_->IsShardDown(s)) return Status::Ok();
+  cluster_->router_stats().shard_down_rejects.fetch_add(
+      1, std::memory_order_relaxed);
+  obs::Count(obs::Metrics::Get().router_shard_down_rejects);
+  return ShardDownError(s);
+}
+
+Status RoutedSession::EnsureParticipant(int s) {
+  if (!in_txn_) return Status::Ok();
+  if (std::find(participants_.begin(), participants_.end(), s) !=
+      participants_.end()) {
+    return Status::Ok();
+  }
+  IRDB_RETURN_IF_ERROR(CheckUp(s));
+  auto r = proxies_[static_cast<size_t>(s)]->Execute("BEGIN");
+  if (!r.ok()) return r.status();
+  participants_.push_back(s);
+  if (!annotation_.empty()) {
+    proxies_[static_cast<size_t>(s)]->SetAnnotation(annotation_);
+  }
+  return Status::Ok();
+}
+
+Result<ResultSet> RoutedSession::ForwardTo(int s, const sql::Statement& stmt) {
+  IRDB_RETURN_IF_ERROR(CheckUp(s));
+  IRDB_RETURN_IF_ERROR(EnsureParticipant(s));
+  cluster_->router_stats().stmts_routed.fetch_add(1,
+                                                  std::memory_order_relaxed);
+  obs::Count(obs::Metrics::Get().router_stmts_routed);
+  return proxies_[static_cast<size_t>(s)]->Execute(stmt);
+}
+
+Result<ResultSet> RoutedSession::Broadcast(const sql::Statement& stmt) {
+  cluster_->router_stats().broadcasts.fetch_add(1, std::memory_order_relaxed);
+  obs::Count(obs::Metrics::Get().router_broadcasts);
+  Result<ResultSet> last = ResultSet{};
+  for (int s = 0; s < cluster_->shards(); ++s) {
+    IRDB_RETURN_IF_ERROR(CheckUp(s));
+    IRDB_RETURN_IF_ERROR(EnsureParticipant(s));
+    last = proxies_[static_cast<size_t>(s)]->Execute(stmt);
+    if (!last.ok()) return last;
+  }
+  return last;
+}
+
+Result<ResultSet> RoutedSession::Dispatch(const sql::Statement& stmt) {
+  const RouteDecision route =
+      ClassifyStatement(stmt, cluster_->options().routing);
+  switch (route.kind) {
+    case RouteKind::kTxnControl:
+      switch (stmt.kind) {
+        case sql::StatementKind::kBegin:
+          if (in_txn_) {
+            return Status::InvalidArgument("BEGIN inside a transaction");
+          }
+          in_txn_ = true;
+          participants_.clear();
+          return ResultSet{};
+        case sql::StatementKind::kCommit:
+          return HandleCommit();
+        default:
+          return HandleRollback();
+      }
+    case RouteKind::kDdl:
+    case RouteKind::kBroadcast:
+      return Broadcast(stmt);
+    case RouteKind::kAnyShard: {
+      const int s = (in_txn_ && !participants_.empty())
+                        ? participants_.front()
+                        : cluster_->options().default_shard;
+      return ForwardTo(s, stmt);
+    }
+    case RouteKind::kKeyed: {
+      std::vector<int> targets;
+      for (int64_t w : route.warehouses) {
+        const int s = cluster_->ShardOf(w);
+        if (std::find(targets.begin(), targets.end(), s) == targets.end()) {
+          targets.push_back(s);
+        }
+      }
+      if (targets.size() > 1) {
+        // One statement never spans shards in the supported workloads; a
+        // scatter here would silently lose single-statement atomicity.
+        return Status::InvalidArgument(
+            "statement touches warehouses on multiple shards");
+      }
+      return ForwardTo(targets.front(), stmt);
+    }
+  }
+  return Status::Internal("unreachable route kind");
+}
+
+Result<ResultSet> RoutedSession::HandleCommit() {
+  if (!in_txn_) {
+    return Status::InvalidArgument("COMMIT outside a transaction");
+  }
+  if (participants_.empty()) {
+    ResetTxnState();
+    return ResultSet{};
+  }
+  if (participants_.size() == 1) {
+    const int s = participants_.front();
+    auto r = proxies_[static_cast<size_t>(s)]->Execute("COMMIT");
+    ResetTxnState();
+    return r;
+  }
+
+  // Two-phase commit across the participants (header comment).
+  cluster_->router_stats().cross_shard_txns.fetch_add(
+      1, std::memory_order_relaxed);
+  obs::Count(obs::Metrics::Get().router_cross_shard_txns);
+
+  // Validate: every participant must be reachable before any branch commits.
+  for (int s : participants_) {
+    if (Status up = CheckUp(s); !up.ok()) {
+      AbortAll();
+      cluster_->router_stats().twopc_aborts.fetch_add(
+          1, std::memory_order_relaxed);
+      obs::Count(obs::Metrics::Get().router_twopc_aborts);
+      return up;
+    }
+  }
+
+  // Merge: union of every branch's dependency set, plus sibling links.
+  struct Branch {
+    int shard;
+    int64_t trid;
+    std::vector<proxy::DepEntry> deps;
+  };
+  std::vector<Branch> branches;
+  branches.reserve(participants_.size());
+  std::vector<proxy::DepEntry> merged;
+  for (int s : participants_) {
+    auto& p = proxies_[static_cast<size_t>(s)];
+    Branch b{s, p->current_txn_id(), p->pending_deps()};
+    merged.insert(merged.end(), b.deps.begin(), b.deps.end());
+    branches.push_back(std::move(b));
+  }
+  std::sort(merged.begin(), merged.end());
+  merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+  int64_t injected = 0;
+  for (const Branch& b : branches) {
+    auto& p = proxies_[static_cast<size_t>(b.shard)];
+    for (const auto& [table, writer] : merged) {
+      if (writer == b.trid) continue;
+      p->AddDependency(table, writer);
+      ++injected;
+    }
+    for (const Branch& o : branches) {
+      if (o.trid == b.trid) continue;
+      p->AddDependency(kCrossShardDepTable, o.trid);
+      ++injected;
+    }
+  }
+  cluster_->router_stats().deps_merged.fetch_add(injected,
+                                                 std::memory_order_relaxed);
+  obs::Count(obs::Metrics::Get().router_deps_merged, injected);
+
+  // Commit the branches in join order. A failure aborts every branch that
+  // has not committed yet; branches already committed stay committed — their
+  // sibling links point at aborted trids that never reach trans_dep, which
+  // the repair analyzer treats as edges to unknown writers (harmless).
+  Status failure = Status::Ok();
+  for (size_t i = 0; i < branches.size(); ++i) {
+    auto& p = proxies_[static_cast<size_t>(branches[i].shard)];
+    if (failure.ok()) {
+      auto r = p->Execute("COMMIT");
+      if (!r.ok()) failure = r.status();
+    } else {
+      (void)p->Execute("ROLLBACK");
+    }
+  }
+  ResetTxnState();
+  if (!failure.ok()) {
+    cluster_->router_stats().twopc_aborts.fetch_add(1,
+                                                    std::memory_order_relaxed);
+    obs::Count(obs::Metrics::Get().router_twopc_aborts);
+    return failure;
+  }
+  cluster_->router_stats().twopc_commits.fetch_add(1,
+                                                   std::memory_order_relaxed);
+  obs::Count(obs::Metrics::Get().router_twopc_commits);
+  return ResultSet{};
+}
+
+Result<ResultSet> RoutedSession::HandleRollback() {
+  if (!in_txn_) {
+    return Status::InvalidArgument("ROLLBACK outside a transaction");
+  }
+  AbortAll();
+  return ResultSet{};
+}
+
+void RoutedSession::AbortAll() {
+  for (int s : participants_) {
+    (void)proxies_[static_cast<size_t>(s)]->Execute("ROLLBACK");
+  }
+  ResetTxnState();
+}
+
+void RoutedSession::ResetTxnState() {
+  in_txn_ = false;
+  participants_.clear();
+  annotation_.clear();
+}
+
+// ----------------------------------------------------- ShardEndpointConnection
+
+ShardEndpointConnection::ShardEndpointConnection(ShardCluster* cluster,
+                                                 int shard)
+    : cluster_(cluster), shard_(shard) {
+  conn_ = std::make_unique<DirectConnection>(&cluster_->db(shard_));
+  proxy_ = std::make_unique<proxy::TrackingProxy>(
+      conn_.get(), &cluster_->allocator(shard_), cluster_->options().traits);
+  proxy_->set_degraded_mode(cluster_->options().degraded_mode);
+}
+
+ShardEndpointConnection::~ShardEndpointConnection() {
+  cluster_->FoldProxyStats(proxy_->stats());
+}
+
+std::string ShardEndpointConnection::Describe() const {
+  return "shard-endpoint(" + std::to_string(shard_) + "/" +
+         std::to_string(cluster_->shards()) + ", " + proxy_->Describe() + ")";
+}
+
+Result<ResultSet> ShardEndpointConnection::Execute(std::string_view sql) {
+  auto parsed = sql::Parse(sql);
+  if (parsed.ok()) {
+    const RouteDecision route =
+        ClassifyStatement(**parsed, cluster_->options().routing);
+    if (route.kind == RouteKind::kKeyed) {
+      for (int64_t w : route.warehouses) {
+        const int owner = cluster_->ShardOf(w);
+        if (owner != shard_) {
+          cluster_->router_stats().wrong_shard_rejects.fetch_add(
+              1, std::memory_order_relaxed);
+          obs::Count(obs::Metrics::Get().router_wrong_shard_rejects);
+          return Status::Unavailable(
+              std::string(kWrongShardTag) + " warehouse " + std::to_string(w) +
+              " belongs to shard " + std::to_string(owner) + ", not shard " +
+              std::to_string(shard_));
+        }
+      }
+    }
+  }
+  // Parse failures fall through: the engine produces its own (identical
+  // dialect) diagnostics, and the tracking proxy's plan cache still sees the
+  // raw text.
+  return proxy_->Execute(sql);
+}
+
+}  // namespace irdb::shard

@@ -1,0 +1,107 @@
+// RoutedSession — one client's connection to the whole cluster, and the
+// per-shard endpoint guard (DESIGN.md §5j).
+//
+// A RoutedSession owns one tracked sub-session per shard (TrackingProxy over
+// DirectConnection, allocated from that shard's strided TxnIdAllocator) and
+// routes every client statement by its warehouse key:
+//
+//   BEGIN            -> recorded locally; shards join LAZILY on first touch
+//   keyed statement  -> the owning shard (BEGIN sent there first, once)
+//   replicated read  -> an existing participant, else the default shard
+//   DDL / replicated write -> broadcast (all shards join the transaction)
+//   COMMIT, 1 participant  -> plain commit on that shard
+//   COMMIT, N participants -> two-phase commit (below)
+//   ROLLBACK         -> rolled back on every participant
+//
+// Two-phase commit: the router first validates every participant is
+// reachable, then merges the branches' dependency sets — every branch's
+// trans_dep row receives the UNION of all branches' dependencies plus
+// `cross_shard` sibling links naming every other branch's global trid — and
+// then commits the branches in join order. The sibling links make the
+// branches of one global transaction mutually dependent, so any repair
+// closure that contains one branch pulls in all of them (and, transitively,
+// their dependents on every shard); the merged union means a shard's local
+// graph names remote writers by global trid, which is what lets
+// ShardRepairCoordinator's frontier exchange terminate with the exact
+// global closure.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "proxy/tracking_proxy.h"
+#include "shard/shard_cluster.h"
+#include "wire/connection.h"
+
+namespace irdb::shard {
+
+// Provenance pseudo-table carried on 2PC sibling dependency links. Not a
+// real table: it exists only as edge provenance in trans_dep rows and the
+// dependency graph (the repair analyzer treats provenance as an opaque
+// string).
+inline constexpr char kCrossShardDepTable[] = "cross_shard";
+
+class RoutedSession : public DbConnection {
+ public:
+  explicit RoutedSession(ShardCluster* cluster);
+  ~RoutedSession() override;
+
+  Result<ResultSet> Execute(std::string_view sql) override;
+  Result<ResultSet> Execute(const sql::Statement& stmt) override;
+  void SetAnnotation(std::string_view label) override;
+  std::string Describe() const override;
+
+  // Global trid of the open transaction's branch on `s` (0 when the shard
+  // has not joined). Exposed for tests asserting the merged trans_dep rows.
+  int64_t branch_trid(int s) const {
+    return proxies_[static_cast<size_t>(s)]->current_txn_id();
+  }
+  bool in_txn() const { return in_txn_; }
+
+ private:
+  Result<ResultSet> Dispatch(const sql::Statement& stmt);
+  Result<ResultSet> HandleCommit();
+  Result<ResultSet> HandleRollback();
+  Result<ResultSet> ForwardTo(int s, const sql::Statement& stmt);
+  Result<ResultSet> Broadcast(const sql::Statement& stmt);
+  // Joins shard s to the open transaction (lazy BEGIN). No-op outside one.
+  Status EnsureParticipant(int s);
+  // Best-effort ROLLBACK on every participant + local state reset.
+  void AbortAll();
+  void ResetTxnState();
+  // Reachability check; counts and returns the retryable error when down.
+  Status CheckUp(int s);
+
+  ShardCluster* cluster_;
+  std::vector<std::unique_ptr<DirectConnection>> conns_;
+  std::vector<std::unique_ptr<proxy::TrackingProxy>> proxies_;
+  bool in_txn_ = false;
+  std::vector<int> participants_;  // join order; commit order too
+  std::string annotation_;
+};
+
+// The ownership guard fronting one shard's direct endpoint: statements whose
+// warehouse keys include a warehouse owned by ANOTHER shard are rejected
+// with the "[wrong-shard]" retryable tag (wire reason `wrong_shard`) before
+// they reach the shard's tracking proxy — a misrouted client re-resolves and
+// retries instead of silently operating on the wrong partition.
+class ShardEndpointConnection : public DbConnection {
+ public:
+  ShardEndpointConnection(ShardCluster* cluster, int shard);
+  ~ShardEndpointConnection() override;
+
+  Result<ResultSet> Execute(std::string_view sql) override;
+  void SetAnnotation(std::string_view label) override {
+    proxy_->SetAnnotation(label);
+  }
+  std::string Describe() const override;
+
+ private:
+  ShardCluster* cluster_;
+  int shard_;
+  std::unique_ptr<DirectConnection> conn_;
+  std::unique_ptr<proxy::TrackingProxy> proxy_;
+};
+
+}  // namespace irdb::shard

@@ -15,6 +15,12 @@ struct TpccConfig {
   // Fraction of initial orders already delivered (the rest sit in new_order).
   double delivered_fraction = 0.7;
 
+  // Probability that a New-Order line sources its stock from a *remote*
+  // warehouse (TPC-C clause 2.4.1.5 makes this 1%; the sharded deployment's
+  // bench raises it to ~10% so cross-shard transactions are a first-class
+  // part of the measured mix). Ignored when warehouses == 1.
+  double remote_item_pct = 0.0;
+
   uint64_t seed = 42;
 
   // The paper's test database (Table 2): 10 warehouses, 30 districts per

@@ -1,6 +1,7 @@
 #include "tpcc/workload.h"
 
 #include <cstdio>
+#include <vector>
 
 #include "util/string_utils.h"
 
@@ -62,7 +63,7 @@ Status TpccDriver::Abort() {
   }
 
 Result<TxnResult> TpccDriver::NewOrder() {
-  const int w = static_cast<int>(rng_.Uniform(1, config_.warehouses));
+  const int w = HomeWarehouse();
   const int d = static_cast<int>(rng_.Uniform(1, config_.districts_per_warehouse));
   const int c = static_cast<int>(rng_.NuRand(1023, 1, config_.customers_per_district, 259));
   const int ol_cnt = static_cast<int>(rng_.Uniform(5, 15));
@@ -79,18 +80,36 @@ Result<TxnResult> TpccDriver::NewOrder() {
     return Status::NotFound("NewOrder: missing warehouse/district/customer");
   }
   const int64_t o_id = dist->rows[0][0].as_int();
+  // TPC-C clause 2.4.1.5: some lines source their stock from a remote
+  // warehouse. The spec says 1%; config_.remote_item_pct raises it for the
+  // sharded deployment, where a remote line makes the transaction span
+  // shards (stock rows live with their owning warehouse). Chosen up front so
+  // o_all_local is correct in the orders row.
+  std::vector<int> supply(static_cast<size_t>(ol_cnt), w);
+  bool all_local = true;
+  for (int l = 0; l < ol_cnt; ++l) {
+    if (config_.warehouses > 1 && rng_.Bernoulli(config_.remote_item_pct)) {
+      int sw = w;
+      do {
+        sw = static_cast<int>(rng_.Uniform(1, config_.warehouses));
+      } while (sw == w);
+      supply[static_cast<size_t>(l)] = sw;
+      all_local = false;
+    }
+  }
   TPCC_EXEC(upd, "UPDATE district SET d_next_o_id = " + N(o_id + 1) +
                  " WHERE d_w_id = " + N(w) + " AND d_id = " + N(d));
   TPCC_EXEC(ord,
             "INSERT INTO orders(o_id, o_d_id, o_w_id, o_c_id, o_entry_d,"
             " o_carrier_id, o_ol_cnt, o_all_local) VALUES (" +
             N(o_id) + ", " + N(d) + ", " + N(w) + ", " + N(c) + ", '" + kNow +
-            "', NULL, " + N(ol_cnt) + ", 1)");
+            "', NULL, " + N(ol_cnt) + ", " + N(all_local ? 1 : 0) + ")");
   TPCC_EXEC(no, "INSERT INTO new_order(no_o_id, no_d_id, no_w_id) VALUES (" +
                 N(o_id) + ", " + N(d) + ", " + N(w) + ")");
   for (int l = 1; l <= ol_cnt; ++l) {
     const int item = static_cast<int>(rng_.NuRand(8191, 1, config_.items, 7911));
     const int qty = static_cast<int>(rng_.Uniform(1, 10));
+    const int supply_w = supply[static_cast<size_t>(l - 1)];
     TPCC_EXEC(it, "SELECT i_price, i_name, i_data FROM item WHERE i_id = " + N(item));
     if (it->rows.empty()) {
       (void)Abort();
@@ -101,7 +120,7 @@ Result<TxnResult> TpccDriver::NewOrder() {
     std::snprintf(dist_col, sizeof dist_col, "s_dist_%02d", d <= 10 ? d : 10);
     TPCC_EXEC(st, std::string("SELECT s_quantity, s_data, ") + dist_col +
                   " FROM stock WHERE s_i_id = " + N(item) +
-                  " AND s_w_id = " + N(w));
+                  " AND s_w_id = " + N(supply_w));
     if (st->rows.empty()) {
       (void)Abort();
       return Status::NotFound("NewOrder: missing stock row");
@@ -111,15 +130,15 @@ Result<TxnResult> TpccDriver::NewOrder() {
     TPCC_EXEC(stu, "UPDATE stock SET s_quantity = " + N(new_qty) +
                    ", s_ytd = s_ytd + " + N(qty) +
                    ", s_order_cnt = s_order_cnt + 1 WHERE s_i_id = " + N(item) +
-                   " AND s_w_id = " + N(w));
+                   " AND s_w_id = " + N(supply_w));
     const double amount = qty * price;
     TPCC_EXEC(oli,
               "INSERT INTO order_line(ol_o_id, ol_d_id, ol_w_id, ol_number,"
               " ol_i_id, ol_supply_w_id, ol_delivery_d, ol_quantity,"
               " ol_amount, ol_dist_info) VALUES (" +
               N(o_id) + ", " + N(d) + ", " + N(w) + ", " + N(l) + ", " +
-              N(item) + ", " + N(w) + ", NULL, " + N(qty) + ", " + D(amount) +
-              ", " + SqlQuote(st->rows[0][2].as_string()) + ")");
+              N(item) + ", " + N(supply_w) + ", NULL, " + N(qty) + ", " +
+              D(amount) + ", " + SqlQuote(st->rows[0][2].as_string()) + ")");
   }
   TxnResult out;
   out.type = TxnType::kNewOrder;
@@ -129,7 +148,7 @@ Result<TxnResult> TpccDriver::NewOrder() {
 }
 
 Result<TxnResult> TpccDriver::Payment() {
-  const int w = static_cast<int>(rng_.Uniform(1, config_.warehouses));
+  const int w = HomeWarehouse();
   const int d = static_cast<int>(rng_.Uniform(1, config_.districts_per_warehouse));
   const double amount = rng_.UniformReal(1.0, 5000.0);
 
@@ -199,7 +218,7 @@ Result<TxnResult> TpccDriver::Payment() {
 }
 
 Result<TxnResult> TpccDriver::Delivery() {
-  const int w = static_cast<int>(rng_.Uniform(1, config_.warehouses));
+  const int w = HomeWarehouse();
   const int carrier = static_cast<int>(rng_.Uniform(1, 10));
 
   IRDB_RETURN_IF_ERROR(Begin());
@@ -241,7 +260,7 @@ Result<TxnResult> TpccDriver::Delivery() {
 }
 
 Result<TxnResult> TpccDriver::OrderStatus() {
-  const int w = static_cast<int>(rng_.Uniform(1, config_.warehouses));
+  const int w = HomeWarehouse();
   const int d = static_cast<int>(rng_.Uniform(1, config_.districts_per_warehouse));
   const int c = static_cast<int>(rng_.NuRand(1023, 1, config_.customers_per_district, 259));
 
@@ -266,7 +285,7 @@ Result<TxnResult> TpccDriver::OrderStatus() {
 }
 
 Result<TxnResult> TpccDriver::StockLevel() {
-  const int w = static_cast<int>(rng_.Uniform(1, config_.warehouses));
+  const int w = HomeWarehouse();
   const int d = static_cast<int>(rng_.Uniform(1, config_.districts_per_warehouse));
   const int threshold = static_cast<int>(rng_.Uniform(10, 20));
 

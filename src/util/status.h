@@ -52,6 +52,14 @@ inline constexpr char kQuarantineTag[] = "[quarantine]";
 // §5b), as opposed to transport loss or quarantine.
 inline constexpr char kDegradedTag[] = "[degraded]";
 
+// Message prefix marking a kUnavailable status as a misrouted statement in
+// a sharded deployment (DESIGN.md §5j): the statement reached a shard that
+// does not own its warehouse. Retryable — against the correct shard (or the
+// router, which resolves ownership) — and carried as the `wrong_shard`
+// reason token on the wire error frame so clients can tell a routing
+// mistake from transport loss.
+inline constexpr char kWrongShardTag[] = "[wrong-shard]";
+
 // A success-or-error value. Cheap to copy on the OK path (no allocation).
 class Status {
  public:

@@ -154,6 +154,8 @@ const char* ErrorReasonToken(ErrorReason r) {
       return "degraded";
     case ErrorReason::kQuarantined:
       return "quarantined";
+    case ErrorReason::kWrongShard:
+      return "wrong_shard";
     case ErrorReason::kNone:
       break;
   }
@@ -166,6 +168,9 @@ ErrorReason ErrorReasonFromStatus(const Status& s) {
     return ErrorReason::kQuarantined;
   }
   if (s.message().rfind(kDegradedTag, 0) == 0) return ErrorReason::kDegraded;
+  if (s.message().rfind(kWrongShardTag, 0) == 0) {
+    return ErrorReason::kWrongShard;
+  }
   return ErrorReason::kNet;
 }
 
@@ -220,7 +225,8 @@ Result<WireResponse> DecodeResponse(std::string_view bytes) {
       // Optional machine-readable reason token; unknown tokens are ignored
       // (kNone) so older clients survive newer servers and vice versa.
       for (ErrorReason r : {ErrorReason::kNet, ErrorReason::kDegraded,
-                            ErrorReason::kQuarantined}) {
+                            ErrorReason::kQuarantined,
+                            ErrorReason::kWrongShard}) {
         if (err_fields[1] == ErrorReasonToken(r)) {
           resp.error_reason = r;
           break;

@@ -25,10 +25,10 @@ struct WireRequest {
 
 // Machine-readable reason token carried on the wire error frame
 // ("ERR <code> [reason]"), classifying kUnavailable errors so clients can
-// tell transport loss, degraded-mode backpressure, and online-repair
-// quarantine rejects apart without parsing prose. kNone for every other
-// code (the token is simply absent on the wire).
-enum class ErrorReason { kNone, kNet, kDegraded, kQuarantined };
+// tell transport loss, degraded-mode backpressure, online-repair quarantine
+// rejects, and sharding misroutes apart without parsing prose. kNone for
+// every other code (the token is simply absent on the wire).
+enum class ErrorReason { kNone, kNet, kDegraded, kQuarantined, kWrongShard };
 
 // Wire token for a reason ("" for kNone).
 const char* ErrorReasonToken(ErrorReason r);

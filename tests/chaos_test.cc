@@ -43,6 +43,9 @@
 #include "proxy/tracking_proxy.h"
 #include "repair/dba_policy.h"
 #include "repair/repair_engine.h"
+#include "shard/shard_cluster.h"
+#include "shard/shard_repair.h"
+#include "shard/shard_router.h"
 #include "tpcc/loader.h"
 #include "tpcc/workload.h"
 #include "txn/wal_codec.h"
@@ -66,6 +69,7 @@ int64_t g_degraded_commits = 0;
 int64_t g_gap_txns = 0;
 int64_t g_deadlock_client_retries = 0;
 int64_t g_quarantine_rejects = 0;
+int64_t g_shard_down_rejects = 0;
 
 [[noreturn]] void Fail(const std::string& msg) {
   std::fprintf(stderr, "chaos: FAILED (seed %llu): %s\n",
@@ -199,6 +203,11 @@ constexpr FaultProfile kProfiles[] = {
     // planner's conservative gap/downstream demotions (rather than the
     // clean all-replayed case) carry the undo≡reenact oracle.
     {"reenact", 0.5, 0.5, 3.0, 0.0, 0.0},
+    // Shifts chaos onto the sharded deployment: one shard is partitioned
+    // away mid-load (clients see retryable shard-down rejects and retry),
+    // widened lock windows raise 2PC branch contention, and the coordinated
+    // repair runs against the concurrently produced cross-shard history.
+    {"shard-split", 0.5, 0.5, 0.5, 0.0, 2.0},
 };
 
 FaultProfile g_profile = kProfiles[0];
@@ -1262,6 +1271,413 @@ void RunServeThroughIteration(int iter) {
               static_cast<long long>(retries));
 }
 
+// ---------------------------------------------------------------------------
+// Part 6: shard-split chaos — a ShardCluster under genuinely concurrent
+// routed load while one shard is partitioned away mid-run (DESIGN.md §5j).
+//
+// Threads drive RoutedSessions with a mix of single-shard and cross-shard
+// (2PC) account scripts; the controller flips the shard owning warehouse 1
+// down once a third of the scripts have committed and restores it after the
+// router has demonstrably turned clients away. Invariants:
+//   G. zero tracking gaps on EVERY shard, every committed branch trid has
+//      its trans_dep row on its owning shard, and no non-baseline trans_dep
+//      row exists for a transaction no client saw commit (2PC validation
+//      plus transactional metadata keep partial global commits out);
+//   H. merged-replay equivalence — all updates are additive and all insert
+//      keys thread-distinct, so each shard's state must equal that shard's
+//      slice of a fault-free serial replay of exactly the committed scripts
+//      on a fresh cluster of the same shape;
+//   I. coordinated-repair soundness — ShardRepairCoordinator (strategy
+//      rotates offline/online/reenact per iteration) seeded with the attack
+//      branch undoes a sibling-closed set (a cross-shard script is never
+//      half-undone), and the post-repair per-shard state equals the merged
+//      replay minus the scripts that stayed undone.
+
+constexpr int kShardCount = 3;
+constexpr int kShardAccounts = 8;  // ids 1..8 per warehouse
+
+std::string ShardAcctWhere(int64_t w, int64_t id) {
+  return " WHERE w_id = " + std::to_string(w) +
+         " AND id = " + std::to_string(id);
+}
+
+std::vector<Script> MakeShardScripts(uint64_t seed, int thread, size_t n) {
+  Rng rng(seed);
+  std::vector<Script> scripts;
+  for (size_t j = 0; j < n; ++j) {
+    Script sc;
+    if (thread == 0 && j == kAttackIndex) {
+      sc.label = "Attack";
+      sc.stmts.push_back("UPDATE account SET balance = balance + 1000" +
+                         ShardAcctWhere(1, 1));
+    } else {
+      sc.label = "Sh_" + std::to_string(thread) + "_" + std::to_string(j);
+      if (rng.Bernoulli(0.35)) {
+        // Cross-shard: read one warehouse, write another — the commit takes
+        // the 2PC path and records the merged dependency set on both shards.
+        const int64_t wa = rng.Uniform(1, kShardCount);
+        const int64_t wb = 1 + (wa % kShardCount);
+        sc.stmts.push_back("SELECT balance FROM account" +
+                           ShardAcctWhere(wa, rng.Uniform(1, kShardAccounts)));
+        sc.stmts.push_back("UPDATE account SET balance = balance + " +
+                           std::to_string(rng.Uniform(1, 50)) +
+                           ShardAcctWhere(wb, rng.Uniform(1, kShardAccounts)));
+        if (rng.Bernoulli(0.5)) {
+          sc.stmts.push_back(
+              "UPDATE account SET balance = balance + " +
+              std::to_string(rng.Uniform(1, 50)) +
+              ShardAcctWhere(wa, rng.Uniform(1, kShardAccounts)));
+        }
+      } else {
+        const int64_t w = rng.Uniform(1, kShardCount);
+        const int writes = static_cast<int>(rng.Uniform(1, 2));
+        for (int k = 0; k < writes; ++k) {
+          sc.stmts.push_back(
+              "UPDATE account SET balance = balance + " +
+              std::to_string(rng.Uniform(1, 50)) +
+              ShardAcctWhere(w, rng.Uniform(1, kShardAccounts)));
+        }
+        if (rng.Bernoulli(0.2)) {
+          // Thread-distinct key: inserts commute with everything.
+          sc.stmts.push_back(
+              "INSERT INTO account(w_id, id, balance) VALUES (" +
+              std::to_string(w) + ", " +
+              std::to_string(500 + thread * 64 + static_cast<int>(j)) +
+              ", 10.0)");
+        }
+      }
+    }
+    scripts.push_back(std::move(sc));
+  }
+  return scripts;
+}
+
+void SetupShardAccounts(DbConnection* conn) {
+  Must(conn, "CREATE TABLE account (w_id INTEGER NOT NULL, id INTEGER NOT "
+             "NULL, balance DOUBLE, PRIMARY KEY(w_id, id))");
+  for (int64_t w = 1; w <= kShardCount; ++w) {
+    Must(conn, "BEGIN");
+    conn->SetAnnotation("Setup");
+    std::string values;
+    for (int id = 1; id <= kShardAccounts; ++id) {
+      if (!values.empty()) values += ", ";
+      values += "(" + std::to_string(w) + ", " + std::to_string(id) + ", " +
+                std::to_string(100 * id) + ".0)";
+    }
+    Must(conn, "INSERT INTO account(w_id, id, balance) VALUES " + values);
+    Must(conn, "COMMIT");
+  }
+}
+
+shard::ShardClusterOptions ShardChaosOptions() {
+  shard::ShardClusterOptions opts;
+  opts.shards = kShardCount;
+  opts.routing = shard::RoutingPolicy::Tpcc().Shard("account", "w_id");
+  return opts;
+}
+
+// Fault-free serial replay of the committed scripts minus `excluded` on a
+// fresh cluster of the same shape; returns each shard's account-state hash.
+std::vector<uint64_t> ShardReplayHashes(const std::vector<Script>& scripts,
+                                        const std::vector<bool>& mask,
+                                        const std::set<size_t>& excluded) {
+  shard::ShardCluster cluster(ShardChaosOptions());
+  IRDB_CHECK(cluster.Bootstrap().ok());
+  auto conn = cluster.Connect();
+  SetupShardAccounts(conn.get());
+  for (size_t j = 0; j < scripts.size(); ++j) {
+    if (!mask[j] || excluded.count(j) > 0) continue;
+    Must(conn.get(), "BEGIN");
+    conn->SetAnnotation(scripts[j].label);
+    for (const std::string& sql : scripts[j].stmts) Must(conn.get(), sql);
+    Must(conn.get(), "COMMIT");
+  }
+  std::vector<uint64_t> hashes;
+  for (int s = 0; s < cluster.shards(); ++s) {
+    hashes.push_back(cluster.db(s).StateHash({"account"}, {"trid"}));
+  }
+  return hashes;
+}
+
+void RunShardSplitIteration(int iter) {
+  auto& reg = fail::Registry::Instance();
+  reg.DisarmAll();
+  reg.ResetStats();
+  reg.Seed(g_seed * 7436429 + static_cast<uint64_t>(iter));
+
+  shard::ShardCluster cluster(ShardChaosOptions());
+  IRDB_CHECK(cluster.Bootstrap().ok());
+  {
+    auto setup = cluster.Connect();
+    SetupShardAccounts(setup.get());
+  }
+
+  std::vector<std::set<int64_t>> baseline;
+  for (int s = 0; s < cluster.shards(); ++s) {
+    DirectConnection admin(&cluster.db(s));
+    baseline.push_back(TransDepIds(&admin));
+  }
+
+  constexpr int kThreads = 3;
+  constexpr size_t kScriptsPerThread = 6;
+  std::vector<std::vector<Script>> per_thread;
+  for (int t = 0; t < kThreads; ++t) {
+    per_thread.push_back(MakeShardScripts(
+        g_seed + 131 * static_cast<uint64_t>(iter) + t, t, kScriptsPerThread));
+  }
+
+  // Widened lock windows raise the odds that 2PC branches collide with
+  // single-shard traffic on their home shards.
+  reg.Arm("lock.acquire.delay",
+          fail::Trigger::Probability(0.15 * g_profile.lock_mult));
+
+  struct ThreadOutcome {
+    std::vector<bool> committed_mask;
+    // Per committed script: the global trid of every branch (one per
+    // participant shard), captured just before the COMMIT that succeeded.
+    std::vector<std::vector<int64_t>> branch_trids;
+    int64_t retries = 0;
+  };
+  std::vector<ThreadOutcome> outcomes(kThreads);
+  std::atomic<int> commits{0};
+  std::atomic<int> finished{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cluster, &per_thread, &outcomes, &commits,
+                          &finished, t] {
+      auto conn = cluster.Connect();
+      auto* routed = static_cast<shard::RoutedSession*>(conn.get());
+      ThreadOutcome& out = outcomes[t];
+      out.committed_mask.assign(per_thread[t].size(), false);
+      out.branch_trids.assign(per_thread[t].size(), {});
+      for (size_t j = 0; j < per_thread[t].size(); ++j) {
+        const Script& sc = per_thread[t][j];
+        for (int attempt = 0; attempt < 400; ++attempt) {
+          if (!conn->Execute("BEGIN").ok()) continue;
+          conn->SetAnnotation(sc.label);
+          Status failure = Status::Ok();
+          for (const std::string& sql : sc.stmts) {
+            auto r = conn->Execute(sql);
+            if (!r.ok()) {
+              failure = r.status();
+              break;
+            }
+          }
+          if (!failure.ok()) {
+            (void)conn->Execute("ROLLBACK");
+            if (RetryableClientFailure(failure)) {
+              ++out.retries;
+              std::this_thread::sleep_for(std::chrono::microseconds(500));
+              continue;  // whole-script client retry (deadlock / shard down)
+            }
+            break;  // non-retryable failure: give the script up
+          }
+          std::vector<int64_t> trids;
+          for (int s = 0; s < cluster.shards(); ++s) {
+            if (const int64_t trid = routed->branch_trid(s); trid != 0) {
+              trids.push_back(trid);
+            }
+          }
+          auto commit = conn->Execute("COMMIT");
+          if (commit.ok()) {
+            out.committed_mask[j] = true;
+            out.branch_trids[j] = std::move(trids);
+            commits.fetch_add(1);
+            break;
+          }
+          // A failed COMMIT already reset the routed transaction (2PC
+          // validation aborts every branch before any commits).
+          if (RetryableClientFailure(commit.status())) {
+            ++out.retries;
+            std::this_thread::sleep_for(std::chrono::microseconds(500));
+            continue;
+          }
+          break;
+        }
+        std::this_thread::sleep_for(std::chrono::microseconds(300));
+      }
+      finished.fetch_add(1);
+    });
+  }
+
+  // Partition controller: once a third of the scripts have committed, take
+  // down the shard owning warehouse 1 (also the attack's home) and hold the
+  // partition until the router has demonstrably turned clients away.
+  const int victim = cluster.ShardOf(1);
+  const int total = kThreads * static_cast<int>(kScriptsPerThread);
+  const int64_t rejects_before =
+      cluster.router_stats().shard_down_rejects.load();
+  for (int spin = 0; spin < 20000; ++spin) {
+    if (commits.load() >= total / 3 || finished.load() == kThreads) break;
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  if (finished.load() < kThreads) {
+    cluster.SetShardDown(victim, true);
+    for (int spin = 0; spin < 20000; ++spin) {
+      if (cluster.router_stats().shard_down_rejects.load() - rejects_before >=
+              3 ||
+          finished.load() == kThreads) {
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+    cluster.SetShardDown(victim, false);
+  }
+  for (auto& th : threads) th.join();
+  reg.DisarmAll();
+
+  const int64_t down_rejects =
+      cluster.router_stats().shard_down_rejects.load() - rejects_before;
+  g_shard_down_rejects += down_rejects;
+  int64_t retries = 0;
+  for (const auto& out : outcomes) retries += out.retries;
+  g_deadlock_client_retries += retries;
+
+  // Flatten thread-major for the replay oracle and the tracking checks.
+  std::vector<Script> flat;
+  std::vector<bool> flat_mask;
+  std::vector<std::vector<int64_t>> flat_trids;
+  std::map<int64_t, size_t> trid_to_flat;
+  size_t committed_count = 0;
+  int64_t attack_trid = 0;
+  for (int t = 0; t < kThreads; ++t) {
+    for (size_t j = 0; j < per_thread[t].size(); ++j) {
+      const size_t idx = flat.size();
+      flat.push_back(per_thread[t][j]);
+      flat_mask.push_back(outcomes[t].committed_mask[j]);
+      flat_trids.push_back(outcomes[t].branch_trids[j]);
+      if (outcomes[t].committed_mask[j]) ++committed_count;
+      for (int64_t trid : flat_trids.back()) {
+        trid_to_flat[trid] = idx;
+        if (flat.back().label == "Attack") attack_trid = trid;
+      }
+    }
+  }
+
+  // G. Tracking is exact on every shard: zero gaps, every committed branch
+  // has its trans_dep row on its owning shard, and no phantom rows.
+  std::set<int64_t> committed_trids;
+  for (size_t j = 0; j < flat.size(); ++j) {
+    if (!flat_mask[j]) continue;
+    committed_trids.insert(flat_trids[j].begin(), flat_trids[j].end());
+  }
+  for (int s = 0; s < cluster.shards(); ++s) {
+    DirectConnection admin(&cluster.db(s));
+    ResultSet gap_rs = Must(&admin, "SELECT tr_id FROM tracking_gaps");
+    Require(gap_rs.rows.empty(),
+            "shard " + std::to_string(s) + " has " +
+                std::to_string(gap_rs.rows.size()) +
+                " tracking gaps (must be zero under kAbort)");
+    const std::set<int64_t> ids = TransDepIds(&admin);
+    for (int64_t id : ids) {
+      if (baseline[static_cast<size_t>(s)].count(id) > 0) continue;
+      Require(committed_trids.count(id) > 0,
+              "shard " + std::to_string(s) + " trans_dep row for txn " +
+                  std::to_string(id) + " which no client saw commit");
+    }
+    for (int64_t trid : committed_trids) {
+      if (cluster.ShardOfTrid(trid) != s) continue;
+      Require(ids.count(trid) > 0,
+              "committed branch " + std::to_string(trid) +
+                  " has no trans_dep row on its shard " + std::to_string(s));
+    }
+    RequireIndexesMatchHeap(&cluster.db(s),
+                            "before coordinated repair (shard " +
+                                std::to_string(s) + ")");
+  }
+
+  // H. Merged-replay equivalence (atomicity across the partition window).
+  {
+    const std::vector<uint64_t> expected =
+        ShardReplayHashes(flat, flat_mask, {});
+    for (int s = 0; s < cluster.shards(); ++s) {
+      Require(cluster.db(s).StateHash({"account"}, {"trid"}) ==
+                  expected[static_cast<size_t>(s)],
+              "shard " + std::to_string(s) +
+                  " state diverges from the merged serial replay of the "
+                  "committed scripts");
+    }
+  }
+
+  // I. Coordinated repair, rotating through the three strategies.
+  size_t undo_scripts = 0, closure_size = 0;
+  const char* strategy_name = "skipped";
+  if (attack_trid != 0) {
+    shard::ShardRepairOptions ropts;
+    switch (iter % 3) {
+      case 0:
+        ropts.strategy = shard::ShardRepairStrategy::kOffline;
+        strategy_name = "offline";
+        break;
+      case 1:
+        ropts.strategy = shard::ShardRepairStrategy::kOnline;
+        strategy_name = "online";
+        break;
+      default:
+        ropts.strategy = shard::ShardRepairStrategy::kReenact;
+        strategy_name = "reenact";
+        break;
+    }
+    shard::ShardRepairCoordinator coord(&cluster, ropts);
+    auto report = coord.Repair({attack_trid});
+    Require(report.ok(),
+            "coordinated repair: " + report.status().ToString());
+    closure_size = report->closure.size();
+
+    // A cross-shard script is never half-undone: the sibling links pull
+    // every branch of a global transaction into the closure together.
+    for (size_t j = 0; j < flat.size(); ++j) {
+      if (!flat_mask[j] || flat_trids[j].size() < 2) continue;
+      size_t in_closure = 0;
+      for (int64_t trid : flat_trids[j]) {
+        if (report->closure.count(trid) > 0) ++in_closure;
+      }
+      Require(in_closure == 0 || in_closure == flat_trids[j].size(),
+              "script " + flat[j].label +
+                  " is half-inside the repair closure (" +
+                  std::to_string(in_closure) + " of " +
+                  std::to_string(flat_trids[j].size()) + " branches)");
+    }
+
+    // What stayed undone, mapped back to whole scripts. Under reenact the
+    // per-shard undo sets already exclude the replayed innocents.
+    std::set<size_t> excluded;
+    for (const auto& shard_report : report->per_shard) {
+      for (int64_t trid : shard_report.undo_set) {
+        auto it = trid_to_flat.find(trid);
+        if (it != trid_to_flat.end()) excluded.insert(it->second);
+      }
+    }
+    Require(excluded.count(trid_to_flat[attack_trid]) > 0,
+            "attack script not in the coordinated undo set");
+    undo_scripts = excluded.size();
+
+    const std::vector<uint64_t> expected =
+        ShardReplayHashes(flat, flat_mask, excluded);
+    for (int s = 0; s < cluster.shards(); ++s) {
+      Require(cluster.db(s).StateHash({"account"}, {"trid"}) ==
+                  expected[static_cast<size_t>(s)],
+              "shard " + std::to_string(s) + " post-repair (" +
+                  strategy_name +
+                  ") state diverges from the merged replay minus the undone "
+                  "scripts");
+      RequireIndexesMatchHeap(&cluster.db(s),
+                              "after coordinated repair (shard " +
+                                  std::to_string(s) + ")");
+    }
+  }
+
+  const auto& rs = cluster.router_stats();
+  std::printf("chaos: shrd iter %2d committed=%zu retries=%lld "
+              "cross_shard=%lld 2pc_aborts=%lld down_rejects=%lld "
+              "closure=%zu undo_scripts=%zu strategy=%s\n",
+              iter, committed_count, static_cast<long long>(retries),
+              static_cast<long long>(rs.cross_shard_txns.load()),
+              static_cast<long long>(rs.twopc_aborts.load()),
+              static_cast<long long>(down_rejects), closure_size,
+              undo_scripts, strategy_name);
+}
+
 int ChaosMain(int argc, char** argv) {
   uint64_t seed = 20260805;
   if (const char* env = std::getenv("IRDB_CHAOS_SEED");
@@ -1269,7 +1685,7 @@ int ChaosMain(int argc, char** argv) {
     seed = std::strtoull(env, nullptr, 10);
   }
   int tpcc_iters = 13, repair_iters = 13, net_iters = 5, lock_iters = 5,
-      serve_iters = 3, reenact_iters = 5;
+      serve_iters = 3, reenact_iters = 5, shard_iters = 3;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--seed=", 7) == 0) {
       seed = std::strtoull(argv[i] + 7, nullptr, 10);
@@ -1285,6 +1701,8 @@ int ChaosMain(int argc, char** argv) {
       serve_iters = std::atoi(argv[i] + 14);
     } else if (std::strncmp(argv[i], "--reenact-iters=", 16) == 0) {
       reenact_iters = std::atoi(argv[i] + 16);
+    } else if (std::strncmp(argv[i], "--shard-iters=", 14) == 0) {
+      shard_iters = std::atoi(argv[i] + 14);
     } else if (std::strncmp(argv[i], "--profile=", 10) == 0) {
       const char* want = argv[i] + 10;
       bool found = false;
@@ -1297,7 +1715,7 @@ int ChaosMain(int argc, char** argv) {
       if (!found) {
         std::fprintf(stderr, "unknown profile '%s' (default, wire-heavy, "
                              "commit-heavy, net-reset, lock-contention, "
-                             "serve-through, reenact)\n",
+                             "serve-through, reenact, shard-split)\n",
                      want);
         return 2;
       }
@@ -1305,7 +1723,7 @@ int ChaosMain(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: %s [--seed=N] [--profile=NAME] [--tpcc-iters=N] "
                    "[--repair-iters=N] [--net-iters=N] [--lock-iters=N] "
-                   "[--serve-iters=N] [--reenact-iters=N]\n"
+                   "[--serve-iters=N] [--reenact-iters=N] [--shard-iters=N]\n"
                    "  (IRDB_CHAOS_SEED is honored when --seed is absent)\n",
                    argv[0]);
       return 2;
@@ -1313,10 +1731,11 @@ int ChaosMain(int argc, char** argv) {
   }
   g_seed = seed;
   std::printf("chaos: seed=%llu profile=%s tpcc_iters=%d repair_iters=%d "
-              "net_iters=%d lock_iters=%d serve_iters=%d reenact_iters=%d\n",
+              "net_iters=%d lock_iters=%d serve_iters=%d reenact_iters=%d "
+              "shard_iters=%d\n",
               static_cast<unsigned long long>(seed), g_profile.name,
               tpcc_iters, repair_iters, net_iters, lock_iters, serve_iters,
-              reenact_iters);
+              reenact_iters, shard_iters);
 
   for (int i = 0; i < tpcc_iters; ++i) RunTpccChaosIteration(i);
   for (int i = 0; i < net_iters; ++i) RunNetChaosIteration(i);
@@ -1324,6 +1743,11 @@ int ChaosMain(int argc, char** argv) {
   for (int i = 0; i < reenact_iters; ++i) RunReenactChaosIteration(i);
   for (int i = 0; i < lock_iters; ++i) RunLockContentionIteration(i);
   for (int i = 0; i < serve_iters; ++i) RunServeThroughIteration(i);
+  for (int i = 0; i < shard_iters; ++i) RunShardSplitIteration(i);
+
+  Require(shard_iters < 3 || g_shard_down_rejects > 0,
+          "no shard-down rejects across the whole run — the partition "
+          "controller never bit");
 
   Require(g_dropped_round_trips + g_injected > 0,
           "no faults fired across the whole run — the harness is inert");
@@ -1349,14 +1773,16 @@ int ChaosMain(int argc, char** argv) {
 
   std::printf("chaos: OK  dropped_round_trips=%lld retries=%lld "
               "injected=%lld degraded_commits=%lld gap_txns=%lld "
-              "deadlock_retries=%lld quarantine_rejects=%lld\n",
+              "deadlock_retries=%lld quarantine_rejects=%lld "
+              "shard_down_rejects=%lld\n",
               static_cast<long long>(g_dropped_round_trips),
               static_cast<long long>(g_retries),
               static_cast<long long>(g_injected),
               static_cast<long long>(g_degraded_commits),
               static_cast<long long>(g_gap_txns),
               static_cast<long long>(g_deadlock_client_retries),
-              static_cast<long long>(g_quarantine_rejects));
+              static_cast<long long>(g_quarantine_rejects),
+              static_cast<long long>(g_shard_down_rejects));
   return 0;
 }
 

@@ -1,0 +1,607 @@
+// Sharded deployment tests (DESIGN.md §5j): the global trid space, statement
+// routing, the [wrong-shard] endpoint guard and its wire reason token, 2PC
+// merged dependency recording, and coordinated cross-shard repair.
+//
+// The two load-bearing properties:
+//   * N=1 degeneracy — a 1-shard cluster produces byte-identical trids,
+//     dependency graphs, and post-repair state to the plain unsharded stack.
+//   * Cross-boundary closure — with 2 shards, the frontier-exchange fixpoint
+//     finds every dependent of an attack even when contamination zig-zags
+//     between shards, and per-shard repair legs heal to the same state a
+//     global repair would.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "repair/repair_engine.h"
+#include "shard/routing.h"
+#include "shard/shard_cluster.h"
+#include "shard/shard_repair.h"
+#include "shard/shard_router.h"
+#include "sql/parser.h"
+#include "wire/protocol.h"
+
+namespace irdb {
+namespace {
+
+ResultSet Must(DbConnection* conn, const std::string& sql) {
+  auto r = conn->Execute(sql);
+  EXPECT_TRUE(r.ok()) << sql << " -> " << r.status().ToString();
+  return r.ok() ? std::move(r).value() : ResultSet{};
+}
+
+shard::RoutingPolicy AccountPolicy() {
+  shard::RoutingPolicy p = shard::RoutingPolicy::Tpcc();
+  p.Shard("account", "w_id");
+  return p;
+}
+
+// ----------------------------------------------------------- global trid space
+
+TEST(ShardTridTest, StridedAllocationIsUniqueAndRecoverable) {
+  shard::ShardClusterOptions opts;
+  opts.shards = 4;
+  shard::ShardCluster cluster(opts);
+  // Shard s allocates s+1, s+1+N, s+1+2N, ...
+  EXPECT_EQ(cluster.allocator(0).Next(), 1);
+  EXPECT_EQ(cluster.allocator(0).Next(), 5);
+  EXPECT_EQ(cluster.allocator(2).Next(), 3);
+  EXPECT_EQ(cluster.allocator(2).Next(), 7);
+  EXPECT_EQ(cluster.allocator(3).Next(), 4);
+  // Owning shard is arithmetic on the trid.
+  EXPECT_EQ(cluster.ShardOfTrid(1), 0);
+  EXPECT_EQ(cluster.ShardOfTrid(5), 0);
+  EXPECT_EQ(cluster.ShardOfTrid(3), 2);
+  EXPECT_EQ(cluster.ShardOfTrid(7), 2);
+  EXPECT_EQ(cluster.ShardOfTrid(4), 3);
+}
+
+TEST(ShardTridTest, SingleShardDegeneratesToClassicSequence) {
+  shard::ShardClusterOptions opts;
+  opts.shards = 1;
+  shard::ShardCluster cluster(opts);
+  EXPECT_EQ(cluster.allocator(0).Next(), 1);
+  EXPECT_EQ(cluster.allocator(0).Next(), 2);
+  EXPECT_EQ(cluster.allocator(0).Next(), 3);
+}
+
+TEST(ShardTridTest, WarehouseHashIsStable) {
+  EXPECT_EQ(shard::ShardOfWarehouse(1, 4), 0);
+  EXPECT_EQ(shard::ShardOfWarehouse(4, 4), 3);
+  EXPECT_EQ(shard::ShardOfWarehouse(5, 4), 0);
+  EXPECT_EQ(shard::ShardOfWarehouse(7, 1), 0);
+}
+
+// ------------------------------------------------------------------- routing
+
+shard::RouteDecision Classify(const std::string& sql,
+                              const shard::RoutingPolicy& policy) {
+  auto stmt = sql::Parse(sql);
+  EXPECT_TRUE(stmt.ok()) << sql;
+  return shard::ClassifyStatement(**stmt, policy);
+}
+
+TEST(ShardRoutingTest, ClassifiesTpccStatements) {
+  const shard::RoutingPolicy p = shard::RoutingPolicy::Tpcc();
+
+  EXPECT_EQ(Classify("BEGIN", p).kind, shard::RouteKind::kTxnControl);
+  EXPECT_EQ(Classify("COMMIT", p).kind, shard::RouteKind::kTxnControl);
+  EXPECT_EQ(Classify("CREATE TABLE t (a INTEGER)", p).kind,
+            shard::RouteKind::kDdl);
+
+  auto keyed = Classify(
+      "SELECT s_quantity FROM stock WHERE s_i_id = 5 AND s_w_id = 3", p);
+  EXPECT_EQ(keyed.kind, shard::RouteKind::kKeyed);
+  ASSERT_EQ(keyed.warehouses.size(), 1u);
+  EXPECT_EQ(keyed.warehouses[0], 3);
+
+  // Alias-qualified key, multi-table FROM.
+  auto aliased = Classify(
+      "SELECT c.c_balance FROM customer c, district d WHERE c.c_w_id = 2 "
+      "AND d.d_w_id = 2 AND c.c_d_id = d.d_id", p);
+  EXPECT_EQ(aliased.kind, shard::RouteKind::kKeyed);
+  ASSERT_EQ(aliased.warehouses.size(), 1u);
+  EXPECT_EQ(aliased.warehouses[0], 2);
+
+  // INSERT routed by the warehouse column of its rows.
+  auto ins = Classify(
+      "INSERT INTO history(h_c_id, h_w_id, h_amount) VALUES (7, 4, 10)", p);
+  EXPECT_EQ(ins.kind, shard::RouteKind::kKeyed);
+  ASSERT_EQ(ins.warehouses.size(), 1u);
+  EXPECT_EQ(ins.warehouses[0], 4);
+
+  // Replicated table: reads run anywhere, writes broadcast.
+  EXPECT_EQ(Classify("SELECT i_price FROM item WHERE i_id = 9", p).kind,
+            shard::RouteKind::kAnyShard);
+  EXPECT_EQ(Classify("INSERT INTO item(i_id, i_price) VALUES (9, 10)", p).kind,
+            shard::RouteKind::kBroadcast);
+
+  // Sharded table without an extractable key.
+  EXPECT_EQ(Classify("SELECT COUNT(*) FROM orders", p).kind,
+            shard::RouteKind::kAnyShard);
+  EXPECT_EQ(Classify("UPDATE stock SET s_quantity = 0 WHERE s_i_id = 1", p)
+                .kind,
+            shard::RouteKind::kBroadcast);
+
+  // A statement naming two warehouses reports both keys.
+  auto two = Classify(
+      "SELECT s_quantity FROM stock WHERE s_w_id = 1 OR s_w_id = 2", p);
+  EXPECT_EQ(two.kind, shard::RouteKind::kKeyed);
+  EXPECT_EQ(two.warehouses.size(), 2u);
+}
+
+// ------------------------------------------------ wrong_shard wire round trip
+
+TEST(WrongShardWireTest, ReasonTokenRoundTrips) {
+  const Status s = Status::Unavailable(
+      std::string(kWrongShardTag) + " warehouse 3 belongs to shard 1");
+  EXPECT_TRUE(s.IsRetryable());
+  EXPECT_EQ(ErrorReasonFromStatus(s), ErrorReason::kWrongShard);
+  EXPECT_STREQ(ErrorReasonToken(ErrorReason::kWrongShard), "wrong_shard");
+
+  WireResponse resp;
+  resp.ok = false;
+  resp.error_code = s.code();
+  resp.error_reason = ErrorReasonFromStatus(s);
+  resp.error_message = s.message();
+  auto decoded = DecodeResponse(EncodeResponse(resp));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_FALSE(decoded->ok);
+  EXPECT_EQ(decoded->error_code, StatusCode::kUnavailable);
+  EXPECT_EQ(decoded->error_reason, ErrorReason::kWrongShard);
+
+  // Distinct from the quarantine and degraded tokens sharing kUnavailable.
+  EXPECT_EQ(ErrorReasonFromStatus(Status::Unavailable(
+                std::string(kQuarantineTag) + " fenced")),
+            ErrorReason::kQuarantined);
+  EXPECT_EQ(ErrorReasonFromStatus(Status::Unavailable("connection lost")),
+            ErrorReason::kNet);
+}
+
+TEST(WrongShardWireTest, EndpointGuardRejectsForeignWarehouses) {
+  shard::ShardClusterOptions opts;
+  opts.shards = 2;
+  opts.routing = AccountPolicy();
+  shard::ShardCluster cluster(opts);
+  ASSERT_TRUE(cluster.Bootstrap().ok());
+  auto router = cluster.Connect();
+  Must(router.get(), "CREATE TABLE account (w_id INTEGER, id INTEGER,"
+                     " val INTEGER)");
+  Must(router.get(),
+       "INSERT INTO account(w_id, id, val) VALUES (1, 10, 100)");
+  Must(router.get(),
+       "INSERT INTO account(w_id, id, val) VALUES (2, 20, 200)");
+
+  auto shard0 = cluster.ConnectShard(0);
+  // Owned warehouse: serves normally.
+  ResultSet rs = Must(shard0.get(),
+                      "SELECT val FROM account WHERE w_id = 1 AND id = 10");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  // Foreign warehouse: rejected with the retryable [wrong-shard] tag.
+  auto wrong = shard0->Execute("SELECT val FROM account WHERE w_id = 2");
+  ASSERT_FALSE(wrong.ok());
+  EXPECT_TRUE(wrong.status().IsRetryable());
+  EXPECT_EQ(ErrorReasonFromStatus(wrong.status()), ErrorReason::kWrongShard);
+  EXPECT_GE(cluster.router_stats().wrong_shard_rejects.load(), 1);
+}
+
+// ------------------------------------------------------------ N=1 degeneracy
+
+// One identical history, run through the plain unsharded stack and through a
+// 1-shard cluster's router. Trids, dependency graphs, closures, and
+// post-repair state must match exactly.
+void RunBankHistory(DbConnection* conn) {
+  Must(conn, "CREATE TABLE account (w_id INTEGER, id INTEGER, val DOUBLE)");
+  Must(conn, "BEGIN");
+  conn->SetAnnotation("Setup");
+  Must(conn, "INSERT INTO account(w_id, id, val) VALUES"
+             " (1, 10, 100.0), (1, 11, 200.0), (1, 12, 300.0)");
+  Must(conn, "COMMIT");
+
+  Must(conn, "BEGIN");
+  conn->SetAnnotation("Attack");
+  Must(conn, "UPDATE account SET val = val + 1000 WHERE w_id = 1 AND id = 10");
+  Must(conn, "COMMIT");
+
+  Must(conn, "BEGIN");
+  conn->SetAnnotation("Dependent");
+  ResultSet bal =
+      Must(conn, "SELECT val FROM account WHERE w_id = 1 AND id = 10");
+  ASSERT_EQ(bal.rows.size(), 1u);
+  const double half = bal.rows[0][0].as_double() / 2;
+  Must(conn, "UPDATE account SET val = val - " + std::to_string(half) +
+             " WHERE w_id = 1 AND id = 10");
+  Must(conn, "UPDATE account SET val = val + " + std::to_string(half) +
+             " WHERE w_id = 1 AND id = 11");
+  Must(conn, "COMMIT");
+
+  Must(conn, "BEGIN");
+  conn->SetAnnotation("Independent");
+  Must(conn, "UPDATE account SET val = val + 7 WHERE w_id = 1 AND id = 12");
+  Must(conn, "COMMIT");
+}
+
+int64_t FindLabel(const repair::DependencyAnalysis& a,
+                  const std::string& label) {
+  for (int64_t node : a.graph.nodes()) {
+    if (a.graph.Label(node) == label) return node;
+  }
+  return -1;
+}
+
+TEST(ShardOracleTest, SingleShardClusterMatchesUnshardedStack) {
+  // Oracle: the classic unsharded stack, bootstrapped the same way
+  // ShardCluster::Bootstrap does.
+  Database odb(FlavorTraits::Postgres());
+  proxy::TxnIdAllocator oalloc;
+  DirectConnection oconn(&odb);
+  proxy::TrackingProxy oproxy(&oconn, &oalloc, FlavorTraits::Postgres());
+  ASSERT_TRUE(oproxy.EnsureTrackingTables().ok());
+
+  shard::ShardClusterOptions opts;
+  opts.shards = 1;
+  opts.routing = AccountPolicy();
+  shard::ShardCluster cluster(opts);
+  ASSERT_TRUE(cluster.Bootstrap().ok());
+  auto rconn = cluster.Connect();
+
+  RunBankHistory(&oproxy);
+  RunBankHistory(rconn.get());
+
+  const std::vector<std::string> kTables = {"account", "trans_dep", "annot"};
+  EXPECT_EQ(odb.StateHash(kTables), cluster.db(0).StateHash(kTables))
+      << "pre-repair state diverged";
+
+  // Identical dependency graphs, node for node and edge for edge.
+  repair::RepairEngine oeng(&odb);
+  auto oa = oeng.Analyze();
+  ASSERT_TRUE(oa.ok()) << oa.status().ToString();
+  const int64_t attack = FindLabel(*oa, "Attack");
+  ASSERT_GT(attack, 0);
+
+  shard::ShardRepairCoordinator coord(&cluster);
+  auto gc = coord.ComputeClosure({attack});
+  ASSERT_TRUE(gc.ok()) << gc.status().ToString();
+  ASSERT_EQ(gc->analyses.size(), 1u);
+  EXPECT_EQ(oa->graph.ToDot(), gc->analyses[0].graph.ToDot());
+
+  // Identical closures...
+  const auto policy = repair::DbaPolicy::TrackEverything();
+  const std::set<int64_t> oracle_undo =
+      oeng.ComputeUndoSet(*oa, {attack}, policy);
+  EXPECT_EQ(gc->closure, oracle_undo);
+  // One round grows the closure to the oracle's undo set, the second
+  // confirms the fixpoint.
+  EXPECT_EQ(gc->rounds, 2);
+
+  // ...and byte-identical post-repair state.
+  auto oreport = oeng.Repair({attack}, policy);
+  ASSERT_TRUE(oreport.ok()) << oreport.status().ToString();
+  auto sreport = coord.Repair({attack});
+  ASSERT_TRUE(sreport.ok()) << sreport.status().ToString();
+  ASSERT_EQ(sreport->per_shard.size(), 1u);
+  EXPECT_EQ(sreport->per_shard[0].undo_set, oreport->undo_set);
+  EXPECT_EQ(odb.StateHash(kTables), cluster.db(0).StateHash(kTables))
+      << "post-repair state diverged";
+}
+
+// ------------------------------------------------- cross-shard 2PC + closure
+
+struct TwoShardScenario {
+  std::unique_ptr<shard::ShardCluster> cluster;
+  std::unique_ptr<DbConnection> router;
+  int64_t attack = -1;       // shard-0 transaction the DBA seeds from
+  int64_t cross_b0 = -1;     // the cross-shard txn's shard-0 branch
+  int64_t cross_b1 = -1;     // ... and its shard-1 branch
+  int64_t dependent = -1;    // shard-1 local dependent of the cross branch
+  int64_t independent = -1;  // shard-1 transaction outside the closure
+};
+
+// Warehouse 1 -> shard 0, warehouse 2 -> shard 1. The attack corrupts a
+// warehouse-1 row; a cross-shard transaction reads it and writes warehouse 2;
+// a shard-1 local transaction reads that write. An independent shard-1
+// transaction touches an unrelated row.
+TwoShardScenario BuildTwoShardScenario() {
+  TwoShardScenario sc;
+  shard::ShardClusterOptions opts;
+  opts.shards = 2;
+  opts.routing = AccountPolicy();
+  sc.cluster = std::make_unique<shard::ShardCluster>(opts);
+  EXPECT_TRUE(sc.cluster->Bootstrap().ok());
+  sc.router = sc.cluster->Connect();
+  DbConnection* conn = sc.router.get();
+
+  Must(conn, "CREATE TABLE account (w_id INTEGER, id INTEGER, val INTEGER)");
+  Must(conn, "BEGIN");
+  conn->SetAnnotation("Setup");
+  Must(conn, "INSERT INTO account(w_id, id, val) VALUES"
+             " (1, 10, 100), (1, 11, 110)");
+  Must(conn, "INSERT INTO account(w_id, id, val) VALUES"
+             " (2, 20, 200), (2, 21, 210)");
+  Must(conn, "COMMIT");
+
+  Must(conn, "BEGIN");
+  conn->SetAnnotation("Attack");
+  Must(conn, "UPDATE account SET val = 666 WHERE w_id = 1 AND id = 10");
+  Must(conn, "COMMIT");
+
+  // Cross-shard: reads the corrupted warehouse-1 row, writes warehouse 2.
+  Must(conn, "BEGIN");
+  conn->SetAnnotation("CrossShard");
+  ResultSet rs =
+      Must(conn, "SELECT val FROM account WHERE w_id = 1 AND id = 10");
+  EXPECT_EQ(rs.rows.size(), 1u);
+  Must(conn, "UPDATE account SET val = val + " +
+             std::to_string(rs.rows[0][0].as_int()) +
+             " WHERE w_id = 2 AND id = 20");
+  Must(conn, "COMMIT");
+
+  Must(conn, "BEGIN");
+  conn->SetAnnotation("Dependent");
+  Must(conn, "SELECT val FROM account WHERE w_id = 2 AND id = 20");
+  Must(conn, "UPDATE account SET val = val + 1 WHERE w_id = 2 AND id = 20");
+  Must(conn, "COMMIT");
+
+  Must(conn, "BEGIN");
+  conn->SetAnnotation("Independent");
+  Must(conn, "UPDATE account SET val = val + 5 WHERE w_id = 2 AND id = 21");
+  Must(conn, "COMMIT");
+
+  // Resolve the trids by annotation, per shard.
+  for (int s = 0; s < 2; ++s) {
+    repair::RepairEngine eng(&sc.cluster->db(s));
+    auto a = eng.Analyze();
+    EXPECT_TRUE(a.ok()) << a.status().ToString();
+    if (!a.ok()) return sc;
+    if (s == 0) {
+      sc.attack = FindLabel(*a, "Attack");
+      sc.cross_b0 = FindLabel(*a, "CrossShard");
+    } else {
+      sc.cross_b1 = FindLabel(*a, "CrossShard");
+      sc.dependent = FindLabel(*a, "Dependent");
+      sc.independent = FindLabel(*a, "Independent");
+    }
+  }
+  EXPECT_GT(sc.attack, 0);
+  EXPECT_GT(sc.cross_b0, 0);
+  EXPECT_GT(sc.cross_b1, 0);
+  EXPECT_GT(sc.dependent, 0);
+  EXPECT_GT(sc.independent, 0);
+  // Branch trids live in the global space, owned by their shard.
+  EXPECT_EQ(sc.cluster->ShardOfTrid(sc.cross_b0), 0);
+  EXPECT_EQ(sc.cluster->ShardOfTrid(sc.cross_b1), 1);
+  return sc;
+}
+
+TEST(CrossShardTest, TwoPhaseCommitMergesDependencies) {
+  TwoShardScenario sc = BuildTwoShardScenario();
+  ASSERT_NE(sc.cluster, nullptr);
+  EXPECT_GE(sc.cluster->router_stats().cross_shard_txns.load(), 1);
+  EXPECT_GE(sc.cluster->router_stats().twopc_commits.load(), 1);
+  EXPECT_GE(sc.cluster->router_stats().deps_merged.load(), 2);
+
+  // The shard-1 branch's trans_dep row must reference the shard-0 attack
+  // (merged union) and its shard-0 sibling (cross_shard link) — both GLOBAL
+  // trids a shard-1-only analysis could never produce.
+  DirectConnection admin(&sc.cluster->db(1));
+  ResultSet rs = Must(&admin, "SELECT tr_id, dep_tr_ids FROM trans_dep");
+  bool merged_attack = false, sibling_link = false;
+  for (const auto& row : rs.rows) {
+    if (row[0].as_int() != sc.cross_b1) continue;
+    const std::string payload = row[1].as_string();
+    if (payload.find("account:" + std::to_string(sc.attack)) !=
+        std::string::npos) {
+      merged_attack = true;
+    }
+    if (payload.find(std::string(shard::kCrossShardDepTable) + ":" +
+                     std::to_string(sc.cross_b0)) != std::string::npos) {
+      sibling_link = true;
+    }
+  }
+  EXPECT_TRUE(merged_attack) << "merged dependency union missing";
+  EXPECT_TRUE(sibling_link) << "cross_shard sibling link missing";
+}
+
+TEST(CrossShardTest, ClosureCrossesTheShardBoundary) {
+  TwoShardScenario sc = BuildTwoShardScenario();
+  ASSERT_NE(sc.cluster, nullptr);
+
+  shard::ShardRepairCoordinator coord(sc.cluster.get());
+  auto gc = coord.ComputeClosure({sc.attack});
+  ASSERT_TRUE(gc.ok()) << gc.status().ToString();
+
+  // Guilty expansion: seeding from ONE branch of the cross-shard txn pulls
+  // in the sibling; the attack seed alone keeps guilty = {attack}.
+  EXPECT_EQ(gc->guilty, std::set<int64_t>({sc.attack}));
+  auto gc2 = coord.ComputeClosure({sc.cross_b1});
+  ASSERT_TRUE(gc2.ok());
+  EXPECT_TRUE(gc2->guilty.count(sc.cross_b0));
+  EXPECT_TRUE(gc2->guilty.count(sc.cross_b1));
+
+  // The closure crosses the boundary: both branches and the shard-1 local
+  // dependent are in; the independent transaction stays out.
+  const std::set<int64_t> want = {sc.attack, sc.cross_b0, sc.cross_b1,
+                                  sc.dependent};
+  EXPECT_EQ(gc->closure, want);
+  EXPECT_FALSE(gc->closure.count(sc.independent));
+}
+
+TEST(CrossShardTest, OfflineRepairHealsBothShards) {
+  TwoShardScenario sc = BuildTwoShardScenario();
+  ASSERT_NE(sc.cluster, nullptr);
+
+  shard::ShardRepairCoordinator coord(sc.cluster.get());
+  auto report = coord.Repair({sc.attack});
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_EQ(report->per_shard.size(), 2u);
+  // Each shard undoes exactly its local slice of the closure.
+  EXPECT_EQ(report->per_shard[0].undo_set,
+            std::set<int64_t>({sc.attack, sc.cross_b0}));
+  EXPECT_EQ(report->per_shard[1].undo_set,
+            std::set<int64_t>({sc.cross_b1, sc.dependent}));
+
+  DirectConnection admin0(&sc.cluster->db(0));
+  DirectConnection admin1(&sc.cluster->db(1));
+  ResultSet r0 = Must(&admin0,
+                      "SELECT val FROM account WHERE w_id = 1 AND id = 10");
+  ASSERT_EQ(r0.rows.size(), 1u);
+  EXPECT_EQ(r0.rows[0][0].as_int(), 100);  // attack undone
+  ResultSet r1 = Must(&admin1,
+                      "SELECT id, val FROM account WHERE w_id = 2 ORDER BY id");
+  ASSERT_EQ(r1.rows.size(), 2u);
+  EXPECT_EQ(r1.rows[0][1].as_int(), 200);  // cross-shard write + dependent undone
+  EXPECT_EQ(r1.rows[1][1].as_int(), 215);  // independent preserved
+}
+
+TEST(CrossShardTest, StrategiesAgreeOnWhatStaysUndone) {
+  // Offline and online (serve-through) are both undo-only: identical final
+  // state. Reenact replays the innocent shard-1 dependent instead.
+  uint64_t offline_hash0 = 0, offline_hash1 = 0;
+  {
+    TwoShardScenario sc = BuildTwoShardScenario();
+    ASSERT_NE(sc.cluster, nullptr);
+    shard::ShardRepairOptions ro;
+    ro.strategy = shard::ShardRepairStrategy::kOffline;
+    shard::ShardRepairCoordinator coord(sc.cluster.get(), ro);
+    ASSERT_TRUE(coord.Repair({sc.attack}).ok());
+    offline_hash0 = sc.cluster->db(0).StateHash({"account"});
+    offline_hash1 = sc.cluster->db(1).StateHash({"account"});
+  }
+  {
+    TwoShardScenario sc = BuildTwoShardScenario();
+    ASSERT_NE(sc.cluster, nullptr);
+    shard::ShardRepairOptions ro;
+    ro.strategy = shard::ShardRepairStrategy::kOnline;
+    shard::ShardRepairCoordinator coord(sc.cluster.get(), ro);
+    auto report = coord.Repair({sc.attack});
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    EXPECT_EQ(sc.cluster->db(0).StateHash({"account"}), offline_hash0);
+    EXPECT_EQ(sc.cluster->db(1).StateHash({"account"}), offline_hash1);
+  }
+  {
+    TwoShardScenario sc = BuildTwoShardScenario();
+    ASSERT_NE(sc.cluster, nullptr);
+    shard::ShardRepairOptions ro;
+    ro.strategy = shard::ShardRepairStrategy::kReenact;
+    shard::ShardRepairCoordinator coord(sc.cluster.get(), ro);
+    auto report = coord.Repair({sc.attack});
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    // The innocent dependent replayed: it is NOT in what stayed undone.
+    EXPECT_FALSE(report->per_shard[1].undo_set.count(sc.dependent));
+    // The guilty cross-shard branches stayed undone on their shards.
+    EXPECT_TRUE(report->per_shard[0].undo_set.count(sc.cross_b0) ||
+                report->per_shard[0].undo_set.count(sc.attack));
+  }
+}
+
+// Contamination that zig-zags 0 -> 1 -> 0 forces more than one
+// frontier-exchange round: no single per-shard closure pass sees the whole
+// path.
+TEST(CrossShardTest, ZigZagContaminationNeedsMultipleRounds) {
+  shard::ShardClusterOptions opts;
+  opts.shards = 2;
+  opts.routing = AccountPolicy();
+  shard::ShardCluster cluster(opts);
+  ASSERT_TRUE(cluster.Bootstrap().ok());
+  auto conn_owner = cluster.Connect();
+  DbConnection* conn = conn_owner.get();
+
+  Must(conn, "CREATE TABLE account (w_id INTEGER, id INTEGER, val INTEGER)");
+  Must(conn, "BEGIN");
+  conn->SetAnnotation("Setup");
+  Must(conn, "INSERT INTO account(w_id, id, val) VALUES"
+             " (1, 10, 0), (1, 11, 0), (1, 12, 0)");
+  Must(conn, "INSERT INTO account(w_id, id, val) VALUES"
+             " (2, 20, 0), (2, 21, 0)");
+  Must(conn, "COMMIT");
+
+  auto txn = [&](const char* label, std::vector<std::string> stmts) {
+    Must(conn, "BEGIN");
+    conn->SetAnnotation(label);
+    for (const auto& s : stmts) Must(conn, s);
+    Must(conn, "COMMIT");
+  };
+  txn("G", {"UPDATE account SET val = 666 WHERE w_id = 1 AND id = 10"});
+  txn("X1", {"SELECT val FROM account WHERE w_id = 1 AND id = 10",
+             "UPDATE account SET val = 1 WHERE w_id = 2 AND id = 20"});
+  txn("T3", {"SELECT val FROM account WHERE w_id = 2 AND id = 20",
+             "UPDATE account SET val = 2 WHERE w_id = 2 AND id = 21"});
+  txn("X2", {"SELECT val FROM account WHERE w_id = 2 AND id = 21",
+             "UPDATE account SET val = 3 WHERE w_id = 1 AND id = 11"});
+  txn("T5", {"SELECT val FROM account WHERE w_id = 1 AND id = 11",
+             "UPDATE account SET val = 4 WHERE w_id = 1 AND id = 12"});
+
+  repair::RepairEngine eng0(&cluster.db(0));
+  auto a0 = eng0.Analyze();
+  ASSERT_TRUE(a0.ok());
+  const int64_t g = FindLabel(*a0, "G");
+  const int64_t t5 = FindLabel(*a0, "T5");
+  ASSERT_GT(g, 0);
+  ASSERT_GT(t5, 0);
+  repair::RepairEngine eng1(&cluster.db(1));
+  auto a1 = eng1.Analyze();
+  ASSERT_TRUE(a1.ok());
+  const int64_t t3 = FindLabel(*a1, "T3");
+  ASSERT_GT(t3, 0);
+
+  shard::ShardRepairCoordinator coord(&cluster);
+  auto gc = coord.ComputeClosure({g});
+  ASSERT_TRUE(gc.ok()) << gc.status().ToString();
+  // The tail of the zig-zag is reached...
+  EXPECT_TRUE(gc->closure.count(t3));
+  EXPECT_TRUE(gc->closure.count(t5));
+  // ...and needed the frontier to bounce between shards: at least one round
+  // that grew the closure after the first, plus the final no-growth round.
+  EXPECT_GE(gc->rounds, 3);
+}
+
+// ----------------------------------------------------------- partition guard
+
+TEST(ShardDownTest, DownShardRejectsAndTwoPhaseCommitAborts) {
+  shard::ShardClusterOptions opts;
+  opts.shards = 2;
+  opts.routing = AccountPolicy();
+  shard::ShardCluster cluster(opts);
+  ASSERT_TRUE(cluster.Bootstrap().ok());
+  auto conn_owner = cluster.Connect();
+  DbConnection* conn = conn_owner.get();
+  Must(conn, "CREATE TABLE account (w_id INTEGER, id INTEGER, val INTEGER)");
+  Must(conn, "INSERT INTO account(w_id, id, val) VALUES (1, 10, 100)");
+  Must(conn, "INSERT INTO account(w_id, id, val) VALUES (2, 20, 200)");
+
+  cluster.SetShardDown(1, true);
+  // Keyed statement to the down shard: retryable reject.
+  auto r = conn->Execute("SELECT val FROM account WHERE w_id = 2");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsRetryable());
+  // The up shard keeps serving.
+  Must(conn, "SELECT val FROM account WHERE w_id = 1");
+
+  // A transaction that joined the shard before the partition aborts at 2PC
+  // validation instead of committing one branch.
+  cluster.SetShardDown(1, false);
+  Must(conn, "BEGIN");
+  Must(conn, "UPDATE account SET val = 1 WHERE w_id = 1 AND id = 10");
+  Must(conn, "UPDATE account SET val = 2 WHERE w_id = 2 AND id = 20");
+  cluster.SetShardDown(1, true);
+  auto commit = conn->Execute("COMMIT");
+  ASSERT_FALSE(commit.ok());
+  EXPECT_TRUE(commit.status().IsRetryable());
+  EXPECT_GE(cluster.router_stats().twopc_aborts.load(), 1);
+  cluster.SetShardDown(1, false);
+
+  // Neither branch committed.
+  DirectConnection admin0(&cluster.db(0));
+  DirectConnection admin1(&cluster.db(1));
+  EXPECT_EQ(Must(&admin0, "SELECT val FROM account WHERE id = 10")
+                .rows[0][0].as_int(),
+            100);
+  EXPECT_EQ(Must(&admin1, "SELECT val FROM account WHERE id = 20")
+                .rows[0][0].as_int(),
+            200);
+  EXPECT_GE(cluster.router_stats().shard_down_rejects.load(), 2);
+}
+
+}  // namespace
+}  // namespace irdb

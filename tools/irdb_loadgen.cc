@@ -2,12 +2,21 @@
 // front-end: N worker threads, one real TCP connection each, running the
 // paper's transaction mix against a NetProxyServer.
 //
-// Two modes:
+// Three modes:
 //   self-host (default): starts a tracked NetProxyServer over a fresh
 //     engine, loads TPC-C through the first connection, then drives the
 //     mix. Prints client-side throughput, the server's transport counters
 //     (with the frames_in == frames_out == requests_served accounting
 //     check), and the aggregated tracking-proxy stats.
+//   --shards=N (N >= 2): self-hosts a whole ShardCluster — N engine shards
+//     behind the warehouse-hash router — and mounts the router on the TCP
+//     front door, so every connection drives RoutedSessions and a fraction
+//     of new-orders (--remote-pct) supply remote warehouses and commit via
+//     2PC. The tail report aggregates across the shards: the router-tier
+//     counters (routed/broadcast statements, cross-shard commits, merged
+//     dependency entries) plus the tracking stats folded from every retired
+//     per-shard session. --timeline and the p50/p99/deadlock numbers are
+//     client-side, so they already span the whole cluster.
 //   --port=P [--host=H]: drives an already-running server (no load phase,
 //     no server-side stats) — point it at another process's ServeTcp.
 //
@@ -16,6 +25,9 @@
 //   --txns=N          mix transactions per connection        (default 50)
 //   --mix=rw|ro       read/write mix or Stock-Level only     (default rw)
 //   --warehouses=N    TPC-C scale for self-host load         (default 2)
+//   --shards=N        engine shards behind the router        (default 1)
+//   --remote-pct=F    remote-supply probability per order    (default 0.10,
+//                     line, shards >= 2 only — drives the 2PC mix)
 //   --scale=N         multiplier on per-district cardinality (default 1)
 //                     (customers/items/orders; the loader emits ascending
 //                     primary keys, so big loads ride the B+ tree's
@@ -53,6 +65,7 @@
 #include "engine/database.h"
 #include "net/net_client.h"
 #include "net/net_server.h"
+#include "shard/shard_cluster.h"
 #include "tpcc/loader.h"
 #include "tpcc/workload.h"
 #include "util/stopwatch.h"
@@ -91,6 +104,8 @@ int Main(int argc, char** argv) {
   int connections = 4;
   int txns = 50;
   int warehouses = 2;
+  int shards = 1;
+  double remote_pct = 0.10;
   int scale = 1;
   double rtt_ms = 0.0;
   uint64_t seed = 42;
@@ -107,6 +122,10 @@ int Main(int argc, char** argv) {
       txns = std::atoi(argv[i] + 7);
     } else if (std::strncmp(argv[i], "--warehouses=", 13) == 0) {
       warehouses = std::atoi(argv[i] + 13);
+    } else if (std::strncmp(argv[i], "--shards=", 9) == 0) {
+      shards = std::max(1, std::atoi(argv[i] + 9));
+    } else if (std::strncmp(argv[i], "--remote-pct=", 13) == 0) {
+      remote_pct = std::atof(argv[i] + 13);
     } else if (std::strncmp(argv[i], "--scale=", 8) == 0) {
       scale = std::max(1, std::atoi(argv[i] + 8));
     } else if (std::strncmp(argv[i], "--rtt-ms=", 9) == 0) {
@@ -129,7 +148,8 @@ int Main(int argc, char** argv) {
       std::fprintf(
           stderr,
           "usage: %s [--connections=N] [--txns=N] [--mix=rw|ro]\n"
-          "          [--warehouses=N] [--scale=N] [--rtt-ms=F] [--seed=N]\n"
+          "          [--warehouses=N] [--shards=N] [--remote-pct=F]\n"
+          "          [--scale=N] [--rtt-ms=F] [--seed=N]\n"
           "          [--port=P [--host=H]] [--no-track] [--no-annot]\n"
           "          [--timeline]\n",
           argv[0]);
@@ -145,23 +165,46 @@ int Main(int argc, char** argv) {
   cfg.orders_per_district = 8 * scale;
   cfg.seed = seed;
 
-  // Self-host unless the caller pointed us at an existing server.
+  // Self-host unless the caller pointed us at an existing server. With
+  // --shards=N the "engine" is a whole ShardCluster and the TCP front door
+  // mounts the router, so every connection gets a RoutedSession.
   std::unique_ptr<Database> db;
   proxy::TxnIdAllocator alloc;
+  std::unique_ptr<shard::ShardCluster> cluster;
   std::unique_ptr<net::NetProxyServer> server;
   if (port == 0) {
-    db = std::make_unique<Database>(FlavorTraits::Postgres());
-    net::NetServerOptions sopts;
-    sopts.track = track;
-    sopts.exec_threads = 8;
-    server = std::make_unique<net::NetProxyServer>(db.get(), &alloc, sopts);
-    if (Status s = server->Start(); !s.ok()) {
-      std::fprintf(stderr, "server start: %s\n", s.ToString().c_str());
-      return 1;
-    }
-    if (Status s = server->Bootstrap(); !s.ok()) {
-      std::fprintf(stderr, "server bootstrap: %s\n", s.ToString().c_str());
-      return 1;
+    if (shards > 1) {
+      cfg.remote_item_pct = remote_pct;
+      shard::ShardClusterOptions clopts;
+      clopts.shards = shards;
+      cluster = std::make_unique<shard::ShardCluster>(clopts);
+      if (Status s = cluster->Bootstrap(); !s.ok()) {
+        std::fprintf(stderr, "cluster bootstrap: %s\n", s.ToString().c_str());
+        return 1;
+      }
+      net::NetServerOptions sopts;
+      sopts.exec_threads = 8;
+      auto server_or = cluster->ServeRouter(sopts);
+      if (!server_or.ok()) {
+        std::fprintf(stderr, "router start: %s\n",
+                     server_or.status().ToString().c_str());
+        return 1;
+      }
+      server = std::move(*server_or);
+    } else {
+      db = std::make_unique<Database>(FlavorTraits::Postgres());
+      net::NetServerOptions sopts;
+      sopts.track = track;
+      sopts.exec_threads = 8;
+      server = std::make_unique<net::NetProxyServer>(db.get(), &alloc, sopts);
+      if (Status s = server->Start(); !s.ok()) {
+        std::fprintf(stderr, "server start: %s\n", s.ToString().c_str());
+        return 1;
+      }
+      if (Status s = server->Bootstrap(); !s.ok()) {
+        std::fprintf(stderr, "server bootstrap: %s\n", s.ToString().c_str());
+        return 1;
+      }
     }
     port = server->port();
 
@@ -178,10 +221,17 @@ int Main(int argc, char** argv) {
       std::fprintf(stderr, "tpcc load: %s\n", s.status().ToString().c_str());
       return 1;
     }
-    std::printf("loadgen: self-hosted on port %u (%s), TPC-C W=%d loaded in "
-                "%.2fs\n",
-                port, track ? "tracked" : "untracked", cfg.warehouses,
-                load_sw.ElapsedSeconds());
+    if (cluster != nullptr) {
+      std::printf("loadgen: self-hosted router on port %u (%d shards, "
+                  "remote-pct=%.2f), TPC-C W=%d loaded in %.2fs\n",
+                  port, shards, remote_pct, cfg.warehouses,
+                  load_sw.ElapsedSeconds());
+    } else {
+      std::printf("loadgen: self-hosted on port %u (%s), TPC-C W=%d loaded in "
+                  "%.2fs\n",
+                  port, track ? "tracked" : "untracked", cfg.warehouses,
+                  load_sw.ElapsedSeconds());
+    }
   } else {
     std::printf("loadgen: driving %s:%u (assumed loaded)\n", host.c_str(),
                 port);
@@ -310,8 +360,12 @@ int Main(int argc, char** argv) {
 
   int rc = failed == 0 ? 0 : 1;
   if (server != nullptr) {
-    const proxy::ProxyStats ps = server->ProxyStatsSnapshot();
+    proxy::ProxyStats ps;
+    if (cluster == nullptr) ps = server->ProxyStatsSnapshot();
     server->Stop();
+    // Routed sessions fold their tracking stats into the cluster when the
+    // server drops them, so the cluster-wide snapshot comes after Stop().
+    if (cluster != nullptr) ps = cluster->RetiredProxyStats();
     const net::NetServerStats s = server->stats();
     std::printf("loadgen: server frames in/out/served=%lld/%lld/%lld "
                 "conns=%lld resets=%lld stalls=%lld\n",
@@ -321,6 +375,20 @@ int Main(int argc, char** argv) {
                 static_cast<long long>(s.connections_accepted),
                 static_cast<long long>(s.resets),
                 static_cast<long long>(s.backpressure_stalls));
+    if (cluster != nullptr) {
+      const shard::RouterStats& r = cluster->router_stats();
+      std::printf("loadgen: router shards=%d routed=%lld broadcasts=%lld "
+                  "cross_shard=%lld 2pc_commits=%lld 2pc_aborts=%lld "
+                  "deps_merged=%lld wrong_shard=%lld\n",
+                  cluster->shards(),
+                  static_cast<long long>(r.stmts_routed.load()),
+                  static_cast<long long>(r.broadcasts.load()),
+                  static_cast<long long>(r.cross_shard_txns.load()),
+                  static_cast<long long>(r.twopc_commits.load()),
+                  static_cast<long long>(r.twopc_aborts.load()),
+                  static_cast<long long>(r.deps_merged.load()),
+                  static_cast<long long>(r.wrong_shard_rejects.load()));
+    }
     if (track) {
       std::printf("loadgen: tracking client_stmts=%lld backend_stmts=%lld "
                   "deps=%lld degraded=%lld gaps=%lld quarantine_rejects=%lld\n",

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Builds and runs the multi-shard scaling bench (1/2/4/8 engine shards behind
+# the warehouse-hash router, 10% remote new-order lines so 2PC is on the
+# measured path), leaving BENCH_shard.json in the repo root (or $1 if given).
+# The bench itself gates: zero tracking gaps on every shard, cross-shard 2PC
+# commits present at every N >= 2, and >= 3x throughput at 8 shards vs 1.
+# Usage: tools/run_bench_shard.sh [out.json]
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+out="${1:-$repo/BENCH_shard.json}"
+
+cmake -B "$repo/build" -S "$repo" >/dev/null
+cmake --build "$repo/build" --target bench_shard -j >/dev/null
+
+"$repo/build/bench/bench_shard" --out="$out"

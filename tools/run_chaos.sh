@@ -5,16 +5,18 @@
 # AddressSanitizer build, failing on the first invariant violation (the
 # harness prints the seed so any failure replays exactly). A third,
 # ThreadSanitizer build (-DIRDB_SANITIZE=thread) then runs the `parallel`,
-# `net`, `concurrency`, `storage`, and `reenact` ctest labels — the parallel repair
-# pipeline's determinism and equivalence tests, the sharded metrics-registry
-# hammer (obs_test), the networked front-end's concurrent-session suite
-# (net_test), the lock-manager/concurrent-execution suite (concurrency_test),
-# the serve-through quarantine suite (quarantine_test), and the B+ tree /
-# buffer-pool / tombstone-heap suite (storage_test) — so data races in the
-# worker pool, segmented scan, sharded closure, batched compensation, the
-# shard-per-thread registry, the event-loop/executor handoff, the lock
-# manager and latch layering, the online-repair quarantine gate, or the
-# storage layer's pin/evict accounting surface here rather than in
+# `net`, `concurrency`, `storage`, `reenact`, and `shard` ctest labels — the
+# parallel repair pipeline's determinism and equivalence tests, the sharded
+# metrics-registry hammer (obs_test), the networked front-end's
+# concurrent-session suite (net_test), the lock-manager/concurrent-execution
+# suite (concurrency_test), the serve-through quarantine suite
+# (quarantine_test), the B+ tree / buffer-pool / tombstone-heap suite
+# (storage_test), and the multi-shard router/2PC/coordinated-repair suite
+# (shard_test) — so data races in the worker pool, segmented scan, sharded
+# closure, batched compensation, the shard-per-thread registry, the
+# event-loop/executor handoff, the lock manager and latch layering, the
+# online-repair quarantine gate, the storage layer's pin/evict accounting,
+# or the router tier's session/stat folding surface here rather than in
 # production.
 #
 # The serve-through profile races RepairOnline against a live TCP workload
@@ -26,6 +28,11 @@
 # checks the reenacted state byte-for-byte against the undo-then-reapply
 # oracle (DESIGN.md §5i).
 #
+# The shard-split profile partitions one shard of a routed cluster away
+# mid-load and checks zero tracking gaps on every shard plus per-shard state
+# equality against a merged replay oracle, before and after a coordinated
+# cross-shard repair (DESIGN.md §5j).
+#
 # Usage: tools/run_chaos.sh [num_seeds] [base_seed]
 #   num_seeds  seeds per profile per config (default 5)
 #   base_seed  first seed; seeds are base_seed..base_seed+num_seeds-1
@@ -35,7 +42,7 @@ set -euo pipefail
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 num_seeds="${1:-5}"
 base_seed="${2:-20260805}"
-profiles=(default wire-heavy commit-heavy net-reset lock-contention serve-through reenact)
+profiles=(default wire-heavy commit-heavy net-reset lock-contention serve-through reenact shard-split)
 
 run_config() {
   local build_dir="$1"; shift
@@ -55,9 +62,9 @@ run_config() {
 run_config "$repo/build" "plain"
 run_config "$repo/build-asan" "asan" -DIRDB_SANITIZE=address
 
-echo "[tsan] parallel repair + net front-end + lock manager + quarantine + storage + reenact under ThreadSanitizer"
+echo "[tsan] parallel repair + net front-end + lock manager + quarantine + storage + reenact + shard under ThreadSanitizer"
 cmake -B "$repo/build-tsan" -S "$repo" -DIRDB_SANITIZE=thread >/dev/null
-cmake --build "$repo/build-tsan" --target parallel_repair_test obs_test net_test concurrency_test quarantine_test storage_test reenact_test -j >/dev/null
-(cd "$repo/build-tsan" && ctest -L 'parallel|net|concurrency|storage|reenact' --output-on-failure)
+cmake --build "$repo/build-tsan" --target parallel_repair_test obs_test net_test concurrency_test quarantine_test storage_test reenact_test shard_test -j >/dev/null
+(cd "$repo/build-tsan" && ctest -L 'parallel|net|concurrency|storage|reenact|shard' --output-on-failure)
 
-echo "chaos soak passed: ${#profiles[@]} profiles x $num_seeds seeds x 2 configs + tsan parallel/net/concurrency/storage/reenact suites"
+echo "chaos soak passed: ${#profiles[@]} profiles x $num_seeds seeds x 2 configs + tsan parallel/net/concurrency/storage/reenact/shard suites"
